@@ -1,0 +1,140 @@
+// Design-choice ablations (ours) for the components DESIGN.md calls out:
+//   (a) buffer-pool capacity vs ERA time — the storage engine's cache is
+//       what stands in for BerkeleyDB's; ERA's sequential scans should be
+//       insensitive, extent seeks benefit from caching;
+//   (b) summary choice vs translation — how the sid sets of the Table 1
+//       queries differ between the alias incoming summary (the paper's
+//       choice) and the no-alias incoming summary;
+//   (c) estimated vs measured advisor costs — does the analytic model
+//       order the methods the same way the measurements do?
+#include <cstdio>
+#include <filesystem>
+
+#include "advisor/cost_model.h"
+#include "bench/harness.h"
+#include "retrieval/era.h"
+#include "retrieval/materializer.h"
+#include "summary/builder.h"
+
+namespace trex {
+namespace bench {
+namespace {
+
+void BufferPoolAblation() {
+  std::printf("(a) buffer-pool capacity vs ERA time (Q202)\n");
+  std::printf("  %-14s %12s %14s %14s\n", "cache-pages", "ERA(s)",
+              "page-reads", "page-accesses");
+  for (size_t cache_pages : {16, 64, 256, 1024, 4096}) {
+    TrexOptions options;
+    options.index.aliases = IeeeAliasMap();
+    options.index.cache_pages = cache_pages;
+    auto trex = TReX::Open(BenchDataDir() + "/IEEE", options);
+    TREX_CHECK_OK(trex.status());
+    Index* index = trex.value()->index();
+    auto translated =
+        TranslateNexi(Table1Queries()[0].nexi, index->summary(),
+                      &index->aliases(), index->tokenizer());
+    TREX_CHECK_OK(translated.status());
+    const TranslatedClause& clause = translated.value().flattened;
+
+    Era era(index);
+    RetrievalResult result;
+    index->elements()->table()->tree()->buffer_pool()->ResetCounters();
+    index->postings()->postings_table()->tree()->buffer_pool()
+        ->ResetCounters();
+    double t = TimeRuns([&]() {
+      TREX_CHECK_OK(era.Evaluate(clause, &result));
+      return result.metrics.wall_seconds;
+    });
+    uint64_t reads =
+        index->elements()->table()->tree()->buffer_pool()->page_reads() +
+        index->postings()->postings_table()->tree()->buffer_pool()
+            ->page_reads();
+    uint64_t accesses =
+        index->elements()->table()->tree()->buffer_pool()->page_accesses() +
+        index->postings()->postings_table()->tree()->buffer_pool()
+            ->page_accesses();
+    std::printf("  %-14zu %12.4f %14llu %14llu\n", cache_pages, t,
+                static_cast<unsigned long long>(reads),
+                static_cast<unsigned long long>(accesses));
+  }
+  std::printf("\n");
+}
+
+void SummaryAblation() {
+  std::printf(
+      "(b) summary choice vs query translation (#sids per Table 1 IEEE "
+      "query)\n");
+  size_t docs = BenchScaleDocs("TREX_BENCH_IEEE_DOCS", 12000);
+  // Build both summaries once over the generator (no index needed).
+  IeeeGeneratorOptions gen_options;
+  gen_options.num_documents = std::min<size_t>(docs, 2000);
+  IeeeGenerator gen(gen_options);
+  AliasMap aliases = IeeeAliasMap();
+  SummaryBuilder aliased_builder(SummaryKind::kIncoming, &aliases);
+  SummaryBuilder plain_builder(SummaryKind::kIncoming, nullptr);
+  for (size_t d = 0; d < gen.num_documents(); ++d) {
+    std::string doc = gen.Generate(static_cast<DocId>(d));
+    TREX_CHECK_OK(aliased_builder.AddDocument(doc));
+    TREX_CHECK_OK(plain_builder.AddDocument(doc));
+  }
+  Summary aliased = aliased_builder.Take();
+  Summary plain = plain_builder.Take();
+  Tokenizer tokenizer;
+  std::printf("  %-6s %18s %18s\n", "query", "alias-incoming", "incoming");
+  for (const BenchQuery& q : Table1Queries()) {
+    if (std::string(q.collection) != "IEEE") continue;
+    auto ta = TranslateNexi(q.nexi, aliased, &aliases, tokenizer);
+    auto tp = TranslateNexi(q.nexi, plain, nullptr, tokenizer);
+    TREX_CHECK_OK(ta.status());
+    TREX_CHECK_OK(tp.status());
+    std::printf("  %-6s %18zu %18zu\n", q.id,
+                ta.value().flattened.sids.size(),
+                tp.value().flattened.sids.size());
+  }
+  std::printf(
+      "  (the alias summary folds synonymous section tags into one sid;\n"
+      "   without aliases each synonym path is a separate sid, §2.1)\n\n");
+}
+
+void CostModelAblation() {
+  std::printf("(c) estimated vs measured per-query costs\n");
+  auto trex = OpenBenchIndex("IEEE");
+  std::printf("  %-6s %12s %12s %12s | %12s %12s %12s\n", "query",
+              "est-ERA", "est-Merge", "est-TA", "meas-ERA", "meas-Merge",
+              "meas-TA");
+  for (const BenchQuery& q : Table1Queries()) {
+    if (std::string(q.collection) != "IEEE") continue;
+    Index* index = trex->index();
+    auto translated = TranslateNexi(q.nexi, index->summary(),
+                                    &index->aliases(), index->tokenizer());
+    TREX_CHECK_OK(translated.status());
+    const TranslatedClause& clause = translated.value().flattened;
+    auto est = CostModel::Estimate(index, clause, 10);
+    TREX_CHECK_OK(est.status());
+    auto meas = CostModel::Measure(index, clause, 10);
+    TREX_CHECK_OK(meas.status());
+    std::printf("  %-6s %12.4f %12.4f %12.4f | %12.4f %12.4f %12.4f\n",
+                q.id, est.value().t_era, est.value().t_merge,
+                est.value().t_ta, meas.value().t_era, meas.value().t_merge,
+                meas.value().t_ta);
+  }
+  std::printf("\n");
+}
+
+int Run() {
+  std::printf("Design-choice ablations\n\n");
+  // Ensure the shared bench index exists before the pool ablation opens
+  // it with varying cache sizes.
+  OpenBenchIndex("IEEE");
+  BufferPoolAblation();
+  SummaryAblation();
+  CostModelAblation();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trex
+
+int main() { return trex::bench::Run(); }

@@ -1,0 +1,20 @@
+// Reproduces Figure 4: evaluation times for Query 202 (left) and
+// Query 203 (right) — ERA and Merge totals plus TA/ITA as a function
+// of k.
+//
+// Expected shapes (paper): Q202 — Merge far below TA, TA near ERA,
+// ITA well below TA. Q203 — TA well below ERA (~10x), ITA close to
+// Merge, TA competitive with Merge at tiny k.
+#include "bench/figure_common.h"
+
+int main() {
+  using namespace trex::bench;
+  auto ieee = OpenBenchIndex("IEEE");
+  std::printf("Figure 4: evaluation times for Query 202 and Query 203\n\n");
+  for (const BenchQuery& q : Table1Queries()) {
+    if (std::string(q.id) == "202" || std::string(q.id) == "203") {
+      RunFigureForQuery(ieee.get(), q);
+    }
+  }
+  return 0;
+}

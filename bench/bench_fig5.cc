@@ -1,0 +1,19 @@
+// Reproduces Figure 5: evaluation times for Query 260 (left) and
+// Query 270 (right).
+//
+// Expected shapes (paper): Q260 — TA best only for very small k, Merge
+// much faster for larger k, ITA grows with k. Q270 — TA expensive at
+// mid-range k, cheap once k approaches the full answer count.
+#include "bench/figure_common.h"
+
+int main() {
+  using namespace trex::bench;
+  auto ieee = OpenBenchIndex("IEEE");
+  std::printf("Figure 5: evaluation times for Query 260 and Query 270\n\n");
+  for (const BenchQuery& q : Table1Queries()) {
+    if (std::string(q.id) == "260" || std::string(q.id) == "270") {
+      RunFigureForQuery(ieee.get(), q);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Reproduces Figure 6: evaluation times for Query 233 (left), Query 290
+// (center) and Query 292 (right).
+//
+// Expected shapes (paper): Q233 — TA and Merge orders of magnitude below
+// ERA (2 sids, 2 terms), TA ahead of Merge. Q290 — Merge usually wins but
+// TA overtakes at large k. Q292 — many sids, few answers: ERA very slow,
+// TA slightly ahead of Merge.
+#include "bench/figure_common.h"
+
+int main() {
+  using namespace trex::bench;
+  auto ieee = OpenBenchIndex("IEEE");
+  auto wiki = OpenBenchIndex("Wiki");
+  std::printf(
+      "Figure 6: evaluation times for Query 233, Query 290, Query 292\n\n");
+  for (const BenchQuery& q : Table1Queries()) {
+    std::string id = q.id;
+    if (id == "233") RunFigureForQuery(ieee.get(), q);
+    if (id == "290" || id == "292") RunFigureForQuery(wiki.get(), q);
+  }
+  return 0;
+}

@@ -1,0 +1,263 @@
+// Micro-benchmarks (google-benchmark) for the substrate components: the
+// storage engine, codecs, tokenizer/stemmer, and the instrumented heap.
+// These calibrate the advisor's analytic cost model constants.
+#include <filesystem>
+
+#include "benchmark/benchmark.h"
+#include "common/coding.h"
+#include "common/rng.h"
+#include "retrieval/heap.h"
+#include "index/posting_lists.h"
+#include "index/rpl.h"
+#include "storage/bptree.h"
+#include "corpus/vocabulary.h"
+#include "text/porter_stemmer.h"
+#include "trex/trex.h"
+#include "text/tokenizer.h"
+
+namespace trex {
+namespace {
+
+std::string TempTreePath(const std::string& name) {
+  std::string dir = std::filesystem::temp_directory_path() / "trex_micro";
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/" + name;
+  std::filesystem::remove(path);
+  return path;
+}
+
+void BM_BPTreePut(benchmark::State& state) {
+  auto tree = BPTree::Open(TempTreePath("put"), 2048);
+  TREX_CHECK_OK(tree.status());
+  Rng rng(1);
+  std::string value(64, 'v');
+  uint64_t i = 0;
+  for (auto _ : state) {
+    std::string key;
+    PutBigEndian64(&key, rng.Next());
+    PutBigEndian64(&key, i++);
+    TREX_CHECK_OK(tree.value()->Put(key, value));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPTreePut);
+
+void BM_BPTreeGet(benchmark::State& state) {
+  auto tree = BPTree::Open(TempTreePath("get"), 2048);
+  TREX_CHECK_OK(tree.status());
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    std::string key;
+    PutBigEndian64(&key, static_cast<uint64_t>(i) * 7919);
+    TREX_CHECK_OK(tree.value()->Put(key, "value"));
+  }
+  Rng rng(2);
+  std::string value;
+  for (auto _ : state) {
+    std::string key;
+    PutBigEndian64(&key, rng.Uniform(kN) * 7919);
+    TREX_CHECK_OK(tree.value()->Get(key, &value));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPTreeGet);
+
+void BM_BPTreeSeekScan(benchmark::State& state) {
+  auto tree = BPTree::Open(TempTreePath("scan"), 2048);
+  TREX_CHECK_OK(tree.status());
+  const int kN = 100000;
+  {
+    BPTree::BulkLoader loader(tree.value().get());
+    for (int i = 0; i < kN; ++i) {
+      std::string key;
+      PutBigEndian64(&key, static_cast<uint64_t>(i));
+      TREX_CHECK_OK(loader.Add(key, "value"));
+    }
+    TREX_CHECK_OK(loader.Finish());
+  }
+  Rng rng(3);
+  const int kScanLen = 64;
+  for (auto _ : state) {
+    std::string key;
+    PutBigEndian64(&key, rng.Uniform(kN - kScanLen));
+    BPTree::Iterator it(tree.value().get());
+    TREX_CHECK_OK(it.Seek(key));
+    for (int i = 0; i < kScanLen && it.Valid(); ++i) {
+      benchmark::DoNotOptimize(it.value().data());
+      TREX_CHECK_OK(it.Next());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kScanLen);
+}
+BENCHMARK(BM_BPTreeSeekScan);
+
+void BM_BPTreeBulkLoad(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string path = TempTreePath("bulk");
+    auto tree = BPTree::Open(path, 2048);
+    TREX_CHECK_OK(tree.status());
+    state.ResumeTiming();
+    BPTree::BulkLoader loader(tree.value().get());
+    for (int i = 0; i < 50000; ++i) {
+      std::string key;
+      PutBigEndian64(&key, static_cast<uint64_t>(i));
+      TREX_CHECK_OK(loader.Add(key, "value"));
+    }
+    TREX_CHECK_OK(loader.Finish());
+  }
+  state.SetItemsProcessed(state.iterations() * 50000);
+}
+BENCHMARK(BM_BPTreeBulkLoad)->Unit(benchmark::kMillisecond);
+
+void BM_VarintRoundTrip(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<uint64_t> values(1024);
+  for (auto& v : values) v = rng.Next() >> rng.Uniform(56);
+  for (auto _ : state) {
+    std::string buf;
+    for (uint64_t v : values) PutVarint64(&buf, v);
+    Slice in(buf);
+    uint64_t out = 0, sum = 0;
+    while (GetVarint64(&in, &out)) sum += out;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_VarintRoundTrip);
+
+void BM_PorterStem(benchmark::State& state) {
+  std::vector<std::string> words = {
+      "ontologies",    "evaluation", "retrieval",     "generalizations",
+      "conditionally", "databases",  "effectiveness", "summarization"};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PorterStem(words[i++ % words.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PorterStem);
+
+void BM_Tokenize(benchmark::State& state) {
+  Tokenizer tok;
+  std::string text;
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    text += "retrieval systems evaluate the effectiveness of structural ";
+  }
+  std::vector<TokenOccurrence> out;
+  for (auto _ : state) {
+    out.clear();
+    tok.Tokenize(text, 0, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_InstrumentedHeapPushPop(benchmark::State& state) {
+  Rng rng(6);
+  for (auto _ : state) {
+    InstrumentedHeap<uint64_t> heap;
+    for (int i = 0; i < 1024; ++i) heap.Push(rng.Next());
+    while (!heap.empty()) benchmark::DoNotOptimize(heap.Pop());
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_InstrumentedHeapPushPop);
+
+
+void BM_PostingIteration(benchmark::State& state) {
+  std::string dir =
+      std::filesystem::temp_directory_path() / "trex_micro_postings";
+  std::filesystem::remove_all(dir);
+  auto lists = PostingLists::Open(dir);
+  TREX_CHECK_OK(lists.status());
+  {
+    std::vector<Position> positions;
+    for (uint32_t d = 0; d < 100; ++d) {
+      for (uint64_t o = 0; o < 1000; ++o) {
+        positions.push_back(Position{d, o * 7});
+      }
+    }
+    PostingLists::Loader loader(lists.value().get());
+    TREX_CHECK_OK(loader.AddTerm("term", positions));
+    TREX_CHECK_OK(loader.Finish());
+  }
+  for (auto _ : state) {
+    PostingLists::PositionIterator it(lists.value().get(), "term");
+    uint64_t sum = 0;
+    while (!it.AtEnd()) {
+      auto p = it.NextPosition();
+      TREX_CHECK_OK(p.status());
+      sum += p.value().offset;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_PostingIteration);
+
+void BM_RplIteration(benchmark::State& state) {
+  std::string dir =
+      std::filesystem::temp_directory_path() / "trex_micro_rpl";
+  std::filesystem::remove_all(dir);
+  auto store = RplStore::Open(dir);
+  TREX_CHECK_OK(store.status());
+  {
+    Rng rng(9);
+    std::vector<ScoredEntry> entries;
+    for (int i = 0; i < 50000; ++i) {
+      ScoredEntry e;
+      e.docid = static_cast<DocId>(rng.Uniform(1000));
+      e.endpos = static_cast<uint64_t>(i) * 13;
+      e.length = 40;
+      e.score = static_cast<float>(rng.NextDouble() * 10);
+      entries.push_back(e);
+    }
+    uint64_t bytes = 0;
+    TREX_CHECK_OK(store.value()->WriteList("term", 1, entries, &bytes));
+    TREX_CHECK_OK(store.value()->Flush());
+  }
+  for (auto _ : state) {
+    RplStore::Iterator it(store.value().get(), "term", 1);
+    TREX_CHECK_OK(it.Init());
+    double sum = 0;
+    while (it.Valid()) {
+      sum += it.entry().score;
+      TREX_CHECK_OK(it.Next());
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 50000);
+}
+BENCHMARK(BM_RplIteration);
+
+
+void BM_IncrementalAddDocument(benchmark::State& state) {
+  std::string dir =
+      std::filesystem::temp_directory_path() / "trex_micro_updater";
+  std::filesystem::remove_all(dir);
+  std::vector<std::string> seed_docs = {
+      "<doc><sec><p>alpha beta gamma delta</p></sec></doc>"};
+  auto trex = TReX::BuildFromDocuments(dir.c_str(), seed_docs, TrexOptions{});
+  TREX_CHECK_OK(trex.status());
+  Rng rng(12);
+  for (auto _ : state) {
+    std::string doc = "<doc><sec><p>";
+    for (int i = 0; i < 60; ++i) {
+      doc += Vocabulary::WordForRank(rng.Uniform(2000));
+      doc.push_back(' ');
+    }
+    doc += "</p></sec></doc>";
+    auto r = trex.value()->AddDocument(doc);
+    TREX_CHECK_OK(r.status());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IncrementalAddDocument)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace trex
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Scaling ablation (ours): how index construction and the three
+// retrieval methods scale with corpus size. The paper's conclusion —
+// no single strategy dominates — should hold at every scale; this bench
+// shows the gaps widening as lists grow.
+#include <cstdio>
+#include <filesystem>
+
+#include "bench/harness.h"
+#include "common/clock.h"
+#include "retrieval/era.h"
+#include "retrieval/materializer.h"
+#include "retrieval/merge.h"
+#include "retrieval/ta.h"
+
+namespace trex {
+namespace bench {
+namespace {
+
+int Run() {
+  std::printf("Scaling: build + method times vs corpus size (IEEE-like)\n");
+  std::printf("query: %s (k = 10)\n\n", Table1Queries()[0].nexi);
+  std::printf("%8s %10s %10s %12s %10s %10s %10s %10s\n", "docs",
+              "elements", "build(s)", "idx-bytes", "ERA(s)", "Merge(s)",
+              "TA(s)", "answers");
+
+  for (size_t docs : {500, 1000, 2000, 4000, 8000}) {
+    std::string dir = BenchDataDir() + "/scaling_" + std::to_string(docs);
+    std::filesystem::remove_all(dir);
+    TrexOptions options;
+    options.index.aliases = IeeeAliasMap();
+    IeeeGeneratorOptions gen_options;
+    gen_options.num_documents = docs;
+    IeeeGenerator gen(gen_options);
+
+    Stopwatch build_watch;
+    auto built = TReX::Build(dir, gen, options);
+    TREX_CHECK_OK(built.status());
+    double build_s = build_watch.ElapsedSeconds();
+    auto trex = std::move(built).value();
+    Index* index = trex->index();
+
+    auto translated =
+        TranslateNexi(Table1Queries()[0].nexi, index->summary(),
+                      &index->aliases(), index->tokenizer());
+    TREX_CHECK_OK(translated.status());
+    const TranslatedClause& clause = translated.value().flattened;
+    MaterializeStats mat;
+    TREX_CHECK_OK(MaterializeForClause(index, clause, true, true, &mat));
+
+    RetrievalResult result;
+    Era era(index);
+    double t_era = TimeRuns([&]() {
+      TREX_CHECK_OK(era.Evaluate(clause, &result));
+      return result.metrics.wall_seconds;
+    });
+    size_t answers = result.elements.size();
+    Merge merge(index);
+    double t_merge = TimeRuns([&]() {
+      TREX_CHECK_OK(merge.Evaluate(clause, &result));
+      return result.metrics.wall_seconds;
+    });
+    Ta ta(index);
+    double t_ta = TimeRuns([&]() {
+      TREX_CHECK_OK(ta.Evaluate(clause, 10, &result));
+      return result.metrics.wall_seconds;
+    });
+
+    uint64_t index_bytes = index->elements()->SizeBytes() +
+                           index->postings()->SizeBytes();
+    std::printf("%8zu %10llu %10.2f %12llu %10.4f %10.4f %10.4f %10zu\n",
+                docs,
+                static_cast<unsigned long long>(index->stats().num_elements),
+                build_s, static_cast<unsigned long long>(index_bytes),
+                t_era, t_merge, t_ta, answers);
+    trex.reset();
+    std::filesystem::remove_all(dir);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trex
+
+int main() { return trex::bench::Run(); }

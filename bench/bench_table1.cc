@@ -1,0 +1,36 @@
+// Reproduces Table 1: "NEXI queries we experimented with, the size of
+// their translation and the size of the result" — query id, NEXI
+// expression, collection, #sids, #terms, #answers.
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace trex {
+namespace bench {
+namespace {
+
+int Run() {
+  auto ieee = OpenBenchIndex("IEEE");
+  auto wiki = OpenBenchIndex("Wiki");
+
+  std::printf("Table 1: query translation and result sizes\n");
+  std::printf("%-5s %-11s %6s %7s %9s  %s\n", "ID", "Collection", "#sids",
+              "#terms", "#answers", "NEXI");
+  for (const BenchQuery& q : Table1Queries()) {
+    TReX* trex = q.collection == std::string("Wiki") ? wiki.get()
+                                                     : ieee.get();
+    auto answer = trex->QueryWith(RetrievalMethod::kEra, q.nexi, 0);
+    TREX_CHECK_OK(answer.status());
+    std::printf("%-5s %-11s %6zu %7zu %9zu  %s\n", q.id, q.collection,
+                answer.value().translation.flattened.sids.size(),
+                answer.value().translation.flattened.terms.size(),
+                answer.value().result.elements.size(), q.nexi);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trex
+
+int main() { return trex::bench::Run(); }

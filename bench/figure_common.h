@@ -1,0 +1,106 @@
+// Shared runner for the Figure 4-6 reproductions: for one Table 1 query,
+// measure ERA (all answers), Merge (all answers), and TA / ITA as a
+// function of k — the exact series the paper plots.
+#ifndef TREX_BENCH_FIGURE_COMMON_H_
+#define TREX_BENCH_FIGURE_COMMON_H_
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "retrieval/era.h"
+#include "retrieval/materializer.h"
+#include "retrieval/merge.h"
+#include "retrieval/ta.h"
+
+namespace trex {
+namespace bench {
+
+inline void RunFigureForQuery(TReX* trex, const BenchQuery& query) {
+  Index* index = trex->index();
+  auto translated = TranslateNexi(query.nexi, index->summary(),
+                                  &index->aliases(), index->tokenizer());
+  TREX_CHECK_OK(translated.status());
+  const TranslatedClause& clause = translated.value().flattened;
+
+  // The redundant indexes for this query (§4 would normally decide this;
+  // the figures assume both exist).
+  MaterializeStats mat;
+  TREX_CHECK_OK(MaterializeForClause(index, clause, true, true, &mat));
+
+  std::printf("== Query %s (%s): %s\n", query.id, query.collection,
+              query.nexi);
+  uint64_t list_bytes = 0;
+  {
+    auto entries = index->catalog()->List();
+    TREX_CHECK_OK(entries.status());
+    for (const CatalogEntry& e : entries.value()) {
+      for (const ListUnit& u : UnitsForClause(clause, true, true)) {
+        if (u.kind == e.kind && u.term == e.term && u.sid == e.sid) {
+          list_bytes += e.size_bytes;
+        }
+      }
+    }
+  }
+  std::printf("   translation: %zu sids, %zu terms; %zu redundant lists"
+              " (%llu bytes)\n",
+              clause.sids.size(), clause.terms.size(),
+              mat.lists_written + mat.lists_skipped,
+              static_cast<unsigned long long>(list_bytes));
+
+  Era era(index);
+  RetrievalResult result;
+  double t_era = TimeRuns([&]() {
+    TREX_CHECK_OK(era.Evaluate(clause, &result));
+    return result.metrics.wall_seconds;
+  });
+  size_t num_answers = result.elements.size();
+
+  Merge merge(index);
+  double t_merge = TimeRuns([&]() {
+    TREX_CHECK_OK(merge.Evaluate(clause, &result));
+    return result.metrics.wall_seconds;
+  });
+
+  std::printf("   ERA   (all %zu answers): %10.4f s\n", num_answers, t_era);
+  std::printf("   Merge (all %zu answers): %10.4f s\n", num_answers,
+              t_merge);
+  std::printf("   %-9s %12s %12s %14s %12s\n", "k", "TA(s)", "ITA(s)",
+              "sorted-acc", "heap-ops");
+
+  Ta ta(index);
+  // k sweep: log-spaced from 1 to beyond the full answer count (the
+  // paper sweeps 1..30000 and beyond).
+  std::vector<size_t> ks = {1,    5,    10,    50,    100,
+                            500,  1000, 5000,  10000, 30000};
+  ks.push_back(num_answers > 0 ? num_answers : 1);
+  for (size_t k : ks) {
+    if (k > num_answers && k != ks.back()) continue;
+    // TA and ITA come from the same runs (one measurement, two clocks);
+    // the reported pair is the run with the median wall time.
+    std::vector<RetrievalMetrics> metrics;
+    TimeRuns([&]() {
+      TREX_CHECK_OK(ta.Evaluate(clause, k, &result));
+      metrics.push_back(result.metrics);
+      return result.metrics.wall_seconds;
+    });
+    std::sort(metrics.begin(), metrics.end(),
+              [](const RetrievalMetrics& a, const RetrievalMetrics& b) {
+                return a.wall_seconds < b.wall_seconds;
+              });
+    const RetrievalMetrics& median = metrics[metrics.size() / 2];
+    double t_ta = median.wall_seconds;
+    double t_ita = median.ideal_seconds;
+    uint64_t accesses = median.sorted_accesses;
+    uint64_t heap_ops = median.heap_operations;
+    std::printf("   %-9zu %12.4f %12.4f %14llu %12llu%s\n", k, t_ta, t_ita,
+                static_cast<unsigned long long>(accesses),
+                static_cast<unsigned long long>(heap_ops),
+                k == ks.back() ? "  (= all answers)" : "");
+  }
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace trex
+
+#endif  // TREX_BENCH_FIGURE_COMMON_H_

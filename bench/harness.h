@@ -1,0 +1,129 @@
+// Shared infrastructure for the experiment benches (§5).
+//
+// Provides:
+//  * lazily built, cached bench indexes for the IEEE-like and
+//    Wikipedia-like collections (rebuilt only when absent);
+//  * the seven Table 1 queries adapted verbatim from the paper;
+//  * the paper's timing protocol: "we conducted five separate runs ...
+//    The best and worst times were ignored and the reported runtime is
+//    the average of the remaining three" (run count configurable via
+//    TREX_BENCH_RUNS; default 3 -> median, a cheaper variant for CI).
+#ifndef TREX_BENCH_HARNESS_H_
+#define TREX_BENCH_HARNESS_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "corpus/ieee_generator.h"
+#include "corpus/wiki_generator.h"
+#include "storage/env.h"
+#include "trex/trex.h"
+
+namespace trex {
+namespace bench {
+
+struct BenchQuery {
+  const char* id;         // INEX query id from Table 1.
+  const char* nexi;       // NEXI expression (paper's, verbatim).
+  const char* collection; // "IEEE" or "Wiki".
+};
+
+// The seven queries of Table 1.
+inline const std::vector<BenchQuery>& Table1Queries() {
+  static const std::vector<BenchQuery> kQueries = {
+      {"202",
+       "//article[about(., ontologies)]//sec[about(., ontologies case "
+       "study)]",
+       "IEEE"},
+      {"203", "//sec[about(., code signing verification)]", "IEEE"},
+      {"233",
+       "//article[about(.//bdy, synthesizers) and about(.//bdy, music)]",
+       "IEEE"},
+      {"260", "//bdy//*[about(., model checking state space explosion)]",
+       "IEEE"},
+      {"270", "//article//sec[about(., introduction information retrieval)]",
+       "IEEE"},
+      {"290", "//article[about(., \"genetic algorithm\")]", "Wiki"},
+      {"292",
+       "//article//figure[about(., Renaissance painting Italian Flemish "
+       "-French -German)]",
+       "Wiki"},
+  };
+  return kQueries;
+}
+
+inline size_t BenchScaleDocs(const char* env, size_t dflt) {
+  const char* v = std::getenv(env);
+  return v != nullptr ? static_cast<size_t>(std::atoll(v)) : dflt;
+}
+
+inline std::string BenchDataDir() {
+  const char* v = std::getenv("TREX_BENCH_DATA");
+  return v != nullptr ? v : "trex_bench_data";
+}
+
+// Opens (building if needed) the bench index for one collection.
+inline std::unique_ptr<TReX> OpenBenchIndex(const std::string& collection) {
+  std::string dir = BenchDataDir() + "/" + collection;
+  TrexOptions options;
+  options.index.aliases =
+      collection == "Wiki" ? WikiAliasMap() : IeeeAliasMap();
+  if (Env::FileExists(dir + "/manifest.txt")) {
+    auto trex = TReX::Open(dir, options);
+    TREX_CHECK_OK(trex.status());
+    return std::move(trex).value();
+  }
+  std::fprintf(stderr, "[bench] building %s index in %s ...\n",
+               collection.c_str(), dir.c_str());
+  std::unique_ptr<TReX> trex;
+  if (collection == "Wiki") {
+    WikiGeneratorOptions gen_options;
+    gen_options.num_documents = BenchScaleDocs("TREX_BENCH_WIKI_DOCS", 12000);
+    WikiGenerator gen(gen_options);
+    auto built = TReX::Build(dir, gen, options);
+    TREX_CHECK_OK(built.status());
+    trex = std::move(built).value();
+  } else {
+    IeeeGeneratorOptions gen_options;
+    gen_options.num_documents = BenchScaleDocs("TREX_BENCH_IEEE_DOCS", 12000);
+    IeeeGenerator gen(gen_options);
+    auto built = TReX::Build(dir, gen, options);
+    TREX_CHECK_OK(built.status());
+    trex = std::move(built).value();
+  }
+  TREX_CHECK_OK(trex->index()->Flush());
+  std::fprintf(stderr, "[bench] %s index ready (%llu docs, %llu elements)\n",
+               collection.c_str(),
+               static_cast<unsigned long long>(
+                   trex->index()->stats().num_documents),
+               static_cast<unsigned long long>(
+                   trex->index()->stats().num_elements));
+  return trex;
+}
+
+// Paper timing protocol. Returns seconds.
+inline double TimeRuns(const std::function<double()>& run_once) {
+  const char* env = std::getenv("TREX_BENCH_RUNS");
+  int runs = env != nullptr ? std::atoi(env) : 3;
+  if (runs < 1) runs = 1;
+  std::vector<double> times;
+  times.reserve(runs);
+  for (int i = 0; i < runs; ++i) times.push_back(run_once());
+  std::sort(times.begin(), times.end());
+  if (runs >= 5) {
+    // Drop best and worst, average the rest (the paper's protocol).
+    double sum = 0;
+    for (int i = 1; i < runs - 1; ++i) sum += times[i];
+    return sum / (runs - 2);
+  }
+  return times[times.size() / 2];  // Median.
+}
+
+}  // namespace bench
+}  // namespace trex
+
+#endif  // TREX_BENCH_HARNESS_H_

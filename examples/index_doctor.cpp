@@ -1,0 +1,83 @@
+// index_doctor: open an index directory, print its statistics, verify
+// every structural invariant (Elements ordering and extent
+// disjointness, posting-list order and m-pos sentinels, RPL/ERPL block
+// order, catalog consistency), and report the result.
+//
+//   ./examples/index_doctor <index-dir>
+//   ./examples/index_doctor --demo <workdir>    # Build a demo index first.
+#include <cstdio>
+#include <string>
+
+#include "corpus/ieee_generator.h"
+#include "retrieval/materializer.h"
+#include "trex/trex.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s (<index-dir> | --demo <workdir>)\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string dir;
+  if (std::string(argv[1]) == "--demo") {
+    if (argc < 3) {
+      std::fprintf(stderr, "--demo needs a workdir\n");
+      return 2;
+    }
+    dir = std::string(argv[2]) + "/index";
+    trex::TrexOptions options;
+    options.index.aliases = trex::IeeeAliasMap();
+    trex::IeeeGeneratorOptions gen_options;
+    gen_options.num_documents = 120;
+    trex::IeeeGenerator gen(gen_options);
+    std::printf("building a demo index in %s ...\n", dir.c_str());
+    auto built = trex::TReX::Build(dir, gen, options);
+    TREX_CHECK_OK(built.status());
+    // Materialize a couple of lists so the catalog is non-trivial.
+    trex::MaterializeStats stats;
+    TREX_CHECK_OK(built.value()->MaterializeFor(
+        "//article//sec[about(., ontologies)]", true, true, &stats));
+    TREX_CHECK_OK(built.value()->index()->Flush());
+  } else {
+    dir = argv[1];
+  }
+
+  auto index = trex::Index::Open(dir);
+  if (!index.ok()) {
+    std::fprintf(stderr, "cannot open index: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", index.value()->DebugStats().c_str());
+
+  // B+-tree shape of the two base tables.
+  struct Named {
+    const char* name;
+    trex::BPTree* tree;
+  };
+  Named trees[] = {
+      {"Elements", index.value()->elements()->table()->tree()},
+      {"PostingLists", index.value()->postings()->postings_table()->tree()},
+  };
+  for (const Named& t : trees) {
+    trex::BPTree::TreeStats stats;
+    TREX_CHECK_OK(t.tree->Analyze(&stats));
+    std::printf(
+        "%-14s height %u, %llu internal + %llu leaf nodes, fill %.2f\n",
+        t.name, stats.height,
+        static_cast<unsigned long long>(stats.internal_nodes),
+        static_cast<unsigned long long>(stats.leaf_nodes),
+        stats.leaf_fill_factor);
+  }
+  std::printf("\n");
+
+  std::printf("verifying invariants ... ");
+  std::fflush(stdout);
+  trex::Status s = index.value()->Verify();
+  if (s.ok()) {
+    std::printf("OK\n");
+    return 0;
+  }
+  std::printf("FAILED\n  %s\n", s.ToString().c_str());
+  return 1;
+}

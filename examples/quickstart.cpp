@@ -1,0 +1,96 @@
+// Quickstart: build a tiny index from inline XML documents, run one NEXI
+// query with each retrieval strategy, and print the top-10 answers.
+//
+//   ./examples/quickstart [workdir]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trex/trex.h"
+
+namespace {
+
+// A miniature IEEE-flavoured collection (three "articles").
+const char* kDocuments[] = {
+    "<books><journal><article><fm><atl>XML retrieval in practice</atl></fm>"
+    "<bdy><sec><st>Introduction</st><p>XML retrieval combines structure and"
+    " content. Query evaluation over XML documents needs indexes.</p></sec>"
+    "<sec><st>Evaluation</st><p>We study query evaluation strategies and"
+    " rank answers by relevance.</p></sec></bdy></article></journal></books>",
+
+    "<books><journal><article><fm><atl>Databases on solid ground</atl></fm>"
+    "<bdy><sec><st>Storage</st><p>B-trees store tables on disk. Buffer"
+    " management hides latency.</p></sec><ss1><st>Indexing</st><p>Inverted"
+    " lists map keywords to positions; XML summaries map paths to"
+    " extents.</p></ss1></bdy></article></journal></books>",
+
+    "<books><journal><article><fm><atl>Top-k everywhere</atl></fm>"
+    "<bdy><sec><st>Threshold algorithms</st><p>The threshold algorithm"
+    " reads score-sorted lists and stops early for top-k query"
+    " evaluation.</p></sec></bdy></article></journal></books>",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : "quickstart_index";
+
+  // 1. Build the index (Elements + PostingLists + alias incoming summary).
+  trex::TrexOptions options;
+  options.index.aliases = trex::IeeeAliasMap();
+  std::vector<std::string> docs(std::begin(kDocuments), std::end(kDocuments));
+  auto built = trex::TReX::BuildFromDocuments(dir, docs, options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<trex::TReX> trex = std::move(built).value();
+  std::printf("indexed %llu documents, %llu elements\n",
+              static_cast<unsigned long long>(
+                  trex->index()->stats().num_documents),
+              static_cast<unsigned long long>(
+                  trex->index()->stats().num_elements));
+
+  const std::string query =
+      "//article[about(., xml)]//sec[about(., query evaluation)]";
+  std::printf("\nNEXI query: %s\n", query.c_str());
+
+  // 2. Evaluate with ERA (always available).
+  auto answer = trex->Query(query, 10);
+  if (!answer.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 answer.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nstrategy chosen: %s\n",
+              trex::RetrievalMethodName(answer.value().method));
+  std::printf("%-4s %-8s %-40s %s\n", "rank", "score", "path",
+              "(doc, endpos)");
+  const trex::Summary& summary = trex->index()->summary();
+  for (size_t i = 0; i < answer.value().result.elements.size(); ++i) {
+    const auto& e = answer.value().result.elements[i];
+    std::printf("%-4zu %-8.4f %-40s (%u, %llu)\n", i + 1, e.score,
+                summary.PathOf(e.element.sid).c_str(), e.element.docid,
+                static_cast<unsigned long long>(e.element.endpos));
+  }
+
+  // 3. Materialize the redundant top-k lists and re-run with TA & Merge.
+  trex::MaterializeStats stats;
+  TREX_CHECK_OK(trex->MaterializeFor(query, /*rpls=*/true, /*erpls=*/true,
+                                     &stats));
+  std::printf("\nmaterialized %zu redundant lists (%llu bytes)\n",
+              stats.lists_written,
+              static_cast<unsigned long long>(stats.bytes_written));
+  for (trex::RetrievalMethod method :
+       {trex::RetrievalMethod::kTa, trex::RetrievalMethod::kMerge}) {
+    auto again = trex->QueryWith(method, query, 3);
+    TREX_CHECK_OK(again.status());
+    std::printf("%s top-1: score %.4f at %s\n",
+                trex::RetrievalMethodName(method),
+                again.value().result.elements[0].score,
+                summary.PathOf(again.value().result.elements[0].element.sid)
+                    .c_str());
+  }
+  return 0;
+}

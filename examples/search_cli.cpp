@@ -1,0 +1,140 @@
+// search_cli: index a directory of XML documents and answer NEXI queries
+// end-to-end, printing matched element paths and text snippets.
+//
+//   # Generate a demo corpus, index it, and run queries:
+//   ./examples/search_cli --demo workdir "//article[about(., xml)]"
+//
+//   # Or index your own directory of .xml files:
+//   ./examples/search_cli /path/to/xml-dir workdir "//sec[about(., x)]"
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "corpus/ieee_generator.h"
+#include "index/index_builder.h"
+#include "trex/trex.h"
+
+namespace {
+
+// Extracts a short snippet around the element span from the raw document.
+std::string Snippet(const std::string& doc, const trex::ElementInfo& e) {
+  size_t start = static_cast<size_t>(e.start());
+  size_t len = std::min<size_t>(e.length, 120);
+  if (start >= doc.size()) return "";
+  std::string out = doc.substr(start, std::min(len, doc.size() - start));
+  for (char& c : out) {
+    if (c == '\n' || c == '\t') c = ' ';
+  }
+  if (e.length > len) out += "...";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s (--demo | <xml-dir>) <workdir> <nexi-query> "
+                 "[k]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string source = argv[1];
+  std::string workdir = argv[2];
+  std::string query = argv[3];
+  size_t k = argc > 4 ? static_cast<size_t>(std::atoll(argv[4])) : 10;
+
+  std::string corpus_dir = workdir + "/corpus";
+  if (source == "--demo") {
+    trex::IeeeGeneratorOptions gen_options;
+    gen_options.num_documents = 150;
+    trex::IeeeGenerator generator(gen_options);
+    TREX_CHECK_OK(trex::WriteCorpusToDir(generator, corpus_dir));
+  } else {
+    // Import the user's .xml files into corpus layout.
+    std::vector<std::string> files;
+    for (const auto& entry : std::filesystem::directory_iterator(source)) {
+      if (entry.path().extension() == ".xml") {
+        files.push_back(entry.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+      std::fprintf(stderr, "no .xml files in %s\n", source.c_str());
+      return 1;
+    }
+    TREX_CHECK_OK(trex::Env::CreateDir(corpus_dir));
+    for (size_t i = 0; i < files.size(); ++i) {
+      auto contents = trex::Env::ReadFileToString(files[i]);
+      TREX_CHECK_OK(contents.status());
+      TREX_CHECK_OK(trex::Env::WriteStringToFile(
+          corpus_dir + "/" +
+              trex::Corpus::DocumentFileName(static_cast<trex::DocId>(i)),
+          contents.value()));
+    }
+    TREX_CHECK_OK(trex::Env::WriteStringToFile(
+        corpus_dir + "/corpus.txt",
+        "documents " + std::to_string(files.size()) + "\n"));
+  }
+
+  auto corpus = trex::Corpus::Open(corpus_dir);
+  TREX_CHECK_OK(corpus.status());
+
+  // Build (or reuse) the index.
+  std::string index_dir = workdir + "/index";
+  trex::TrexOptions options;
+  options.index.aliases = trex::IeeeAliasMap();
+  std::unique_ptr<trex::TReX> trex;
+  if (trex::Env::FileExists(index_dir + "/manifest.txt")) {
+    auto opened = trex::TReX::Open(index_dir, options);
+    TREX_CHECK_OK(opened.status());
+    trex = std::move(opened).value();
+  } else {
+    trex::IndexBuilder builder(index_dir, options.index);
+    for (size_t i = 0; i < corpus.value().num_documents(); ++i) {
+      auto doc = corpus.value().ReadDocument(static_cast<trex::DocId>(i));
+      TREX_CHECK_OK(doc.status());
+      trex::Status s = builder.AddDocument(static_cast<trex::DocId>(i),
+                                           doc.value());
+      if (!s.ok()) {
+        std::fprintf(stderr, "skipping document %zu: %s\n", i,
+                     s.ToString().c_str());
+        return 1;
+      }
+    }
+    TREX_CHECK_OK(builder.Finish());
+    auto opened = trex::TReX::Open(index_dir, options);
+    TREX_CHECK_OK(opened.status());
+    trex = std::move(opened).value();
+  }
+
+  auto answer = trex->Query(query, k);
+  if (!answer.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 answer.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("query: %s\nstrategy: %s; %zu sids, %zu terms; %.4f s\n\n",
+              query.c_str(),
+              trex::RetrievalMethodName(answer.value().method),
+              answer.value().translation.flattened.sids.size(),
+              answer.value().translation.flattened.terms.size(),
+              answer.value().result.metrics.wall_seconds);
+  const trex::Summary& summary = trex->index()->summary();
+  for (size_t i = 0; i < answer.value().result.elements.size(); ++i) {
+    const auto& e = answer.value().result.elements[i];
+    auto doc = corpus.value().ReadDocument(e.element.docid);
+    TREX_CHECK_OK(doc.status());
+    std::printf("%2zu. score %-8.4f doc%06u %s\n    %s\n", i + 1, e.score,
+                e.element.docid, summary.PathOf(e.element.sid).c_str(),
+                Snippet(doc.value(), e.element).c_str());
+  }
+  if (answer.value().result.elements.empty()) {
+    std::printf("(no answers)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,128 @@
+#include "advisor/advisor.h"
+
+#include <set>
+
+namespace trex {
+
+Status SelfManager::BuildInstance(const Workload& workload,
+                                  SelectionInstance* instance) {
+  instance->queries.clear();
+  instance->unit_sizes.clear();
+  instance->disk_budget = options_.disk_budget_bytes;
+
+  for (const WorkloadQuery& wq : workload.queries()) {
+    SelectionQuery sq;
+    sq.frequency = wq.frequency;
+    QueryCosts costs;
+    if (options_.costs == SelfManagerOptions::Costs::kMeasured) {
+      auto measured = CostModel::Measure(index_, wq.clause, wq.k);
+      if (!measured.ok()) return measured.status();
+      costs = measured.value();
+    } else {
+      auto estimated = CostModel::Estimate(index_, wq.clause, wq.k);
+      if (!estimated.ok()) return estimated.status();
+      costs = estimated.value();
+    }
+    sq.merge_saving = costs.merge_saving();
+    sq.ta_saving = costs.ta_saving();
+    sq.s_erpl = costs.s_erpl;
+    sq.s_rpl = costs.s_rpl;
+    sq.erpl_units = UnitsForClause(wq.clause, /*rpls=*/false, /*erpls=*/true);
+    sq.rpl_units = UnitsForClause(wq.clause, /*rpls=*/true, /*erpls=*/false);
+
+    // Per-unit sizes for the sharing-aware greedy. The per-query totals
+    // are exact (measured) or estimated; an even split over the query's
+    // units keeps the budget constraint on totals intact while letting
+    // overlapping queries share unit costs.
+    if (!sq.erpl_units.empty()) {
+      uint64_t per = sq.s_erpl / sq.erpl_units.size();
+      for (const ListUnit& u : sq.erpl_units) {
+        instance->unit_sizes.emplace(u, per);
+      }
+    }
+    if (!sq.rpl_units.empty()) {
+      uint64_t per = sq.s_rpl / sq.rpl_units.size();
+      for (const ListUnit& u : sq.rpl_units) {
+        instance->unit_sizes.emplace(u, per);
+      }
+    }
+    instance->queries.push_back(std::move(sq));
+  }
+  return Status::OK();
+}
+
+Status SelfManager::Plan(const Workload& workload,
+                         SelectionInstance* instance,
+                         SelectionResult* result) {
+  TREX_RETURN_IF_ERROR(workload.Validate());
+  TREX_RETURN_IF_ERROR(BuildInstance(workload, instance));
+  if (options_.solver == SelfManagerOptions::Solver::kIlp) {
+    *result = SolveIlp(*instance);
+  } else {
+    *result = SolveGreedy(*instance);
+  }
+  return Status::OK();
+}
+
+Status SelfManager::Run(const Workload& workload, SelfManagerReport* report) {
+  SelectionInstance instance;
+  SelectionResult result;
+  TREX_RETURN_IF_ERROR(Plan(workload, &instance, &result));
+
+  // Materialize the chosen units.
+  std::set<ListUnit> wanted;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const SelectionQuery& sq = instance.queries[i];
+    if (result.choice[i] == IndexChoice::kErpl) {
+      wanted.insert(sq.erpl_units.begin(), sq.erpl_units.end());
+    } else if (result.choice[i] == IndexChoice::kRpl) {
+      wanted.insert(sq.rpl_units.begin(), sq.rpl_units.end());
+    }
+  }
+  MaterializeStats mat;
+  TREX_RETURN_IF_ERROR(MaterializeUnits(
+      index_, std::vector<ListUnit>(wanted.begin(), wanted.end()), &mat));
+
+  if (options_.drop_unchosen) {
+    auto existing = index_->catalog()->List();
+    if (!existing.ok()) return existing.status();
+    std::vector<ListUnit> to_drop;
+    for (const CatalogEntry& e : existing.value()) {
+      ListUnit u{e.kind, e.term, e.sid};
+      if (wanted.find(u) == wanted.end()) to_drop.push_back(u);
+    }
+    TREX_RETURN_IF_ERROR(DropUnits(index_, to_drop));
+  }
+
+  // Report.
+  report->queries.clear();
+  report->total_weighted_saving = result.total_saving;
+  report->bytes_budget = options_.disk_budget_bytes;
+  auto total = index_->catalog()->TotalSizeBytes();
+  if (!total.ok()) return total.status();
+  report->bytes_materialized = total.value();
+  for (size_t i = 0; i < workload.size(); ++i) {
+    SelfManagerReport::PerQuery pq;
+    pq.nexi = workload.queries()[i].nexi;
+    pq.choice = result.choice[i];
+    switch (result.choice[i]) {
+      case IndexChoice::kErpl:
+        pq.expected_method = RetrievalMethod::kMerge;
+        pq.weighted_saving = instance.queries[i].frequency *
+                             instance.queries[i].merge_saving;
+        break;
+      case IndexChoice::kRpl:
+        pq.expected_method = RetrievalMethod::kTa;
+        pq.weighted_saving =
+            instance.queries[i].frequency * instance.queries[i].ta_saving;
+        break;
+      case IndexChoice::kNone:
+        pq.expected_method = RetrievalMethod::kEra;
+        break;
+    }
+    report->queries.push_back(std::move(pq));
+  }
+  return Status::OK();
+}
+
+}  // namespace trex

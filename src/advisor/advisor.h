@@ -1,0 +1,70 @@
+// SelfManager: the end-to-end self-managing loop of §4.
+//
+// Given a prepared workload and a disk budget d, the manager
+//   1. obtains per-query costs (measured or estimated),
+//   2. builds the selection instance,
+//   3. solves it (exact ILP or the greedy 2-approximation),
+//   4. materializes exactly the chosen lists (dropping previously
+//      materialized lists that the new plan no longer wants), and
+//   5. reports per-query decisions and the expected weighted saving.
+#ifndef TREX_ADVISOR_ADVISOR_H_
+#define TREX_ADVISOR_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "advisor/cost_model.h"
+#include "advisor/greedy.h"
+#include "advisor/ilp.h"
+#include "advisor/selection.h"
+#include "advisor/workload.h"
+#include "retrieval/strategy.h"
+
+namespace trex {
+
+struct SelfManagerOptions {
+  enum class Solver { kGreedy, kIlp };
+  enum class Costs { kMeasured, kEstimated };
+  Solver solver = Solver::kGreedy;
+  Costs costs = Costs::kMeasured;
+  uint64_t disk_budget_bytes = 64ull << 20;
+  // Drop previously materialized lists that the new plan does not use.
+  bool drop_unchosen = false;
+};
+
+struct SelfManagerReport {
+  struct PerQuery {
+    std::string nexi;
+    IndexChoice choice = IndexChoice::kNone;
+    RetrievalMethod expected_method = RetrievalMethod::kEra;
+    double weighted_saving = 0.0;  // f_i * Delta, seconds.
+    QueryCosts costs;
+  };
+  std::vector<PerQuery> queries;
+  double total_weighted_saving = 0.0;
+  uint64_t bytes_materialized = 0;
+  uint64_t bytes_budget = 0;
+};
+
+class SelfManager {
+ public:
+  SelfManager(Index* index, SelfManagerOptions options)
+      : index_(index), options_(options) {}
+
+  // Runs steps 1-5. The workload must be Validated and Prepared.
+  Status Run(const Workload& workload, SelfManagerReport* report);
+
+  // Steps 1-3 only (no materialization) — used by the advisor benches.
+  Status Plan(const Workload& workload, SelectionInstance* instance,
+              SelectionResult* result);
+
+ private:
+  Status BuildInstance(const Workload& workload, SelectionInstance* instance);
+
+  Index* index_;
+  SelfManagerOptions options_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_ADVISOR_ADVISOR_H_

@@ -1,0 +1,100 @@
+#include "advisor/cost_model.h"
+
+#include "retrieval/era.h"
+#include "retrieval/merge.h"
+#include "retrieval/ta.h"
+
+namespace trex {
+
+Result<QueryCosts> CostModel::Measure(Index* index,
+                                      const TranslatedClause& clause,
+                                      size_t k) {
+  QueryCosts costs;
+
+  // Record which units already exist so we can drop only what we add.
+  std::vector<ListUnit> all_units = UnitsForClause(clause, true, true);
+  std::vector<ListUnit> to_drop;
+  for (const ListUnit& u : all_units) {
+    if (!index->catalog()->Has(u.kind, u.term, u.sid)) to_drop.push_back(u);
+  }
+  MaterializeStats mat;
+  TREX_RETURN_IF_ERROR(MaterializeUnits(index, all_units, &mat));
+
+  // Sizes from the catalog (exact bytes written per unit).
+  auto entries = index->catalog()->List();
+  if (!entries.ok()) return entries.status();
+  for (const CatalogEntry& e : entries.value()) {
+    for (const ListUnit& u : all_units) {
+      if (u.kind == e.kind && u.term == e.term && u.sid == e.sid) {
+        if (e.kind == ListKind::kRpl) {
+          costs.s_rpl += e.size_bytes;
+        } else {
+          costs.s_erpl += e.size_bytes;
+        }
+      }
+    }
+  }
+
+  // Time the three methods on this query.
+  RetrievalResult result;
+  Era era(index);
+  TREX_RETURN_IF_ERROR(era.Evaluate(clause, &result));
+  costs.t_era = result.metrics.wall_seconds;
+
+  Merge merge(index);
+  TREX_RETURN_IF_ERROR(merge.Evaluate(clause, &result));
+  costs.t_merge = result.metrics.wall_seconds;
+
+  Ta ta(index);
+  TREX_RETURN_IF_ERROR(ta.Evaluate(clause, k, &result));
+  costs.t_ta = result.metrics.wall_seconds;
+
+  TREX_RETURN_IF_ERROR(DropUnits(index, to_drop));
+  return costs;
+}
+
+Result<QueryCosts> CostModel::Estimate(Index* index,
+                                       const TranslatedClause& clause,
+                                       size_t k) {
+  // Volume drivers: total positions of the query's terms (ERA scan) and
+  // the number of (element, term) pairs (RPL/ERPL entries). We estimate
+  // entries as collection_freq (every occurrence contributes to at most
+  // a handful of nested elements whose sids are in the query; a constant
+  // factor cancels out of all comparisons).
+  uint64_t total_positions = 0;
+  for (const WeightedTerm& t : clause.terms) {
+    TermStats stats;
+    Status s = index->postings()->GetTermStats(t.term, &stats);
+    if (s.IsNotFound()) continue;
+    TREX_RETURN_IF_ERROR(s);
+    total_positions += stats.collection_freq;
+  }
+  const double m = static_cast<double>(clause.sids.size());
+  const double entries = static_cast<double>(total_positions);
+
+  // Calibration constants (seconds per unit), fitted against
+  // bench_ablation's measured-vs-estimated table on the reference
+  // machine; only the ratios matter to the advisor.
+  constexpr double kEraPerPositionPerSid = 1.2e-7;  // The m-row inner loop.
+  constexpr double kEraPerPosition = 3e-8;
+  constexpr double kMergePerEntry = 1.1e-7;
+  constexpr double kTaPerEntry = 4e-7;  // Candidate + heap bookkeeping.
+
+  QueryCosts costs;
+  costs.t_era = entries * (kEraPerPosition + kEraPerPositionPerSid * m);
+  costs.t_merge = entries * kMergePerEntry;
+  // TA's read depth: §5 observes that TA reads essentially the whole
+  // RPLs already for k >= 10, so the depth fraction has a high floor and
+  // saturates quickly with k.
+  double depth_fraction = std::min(
+      1.0,
+      std::max(0.35, static_cast<double>(k) * 50.0 / std::max(1.0, entries)));
+  costs.t_ta = entries * depth_fraction * kTaPerEntry;
+
+  // ~26 bytes per entry plus B+-tree overhead.
+  costs.s_rpl = static_cast<uint64_t>(entries * 34.0);
+  costs.s_erpl = static_cast<uint64_t>(entries * 34.0);
+  return costs;
+}
+
+}  // namespace trex

@@ -1,0 +1,50 @@
+// Per-query costs for the self-manager (§4).
+//
+// For query Q_i the advisor needs: T_e, T_m, T_ta (ERA / Merge / TA
+// evaluation times), and S_ERPL(Q_i) / S_RPL(Q_i) (disk space of the
+// lists each method requires). The paper: "The actual time savings and
+// disk space for typical queries should be measured experimentally and
+// assigned in the formulas" — Measure() does exactly that (temporarily
+// materializing missing lists, timing all three methods, then dropping
+// what it created). Estimate() is a cheap analytic fallback driven by
+// term statistics, for workloads too large to measure.
+#ifndef TREX_ADVISOR_COST_MODEL_H_
+#define TREX_ADVISOR_COST_MODEL_H_
+
+#include <algorithm>
+
+#include "advisor/workload.h"
+#include "index/index.h"
+#include "retrieval/materializer.h"
+
+namespace trex {
+
+struct QueryCosts {
+  double t_era = 0.0;
+  double t_merge = 0.0;
+  double t_ta = 0.0;
+  uint64_t s_rpl = 0;   // Bytes of the query's RPL units.
+  uint64_t s_erpl = 0;  // Bytes of the query's ERPL units.
+
+  // The paper's savings: Delta_m = max(T_e - T_m, 0),
+  // Delta_ta = max(T_e - T_ta, 0).
+  double merge_saving() const { return std::max(t_era - t_merge, 0.0); }
+  double ta_saving() const { return std::max(t_era - t_ta, 0.0); }
+};
+
+class CostModel {
+ public:
+  // Measures by running all three methods (materializing missing lists
+  // temporarily; lists that already existed are left untouched).
+  static Result<QueryCosts> Measure(Index* index,
+                                    const TranslatedClause& clause, size_t k);
+
+  // Analytic estimate from term statistics; no I/O beyond stat lookups.
+  static Result<QueryCosts> Estimate(Index* index,
+                                     const TranslatedClause& clause,
+                                     size_t k);
+};
+
+}  // namespace trex
+
+#endif  // TREX_ADVISOR_COST_MODEL_H_

@@ -1,0 +1,151 @@
+#include "advisor/greedy.h"
+
+#include <array>
+#include <limits>
+#include <map>
+
+namespace trex {
+
+namespace {
+
+// Internal view: each (query, method) needs a set of integer unit ids;
+// units may be shared across queries (when the instance provides unit
+// sizes) or private per (query, method) block.
+struct MethodNeed {
+  std::vector<int> units;
+  double gain = 0.0;
+  IndexChoice choice = IndexChoice::kNone;
+};
+
+}  // namespace
+
+SelectionResult SolveGreedy(const SelectionInstance& instance,
+                            GreedyStats* stats) {
+  const size_t l = instance.queries.size();
+  SelectionResult result;
+  result.choice.assign(l, IndexChoice::kNone);
+
+  // Build the unit universe.
+  std::vector<uint64_t> unit_size;
+  std::map<ListUnit, int> unit_id;
+  auto id_for = [&](const ListUnit& u, uint64_t size) {
+    auto it = unit_id.find(u);
+    if (it != unit_id.end()) return it->second;
+    int id = static_cast<int>(unit_size.size());
+    unit_id.emplace(u, id);
+    unit_size.push_back(size);
+    return id;
+  };
+
+  std::vector<std::array<MethodNeed, 2>> needs(l);
+  const bool shared = !instance.unit_sizes.empty();
+  for (size_t i = 0; i < l; ++i) {
+    const SelectionQuery& q = instance.queries[i];
+    needs[i][0].choice = IndexChoice::kErpl;
+    needs[i][0].gain = q.frequency * q.merge_saving;
+    needs[i][1].choice = IndexChoice::kRpl;
+    needs[i][1].gain = q.frequency * q.ta_saving;
+    if (shared) {
+      for (const ListUnit& u : q.erpl_units) {
+        auto it = instance.unit_sizes.find(u);
+        uint64_t sz = it == instance.unit_sizes.end() ? 0 : it->second;
+        needs[i][0].units.push_back(id_for(u, sz));
+      }
+      for (const ListUnit& u : q.rpl_units) {
+        auto it = instance.unit_sizes.find(u);
+        uint64_t sz = it == instance.unit_sizes.end() ? 0 : it->second;
+        needs[i][1].units.push_back(id_for(u, sz));
+      }
+    } else {
+      // Indivisible per-query blocks.
+      unit_size.push_back(q.s_erpl);
+      needs[i][0].units.push_back(static_cast<int>(unit_size.size()) - 1);
+      unit_size.push_back(q.s_rpl);
+      needs[i][1].units.push_back(static_cast<int>(unit_size.size()) - 1);
+    }
+  }
+
+  std::vector<bool> materialized(unit_size.size(), false);
+  uint64_t budget = instance.disk_budget;
+
+  auto addition_cost = [&](const MethodNeed& need) {
+    uint64_t cost = 0;
+    for (int u : need.units) {
+      if (!materialized[u]) cost += unit_size[u];
+    }
+    return cost;
+  };
+
+  std::vector<bool> supported(l, false);
+  while (true) {
+    if (stats != nullptr) ++stats->iterations;
+    // Find the (query, method) with the highest non-zero gain-cost
+    // ratio among those whose minimal addition fits the budget.
+    double best_ratio = 0.0;
+    int best_query = -1;
+    int best_method = -1;
+    uint64_t best_cost = 0;
+    for (size_t i = 0; i < l; ++i) {
+      if (supported[i]) continue;
+      for (int m = 0; m < 2; ++m) {
+        const MethodNeed& need = needs[i][m];
+        if (need.gain <= 0.0) continue;
+        uint64_t cost = addition_cost(need);
+        if (cost > budget) continue;  // Gain-cost ratio is 0 (paper §4.2).
+        double ratio = cost == 0
+                           ? std::numeric_limits<double>::infinity()
+                           : need.gain / static_cast<double>(cost);
+        if (ratio > best_ratio) {
+          best_ratio = ratio;
+          best_query = static_cast<int>(i);
+          best_method = m;
+          best_cost = cost;
+        }
+      }
+    }
+    if (best_query < 0) break;  // All ratios zero or everything supported.
+
+    const MethodNeed& need = needs[best_query][best_method];
+    for (int u : need.units) {
+      if (!materialized[u]) {
+        materialized[u] = true;
+        result.total_size += unit_size[u];
+      }
+    }
+    budget -= best_cost;
+    supported[best_query] = true;
+    result.choice[best_query] = need.choice;
+    result.total_saving += need.gain;
+  }
+
+  // Standard augmentation that makes the Theorem 4.2 bound hold: the
+  // plain ratio rule alone can be arbitrarily bad (a cheap tiny-gain
+  // index can block a huge one), but max(ratio-greedy, best single
+  // index) is a 2-approximation.
+  double best_single_gain = 0.0;
+  int single_query = -1, single_method = -1;
+  for (size_t i = 0; i < l; ++i) {
+    for (int m = 0; m < 2; ++m) {
+      const MethodNeed& need = needs[i][m];
+      if (need.gain <= best_single_gain) continue;
+      uint64_t cost = 0;
+      for (int u : need.units) cost += unit_size[u];
+      if (cost > instance.disk_budget) continue;
+      best_single_gain = need.gain;
+      single_query = static_cast<int>(i);
+      single_method = m;
+    }
+  }
+  if (single_query >= 0 && best_single_gain > result.total_saving) {
+    SelectionResult single;
+    single.choice.assign(l, IndexChoice::kNone);
+    const MethodNeed& need = needs[single_query][single_method];
+    single.choice[single_query] = need.choice;
+    single.total_saving = need.gain;
+    for (int u : need.units) single.total_size += unit_size[u];
+    return single;
+  }
+  return result;
+}
+
+}  // namespace trex

@@ -1,0 +1,28 @@
+// The greedy 2-approximation (§4.2).
+//
+// "In the greedy approach, we iteratively add indexes. Each time we add
+// the index that seems to provide the largest improvement, i.e., the
+// highest ratio of the reduction in time to the addition of space."
+//
+// This implementation is sharing-aware, as the paper describes: the cost
+// of supporting Q_i with Merge is |I_m|, the size of the MINIMAL ADDITION
+// of ERPL units given the currently materialized set I — units another
+// query already paid for are free. Theorem 4.2 guarantees the outcome is
+// within a factor 2 of optimal.
+#ifndef TREX_ADVISOR_GREEDY_H_
+#define TREX_ADVISOR_GREEDY_H_
+
+#include "advisor/selection.h"
+
+namespace trex {
+
+struct GreedyStats {
+  size_t iterations = 0;
+};
+
+SelectionResult SolveGreedy(const SelectionInstance& instance,
+                            GreedyStats* stats = nullptr);
+
+}  // namespace trex
+
+#endif  // TREX_ADVISOR_GREEDY_H_

@@ -1,0 +1,201 @@
+#include "advisor/ilp.h"
+
+#include <algorithm>
+
+namespace trex {
+
+double SelectionObjective(const SelectionInstance& instance,
+                          const std::vector<IndexChoice>& choice) {
+  double total = 0.0;
+  for (size_t i = 0; i < instance.queries.size(); ++i) {
+    const SelectionQuery& q = instance.queries[i];
+    if (choice[i] == IndexChoice::kErpl) total += q.frequency * q.merge_saving;
+    if (choice[i] == IndexChoice::kRpl) total += q.frequency * q.ta_saving;
+  }
+  return total;
+}
+
+uint64_t SelectionSize(const SelectionInstance& instance,
+                       const std::vector<IndexChoice>& choice) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < instance.queries.size(); ++i) {
+    const SelectionQuery& q = instance.queries[i];
+    if (choice[i] == IndexChoice::kErpl) total += q.s_erpl;
+    if (choice[i] == IndexChoice::kRpl) total += q.s_rpl;
+  }
+  return total;
+}
+
+SelectionResult SolveBruteForce(const SelectionInstance& instance) {
+  const size_t l = instance.queries.size();
+  SelectionResult best;
+  best.choice.assign(l, IndexChoice::kNone);
+  std::vector<IndexChoice> current(l, IndexChoice::kNone);
+
+  // Odometer over 3^l assignments.
+  while (true) {
+    if (SelectionSize(instance, current) <= instance.disk_budget) {
+      double obj = SelectionObjective(instance, current);
+      if (obj > best.total_saving) {
+        best.total_saving = obj;
+        best.choice = current;
+      }
+    }
+    size_t i = 0;
+    while (i < l) {
+      int next = static_cast<int>(current[i]) + 1;
+      if (next <= 2) {
+        current[i] = static_cast<IndexChoice>(next);
+        break;
+      }
+      current[i] = IndexChoice::kNone;
+      ++i;
+    }
+    if (i == l) break;
+  }
+  best.total_size = SelectionSize(instance, best.choice);
+  return best;
+}
+
+namespace {
+
+struct Option {
+  size_t query;
+  IndexChoice choice;
+  double gain;     // f_i * saving
+  uint64_t size;
+};
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const SelectionInstance& instance, IlpStats* stats)
+      : instance_(instance), stats_(stats) {
+    const size_t l = instance.queries.size();
+    // Order queries by their best single-option gain-cost ratio, best
+    // first — good incumbents early mean aggressive pruning.
+    order_.resize(l);
+    for (size_t i = 0; i < l; ++i) order_[i] = i;
+    auto ratio = [&](size_t i) {
+      const SelectionQuery& q = instance_.queries[i];
+      double r1 = q.s_erpl > 0
+                      ? q.frequency * q.merge_saving /
+                            static_cast<double>(q.s_erpl)
+                      : q.frequency * q.merge_saving * 1e18;
+      double r2 = q.s_rpl > 0 ? q.frequency * q.ta_saving /
+                                    static_cast<double>(q.s_rpl)
+                              : q.frequency * q.ta_saving * 1e18;
+      return std::max(r1, r2);
+    };
+    std::sort(order_.begin(), order_.end(),
+              [&](size_t a, size_t b) { return ratio(a) > ratio(b); });
+
+    // Per depth, the option list (for the relaxation bound), sorted by
+    // ratio among options from this depth onward.
+    options_by_depth_.resize(l + 1);
+    for (size_t depth = 0; depth < l; ++depth) {
+      for (size_t d = depth; d < l; ++d) {
+        size_t qi = order_[d];
+        const SelectionQuery& q = instance_.queries[qi];
+        if (q.frequency * q.merge_saving > 0) {
+          options_by_depth_[depth].push_back(
+              Option{qi, IndexChoice::kErpl, q.frequency * q.merge_saving,
+                     q.s_erpl});
+        }
+        if (q.frequency * q.ta_saving > 0) {
+          options_by_depth_[depth].push_back(Option{
+              qi, IndexChoice::kRpl, q.frequency * q.ta_saving, q.s_rpl});
+        }
+      }
+      std::sort(options_by_depth_[depth].begin(),
+                options_by_depth_[depth].end(),
+                [](const Option& a, const Option& b) {
+                  double ra = a.size > 0 ? a.gain / static_cast<double>(a.size)
+                                         : 1e18 * a.gain;
+                  double rb = b.size > 0 ? b.gain / static_cast<double>(b.size)
+                                         : 1e18 * b.gain;
+                  return ra > rb;
+                });
+    }
+  }
+
+  SelectionResult Solve() {
+    const size_t l = instance_.queries.size();
+    best_.choice.assign(l, IndexChoice::kNone);
+    best_.total_saving = 0.0;
+    current_.assign(l, IndexChoice::kNone);
+    Recurse(0, 0.0, instance_.disk_budget);
+    best_.total_size = SelectionSize(instance_, best_.choice);
+    return best_;
+  }
+
+ private:
+  // Fractional-knapsack bound on what depths >= `depth` can still add.
+  double Bound(size_t depth, uint64_t remaining_budget) const {
+    double bound = 0.0;
+    uint64_t budget = remaining_budget;
+    for (const Option& opt : options_by_depth_[depth]) {
+      if (opt.size <= budget) {
+        bound += opt.gain;
+        budget -= opt.size;
+      } else if (budget > 0 && opt.size > 0) {
+        bound += opt.gain * static_cast<double>(budget) /
+                 static_cast<double>(opt.size);
+        budget = 0;
+        break;
+      }
+    }
+    return bound;
+  }
+
+  void Recurse(size_t depth, double gain_so_far, uint64_t remaining_budget) {
+    if (stats_ != nullptr) ++stats_->nodes_explored;
+    if (gain_so_far > best_.total_saving) {
+      best_.total_saving = gain_so_far;
+      best_.choice = current_;
+    }
+    if (depth >= order_.size()) return;
+    if (gain_so_far + Bound(depth, remaining_budget) <=
+        best_.total_saving + 1e-12) {
+      if (stats_ != nullptr) ++stats_->nodes_pruned;
+      return;
+    }
+    size_t qi = order_[depth];
+    const SelectionQuery& q = instance_.queries[qi];
+
+    // Branch on the more promising options first.
+    struct Branch {
+      IndexChoice choice;
+      double gain;
+      uint64_t size;
+    };
+    Branch branches[3] = {
+        {IndexChoice::kErpl, q.frequency * q.merge_saving, q.s_erpl},
+        {IndexChoice::kRpl, q.frequency * q.ta_saving, q.s_rpl},
+        {IndexChoice::kNone, 0.0, 0},
+    };
+    if (branches[1].gain > branches[0].gain) {
+      std::swap(branches[0], branches[1]);
+    }
+    for (const Branch& b : branches) {
+      if (b.size > remaining_budget) continue;
+      current_[qi] = b.choice;
+      Recurse(depth + 1, gain_so_far + b.gain, remaining_budget - b.size);
+      current_[qi] = IndexChoice::kNone;
+    }
+  }
+
+  const SelectionInstance& instance_;
+  IlpStats* stats_;
+  std::vector<size_t> order_;
+  std::vector<std::vector<Option>> options_by_depth_;
+  SelectionResult best_;
+  std::vector<IndexChoice> current_;
+};
+
+}  // namespace
+
+SelectionResult SolveIlp(const SelectionInstance& instance, IlpStats* stats) {
+  return BranchAndBound(instance, stats).Solve();
+}
+
+}  // namespace trex

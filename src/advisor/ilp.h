@@ -1,0 +1,28 @@
+// Exact 0/1 solver for the index-selection ILP (§4.1).
+//
+// "This linear-programming problem can be solved using known techniques
+// such as the branch-and-cut or branch-and-bound algorithms." This is a
+// branch-and-bound: depth-first over the three per-query decisions
+// (none / ERPL / RPL), queries pre-ordered by best gain-cost ratio, with
+// a fractional-knapsack upper bound over all remaining options (a valid
+// relaxation: it drops the x_i1 + x_i2 <= 1 coupling and allows
+// fractional items, both of which only increase the optimum).
+#ifndef TREX_ADVISOR_ILP_H_
+#define TREX_ADVISOR_ILP_H_
+
+#include "advisor/selection.h"
+
+namespace trex {
+
+struct IlpStats {
+  uint64_t nodes_explored = 0;
+  uint64_t nodes_pruned = 0;
+};
+
+// Exact optimum of the selection instance.
+SelectionResult SolveIlp(const SelectionInstance& instance,
+                         IlpStats* stats = nullptr);
+
+}  // namespace trex
+
+#endif  // TREX_ADVISOR_ILP_H_

@@ -1,0 +1,71 @@
+// The index-selection problem instance shared by the greedy and ILP
+// solvers (§4).
+//
+// Per query Q_i the advisor may create the ERPLs that enable Merge
+// (decision x_i1) or the RPLs that enable TA (x_i2), but not both
+// (constraint x_i1 + x_i2 <= 1), subject to the total disk budget d.
+// The objective is the frequency-weighted time saving
+//   sum_i (x_i1 f_i Delta_m(Q_i) + x_i2 f_i Delta_ta(Q_i)).
+//
+// (The paper's constraint (2) pairs x_i1 with S_RPL and x_i2 with
+// S_ERPL; since x_i1 selects ERPLs, that is read as a typo and the
+// consistent pairing is used here.)
+#ifndef TREX_ADVISOR_SELECTION_H_
+#define TREX_ADVISOR_SELECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "retrieval/materializer.h"
+
+namespace trex {
+
+// Per-query choice: which redundant index (if any) to build.
+enum class IndexChoice : int {
+  kNone = 0,
+  kErpl = 1,  // x_i1: enable Merge.
+  kRpl = 2,   // x_i2: enable TA.
+};
+
+struct SelectionQuery {
+  double frequency = 0.0;       // f_i
+  double merge_saving = 0.0;    // Delta_m(Q_i), seconds.
+  double ta_saving = 0.0;       // Delta_ta(Q_i), seconds.
+  uint64_t s_erpl = 0;          // Bytes to support Merge.
+  uint64_t s_rpl = 0;           // Bytes to support TA.
+  // Concrete list units behind the sizes (used by the sharing-aware
+  // greedy and by materialization).
+  std::vector<ListUnit> erpl_units;
+  std::vector<ListUnit> rpl_units;
+};
+
+struct SelectionInstance {
+  std::vector<SelectionQuery> queries;
+  uint64_t disk_budget = 0;  // d
+  // Exact size of each individual list unit. When present, the greedy
+  // solver prices a query's support as the MINIMAL ADDITION over the
+  // units already chosen (sharing-aware, §4.2); when empty, each query's
+  // lists are treated as one indivisible block of s_erpl / s_rpl bytes
+  // (the paper's ILP model, and the setting of Theorem 4.2).
+  std::map<ListUnit, uint64_t> unit_sizes;
+};
+
+struct SelectionResult {
+  std::vector<IndexChoice> choice;  // One per query.
+  double total_saving = 0.0;        // Weighted objective value.
+  uint64_t total_size = 0;          // Bytes (per the instance's S fields).
+};
+
+// Objective/feasibility helpers (shared by solvers and tests).
+double SelectionObjective(const SelectionInstance& instance,
+                          const std::vector<IndexChoice>& choice);
+uint64_t SelectionSize(const SelectionInstance& instance,
+                       const std::vector<IndexChoice>& choice);
+
+// Exhaustive 3^l reference solver (tests; l <= ~12).
+SelectionResult SolveBruteForce(const SelectionInstance& instance);
+
+}  // namespace trex
+
+#endif  // TREX_ADVISOR_SELECTION_H_

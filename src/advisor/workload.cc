@@ -1,0 +1,80 @@
+#include "advisor/workload.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace trex {
+
+Status Workload::Validate() const {
+  if (queries_.empty()) {
+    return Status::InvalidArgument("workload is empty");
+  }
+  double sum = 0;
+  for (const WorkloadQuery& q : queries_) {
+    if (q.frequency <= 0.0 || q.frequency > 1.0) {
+      return Status::InvalidArgument(
+          "query frequency must be in (0, 1]: " + q.nexi);
+    }
+    if (q.k == 0) {
+      return Status::InvalidArgument("query k must be positive: " + q.nexi);
+    }
+    sum += q.frequency;
+  }
+  if (std::abs(sum - 1.0) > 1e-6) {
+    return Status::InvalidArgument(
+        "workload frequencies must sum to 1 (got " + std::to_string(sum) +
+        ")");
+  }
+  return Status::OK();
+}
+
+Result<Workload> Workload::ParseFromText(const std::string& text) {
+  Workload workload;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    double frequency = 0.0;
+    size_t k = 0;
+    if (!(fields >> frequency >> k)) {
+      return Status::InvalidArgument(
+          "workload line " + std::to_string(lineno) +
+          ": expected '<frequency> <k> <nexi>'");
+    }
+    std::string nexi;
+    std::getline(fields, nexi);
+    size_t start = nexi.find_first_not_of(" \t");
+    if (start == std::string::npos) {
+      return Status::InvalidArgument("workload line " +
+                                     std::to_string(lineno) +
+                                     ": missing NEXI expression");
+    }
+    workload.Add(nexi.substr(start), frequency, k);
+  }
+  return workload;
+}
+
+std::string Workload::SerializeToText() const {
+  std::ostringstream out;
+  out << "# frequency k nexi\n";
+  for (const WorkloadQuery& q : queries_) {
+    out << q.frequency << ' ' << q.k << ' ' << q.nexi << '\n';
+  }
+  return out.str();
+}
+
+Status Workload::Prepare(Index* index) {
+  for (WorkloadQuery& q : queries_) {
+    auto translated = TranslateNexi(q.nexi, index->summary(),
+                                    &index->aliases(), index->tokenizer());
+    if (!translated.ok()) return translated.status();
+    q.clause = std::move(translated).value().flattened;
+  }
+  return Status::OK();
+}
+
+}  // namespace trex

@@ -1,0 +1,55 @@
+// Workload (Definition 4.1): "a list of top-k retrieval queries
+// Q_1..Q_l, where each query Q_i is associated with a frequency
+// 0 < f_i <= 1, such that sum f_i = 1".
+#ifndef TREX_ADVISOR_WORKLOAD_H_
+#define TREX_ADVISOR_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/index.h"
+#include "nexi/translator.h"
+
+namespace trex {
+
+struct WorkloadQuery {
+  std::string nexi;        // Query text.
+  double frequency = 0.0;  // f_i.
+  size_t k = 10;           // The query's top-k.
+  // Filled by Workload::Prepare().
+  TranslatedClause clause;
+};
+
+class Workload {
+ public:
+  Workload() = default;
+
+  void Add(std::string nexi, double frequency, size_t k) {
+    queries_.push_back(WorkloadQuery{std::move(nexi), frequency, k, {}});
+  }
+
+  // Definition 4.1's constraints: frequencies in (0, 1], summing to 1.
+  Status Validate() const;
+
+  // Translates every query against the index's summary. Must be called
+  // (after Validate) before handing the workload to the advisor.
+  Status Prepare(Index* index);
+
+  const std::vector<WorkloadQuery>& queries() const { return queries_; }
+  size_t size() const { return queries_.size(); }
+
+  // Text format, one query per line:
+  //   <frequency> <k> <nexi expression to end of line>
+  // '#' lines and blank lines are skipped. The parsed workload still
+  // needs Validate() + Prepare().
+  static Result<Workload> ParseFromText(const std::string& text);
+  std::string SerializeToText() const;
+
+ private:
+  std::vector<WorkloadQuery> queries_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_ADVISOR_WORKLOAD_H_

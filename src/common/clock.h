@@ -1,0 +1,80 @@
+// Timing utilities.
+//
+// PausableTimer implements the paper's ITA instrumentation (§5): "we
+// consider the operations of inserting an element to a heap or removing an
+// element from a heap as being done in zero time (i.e., we pause our time
+// measure during these operations)". TA wraps every heap operation in
+// Pause()/Resume(); elapsed-without-paused time is the ITA time.
+#ifndef TREX_COMMON_CLOCK_H_
+#define TREX_COMMON_CLOCK_H_
+
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+
+namespace trex {
+
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowNanos()) {}
+  void Restart() { start_ = NowNanos(); }
+  int64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  int64_t start_;
+};
+
+// A stopwatch whose accumulated time can exclude marked intervals.
+class PausableTimer {
+ public:
+  PausableTimer() = default;
+
+  void Start() {
+    start_ = NowNanos();
+    paused_total_ = 0;
+    running_ = true;
+  }
+
+  void Pause() {
+    assert(running_ && pause_start_ < 0);
+    pause_start_ = NowNanos();
+  }
+
+  void Resume() {
+    assert(pause_start_ >= 0);
+    paused_total_ += NowNanos() - pause_start_;
+    pause_start_ = -1;
+  }
+
+  void Stop() {
+    assert(pause_start_ < 0);
+    stop_ = NowNanos();
+    running_ = false;
+  }
+
+  // Full wall-clock time between Start() and Stop().
+  int64_t WallNanos() const { return stop_ - start_; }
+  // Wall time minus paused intervals (the "ideal" time).
+  int64_t ActiveNanos() const { return WallNanos() - paused_total_; }
+  int64_t PausedNanos() const { return paused_total_; }
+
+ private:
+  int64_t start_ = 0;
+  int64_t stop_ = 0;
+  int64_t paused_total_ = 0;
+  int64_t pause_start_ = -1;
+  bool running_ = false;
+};
+
+}  // namespace trex
+
+#endif  // TREX_COMMON_CLOCK_H_

@@ -1,0 +1,177 @@
+#include "common/coding.h"
+
+#include <cstring>
+
+namespace trex {
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  buf[0] = static_cast<char>(value & 0xff);
+  buf[1] = static_cast<char>((value >> 8) & 0xff);
+  buf[2] = static_cast<char>((value >> 16) & 0xff);
+  buf[3] = static_cast<char>((value >> 24) & 0xff);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  dst->append(buf, 8);
+}
+
+uint32_t DecodeFixed32(const char* ptr) {
+  const auto* p = reinterpret_cast<const unsigned char*>(ptr);
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t DecodeFixed64(const char* ptr) {
+  const auto* p = reinterpret_cast<const unsigned char*>(ptr);
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  unsigned char buf[5];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value) | 0x80;
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  unsigned char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value) | 0x80;
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  uint64_t result = 0;
+  for (uint32_t shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    uint64_t byte = static_cast<unsigned char>((*input)[0]);
+    input->RemovePrefix(1);
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetVarint32(Slice* input, uint32_t* value) {
+  uint64_t v64 = 0;
+  if (!GetVarint64(input, &v64) || v64 > UINT32_MAX) return false;
+  *value = static_cast<uint32_t>(v64);
+  return true;
+}
+
+void PutLengthPrefixed(std::string* dst, const Slice& value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+bool GetLengthPrefixed(Slice* input, Slice* result) {
+  uint64_t len = 0;
+  if (!GetVarint64(input, &len)) return false;
+  if (input->size() < len) return false;
+  *result = Slice(input->data(), static_cast<size_t>(len));
+  input->RemovePrefix(static_cast<size_t>(len));
+  return true;
+}
+
+void PutBigEndian32(std::string* dst, uint32_t value) {
+  char buf[4];
+  buf[0] = static_cast<char>((value >> 24) & 0xff);
+  buf[1] = static_cast<char>((value >> 16) & 0xff);
+  buf[2] = static_cast<char>((value >> 8) & 0xff);
+  buf[3] = static_cast<char>(value & 0xff);
+  dst->append(buf, 4);
+}
+
+void PutBigEndian64(std::string* dst, uint64_t value) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((value >> (8 * (7 - i))) & 0xff);
+  }
+  dst->append(buf, 8);
+}
+
+uint32_t DecodeBigEndian32(const char* ptr) {
+  const auto* p = reinterpret_cast<const unsigned char*>(ptr);
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+uint64_t DecodeBigEndian64(const char* ptr) {
+  const auto* p = reinterpret_cast<const unsigned char*>(ptr);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+namespace {
+// Order-preserving bijection between non-negative finite floats and
+// uint32: the IEEE-754 bit pattern of a non-negative float is already
+// monotone in the float's value.
+uint32_t FloatToOrderedBits(float score) {
+  uint32_t bits;
+  std::memcpy(&bits, &score, sizeof(bits));
+  return bits;
+}
+float OrderedBitsToFloat(uint32_t bits) {
+  float score;
+  std::memcpy(&score, &bits, sizeof(score));
+  return score;
+}
+}  // namespace
+
+void PutDescendingScore(std::string* dst, float score) {
+  PutBigEndian32(dst, ~FloatToOrderedBits(score));
+}
+
+float DecodeDescendingScore(const char* ptr) {
+  return OrderedBitsToFloat(~DecodeBigEndian32(ptr));
+}
+
+void PutAscendingScore(std::string* dst, float score) {
+  PutBigEndian32(dst, FloatToOrderedBits(score));
+}
+
+float DecodeAscendingScore(const char* ptr) {
+  return OrderedBitsToFloat(DecodeBigEndian32(ptr));
+}
+
+void PutFloat(std::string* dst, float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutFixed32(dst, bits);
+}
+
+float DecodeFloat(const char* ptr) {
+  uint32_t bits = DecodeFixed32(ptr);
+  float value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace trex

@@ -1,0 +1,67 @@
+// Binary encodings used by the storage layer and the index tables.
+//
+// Two families:
+//  * Varint / fixed little-endian codecs for values (compact, fast).
+//  * Order-preserving big-endian codecs for composite B+-tree keys: if
+//    a < b as integers then Encode(a) < Encode(b) as byte strings, so the
+//    paper's "an index on the primary key provides sequential access to
+//    the tuples" holds with plain lexicographic key comparison.
+//  * EncodeDescendingScore maps a non-negative float score to a 4-byte key
+//    fragment whose ascending byte order equals *descending* score order —
+//    this is the `ir` field of the RPLs table (§2.2).
+#ifndef TREX_COMMON_CODING_H_
+#define TREX_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace trex {
+
+// ---------------------------------------------------------------------------
+// Little-endian fixed-width (for values).
+// ---------------------------------------------------------------------------
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+uint32_t DecodeFixed32(const char* ptr);
+uint64_t DecodeFixed64(const char* ptr);
+
+// ---------------------------------------------------------------------------
+// Varint (LEB128) for compact values.
+// ---------------------------------------------------------------------------
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+// Advance *input past the varint. Returns false on truncated input.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+
+// Length-prefixed byte strings.
+void PutLengthPrefixed(std::string* dst, const Slice& value);
+bool GetLengthPrefixed(Slice* input, Slice* result);
+
+// ---------------------------------------------------------------------------
+// Order-preserving big-endian (for keys).
+// ---------------------------------------------------------------------------
+void PutBigEndian32(std::string* dst, uint32_t value);
+void PutBigEndian64(std::string* dst, uint64_t value);
+uint32_t DecodeBigEndian32(const char* ptr);
+uint64_t DecodeBigEndian64(const char* ptr);
+
+// Float score -> 4 key bytes whose ascending order is descending score
+// order. Requires score >= 0 (relevance scores are non-negative).
+void PutDescendingScore(std::string* dst, float score);
+float DecodeDescendingScore(const char* ptr);
+
+// Float score -> 4 key bytes whose ascending order is ascending score order.
+void PutAscendingScore(std::string* dst, float score);
+float DecodeAscendingScore(const char* ptr);
+
+// Raw float in a value (little-endian bit pattern).
+void PutFloat(std::string* dst, float value);
+float DecodeFloat(const char* ptr);
+
+}  // namespace trex
+
+#endif  // TREX_COMMON_CODING_H_

@@ -1,0 +1,106 @@
+// Deterministic pseudo-random utilities for corpus generation and tests.
+//
+// xoshiro256** generator (public-domain algorithm by Blackman & Vigna)
+// plus a Zipf-distributed sampler used by the synthetic vocabulary.
+// Everything is seeded explicitly; there is no global RNG state, so
+// corpus generation is reproducible across runs and platforms.
+#ifndef TREX_COMMON_RNG_H_
+#define TREX_COMMON_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace trex {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into the 4-word state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  // Uniform in [lo, hi].
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    assert(lo <= hi);
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+// Samples ranks 0..n-1 with P(rank i) proportional to 1/(i+1)^theta,
+// via a precomputed cumulative table and binary search. O(log n) per draw.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double theta) : cdf_(n) {
+    assert(n > 0);
+    double sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_[i] = sum;
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  size_t Sample(Rng* rng) const {
+    double u = rng->NextDouble();
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_COMMON_RNG_H_

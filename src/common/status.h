@@ -1,0 +1,130 @@
+// Status and Result<T>: error propagation without exceptions.
+//
+// TReX follows the common database-engine convention (BerkeleyDB, RocksDB,
+// Arrow) of returning a Status from every fallible operation instead of
+// throwing. Result<T> bundles a Status with a value for functions that
+// produce one.
+#ifndef TREX_COMMON_STATUS_H_
+#define TREX_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace trex {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kCorruption,
+  kInvalidArgument,
+  kIOError,
+  kNotSupported,
+  kAlreadyExists,
+  kOutOfRange,
+};
+
+// Value-semantic error descriptor. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  // "OK" or "<code>: <message>", for logs and test failure output.
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string msg_;
+};
+
+// A Status plus a value. `value()` may only be accessed when `ok()`.
+template <typename T>
+class Result {
+ public:
+  Result(Status s) : status_(std::move(s)) { assert(!status_.ok()); }  // NOLINT
+  Result(T v) : value_(std::move(v)) {}                                // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagate a non-OK Status to the caller.
+#define TREX_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::trex::Status _s = (expr);               \
+    if (!_s.ok()) return _s;                  \
+  } while (0)
+
+// Abort on a non-OK Status; for callers that have no recovery path
+// (tests, examples, benchmark drivers).
+#define TREX_CHECK_OK(expr)                                        \
+  do {                                                             \
+    ::trex::Status _s = (expr);                                    \
+    if (!_s.ok()) {                                                \
+      ::trex::internal_status::DieOnError(_s, __FILE__, __LINE__); \
+    }                                                              \
+  } while (0)
+
+namespace internal_status {
+[[noreturn]] void DieOnError(const Status& s, const char* file, int line);
+}  // namespace internal_status
+
+}  // namespace trex
+
+#endif  // TREX_COMMON_STATUS_H_

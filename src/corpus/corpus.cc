@@ -1,0 +1,46 @@
+#include "corpus/corpus.h"
+
+#include <cstdio>
+
+#include "storage/env.h"
+
+namespace trex {
+
+std::string Corpus::DocumentFileName(DocId docid) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "doc%06u.xml", docid);
+  return buf;
+}
+
+Status WriteCorpusToDir(const DocumentGenerator& generator,
+                        const std::string& dir) {
+  TREX_RETURN_IF_ERROR(Env::CreateDir(dir));
+  const size_t n = generator.num_documents();
+  for (size_t i = 0; i < n; ++i) {
+    DocId docid = static_cast<DocId>(i);
+    TREX_RETURN_IF_ERROR(Env::WriteStringToFile(
+        dir + "/" + Corpus::DocumentFileName(docid),
+        generator.Generate(docid)));
+  }
+  return Env::WriteStringToFile(dir + "/corpus.txt",
+                                "documents " + std::to_string(n) + "\n");
+}
+
+Result<Corpus> Corpus::Open(const std::string& dir) {
+  auto manifest = Env::ReadFileToString(dir + "/corpus.txt");
+  if (!manifest.ok()) return manifest.status();
+  size_t n = 0;
+  if (std::sscanf(manifest.value().c_str(), "documents %zu", &n) != 1) {
+    return Status::Corruption(dir + "/corpus.txt is malformed");
+  }
+  return Corpus(dir, n);
+}
+
+Result<std::string> Corpus::ReadDocument(DocId docid) const {
+  if (docid >= num_documents_) {
+    return Status::InvalidArgument("docid out of range");
+  }
+  return Env::ReadFileToString(dir_ + "/" + DocumentFileName(docid));
+}
+
+}  // namespace trex

@@ -1,0 +1,47 @@
+// Corpus: document generators and the on-disk document store.
+#ifndef TREX_CORPUS_CORPUS_H_
+#define TREX_CORPUS_CORPUS_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "index/types.h"
+
+namespace trex {
+
+// A deterministic source of XML documents: Generate(docid) returns the
+// same document for the same (generator options, docid) on every call,
+// so corpora never need to be stored to be reproducible.
+class DocumentGenerator {
+ public:
+  virtual ~DocumentGenerator() = default;
+  virtual std::string Generate(DocId docid) const = 0;
+  virtual size_t num_documents() const = 0;
+};
+
+// Writes a generator's documents into `dir` as doc<id>.xml files plus a
+// corpus.txt manifest (used by the search-CLI example; benchmarks feed
+// the index builder straight from the generator).
+Status WriteCorpusToDir(const DocumentGenerator& generator,
+                        const std::string& dir);
+
+// A directory of XML documents with a corpus.txt manifest.
+class Corpus {
+ public:
+  static Result<Corpus> Open(const std::string& dir);
+
+  size_t num_documents() const { return num_documents_; }
+  Result<std::string> ReadDocument(DocId docid) const;
+  static std::string DocumentFileName(DocId docid);
+
+ private:
+  Corpus(std::string dir, size_t n) : dir_(std::move(dir)), num_documents_(n) {}
+
+  std::string dir_;
+  size_t num_documents_ = 0;
+};
+
+}  // namespace trex
+
+#endif  // TREX_CORPUS_CORPUS_H_

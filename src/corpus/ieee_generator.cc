@@ -1,0 +1,190 @@
+#include "corpus/ieee_generator.h"
+
+#include <algorithm>
+
+#include "xml/writer.h"
+
+namespace trex {
+
+std::vector<PlantedTerm> DefaultIeeePlantedTerms() {
+  // Keywords of the five IEEE queries in Table 1. doc/token probabilities
+  // shape posting-list volumes: Q233's "synthesizers" is rare (small
+  // lists, TA & Merge both tiny); Q270's "introduction information
+  // retrieval" is frequent (huge lists, TA heap costs explode).
+  return {
+      {"ontologies", 0.06, 0.015},    // Q202
+      {"ontology", 0.06, 0.010},      // Q202 (stems with "ontologies")
+      {"case", 0.20, 0.012},          // Q202
+      {"study", 0.20, 0.012},         // Q202
+      {"code", 0.12, 0.015},          // Q203
+      {"signing", 0.015, 0.012},      // Q203 (rare)
+      {"verification", 0.05, 0.012},  // Q203
+      {"synthesizers", 0.010, 0.015}, // Q233 (very rare)
+      {"music", 0.03, 0.015},         // Q233
+      {"model", 0.22, 0.015},         // Q260
+      {"checking", 0.10, 0.010},      // Q260
+      {"state", 0.25, 0.012},         // Q260
+      {"space", 0.18, 0.012},         // Q260
+      {"explosion", 0.02, 0.010},     // Q260 (rare)
+      {"introduction", 0.35, 0.015},  // Q270 (frequent)
+      {"information", 0.40, 0.020},   // Q270 (frequent)
+      {"retrieval", 0.10, 0.015},     // Q270
+      {"xml", 0.08, 0.015},           // Example 1.1
+      {"query", 0.12, 0.012},         // Example 1.1
+      {"evaluation", 0.10, 0.012},    // Example 1.1
+  };
+}
+
+IeeeGenerator::IeeeGenerator(IeeeGeneratorOptions options)
+    : options_(std::move(options)),
+      vocab_(options_.vocabulary_size, options_.zipf_theta) {
+  if (options_.planted.empty()) {
+    options_.planted = DefaultIeeePlantedTerms();
+  }
+}
+
+std::string IeeeGenerator::Generate(DocId docid) const {
+  // Independent deterministic stream per document.
+  Rng rng(options_.seed * 0x9e3779b97f4a7c15ULL + docid + 1);
+
+  // Document-level topics.
+  std::vector<const PlantedTerm*> doc_topics;
+  for (const PlantedTerm& t : options_.planted) {
+    if (rng.Bernoulli(t.doc_probability)) doc_topics.push_back(&t);
+  }
+  // Sections keep a random ~70% subset of the document topics, which
+  // creates the article-about-X / section-about-Y correlation the nested
+  // about() queries rely on.
+  auto section_topics = [&]() {
+    std::vector<const PlantedTerm*> out;
+    for (const PlantedTerm* t : doc_topics) {
+      if (rng.Bernoulli(0.7)) out.push_back(t);
+    }
+    return out;
+  };
+
+  const double f = options_.size_factor;
+  auto scaled = [&](uint64_t lo, uint64_t hi) {
+    return static_cast<size_t>(
+        static_cast<double>(rng.UniformRange(lo, hi)) * f + 0.5);
+  };
+
+  XmlWriter w;
+  w.StartElement("books");
+  w.StartElement("journal");
+  w.StartElement("title");
+  w.Text(GenerateText(vocab_, {}, 4, &rng));
+  w.EndElement();  // title
+  w.StartElement("article");
+  w.Attribute("id", "a" + std::to_string(docid));
+
+  // Front matter.
+  w.StartElement("fm");
+  w.StartElement("atl");  // Aliased to "title".
+  w.Text(GenerateText(vocab_, doc_topics, 8, &rng));
+  w.EndElement();
+  w.StartElement("abs");
+  w.Text(GenerateText(vocab_, doc_topics, scaled(20, 60), &rng));
+  w.EndElement();
+  w.StartElement("au");
+  w.Text(GenerateText(vocab_, {}, 2, &rng));
+  w.EndElement();
+  w.EndElement();  // fm
+
+  // Body.
+  static const char* const kSectionTags[] = {"sec", "ss1", "ss2"};
+  static const char* const kParaTags[] = {"p", "ip1"};
+  w.StartElement("bdy");
+  size_t num_sections = std::max<size_t>(1, scaled(3, 8));
+  for (size_t s = 0; s < num_sections; ++s) {
+    std::vector<const PlantedTerm*> topics = section_topics();
+    const char* tag = kSectionTags[rng.Uniform(3)];
+    w.StartElement(tag);
+    w.StartElement("st");  // Section title; aliased to "title".
+    w.Text(GenerateText(vocab_, topics, 5, &rng));
+    w.EndElement();
+    size_t num_paras = std::max<size_t>(1, scaled(2, 6));
+    for (size_t p = 0; p < num_paras; ++p) {
+      w.StartElement(kParaTags[rng.Uniform(2)]);
+      w.Text(GenerateText(vocab_, topics, scaled(30, 90), &rng));
+      w.EndElement();
+    }
+    if (rng.Bernoulli(0.3)) {
+      w.StartElement("fig");
+      w.StartElement("fgc");  // Aliased to "figure".
+      w.Text(GenerateText(vocab_, topics, scaled(6, 15), &rng));
+      w.EndElement();
+      w.EndElement();
+    }
+    // Occasional nested subsections (recursive structure enriches the
+    // incoming summary, as in the real collection, and multiplies the
+    // sids of //article//sec and //bdy//* queries).
+    if (rng.Bernoulli(0.4)) {
+      std::vector<const PlantedTerm*> sub = section_topics();
+      w.StartElement(kSectionTags[rng.Uniform(3)]);
+      w.StartElement("st");
+      w.Text(GenerateText(vocab_, sub, 4, &rng));
+      w.EndElement();
+      w.StartElement(kParaTags[rng.Uniform(2)]);
+      w.Text(GenerateText(vocab_, sub, scaled(25, 70), &rng));
+      w.EndElement();
+      if (rng.Bernoulli(0.3)) {  // Second nesting level.
+        w.StartElement(kSectionTags[rng.Uniform(3)]);
+        w.StartElement("st");
+        w.Text(GenerateText(vocab_, sub, 3, &rng));
+        w.EndElement();
+        w.StartElement(kParaTags[rng.Uniform(2)]);
+        w.Text(GenerateText(vocab_, sub, scaled(20, 50), &rng));
+        w.EndElement();
+        if (rng.Bernoulli(0.25)) {
+          w.StartElement("fig");
+          w.StartElement("fgc");
+          w.Text(GenerateText(vocab_, sub, scaled(5, 12), &rng));
+          w.EndElement();
+          w.EndElement();
+        }
+        w.EndElement();
+      }
+      w.EndElement();
+    }
+    // Occasional itemized list (more leaf-path diversity for //bdy//*).
+    if (rng.Bernoulli(0.25)) {
+      w.StartElement("list");
+      size_t items = scaled(2, 5);
+      for (size_t it = 0; it < std::max<size_t>(1, items); ++it) {
+        w.StartElement("item");
+        w.Text(GenerateText(vocab_, topics, scaled(8, 20), &rng));
+        w.EndElement();
+      }
+      w.EndElement();
+    }
+    w.EndElement();  // section
+  }
+  w.EndElement();  // bdy
+
+  // Back matter: bibliography.
+  w.StartElement("bm");
+  w.StartElement("bib");
+  w.StartElement("bibl");
+  size_t num_refs = scaled(3, 10);
+  for (size_t r = 0; r < num_refs; ++r) {
+    w.StartElement("bb");
+    w.StartElement("au");
+    w.Text(GenerateText(vocab_, {}, 2, &rng));
+    w.EndElement();
+    w.StartElement("atl");
+    w.Text(GenerateText(vocab_, {}, 6, &rng));
+    w.EndElement();
+    w.EndElement();
+  }
+  w.EndElement();  // bibl
+  w.EndElement();  // bib
+  w.EndElement();  // bm
+
+  w.EndElement();  // article
+  w.EndElement();  // journal
+  w.EndElement();  // books
+  return w.Finish();
+}
+
+}  // namespace trex

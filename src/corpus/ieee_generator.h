@@ -1,0 +1,52 @@
+// IEEE-like collection generator.
+//
+// Mimics the structural shape of the INEX IEEE collection the paper
+// evaluates on: journals containing articles with front matter, a body of
+// (possibly nested) sections under synonymous tags sec/ss1/ss2, paragraph
+// tags p/ip1, figures, and back matter. With the IeeeAliasMap applied,
+// the alias incoming summary collapses the section synonyms exactly as in
+// Figure 1 of the paper.
+//
+// The default planted terms are the keywords of the five IEEE queries in
+// Table 1 (Q202, Q203, Q233, Q260, Q270), with document/token
+// probabilities chosen to reproduce the relative posting-list volumes
+// those queries exhibit (rare "synthesizers" vs frequent "information").
+#ifndef TREX_CORPUS_IEEE_GENERATOR_H_
+#define TREX_CORPUS_IEEE_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "corpus/vocabulary.h"
+
+namespace trex {
+
+struct IeeeGeneratorOptions {
+  uint64_t seed = 42;
+  size_t num_documents = 300;
+  size_t vocabulary_size = 8000;
+  double zipf_theta = 1.0;
+  // Scales every document's size (sections/paragraphs/words).
+  double size_factor = 1.0;
+  std::vector<PlantedTerm> planted;  // Empty -> DefaultIeeePlantedTerms().
+};
+
+std::vector<PlantedTerm> DefaultIeeePlantedTerms();
+
+class IeeeGenerator : public DocumentGenerator {
+ public:
+  explicit IeeeGenerator(IeeeGeneratorOptions options);
+
+  std::string Generate(DocId docid) const override;
+  size_t num_documents() const override { return options_.num_documents; }
+
+ private:
+  IeeeGeneratorOptions options_;
+  Vocabulary vocab_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_CORPUS_IEEE_GENERATOR_H_

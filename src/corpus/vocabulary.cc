@@ -1,0 +1,56 @@
+#include "corpus/vocabulary.h"
+
+namespace trex {
+
+namespace {
+const char* const kSyllables[] = {"ba", "ce", "di", "fo", "gu", "ka", "le",
+                                  "mi", "no", "pu", "ra", "se", "ti", "vo",
+                                  "zu", "xa", "qe", "ji", "hy", "wo"};
+constexpr size_t kNumSyllables = sizeof(kSyllables) / sizeof(kSyllables[0]);
+}  // namespace
+
+std::string Vocabulary::WordForRank(size_t rank) {
+  // Base-20 digit decomposition over syllables; a fixed leading syllable
+  // per digit-count keeps words of different lengths distinct and at
+  // least four letters long (so the Porter stemmer leaves most alone).
+  std::string word;
+  size_t r = rank;
+  do {
+    word = std::string(kSyllables[r % kNumSyllables]) + word;
+    r /= kNumSyllables;
+  } while (r > 0);
+  if (word.size() < 4) word = "na" + word;
+  return word;
+}
+
+Vocabulary::Vocabulary(size_t size, double zipf_theta)
+    : sampler_(size, zipf_theta) {
+  words_.reserve(size);
+  for (size_t i = 0; i < size; ++i) words_.push_back(WordForRank(i));
+}
+
+const std::string& Vocabulary::SampleWord(Rng* rng) const {
+  return words_[sampler_.Sample(rng)];
+}
+
+std::string GenerateText(const Vocabulary& vocab,
+                         const std::vector<const PlantedTerm*>& active_terms,
+                         size_t num_tokens, Rng* rng) {
+  std::string out;
+  out.reserve(num_tokens * 7);
+  for (size_t i = 0; i < num_tokens; ++i) {
+    if (i > 0) out.push_back(' ');
+    const std::string* word = nullptr;
+    for (const PlantedTerm* t : active_terms) {
+      if (rng->Bernoulli(t->token_probability)) {
+        word = &t->word;
+        break;
+      }
+    }
+    if (word == nullptr) word = &vocab.SampleWord(rng);
+    out += *word;
+  }
+  return out;
+}
+
+}  // namespace trex

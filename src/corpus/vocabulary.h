@@ -1,0 +1,58 @@
+// Synthetic vocabulary with Zipfian term frequencies and planted topic
+// terms.
+//
+// The INEX IEEE and Wikipedia collections are not redistributable, so the
+// generators synthesize text whose *statistics* drive the same retrieval
+// behaviour (see DESIGN.md, substitution 1): background words follow a
+// Zipf distribution; a configurable set of planted terms (the paper's
+// query keywords) appears in topic-coherent bursts with controlled
+// document- and token-level probabilities, which controls posting-list
+// and RPL/ERPL sizes — the quantities the §5 experiments pivot on.
+#ifndef TREX_CORPUS_VOCABULARY_H_
+#define TREX_CORPUS_VOCABULARY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace trex {
+
+// A topic keyword planted into generated text.
+struct PlantedTerm {
+  std::string word;
+  // Probability that a given document is "about" this term's topic.
+  double doc_probability = 0.05;
+  // Within an on-topic document, probability that any generated token is
+  // this word.
+  double token_probability = 0.02;
+};
+
+class Vocabulary {
+ public:
+  Vocabulary(size_t size, double zipf_theta);
+
+  // Deterministic pseudo-word for a frequency rank (distinct per rank,
+  // pronounceable syllables, never a stopword).
+  static std::string WordForRank(size_t rank);
+
+  // Samples a background word with Zipfian rank frequency.
+  const std::string& SampleWord(Rng* rng) const;
+
+  size_t size() const { return words_.size(); }
+  const std::string& word(size_t rank) const { return words_[rank]; }
+
+ private:
+  std::vector<std::string> words_;
+  ZipfSampler sampler_;
+};
+
+// Generates one paragraph of `num_tokens` words: background Zipf words
+// interleaved with the active planted terms.
+std::string GenerateText(const Vocabulary& vocab,
+                         const std::vector<const PlantedTerm*>& active_terms,
+                         size_t num_tokens, Rng* rng);
+
+}  // namespace trex
+
+#endif  // TREX_CORPUS_VOCABULARY_H_

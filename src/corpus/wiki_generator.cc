@@ -1,0 +1,113 @@
+#include "corpus/wiki_generator.h"
+
+#include <algorithm>
+
+#include "xml/writer.h"
+
+namespace trex {
+
+std::vector<PlantedTerm> DefaultWikiPlantedTerms() {
+  return {
+      {"genetic", 0.04, 0.015},      // Q290
+      {"algorithm", 0.10, 0.015},    // Q290
+      {"renaissance", 0.015, 0.012}, // Q292 (rare: few answers)
+      {"painting", 0.03, 0.012},     // Q292
+      {"italian", 0.04, 0.010},      // Q292
+      {"flemish", 0.006, 0.010},     // Q292 (very rare)
+      {"french", 0.10, 0.012},       // Q292 (excluded term, frequent)
+      {"german", 0.10, 0.012},       // Q292 (excluded term, frequent)
+  };
+}
+
+WikiGenerator::WikiGenerator(WikiGeneratorOptions options)
+    : options_(std::move(options)),
+      vocab_(options_.vocabulary_size, options_.zipf_theta) {
+  if (options_.planted.empty()) {
+    options_.planted = DefaultWikiPlantedTerms();
+  }
+}
+
+void WikiGenerator::GenerateSection(
+    XmlWriter* w, Rng* rng, const std::vector<const PlantedTerm*>& topics,
+    int depth) const {
+  const double f = options_.size_factor;
+  auto scaled = [&](uint64_t lo, uint64_t hi) {
+    return static_cast<size_t>(
+        static_cast<double>(rng->UniformRange(lo, hi)) * f + 0.5);
+  };
+  w->StartElement(depth == 0 ? "section" : "subsection");
+  w->StartElement("title");
+  w->Text(GenerateText(vocab_, topics, 4, rng));
+  w->EndElement();
+  size_t num_paras = std::max<size_t>(1, scaled(1, 5));
+  for (size_t p = 0; p < num_paras; ++p) {
+    w->StartElement("paragraph");
+    w->Text(GenerateText(vocab_, topics, scaled(25, 80), rng));
+    if (rng->Bernoulli(0.4)) {
+      w->StartElement("link");
+      w->Text(GenerateText(vocab_, topics, 2, rng));
+      w->EndElement();
+      w->Text(" " + GenerateText(vocab_, topics, scaled(5, 20), rng));
+    }
+    w->EndElement();
+  }
+  // Figures appear at several depths, so //article//figure matches many
+  // summary nodes — Q292's "many sids, few answers" profile.
+  if (rng->Bernoulli(0.35)) {
+    w->StartElement("image");  // Aliased to "figure".
+    w->StartElement("caption");
+    w->Text(GenerateText(vocab_, topics, scaled(5, 14), rng));
+    w->EndElement();
+    w->EndElement();
+  }
+  if (depth < 3 && rng->Bernoulli(0.4)) {
+    std::vector<const PlantedTerm*> sub;
+    for (const PlantedTerm* t : topics) {
+      if (rng->Bernoulli(0.7)) sub.push_back(t);
+    }
+    GenerateSection(w, rng, sub, depth + 1);
+  }
+  w->EndElement();  // section / subsection
+}
+
+std::string WikiGenerator::Generate(DocId docid) const {
+  Rng rng(options_.seed * 0xbf58476d1ce4e5b9ULL + docid + 1);
+  std::vector<const PlantedTerm*> doc_topics;
+  for (const PlantedTerm& t : options_.planted) {
+    if (rng.Bernoulli(t.doc_probability)) doc_topics.push_back(&t);
+  }
+  const double f = options_.size_factor;
+  auto scaled = [&](uint64_t lo, uint64_t hi) {
+    return static_cast<size_t>(
+        static_cast<double>(rng.UniformRange(lo, hi)) * f + 0.5);
+  };
+
+  XmlWriter w;
+  w.StartElement("article");
+  w.Attribute("id", "w" + std::to_string(docid));
+  w.StartElement("name");
+  w.Text(GenerateText(vocab_, doc_topics, 3, &rng));
+  w.EndElement();
+  if (rng.Bernoulli(0.5)) {
+    w.StartElement("template");
+    w.Text(GenerateText(vocab_, {}, scaled(3, 10), &rng));
+    w.EndElement();
+  }
+  w.StartElement("body");
+  w.StartElement("paragraph");  // Lead paragraph.
+  w.Text(GenerateText(vocab_, doc_topics, scaled(30, 70), &rng));
+  w.EndElement();
+  size_t num_sections = std::max<size_t>(1, scaled(2, 6));
+  for (size_t s = 0; s < num_sections; ++s) {
+    std::vector<const PlantedTerm*> topics;
+    for (const PlantedTerm* t : doc_topics) {
+      if (rng.Bernoulli(0.7)) topics.push_back(t);
+    }
+    GenerateSection(&w, &rng, topics, 0);
+  }
+  w.EndElement();  // body
+  w.EndElement();  // article
+  return w.Finish();
+}
+
+}  // namespace trex

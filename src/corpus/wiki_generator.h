@@ -1,0 +1,48 @@
+// Wikipedia-like collection generator.
+//
+// Mimics the INEX 2006 Wikipedia collection's shape: flat articles with a
+// body of sections (deeper nesting than IEEE via subsection recursion),
+// templates, links, and figures with captions. The default planted terms
+// are the keywords of the two Wikipedia queries in Table 1 (Q290, Q292),
+// including the '-' excluded terms of Q292.
+#ifndef TREX_CORPUS_WIKI_GENERATOR_H_
+#define TREX_CORPUS_WIKI_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "corpus/vocabulary.h"
+
+namespace trex {
+
+struct WikiGeneratorOptions {
+  uint64_t seed = 43;
+  size_t num_documents = 500;
+  size_t vocabulary_size = 12000;
+  double zipf_theta = 1.0;
+  double size_factor = 1.0;
+  std::vector<PlantedTerm> planted;  // Empty -> DefaultWikiPlantedTerms().
+};
+
+std::vector<PlantedTerm> DefaultWikiPlantedTerms();
+
+class WikiGenerator : public DocumentGenerator {
+ public:
+  explicit WikiGenerator(WikiGeneratorOptions options);
+
+  std::string Generate(DocId docid) const override;
+  size_t num_documents() const override { return options_.num_documents; }
+
+ private:
+  void GenerateSection(class XmlWriter* w, Rng* rng,
+                       const std::vector<const PlantedTerm*>& topics,
+                       int depth) const;
+
+  WikiGeneratorOptions options_;
+  Vocabulary vocab_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_CORPUS_WIKI_GENERATOR_H_

@@ -1,0 +1,84 @@
+#include "index/element_index.h"
+
+#include "common/coding.h"
+
+namespace trex {
+
+Result<std::unique_ptr<ElementIndex>> ElementIndex::Open(
+    const std::string& dir, size_t cache_pages) {
+  auto table = Table::Open(dir, "Elements", cache_pages);
+  if (!table.ok()) return table.status();
+  return std::make_unique<ElementIndex>(std::move(table).value());
+}
+
+std::string ElementIndex::EncodeKey(Sid sid, DocId docid, uint64_t endpos) {
+  std::string key;
+  PutBigEndian32(&key, sid);
+  PutBigEndian32(&key, docid);
+  PutBigEndian64(&key, endpos);
+  return key;
+}
+
+Status ElementIndex::DecodeKey(Slice key, ElementInfo* info) {
+  if (key.size() != 16) {
+    return Status::Corruption("Elements key has wrong size");
+  }
+  info->sid = DecodeBigEndian32(key.data());
+  info->docid = DecodeBigEndian32(key.data() + 4);
+  info->endpos = DecodeBigEndian64(key.data() + 8);
+  return Status::OK();
+}
+
+Status ElementIndex::Add(const ElementInfo& info) {
+  std::string value;
+  PutVarint64(&value, info.length);
+  return table_->Put(EncodeKey(info.sid, info.docid, info.endpos), value);
+}
+
+Status ElementIndex::Get(Sid sid, DocId docid, uint64_t endpos,
+                         ElementInfo* info) {
+  std::string value;
+  TREX_RETURN_IF_ERROR(table_->Get(EncodeKey(sid, docid, endpos), &value));
+  Slice in(value);
+  uint64_t length = 0;
+  if (!GetVarint64(&in, &length)) {
+    return Status::Corruption("Elements value is malformed");
+  }
+  *info = ElementInfo{sid, docid, endpos, length};
+  return Status::OK();
+}
+
+Status ElementIndex::Loader::Add(const ElementInfo& info) {
+  std::string value;
+  PutVarint64(&value, info.length);
+  return bulk_.Add(ElementIndex::EncodeKey(info.sid, info.docid, info.endpos),
+                   value);
+}
+
+Result<ElementInfo> ElementIndex::ExtentIterator::CurrentOrDummy() {
+  if (!it_.Valid()) return kDummyElement;
+  ElementInfo info;
+  TREX_RETURN_IF_ERROR(DecodeKey(it_.key(), &info));
+  if (info.sid != sid_) return kDummyElement;  // Walked past the extent.
+  Slice in(it_.value());
+  if (!GetVarint64(&in, &info.length)) {
+    return Status::Corruption("Elements value is malformed");
+  }
+  return info;
+}
+
+Result<ElementInfo> ElementIndex::ExtentIterator::FirstElement() {
+  TREX_RETURN_IF_ERROR(it_.Seek(EncodeKey(sid_, 0, 0)));
+  return CurrentOrDummy();
+}
+
+Result<ElementInfo> ElementIndex::ExtentIterator::NextElementAfter(
+    const Position& p) {
+  // Nothing exceeds m-pos (ERA's final sweep passes it in here).
+  if (p == kMaxPosition) return kDummyElement;
+  // Lowest end position strictly greater than p: lower_bound of p+1.
+  TREX_RETURN_IF_ERROR(it_.Seek(EncodeKey(sid_, p.docid, p.offset + 1)));
+  return CurrentOrDummy();
+}
+
+}  // namespace trex

@@ -1,0 +1,82 @@
+// The Elements table: Elements(SID, docid, endpos, length) (§2.2).
+//
+// Key   = BE32(sid) . BE32(docid) . BE64(endpos)   (primary-key order)
+// Value = varint(length)
+//
+// ExtentIterator implements the per-sid iterator ERA uses (§3.2):
+// FirstElement() and NextElementAfter(p), each a B+-tree seek; when the
+// extent is exhausted a dummy element with end position m-pos is
+// returned, exactly as in the paper's pseudocode.
+#ifndef TREX_INDEX_ELEMENT_INDEX_H_
+#define TREX_INDEX_ELEMENT_INDEX_H_
+
+#include <memory>
+#include <string>
+
+#include "index/types.h"
+#include "storage/table.h"
+
+namespace trex {
+
+class ElementIndex {
+ public:
+  explicit ElementIndex(std::unique_ptr<Table> table)
+      : table_(std::move(table)) {}
+
+  static Result<std::unique_ptr<ElementIndex>> Open(const std::string& dir,
+                                                    size_t cache_pages = 1024);
+
+  // Key codec (exposed for tests).
+  static std::string EncodeKey(Sid sid, DocId docid, uint64_t endpos);
+  static Status DecodeKey(Slice key, ElementInfo* info);  // Fills all but length.
+
+  // Single insert (tools/tests); bulk ingestion goes through Loader.
+  Status Add(const ElementInfo& info);
+
+  // Looks up the length of element (sid, docid, endpos).
+  Status Get(Sid sid, DocId docid, uint64_t endpos, ElementInfo* info);
+
+  // Sorted bulk load. Entries must arrive ordered by (sid, docid, endpos).
+  class Loader {
+   public:
+    explicit Loader(ElementIndex* index)
+        : bulk_(index->table_->tree()) {}
+    Status Add(const ElementInfo& info);
+    Status Finish() { return bulk_.Finish(); }
+
+   private:
+    BPTree::BulkLoader bulk_;
+  };
+
+  // ERA's per-sid iterator (Figure 2).
+  class ExtentIterator {
+   public:
+    ExtentIterator(ElementIndex* index, Sid sid)
+        : index_(index), sid_(sid), it_(index->table_->tree()) {}
+
+    // First element (in end-position order) of the extent, or the dummy
+    // element if the extent is empty.
+    Result<ElementInfo> FirstElement();
+    // Element with the lowest end position strictly greater than `p`
+    // in the extent, or the dummy element.
+    Result<ElementInfo> NextElementAfter(const Position& p);
+
+   private:
+    Result<ElementInfo> CurrentOrDummy();
+
+    ElementIndex* index_;
+    Sid sid_;
+    BPTree::Iterator it_;
+  };
+
+  uint64_t row_count() const { return table_->row_count(); }
+  uint64_t SizeBytes() const { return table_->SizeBytes(); }
+  Table* table() { return table_.get(); }
+
+ private:
+  std::unique_ptr<Table> table_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_INDEX_ELEMENT_INDEX_H_

@@ -1,0 +1,110 @@
+#include "index/erpl.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace trex {
+
+namespace {
+constexpr size_t kBlockBudget = 800;
+}  // namespace
+
+Result<std::unique_ptr<ErplStore>> ErplStore::Open(const std::string& dir,
+                                                   size_t cache_pages) {
+  auto table = Table::Open(dir, "ERPLs", cache_pages);
+  if (!table.ok()) return table.status();
+  return std::make_unique<ErplStore>(std::move(table).value());
+}
+
+std::string ErplStore::KeyPrefix(const std::string& term, Sid sid) {
+  std::string key;
+  TREX_CHECK_OK(AppendTokenComponent(&key, term));
+  PutBigEndian32(&key, sid);
+  return key;
+}
+
+Status ErplStore::WriteList(const std::string& term, Sid sid,
+                            std::vector<ScoredEntry> entries,
+                            uint64_t* bytes_written) {
+  std::sort(entries.begin(), entries.end(),
+            [](const ScoredEntry& a, const ScoredEntry& b) {
+              return a.end_position() < b.end_position();
+            });
+  uint64_t written = 0;
+  size_t i = 0;
+  while (i < entries.size()) {
+    std::vector<ScoredEntry> block;
+    size_t budget = 0;
+    while (i < entries.size() && budget + 26 <= kBlockBudget) {
+      block.push_back(entries[i]);
+      budget += 26;
+      ++i;
+    }
+    std::string key = KeyPrefix(term, sid);
+    PutBigEndian32(&key, block.front().docid);
+    PutBigEndian64(&key, block.front().endpos);
+    std::string value;
+    EncodeScoredBlock(block, &value);
+    TREX_RETURN_IF_ERROR(table_->Put(key, value));
+    written += key.size() + value.size();
+  }
+  *bytes_written = written;
+  return Status::OK();
+}
+
+Status ErplStore::DeleteList(const std::string& term, Sid sid) {
+  std::string prefix = KeyPrefix(term, sid);
+  std::vector<std::string> keys;
+  {
+    BPTree::Iterator it = table_->NewIterator();
+    TREX_RETURN_IF_ERROR(it.Seek(prefix));
+    while (it.Valid() && it.key().StartsWith(prefix)) {
+      keys.push_back(it.key().ToString());
+      TREX_RETURN_IF_ERROR(it.Next());
+    }
+  }
+  for (const std::string& key : keys) {
+    TREX_RETURN_IF_ERROR(table_->Delete(key));
+  }
+  return Status::OK();
+}
+
+ErplStore::Iterator::Iterator(ErplStore* store, const std::string& term,
+                              Sid sid)
+    : store_(store),
+      prefix_(KeyPrefix(term, sid)),
+      it_(store->table_->tree()) {}
+
+Status ErplStore::Iterator::LoadBlock() {
+  if (!it_.Valid() || !it_.key().StartsWith(prefix_)) {
+    exhausted_ = true;
+    valid_ = false;
+    return Status::OK();
+  }
+  TREX_RETURN_IF_ERROR(DecodeScoredBlock(it_.value(), &block_));
+  next_in_block_ = 0;
+  return it_.Next();
+}
+
+Status ErplStore::Iterator::Init() {
+  TREX_RETURN_IF_ERROR(it_.Seek(prefix_));
+  TREX_RETURN_IF_ERROR(LoadBlock());
+  return Next();
+}
+
+Status ErplStore::Iterator::Next() {
+  while (!exhausted_ && next_in_block_ >= block_.size()) {
+    TREX_RETURN_IF_ERROR(LoadBlock());
+  }
+  if (exhausted_) {
+    valid_ = false;
+    return Status::OK();
+  }
+  entry_ = block_[next_in_block_++];
+  valid_ = true;
+  ++entries_read_;
+  return Status::OK();
+}
+
+}  // namespace trex

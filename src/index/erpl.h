@@ -1,0 +1,73 @@
+// ERPLs: element-relevance posting lists (§2.2).
+//
+// Same content as an RPL but "sorted by position" — the order the Merge
+// algorithm consumes. Key layout:
+//
+// Key   = token . 0x00 . BE32(sid) . BE32(docid) . BE64(endpos)
+// Value = same scored block codec as RPLs (see rpl.h)
+#ifndef TREX_INDEX_ERPL_H_
+#define TREX_INDEX_ERPL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/rpl.h"
+#include "index/types.h"
+#include "storage/table.h"
+
+namespace trex {
+
+class ErplStore {
+ public:
+  explicit ErplStore(std::unique_ptr<Table> table)
+      : table_(std::move(table)) {}
+
+  static Result<std::unique_ptr<ErplStore>> Open(const std::string& dir,
+                                                 size_t cache_pages = 1024);
+
+  // Writes the full ERPL for (term, sid); entries are sorted internally
+  // by ascending end position. Returns bytes written via *bytes_written.
+  Status WriteList(const std::string& term, Sid sid,
+                   std::vector<ScoredEntry> entries, uint64_t* bytes_written);
+
+  Status DeleteList(const std::string& term, Sid sid);
+
+  // Iterates the ERPL of (term, sid) in ascending (docid, endpos) order.
+  class Iterator {
+   public:
+    Iterator(ErplStore* store, const std::string& term, Sid sid);
+
+    Status Init();
+    bool Valid() const { return valid_; }
+    const ScoredEntry& entry() const { return entry_; }
+    Status Next();
+    uint64_t entries_read() const { return entries_read_; }
+
+   private:
+    Status LoadBlock();
+
+    ErplStore* store_;
+    std::string prefix_;
+    BPTree::Iterator it_;
+    std::vector<ScoredEntry> block_;
+    size_t next_in_block_ = 0;
+    bool valid_ = false;
+    bool exhausted_ = false;
+    ScoredEntry entry_;
+    uint64_t entries_read_ = 0;
+  };
+
+  uint64_t SizeBytes() const { return table_->SizeBytes(); }
+  Table* table() { return table_.get(); }
+  Status Flush() { return table_->Flush(); }
+
+  static std::string KeyPrefix(const std::string& term, Sid sid);
+
+ private:
+  std::unique_ptr<Table> table_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_INDEX_ERPL_H_

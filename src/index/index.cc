@@ -1,0 +1,331 @@
+#include "index/index.h"
+
+#include <sstream>
+
+#include "common/coding.h"
+#include "storage/env.h"
+
+namespace trex {
+
+Result<std::unique_ptr<Index>> Index::Open(const std::string& dir,
+                                           size_t cache_pages) {
+  std::unique_ptr<Index> index(new Index());
+  index->dir_ = dir;
+
+  auto manifest = Env::ReadFileToString(dir + "/manifest.txt");
+  if (!manifest.ok()) return manifest.status();
+  std::istringstream in(manifest.value());
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "trex-index" || version != 1) {
+    return Status::Corruption(dir + ": not a TReX index (bad manifest)");
+  }
+  TokenizerOptions tok;
+  std::string key;
+  while (in >> key) {
+    if (key == "summary_kind") {
+      std::string kind;
+      in >> kind;  // Redundant with summary.txt; validated there.
+    } else if (key == "num_documents") {
+      in >> index->stats_.num_documents;
+      if (index->stats_.num_documents > 0) {
+        index->max_docid_ =
+            static_cast<DocId>(index->stats_.num_documents - 1);
+      }
+    } else if (key == "max_docid") {
+      in >> index->max_docid_;
+    } else if (key == "num_elements") {
+      in >> index->stats_.num_elements;
+    } else if (key == "avg_element_length") {
+      in >> index->stats_.avg_element_length;
+    } else if (key == "tokenizer_stem") {
+      int v;
+      in >> v;
+      tok.stem = v != 0;
+    } else if (key == "tokenizer_stopwords") {
+      int v;
+      in >> v;
+      tok.remove_stopwords = v != 0;
+    } else if (key == "tokenizer_min_len") {
+      in >> tok.min_token_length;
+    } else if (key == "tokenizer_max_len") {
+      in >> tok.max_token_length;
+    } else if (key == "bm25_k1") {
+      in >> index->bm25_.k1;
+    } else if (key == "bm25_b") {
+      in >> index->bm25_.b;
+    } else {
+      std::string skip;
+      in >> skip;  // Forward compatibility: ignore unknown keys.
+    }
+  }
+  index->tokenizer_ = Tokenizer(tok);
+
+  auto summary_text = Env::ReadFileToString(dir + "/summary.txt");
+  if (!summary_text.ok()) return summary_text.status();
+  auto summary = Summary::Deserialize(summary_text.value());
+  if (!summary.ok()) return summary.status();
+  index->summary_ =
+      std::make_unique<Summary>(std::move(summary).value());
+
+  auto alias_text = Env::ReadFileToString(dir + "/alias.txt");
+  if (!alias_text.ok()) return alias_text.status();
+  index->aliases_ = AliasMap::Deserialize(alias_text.value());
+
+  auto elements = ElementIndex::Open(dir, cache_pages);
+  if (!elements.ok()) return elements.status();
+  index->elements_ = std::move(elements).value();
+
+  auto postings = PostingLists::Open(dir, cache_pages);
+  if (!postings.ok()) return postings.status();
+  index->postings_ = std::move(postings).value();
+
+  auto rpls = RplStore::Open(dir, cache_pages);
+  if (!rpls.ok()) return rpls.status();
+  index->rpls_ = std::move(rpls).value();
+
+  auto erpls = ErplStore::Open(dir, cache_pages);
+  if (!erpls.ok()) return erpls.status();
+  index->erpls_ = std::move(erpls).value();
+
+  auto catalog = IndexCatalog::Open(dir);
+  if (!catalog.ok()) return catalog.status();
+  index->catalog_ = std::move(catalog).value();
+
+  return index;
+}
+
+Status Index::Verify() {
+  // --- Elements table ---
+  std::vector<uint64_t> extent_counts(summary_->size(), 0);
+  {
+    BPTree::Iterator it(elements_->table()->tree());
+    TREX_RETURN_IF_ERROR(it.SeekToFirst());
+    std::string prev_key;
+    ElementInfo prev{};
+    bool have_prev = false;
+    while (it.Valid()) {
+      ElementInfo info;
+      TREX_RETURN_IF_ERROR(ElementIndex::DecodeKey(it.key(), &info));
+      Slice value = it.value();
+      if (!GetVarint64(&value, &info.length) || !value.empty()) {
+        return Status::Corruption("Elements: malformed value");
+      }
+      if (!summary_->IsValidSid(info.sid) || info.sid == kRootSid) {
+        return Status::Corruption("Elements: unknown sid " +
+                                  std::to_string(info.sid));
+      }
+      if (info.length > info.endpos) {
+        return Status::Corruption("Elements: length exceeds endpos");
+      }
+      ++extent_counts[info.sid];
+      if (have_prev && !(Slice(prev_key).Compare(it.key()) < 0)) {
+        return Status::Corruption("Elements: keys not strictly ascending");
+      }
+      // Per-extent disjointness: within (sid, docid) order, the next
+      // element must start at or after the previous end.
+      if (have_prev && prev.sid == info.sid && prev.docid == info.docid &&
+          info.start() < prev.endpos) {
+        return Status::Corruption(
+            "Elements: overlapping elements in extent " +
+            std::to_string(info.sid) +
+            " (ancestor-disjointness violated)");
+      }
+      prev_key = it.key().ToString();
+      prev = info;
+      have_prev = true;
+      TREX_RETURN_IF_ERROR(it.Next());
+    }
+  }
+  for (size_t sid = 1; sid < summary_->size(); ++sid) {
+    if (extent_counts[sid] != summary_->node(static_cast<Sid>(sid))
+                                  .extent_size) {
+      return Status::Corruption(
+          "summary extent size disagrees with Elements table for sid " +
+          std::to_string(sid));
+    }
+  }
+
+  // --- PostingLists table ---
+  {
+    BPTree::Iterator it(postings_->postings_table()->tree());
+    TREX_RETURN_IF_ERROR(it.SeekToFirst());
+    std::string prev_term;
+    Position prev_pos{};
+    bool in_term = false;
+    bool saw_mpos = true;  // Vacuously true before the first term.
+    while (it.Valid()) {
+      std::vector<Position> fragment;
+      TREX_RETURN_IF_ERROR(
+          PostingLists::DecodeFragment(it.key(), it.value(), &fragment));
+      Slice key = it.key();
+      Slice token;
+      if (!GetTokenComponent(&key, &token)) {
+        return Status::Corruption("PostingLists: malformed key");
+      }
+      std::string term = token.ToString();
+      bool first_in_term = term != prev_term;
+      if (first_in_term) {
+        if (in_term && !saw_mpos) {
+          return Status::Corruption(
+              "PostingLists: list for '" + prev_term +
+              "' does not end with the m-pos sentinel");
+        }
+        prev_term = term;
+        in_term = true;
+        saw_mpos = false;
+      }
+      for (const Position& p : fragment) {
+        if (saw_mpos) {
+          return Status::Corruption(
+              "PostingLists: positions after m-pos in '" + term + "'");
+        }
+        if (p == kMaxPosition) {
+          saw_mpos = true;
+          continue;
+        }
+        if (!first_in_term && !(prev_pos < p)) {
+          return Status::Corruption(
+              "PostingLists: positions not ascending in '" + term + "'");
+        }
+        first_in_term = false;
+        prev_pos = p;
+      }
+      TREX_RETURN_IF_ERROR(it.Next());
+    }
+    if (in_term && !saw_mpos) {
+      return Status::Corruption("PostingLists: final list lacks m-pos");
+    }
+  }
+
+  // --- RPLs: descending scores within each (term, sid) ---
+  {
+    BPTree::Iterator it(rpls_->table()->tree());
+    TREX_RETURN_IF_ERROR(it.SeekToFirst());
+    std::string prev_list;
+    float prev_score = 0;
+    bool have_prev = false;
+    while (it.Valid()) {
+      Slice key = it.key();
+      Slice token;
+      if (!GetTokenComponent(&key, &token) || key.size() < 4) {
+        return Status::Corruption("RPLs: malformed key");
+      }
+      std::string list_id =
+          token.ToString() + "/" + std::to_string(DecodeBigEndian32(key.data()));
+      std::vector<ScoredEntry> block;
+      TREX_RETURN_IF_ERROR(DecodeScoredBlock(it.value(), &block));
+      for (const ScoredEntry& e : block) {
+        if (have_prev && list_id == prev_list && e.score > prev_score) {
+          return Status::Corruption("RPLs: scores not descending in " +
+                                    list_id);
+        }
+        prev_list = list_id;
+        prev_score = e.score;
+        have_prev = true;
+      }
+      TREX_RETURN_IF_ERROR(it.Next());
+    }
+  }
+
+  // --- ERPLs: ascending positions within each (term, sid) ---
+  {
+    BPTree::Iterator it(erpls_->table()->tree());
+    TREX_RETURN_IF_ERROR(it.SeekToFirst());
+    std::string prev_list;
+    Position prev_pos{};
+    bool have_prev = false;
+    while (it.Valid()) {
+      Slice key = it.key();
+      Slice token;
+      if (!GetTokenComponent(&key, &token) || key.size() < 4) {
+        return Status::Corruption("ERPLs: malformed key");
+      }
+      std::string list_id =
+          token.ToString() + "/" + std::to_string(DecodeBigEndian32(key.data()));
+      std::vector<ScoredEntry> block;
+      TREX_RETURN_IF_ERROR(DecodeScoredBlock(it.value(), &block));
+      for (const ScoredEntry& e : block) {
+        if (have_prev && list_id == prev_list &&
+            !(prev_pos < e.end_position())) {
+          return Status::Corruption("ERPLs: positions not ascending in " +
+                                    list_id);
+        }
+        prev_list = list_id;
+        prev_pos = e.end_position();
+        have_prev = true;
+      }
+      TREX_RETURN_IF_ERROR(it.Next());
+    }
+  }
+
+  // --- Catalog parses ---
+  auto entries = catalog_->List();
+  if (!entries.ok()) return entries.status();
+  for (const CatalogEntry& e : entries.value()) {
+    if (e.kind != ListKind::kRpl && e.kind != ListKind::kErpl) {
+      return Status::Corruption("Catalog: unknown list kind");
+    }
+    if (!summary_->IsValidSid(e.sid)) {
+      return Status::Corruption("Catalog: unknown sid");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Index::DebugStats() {
+  std::ostringstream out;
+  out << "Index " << dir_ << "\n";
+  out << "  documents " << stats_.num_documents << ", elements "
+      << stats_.num_elements << ", avg element length "
+      << stats_.avg_element_length << " bytes\n";
+  out << "  summary: " << SummaryKindName(summary_->kind()) << ", "
+      << summary_->num_label_nodes() << " nodes, "
+      << summary_->ancestor_violations() << " ancestor violations\n";
+  out << "  Elements     " << elements_->row_count() << " rows, "
+      << elements_->SizeBytes() << " bytes\n";
+  out << "  PostingLists " << postings_->postings_table()->row_count()
+      << " fragments (" << postings_->num_terms() << " terms), "
+      << postings_->SizeBytes() << " bytes\n";
+  out << "  RPLs         " << rpls_->table()->row_count() << " blocks, "
+      << rpls_->SizeBytes() << " bytes\n";
+  out << "  ERPLs        " << erpls_->table()->row_count() << " blocks, "
+      << erpls_->SizeBytes() << " bytes\n";
+  auto entries = catalog_->List();
+  if (entries.ok()) {
+    out << "  Catalog      " << entries.value().size()
+        << " materialized lists\n";
+  }
+  return out.str();
+}
+
+Status Index::PersistMetadata() {
+  TREX_RETURN_IF_ERROR(
+      Env::WriteStringToFile(dir_ + "/summary.txt", summary_->Serialize()));
+  std::ostringstream manifest;
+  manifest << "trex-index 1\n";
+  manifest << "summary_kind " << SummaryKindName(summary_->kind()) << '\n';
+  manifest << "num_documents " << stats_.num_documents << '\n';
+  manifest << "max_docid " << max_docid_ << '\n';
+  manifest << "num_elements " << stats_.num_elements << '\n';
+  manifest << "avg_element_length " << stats_.avg_element_length << '\n';
+  const TokenizerOptions& tok = tokenizer_.options();
+  manifest << "tokenizer_stem " << (tok.stem ? 1 : 0) << '\n';
+  manifest << "tokenizer_stopwords " << (tok.remove_stopwords ? 1 : 0)
+           << '\n';
+  manifest << "tokenizer_min_len " << tok.min_token_length << '\n';
+  manifest << "tokenizer_max_len " << tok.max_token_length << '\n';
+  manifest << "bm25_k1 " << bm25_.k1 << '\n';
+  manifest << "bm25_b " << bm25_.b << '\n';
+  return Env::WriteStringToFile(dir_ + "/manifest.txt", manifest.str());
+}
+
+Status Index::Flush() {
+  TREX_RETURN_IF_ERROR(elements_->table()->Flush());
+  TREX_RETURN_IF_ERROR(postings_->Flush());
+  TREX_RETURN_IF_ERROR(rpls_->Flush());
+  TREX_RETURN_IF_ERROR(erpls_->Flush());
+  return catalog_->Flush();
+}
+
+}  // namespace trex

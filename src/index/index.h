@@ -1,0 +1,91 @@
+// Index: an opened TReX index directory.
+//
+// Bundles the four tables (Elements, PostingLists, RPLs, ERPLs), the
+// catalog of materialized redundant lists, the structural summary, the
+// alias map, the tokenizer configuration and the scorer — everything the
+// retrieval algorithms and the self-manager need.
+#ifndef TREX_INDEX_INDEX_H_
+#define TREX_INDEX_INDEX_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "index/element_index.h"
+#include "index/erpl.h"
+#include "index/index_catalog.h"
+#include "index/posting_lists.h"
+#include "index/rpl.h"
+#include "summary/alias.h"
+#include "summary/summary.h"
+#include "text/scorer.h"
+#include "text/tokenizer.h"
+
+namespace trex {
+
+class Index {
+ public:
+  // Opens an index previously produced by IndexBuilder::Finish().
+  static Result<std::unique_ptr<Index>> Open(const std::string& dir,
+                                             size_t cache_pages = 2048);
+
+  const std::string& dir() const { return dir_; }
+  const Summary& summary() const { return *summary_; }
+  const AliasMap& aliases() const { return aliases_; }
+  const Tokenizer& tokenizer() const { return tokenizer_; }
+  const CorpusStats& stats() const { return stats_; }
+  const Bm25Params& bm25() const { return bm25_; }
+  Bm25Scorer scorer() const { return Bm25Scorer(bm25_, stats_); }
+
+  ElementIndex* elements() { return elements_.get(); }
+  PostingLists* postings() { return postings_.get(); }
+  RplStore* rpls() { return rpls_.get(); }
+  ErplStore* erpls() { return erpls_.get(); }
+  IndexCatalog* catalog() { return catalog_.get(); }
+
+  Status Flush();
+
+  // Largest docid ever ingested (builder or incremental updates).
+  DocId max_docid() const { return max_docid_; }
+
+  // Verifies the index's structural invariants by scanning every table:
+  //  * Elements keys are well-formed, strictly ascending, use valid sids,
+  //    and per-extent elements are disjoint (the §2.1 requirement that no
+  //    two ancestor-descendant elements share a sid);
+  //  * posting lists are position-sorted per term and end with m-pos;
+  //  * extent sizes recorded in the summary match the Elements table;
+  //  * RPL blocks are score-descending, ERPL blocks position-ascending;
+  //  * every catalog entry's list kind/term/sid parses.
+  // Returns the first violation found as a Corruption status.
+  Status Verify();
+
+  // Human-readable table statistics (row counts and file sizes).
+  std::string DebugStats();
+
+ private:
+  friend class IndexUpdater;
+
+  Index() = default;
+
+  // Updater support: replace the summary and persist summary + manifest
+  // (scoring statistics stay frozen at their built values — see
+  // index/updater.h for the snapshot semantics).
+  Status PersistMetadata();
+
+  std::string dir_;
+  DocId max_docid_ = 0;
+  std::unique_ptr<Summary> summary_;
+  AliasMap aliases_;
+  Tokenizer tokenizer_;
+  CorpusStats stats_;
+  Bm25Params bm25_;
+  std::unique_ptr<ElementIndex> elements_;
+  std::unique_ptr<PostingLists> postings_;
+  std::unique_ptr<RplStore> rpls_;
+  std::unique_ptr<ErplStore> erpls_;
+  std::unique_ptr<IndexCatalog> catalog_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_INDEX_INDEX_H_

@@ -1,0 +1,142 @@
+#include "index/index_builder.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "index/element_index.h"
+#include "index/posting_lists.h"
+#include "storage/env.h"
+#include "xml/reader.h"
+
+namespace trex {
+
+IndexBuilder::IndexBuilder(std::string dir, IndexOptions options)
+    : dir_(std::move(dir)),
+      options_(std::move(options)),
+      summary_builder_(options_.summary_kind,
+                       options_.aliases.empty() ? nullptr : &options_.aliases),
+      tokenizer_(options_.tokenizer) {}
+
+Status IndexBuilder::AddDocument(DocId docid, Slice xml) {
+  if (finished_) {
+    return Status::InvalidArgument("IndexBuilder already finished");
+  }
+  if (any_docs_ && docid <= last_docid_) {
+    return Status::InvalidArgument(
+        "documents must arrive with strictly increasing docids");
+  }
+  XmlReader reader(xml);
+  XmlEvent event;
+  std::vector<uint64_t> start_offsets;
+  std::vector<TokenOccurrence> occurrences;
+  while (true) {
+    TREX_RETURN_IF_ERROR(reader.Next(&event));
+    switch (event.type) {
+      case XmlEventType::kStartElement:
+        summary_builder_.EnterElement(event.name);
+        start_offsets.push_back(event.offset);
+        break;
+      case XmlEventType::kEndElement: {
+        Sid sid = summary_builder_.CurrentSid();
+        summary_builder_.LeaveElement();
+        uint64_t start = start_offsets.back();
+        start_offsets.pop_back();
+        ElementInfo info;
+        info.sid = sid;
+        info.docid = docid;
+        info.endpos = event.offset;
+        info.length = event.offset - start;
+        elements_.push_back(info);
+        total_element_length_ += info.length;
+        break;
+      }
+      case XmlEventType::kText: {
+        occurrences.clear();
+        tokenizer_.Tokenize(event.text, event.offset, &occurrences);
+        for (auto& occ : occurrences) {
+          postings_[occ.term].push_back(Position{docid, occ.offset});
+        }
+        break;
+      }
+      case XmlEventType::kEndDocument:
+        ++stats_.num_documents;
+        last_docid_ = docid;
+        any_docs_ = true;
+        return Status::OK();
+    }
+  }
+}
+
+Status IndexBuilder::Finish() {
+  if (finished_) {
+    return Status::InvalidArgument("IndexBuilder already finished");
+  }
+  finished_ = true;
+
+  stats_.num_elements = elements_.size();
+  stats_.avg_element_length =
+      elements_.empty()
+          ? 1.0
+          : static_cast<double>(total_element_length_) /
+                static_cast<double>(elements_.size());
+
+  TREX_RETURN_IF_ERROR(Env::CreateDir(dir_));
+
+  // Elements table, sorted by (sid, docid, endpos).
+  std::sort(elements_.begin(), elements_.end(),
+            [](const ElementInfo& a, const ElementInfo& b) {
+              if (a.sid != b.sid) return a.sid < b.sid;
+              if (a.docid != b.docid) return a.docid < b.docid;
+              return a.endpos < b.endpos;
+            });
+  {
+    auto element_index = ElementIndex::Open(dir_, options_.cache_pages);
+    if (!element_index.ok()) return element_index.status();
+    ElementIndex::Loader loader(element_index.value().get());
+    for (const ElementInfo& e : elements_) {
+      TREX_RETURN_IF_ERROR(loader.Add(e));
+    }
+    TREX_RETURN_IF_ERROR(loader.Finish());
+  }
+  elements_.clear();
+  elements_.shrink_to_fit();
+
+  // Posting lists (std::map iteration order is the required key order).
+  {
+    auto lists = PostingLists::Open(dir_, options_.cache_pages);
+    if (!lists.ok()) return lists.status();
+    PostingLists::Loader loader(lists.value().get());
+    for (const auto& [term, positions] : postings_) {
+      TREX_RETURN_IF_ERROR(loader.AddTerm(term, positions));
+    }
+    TREX_RETURN_IF_ERROR(loader.Finish());
+  }
+  postings_.clear();
+
+  // Summary + alias map + manifest.
+  Summary summary = summary_builder_.Take();
+  TREX_RETURN_IF_ERROR(
+      Env::WriteStringToFile(dir_ + "/summary.txt", summary.Serialize()));
+  TREX_RETURN_IF_ERROR(Env::WriteStringToFile(dir_ + "/alias.txt",
+                                              options_.aliases.Serialize()));
+  std::ostringstream manifest;
+  manifest << "trex-index 1\n";
+  manifest << "summary_kind " << SummaryKindName(options_.summary_kind)
+           << '\n';
+  manifest << "num_documents " << stats_.num_documents << '\n';
+  manifest << "max_docid " << last_docid_ << '\n';
+  manifest << "num_elements " << stats_.num_elements << '\n';
+  manifest << "avg_element_length " << stats_.avg_element_length << '\n';
+  manifest << "tokenizer_stem " << (options_.tokenizer.stem ? 1 : 0) << '\n';
+  manifest << "tokenizer_stopwords "
+           << (options_.tokenizer.remove_stopwords ? 1 : 0) << '\n';
+  manifest << "tokenizer_min_len " << options_.tokenizer.min_token_length
+           << '\n';
+  manifest << "tokenizer_max_len " << options_.tokenizer.max_token_length
+           << '\n';
+  manifest << "bm25_k1 " << options_.bm25.k1 << '\n';
+  manifest << "bm25_b " << options_.bm25.b << '\n';
+  return Env::WriteStringToFile(dir_ + "/manifest.txt", manifest.str());
+}
+
+}  // namespace trex

@@ -1,0 +1,68 @@
+// IndexBuilder: single-pass corpus ingestion.
+//
+// Feeds every document through the XML reader once, simultaneously
+// building (a) the structural summary (sids assigned on first sight),
+// (b) the Elements table entries, and (c) the in-memory posting lists,
+// then bulk-loads the B+-trees in sorted order and writes the index
+// manifest (summary, alias map, corpus statistics, options). RPLs and
+// ERPLs are NOT built here — they are the redundant indexes §4's
+// self-manager materializes on demand.
+#ifndef TREX_INDEX_INDEX_BUILDER_H_
+#define TREX_INDEX_INDEX_BUILDER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "index/types.h"
+#include "summary/alias.h"
+#include "summary/builder.h"
+#include "text/scorer.h"
+#include "text/tokenizer.h"
+
+namespace trex {
+
+struct IndexOptions {
+  SummaryKind summary_kind = SummaryKind::kIncoming;
+  AliasMap aliases;  // Empty map = no-alias summary.
+  TokenizerOptions tokenizer;
+  Bm25Params bm25;
+  size_t cache_pages = 2048;
+};
+
+class IndexBuilder {
+ public:
+  IndexBuilder(std::string dir, IndexOptions options);
+
+  // Documents must arrive with strictly increasing docids.
+  Status AddDocument(DocId docid, Slice xml);
+
+  // Sorts and bulk-loads all tables, writes manifest + summary files.
+  // The builder is unusable afterwards.
+  Status Finish();
+
+  // Ingestion statistics (valid after Finish()).
+  const CorpusStats& stats() const { return stats_; }
+
+ private:
+  std::string dir_;
+  IndexOptions options_;
+  SummaryBuilder summary_builder_;
+  Tokenizer tokenizer_;
+
+  std::vector<ElementInfo> elements_;
+  // std::map keeps terms sorted for the posting-list bulk load.
+  std::map<std::string, std::vector<Position>> postings_;
+  DocId last_docid_ = 0;
+  bool any_docs_ = false;
+  uint64_t total_element_length_ = 0;
+  CorpusStats stats_;
+  bool finished_ = false;
+};
+
+}  // namespace trex
+
+#endif  // TREX_INDEX_INDEX_BUILDER_H_

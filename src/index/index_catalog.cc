@@ -1,0 +1,88 @@
+#include "index/index_catalog.h"
+
+#include "common/coding.h"
+
+namespace trex {
+
+const char* ListKindName(ListKind kind) {
+  switch (kind) {
+    case ListKind::kRpl:
+      return "RPL";
+    case ListKind::kErpl:
+      return "ERPL";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<IndexCatalog>> IndexCatalog::Open(
+    const std::string& dir) {
+  auto table = Table::Open(dir, "Catalog", /*cache_pages=*/64);
+  if (!table.ok()) return table.status();
+  return std::make_unique<IndexCatalog>(std::move(table).value());
+}
+
+std::string IndexCatalog::EncodeKey(ListKind kind, const std::string& term,
+                                    Sid sid) {
+  std::string key;
+  key.push_back(static_cast<char>(kind));
+  TREX_CHECK_OK(AppendTokenComponent(&key, term));
+  PutBigEndian32(&key, sid);
+  return key;
+}
+
+Status IndexCatalog::Register(ListKind kind, const std::string& term, Sid sid,
+                              uint64_t size_bytes) {
+  std::string value;
+  PutVarint64(&value, size_bytes);
+  return table_->Put(EncodeKey(kind, term, sid), value);
+}
+
+Status IndexCatalog::Unregister(ListKind kind, const std::string& term,
+                                Sid sid) {
+  Status s = table_->Delete(EncodeKey(kind, term, sid));
+  if (s.IsNotFound()) return Status::OK();  // Idempotent.
+  return s;
+}
+
+bool IndexCatalog::Has(ListKind kind, const std::string& term, Sid sid) {
+  std::string value;
+  return table_->Get(EncodeKey(kind, term, sid), &value).ok();
+}
+
+Result<std::vector<CatalogEntry>> IndexCatalog::List() {
+  std::vector<CatalogEntry> out;
+  BPTree::Iterator it = table_->NewIterator();
+  TREX_RETURN_IF_ERROR(it.SeekToFirst());
+  while (it.Valid()) {
+    Slice key = it.key();
+    if (key.size() < 6) {
+      return Status::Corruption("Catalog key is malformed");
+    }
+    CatalogEntry entry;
+    entry.kind = static_cast<ListKind>(key[0]);
+    key.RemovePrefix(1);
+    Slice term;
+    if (!GetTokenComponent(&key, &term) || key.size() != 4) {
+      return Status::Corruption("Catalog key is malformed");
+    }
+    entry.term = term.ToString();
+    entry.sid = DecodeBigEndian32(key.data());
+    Slice value = it.value();
+    if (!GetVarint64(&value, &entry.size_bytes)) {
+      return Status::Corruption("Catalog value is malformed");
+    }
+    out.push_back(std::move(entry));
+    TREX_RETURN_IF_ERROR(it.Next());
+  }
+  return out;
+}
+
+Result<uint64_t> IndexCatalog::TotalSizeBytes() {
+  auto entries = List();
+  if (!entries.ok()) return entries.status();
+  uint64_t total = 0;
+  for (const auto& e : entries.value()) total += e.size_bytes;
+  return total;
+}
+
+}  // namespace trex

@@ -1,0 +1,63 @@
+// IndexCatalog: which redundant (term, sid) lists are materialized.
+//
+// The self-manager (§4) decides per query whether to create RPLs or
+// ERPLs; the catalog is the persistent record of what exists, with the
+// exact disk size of each list, so that (a) the strategy selector knows
+// which retrieval methods are available for a query and (b) the advisor
+// can account space against the disk budget d.
+#ifndef TREX_INDEX_INDEX_CATALOG_H_
+#define TREX_INDEX_INDEX_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/types.h"
+#include "storage/table.h"
+
+namespace trex {
+
+enum class ListKind : uint8_t {
+  kRpl = 1,
+  kErpl = 2,
+};
+
+const char* ListKindName(ListKind kind);
+
+struct CatalogEntry {
+  ListKind kind = ListKind::kRpl;
+  std::string term;
+  Sid sid = kInvalidSid;
+  uint64_t size_bytes = 0;
+};
+
+class IndexCatalog {
+ public:
+  explicit IndexCatalog(std::unique_ptr<Table> table)
+      : table_(std::move(table)) {}
+
+  static Result<std::unique_ptr<IndexCatalog>> Open(const std::string& dir);
+
+  Status Register(ListKind kind, const std::string& term, Sid sid,
+                  uint64_t size_bytes);
+  Status Unregister(ListKind kind, const std::string& term, Sid sid);
+  // True iff the list is materialized.
+  bool Has(ListKind kind, const std::string& term, Sid sid);
+
+  // All entries (ascending key order).
+  Result<std::vector<CatalogEntry>> List();
+  // Sum of the registered list sizes — the advisor's "used disk space".
+  Result<uint64_t> TotalSizeBytes();
+
+  Status Flush() { return table_->Flush(); }
+
+ private:
+  static std::string EncodeKey(ListKind kind, const std::string& term,
+                               Sid sid);
+
+  std::unique_ptr<Table> table_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_INDEX_INDEX_CATALOG_H_

@@ -1,0 +1,215 @@
+#include "index/posting_lists.h"
+
+#include <cassert>
+
+#include "common/coding.h"
+
+namespace trex {
+
+Result<std::unique_ptr<PostingLists>> PostingLists::Open(
+    const std::string& dir, size_t cache_pages) {
+  auto postings = Table::Open(dir, "PostingLists", cache_pages);
+  if (!postings.ok()) return postings.status();
+  auto stats = Table::Open(dir, "TermStats", /*cache_pages=*/128);
+  if (!stats.ok()) return stats.status();
+  return std::make_unique<PostingLists>(std::move(postings).value(),
+                                        std::move(stats).value());
+}
+
+std::string PostingLists::EncodeKey(const std::string& term,
+                                    const Position& first) {
+  std::string key;
+  TREX_CHECK_OK(AppendTokenComponent(&key, term));
+  PutBigEndian32(&key, first.docid);
+  PutBigEndian64(&key, first.offset);
+  return key;
+}
+
+void PostingLists::EncodeFragment(const Position& first,
+                                  const std::vector<Position>& rest,
+                                  std::string* value) {
+  PutVarint32(value, static_cast<uint32_t>(rest.size() + 1));
+  Position prev = first;
+  for (const Position& p : rest) {
+    uint32_t docid_delta = p.docid - prev.docid;
+    PutVarint32(value, docid_delta);
+    if (docid_delta == 0) {
+      PutVarint64(value, p.offset - prev.offset);
+    } else {
+      PutVarint64(value, p.offset);
+    }
+    prev = p;
+  }
+}
+
+Status PostingLists::DecodeFragment(Slice key, Slice value,
+                                    std::vector<Position>* positions) {
+  Slice token;
+  if (!GetTokenComponent(&key, &token) || key.size() != 12) {
+    return Status::Corruption("PostingLists key is malformed");
+  }
+  Position first{DecodeBigEndian32(key.data()),
+                 DecodeBigEndian64(key.data() + 4)};
+  uint32_t count = 0;
+  if (!GetVarint32(&value, &count) || count == 0) {
+    return Status::Corruption("PostingLists fragment has a bad count");
+  }
+  positions->clear();
+  positions->reserve(count);
+  positions->push_back(first);
+  Position prev = first;
+  for (uint32_t i = 1; i < count; ++i) {
+    uint32_t docid_delta = 0;
+    uint64_t off = 0;
+    if (!GetVarint32(&value, &docid_delta) || !GetVarint64(&value, &off)) {
+      return Status::Corruption("PostingLists fragment is truncated");
+    }
+    Position p;
+    p.docid = prev.docid + docid_delta;
+    p.offset = docid_delta == 0 ? prev.offset + off : off;
+    positions->push_back(p);
+    prev = p;
+  }
+  return Status::OK();
+}
+
+Status PostingLists::GetTermStats(const std::string& term, TermStats* stats) {
+  std::string key;
+  TREX_RETURN_IF_ERROR(AppendTokenComponent(&key, term));
+  std::string value;
+  TREX_RETURN_IF_ERROR(stats_->Get(key, &value));
+  Slice in(value);
+  if (!GetVarint64(&in, &stats->doc_freq) ||
+      !GetVarint64(&in, &stats->collection_freq)) {
+    return Status::Corruption("TermStats value is malformed");
+  }
+  return Status::OK();
+}
+
+Status PostingLists::PutTermStats(const std::string& term,
+                                  const TermStats& stats) {
+  std::string key;
+  TREX_RETURN_IF_ERROR(AppendTokenComponent(&key, term));
+  std::string value;
+  PutVarint64(&value, stats.doc_freq);
+  PutVarint64(&value, stats.collection_freq);
+  return stats_->Put(key, value);
+}
+
+Status PostingLists::Flush() {
+  TREX_RETURN_IF_ERROR(postings_->Flush());
+  return stats_->Flush();
+}
+
+// ---------------------------------------------------------------------------
+// Loader
+// ---------------------------------------------------------------------------
+
+PostingLists::Loader::Loader(PostingLists* lists)
+    : lists_(lists),
+      postings_bulk_(lists->postings_->tree()),
+      stats_bulk_(lists->stats_->tree()) {}
+
+Status PostingLists::Loader::AddTerm(const std::string& term,
+                                     const std::vector<Position>& positions) {
+  if (positions.empty()) {
+    return Status::InvalidArgument("term with empty posting list: " + term);
+  }
+  // Compute stats while the list is in hand.
+  TermStats stats;
+  stats.collection_freq = positions.size();
+  DocId prev_doc = UINT32_MAX;
+  for (const Position& p : positions) {
+    if (p.docid != prev_doc) {
+      ++stats.doc_freq;
+      prev_doc = p.docid;
+    }
+  }
+
+  // Emit fragments. The final m-pos sentinel is the last entry of the
+  // last fragment (§2.2). The byte budget is tracked against the real
+  // encoded size, with kPostingFragmentBudget leaving enough slack under
+  // kMaxCellPayload for the key and for the forced final sentinel.
+  size_t i = 0;
+  const size_t n = positions.size();
+  while (i < n) {
+    Position first = positions[i];
+    ++i;
+    std::vector<Position> rest;
+    size_t encoded_bytes = 0;
+    Position prev = first;
+    auto entry_size = [](const Position& prev_p, const Position& p) {
+      std::string tmp;
+      uint32_t d = p.docid - prev_p.docid;
+      PutVarint32(&tmp, d);
+      PutVarint64(&tmp, d == 0 ? p.offset - prev_p.offset : p.offset);
+      return tmp.size();
+    };
+    while (i < n) {
+      size_t sz = entry_size(prev, positions[i]);
+      if (encoded_bytes + sz > kPostingFragmentBudget) break;
+      encoded_bytes += sz;
+      prev = positions[i];
+      rest.push_back(positions[i]);
+      ++i;
+    }
+    if (i == n) {
+      // The sentinel is forced into the last fragment regardless of the
+      // advisory budget; kPostingFragmentBudget + sentinel + key stays under
+      // kMaxCellPayload.
+      rest.push_back(kMaxPosition);
+    }
+    std::string value;
+    EncodeFragment(first, rest, &value);
+    TREX_RETURN_IF_ERROR(postings_bulk_.Add(EncodeKey(term, first), value));
+  }
+
+  std::string stats_key;
+  TREX_RETURN_IF_ERROR(AppendTokenComponent(&stats_key, term));
+  std::string stats_value;
+  PutVarint64(&stats_value, stats.doc_freq);
+  PutVarint64(&stats_value, stats.collection_freq);
+  return stats_bulk_.Add(stats_key, stats_value);
+}
+
+Status PostingLists::Loader::Finish() {
+  TREX_RETURN_IF_ERROR(postings_bulk_.Finish());
+  return stats_bulk_.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// PositionIterator
+// ---------------------------------------------------------------------------
+
+PostingLists::PositionIterator::PositionIterator(PostingLists* lists,
+                                                 std::string term)
+    : lists_(lists), term_(std::move(term)), it_(lists->postings_->tree()) {}
+
+Status PostingLists::PositionIterator::LoadFragment() {
+  std::string prefix;
+  TREX_RETURN_IF_ERROR(AppendTokenComponent(&prefix, term_));
+  if (!initialized_) {
+    initialized_ = true;
+    TREX_RETURN_IF_ERROR(it_.Seek(prefix));
+  }
+  if (!it_.Valid() || !it_.key().StartsWith(prefix)) {
+    at_end_ = true;
+    return Status::OK();
+  }
+  TREX_RETURN_IF_ERROR(DecodeFragment(it_.key(), it_.value(), &fragment_));
+  next_in_fragment_ = 0;
+  TREX_RETURN_IF_ERROR(it_.Next());
+  return Status::OK();
+}
+
+Result<Position> PostingLists::PositionIterator::NextPosition() {
+  while (!at_end_ && next_in_fragment_ >= fragment_.size()) {
+    TREX_RETURN_IF_ERROR(LoadFragment());
+  }
+  if (at_end_) return kMaxPosition;
+  Position p = fragment_[next_in_fragment_++];
+  if (p == kMaxPosition) at_end_ = true;
+  return p;
+}
+
+}  // namespace trex

@@ -1,0 +1,109 @@
+// The PostingLists table: PostingLists(token, docid, offset,
+// postingdataentry) (§2.2), plus per-term statistics.
+//
+// A term's posting list is the ascending sequence of positions where the
+// term occurs, terminated by the maximal dummy position m-pos. "Since the
+// posting list might be too long for storing it in a single tuple, it is
+// divided and stored in several tuples": each tuple (fragment) is keyed
+// by its first position and holds a delta-encoded block of positions.
+//
+// Key   = token . 0x00 . BE32(docid) . BE64(offset)   (first position)
+// Value = varint(count) . (count-1) x [varint(docid_delta),
+//           docid_delta == 0 ? varint(offset_delta) : varint(offset)]
+// The first position of a fragment is carried by the key only.
+//
+// TermStats(token) -> (doc_freq, collection_freq) feeds the BM25 scorer.
+#ifndef TREX_INDEX_POSTING_LISTS_H_
+#define TREX_INDEX_POSTING_LISTS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/types.h"
+#include "storage/table.h"
+
+namespace trex {
+
+// Fragment payload budget (value bytes per tuple, advisory).
+inline constexpr size_t kPostingFragmentBudget = 800;
+
+struct TermStats {
+  uint64_t doc_freq = 0;         // Documents containing the term.
+  uint64_t collection_freq = 0;  // Total occurrences.
+};
+
+class PostingLists {
+ public:
+  PostingLists(std::unique_ptr<Table> postings, std::unique_ptr<Table> stats)
+      : postings_(std::move(postings)), stats_(std::move(stats)) {}
+
+  static Result<std::unique_ptr<PostingLists>> Open(const std::string& dir,
+                                                    size_t cache_pages = 1024);
+
+  // NotFound if the term does not occur in the corpus.
+  Status GetTermStats(const std::string& term, TermStats* stats);
+  // Upserts a term's statistics (incremental updates).
+  Status PutTermStats(const std::string& term, const TermStats& stats);
+
+  // Bulk ingestion: terms must be added in ascending byte order, each
+  // with its full sorted position list (m-pos is appended internally).
+  class Loader {
+   public:
+    explicit Loader(PostingLists* lists);
+    Status AddTerm(const std::string& term,
+                   const std::vector<Position>& positions);
+    Status Finish();
+
+   private:
+    PostingLists* lists_;
+    BPTree::BulkLoader postings_bulk_;
+    BPTree::BulkLoader stats_bulk_;
+  };
+
+  // The paper's I_t iterator (§3.2): successive positions of a term, in
+  // (docid, offset) order, ending with m-pos (and returning m-pos on
+  // every call thereafter).
+  class PositionIterator {
+   public:
+    PositionIterator(PostingLists* lists, std::string term);
+
+    Result<Position> NextPosition();
+    // True once m-pos has been returned.
+    bool AtEnd() const { return at_end_; }
+
+   private:
+    Status LoadFragment();
+
+    PostingLists* lists_;
+    std::string term_;
+    BPTree::Iterator it_;
+    bool initialized_ = false;
+    bool at_end_ = false;
+    std::vector<Position> fragment_;
+    size_t next_in_fragment_ = 0;
+  };
+
+  uint64_t SizeBytes() const {
+    return postings_->SizeBytes() + stats_->SizeBytes();
+  }
+  uint64_t num_terms() const { return stats_->row_count(); }
+  Table* postings_table() { return postings_.get(); }
+  Status Flush();
+
+  // Codec helpers (exposed for tests).
+  static std::string EncodeKey(const std::string& term, const Position& first);
+  static void EncodeFragment(const Position& first,
+                             const std::vector<Position>& rest,
+                             std::string* value);
+  static Status DecodeFragment(Slice key, Slice value,
+                               std::vector<Position>* positions);
+
+ private:
+  std::unique_ptr<Table> postings_;
+  std::unique_ptr<Table> stats_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_INDEX_POSTING_LISTS_H_

@@ -1,0 +1,147 @@
+#include "index/rpl.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace trex {
+
+namespace {
+constexpr size_t kBlockBudget = 800;  // Value bytes per block (advisory).
+}  // namespace
+
+void EncodeScoredBlock(const std::vector<ScoredEntry>& entries,
+                       std::string* value) {
+  PutVarint32(value, static_cast<uint32_t>(entries.size()));
+  for (const ScoredEntry& e : entries) {
+    PutFloat(value, e.score);
+    PutVarint32(value, e.docid);
+    PutVarint64(value, e.endpos);
+    PutVarint64(value, e.length);
+  }
+}
+
+Status DecodeScoredBlock(Slice value, std::vector<ScoredEntry>* entries) {
+  uint32_t count = 0;
+  if (!GetVarint32(&value, &count)) {
+    return Status::Corruption("scored block has a bad count");
+  }
+  entries->clear();
+  entries->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (value.size() < 4) {
+      return Status::Corruption("scored block is truncated");
+    }
+    ScoredEntry e;
+    e.score = DecodeFloat(value.data());
+    value.RemovePrefix(4);
+    if (!GetVarint32(&value, &e.docid) || !GetVarint64(&value, &e.endpos) ||
+        !GetVarint64(&value, &e.length)) {
+      return Status::Corruption("scored block is truncated");
+    }
+    entries->push_back(e);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<RplStore>> RplStore::Open(const std::string& dir,
+                                                 size_t cache_pages) {
+  auto table = Table::Open(dir, "RPLs", cache_pages);
+  if (!table.ok()) return table.status();
+  return std::make_unique<RplStore>(std::move(table).value());
+}
+
+std::string RplStore::KeyPrefix(const std::string& term, Sid sid) {
+  std::string key;
+  TREX_CHECK_OK(AppendTokenComponent(&key, term));
+  PutBigEndian32(&key, sid);
+  return key;
+}
+
+Status RplStore::WriteList(const std::string& term, Sid sid,
+                           std::vector<ScoredEntry> entries,
+                           uint64_t* bytes_written) {
+  // Enforce descending score order (ties by position for determinism).
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const ScoredEntry& a, const ScoredEntry& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.end_position() < b.end_position();
+                   });
+  uint64_t written = 0;
+  size_t i = 0;
+  while (i < entries.size()) {
+    std::vector<ScoredEntry> block;
+    size_t budget = 0;
+    while (i < entries.size() && budget + 26 <= kBlockBudget) {
+      block.push_back(entries[i]);
+      budget += 26;  // Worst-case encoded entry size.
+      ++i;
+    }
+    std::string key = KeyPrefix(term, sid);
+    PutDescendingScore(&key, block.front().score);
+    PutBigEndian32(&key, block.front().docid);
+    PutBigEndian64(&key, block.front().endpos);
+    std::string value;
+    EncodeScoredBlock(block, &value);
+    TREX_RETURN_IF_ERROR(table_->Put(key, value));
+    written += key.size() + value.size();
+  }
+  *bytes_written = written;
+  return Status::OK();
+}
+
+Status RplStore::DeleteList(const std::string& term, Sid sid) {
+  std::string prefix = KeyPrefix(term, sid);
+  std::vector<std::string> keys;
+  {
+    BPTree::Iterator it = table_->NewIterator();
+    TREX_RETURN_IF_ERROR(it.Seek(prefix));
+    while (it.Valid() && it.key().StartsWith(prefix)) {
+      keys.push_back(it.key().ToString());
+      TREX_RETURN_IF_ERROR(it.Next());
+    }
+  }
+  for (const std::string& key : keys) {
+    TREX_RETURN_IF_ERROR(table_->Delete(key));
+  }
+  return Status::OK();
+}
+
+RplStore::Iterator::Iterator(RplStore* store, const std::string& term,
+                             Sid sid)
+    : store_(store),
+      prefix_(KeyPrefix(term, sid)),
+      it_(store->table_->tree()) {}
+
+Status RplStore::Iterator::LoadBlock() {
+  if (!it_.Valid() || !it_.key().StartsWith(prefix_)) {
+    exhausted_ = true;
+    valid_ = false;
+    return Status::OK();
+  }
+  TREX_RETURN_IF_ERROR(DecodeScoredBlock(it_.value(), &block_));
+  next_in_block_ = 0;
+  return it_.Next();
+}
+
+Status RplStore::Iterator::Init() {
+  TREX_RETURN_IF_ERROR(it_.Seek(prefix_));
+  TREX_RETURN_IF_ERROR(LoadBlock());
+  return Next();
+}
+
+Status RplStore::Iterator::Next() {
+  while (!exhausted_ && next_in_block_ >= block_.size()) {
+    TREX_RETURN_IF_ERROR(LoadBlock());
+  }
+  if (exhausted_) {
+    valid_ = false;
+    return Status::OK();
+  }
+  entry_ = block_[next_in_block_++];
+  valid_ = true;
+  ++entries_read_;
+  return Status::OK();
+}
+
+}  // namespace trex

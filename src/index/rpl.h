@@ -1,0 +1,92 @@
+// RPLs: relevance posting lists (§2.2).
+//
+// An RPL for (term t, sid s) stores the elements of extent s that contain
+// t, in DESCENDING relevance-score order — the sorted access that the
+// threshold algorithm needs. The paper's RPLs table keys rows by an `ir`
+// field so that primary-key order equals score order; here `ir` is the
+// order-inverting score encoding from common/coding.h:
+//
+// Key   = token . 0x00 . BE32(sid) . DescScore(score) . BE32(docid)
+//         . BE64(endpos)
+// Value = varint(count) . count x [float(score), varint(docid),
+//         varint(endpos), varint(length)]   (a block of 5-tuples)
+//
+// Storing lists at (term, sid) granularity is exactly the granularity at
+// which §4's self-manager materializes them ("a system can store for each
+// pair of term and sid both an RPL and an ERPL"). A per-term iterator
+// over several sids is a k-way score merge, provided by retrieval/ta.
+#ifndef TREX_INDEX_RPL_H_
+#define TREX_INDEX_RPL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/types.h"
+#include "storage/table.h"
+
+namespace trex {
+
+// Shared block codec for RPL and ERPL values.
+void EncodeScoredBlock(const std::vector<ScoredEntry>& entries,
+                       std::string* value);
+Status DecodeScoredBlock(Slice value, std::vector<ScoredEntry>* entries);
+
+class RplStore {
+ public:
+  explicit RplStore(std::unique_ptr<Table> table) : table_(std::move(table)) {}
+
+  static Result<std::unique_ptr<RplStore>> Open(const std::string& dir,
+                                                size_t cache_pages = 1024);
+
+  // Writes the full RPL for (term, sid). `entries` must be sorted by
+  // descending score (ties by ascending position). Returns the bytes
+  // written (for the advisor's space accounting) via *bytes_written.
+  Status WriteList(const std::string& term, Sid sid,
+                   std::vector<ScoredEntry> entries, uint64_t* bytes_written);
+
+  // Removes the RPL for (term, sid).
+  Status DeleteList(const std::string& term, Sid sid);
+
+  // Iterates the RPL of (term, sid) in descending score order.
+  class Iterator {
+   public:
+    Iterator(RplStore* store, const std::string& term, Sid sid);
+
+    // NotFound-free protocol: Valid() is false once exhausted (or if the
+    // list does not exist at all).
+    Status Init();
+    bool Valid() const { return valid_; }
+    const ScoredEntry& entry() const { return entry_; }
+    Status Next();
+
+    // Number of entries read so far (the TA "sorted accesses" counter).
+    uint64_t entries_read() const { return entries_read_; }
+
+   private:
+    Status LoadBlock();
+
+    RplStore* store_;
+    std::string prefix_;
+    BPTree::Iterator it_;
+    std::vector<ScoredEntry> block_;
+    size_t next_in_block_ = 0;
+    bool valid_ = false;
+    bool exhausted_ = false;
+    ScoredEntry entry_;
+    uint64_t entries_read_ = 0;
+  };
+
+  uint64_t SizeBytes() const { return table_->SizeBytes(); }
+  Table* table() { return table_.get(); }
+  Status Flush() { return table_->Flush(); }
+
+  static std::string KeyPrefix(const std::string& term, Sid sid);
+
+ private:
+  std::unique_ptr<Table> table_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_INDEX_RPL_H_

@@ -1,0 +1,111 @@
+// Domain types shared by the index tables and the retrieval algorithms.
+//
+// Positions and element identity follow §2.2 of the paper:
+//  * A position is a (docid, offset) pair — the offset is a byte offset
+//    from the beginning of the document.
+//  * An element is identified by the position where it ends: (docid,
+//    endpos). Its span is [endpos - length, endpos). Because every end
+//    tag occupies a distinct byte range, (docid, endpos) is unique.
+//  * m-pos is the maximal dummy position appended to every posting list
+//    "so that no real position can exceed it".
+#ifndef TREX_INDEX_TYPES_H_
+#define TREX_INDEX_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "summary/summary.h"
+
+namespace trex {
+
+using DocId = uint32_t;
+
+struct Position {
+  DocId docid = 0;
+  uint64_t offset = 0;
+
+  friend bool operator==(const Position& a, const Position& b) {
+    return a.docid == b.docid && a.offset == b.offset;
+  }
+  friend bool operator<(const Position& a, const Position& b) {
+    return std::tie(a.docid, a.offset) < std::tie(b.docid, b.offset);
+  }
+  friend bool operator<=(const Position& a, const Position& b) {
+    return !(b < a);
+  }
+  std::string ToString() const {
+    return "(" + std::to_string(docid) + "," + std::to_string(offset) + ")";
+  }
+};
+
+// The maximal dummy position m-pos (§2.2).
+inline constexpr Position kMaxPosition{UINT32_MAX, UINT64_MAX};
+
+// An element, as stored in the Elements table and carried through the
+// retrieval algorithms.
+struct ElementInfo {
+  Sid sid = kInvalidSid;
+  DocId docid = 0;
+  uint64_t endpos = 0;
+  uint64_t length = 0;
+
+  Position end_position() const { return Position{docid, endpos}; }
+  uint64_t start() const { return endpos - length; }
+  bool is_dummy() const { return end_position() == kMaxPosition; }
+  // True iff the byte position p (within the same document) falls inside
+  // this element's span.
+  bool Contains(uint64_t p) const { return p >= start() && p < endpos; }
+
+  friend bool operator==(const ElementInfo& a, const ElementInfo& b) {
+    return a.sid == b.sid && a.docid == b.docid && a.endpos == b.endpos &&
+           a.length == b.length;
+  }
+};
+
+// The dummy element ERA substitutes when an extent iterator runs out
+// ("an element with end position equal to m-pos and length equal to
+// zero").
+inline constexpr ElementInfo kDummyElement{kInvalidSid, UINT32_MAX,
+                                           UINT64_MAX, 0};
+
+// One entry of a relevance posting list: an element that contains a term
+// together with the element's relevance score for that term. The paper's
+// 5-tuple is (score, sid, docid, end offset, length); the sid is carried
+// in the enclosing key/list context.
+struct ScoredEntry {
+  DocId docid = 0;
+  uint64_t endpos = 0;
+  uint64_t length = 0;
+  float score = 0.0f;
+
+  Position end_position() const { return Position{docid, endpos}; }
+};
+
+// Identifier used when merging per-term scores for one element.
+struct ElementKey {
+  DocId docid = 0;
+  uint64_t endpos = 0;
+
+  friend bool operator==(const ElementKey& a, const ElementKey& b) {
+    return a.docid == b.docid && a.endpos == b.endpos;
+  }
+  friend bool operator<(const ElementKey& a, const ElementKey& b) {
+    return std::tie(a.docid, a.endpos) < std::tie(b.docid, b.endpos);
+  }
+};
+
+struct ElementKeyHash {
+  size_t operator()(const ElementKey& k) const {
+    uint64_t h = k.endpos * 0x9e3779b97f4a7c15ULL + k.docid;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 32;
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace trex
+
+#endif  // TREX_INDEX_TYPES_H_

@@ -1,0 +1,182 @@
+#include "index/updater.h"
+
+#include <map>
+
+#include "common/coding.h"
+#include "summary/builder.h"
+#include "xml/reader.h"
+
+namespace trex {
+
+namespace {
+
+// Splits `positions` into fragments under the byte budget (same policy
+// as the bulk Loader) and writes them with Put; appends m-pos at the end.
+Status WriteFragments(Table* table, const std::string& term,
+                      const std::vector<Position>& positions) {
+  auto entry_size = [](const Position& prev, const Position& p) {
+    std::string tmp;
+    uint32_t d = p.docid - prev.docid;
+    PutVarint32(&tmp, d);
+    PutVarint64(&tmp, d == 0 ? p.offset - prev.offset : p.offset);
+    return tmp.size();
+  };
+  size_t i = 0;
+  const size_t n = positions.size();
+  while (i < n) {
+    Position first = positions[i];
+    ++i;
+    std::vector<Position> rest;
+    size_t encoded = 0;
+    Position prev = first;
+    while (i < n) {
+      size_t sz = entry_size(prev, positions[i]);
+      if (encoded + sz > kPostingFragmentBudget) break;
+      encoded += sz;
+      prev = positions[i];
+      rest.push_back(positions[i]);
+      ++i;
+    }
+    if (i == n) rest.push_back(kMaxPosition);
+    std::string value;
+    PostingLists::EncodeFragment(first, rest, &value);
+    TREX_RETURN_IF_ERROR(
+        table->Put(PostingLists::EncodeKey(term, first), value));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status IndexUpdater::ExtendPostingList(
+    const std::string& term, const std::vector<Position>& new_positions) {
+  Table* table = index_->postings()->postings_table();
+
+  // Locate the last existing fragment of the term (forward scan over the
+  // term's fragments — fragment counts are small because each holds
+  // hundreds of positions).
+  std::string prefix;
+  TREX_RETURN_IF_ERROR(AppendTokenComponent(&prefix, term));
+  std::string last_key;
+  std::string last_value;
+  {
+    BPTree::Iterator it = table->NewIterator();
+    TREX_RETURN_IF_ERROR(it.Seek(prefix));
+    while (it.Valid() && it.key().StartsWith(prefix)) {
+      last_key = it.key().ToString();
+      last_value = it.value().ToString();
+      TREX_RETURN_IF_ERROR(it.Next());
+    }
+  }
+
+  if (last_key.empty()) {
+    // Brand-new term.
+    TREX_RETURN_IF_ERROR(WriteFragments(table, term, new_positions));
+  } else {
+    std::vector<Position> tail;
+    TREX_RETURN_IF_ERROR(
+        PostingLists::DecodeFragment(last_key, last_value, &tail));
+    if (tail.empty() || !(tail.back() == kMaxPosition)) {
+      return Status::Corruption("posting list for '" + term +
+                                "' lacks the m-pos sentinel");
+    }
+    tail.pop_back();  // Peel the sentinel.
+    if (!tail.empty() && !(tail.back() < new_positions.front())) {
+      return Status::Corruption(
+          "new positions do not extend the tail of '" + term + "'");
+    }
+    tail.insert(tail.end(), new_positions.begin(), new_positions.end());
+    // Rewrite from the last fragment's first position onward (the key
+    // stays valid because the first position is unchanged).
+    TREX_RETURN_IF_ERROR(WriteFragments(table, term, tail));
+  }
+
+  // TermStats read-modify-write.
+  TermStats stats;
+  Status s = index_->postings()->GetTermStats(term, &stats);
+  if (!s.ok() && !s.IsNotFound()) return s;
+  stats.doc_freq += 1;  // All new positions share one (new) document.
+  stats.collection_freq += new_positions.size();
+  return index_->postings()->PutTermStats(term, stats);
+}
+
+Status IndexUpdater::DropListsForTerm(const std::string& term) {
+  auto entries = index_->catalog()->List();
+  if (!entries.ok()) return entries.status();
+  for (const CatalogEntry& e : entries.value()) {
+    if (e.term != term) continue;
+    if (e.kind == ListKind::kRpl) {
+      TREX_RETURN_IF_ERROR(index_->rpls()->DeleteList(e.term, e.sid));
+    } else {
+      TREX_RETURN_IF_ERROR(index_->erpls()->DeleteList(e.term, e.sid));
+    }
+    TREX_RETURN_IF_ERROR(
+        index_->catalog()->Unregister(e.kind, e.term, e.sid));
+  }
+  return Status::OK();
+}
+
+Status IndexUpdater::AddDocument(DocId docid, Slice xml) {
+  if (docid <= index_->max_docid_) {
+    return Status::InvalidArgument(
+        "incremental docids must exceed max_docid (" +
+        std::to_string(index_->max_docid_) + ")");
+  }
+
+  // Parse once, extending a COPY of the summary as new paths appear —
+  // a malformed document must leave the live index untouched (summaries
+  // are small, so the copy is cheap).
+  SummaryBuilder summary_builder(*index_->summary_,
+                                 index_->aliases_.empty()
+                                     ? nullptr
+                                     : &index_->aliases_);
+  std::vector<ElementInfo> elements;
+  std::map<std::string, std::vector<Position>> postings;
+  std::vector<uint64_t> start_offsets;
+  std::vector<TokenOccurrence> occurrences;
+  XmlReader reader(xml);
+  XmlEvent event;
+  Status parse_status;
+  while (true) {
+    parse_status = reader.Next(&event);
+    if (!parse_status.ok()) break;
+    if (event.type == XmlEventType::kStartElement) {
+      summary_builder.EnterElement(event.name);
+      start_offsets.push_back(event.offset);
+    } else if (event.type == XmlEventType::kEndElement) {
+      Sid sid = summary_builder.CurrentSid();
+      summary_builder.LeaveElement();
+      uint64_t start = start_offsets.back();
+      start_offsets.pop_back();
+      elements.push_back(
+          ElementInfo{sid, docid, event.offset, event.offset - start});
+    } else if (event.type == XmlEventType::kText) {
+      occurrences.clear();
+      index_->tokenizer_.Tokenize(event.text, event.offset, &occurrences);
+      for (auto& occ : occurrences) {
+        postings[occ.term].push_back(Position{docid, occ.offset});
+      }
+    } else {
+      break;  // kEndDocument.
+    }
+  }
+  TREX_RETURN_IF_ERROR(parse_status);  // Live summary still untouched.
+  *index_->summary_ = summary_builder.Take();
+
+  // Elements.
+  for (const ElementInfo& e : elements) {
+    TREX_RETURN_IF_ERROR(index_->elements()->Add(e));
+  }
+
+  // Posting lists + stats + redundant-list invalidation.
+  for (const auto& [term, positions] : postings) {
+    TREX_RETURN_IF_ERROR(ExtendPostingList(term, positions));
+    TREX_RETURN_IF_ERROR(DropListsForTerm(term));
+  }
+
+  index_->max_docid_ = docid;
+  TREX_RETURN_IF_ERROR(index_->PersistMetadata());
+  return index_->Flush();
+}
+
+}  // namespace trex

@@ -1,0 +1,51 @@
+// IndexUpdater: incremental document insertion into an existing index.
+//
+// The paper's system (like most INEX engines) builds its indexes in bulk;
+// a self-managing index layer, however, has to survive corpus growth, so
+// TReX supports appending documents to an opened index:
+//  * the structural summary is extended in place (new label paths get new
+//    sids, extent sizes accumulate) and re-persisted;
+//  * the new document's elements are inserted into the Elements B+-tree;
+//  * each affected term's posting list is extended at its tail — the
+//    m-pos sentinel is peeled off the last fragment, the new positions
+//    (all greater than any existing position, because docids grow
+//    monotonically) are appended, and the sentinel is re-attached;
+//  * TermStats are updated (doc_freq, collection_freq);
+//  * redundant RPL/ERPL lists for any term occurring in the new document
+//    are DROPPED (their membership and doc_freq changed); the §4
+//    self-manager or MaterializeForClause rebuilds them on demand.
+//
+// Scoring statistics snapshot: the corpus-level BM25 inputs
+// (num_documents and avg_element_length) stay FROZEN at their built
+// values, so lists of unaffected terms keep exactly the scores a fresh
+// materialization would produce — ERA, TA and Merge remain bit-identical
+// after updates (property-tested). The snapshot drifts as the corpus
+// grows; rebuilding the index refreshes it.
+#ifndef TREX_INDEX_UPDATER_H_
+#define TREX_INDEX_UPDATER_H_
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "index/index.h"
+
+namespace trex {
+
+class IndexUpdater {
+ public:
+  explicit IndexUpdater(Index* index) : index_(index) {}
+
+  // Inserts one document. `docid` must exceed every docid in the index
+  // (Index::max_docid()).
+  Status AddDocument(DocId docid, Slice xml);
+
+ private:
+  Status ExtendPostingList(const std::string& term,
+                           const std::vector<Position>& new_positions);
+  Status DropListsForTerm(const std::string& term);
+
+  Index* index_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_INDEX_UPDATER_H_

@@ -1,0 +1,73 @@
+// NEXI abstract syntax (Narrowed Extended XPath I, Trotman &
+// Sigurbjornsson 2004; §1 of the paper).
+//
+// The supported fragment is the CO+S retrieval subset the paper
+// evaluates: descendant/child steps with tag tests or *, and predicates
+// built from about(path, keywords) clauses combined with `and` / `or`.
+// Keywords may be bare words, quoted phrases, and '+'/'-' modified terms.
+#ifndef TREX_NEXI_AST_H_
+#define TREX_NEXI_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "summary/path_matcher.h"
+
+namespace trex {
+
+struct QueryTerm {
+  enum class Modifier {
+    kPlain,     // word
+    kRequired,  // +word (emphasized)
+    kExcluded,  // -word (penalized)
+  };
+  std::string text;   // Raw keyword or full phrase text.
+  Modifier modifier = Modifier::kPlain;
+  bool is_phrase = false;  // True for "quoted phrases".
+
+  // Scoring weight: excluded terms contribute negatively.
+  float weight() const {
+    return modifier == Modifier::kExcluded ? -1.0f : 1.0f;
+  }
+};
+
+struct AboutClause {
+  // Path relative to the predicate's context element; empty means
+  // about(., ...). Steps are child/descendant like outer steps.
+  std::vector<PathStep> relative_path;
+  std::vector<QueryTerm> terms;
+};
+
+// Boolean predicate tree.
+struct PredicateExpr {
+  enum class Kind { kAbout, kAnd, kOr };
+  Kind kind = Kind::kAbout;
+  AboutClause about;                              // kAbout
+  std::unique_ptr<PredicateExpr> lhs;             // kAnd / kOr
+  std::unique_ptr<PredicateExpr> rhs;
+
+  // Collects every about() clause in the subtree, in left-to-right
+  // order. The vague interpretation (and Table 1's sid/term counts)
+  // treats the boolean structure as a flat union.
+  void CollectAboutClauses(std::vector<const AboutClause*>* out) const;
+};
+
+struct NexiStep {
+  PathStep path_step;
+  std::unique_ptr<PredicateExpr> predicate;  // May be null.
+};
+
+struct NexiQuery {
+  std::vector<NexiStep> steps;
+
+  // The raw query text (kept for diagnostics and workload files).
+  std::string source;
+
+  // The structural skeleton //a//b of all steps (predicates stripped).
+  std::vector<PathStep> Skeleton() const;
+};
+
+}  // namespace trex
+
+#endif  // TREX_NEXI_AST_H_

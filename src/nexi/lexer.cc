@@ -1,0 +1,144 @@
+#include "nexi/lexer.h"
+
+#include <cctype>
+
+namespace trex {
+
+const char* NexiTokenTypeName(NexiTokenType type) {
+  switch (type) {
+    case NexiTokenType::kSlash:
+      return "'/'";
+    case NexiTokenType::kDoubleSlash:
+      return "'//'";
+    case NexiTokenType::kLBracket:
+      return "'['";
+    case NexiTokenType::kRBracket:
+      return "']'";
+    case NexiTokenType::kLParen:
+      return "'('";
+    case NexiTokenType::kRParen:
+      return "')'";
+    case NexiTokenType::kComma:
+      return "','";
+    case NexiTokenType::kDot:
+      return "'.'";
+    case NexiTokenType::kStar:
+      return "'*'";
+    case NexiTokenType::kPlus:
+      return "'+'";
+    case NexiTokenType::kMinus:
+      return "'-'";
+    case NexiTokenType::kPipe:
+      return "'|'";
+    case NexiTokenType::kWord:
+      return "word";
+    case NexiTokenType::kQuoted:
+      return "quoted phrase";
+    case NexiTokenType::kEnd:
+      return "end of query";
+  }
+  return "?";
+}
+
+Result<std::vector<NexiToken>> LexNexi(const std::string& query) {
+  std::vector<NexiToken> tokens;
+  size_t i = 0;
+  auto push = [&](NexiTokenType type, std::string value, size_t offset) {
+    tokens.push_back(NexiToken{type, std::move(value), offset});
+  };
+  while (i < query.size()) {
+    char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    switch (c) {
+      case '/':
+        if (i + 1 < query.size() && query[i + 1] == '/') {
+          push(NexiTokenType::kDoubleSlash, "//", start);
+          i += 2;
+        } else {
+          push(NexiTokenType::kSlash, "/", start);
+          ++i;
+        }
+        continue;
+      case '[':
+        push(NexiTokenType::kLBracket, "[", start);
+        ++i;
+        continue;
+      case ']':
+        push(NexiTokenType::kRBracket, "]", start);
+        ++i;
+        continue;
+      case '(':
+        push(NexiTokenType::kLParen, "(", start);
+        ++i;
+        continue;
+      case ')':
+        push(NexiTokenType::kRParen, ")", start);
+        ++i;
+        continue;
+      case ',':
+        push(NexiTokenType::kComma, ",", start);
+        ++i;
+        continue;
+      case '.':
+        push(NexiTokenType::kDot, ".", start);
+        ++i;
+        continue;
+      case '*':
+        push(NexiTokenType::kStar, "*", start);
+        ++i;
+        continue;
+      case '+':
+        push(NexiTokenType::kPlus, "+", start);
+        ++i;
+        continue;
+      case '-':
+        push(NexiTokenType::kMinus, "-", start);
+        ++i;
+        continue;
+      case '|':
+        push(NexiTokenType::kPipe, "|", start);
+        ++i;
+        continue;
+      case '"': {
+        ++i;
+        std::string content;
+        while (i < query.size() && query[i] != '"') {
+          content.push_back(query[i]);
+          ++i;
+        }
+        if (i >= query.size()) {
+          return Status::InvalidArgument(
+              "unterminated quoted phrase at offset " +
+              std::to_string(start));
+        }
+        ++i;  // Closing quote.
+        push(NexiTokenType::kQuoted, std::move(content), start);
+        continue;
+      }
+      default:
+        break;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (i < query.size() &&
+             (std::isalnum(static_cast<unsigned char>(query[i])) ||
+              query[i] == '_')) {
+        word.push_back(query[i]);
+        ++i;
+      }
+      push(NexiTokenType::kWord, std::move(word), start);
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(i));
+  }
+  tokens.push_back(NexiToken{NexiTokenType::kEnd, "", query.size()});
+  return tokens;
+}
+
+}  // namespace trex

@@ -1,0 +1,44 @@
+// Lexer for NEXI query strings.
+#ifndef TREX_NEXI_LEXER_H_
+#define TREX_NEXI_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace trex {
+
+enum class NexiTokenType {
+  kSlash,        // /
+  kDoubleSlash,  // //
+  kLBracket,     // [
+  kRBracket,     // ]
+  kLParen,       // (
+  kRParen,       // )
+  kComma,        // ,
+  kDot,          // .
+  kStar,         // *
+  kPlus,         // +
+  kMinus,        // -
+  kPipe,         // |
+  kWord,         // name / keyword (alnum and _)
+  kQuoted,       // "phrase" (value holds the unquoted content)
+  kEnd,
+};
+
+struct NexiToken {
+  NexiTokenType type = NexiTokenType::kEnd;
+  std::string value;
+  size_t offset = 0;  // Byte offset in the query string.
+};
+
+// Tokenizes the whole query up front. Fails on unterminated quotes or
+// characters outside the NEXI alphabet.
+Result<std::vector<NexiToken>> LexNexi(const std::string& query);
+
+const char* NexiTokenTypeName(NexiTokenType type);
+
+}  // namespace trex
+
+#endif  // TREX_NEXI_LEXER_H_

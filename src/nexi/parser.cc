@@ -1,0 +1,222 @@
+#include "nexi/parser.h"
+
+#include "nexi/lexer.h"
+
+namespace trex {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<NexiToken> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<NexiQuery> Parse() {
+    NexiQuery query;
+    while (Peek().type == NexiTokenType::kSlash ||
+           Peek().type == NexiTokenType::kDoubleSlash) {
+      NexiStep step;
+      TREX_RETURN_IF_ERROR(ParseStep(&step));
+      query.steps.push_back(std::move(step));
+    }
+    if (query.steps.empty()) {
+      return Error("a NEXI query must start with '/' or '//'");
+    }
+    if (Peek().type != NexiTokenType::kEnd) {
+      return Error("trailing input after the last step");
+    }
+    return query;
+  }
+
+ private:
+  const NexiToken& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const NexiToken& Advance() { return tokens_[pos_++]; }
+  bool Accept(NexiTokenType type) {
+    if (Peek().type == type) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Expect(NexiTokenType type) {
+    if (!Accept(type)) {
+      return Error(std::string("expected ") + NexiTokenTypeName(type) +
+                   ", found " + NexiTokenTypeName(Peek().type));
+    }
+    return Status::OK();
+  }
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("NEXI parse error at offset " +
+                                   std::to_string(Peek().offset) + ": " +
+                                   what);
+  }
+
+  Status ParseAxisAndTest(PathStep* step) {
+    if (Accept(NexiTokenType::kDoubleSlash)) {
+      step->axis = Axis::kDescendant;
+    } else if (Accept(NexiTokenType::kSlash)) {
+      step->axis = Axis::kChild;
+    } else {
+      return Error("expected '/' or '//'");
+    }
+    if (Accept(NexiTokenType::kStar)) {
+      step->label = "*";
+      return Status::OK();
+    }
+    if (Peek().type == NexiTokenType::kWord) {
+      step->label = Advance().value;
+      return Status::OK();
+    }
+    if (Accept(NexiTokenType::kLParen)) {
+      // NEXI tag alternation: //(sec|abs|p).
+      std::string label;
+      while (true) {
+        if (Peek().type != NexiTokenType::kWord) {
+          return Error("expected a tag name in the alternation");
+        }
+        if (!label.empty()) label.push_back('|');
+        label += Advance().value;
+        if (Accept(NexiTokenType::kPipe)) continue;
+        break;
+      }
+      TREX_RETURN_IF_ERROR(Expect(NexiTokenType::kRParen));
+      step->label = std::move(label);
+      return Status::OK();
+    }
+    return Error("expected a tag name, '*', or '(tag|tag|...)'");
+  }
+
+  Status ParseStep(NexiStep* step) {
+    TREX_RETURN_IF_ERROR(ParseAxisAndTest(&step->path_step));
+    if (Peek().type == NexiTokenType::kLBracket) {
+      Advance();
+      auto pred = ParseOrExpr();
+      if (!pred.ok()) return pred.status();
+      step->predicate = std::move(pred).value();
+      TREX_RETURN_IF_ERROR(Expect(NexiTokenType::kRBracket));
+    }
+    return Status::OK();
+  }
+
+  Result<std::unique_ptr<PredicateExpr>> ParseOrExpr() {
+    auto lhs = ParseAndExpr();
+    if (!lhs.ok()) return lhs.status();
+    auto node = std::move(lhs).value();
+    while (Peek().type == NexiTokenType::kWord && Peek().value == "or") {
+      Advance();
+      auto rhs = ParseAndExpr();
+      if (!rhs.ok()) return rhs.status();
+      auto parent = std::make_unique<PredicateExpr>();
+      parent->kind = PredicateExpr::Kind::kOr;
+      parent->lhs = std::move(node);
+      parent->rhs = std::move(rhs).value();
+      node = std::move(parent);
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<PredicateExpr>> ParseAndExpr() {
+    auto lhs = ParsePrimary();
+    if (!lhs.ok()) return lhs.status();
+    auto node = std::move(lhs).value();
+    while (Peek().type == NexiTokenType::kWord && Peek().value == "and") {
+      Advance();
+      auto rhs = ParsePrimary();
+      if (!rhs.ok()) return rhs.status();
+      auto parent = std::make_unique<PredicateExpr>();
+      parent->kind = PredicateExpr::Kind::kAnd;
+      parent->lhs = std::move(node);
+      parent->rhs = std::move(rhs).value();
+      node = std::move(parent);
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<PredicateExpr>> ParsePrimary() {
+    if (Accept(NexiTokenType::kLParen)) {
+      auto inner = ParseOrExpr();
+      if (!inner.ok()) return inner.status();
+      TREX_RETURN_IF_ERROR(Expect(NexiTokenType::kRParen));
+      return inner;
+    }
+    if (Peek().type == NexiTokenType::kWord && Peek().value == "about") {
+      Advance();
+      auto node = std::make_unique<PredicateExpr>();
+      node->kind = PredicateExpr::Kind::kAbout;
+      TREX_RETURN_IF_ERROR(ParseAbout(&node->about));
+      return node;
+    }
+    return Error("expected about(...) or a parenthesized expression");
+  }
+
+  Status ParseAbout(AboutClause* about) {
+    TREX_RETURN_IF_ERROR(Expect(NexiTokenType::kLParen));
+    TREX_RETURN_IF_ERROR(Expect(NexiTokenType::kDot));
+    while (Peek().type == NexiTokenType::kSlash ||
+           Peek().type == NexiTokenType::kDoubleSlash) {
+      PathStep step;
+      TREX_RETURN_IF_ERROR(ParseAxisAndTest(&step));
+      about->relative_path.push_back(std::move(step));
+    }
+    TREX_RETURN_IF_ERROR(Expect(NexiTokenType::kComma));
+    // Keywords until the closing ')'.
+    while (Peek().type != NexiTokenType::kRParen) {
+      QueryTerm term;
+      if (Accept(NexiTokenType::kPlus)) {
+        term.modifier = QueryTerm::Modifier::kRequired;
+      } else if (Accept(NexiTokenType::kMinus)) {
+        term.modifier = QueryTerm::Modifier::kExcluded;
+      }
+      if (Peek().type == NexiTokenType::kWord) {
+        term.text = Advance().value;
+      } else if (Peek().type == NexiTokenType::kQuoted) {
+        term.text = Advance().value;
+        term.is_phrase = true;
+      } else {
+        return Error("expected a keyword, phrase, or ')' in about()");
+      }
+      about->terms.push_back(std::move(term));
+    }
+    if (about->terms.empty()) {
+      return Error("about() requires at least one keyword");
+    }
+    return Expect(NexiTokenType::kRParen);
+  }
+
+  std::vector<NexiToken> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+void PredicateExpr::CollectAboutClauses(
+    std::vector<const AboutClause*>* out) const {
+  if (kind == Kind::kAbout) {
+    out->push_back(&about);
+    return;
+  }
+  if (lhs) lhs->CollectAboutClauses(out);
+  if (rhs) rhs->CollectAboutClauses(out);
+}
+
+std::vector<PathStep> NexiQuery::Skeleton() const {
+  std::vector<PathStep> steps;
+  steps.reserve(this->steps.size());
+  for (const NexiStep& s : this->steps) steps.push_back(s.path_step);
+  return steps;
+}
+
+Result<NexiQuery> ParseNexi(const std::string& query) {
+  auto tokens = LexNexi(query);
+  if (!tokens.ok()) return tokens.status();
+  auto parsed = Parser(std::move(tokens).value()).Parse();
+  if (!parsed.ok()) return parsed.status();
+  NexiQuery q = std::move(parsed).value();
+  q.source = query;
+  return q;
+}
+
+}  // namespace trex

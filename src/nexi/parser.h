@@ -1,0 +1,30 @@
+// Recursive-descent parser for NEXI queries.
+//
+// Grammar (CO+S fragment):
+//   query      := step+
+//   step       := ("//" | "/") test predicate?
+//   test       := NAME | "*"
+//   predicate  := "[" or_expr "]"
+//   or_expr    := and_expr ("or" and_expr)*
+//   and_expr   := primary ("and" primary)*
+//   primary    := about | "(" or_expr ")"
+//   about      := "about" "(" rel_path "," keywords ")"
+//   rel_path   := "." (("//" | "/") test)*
+//   keywords   := (("+"|"-")? (WORD | QUOTED))+
+#ifndef TREX_NEXI_PARSER_H_
+#define TREX_NEXI_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nexi/ast.h"
+
+namespace trex {
+
+// Parses `query`, returning the AST or InvalidArgument with a message
+// that points at the offending token.
+Result<NexiQuery> ParseNexi(const std::string& query);
+
+}  // namespace trex
+
+#endif  // TREX_NEXI_PARSER_H_

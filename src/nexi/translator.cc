@@ -1,0 +1,114 @@
+#include "nexi/translator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "nexi/parser.h"
+
+namespace trex {
+
+namespace {
+
+// Normalizes one clause's keywords into weighted terms. Phrases are
+// decomposed into their words (unigram scoring, the common INEX-era
+// simplification); duplicate terms keep the first weight.
+void NormalizeTerms(const std::vector<QueryTerm>& raw,
+                    const Tokenizer& tokenizer,
+                    std::vector<WeightedTerm>* out) {
+  auto add = [&](const std::string& word, float weight) {
+    auto normalized = tokenizer.NormalizeTerm(word);
+    if (!normalized.has_value()) return;
+    for (const WeightedTerm& t : *out) {
+      if (t.term == *normalized) return;
+    }
+    out->push_back(WeightedTerm{*normalized, weight});
+  };
+  std::vector<std::string> words;
+  for (const QueryTerm& qt : raw) {
+    words.clear();
+    Tokenizer word_splitter{TokenizerOptions{.remove_stopwords = false,
+                                             .stem = false}};
+    word_splitter.Tokenize(qt.text, &words);
+    for (const std::string& w : words) add(w, qt.weight());
+  }
+}
+
+void MergeClauseInto(const TranslatedClause& clause, TranslatedClause* out) {
+  for (Sid sid : clause.sids) {
+    if (!std::binary_search(out->sids.begin(), out->sids.end(), sid)) {
+      out->sids.insert(
+          std::upper_bound(out->sids.begin(), out->sids.end(), sid), sid);
+    }
+  }
+  for (const WeightedTerm& t : clause.terms) {
+    bool present = false;
+    for (const WeightedTerm& u : out->terms) {
+      if (u.term == t.term) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) out->terms.push_back(t);
+  }
+}
+
+}  // namespace
+
+Result<TranslatedQuery> TranslateQuery(const NexiQuery& query,
+                                       const Summary& summary,
+                                       const AliasMap* aliases,
+                                       const Tokenizer& tokenizer) {
+  // Incoming summaries support full path matching; tag summaries only
+  // key extents by label, so translation degrades to matching the final
+  // step's label (a coarser vague interpretation).
+  const bool label_only = summary.kind() == SummaryKind::kTag;
+  TranslatedQuery out;
+  std::vector<PathStep> context;
+  for (const NexiStep& step : query.steps) {
+    context.push_back(step.path_step);
+    if (step.predicate == nullptr) continue;
+    std::vector<const AboutClause*> abouts;
+    step.predicate->CollectAboutClauses(&abouts);
+    for (const AboutClause* about : abouts) {
+      std::vector<PathStep> full = context;
+      full.insert(full.end(), about->relative_path.begin(),
+                  about->relative_path.end());
+      TranslatedClause clause;
+      clause.sids = label_only
+                        ? MatchLabel(summary, full.back().label, aliases)
+                        : MatchPath(summary, full, aliases);
+      NormalizeTerms(about->terms, tokenizer, &clause.terms);
+      if (clause.terms.empty()) {
+        return Status::InvalidArgument(
+            "about() keywords vanish after normalization in query: " +
+            query.source);
+      }
+      out.clauses.push_back(std::move(clause));
+    }
+  }
+  if (out.clauses.empty()) {
+    return Status::InvalidArgument(
+        "query has no about() clause (pure structural queries are not "
+        "retrieval queries): " +
+        query.source);
+  }
+  for (const TranslatedClause& c : out.clauses) {
+    MergeClauseInto(c, &out.flattened);
+  }
+  out.target_sids =
+      label_only
+          ? MatchLabel(summary, query.Skeleton().back().label, aliases)
+          : MatchPath(summary, query.Skeleton(), aliases);
+  return out;
+}
+
+Result<TranslatedQuery> TranslateNexi(const std::string& nexi,
+                                      const Summary& summary,
+                                      const AliasMap* aliases,
+                                      const Tokenizer& tokenizer) {
+  auto parsed = ParseNexi(nexi);
+  if (!parsed.ok()) return parsed.status();
+  return TranslateQuery(parsed.value(), summary, aliases, tokenizer);
+}
+
+}  // namespace trex

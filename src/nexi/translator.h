@@ -1,0 +1,65 @@
+// Query translation (§3.1): "each path p in the query from the root to an
+// about() function is translated to a set of sids and a set of terms".
+//
+// For every about() clause, the context path (the steps up to and
+// including the step carrying the predicate) concatenated with the
+// clause's relative path is matched against the structural summary,
+// producing the clause's sid set; the clause's keywords are normalized by
+// the same tokenizer pipeline the index used, producing its term set.
+//
+// Under the vague interpretation the paper evaluates (and whose sid/term
+// counts Table 1 reports), the per-clause sets are unioned into one
+// flattened (sids, terms) retrieval task.
+#ifndef TREX_NEXI_TRANSLATOR_H_
+#define TREX_NEXI_TRANSLATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "nexi/ast.h"
+#include "summary/alias.h"
+#include "summary/summary.h"
+#include "text/tokenizer.h"
+
+namespace trex {
+
+// One weighted search term after normalization.
+struct WeightedTerm {
+  std::string term;
+  float weight = 1.0f;  // Negative for '-' excluded terms.
+
+  friend bool operator==(const WeightedTerm& a, const WeightedTerm& b) {
+    return a.term == b.term && a.weight == b.weight;
+  }
+};
+
+// A flattened retrieval task: the input to ERA / TA / Merge.
+struct TranslatedClause {
+  std::vector<Sid> sids;            // Ascending, unique.
+  std::vector<WeightedTerm> terms;  // Unique by term text.
+};
+
+struct TranslatedQuery {
+  // One entry per about() clause, in document order.
+  std::vector<TranslatedClause> clauses;
+  // Union of all clauses — the vague-interpretation task (Table 1).
+  TranslatedClause flattened;
+  // Sids of the whole-query skeleton (the elements a strict answer
+  // must come from).
+  std::vector<Sid> target_sids;
+};
+
+Result<TranslatedQuery> TranslateQuery(const NexiQuery& query,
+                                       const Summary& summary,
+                                       const AliasMap* aliases,
+                                       const Tokenizer& tokenizer);
+
+// Convenience: parse + translate.
+Result<TranslatedQuery> TranslateNexi(const std::string& nexi,
+                                      const Summary& summary,
+                                      const AliasMap* aliases,
+                                      const Tokenizer& tokenizer);
+
+}  // namespace trex
+
+#endif  // TREX_NEXI_TRANSLATOR_H_

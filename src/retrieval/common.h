@@ -1,0 +1,49 @@
+// Shared types for the three retrieval methods (§3).
+#ifndef TREX_RETRIEVAL_COMMON_H_
+#define TREX_RETRIEVAL_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/types.h"
+
+namespace trex {
+
+struct ScoredElement {
+  ElementInfo element;
+  float score = 0.0f;
+};
+
+// Instrumentation captured by every evaluation, reported by the benches.
+struct RetrievalMetrics {
+  double wall_seconds = 0.0;
+  // TA only: wall time minus heap-operation time — the paper's ITA
+  // ("ideal heap management") measurement.
+  double ideal_seconds = 0.0;
+  uint64_t heap_operations = 0;
+  uint64_t sorted_accesses = 0;    // RPL/ERPL entries read.
+  uint64_t positions_scanned = 0;  // Posting-list positions (ERA).
+  uint64_t elements_scanned = 0;   // Extent-iterator advances (ERA).
+};
+
+struct RetrievalResult {
+  // Ranked by descending score; ties by ascending (docid, endpos).
+  std::vector<ScoredElement> elements;
+  RetrievalMetrics metrics;
+};
+
+// Canonical result ordering, shared so that ERA, TA and Merge are
+// bitwise comparable in the cross-method property tests.
+inline bool ScoredElementGreater(const ScoredElement& a,
+                                 const ScoredElement& b) {
+  if (a.score != b.score) return a.score > b.score;
+  if (a.element.docid != b.element.docid) {
+    return a.element.docid < b.element.docid;
+  }
+  return a.element.endpos < b.element.endpos;
+}
+
+}  // namespace trex
+
+#endif  // TREX_RETRIEVAL_COMMON_H_

@@ -1,0 +1,173 @@
+#include "retrieval/era.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+
+namespace trex {
+
+namespace {
+
+Position StartPosition(const ElementInfo& e) {
+  return Position{e.docid, e.start()};
+}
+Position EndPosition(const ElementInfo& e) {
+  return Position{e.docid, e.endpos};
+}
+
+}  // namespace
+
+Status Era::ComputeTermFrequencies(const std::vector<Sid>& sids,
+                                   const std::vector<std::string>& terms,
+                                   std::vector<TfEntry>* out,
+                                   RetrievalMetrics* metrics) {
+  out->clear();
+  const size_t m = sids.size();
+  const size_t n = terms.size();
+  if (m == 0 || n == 0) return Status::OK();
+
+  // Lines 3-6: one extent iterator per sid, positioned at its first
+  // element.
+  std::vector<ElementIndex::ExtentIterator> extent_iters;
+  extent_iters.reserve(m);
+  std::vector<ElementInfo> current(m);
+  for (size_t i = 0; i < m; ++i) {
+    extent_iters.emplace_back(index_->elements(), sids[i]);
+    auto first = extent_iters[i].FirstElement();
+    if (!first.ok()) return first.status();
+    current[i] = first.value();
+    if (metrics != nullptr) ++metrics->elements_scanned;
+  }
+
+  // Lines 7-10: one position iterator per term, primed with its first
+  // position.
+  std::vector<PostingLists::PositionIterator> pos_iters;
+  pos_iters.reserve(n);
+  std::vector<Position> pos(n);
+  for (size_t j = 0; j < n; ++j) {
+    pos_iters.emplace_back(index_->postings(), terms[j]);
+    auto p = pos_iters[j].NextPosition();
+    if (!p.ok()) return p.status();
+    pos[j] = p.value();
+    if (metrics != nullptr) ++metrics->positions_scanned;
+  }
+
+  // The C matrix, rows flushed to `out` as elements are passed.
+  std::vector<std::vector<uint32_t>> counts(m, std::vector<uint32_t>(n, 0));
+  std::vector<bool> row_nonzero(m, false);
+
+  auto flush_row = [&](size_t i) {
+    if (!row_nonzero[i]) return;
+    TfEntry entry;
+    entry.element = current[i];
+    entry.tf = counts[i];
+    out->push_back(std::move(entry));
+    std::fill(counts[i].begin(), counts[i].end(), 0);
+    row_nonzero[i] = false;
+  };
+
+  // Lines 11-31.
+  while (true) {
+    // Line 12: x = index of the minimal position.
+    size_t x = 0;
+    for (size_t j = 1; j < n; ++j) {
+      if (pos[j] < pos[x]) x = j;
+    }
+    const Position px = pos[x];
+
+    // Lines 13-29: route the position through every sid row.
+    for (size_t i = 0; i < m; ++i) {
+      if (current[i].is_dummy()) continue;  // Extent exhausted.
+      if (px < StartPosition(current[i])) {
+        // Line 15: position before the current element — nothing to do.
+        continue;
+      }
+      if (px < EndPosition(current[i])) {
+        // Lines 16-17: position inside the element.
+        ++counts[i][x];
+        row_nonzero[i] = true;
+        continue;
+      }
+      // Lines 18-28: the element has been passed; flush and advance.
+      flush_row(i);
+      auto next = extent_iters[i].NextElementAfter(px);
+      if (!next.ok()) return next.status();
+      current[i] = next.value();
+      if (metrics != nullptr) ++metrics->elements_scanned;
+      // Lines 25-27: the new element may already contain the position.
+      if (!current[i].is_dummy() && !(px < StartPosition(current[i])) &&
+          px < EndPosition(current[i])) {
+        ++counts[i][x];
+        row_nonzero[i] = true;
+      }
+    }
+
+    // Line 30: advance the iterator that produced the position.
+    auto p = pos_iters[x].NextPosition();
+    if (!p.ok()) return p.status();
+    pos[x] = p.value();
+    if (metrics != nullptr) ++metrics->positions_scanned;
+
+    // Line 31: stop once all terms have reached m-pos *and* the final
+    // m-pos sweep has flushed the remaining rows (the sweep happens in
+    // the iteration where the chosen minimum itself is m-pos).
+    if (px == kMaxPosition) {
+      bool all_done = true;
+      for (size_t j = 0; j < n; ++j) {
+        if (!(pos[j] == kMaxPosition)) {
+          all_done = false;
+          break;
+        }
+      }
+      if (all_done) break;
+    }
+  }
+  // Defensive: m-pos exceeds every real end position, so every row was
+  // flushed by the final sweep; flush anything left for safety.
+  for (size_t i = 0; i < m; ++i) flush_row(i);
+  return Status::OK();
+}
+
+Status Era::Evaluate(const TranslatedClause& clause, RetrievalResult* out) {
+  out->elements.clear();
+  out->metrics = RetrievalMetrics{};
+  Stopwatch watch;
+
+  std::vector<std::string> terms;
+  terms.reserve(clause.terms.size());
+  for (const WeightedTerm& t : clause.terms) terms.push_back(t.term);
+
+  std::vector<TfEntry> entries;
+  TREX_RETURN_IF_ERROR(ComputeTermFrequencies(clause.sids, terms, &entries,
+                                              &out->metrics));
+
+  // Shared scoring: identical across ERA / TA / Merge.
+  Bm25Scorer scorer = index_->scorer();
+  std::vector<uint64_t> doc_freq(terms.size(), 0);
+  for (size_t j = 0; j < terms.size(); ++j) {
+    TermStats stats;
+    Status s = index_->postings()->GetTermStats(terms[j], &stats);
+    if (s.ok()) {
+      doc_freq[j] = stats.doc_freq;
+    } else if (!s.IsNotFound()) {
+      return s;
+    }
+  }
+  out->elements.reserve(entries.size());
+  for (const TfEntry& e : entries) {
+    float score = 0.0f;
+    for (size_t j = 0; j < terms.size(); ++j) {
+      if (e.tf[j] == 0) continue;
+      score += clause.terms[j].weight *
+               scorer.Score(e.tf[j], e.element.length, doc_freq[j]);
+    }
+    out->elements.push_back(ScoredElement{e.element, score});
+  }
+  std::sort(out->elements.begin(), out->elements.end(),
+            ScoredElementGreater);
+  out->metrics.wall_seconds = watch.ElapsedSeconds();
+  out->metrics.ideal_seconds = out->metrics.wall_seconds;
+  return Status::OK();
+}
+
+}  // namespace trex

@@ -1,0 +1,48 @@
+// ERA — the Exhaustive Retrieval Algorithm (§3.2, Figure 2).
+//
+// Evaluates a (sids, terms) task directly over the Elements and
+// PostingLists tables: one extent iterator per sid, one position iterator
+// per term, a global scan in position order, and an m x n term-frequency
+// matrix C flushed row-by-row as elements are passed. ERA needs no
+// redundant indexes and computes ALL answers; it is also the machinery
+// that materializes RPLs/ERPLs ("TReX also uses ERA for generating or
+// extending the RPLs and ERPLs tables").
+#ifndef TREX_RETRIEVAL_ERA_H_
+#define TREX_RETRIEVAL_ERA_H_
+
+#include <string>
+#include <vector>
+
+#include "index/index.h"
+#include "nexi/translator.h"
+#include "retrieval/common.h"
+
+namespace trex {
+
+class Era {
+ public:
+  explicit Era(Index* index) : index_(index) {}
+
+  // Figure 2 verbatim: the relevant elements with their per-term
+  // frequencies (tf[i] aligned with `terms`).
+  struct TfEntry {
+    ElementInfo element;
+    std::vector<uint32_t> tf;
+  };
+  Status ComputeTermFrequencies(const std::vector<Sid>& sids,
+                                const std::vector<std::string>& terms,
+                                std::vector<TfEntry>* out,
+                                RetrievalMetrics* metrics);
+
+  // Full evaluation: run Figure 2, score each element with the shared
+  // BM25 scorer and the clause's term weights, and return all answers
+  // ranked by descending score.
+  Status Evaluate(const TranslatedClause& clause, RetrievalResult* out);
+
+ private:
+  Index* index_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_RETRIEVAL_ERA_H_

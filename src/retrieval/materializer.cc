@@ -1,0 +1,125 @@
+#include "retrieval/materializer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "retrieval/era.h"
+
+namespace trex {
+
+std::vector<ListUnit> UnitsForClause(const TranslatedClause& clause,
+                                     bool rpls, bool erpls) {
+  std::vector<ListUnit> units;
+  for (const WeightedTerm& t : clause.terms) {
+    for (Sid sid : clause.sids) {
+      if (rpls) units.push_back(ListUnit{ListKind::kRpl, t.term, sid});
+      if (erpls) units.push_back(ListUnit{ListKind::kErpl, t.term, sid});
+    }
+  }
+  return units;
+}
+
+Status MaterializeUnits(Index* index, const std::vector<ListUnit>& units,
+                        MaterializeStats* stats) {
+  *stats = MaterializeStats{};
+  // Filter out lists that already exist.
+  std::vector<ListUnit> todo;
+  for (const ListUnit& u : units) {
+    if (index->catalog()->Has(u.kind, u.term, u.sid)) {
+      ++stats->lists_skipped;
+    } else {
+      todo.push_back(u);
+    }
+  }
+  if (todo.empty()) return Status::OK();
+
+  // Union of sids and terms for one ERA pass.
+  std::set<Sid> sid_set;
+  std::set<std::string> term_set;
+  for (const ListUnit& u : todo) {
+    sid_set.insert(u.sid);
+    term_set.insert(u.term);
+  }
+  std::vector<Sid> sids(sid_set.begin(), sid_set.end());
+  std::vector<std::string> terms(term_set.begin(), term_set.end());
+
+  Era era(index);
+  std::vector<Era::TfEntry> entries;
+  RetrievalMetrics metrics;
+  TREX_RETURN_IF_ERROR(
+      era.ComputeTermFrequencies(sids, terms, &entries, &metrics));
+
+  // Doc frequencies for scoring.
+  Bm25Scorer scorer = index->scorer();
+  std::vector<uint64_t> doc_freq(terms.size(), 0);
+  for (size_t j = 0; j < terms.size(); ++j) {
+    TermStats ts;
+    Status s = index->postings()->GetTermStats(terms[j], &ts);
+    if (s.ok()) {
+      doc_freq[j] = ts.doc_freq;
+    } else if (!s.IsNotFound()) {
+      return s;
+    }
+  }
+
+  // Bucket scored entries per (term index, sid).
+  std::map<std::pair<size_t, Sid>, std::vector<ScoredEntry>> buckets;
+  for (const Era::TfEntry& e : entries) {
+    for (size_t j = 0; j < terms.size(); ++j) {
+      if (e.tf[j] == 0) continue;
+      ScoredEntry se;
+      se.docid = e.element.docid;
+      se.endpos = e.element.endpos;
+      se.length = e.element.length;
+      se.score = scorer.Score(e.tf[j], e.element.length, doc_freq[j]);
+      buckets[{j, e.element.sid}].push_back(se);
+    }
+  }
+
+  // Term index lookup for the unit loop.
+  std::map<std::string, size_t> term_index;
+  for (size_t j = 0; j < terms.size(); ++j) term_index[terms[j]] = j;
+
+  for (const ListUnit& u : todo) {
+    auto it = buckets.find({term_index[u.term], u.sid});
+    std::vector<ScoredEntry> list =
+        it == buckets.end() ? std::vector<ScoredEntry>{} : it->second;
+    uint64_t bytes = 0;
+    if (u.kind == ListKind::kRpl) {
+      if (!list.empty()) {
+        TREX_RETURN_IF_ERROR(
+            index->rpls()->WriteList(u.term, u.sid, std::move(list), &bytes));
+      }
+    } else {
+      if (!list.empty()) {
+        TREX_RETURN_IF_ERROR(index->erpls()->WriteList(
+            u.term, u.sid, std::move(list), &bytes));
+      }
+    }
+    TREX_RETURN_IF_ERROR(
+        index->catalog()->Register(u.kind, u.term, u.sid, bytes));
+    stats->bytes_written += bytes;
+    ++stats->lists_written;
+  }
+  return Status::OK();
+}
+
+Status MaterializeForClause(Index* index, const TranslatedClause& clause,
+                            bool rpls, bool erpls, MaterializeStats* stats) {
+  return MaterializeUnits(index, UnitsForClause(clause, rpls, erpls), stats);
+}
+
+Status DropUnits(Index* index, const std::vector<ListUnit>& units) {
+  for (const ListUnit& u : units) {
+    if (u.kind == ListKind::kRpl) {
+      TREX_RETURN_IF_ERROR(index->rpls()->DeleteList(u.term, u.sid));
+    } else {
+      TREX_RETURN_IF_ERROR(index->erpls()->DeleteList(u.term, u.sid));
+    }
+    TREX_RETURN_IF_ERROR(index->catalog()->Unregister(u.kind, u.term, u.sid));
+  }
+  return Status::OK();
+}
+
+}  // namespace trex

@@ -1,0 +1,60 @@
+// Materialization of redundant (term, sid) lists (§3.2 / §4).
+//
+// "TReX also uses ERA for generating or extending the RPLs and ERPLs
+// tables": one ERA pass over the union of the requested sids and terms
+// produces per-element term frequencies, which are scored with the shared
+// BM25 scorer and written as RPL (score-ordered) and/or ERPL
+// (position-ordered) lists. Every written list is registered in the
+// IndexCatalog with its exact size, which is what the §4 advisor accounts
+// against the disk budget.
+#ifndef TREX_RETRIEVAL_MATERIALIZER_H_
+#define TREX_RETRIEVAL_MATERIALIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "index/index.h"
+#include "index/index_catalog.h"
+#include "nexi/translator.h"
+
+namespace trex {
+
+struct ListUnit {
+  ListKind kind = ListKind::kRpl;
+  std::string term;
+  Sid sid = kInvalidSid;
+
+  friend bool operator==(const ListUnit& a, const ListUnit& b) {
+    return a.kind == b.kind && a.term == b.term && a.sid == b.sid;
+  }
+  friend bool operator<(const ListUnit& a, const ListUnit& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    if (a.term != b.term) return a.term < b.term;
+    return a.sid < b.sid;
+  }
+};
+
+struct MaterializeStats {
+  uint64_t bytes_written = 0;
+  size_t lists_written = 0;
+  size_t lists_skipped = 0;  // Already materialized.
+};
+
+// Materializes the requested units (skipping ones already in the
+// catalog). Units with no matching elements are written as empty lists
+// and registered with size 0, so availability checks stay truthful.
+Status MaterializeUnits(Index* index, const std::vector<ListUnit>& units,
+                        MaterializeStats* stats);
+
+// Convenience: all RPLs and/or ERPLs a clause needs.
+std::vector<ListUnit> UnitsForClause(const TranslatedClause& clause,
+                                     bool rpls, bool erpls);
+Status MaterializeForClause(Index* index, const TranslatedClause& clause,
+                            bool rpls, bool erpls, MaterializeStats* stats);
+
+// Drops the given units (lists + catalog entries). Idempotent.
+Status DropUnits(Index* index, const std::vector<ListUnit>& units);
+
+}  // namespace trex
+
+#endif  // TREX_RETRIEVAL_MATERIALIZER_H_

@@ -1,0 +1,194 @@
+#include "retrieval/merge.h"
+
+#include <queue>
+
+#include "common/clock.h"
+
+namespace trex {
+
+namespace {
+
+// Position-ordered iterator for one term: m-way merge of the (term, sid)
+// ERPLs over the query's sid set.
+class TermPositionIterator {
+ public:
+  Status Init(Index* index, const std::string& term,
+              const std::vector<Sid>& sids) {
+    subs_.reserve(sids.size());
+    sids_.clear();
+    for (Sid sid : sids) {
+      subs_.emplace_back(index->erpls(), term, sid);
+      sids_.push_back(sid);
+    }
+    for (size_t i = 0; i < subs_.size(); ++i) {
+      TREX_RETURN_IF_ERROR(subs_[i].Init());
+      if (subs_[i].Valid()) queue_.push(i);
+    }
+    return Status::OK();
+  }
+
+  bool Valid() const { return !queue_.empty(); }
+  // End position of the next entry (Figure 3 line 7 needs peeking).
+  Position PeekPosition() const {
+    return subs_[queue_.top()].entry().end_position();
+  }
+
+  Status Next(ScoredEntry* entry, Sid* sid) {
+    size_t i = queue_.top();
+    queue_.pop();
+    *entry = subs_[i].entry();
+    *sid = sids_[i];
+    ++entries_read_;
+    TREX_RETURN_IF_ERROR(subs_[i].Next());
+    if (subs_[i].Valid()) queue_.push(i);
+    return Status::OK();
+  }
+
+  uint64_t entries_read() const { return entries_read_; }
+
+ private:
+  struct LowestPositionFirst {
+    const std::vector<ErplStore::Iterator>* subs;
+    bool operator()(size_t a, size_t b) const {
+      // Min-heap on end position.
+      return (*subs)[b].entry().end_position() <
+             (*subs)[a].entry().end_position();
+    }
+  };
+
+  std::vector<ErplStore::Iterator> subs_;
+  std::vector<Sid> sids_;
+  std::priority_queue<size_t, std::vector<size_t>, LowestPositionFirst>
+      queue_{LowestPositionFirst{&subs_}};
+  uint64_t entries_read_ = 0;
+};
+
+// Hand-written quicksort, as in Figure 3's "sort V using QuickSort".
+// Median-of-three pivot, insertion sort below 16 elements, recursion on
+// the smaller half first to bound stack depth.
+void InsertionSort(std::vector<ScoredElement>& v, int lo, int hi) {
+  for (int i = lo + 1; i <= hi; ++i) {
+    ScoredElement key = v[i];
+    int j = i - 1;
+    while (j >= lo && ScoredElementGreater(key, v[j])) {
+      v[j + 1] = v[j];
+      --j;
+    }
+    v[j + 1] = key;
+  }
+}
+
+void QuickSortRange(std::vector<ScoredElement>& v, int lo, int hi) {
+  while (hi - lo >= 16) {
+    // Median of three.
+    int mid = lo + (hi - lo) / 2;
+    if (ScoredElementGreater(v[mid], v[lo])) std::swap(v[mid], v[lo]);
+    if (ScoredElementGreater(v[hi], v[lo])) std::swap(v[hi], v[lo]);
+    if (ScoredElementGreater(v[hi], v[mid])) std::swap(v[hi], v[mid]);
+    ScoredElement pivot = v[mid];
+
+    int i = lo, j = hi;
+    while (i <= j) {
+      while (ScoredElementGreater(v[i], pivot)) ++i;
+      while (ScoredElementGreater(pivot, v[j])) --j;
+      if (i <= j) {
+        std::swap(v[i], v[j]);
+        ++i;
+        --j;
+      }
+    }
+    // Recurse into the smaller side, loop on the larger.
+    if (j - lo < hi - i) {
+      QuickSortRange(v, lo, j);
+      lo = i;
+    } else {
+      QuickSortRange(v, i, hi);
+      hi = j;
+    }
+  }
+  InsertionSort(v, lo, hi);
+}
+
+}  // namespace
+
+void QuickSortByScore(std::vector<ScoredElement>* v) {
+  if (v->size() > 1) {
+    QuickSortRange(*v, 0, static_cast<int>(v->size()) - 1);
+  }
+}
+
+bool Merge::CanEvaluate(Index* index, const TranslatedClause& clause) {
+  for (const WeightedTerm& t : clause.terms) {
+    for (Sid sid : clause.sids) {
+      if (!index->catalog()->Has(ListKind::kErpl, t.term, sid)) return false;
+    }
+  }
+  return true;
+}
+
+Status Merge::Evaluate(const TranslatedClause& clause, RetrievalResult* out) {
+  out->elements.clear();
+  out->metrics = RetrievalMetrics{};
+  const size_t n = clause.terms.size();
+  if (n == 0 || clause.sids.empty()) return Status::OK();
+  if (!CanEvaluate(index_, clause)) {
+    return Status::NotFound(
+        "Merge requires materialized ERPLs for every (term, sid) of the "
+        "query");
+  }
+
+  Stopwatch watch;
+  // Lines 2-5: iterators per term.
+  std::vector<TermPositionIterator> iters(n);
+  for (size_t j = 0; j < n; ++j) {
+    TREX_RETURN_IF_ERROR(
+        iters[j].Init(index_, clause.terms[j].term, clause.sids));
+  }
+
+  // Lines 6-21: merge by minimal position.
+  while (true) {
+    // Line 7: minimal end position among the iterators' current entries.
+    bool any = false;
+    Position min_pos = kMaxPosition;
+    for (size_t j = 0; j < n; ++j) {
+      if (!iters[j].Valid()) continue;
+      Position p = iters[j].PeekPosition();
+      if (!any || p < min_pos) {
+        min_pos = p;
+        any = true;
+      }
+    }
+    if (!any) break;  // Line 21: all iterators at the end.
+
+    // Lines 8-19: consume every iterator sitting at min_pos, summing
+    // weighted scores in term order (float-sum order matches ERA).
+    ScoredElement merged;
+    bool have_element = false;
+    float score = 0.0f;
+    for (size_t j = 0; j < n; ++j) {
+      if (!iters[j].Valid() || !(iters[j].PeekPosition() == min_pos)) {
+        continue;
+      }
+      ScoredEntry entry;
+      Sid sid;
+      TREX_RETURN_IF_ERROR(iters[j].Next(&entry, &sid));
+      ++out->metrics.sorted_accesses;
+      if (!have_element) {
+        merged.element =
+            ElementInfo{sid, entry.docid, entry.endpos, entry.length};
+        have_element = true;
+      }
+      score += clause.terms[j].weight * entry.score;
+    }
+    merged.score = score;
+    out->elements.push_back(merged);  // Line 20.
+  }
+
+  // Line 22: "sort V using QuickSort".
+  QuickSortByScore(&out->elements);
+  out->metrics.wall_seconds = watch.ElapsedSeconds();
+  out->metrics.ideal_seconds = out->metrics.wall_seconds;
+  return Status::OK();
+}
+
+}  // namespace trex

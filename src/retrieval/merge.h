@@ -1,0 +1,40 @@
+// Merge — the merge algorithm over ERPLs (§3.4, Figure 3).
+//
+// One position-ordered iterator per term (an m-way positional merge over
+// the term's (term, sid) ERPLs), a global merge by minimal position that
+// sums each element's weighted per-term scores, and a final QuickSort by
+// score — hand-written, as named in the paper's pseudocode ("sort V using
+// QuickSort"). Merge computes all answers; top-k is a truncation of the
+// sorted vector.
+#ifndef TREX_RETRIEVAL_MERGE_H_
+#define TREX_RETRIEVAL_MERGE_H_
+
+#include <vector>
+
+#include "index/index.h"
+#include "nexi/translator.h"
+#include "retrieval/common.h"
+
+namespace trex {
+
+class Merge {
+ public:
+  explicit Merge(Index* index) : index_(index) {}
+
+  // True iff every (term, sid) ERPL needed by the clause is materialized.
+  static bool CanEvaluate(Index* index, const TranslatedClause& clause);
+
+  // Computes all answers ranked by descending score (truncate for top-k).
+  Status Evaluate(const TranslatedClause& clause, RetrievalResult* out);
+
+ private:
+  Index* index_;
+};
+
+// The paper's QuickSort (exposed for unit tests): sorts by
+// ScoredElementGreater (descending score).
+void QuickSortByScore(std::vector<ScoredElement>* v);
+
+}  // namespace trex
+
+#endif  // TREX_RETRIEVAL_MERGE_H_

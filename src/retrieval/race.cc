@@ -1,0 +1,67 @@
+#include "retrieval/race.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/clock.h"
+#include "retrieval/merge.h"
+#include "retrieval/ta.h"
+
+namespace trex {
+
+Result<std::unique_ptr<RaceEvaluator>> RaceEvaluator::Open(
+    const std::string& dir, size_t cache_pages) {
+  auto ta_view = Index::Open(dir, cache_pages);
+  if (!ta_view.ok()) return ta_view.status();
+  auto merge_view = Index::Open(dir, cache_pages);
+  if (!merge_view.ok()) return merge_view.status();
+  return std::unique_ptr<RaceEvaluator>(new RaceEvaluator(
+      std::move(ta_view).value(), std::move(merge_view).value()));
+}
+
+Status RaceEvaluator::Evaluate(const TranslatedClause& clause, size_t k,
+                               RaceOutcome* outcome) {
+  if (!Ta::CanEvaluate(ta_view_.get(), clause)) {
+    return Status::NotFound("race requires RPLs for the clause");
+  }
+  if (!Merge::CanEvaluate(merge_view_.get(), clause)) {
+    return Status::NotFound("race requires ERPLs for the clause");
+  }
+
+  RetrievalResult ta_result, merge_result;
+  Status ta_status, merge_status;
+  std::atomic<int> finish_order{0};
+  int ta_place = 0, merge_place = 0;
+
+  std::thread ta_thread([&]() {
+    Ta ta(ta_view_.get());
+    ta_status = ta.Evaluate(clause, k, &ta_result);
+    ta_place = ++finish_order;
+  });
+  std::thread merge_thread([&]() {
+    Merge merge(merge_view_.get());
+    merge_status = merge.Evaluate(clause, &merge_result);
+    if (merge_status.ok() && k > 0 && merge_result.elements.size() > k) {
+      merge_result.elements.resize(k);
+    }
+    merge_place = ++finish_order;
+  });
+  ta_thread.join();
+  merge_thread.join();
+
+  TREX_RETURN_IF_ERROR(ta_status);
+  TREX_RETURN_IF_ERROR(merge_status);
+
+  outcome->ta_seconds = ta_result.metrics.wall_seconds;
+  outcome->merge_seconds = merge_result.metrics.wall_seconds;
+  if (ta_place < merge_place) {
+    outcome->winner = RetrievalMethod::kTa;
+    outcome->result = std::move(ta_result);
+  } else {
+    outcome->winner = RetrievalMethod::kMerge;
+    outcome->result = std::move(merge_result);
+  }
+  return Status::OK();
+}
+
+}  // namespace trex

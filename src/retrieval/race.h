@@ -1,0 +1,56 @@
+// RaceEvaluator: run TA and Merge in parallel, answer from the winner.
+//
+// §4: "Theoretically, a system can store for each pair of term and sid
+// both an RPL and an ERPL. ... If the two computations are being done in
+// parallel, the system can return the answer from the computation that
+// finishes first." This implements that mode.
+//
+// The storage engine is single-threaded by design (like the paper's
+// harness), so the race opens a SECOND read-only view of the index
+// directory — each method runs against its own pager/buffer pool and the
+// two threads never share mutable state. Both threads run to completion
+// (there is no cancellation in the storage layer); the reported result
+// and method are the first finisher's, and both wall times are exposed.
+#ifndef TREX_RETRIEVAL_RACE_H_
+#define TREX_RETRIEVAL_RACE_H_
+
+#include <memory>
+#include <string>
+
+#include "index/index.h"
+#include "nexi/translator.h"
+#include "retrieval/common.h"
+#include "retrieval/strategy.h"
+
+namespace trex {
+
+struct RaceOutcome {
+  RetrievalMethod winner = RetrievalMethod::kTa;
+  RetrievalResult result;       // The winner's result.
+  double ta_seconds = 0.0;      // Full TA wall time.
+  double merge_seconds = 0.0;   // Full Merge wall time.
+};
+
+class RaceEvaluator {
+ public:
+  // `dir` is the index directory; two independent read views are opened.
+  static Result<std::unique_ptr<RaceEvaluator>> Open(const std::string& dir,
+                                                     size_t cache_pages =
+                                                         2048);
+
+  // Requires both RPLs and ERPLs materialized for the clause.
+  Status Evaluate(const TranslatedClause& clause, size_t k,
+                  RaceOutcome* outcome);
+
+ private:
+  RaceEvaluator(std::unique_ptr<Index> ta_view,
+                std::unique_ptr<Index> merge_view)
+      : ta_view_(std::move(ta_view)), merge_view_(std::move(merge_view)) {}
+
+  std::unique_ptr<Index> ta_view_;
+  std::unique_ptr<Index> merge_view_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_RETRIEVAL_RACE_H_

@@ -1,0 +1,85 @@
+#include "retrieval/strategy.h"
+
+#include "retrieval/era.h"
+#include "retrieval/merge.h"
+#include "retrieval/ta.h"
+
+namespace trex {
+
+const char* RetrievalMethodName(RetrievalMethod method) {
+  switch (method) {
+    case RetrievalMethod::kEra:
+      return "ERA";
+    case RetrievalMethod::kTa:
+      return "TA";
+    case RetrievalMethod::kMerge:
+      return "Merge";
+  }
+  return "?";
+}
+
+StrategyDecision ChooseStrategy(Index* index, const TranslatedClause& clause,
+                                size_t k) {
+  const bool ta_ok = Ta::CanEvaluate(index, clause);
+  const bool merge_ok = Merge::CanEvaluate(index, clause);
+  if (!ta_ok && !merge_ok) {
+    return {RetrievalMethod::kEra, "no redundant lists materialized"};
+  }
+
+  // Estimated total list volume: an upper bound on the entries TA/Merge
+  // read, from the terms' collection frequencies.
+  uint64_t volume = 0;
+  for (const WeightedTerm& t : clause.terms) {
+    TermStats stats;
+    if (index->postings()->GetTermStats(t.term, &stats).ok()) {
+      volume += stats.collection_freq;
+    }
+  }
+
+  // §5's observed crossover: TA pays off only when it can stop after a
+  // small fraction of the lists; otherwise its candidate bookkeeping and
+  // top-k heap management lose to Merge's single pass + quicksort.
+  if (ta_ok && k > 0 && (!merge_ok || k * 100 < volume)) {
+    return {RetrievalMethod::kTa,
+            "k is small relative to the expected list volume"};
+  }
+  if (merge_ok) {
+    return {RetrievalMethod::kMerge, "full merge cheaper than threshold"};
+  }
+  return {RetrievalMethod::kTa, "only RPLs are materialized"};
+}
+
+Status Evaluator::EvaluateWith(RetrievalMethod method,
+                               const TranslatedClause& clause, size_t k,
+                               RetrievalResult* out) {
+  switch (method) {
+    case RetrievalMethod::kEra: {
+      Era era(index_);
+      TREX_RETURN_IF_ERROR(era.Evaluate(clause, out));
+      break;
+    }
+    case RetrievalMethod::kTa: {
+      Ta ta(index_);
+      // TA needs a concrete k; "all answers" means the full result size.
+      size_t effective_k = k == 0 ? SIZE_MAX : k;
+      TREX_RETURN_IF_ERROR(ta.Evaluate(clause, effective_k, out));
+      break;
+    }
+    case RetrievalMethod::kMerge: {
+      Merge merge(index_);
+      TREX_RETURN_IF_ERROR(merge.Evaluate(clause, out));
+      break;
+    }
+  }
+  if (k > 0 && out->elements.size() > k) out->elements.resize(k);
+  return Status::OK();
+}
+
+Status Evaluator::Evaluate(const TranslatedClause& clause, size_t k,
+                           RetrievalResult* out, RetrievalMethod* used) {
+  StrategyDecision decision = ChooseStrategy(index_, clause, k);
+  if (used != nullptr) *used = decision.method;
+  return EvaluateWith(decision.method, clause, k, out);
+}
+
+}  // namespace trex

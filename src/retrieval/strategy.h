@@ -1,0 +1,58 @@
+// Strategy selection: "TReX evaluates a given query by choosing a method
+// from the three evaluation methods" (§4).
+//
+// The selector is availability- and cost-driven:
+//  * a method is available only if its redundant lists are materialized
+//    (ERA is always available);
+//  * among available methods the heuristic mirrors the paper's findings:
+//    TA wins for very small k relative to the list volume, Merge wins
+//    otherwise, ERA is the fallback.
+// The workload advisor (src/advisor) refines this with measured times.
+#ifndef TREX_RETRIEVAL_STRATEGY_H_
+#define TREX_RETRIEVAL_STRATEGY_H_
+
+#include <string>
+
+#include "index/index.h"
+#include "nexi/translator.h"
+#include "retrieval/common.h"
+
+namespace trex {
+
+enum class RetrievalMethod {
+  kEra,
+  kTa,
+  kMerge,
+};
+
+const char* RetrievalMethodName(RetrievalMethod method);
+
+struct StrategyDecision {
+  RetrievalMethod method = RetrievalMethod::kEra;
+  std::string reason;
+};
+
+// Picks a method for evaluating `clause` with the given k (k == 0 means
+// "all answers").
+StrategyDecision ChooseStrategy(Index* index, const TranslatedClause& clause,
+                                size_t k);
+
+// Runs the chosen (or forced) method. k == 0 returns all answers; for
+// k > 0 the result is truncated to k. `used` (optional) reports which
+// method ran.
+class Evaluator {
+ public:
+  explicit Evaluator(Index* index) : index_(index) {}
+
+  Status Evaluate(const TranslatedClause& clause, size_t k,
+                  RetrievalResult* out, RetrievalMethod* used = nullptr);
+  Status EvaluateWith(RetrievalMethod method, const TranslatedClause& clause,
+                      size_t k, RetrievalResult* out);
+
+ private:
+  Index* index_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_RETRIEVAL_STRATEGY_H_

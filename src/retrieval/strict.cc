@@ -1,0 +1,105 @@
+#include "retrieval/strict.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "index/element_index.h"
+#include "retrieval/strategy.h"
+
+namespace trex {
+
+namespace {
+
+// True iff one span contains the other (ancestor-or-self either way).
+bool Related(const ElementInfo& a, const ElementInfo& b) {
+  if (a.docid != b.docid) return false;
+  bool a_contains_b = a.start() <= b.start() && b.endpos <= a.endpos;
+  bool b_contains_a = b.start() <= a.start() && a.endpos <= b.endpos;
+  return a_contains_b || b_contains_a;
+}
+
+}  // namespace
+
+Status StrictEvaluator::Evaluate(const TranslatedQuery& query, size_t k,
+                                 RetrievalResult* out) {
+  out->elements.clear();
+  out->metrics = RetrievalMetrics{};
+  Stopwatch watch;
+  if (query.clauses.empty() || query.target_sids.empty()) {
+    return Status::OK();
+  }
+
+  // 1. Evaluate every clause separately; group results per document.
+  Evaluator evaluator(index_);
+  // clause -> docid -> supports sorted by start offset.
+  std::vector<std::map<DocId, std::vector<ScoredElement>>> supports(
+      query.clauses.size());
+  for (size_t c = 0; c < query.clauses.size(); ++c) {
+    RetrievalResult result;
+    TREX_RETURN_IF_ERROR(
+        evaluator.Evaluate(query.clauses[c], /*k=*/0, &result));
+    out->metrics.sorted_accesses += result.metrics.sorted_accesses;
+    out->metrics.positions_scanned += result.metrics.positions_scanned;
+    out->metrics.elements_scanned += result.metrics.elements_scanned;
+    for (const ScoredElement& e : result.elements) {
+      supports[c][e.element.docid].push_back(e);
+    }
+  }
+
+  // 2. Candidates: all elements of the target extents in documents where
+  //    the first clause has any support (cheap pre-filter — a qualifying
+  //    candidate needs support from every clause).
+  const auto& first_clause_docs = supports[0];
+  for (Sid sid : query.target_sids) {
+    ElementIndex::ExtentIterator it(index_->elements(), sid);
+    auto e = it.FirstElement();
+    TREX_RETURN_IF_ERROR(e.status());
+    while (!e.value().is_dummy()) {
+      const ElementInfo& candidate = e.value();
+      auto doc_it = first_clause_docs.find(candidate.docid);
+      if (doc_it != first_clause_docs.end()) {
+        // 3. Require support from EVERY clause; 4. sum best supports.
+        float score = 0.0f;
+        bool qualified = true;
+        for (size_t c = 0; c < supports.size(); ++c) {
+          auto sup_it = supports[c].find(candidate.docid);
+          if (sup_it == supports[c].end()) {
+            qualified = false;
+            break;
+          }
+          float best = 0.0f;
+          bool found = false;
+          for (const ScoredElement& s : sup_it->second) {
+            if (!Related(s.element, candidate)) continue;
+            if (!found || s.score > best) {
+              best = s.score;
+              found = true;
+            }
+          }
+          if (!found) {
+            qualified = false;
+            break;
+          }
+          score += best;
+        }
+        if (qualified) {
+          out->elements.push_back(ScoredElement{candidate, score});
+        }
+      }
+      e = it.NextElementAfter(e.value().end_position());
+      TREX_RETURN_IF_ERROR(e.status());
+      ++out->metrics.elements_scanned;
+    }
+  }
+
+  std::sort(out->elements.begin(), out->elements.end(),
+            ScoredElementGreater);
+  if (k > 0 && out->elements.size() > k) out->elements.resize(k);
+  out->metrics.wall_seconds = watch.ElapsedSeconds();
+  out->metrics.ideal_seconds = out->metrics.wall_seconds;
+  return Status::OK();
+}
+
+}  // namespace trex

@@ -1,0 +1,48 @@
+// Strict-interpretation evaluation (§1).
+//
+// "Under a strict interpretation, the structural constraints should be
+// satisfied precisely": for Example 1.1 the answers are sec elements that
+// are descendants of article elements, ranked by their relevance to
+// "query evaluation" AND the relevance of their ancestor article to
+// "XML".
+//
+// The vague evaluation the paper benchmarks flattens all clauses into one
+// (sids, terms) task; this evaluator implements the strict semantics on
+// top of the same machinery:
+//   1. every about() clause is evaluated separately (ERA/TA/Merge via the
+//      strategy selector, whatever lists exist);
+//   2. candidate answers are elements of the query skeleton's target
+//      extents;
+//   3. a candidate qualifies iff EVERY clause has a supporting element in
+//      the same document whose span contains the candidate or is
+//      contained by it (ancestor support for outer clauses such as
+//      //article[about(., xml)], descendant support for relative-path
+//      clauses such as about(.//bdy, music));
+//   4. the candidate's score is the sum over clauses of the best
+//      supporting element's score.
+// Boolean predicate structure is treated conjunctively (all about()
+// clauses must be supported), the common CO+S reading.
+#ifndef TREX_RETRIEVAL_STRICT_H_
+#define TREX_RETRIEVAL_STRICT_H_
+
+#include "index/index.h"
+#include "nexi/translator.h"
+#include "retrieval/common.h"
+
+namespace trex {
+
+class StrictEvaluator {
+ public:
+  explicit StrictEvaluator(Index* index) : index_(index) {}
+
+  // k == 0 returns all strict answers.
+  Status Evaluate(const TranslatedQuery& query, size_t k,
+                  RetrievalResult* out);
+
+ private:
+  Index* index_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_RETRIEVAL_STRICT_H_

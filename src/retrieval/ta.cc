@@ -1,0 +1,271 @@
+#include "retrieval/ta.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "retrieval/heap.h"
+
+namespace trex {
+
+namespace {
+
+// Score-ordered sorted access for one term across the query's sids:
+// an m-way descending-score merge of the (term, sid) RPLs.
+class TermScoreIterator {
+ public:
+  Status Init(Index* index, const std::string& term,
+              const std::vector<Sid>& sids) {
+    subs_.reserve(sids.size());
+    sids_.clear();
+    for (Sid sid : sids) {
+      subs_.emplace_back(index->rpls(), term, sid);
+      sids_.push_back(sid);
+    }
+    for (size_t i = 0; i < subs_.size(); ++i) {
+      TREX_RETURN_IF_ERROR(subs_[i].Init());
+      if (subs_[i].Valid()) queue_.push(i);
+    }
+    return Status::OK();
+  }
+
+  bool Valid() const { return !queue_.empty(); }
+  // Score of the next entry — the sorted-access bound high_j.
+  float PeekScore() const { return subs_[queue_.top()].entry().score; }
+
+  Status Next(ScoredEntry* entry, Sid* sid) {
+    size_t i = queue_.top();
+    queue_.pop();
+    *entry = subs_[i].entry();
+    *sid = sids_[i];
+    ++entries_read_;
+    TREX_RETURN_IF_ERROR(subs_[i].Next());
+    if (subs_[i].Valid()) queue_.push(i);
+    return Status::OK();
+  }
+
+  uint64_t entries_read() const { return entries_read_; }
+
+ private:
+  struct BestScoreFirst {
+    const std::vector<RplStore::Iterator>* subs;
+    bool operator()(size_t a, size_t b) const {
+      const ScoredEntry& ea = (*subs)[a].entry();
+      const ScoredEntry& eb = (*subs)[b].entry();
+      if (ea.score != eb.score) return ea.score < eb.score;  // Max-heap.
+      return eb.end_position() < ea.end_position();
+    }
+  };
+
+  std::vector<RplStore::Iterator> subs_;
+  std::vector<Sid> sids_;
+  std::priority_queue<size_t, std::vector<size_t>, BestScoreFirst> queue_{
+      BestScoreFirst{&subs_}};
+  uint64_t entries_read_ = 0;
+};
+
+struct Candidate {
+  ElementInfo element;
+  float worst = 0.0f;            // Sum of seen weighted contributions.
+  uint32_t seen_mask = 0;
+  std::vector<float> per_term;   // Exact per-term contributions.
+  bool in_topk = false;
+};
+
+struct HeapItem {
+  float score;
+  ElementKey key;
+};
+struct HeapItemLess {
+  bool operator()(const HeapItem& a, const HeapItem& b) const {
+    if (a.score != b.score) return a.score < b.score;  // Min by score.
+    return b.key < a.key;  // Larger key = "smaller" (evicted first).
+  }
+};
+
+}  // namespace
+
+bool Ta::CanEvaluate(Index* index, const TranslatedClause& clause) {
+  for (const WeightedTerm& t : clause.terms) {
+    for (Sid sid : clause.sids) {
+      if (!index->catalog()->Has(ListKind::kRpl, t.term, sid)) return false;
+    }
+  }
+  return true;
+}
+
+Status Ta::Evaluate(const TranslatedClause& clause, size_t k,
+                    RetrievalResult* out) {
+  out->elements.clear();
+  out->metrics = RetrievalMetrics{};
+  const size_t n = clause.terms.size();
+  if (n == 0 || clause.sids.empty() || k == 0) return Status::OK();
+  if (n > 32) {
+    return Status::InvalidArgument("TA supports at most 32 query terms");
+  }
+  if (!CanEvaluate(index_, clause)) {
+    return Status::NotFound(
+        "TA requires materialized RPLs for every (term, sid) of the query");
+  }
+
+  PausableTimer timer;
+  timer.Start();
+
+  std::vector<TermScoreIterator> iters(n);
+  for (size_t j = 0; j < n; ++j) {
+    TREX_RETURN_IF_ERROR(iters[j].Init(index_, clause.terms[j].term,
+                                       clause.sids));
+  }
+
+  std::unordered_map<ElementKey, Candidate, ElementKeyHash> candidates;
+  // The paper's top-k heap, with pausable timing (ITA) and op counting.
+  InstrumentedHeap<HeapItem, HeapItemLess> topk;
+  topk.set_timer(&timer);
+  // Keys currently considered part of the top-k (unique; the heap may
+  // hold stale duplicates that are skipped lazily).
+  std::unordered_map<ElementKey, float, ElementKeyHash> topk_scores;
+
+  // Pops stale heap tops; afterwards top() (if any) is live.
+  auto clean_top = [&]() {
+    while (!topk.empty()) {
+      auto it = topk_scores.find(topk.top().key);
+      if (it != topk_scores.end() && it->second == topk.top().score) break;
+      topk.Pop();
+    }
+  };
+  auto kth_worst = [&]() -> float {
+    if (topk_scores.size() < k) {
+      return -std::numeric_limits<float>::infinity();
+    }
+    clean_top();
+    return topk.top().score;
+  };
+
+  auto offer_topk = [&](const ElementKey& key, Candidate* cand) {
+    auto it = topk_scores.find(key);
+    if (it != topk_scores.end()) {
+      // Member improved: push the fresh snapshot (old one goes stale).
+      it->second = cand->worst;
+      topk.Push(HeapItem{cand->worst, key});
+      return;
+    }
+    if (topk_scores.size() < k) {
+      topk_scores.emplace(key, cand->worst);
+      cand->in_topk = true;
+      topk.Push(HeapItem{cand->worst, key});
+      return;
+    }
+    clean_top();
+    if (!topk.empty() && cand->worst > topk.top().score) {
+      HeapItem evicted = topk.Pop();
+      topk_scores.erase(evicted.key);
+      auto evicted_cand = candidates.find(evicted.key);
+      if (evicted_cand != candidates.end()) {
+        evicted_cand->second.in_topk = false;
+      }
+      topk_scores.emplace(key, cand->worst);
+      cand->in_topk = true;
+      topk.Push(HeapItem{cand->worst, key});
+    }
+  };
+
+  std::vector<float> high(n);
+  std::vector<bool> exhausted(n, false);
+  auto threshold = [&]() {
+    float t = 0.0f;
+    for (size_t j = 0; j < n; ++j) {
+      if (exhausted[j]) continue;
+      float c = clause.terms[j].weight * high[j];
+      if (c > 0) t += c;
+    }
+    return t;
+  };
+
+  // Round-robin sorted access, stop checks at intervals.
+  constexpr int kStopCheckInterval = 64;
+  int rounds_since_check = 0;
+  bool done = false;
+  while (!done) {
+    bool any_alive = false;
+    for (size_t j = 0; j < n; ++j) {
+      if (!iters[j].Valid()) {
+        exhausted[j] = true;
+        continue;
+      }
+      any_alive = true;
+      ScoredEntry entry;
+      Sid sid;
+      TREX_RETURN_IF_ERROR(iters[j].Next(&entry, &sid));
+      high[j] = entry.score;
+      if (!iters[j].Valid()) exhausted[j] = true;
+      ++out->metrics.sorted_accesses;
+
+      ElementKey key{entry.docid, entry.endpos};
+      Candidate& cand = candidates[key];
+      if (cand.per_term.empty()) {
+        cand.per_term.assign(n, 0.0f);
+        cand.element =
+            ElementInfo{sid, entry.docid, entry.endpos, entry.length};
+      }
+      cand.per_term[j] = clause.terms[j].weight * entry.score;
+      cand.seen_mask |= (1u << j);
+      // Exact running sum in term order (keeps ERA/TA/Merge bit-equal).
+      float worst = 0.0f;
+      for (size_t t = 0; t < n; ++t) worst += cand.per_term[t];
+      cand.worst = worst;
+      offer_topk(key, &cand);
+    }
+    if (!any_alive) break;  // All lists fully read: exact evaluation.
+
+    if (++rounds_since_check >= kStopCheckInterval) {
+      rounds_since_check = 0;
+      float kth = kth_worst();
+      float tau = threshold();
+      if (topk_scores.size() == k && kth >= tau) {
+        // Can any remaining candidate still beat the k-th? Also prune
+        // hopeless candidates while scanning.
+        bool someone_can = false;
+        for (auto it = candidates.begin(); it != candidates.end();) {
+          Candidate& c = it->second;
+          if (c.in_topk) {
+            ++it;
+            continue;
+          }
+          float best = c.worst;
+          for (size_t j = 0; j < n; ++j) {
+            if ((c.seen_mask & (1u << j)) || exhausted[j]) continue;
+            float b = clause.terms[j].weight * high[j];
+            if (b > 0) best += b;
+          }
+          if (best > kth) {
+            someone_can = true;
+            ++it;
+          } else {
+            it = candidates.erase(it);
+          }
+        }
+        if (!someone_can) done = true;
+      }
+    }
+  }
+
+  // Assemble: the top-k set by confirmed (worst) score.
+  out->elements.reserve(candidates.size());
+  for (const auto& [key, cand] : candidates) {
+    out->elements.push_back(ScoredElement{cand.element, cand.worst});
+  }
+  std::sort(out->elements.begin(), out->elements.end(),
+            ScoredElementGreater);
+  if (out->elements.size() > k) out->elements.resize(k);
+
+  timer.Stop();
+  out->metrics.wall_seconds = static_cast<double>(timer.WallNanos()) * 1e-9;
+  out->metrics.ideal_seconds =
+      static_cast<double>(timer.ActiveNanos()) * 1e-9;
+  out->metrics.heap_operations = topk.operations();
+  return Status::OK();
+}
+
+}  // namespace trex

@@ -1,0 +1,50 @@
+// TA — the threshold algorithm over RPLs (§3.3).
+//
+// Implemented "in a version similar to the implementation that has been
+// used in TopX": sorted accesses only (no random accesses), per-candidate
+// worst/best score bounds, and a top-k heap of the best confirmed lower
+// bounds. The algorithm stops when the k-th confirmed worst score
+// dominates both the threshold (the best score any unseen element could
+// have) and the best-score bound of every remaining candidate.
+//
+// Per-term sorted access is a score-ordered merge over the (term, sid)
+// RPLs of the query's sid set, so "elements that do not have an sid among
+// the sids provided in the query are skipped" for free.
+//
+// The top-k heap is the InstrumentedHeap: its operations are counted and
+// its time can be excluded, yielding the paper's ITA measurement in the
+// same run.
+#ifndef TREX_RETRIEVAL_TA_H_
+#define TREX_RETRIEVAL_TA_H_
+
+#include <string>
+#include <vector>
+
+#include "index/index.h"
+#include "nexi/translator.h"
+#include "retrieval/common.h"
+
+namespace trex {
+
+class Ta {
+ public:
+  explicit Ta(Index* index) : index_(index) {}
+
+  // True iff every (term, sid) RPL needed by the clause is materialized.
+  static bool CanEvaluate(Index* index, const TranslatedClause& clause);
+
+  // Top-k evaluation. Fails with NotFound if a required RPL is missing.
+  // When the algorithm terminates early (threshold reached before the
+  // lists are exhausted), the returned set is a correct top-k set but
+  // scores of partially-seen members are lower bounds — the standard
+  // sorted-access-only guarantee.
+  Status Evaluate(const TranslatedClause& clause, size_t k,
+                  RetrievalResult* out);
+
+ private:
+  Index* index_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_RETRIEVAL_TA_H_

@@ -1,0 +1,645 @@
+#include "storage/bptree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace trex {
+
+namespace {
+
+// Node layout within the usable page area:
+//   [0]    uint8   type (1 = leaf, 2 = internal)
+//   [1,2]  uint16  ncells
+//   [3,4]  uint16  content_start: cells occupy [content_start, usable_end)
+//   [5,8]  uint32  aux: next-leaf page (leaf) / leftmost child (internal)
+//   [9..]  uint16  slot offsets, one per cell, in key order
+// Leaf cell:     varint klen, varint vlen, key bytes, value bytes
+// Internal cell: varint klen, key bytes, fixed32 child page
+constexpr uint8_t kLeafNode = 1;
+constexpr uint8_t kInternalNode = 2;
+constexpr size_t kNodeHeaderSize = 9;
+constexpr size_t kSlotSize = 2;
+
+uint16_t ReadU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+void WriteU16(char* p, uint16_t v) { std::memcpy(p, &v, 2); }
+uint32_t ReadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+void WriteU32(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
+
+// A structured view over one node page. Does not own the buffer.
+class NodeView {
+ public:
+  explicit NodeView(char* data) : data_(data) {}
+  explicit NodeView(const char* data) : data_(const_cast<char*>(data)) {}
+
+  void Init(uint8_t type) {
+    data_[0] = static_cast<char>(type);
+    WriteU16(data_ + 1, 0);
+    WriteU16(data_ + 3, static_cast<uint16_t>(kPageUsableSize));
+    WriteU32(data_ + 5, kInvalidPageId);
+  }
+
+  uint8_t type() const { return static_cast<uint8_t>(data_[0]); }
+  bool is_leaf() const { return type() == kLeafNode; }
+  uint16_t ncells() const { return ReadU16(data_ + 1); }
+  uint16_t content_start() const { return ReadU16(data_ + 3); }
+  uint32_t aux() const { return ReadU32(data_ + 5); }
+  void set_aux(uint32_t v) { WriteU32(data_ + 5, v); }
+
+  uint16_t slot(int i) const {
+    return ReadU16(data_ + kNodeHeaderSize + kSlotSize * i);
+  }
+
+  size_t FreeSpace() const {
+    return content_start() - (kNodeHeaderSize + kSlotSize * ncells());
+  }
+
+  // Parses the cell at slot i. For leaves fills key+value; for internal
+  // nodes fills key+child.
+  void ParseLeafCell(int i, Slice* key, Slice* value) const {
+    Slice in(data_ + slot(i), kPageUsableSize - slot(i));
+    uint32_t klen = 0, vlen = 0;
+    bool ok = GetVarint32(&in, &klen) && GetVarint32(&in, &vlen);
+    assert(ok);
+    (void)ok;
+    *key = Slice(in.data(), klen);
+    *value = Slice(in.data() + klen, vlen);
+  }
+
+  void ParseInternalCell(int i, Slice* key, PageId* child) const {
+    Slice in(data_ + slot(i), kPageUsableSize - slot(i));
+    uint32_t klen = 0;
+    bool ok = GetVarint32(&in, &klen);
+    assert(ok);
+    (void)ok;
+    *key = Slice(in.data(), klen);
+    *child = ReadU32(in.data() + klen);
+  }
+
+  Slice CellKey(int i) const {
+    Slice key, value;
+    PageId child;
+    if (is_leaf()) {
+      ParseLeafCell(i, &key, &value);
+    } else {
+      ParseInternalCell(i, &key, &child);
+    }
+    return key;
+  }
+
+  // Returns raw bytes of cell i (for splits / compaction).
+  std::string RawCell(int i) const {
+    Slice in(data_ + slot(i), kPageUsableSize - slot(i));
+    const char* start = in.data();
+    uint32_t klen = 0;
+    GetVarint32(&in, &klen);
+    size_t total;
+    if (is_leaf()) {
+      uint32_t vlen = 0;
+      GetVarint32(&in, &vlen);
+      total = static_cast<size_t>(in.data() - start) + klen + vlen;
+    } else {
+      total = static_cast<size_t>(in.data() - start) + klen + 4;
+    }
+    return std::string(start, total);
+  }
+
+  // Smallest slot whose key >= target; ncells() if none. Sets *exact.
+  int LowerBound(const Slice& target, bool* exact) const {
+    int lo = 0, hi = ncells();
+    *exact = false;
+    while (lo < hi) {
+      int mid = lo + (hi - lo) / 2;
+      int cmp = CellKey(mid).Compare(target);
+      if (cmp < 0) {
+        lo = mid + 1;
+      } else {
+        if (cmp == 0) *exact = true;
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // Child to descend into for `target` in an internal node: the child of
+  // the largest separator <= target, or the leftmost child.
+  PageId ChildFor(const Slice& target) const {
+    int lo = 0, hi = ncells();  // Invariant: seps [0,lo) are <= target.
+    while (lo < hi) {
+      int mid = lo + (hi - lo) / 2;
+      if (CellKey(mid).Compare(target) <= 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == 0) return aux();
+    Slice key;
+    PageId child;
+    ParseInternalCell(lo - 1, &key, &child);
+    return child;
+  }
+
+  // Inserts raw cell bytes at slot position i. Caller must ensure space.
+  void InsertCellAt(int i, const Slice& cell) {
+    assert(FreeSpace() >= cell.size() + kSlotSize);
+    uint16_t new_start =
+        static_cast<uint16_t>(content_start() - cell.size());
+    std::memcpy(data_ + new_start, cell.data(), cell.size());
+    WriteU16(data_ + 3, new_start);
+    int n = ncells();
+    char* slots = data_ + kNodeHeaderSize;
+    std::memmove(slots + kSlotSize * (i + 1), slots + kSlotSize * i,
+                 kSlotSize * (n - i));
+    WriteU16(slots + kSlotSize * i, new_start);
+    WriteU16(data_ + 1, static_cast<uint16_t>(n + 1));
+  }
+
+  void RemoveCellAt(int i) {
+    int n = ncells();
+    assert(i >= 0 && i < n);
+    char* slots = data_ + kNodeHeaderSize;
+    std::memmove(slots + kSlotSize * i, slots + kSlotSize * (i + 1),
+                 kSlotSize * (n - i - 1));
+    WriteU16(data_ + 1, static_cast<uint16_t>(n - 1));
+    // Cell bytes become garbage; reclaimed by Compact().
+  }
+
+  // Rewrites all cells tightly packed (reclaims garbage left by removes).
+  void Compact() {
+    int n = ncells();
+    std::vector<std::string> cells;
+    cells.reserve(n);
+    for (int i = 0; i < n; ++i) cells.push_back(RawCell(i));
+    uint8_t t = type();
+    uint32_t a = aux();
+    Init(t);
+    set_aux(a);
+    for (const auto& c : cells) InsertCellAt(ncells(), c);
+  }
+
+ private:
+  char* data_;
+};
+
+std::string MakeLeafCell(const Slice& key, const Slice& value) {
+  std::string cell;
+  PutVarint32(&cell, static_cast<uint32_t>(key.size()));
+  PutVarint32(&cell, static_cast<uint32_t>(value.size()));
+  cell.append(key.data(), key.size());
+  cell.append(value.data(), value.size());
+  return cell;
+}
+
+std::string MakeInternalCell(const Slice& key, PageId child) {
+  std::string cell;
+  PutVarint32(&cell, static_cast<uint32_t>(key.size()));
+  cell.append(key.data(), key.size());
+  char buf[4];
+  WriteU32(buf, child);
+  cell.append(buf, 4);
+  return cell;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BPTree
+// ---------------------------------------------------------------------------
+
+BPTree::BPTree(std::unique_ptr<Pager> pager, size_t cache_pages)
+    : pager_(std::move(pager)) {
+  pool_ = std::make_unique<BufferPool>(pager_.get(), cache_pages);
+  row_count_ = pager_->row_count();
+}
+
+BPTree::~BPTree() { Flush().ok(); }
+
+Result<std::unique_ptr<BPTree>> BPTree::Open(const std::string& path,
+                                             size_t cache_pages) {
+  auto pager = Pager::Open(path);
+  if (!pager.ok()) return pager.status();
+  return std::unique_ptr<BPTree>(
+      new BPTree(std::move(pager).value(), cache_pages));
+}
+
+Status BPTree::Flush() {
+  TREX_RETURN_IF_ERROR(pool_->Flush());
+  TREX_RETURN_IF_ERROR(pager_->SetRowCount(row_count_));
+  return Status::OK();
+}
+
+Status BPTree::FindLeaf(const Slice& target, PageHandle* leaf) {
+  PageId node = pager_->root_page();
+  if (node == kInvalidPageId) {
+    return Status::NotFound("empty tree");
+  }
+  while (true) {
+    auto h = pool_->Fetch(node);
+    if (!h.ok()) return h.status();
+    NodeView view(h.value().data());
+    if (view.is_leaf()) {
+      *leaf = std::move(h).value();
+      return Status::OK();
+    }
+    node = view.ChildFor(target);
+  }
+}
+
+Status BPTree::Get(const Slice& key, std::string* value) {
+  PageHandle leaf;
+  Status s = FindLeaf(key, &leaf);
+  if (s.IsNotFound()) return Status::NotFound("key not found");
+  TREX_RETURN_IF_ERROR(s);
+  NodeView view(leaf.data());
+  bool exact = false;
+  int i = view.LowerBound(key, &exact);
+  if (!exact) return Status::NotFound("key not found");
+  Slice k, v;
+  view.ParseLeafCell(i, &k, &v);
+  value->assign(v.data(), v.size());
+  return Status::OK();
+}
+
+Status BPTree::Put(const Slice& key, const Slice& value) {
+  if (key.size() + value.size() > kMaxCellPayload) {
+    return Status::InvalidArgument(
+        "key+value exceeds kMaxCellPayload; fragment the value");
+  }
+  if (key.empty()) {
+    return Status::InvalidArgument("empty keys are not supported");
+  }
+  PageId root = pager_->root_page();
+  if (root == kInvalidPageId) {
+    auto h = pool_->Allocate();
+    if (!h.ok()) return h.status();
+    NodeView view(h.value().MutableData());
+    view.Init(kLeafNode);
+    view.InsertCellAt(0, MakeLeafCell(key, value));
+    TREX_RETURN_IF_ERROR(pager_->SetRootPage(h.value().id()));
+    ++row_count_;
+    return Status::OK();
+  }
+  std::optional<SplitResult> split;
+  bool inserted_new = false;
+  TREX_RETURN_IF_ERROR(InsertInto(root, key, value, &split, &inserted_new));
+  if (split.has_value()) {
+    auto h = pool_->Allocate();
+    if (!h.ok()) return h.status();
+    NodeView view(h.value().MutableData());
+    view.Init(kInternalNode);
+    view.set_aux(root);
+    view.InsertCellAt(0, MakeInternalCell(split->separator, split->right));
+    TREX_RETURN_IF_ERROR(pager_->SetRootPage(h.value().id()));
+  }
+  if (inserted_new) ++row_count_;
+  return Status::OK();
+}
+
+Status BPTree::InsertInto(PageId node, const Slice& key, const Slice& value,
+                          std::optional<SplitResult>* split,
+                          bool* inserted_new) {
+  auto h_or = pool_->Fetch(node);
+  if (!h_or.ok()) return h_or.status();
+  PageHandle handle = std::move(h_or).value();
+  NodeView view(handle.MutableData());
+
+  if (!view.is_leaf()) {
+    // Descend, then absorb a possible child split.
+    PageId child = view.ChildFor(key);
+    std::optional<SplitResult> child_split;
+    TREX_RETURN_IF_ERROR(
+        InsertInto(child, key, value, &child_split, inserted_new));
+    if (!child_split.has_value()) return Status::OK();
+
+    std::string cell =
+        MakeInternalCell(child_split->separator, child_split->right);
+    bool exact = false;
+    int pos = view.LowerBound(child_split->separator, &exact);
+    assert(!exact);
+    if (view.FreeSpace() < cell.size() + kSlotSize) view.Compact();
+    if (view.FreeSpace() >= cell.size() + kSlotSize) {
+      view.InsertCellAt(pos, cell);
+      return Status::OK();
+    }
+    // Split this internal node: median key promotes.
+    int n = view.ncells();
+    std::vector<std::string> cells;
+    cells.reserve(n + 1);
+    for (int i = 0; i < n; ++i) cells.push_back(view.RawCell(i));
+    cells.insert(cells.begin() + pos, cell);
+    int mid = static_cast<int>(cells.size()) / 2;
+
+    // Decode the median cell.
+    Slice mid_key;
+    {
+      Slice in(cells[mid]);
+      uint32_t klen = 0;
+      GetVarint32(&in, &klen);
+      mid_key = Slice(in.data(), klen);
+    }
+    PageId mid_child = ReadU32(cells[mid].data() + cells[mid].size() - 4);
+
+    auto right_or = pool_->Allocate();
+    if (!right_or.ok()) return right_or.status();
+    PageHandle right = std::move(right_or).value();
+    NodeView rview(right.MutableData());
+    rview.Init(kInternalNode);
+    rview.set_aux(mid_child);
+    for (size_t i = mid + 1; i < cells.size(); ++i) {
+      rview.InsertCellAt(rview.ncells(), cells[i]);
+    }
+
+    std::string sep = mid_key.ToString();
+    uint32_t left_aux = view.aux();
+    view.Init(kInternalNode);
+    view.set_aux(left_aux);
+    for (int i = 0; i < mid; ++i) {
+      view.InsertCellAt(view.ncells(), cells[i]);
+    }
+    *split = SplitResult{std::move(sep), right.id()};
+    return Status::OK();
+  }
+
+  // Leaf.
+  bool exact = false;
+  int pos = view.LowerBound(key, &exact);
+  if (exact) {
+    view.RemoveCellAt(pos);
+    *inserted_new = false;
+  } else {
+    *inserted_new = true;
+  }
+  std::string cell = MakeLeafCell(key, value);
+  if (view.FreeSpace() < cell.size() + kSlotSize) view.Compact();
+  if (view.FreeSpace() >= cell.size() + kSlotSize) {
+    view.InsertCellAt(pos, cell);
+    return Status::OK();
+  }
+
+  // Split the leaf.
+  int n = view.ncells();
+  std::vector<std::string> cells;
+  cells.reserve(n + 1);
+  for (int i = 0; i < n; ++i) cells.push_back(view.RawCell(i));
+  cells.insert(cells.begin() + pos, cell);
+  size_t mid = cells.size() / 2;
+
+  auto right_or = pool_->Allocate();
+  if (!right_or.ok()) return right_or.status();
+  PageHandle right = std::move(right_or).value();
+  NodeView rview(right.MutableData());
+  rview.Init(kLeafNode);
+  rview.set_aux(view.aux());  // Right inherits the old next-leaf link.
+  for (size_t i = mid; i < cells.size(); ++i) {
+    rview.InsertCellAt(rview.ncells(), cells[i]);
+  }
+
+  view.Init(kLeafNode);
+  view.set_aux(right.id());
+  for (size_t i = 0; i < mid; ++i) {
+    view.InsertCellAt(view.ncells(), cells[i]);
+  }
+
+  // Separator = first key of the right node.
+  Slice sep_key;
+  {
+    Slice in(cells[mid]);
+    uint32_t klen = 0, vlen = 0;
+    GetVarint32(&in, &klen);
+    GetVarint32(&in, &vlen);
+    sep_key = Slice(in.data(), klen);
+  }
+  *split = SplitResult{sep_key.ToString(), right.id()};
+  return Status::OK();
+}
+
+Status BPTree::Delete(const Slice& key) {
+  PageHandle leaf;
+  Status s = FindLeaf(key, &leaf);
+  if (s.IsNotFound()) return Status::NotFound("key not found");
+  TREX_RETURN_IF_ERROR(s);
+  NodeView view(leaf.data());
+  bool exact = false;
+  int i = view.LowerBound(key, &exact);
+  if (!exact) return Status::NotFound("key not found");
+  NodeView mview(leaf.MutableData());
+  mview.RemoveCellAt(i);
+  --row_count_;
+  return Status::OK();
+}
+
+Status BPTree::Analyze(TreeStats* stats) {
+  *stats = TreeStats{};
+  PageId root = pager_->root_page();
+  if (root == kInvalidPageId) return Status::OK();
+
+  // Iterative DFS carrying depth.
+  std::vector<std::pair<PageId, uint32_t>> stack = {{root, 1}};
+  while (!stack.empty()) {
+    auto [page, depth] = stack.back();
+    stack.pop_back();
+    auto h = pool_->Fetch(page);
+    if (!h.ok()) return h.status();
+    NodeView view(h.value().data());
+    stats->height = std::max(stats->height, depth);
+    if (view.is_leaf()) {
+      ++stats->leaf_nodes;
+      stats->cells += view.ncells();
+      stats->used_bytes += kPageUsableSize - kNodeHeaderSize -
+                           view.FreeSpace() - kSlotSize * view.ncells();
+    } else {
+      ++stats->internal_nodes;
+      stack.push_back({view.aux(), depth + 1});
+      for (int i = 0; i < view.ncells(); ++i) {
+        Slice key;
+        PageId child;
+        view.ParseInternalCell(i, &key, &child);
+        stack.push_back({child, depth + 1});
+      }
+    }
+  }
+  if (stats->leaf_nodes > 0) {
+    stats->leaf_fill_factor =
+        static_cast<double>(stats->used_bytes) /
+        static_cast<double>(stats->leaf_nodes * kPageUsableSize);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Iterator
+// ---------------------------------------------------------------------------
+
+Status BPTree::Iterator::LoadCell() {
+  NodeView view(leaf_.data());
+  if (slot_ < view.ncells()) {
+    view.ParseLeafCell(slot_, &key_, &value_);
+    valid_ = true;
+    return Status::OK();
+  }
+  return AdvanceLeaf();
+}
+
+Status BPTree::Iterator::AdvanceLeaf() {
+  while (true) {
+    NodeView view(leaf_.data());
+    PageId next = view.aux();
+    if (next == kInvalidPageId) {
+      valid_ = false;
+      leaf_.Release();
+      return Status::OK();
+    }
+    auto h = tree_->pool_->Fetch(next);
+    if (!h.ok()) return h.status();
+    leaf_ = std::move(h).value();
+    slot_ = 0;
+    NodeView nview(leaf_.data());
+    if (nview.ncells() > 0) {
+      nview.ParseLeafCell(0, &key_, &value_);
+      valid_ = true;
+      return Status::OK();
+    }
+    // Empty leaf (possible after deletes); keep walking.
+  }
+}
+
+Status BPTree::Iterator::SeekToFirst() {
+  valid_ = false;
+  PageId node = tree_->pager_->root_page();
+  if (node == kInvalidPageId) return Status::OK();
+  while (true) {
+    auto h = tree_->pool_->Fetch(node);
+    if (!h.ok()) return h.status();
+    NodeView view(h.value().data());
+    if (view.is_leaf()) {
+      leaf_ = std::move(h).value();
+      slot_ = 0;
+      return LoadCell();
+    }
+    node = view.aux();
+  }
+}
+
+Status BPTree::Iterator::Seek(const Slice& target) {
+  valid_ = false;
+  Status s = tree_->FindLeaf(target, &leaf_);
+  if (s.IsNotFound()) return Status::OK();  // Empty tree.
+  TREX_RETURN_IF_ERROR(s);
+  NodeView view(leaf_.data());
+  bool exact = false;
+  slot_ = view.LowerBound(target, &exact);
+  return LoadCell();
+}
+
+Status BPTree::Iterator::Next() {
+  assert(valid_);
+  ++slot_;
+  return LoadCell();
+}
+
+// ---------------------------------------------------------------------------
+// BulkLoader
+// ---------------------------------------------------------------------------
+
+BPTree::BulkLoader::BulkLoader(BPTree* tree) : tree_(tree) {
+  assert(tree_->pager_->root_page() == kInvalidPageId &&
+         "bulk load requires an empty tree");
+}
+
+BPTree::BulkLoader::~BulkLoader() {
+  assert(finished_ && "BulkLoader::Finish() was not called");
+}
+
+Status BPTree::BulkLoader::StartNewLeaf() {
+  auto h = tree_->pool_->Allocate();
+  if (!h.ok()) return h.status();
+  if (current_leaf_.valid()) {
+    NodeView prev(current_leaf_.MutableData());
+    prev.set_aux(h.value().id());
+  }
+  current_leaf_ = std::move(h).value();
+  NodeView view(current_leaf_.MutableData());
+  view.Init(kLeafNode);
+  return Status::OK();
+}
+
+Status BPTree::BulkLoader::Add(const Slice& key, const Slice& value) {
+  if (key.size() + value.size() > kMaxCellPayload) {
+    return Status::InvalidArgument(
+        "key+value exceeds kMaxCellPayload; fragment the value");
+  }
+  if (!last_key_.empty() && Slice(last_key_).Compare(key) >= 0) {
+    return Status::InvalidArgument(
+        "bulk load keys must be strictly ascending");
+  }
+  std::string cell = MakeLeafCell(key, value);
+  if (!current_leaf_.valid()) {
+    TREX_RETURN_IF_ERROR(StartNewLeaf());
+    leaves_.push_back({key.ToString(), current_leaf_.id()});
+  } else {
+    NodeView view(current_leaf_.data());
+    if (view.FreeSpace() < cell.size() + kSlotSize) {
+      TREX_RETURN_IF_ERROR(StartNewLeaf());
+      leaves_.push_back({key.ToString(), current_leaf_.id()});
+    }
+  }
+  NodeView view(current_leaf_.MutableData());
+  view.InsertCellAt(view.ncells(), cell);
+  last_key_.assign(key.data(), key.size());
+  ++added_;
+  return Status::OK();
+}
+
+Status BPTree::BulkLoader::BuildInternalLevels() {
+  std::vector<PendingChild> level = std::move(leaves_);
+  while (level.size() > 1) {
+    std::vector<PendingChild> parents;
+    size_t i = 0;
+    while (i < level.size()) {
+      auto h = tree_->pool_->Allocate();
+      if (!h.ok()) return h.status();
+      PageHandle node = std::move(h).value();
+      NodeView view(node.MutableData());
+      view.Init(kInternalNode);
+      view.set_aux(level[i].page);
+      std::string first_key = level[i].first_key;
+      ++i;
+      while (i < level.size()) {
+        std::string cell = MakeInternalCell(level[i].first_key, level[i].page);
+        if (view.FreeSpace() < cell.size() + kSlotSize) break;
+        view.InsertCellAt(view.ncells(), cell);
+        ++i;
+      }
+      parents.push_back({std::move(first_key), node.id()});
+    }
+    level = std::move(parents);
+  }
+  if (!level.empty()) {
+    TREX_RETURN_IF_ERROR(tree_->pager_->SetRootPage(level[0].page));
+  }
+  return Status::OK();
+}
+
+Status BPTree::BulkLoader::Finish() {
+  finished_ = true;
+  current_leaf_.Release();
+  if (!leaves_.empty()) {
+    TREX_RETURN_IF_ERROR(BuildInternalLevels());
+  }
+  tree_->row_count_ += added_;
+  return tree_->Flush();
+}
+
+}  // namespace trex

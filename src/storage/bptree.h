@@ -1,0 +1,158 @@
+// Disk-resident B+-tree with variable-length keys and values.
+//
+// This is TReX's stand-in for the BerkeleyDB B-tree tables the paper uses:
+// every table (Elements, PostingLists, RPLs, ERPLs) is one BPTree in one
+// file. Keys are compared lexicographically as byte strings; the key codecs
+// in storage/table.h make composite-key order match the paper's primary-key
+// order, so "an index on the primary key provides sequential access to the
+// tuples" holds literally via Iterator.
+//
+// Supported operations:
+//   * Put (upsert), Get, Delete
+//   * ordered Iterator with SeekToFirst / Seek(lower_bound) / Next
+//   * BulkLoader: build a tree from a strictly-ascending (key, value)
+//     stream without going through the insert path (used by the index
+//     builder, which emits sorted runs anyway).
+//
+// Concurrency: single-threaded, like the paper's evaluation harness.
+// Deletes do not rebalance (pages may underflow); this trades space for
+// simplicity and does not affect read-path complexity guarantees needed
+// by the experiments, which never delete.
+#ifndef TREX_STORAGE_BPTREE_H_
+#define TREX_STORAGE_BPTREE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+
+namespace trex {
+
+// Largest key+value payload a single cell may carry. Chosen so that any
+// page holds at least four cells, which keeps node splits trivially
+// correct. Longer logical values must be fragmented by the caller — the
+// paper's PostingLists table does exactly that ("the posting list might be
+// too long for storing it in a single tuple, it is divided and stored in
+// several tuples").
+inline constexpr size_t kMaxCellPayload = 1000;
+
+class BPTree {
+ public:
+  // Opens the tree stored in `path` (creating an empty one if new).
+  // `cache_pages` is the buffer-pool capacity in pages.
+  static Result<std::unique_ptr<BPTree>> Open(const std::string& path,
+                                              size_t cache_pages = 1024);
+
+  BPTree(const BPTree&) = delete;
+  BPTree& operator=(const BPTree&) = delete;
+  ~BPTree();
+
+  // Upserts. key.size() + value.size() must be <= kMaxCellPayload.
+  Status Put(const Slice& key, const Slice& value);
+  // Fails with NotFound if absent.
+  Status Get(const Slice& key, std::string* value);
+  // Fails with NotFound if absent.
+  Status Delete(const Slice& key);
+
+  uint64_t row_count() const { return row_count_; }
+  uint64_t SizeBytes() const { return pager_->FileBytes(); }
+
+  // Structural statistics gathered by a full tree walk (index_doctor and
+  // the storage tests use these to check balance and space usage).
+  struct TreeStats {
+    uint32_t height = 0;  // 0 = empty, 1 = root-only leaf.
+    uint64_t internal_nodes = 0;
+    uint64_t leaf_nodes = 0;
+    uint64_t cells = 0;            // Leaf cells (== live rows).
+    uint64_t used_bytes = 0;       // Cell payload bytes in leaves.
+    double leaf_fill_factor = 0.0; // used / (leaves * usable page bytes).
+  };
+  Status Analyze(TreeStats* stats);
+
+  // Writes back dirty pages and the header.
+  Status Flush();
+
+  BufferPool* buffer_pool() { return pool_.get(); }
+
+  // Ordered cursor. Reads see the tree as of each Fetch; writing to the
+  // tree invalidates open iterators.
+  class Iterator {
+   public:
+    explicit Iterator(BPTree* tree) : tree_(tree) {}
+
+    // Positions at the smallest key; invalid if the tree is empty.
+    Status SeekToFirst();
+    // Positions at the smallest key >= target (lower bound); invalid if
+    // no such key exists.
+    Status Seek(const Slice& target);
+    Status Next();
+
+    bool Valid() const { return valid_; }
+    // Views into the current leaf page; valid until the next Seek*/Next.
+    Slice key() const { return key_; }
+    Slice value() const { return value_; }
+
+   private:
+    Status LoadCell();
+    Status AdvanceLeaf();
+
+    BPTree* tree_;
+    PageHandle leaf_;
+    int slot_ = 0;
+    bool valid_ = false;
+    Slice key_;
+    Slice value_;
+  };
+
+  // Builds a tree from strictly ascending keys. The target tree must be
+  // empty. Usage: BulkLoader bl(tree); bl.Add(k,v)...; bl.Finish();
+  class BulkLoader {
+   public:
+    explicit BulkLoader(BPTree* tree);
+    ~BulkLoader();
+    // Keys must arrive in strictly ascending order.
+    Status Add(const Slice& key, const Slice& value);
+    Status Finish();
+
+   private:
+    struct PendingChild {
+      std::string first_key;
+      PageId page;
+    };
+
+    Status StartNewLeaf();
+    Status CloseCurrentLeaf();
+    Status BuildInternalLevels();
+
+    BPTree* tree_;
+    PageHandle current_leaf_;
+    std::string last_key_;
+    uint64_t added_ = 0;
+    std::vector<PendingChild> leaves_;
+    bool finished_ = false;
+  };
+
+ private:
+  BPTree(std::unique_ptr<Pager> pager, size_t cache_pages);
+
+  struct SplitResult {
+    std::string separator;  // Smallest key routed to `right`.
+    PageId right;
+  };
+
+  Status InsertInto(PageId node, const Slice& key, const Slice& value,
+                    std::optional<SplitResult>* split, bool* inserted_new);
+  Status FindLeaf(const Slice& target, PageHandle* leaf);
+
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  uint64_t row_count_ = 0;
+};
+
+}  // namespace trex
+
+#endif  // TREX_STORAGE_BPTREE_H_

@@ -1,0 +1,160 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace trex {
+
+PageHandle& PageHandle::operator=(PageHandle&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    frame_ = o.frame_;
+    id_ = o.id_;
+    data_ = o.data_;
+    o.pool_ = nullptr;
+    o.data_ = nullptr;
+  }
+  return *this;
+}
+
+char* PageHandle::MutableData() {
+  assert(valid());
+  pool_->MarkDirty(frame_);
+  return data_;
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    data_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(Pager* pager, size_t capacity) : pager_(pager) {
+  assert(capacity > 0);
+  frames_.resize(capacity);
+  for (auto& f : frames_) f.data.resize(kPageSize);
+}
+
+BufferPool::~BufferPool() {
+  // Best effort: callers should Flush() explicitly and check the status.
+  Flush().ok();
+}
+
+void BufferPool::TouchLru(size_t frame) {
+  auto it = lru_pos_.find(frame);
+  if (it != lru_pos_.end()) lru_.erase(it->second);
+  lru_.push_front(frame);
+  lru_pos_[frame] = lru_.begin();
+}
+
+Result<PageHandle> BufferPool::Fetch(PageId id) {
+  ++page_accesses_;
+  auto it = page_to_frame_.find(id);
+  if (it != page_to_frame_.end()) {
+    size_t frame = it->second;
+    ++frames_[frame].pins;
+    TouchLru(frame);
+    return PageHandle(this, frame, id, frames_[frame].data.data());
+  }
+  auto frame_or = GrabFrame();
+  if (!frame_or.ok()) return frame_or.status();
+  size_t frame = frame_or.value();
+  Frame& f = frames_[frame];
+  TREX_RETURN_IF_ERROR(pager_->ReadPage(id, f.data.data()));
+  ++page_reads_;
+  f.id = id;
+  f.pins = 1;
+  f.dirty = false;
+  f.in_use = true;
+  page_to_frame_[id] = frame;
+  TouchLru(frame);
+  return PageHandle(this, frame, id, f.data.data());
+}
+
+Result<PageHandle> BufferPool::Allocate() {
+  auto id_or = pager_->AllocatePage();
+  if (!id_or.ok()) return id_or.status();
+  PageId id = id_or.value();
+  auto frame_or = GrabFrame();
+  if (!frame_or.ok()) return frame_or.status();
+  size_t frame = frame_or.value();
+  Frame& f = frames_[frame];
+  std::memset(f.data.data(), 0, kPageSize);
+  f.id = id;
+  f.pins = 1;
+  f.dirty = true;
+  f.in_use = true;
+  page_to_frame_[id] = frame;
+  TouchLru(frame);
+  return PageHandle(this, frame, id, f.data.data());
+}
+
+Result<size_t> BufferPool::GrabFrame() {
+  // Prefer a frame that has never been used.
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (!frames_[i].in_use) return i;
+  }
+  // Evict the least recently used unpinned frame.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    size_t frame = *it;
+    if (frames_[frame].pins == 0) {
+      TREX_RETURN_IF_ERROR(EvictFrame(frame));
+      return frame;
+    }
+  }
+  return Status::IOError("buffer pool exhausted: all frames pinned");
+}
+
+Status BufferPool::EvictFrame(size_t frame) {
+  Frame& f = frames_[frame];
+  if (f.dirty) {
+    TREX_RETURN_IF_ERROR(pager_->WritePage(f.id, f.data.data()));
+  }
+  page_to_frame_.erase(f.id);
+  auto it = lru_pos_.find(frame);
+  if (it != lru_pos_.end()) {
+    lru_.erase(it->second);
+    lru_pos_.erase(it);
+  }
+  f.in_use = false;
+  f.dirty = false;
+  f.id = kInvalidPageId;
+  return Status::OK();
+}
+
+void BufferPool::Unpin(size_t frame) {
+  assert(frames_[frame].pins > 0);
+  --frames_[frame].pins;
+}
+
+Status BufferPool::Flush() {
+  for (auto& f : frames_) {
+    if (f.in_use && f.dirty) {
+      TREX_RETURN_IF_ERROR(pager_->WritePage(f.id, f.data.data()));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+void BufferPool::Discard(PageId id) {
+  auto it = page_to_frame_.find(id);
+  if (it == page_to_frame_.end()) return;
+  size_t frame = it->second;
+  assert(frames_[frame].pins == 0);
+  Frame& f = frames_[frame];
+  page_to_frame_.erase(it);
+  auto lit = lru_pos_.find(frame);
+  if (lit != lru_pos_.end()) {
+    lru_.erase(lit->second);
+    lru_pos_.erase(lit);
+  }
+  f.in_use = false;
+  f.dirty = false;
+  f.id = kInvalidPageId;
+}
+
+}  // namespace trex

@@ -1,0 +1,105 @@
+// BufferPool: an LRU page cache with pin counts over a Pager.
+//
+// The B+-tree acquires PageHandles; a pinned frame is never evicted.
+// Dirty frames are written back on eviction and on Flush(). The pool also
+// counts logical page reads ("page accesses"), which the retrieval layer
+// reports as an I/O proxy next to wall-clock times.
+#ifndef TREX_STORAGE_BUFFER_POOL_H_
+#define TREX_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/pager.h"
+
+namespace trex {
+
+class BufferPool;
+
+// RAII pin on a cached page. Movable, not copyable.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(BufferPool* pool, size_t frame, PageId id, char* data)
+      : pool_(pool), frame_(frame), id_(id), data_(data) {}
+  PageHandle(PageHandle&& o) noexcept { *this = std::move(o); }
+  PageHandle& operator=(PageHandle&& o) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle() { Release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+  const char* data() const { return data_; }
+  // Mutable access marks the frame dirty.
+  char* MutableData();
+
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId id_ = kInvalidPageId;
+  char* data_ = nullptr;
+};
+
+class BufferPool {
+ public:
+  BufferPool(Pager* pager, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Fetches an existing page (reading from disk on miss) and pins it.
+  Result<PageHandle> Fetch(PageId id);
+  // Allocates a fresh page and pins it (contents zeroed).
+  Result<PageHandle> Allocate();
+
+  // Writes back all dirty frames and the pager header.
+  Status Flush();
+
+  // Drops a page from the cache (used by FreePage paths).
+  void Discard(PageId id);
+
+  Pager* pager() { return pager_; }
+
+  // Counters for the experiment harness.
+  uint64_t page_reads() const { return page_reads_; }     // Disk reads.
+  uint64_t page_accesses() const { return page_accesses_; }  // Fetches.
+  void ResetCounters() { page_reads_ = page_accesses_ = 0; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId id = kInvalidPageId;
+    int pins = 0;
+    bool dirty = false;
+    bool in_use = false;
+    std::vector<char> data;
+  };
+
+  void Unpin(size_t frame);
+  void MarkDirty(size_t frame) { frames_[frame].dirty = true; }
+  Result<size_t> GrabFrame();  // Finds a free or evictable frame.
+  Status EvictFrame(size_t frame);
+  void TouchLru(size_t frame);
+
+  Pager* pager_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_to_frame_;
+  // LRU list of frame indexes; front = most recently used.
+  std::list<size_t> lru_;
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+  uint64_t page_reads_ = 0;
+  uint64_t page_accesses_ = 0;
+};
+
+}  // namespace trex
+
+#endif  // TREX_STORAGE_BUFFER_POOL_H_

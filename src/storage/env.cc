@@ -1,0 +1,142 @@
+#include "storage/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace trex {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& context) {
+  return context + ": " + std::strerror(errno);
+}
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixRandomAccessFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, char* scratch) override {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t r = ::pread(fd_, scratch + done, n - done,
+                          static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("pread " + path_));
+      }
+      if (r == 0) {
+        return Status::IOError("short read at offset " +
+                               std::to_string(offset) + " in " + path_);
+      }
+      done += static_cast<size_t>(r);
+    }
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const char* data, size_t n) override {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t r = ::pwrite(fd_, data + done, n - done,
+                           static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("pwrite " + path_));
+      }
+      done += static_cast<size_t>(r);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) {
+      return Status::IOError(ErrnoMessage("fdatasync " + path_));
+    }
+    return Status::OK();
+  }
+
+  Status Size(uint64_t* size) override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      return Status::IOError(ErrnoMessage("fstat " + path_));
+    }
+    *size = static_cast<uint64_t>(st.st_size);
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<RandomAccessFile>> Env::OpenFile(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("open " + path));
+  }
+  return std::unique_ptr<RandomAccessFile>(
+      new PosixRandomAccessFile(path, fd));
+}
+
+bool Env::FileExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+Status Env::RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError(ErrnoMessage("unlink " + path));
+  }
+  return Status::OK();
+}
+
+Status Env::CreateDir(const std::string& path) {
+  // Create missing parents too (mkdir -p semantics).
+  std::string partial;
+  for (size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      if (!partial.empty() && ::mkdir(partial.c_str(), 0755) != 0 &&
+          errno != EEXIST) {
+        return Status::IOError(ErrnoMessage("mkdir " + partial));
+      }
+    }
+    if (i < path.size()) partial.push_back(path[i]);
+  }
+  return Status::OK();
+}
+
+Status Env::WriteStringToFile(const std::string& path,
+                              const std::string& contents) {
+  auto file = OpenFile(path);
+  if (!file.ok()) return file.status();
+  // Truncate any previous contents.
+  if (::truncate(path.c_str(), 0) != 0) {
+    return Status::IOError(ErrnoMessage("truncate " + path));
+  }
+  return file.value()->Write(0, contents.data(), contents.size());
+}
+
+Result<std::string> Env::ReadFileToString(const std::string& path) {
+  auto file = OpenFile(path);
+  if (!file.ok()) return file.status();
+  uint64_t size = 0;
+  TREX_RETURN_IF_ERROR(file.value()->Size(&size));
+  std::string out(size, '\0');
+  if (size > 0) {
+    TREX_RETURN_IF_ERROR(file.value()->Read(0, size, out.data()));
+  }
+  return out;
+}
+
+}  // namespace trex

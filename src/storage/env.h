@@ -1,0 +1,46 @@
+// Minimal file-system abstraction for the storage engine.
+//
+// All storage I/O goes through RandomAccessFile so tests can exercise I/O
+// failure paths and so the engine has a single place that touches POSIX.
+#ifndef TREX_STORAGE_ENV_H_
+#define TREX_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace trex {
+
+// Positional read/write file handle. Not thread-safe.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  // Reads exactly `n` bytes at `offset` into `scratch`. Fails with IOError
+  // on short reads (the pager never reads past the end of the file).
+  virtual Status Read(uint64_t offset, size_t n, char* scratch) = 0;
+  // Writes exactly `n` bytes at `offset`, extending the file if needed.
+  virtual Status Write(uint64_t offset, const char* data, size_t n) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Size(uint64_t* size) = 0;
+};
+
+class Env {
+ public:
+  // Opens (creating if absent) a read-write file.
+  static Result<std::unique_ptr<RandomAccessFile>> OpenFile(
+      const std::string& path);
+  static bool FileExists(const std::string& path);
+  static Status RemoveFile(const std::string& path);
+  static Status CreateDir(const std::string& path);
+  // Writes a whole small file (used for corpus documents & manifests).
+  static Status WriteStringToFile(const std::string& path,
+                                  const std::string& contents);
+  static Result<std::string> ReadFileToString(const std::string& path);
+};
+
+}  // namespace trex
+
+#endif  // TREX_STORAGE_ENV_H_

@@ -1,0 +1,50 @@
+// On-disk page format shared by the pager and the B+-tree.
+//
+// Every page is kPageSize bytes. The last 4 bytes hold a Fletcher-32
+// checksum over the rest of the page, verified on every read from disk
+// (this is how corrupt-page failure injection is detected in tests).
+//
+// Page 0 is the pager header; all other pages are B+-tree nodes or free
+// pages chained through the freelist.
+#ifndef TREX_STORAGE_PAGE_H_
+#define TREX_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace trex {
+
+using PageId = uint32_t;
+
+inline constexpr size_t kPageSize = 4096;
+inline constexpr size_t kPageChecksumSize = 4;
+// Bytes usable by page contents (checksum trailer excluded).
+inline constexpr size_t kPageUsableSize = kPageSize - kPageChecksumSize;
+inline constexpr PageId kInvalidPageId = 0;  // Page 0 is the header page.
+
+// Fletcher-32 over `n` bytes. Simple, fast, and catches the byte-flip /
+// torn-write corruptions the tests inject.
+inline uint32_t PageChecksum(const char* data, size_t n) {
+  uint32_t sum1 = 0xf1ea;
+  uint32_t sum2 = 0x5c5d;
+  for (size_t i = 0; i < n; ++i) {
+    sum1 = (sum1 + static_cast<unsigned char>(data[i])) % 65535;
+    sum2 = (sum2 + sum1) % 65535;
+  }
+  return (sum2 << 16) | sum1;
+}
+
+inline void StampPageChecksum(char* page) {
+  uint32_t c = PageChecksum(page, kPageUsableSize);
+  std::memcpy(page + kPageUsableSize, &c, kPageChecksumSize);
+}
+
+inline bool VerifyPageChecksum(const char* page) {
+  uint32_t stored;
+  std::memcpy(&stored, page + kPageUsableSize, kPageChecksumSize);
+  return stored == PageChecksum(page, kPageUsableSize);
+}
+
+}  // namespace trex
+
+#endif  // TREX_STORAGE_PAGE_H_

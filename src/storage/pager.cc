@@ -1,0 +1,135 @@
+#include "storage/pager.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace trex {
+
+namespace {
+constexpr uint32_t kMagic = 0x54524558;  // "TREX"
+constexpr size_t kHeaderMagicOff = 0;
+constexpr size_t kHeaderPageCountOff = 4;
+constexpr size_t kHeaderFreelistOff = 8;
+constexpr size_t kHeaderRootOff = 12;
+constexpr size_t kHeaderRowCountOff = 16;
+}  // namespace
+
+Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path) {
+  auto file = Env::OpenFile(path);
+  if (!file.ok()) return file.status();
+  std::unique_ptr<Pager> pager(new Pager(std::move(file).value()));
+
+  uint64_t size = 0;
+  TREX_RETURN_IF_ERROR(pager->file_->Size(&size));
+  if (size == 0) {
+    TREX_RETURN_IF_ERROR(pager->WriteHeader());
+  } else {
+    if (size % kPageSize != 0) {
+      return Status::Corruption(path + ": size is not a multiple of the page size");
+    }
+    TREX_RETURN_IF_ERROR(pager->ReadHeader());
+    if (pager->page_count_ * static_cast<uint64_t>(kPageSize) != size) {
+      return Status::Corruption(path + ": header page count disagrees with file size");
+    }
+  }
+  return pager;
+}
+
+Status Pager::WriteHeader() {
+  std::vector<char> buf(kPageSize, 0);
+  std::memcpy(buf.data() + kHeaderMagicOff, &kMagic, 4);
+  std::memcpy(buf.data() + kHeaderPageCountOff, &page_count_, 4);
+  std::memcpy(buf.data() + kHeaderFreelistOff, &freelist_head_, 4);
+  std::memcpy(buf.data() + kHeaderRootOff, &root_page_, 4);
+  std::memcpy(buf.data() + kHeaderRowCountOff, &row_count_, 8);
+  StampPageChecksum(buf.data());
+  return file_->Write(0, buf.data(), kPageSize);
+}
+
+Status Pager::ReadHeader() {
+  std::vector<char> buf(kPageSize);
+  TREX_RETURN_IF_ERROR(file_->Read(0, kPageSize, buf.data()));
+  if (!VerifyPageChecksum(buf.data())) {
+    return Status::Corruption("header page checksum mismatch");
+  }
+  uint32_t magic;
+  std::memcpy(&magic, buf.data() + kHeaderMagicOff, 4);
+  if (magic != kMagic) {
+    return Status::Corruption("bad magic; not a TReX table file");
+  }
+  std::memcpy(&page_count_, buf.data() + kHeaderPageCountOff, 4);
+  std::memcpy(&freelist_head_, buf.data() + kHeaderFreelistOff, 4);
+  std::memcpy(&root_page_, buf.data() + kHeaderRootOff, 4);
+  std::memcpy(&row_count_, buf.data() + kHeaderRowCountOff, 8);
+  return Status::OK();
+}
+
+Status Pager::ReadPage(PageId id, char* buf) {
+  if (id == kInvalidPageId || id >= page_count_) {
+    return Status::InvalidArgument("ReadPage: page id " + std::to_string(id) +
+                                   " out of range");
+  }
+  TREX_RETURN_IF_ERROR(
+      file_->Read(static_cast<uint64_t>(id) * kPageSize, kPageSize, buf));
+  if (!VerifyPageChecksum(buf)) {
+    return Status::Corruption("checksum mismatch on page " +
+                              std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status Pager::WritePage(PageId id, char* buf) {
+  if (id == kInvalidPageId || id >= page_count_) {
+    return Status::InvalidArgument("WritePage: page id " + std::to_string(id) +
+                                   " out of range");
+  }
+  StampPageChecksum(buf);
+  return file_->Write(static_cast<uint64_t>(id) * kPageSize, buf, kPageSize);
+}
+
+Result<PageId> Pager::AllocatePage() {
+  if (freelist_head_ != kInvalidPageId) {
+    PageId id = freelist_head_;
+    std::vector<char> buf(kPageSize);
+    TREX_RETURN_IF_ERROR(ReadPage(id, buf.data()));
+    std::memcpy(&freelist_head_, buf.data(), 4);
+    TREX_RETURN_IF_ERROR(WriteHeader());
+    return id;
+  }
+  PageId id = page_count_;
+  ++page_count_;
+  std::vector<char> zero(kPageSize, 0);
+  StampPageChecksum(zero.data());
+  TREX_RETURN_IF_ERROR(
+      file_->Write(static_cast<uint64_t>(id) * kPageSize, zero.data(),
+                   kPageSize));
+  TREX_RETURN_IF_ERROR(WriteHeader());
+  return id;
+}
+
+Status Pager::FreePage(PageId id) {
+  if (id == kInvalidPageId || id >= page_count_) {
+    return Status::InvalidArgument("FreePage: page id out of range");
+  }
+  std::vector<char> buf(kPageSize, 0);
+  std::memcpy(buf.data(), &freelist_head_, 4);
+  TREX_RETURN_IF_ERROR(WritePage(id, buf.data()));
+  freelist_head_ = id;
+  return WriteHeader();
+}
+
+Status Pager::SetRootPage(PageId id) {
+  root_page_ = id;
+  return WriteHeader();
+}
+
+Status Pager::SetRowCount(uint64_t n) {
+  row_count_ = n;
+  return WriteHeader();
+}
+
+Status Pager::Sync() { return file_->Sync(); }
+
+}  // namespace trex

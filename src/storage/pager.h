@@ -1,0 +1,70 @@
+// Pager: allocates, frees, reads and writes fixed-size pages in one file.
+//
+// File layout:
+//   page 0: header {magic, page_count, freelist_head, root_page, row_count}
+//   page 1..N: tree nodes / free pages.
+// Freed pages are chained through their first 4 bytes.
+//
+// The pager itself is unbuffered; BufferPool (buffer_pool.h) sits on top.
+#ifndef TREX_STORAGE_PAGER_H_
+#define TREX_STORAGE_PAGER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/env.h"
+#include "storage/page.h"
+
+namespace trex {
+
+class Pager {
+ public:
+  // Opens `path`, creating and initializing it if empty.
+  static Result<std::unique_ptr<Pager>> Open(const std::string& path);
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  // Reads page `id` into `buf` (kPageSize bytes) and verifies its checksum.
+  Status ReadPage(PageId id, char* buf);
+  // Stamps the checksum into `buf` and writes it to disk.
+  Status WritePage(PageId id, char* buf);
+
+  // Returns a zeroed new page (possibly recycled from the freelist).
+  Result<PageId> AllocatePage();
+  // Returns a page to the freelist.
+  Status FreePage(PageId id);
+
+  // The B+-tree root, persisted in the header (kInvalidPageId if empty).
+  PageId root_page() const { return root_page_; }
+  Status SetRootPage(PageId id);
+
+  // Entry count, persisted in the header and maintained by the tree.
+  uint64_t row_count() const { return row_count_; }
+  Status SetRowCount(uint64_t n);
+
+  uint32_t page_count() const { return page_count_; }
+  uint64_t FileBytes() const {
+    return static_cast<uint64_t>(page_count_) * kPageSize;
+  }
+
+  Status Sync();
+
+ private:
+  explicit Pager(std::unique_ptr<RandomAccessFile> file)
+      : file_(std::move(file)) {}
+
+  Status WriteHeader();
+  Status ReadHeader();
+
+  std::unique_ptr<RandomAccessFile> file_;
+  uint32_t page_count_ = 1;  // Header page always exists.
+  PageId freelist_head_ = kInvalidPageId;
+  PageId root_page_ = kInvalidPageId;
+  uint64_t row_count_ = 0;
+};
+
+}  // namespace trex
+
+#endif  // TREX_STORAGE_PAGER_H_

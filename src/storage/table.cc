@@ -1,0 +1,36 @@
+#include "storage/table.h"
+
+#include <cstring>
+
+#include "storage/env.h"
+
+namespace trex {
+
+Result<std::unique_ptr<Table>> Table::Open(const std::string& dir,
+                                           const std::string& name,
+                                           size_t cache_pages) {
+  TREX_RETURN_IF_ERROR(Env::CreateDir(dir));
+  auto tree = BPTree::Open(dir + "/" + name + ".tbl", cache_pages);
+  if (!tree.ok()) return tree.status();
+  return std::unique_ptr<Table>(new Table(name, std::move(tree).value()));
+}
+
+Status AppendTokenComponent(std::string* dst, const Slice& token) {
+  if (std::memchr(token.data(), '\0', token.size()) != nullptr) {
+    return Status::InvalidArgument("token contains a NUL byte");
+  }
+  dst->append(token.data(), token.size());
+  dst->push_back('\0');
+  return Status::OK();
+}
+
+bool GetTokenComponent(Slice* input, Slice* token) {
+  const void* nul = std::memchr(input->data(), '\0', input->size());
+  if (nul == nullptr) return false;
+  size_t len = static_cast<const char*>(nul) - input->data();
+  *token = Slice(input->data(), len);
+  input->RemovePrefix(len + 1);
+  return true;
+}
+
+}  // namespace trex

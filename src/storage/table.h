@@ -1,0 +1,64 @@
+// Table: a named B+-tree inside a database directory.
+//
+// TReX stores each of the paper's four tables (Elements, PostingLists,
+// RPLs, ERPLs) as one Table = one B+-tree file, mirroring the paper's
+// "indexed tables stored in BerkeleyDB" setup. The key codecs that give
+// each table its primary-key order live with the table definitions in
+// src/index; this layer only provides ordered byte-string storage plus a
+// helper for embedding tokens into composite keys.
+#ifndef TREX_STORAGE_TABLE_H_
+#define TREX_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/bptree.h"
+
+namespace trex {
+
+class Table {
+ public:
+  // Opens (creating if needed) table `name` in directory `dir`.
+  static Result<std::unique_ptr<Table>> Open(const std::string& dir,
+                                             const std::string& name,
+                                             size_t cache_pages = 1024);
+
+  const std::string& name() const { return name_; }
+  BPTree* tree() { return tree_.get(); }
+
+  Status Put(const Slice& key, const Slice& value) {
+    return tree_->Put(key, value);
+  }
+  Status Get(const Slice& key, std::string* value) {
+    return tree_->Get(key, value);
+  }
+  Status Delete(const Slice& key) { return tree_->Delete(key); }
+  Status Flush() { return tree_->Flush(); }
+
+  uint64_t row_count() const { return tree_->row_count(); }
+  uint64_t SizeBytes() const { return tree_->SizeBytes(); }
+
+  BPTree::Iterator NewIterator() { return BPTree::Iterator(tree_.get()); }
+
+ private:
+  Table(std::string name, std::unique_ptr<BPTree> tree)
+      : name_(std::move(name)), tree_(std::move(tree)) {}
+
+  std::string name_;
+  std::unique_ptr<BPTree> tree_;
+};
+
+// Appends `token` + a 0x00 terminator to `dst`. The terminator keeps
+// composite keys prefix-free, so lexicographic key order equals
+// (token, rest-of-key) order. Fails if the token contains a 0x00 byte
+// (the tokenizer never produces one).
+Status AppendTokenComponent(std::string* dst, const Slice& token);
+
+// Reads a token component (up to the 0x00) from `input`, advancing it.
+bool GetTokenComponent(Slice* input, Slice* token);
+
+}  // namespace trex
+
+#endif  // TREX_STORAGE_TABLE_H_

@@ -1,0 +1,67 @@
+#include "summary/alias.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace trex {
+
+std::string AliasMap::Serialize() const {
+  // Sort for deterministic output.
+  std::vector<std::pair<std::string, std::string>> entries(map_.begin(),
+                                                           map_.end());
+  std::sort(entries.begin(), entries.end());
+  std::string out;
+  for (const auto& [tag, alias] : entries) {
+    out += tag;
+    out += '=';
+    out += alias;
+    out += '\n';
+  }
+  return out;
+}
+
+AliasMap AliasMap::Deserialize(const std::string& data) {
+  AliasMap map;
+  std::istringstream in(data);
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    map.Add(line.substr(0, eq), line.substr(eq + 1));
+  }
+  return map;
+}
+
+AliasMap IeeeAliasMap() {
+  AliasMap map;
+  // Section-like tags (the paper's running example).
+  map.Add("ss1", "sec");
+  map.Add("ss2", "sec");
+  map.Add("ss3", "sec");
+  // Paragraph-like tags.
+  map.Add("ip1", "p");
+  map.Add("ip2", "p");
+  map.Add("ilrj", "p");
+  map.Add("item", "p");
+  // Title-like tags.
+  map.Add("st", "title");
+  map.Add("atl", "title");
+  map.Add("tig", "title");
+  // Figure/table-like tags.
+  map.Add("fgc", "figure");
+  map.Add("tbl", "figure");
+  return map;
+}
+
+AliasMap WikiAliasMap() {
+  AliasMap map;
+  map.Add("section", "sec");
+  map.Add("subsection", "sec");
+  map.Add("paragraph", "p");
+  map.Add("image", "figure");
+  map.Add("caption", "title");
+  return map;
+}
+
+}  // namespace trex

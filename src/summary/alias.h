@@ -1,0 +1,51 @@
+// Alias mapping (§2.1): "we make use of the alias mapping provided by
+// INEX to replace all synonyms by their alias (sec in our example)".
+//
+// An AliasMap rewrites tag labels before summary construction, collapsing
+// synonymous tags (sec/ss1/ss2 -> sec) into one summary node.
+#ifndef TREX_SUMMARY_ALIAS_H_
+#define TREX_SUMMARY_ALIAS_H_
+
+#include <string>
+#include <unordered_map>
+
+namespace trex {
+
+class AliasMap {
+ public:
+  AliasMap() = default;
+
+  // Maps `tag` to `alias`. Chains are not followed: Add("a","b") and
+  // Add("b","c") keep "a" -> "b".
+  void Add(const std::string& tag, const std::string& alias) {
+    map_[tag] = alias;
+  }
+
+  // The alias for `tag`, or `tag` itself if unmapped.
+  const std::string& Apply(const std::string& tag) const {
+    auto it = map_.find(tag);
+    return it == map_.end() ? tag : it->second;
+  }
+
+  bool empty() const { return map_.empty(); }
+  size_t size() const { return map_.size(); }
+
+  // Serialization for the index manifest: "tag=alias" lines.
+  std::string Serialize() const;
+  static AliasMap Deserialize(const std::string& data);
+
+ private:
+  std::unordered_map<std::string, std::string> map_;
+};
+
+// The alias mapping for the IEEE-like collection, modeled on the INEX
+// IEEE alias table the paper uses: section synonyms collapse to "sec",
+// paragraph synonyms to "p", title synonyms to "st".
+AliasMap IeeeAliasMap();
+
+// Alias mapping for the Wikipedia-like collection.
+AliasMap WikiAliasMap();
+
+}  // namespace trex
+
+#endif  // TREX_SUMMARY_ALIAS_H_

@@ -1,0 +1,46 @@
+#include "summary/builder.h"
+
+#include "xml/reader.h"
+
+namespace trex {
+
+Sid SummaryBuilder::EnterElement(const std::string& tag) {
+  const std::string& label = aliases_ ? aliases_->Apply(tag) : tag;
+  Sid parent = stack_.empty() ? kRootSid : stack_.back();
+  Sid sid = summary_.MapChild(parent, label, /*create=*/true);
+  ++summary_.nodes_[sid].extent_size;
+  ++summary_.total_extent_size_;
+  int& depth = on_stack_[sid];
+  if (depth > 0) ++summary_.ancestor_violations_;
+  ++depth;
+  stack_.push_back(sid);
+  return sid;
+}
+
+void SummaryBuilder::LeaveElement() {
+  Sid sid = stack_.back();
+  stack_.pop_back();
+  --on_stack_[sid];
+}
+
+Status SummaryBuilder::AddDocument(Slice xml) {
+  XmlReader reader(xml);
+  XmlEvent event;
+  while (true) {
+    TREX_RETURN_IF_ERROR(reader.Next(&event));
+    switch (event.type) {
+      case XmlEventType::kStartElement:
+        EnterElement(event.name);
+        break;
+      case XmlEventType::kEndElement:
+        LeaveElement();
+        break;
+      case XmlEventType::kText:
+        break;
+      case XmlEventType::kEndDocument:
+        return Status::OK();
+    }
+  }
+}
+
+}  // namespace trex

@@ -1,0 +1,60 @@
+// SummaryBuilder: constructs a Summary from XML documents or from a
+// stream of element enter/leave events (the index builder drives the
+// event interface so corpus ingestion stays single-pass).
+#ifndef TREX_SUMMARY_BUILDER_H_
+#define TREX_SUMMARY_BUILDER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "summary/alias.h"
+#include "summary/summary.h"
+
+namespace trex {
+
+class SummaryBuilder {
+ public:
+  // `aliases` may be null for a no-alias summary; otherwise it must
+  // outlive the builder.
+  SummaryBuilder(SummaryKind kind, const AliasMap* aliases)
+      : summary_(kind), aliases_(aliases) {}
+
+  // Continues building on top of an existing summary (incremental
+  // document insertion): new label paths extend the node set, extent
+  // sizes accumulate.
+  SummaryBuilder(Summary base, const AliasMap* aliases)
+      : summary_(std::move(base)), aliases_(aliases) {}
+
+  // Event interface. EnterElement returns the element's sid.
+  Sid EnterElement(const std::string& tag);
+  void LeaveElement();
+  // True iff an element is currently open.
+  bool InElement() const { return !stack_.empty(); }
+  Sid CurrentSid() const { return stack_.empty() ? kRootSid : stack_.back(); }
+
+  // Convenience: folds a whole document into the summary.
+  Status AddDocument(Slice xml);
+
+  // Read access while building (the index builder maps tags to sids as
+  // it goes).
+  const Summary& summary() const { return summary_; }
+
+  // Finalizes and returns the summary. The builder must not be used
+  // afterwards.
+  Summary Take() { return std::move(summary_); }
+
+ private:
+  Summary summary_;
+  const AliasMap* aliases_;
+  std::vector<Sid> stack_;
+  // Multiset of sids currently on the stack, for ancestor-disjointness
+  // violation detection.
+  std::unordered_map<Sid, int> on_stack_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_SUMMARY_BUILDER_H_

@@ -1,0 +1,183 @@
+#include "summary/path_matcher.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace trex {
+
+bool StepLabelMatches(const PathStep& step, const std::string& label,
+                      const AliasMap* aliases) {
+  if (step.is_wildcard()) return true;
+  // The step label may be an alternation "a|b|c".
+  size_t start = 0;
+  while (start <= step.label.size()) {
+    size_t bar = step.label.find('|', start);
+    size_t end = bar == std::string::npos ? step.label.size() : bar;
+    std::string alternative = step.label.substr(start, end - start);
+    const std::string& wanted =
+        aliases ? aliases->Apply(alternative) : alternative;
+    if (wanted == label) return true;
+    if (bar == std::string::npos) break;
+    start = bar + 1;
+  }
+  return false;
+}
+
+namespace {
+
+// One DFS frame: summary node + the NFA state set that reaches it.
+struct Frame {
+  Sid sid;
+  std::vector<int> states;
+};
+
+}  // namespace
+
+std::vector<Sid> MatchPath(const Summary& summary,
+                           const std::vector<PathStep>& steps,
+                           const AliasMap* aliases) {
+  std::vector<Sid> result;
+  if (steps.empty()) return result;
+
+  const int n = static_cast<int>(steps.size());
+  std::vector<Frame> stack;
+  stack.push_back(Frame{kRootSid, {0}});
+
+  std::vector<char> seen(n + 1);
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+
+    const SummaryNode& node = summary.node(frame.sid);
+    std::vector<int> out_states;
+    bool matched_here = false;
+
+    if (frame.sid == kRootSid) {
+      out_states = frame.states;  // The synthetic root matches nothing.
+    } else {
+      std::fill(seen.begin(), seen.end(), 0);
+      auto add = [&](int s) {
+        if (!seen[s]) {
+          seen[s] = 1;
+          out_states.push_back(s);
+        }
+      };
+      for (int i : frame.states) {
+        if (i >= n) continue;  // Fully matched states do not propagate.
+        const PathStep& step = steps[i];
+        if (step.axis == Axis::kDescendant) {
+          add(i);  // The step may still match deeper.
+        }
+        if (StepLabelMatches(step, node.label, aliases)) {
+          if (i + 1 == n) {
+            matched_here = true;
+          } else {
+            add(i + 1);
+          }
+        }
+      }
+    }
+
+    if (matched_here) result.push_back(frame.sid);
+    if (!out_states.empty()) {
+      for (Sid child : node.children) {
+        stack.push_back(Frame{child, out_states});
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<Sid> MatchLabel(const Summary& summary, const std::string& label,
+                            const AliasMap* aliases) {
+  std::vector<Sid> result;
+  PathStep step{Axis::kDescendant, label};
+  for (Sid sid = 1; sid < summary.size(); ++sid) {
+    if (StepLabelMatches(step, summary.node(sid).label, aliases)) {
+      result.push_back(sid);
+    }
+  }
+  return result;
+}
+
+Result<std::vector<PathStep>> ParsePathExpression(const std::string& path) {
+  std::vector<PathStep> steps;
+  size_t i = 0;
+  if (path.empty() || path[0] != '/') {
+    return Status::InvalidArgument("path must start with '/' or '//': " +
+                                   path);
+  }
+  while (i < path.size()) {
+    Axis axis;
+    if (path.compare(i, 2, "//") == 0) {
+      axis = Axis::kDescendant;
+      i += 2;
+    } else if (path[i] == '/') {
+      axis = Axis::kChild;
+      i += 1;
+    } else {
+      return Status::InvalidArgument("expected '/' at offset " +
+                                     std::to_string(i) + " in " + path);
+    }
+    auto parse_name = [&]() {
+      size_t start = i;
+      while (i < path.size() &&
+             (std::isalnum(static_cast<unsigned char>(path[i])) ||
+              path[i] == '_' || path[i] == '-' || path[i] == '.')) {
+        ++i;
+      }
+      return path.substr(start, i - start);
+    };
+    std::string label;
+    if (i < path.size() && path[i] == '*') {
+      label = "*";
+      ++i;
+    } else if (i < path.size() && path[i] == '(') {
+      // Alternation: (a|b|c).
+      ++i;
+      while (true) {
+        std::string name = parse_name();
+        if (name.empty()) {
+          return Status::InvalidArgument("empty alternative at offset " +
+                                         std::to_string(i) + " in " + path);
+        }
+        if (!label.empty()) label.push_back('|');
+        label += name;
+        if (i < path.size() && path[i] == '|') {
+          ++i;
+          continue;
+        }
+        break;
+      }
+      if (i >= path.size() || path[i] != ')') {
+        return Status::InvalidArgument("expected ')' at offset " +
+                                       std::to_string(i) + " in " + path);
+      }
+      ++i;
+    } else {
+      label = parse_name();
+    }
+    if (label.empty()) {
+      return Status::InvalidArgument("empty step at offset " +
+                                     std::to_string(i) + " in " + path);
+    }
+    steps.push_back(PathStep{axis, std::move(label)});
+  }
+  return steps;
+}
+
+std::string PathToString(const std::vector<PathStep>& steps) {
+  std::string out;
+  for (const PathStep& s : steps) {
+    out += s.axis == Axis::kDescendant ? "//" : "/";
+    if (s.label.find('|') != std::string::npos) {
+      out += "(" + s.label + ")";
+    } else {
+      out += s.label;
+    }
+  }
+  return out;
+}
+
+}  // namespace trex

@@ -1,0 +1,67 @@
+// Path matching over structural summaries (§3.1 translation phase).
+//
+// A NEXI path skeleton (steps of /child or //descendant axes with a tag
+// label or the * wildcard) is evaluated over the summary tree; the result
+// is the set of sids whose extents intersect the elements selected by the
+// path — because an incoming-summary extent contains exactly the elements
+// with that root label path, the intersection test reduces to matching
+// the pattern against summary-node paths. The match runs as an NFA walk
+// over the tree, one pass, states = "number of steps already matched".
+#ifndef TREX_SUMMARY_PATH_MATCHER_H_
+#define TREX_SUMMARY_PATH_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "summary/alias.h"
+#include "summary/summary.h"
+
+namespace trex {
+
+enum class Axis {
+  kChild,       // "/"  — label must match at the next level.
+  kDescendant,  // "//" — label may match at any deeper level.
+};
+
+struct PathStep {
+  Axis axis = Axis::kDescendant;
+  // Tag test: a single label, an alternation "a|b|c" (NEXI's
+  // //(sec|abs) syntax), or "*" for any label.
+  std::string label;
+
+  bool is_wildcard() const { return label == "*"; }
+};
+
+// True iff `label` satisfies the step's tag test, with both sides
+// rewritten through `aliases` when non-null. Shared by the summary
+// matcher and the DOM XPath evaluator so the two stay in lockstep.
+bool StepLabelMatches(const PathStep& step, const std::string& label,
+                      const AliasMap* aliases);
+
+// Sids (ascending) of summary nodes matching the step sequence. Step
+// labels are rewritten through `aliases` when non-null, mirroring how
+// document tags were rewritten at summary-build time.
+std::vector<Sid> MatchPath(const Summary& summary,
+                           const std::vector<PathStep>& steps,
+                           const AliasMap* aliases);
+
+// Label-only matching: sids of all nodes whose label equals the
+// (aliased) label, or every non-root node for "*". This is the only
+// structural selection a TAG summary supports — its extents are keyed by
+// label, so label paths cannot be checked — and it is what the
+// translator falls back to for tag summaries (a coarser vague
+// interpretation).
+std::vector<Sid> MatchLabel(const Summary& summary, const std::string& label,
+                            const AliasMap* aliases);
+
+// Parses a bare path expression like "//article//sec" or "/a/b//*" into
+// steps. Fails on empty input or malformed step syntax.
+Result<std::vector<PathStep>> ParsePathExpression(const std::string& path);
+
+// Renders steps back to "//a/b" form (for logs and error messages).
+std::string PathToString(const std::vector<PathStep>& steps);
+
+}  // namespace trex
+
+#endif  // TREX_SUMMARY_PATH_MATCHER_H_

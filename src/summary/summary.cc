@@ -1,0 +1,138 @@
+#include "summary/summary.h"
+
+#include <sstream>
+
+namespace trex {
+
+const char* SummaryKindName(SummaryKind kind) {
+  switch (kind) {
+    case SummaryKind::kTag:
+      return "tag";
+    case SummaryKind::kIncoming:
+      return "incoming";
+  }
+  return "unknown";
+}
+
+Sid Summary::MapChild(Sid parent, const std::string& label, bool create) {
+  // Tag summaries key nodes by label only; incoming summaries by
+  // (parent, label).
+  Sid key_parent = kind_ == SummaryKind::kTag ? kRootSid : parent;
+  auto key = std::make_pair(key_parent, label);
+  auto it = child_index_.find(key);
+  if (it != child_index_.end()) return it->second;
+  if (!create) return kInvalidSid;
+  Sid sid = static_cast<Sid>(nodes_.size());
+  SummaryNode node;
+  node.label = label;
+  node.parent = parent;
+  nodes_.push_back(std::move(node));
+  nodes_[parent].children.push_back(sid);
+  child_index_.emplace(std::move(key), sid);
+  return sid;
+}
+
+std::string Summary::PathOf(Sid sid) const {
+  if (sid == kRootSid) return "/";
+  std::vector<const std::string*> labels;
+  for (Sid cur = sid; cur != kRootSid && cur != kInvalidSid;
+       cur = nodes_[cur].parent) {
+    labels.push_back(&nodes_[cur].label);
+  }
+  std::string path;
+  for (auto it = labels.rbegin(); it != labels.rend(); ++it) {
+    path += '/';
+    path += **it;
+  }
+  return path;
+}
+
+std::string Summary::ToTreeString(size_t max_nodes) const {
+  std::string out;
+  size_t emitted = 0;
+  // Iterative DFS with depth, matching Figure 1's layout.
+  std::vector<std::pair<Sid, int>> stack = {{kRootSid, 0}};
+  while (!stack.empty() && emitted < max_nodes) {
+    auto [sid, depth] = stack.back();
+    stack.pop_back();
+    for (int i = 0; i < depth; ++i) out += "  ";
+    if (sid == kRootSid) {
+      out += "(root)";
+    } else {
+      out += nodes_[sid].label;
+      out += " [sid=" + std::to_string(sid) +
+             ", extent=" + std::to_string(nodes_[sid].extent_size) + "]";
+    }
+    out += '\n';
+    ++emitted;
+    const auto& children = nodes_[sid].children;
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back({*it, depth + 1});
+    }
+  }
+  return out;
+}
+
+std::string Summary::Serialize() const {
+  std::ostringstream out;
+  out << "kind " << SummaryKindName(kind_) << '\n';
+  out << "nodes " << nodes_.size() << '\n';
+  out << "violations " << ancestor_violations_ << '\n';
+  for (size_t sid = 1; sid < nodes_.size(); ++sid) {
+    const SummaryNode& n = nodes_[sid];
+    out << sid << ' ' << n.parent << ' ' << n.extent_size << ' ' << n.label
+        << '\n';
+  }
+  return out.str();
+}
+
+Result<Summary> Summary::Deserialize(const std::string& data) {
+  std::istringstream in(data);
+  std::string word;
+  std::string kind_name;
+  size_t num_nodes = 0;
+  uint64_t violations = 0;
+  if (!(in >> word >> kind_name) || word != "kind") {
+    return Status::Corruption("summary manifest: missing kind");
+  }
+  SummaryKind kind;
+  if (kind_name == "tag") {
+    kind = SummaryKind::kTag;
+  } else if (kind_name == "incoming") {
+    kind = SummaryKind::kIncoming;
+  } else {
+    return Status::Corruption("summary manifest: unknown kind " + kind_name);
+  }
+  if (!(in >> word >> num_nodes) || word != "nodes") {
+    return Status::Corruption("summary manifest: missing node count");
+  }
+  if (!(in >> word >> violations) || word != "violations") {
+    return Status::Corruption("summary manifest: missing violations");
+  }
+  Summary summary(kind);
+  summary.ancestor_violations_ = violations;
+  summary.nodes_.resize(num_nodes);
+  for (size_t i = 1; i < num_nodes; ++i) {
+    size_t sid;
+    Sid parent;
+    uint64_t extent;
+    std::string label;
+    if (!(in >> sid >> parent >> extent >> label) || sid != i ||
+        parent >= i) {
+      return Status::Corruption("summary manifest: bad node line " +
+                                std::to_string(i));
+    }
+    SummaryNode& n = summary.nodes_[sid];
+    n.label = label;
+    n.parent = parent;
+    n.extent_size = extent;
+    summary.nodes_[parent].children.push_back(static_cast<Sid>(sid));
+    summary.total_extent_size_ += extent;
+    Sid key_parent = kind == SummaryKind::kTag ? kRootSid : parent;
+    summary.child_index_.emplace(std::make_pair(key_parent, label),
+                                 static_cast<Sid>(sid));
+  }
+  return summary;
+}
+
+}  // namespace trex

@@ -1,0 +1,101 @@
+// Structural summaries (§2.1).
+//
+// A summary partitions the elements of a corpus into extents and arranges
+// the extents in a tree. Each extent has a summary node id (sid). TReX
+// supports the two partition criteria from the paper:
+//   * tag summary       — elements with the same (aliased) tag share a sid.
+//   * incoming summary  — elements with the same (aliased) root label path
+//                         share a sid (a DataGuide-style summary).
+// With an alias map applied these are the paper's "alias tag" and "alias
+// incoming" summaries. A synthetic root node (sid 0, empty label) parents
+// the document-root nodes so that multiple root tags coexist.
+//
+// The paper requires summaries in which "every pair of ancestor-descendant
+// elements have different sids"; the builder tracks violations of this
+// ancestor-disjointness property so callers can verify it (tag summaries
+// over recursive structure violate it; alias incoming summaries over the
+// generated corpora do not).
+#ifndef TREX_SUMMARY_SUMMARY_H_
+#define TREX_SUMMARY_SUMMARY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace trex {
+
+using Sid = uint32_t;
+inline constexpr Sid kRootSid = 0;
+inline constexpr Sid kInvalidSid = UINT32_MAX;
+
+enum class SummaryKind {
+  kTag,
+  kIncoming,
+};
+
+const char* SummaryKindName(SummaryKind kind);
+
+struct SummaryNode {
+  std::string label;         // Aliased tag label ("" for the root).
+  Sid parent = kInvalidSid;  // kInvalidSid only for the root node.
+  std::vector<Sid> children;
+  uint64_t extent_size = 0;  // Number of corpus elements in this extent.
+};
+
+class Summary {
+ public:
+  explicit Summary(SummaryKind kind) : kind_(kind) {
+    nodes_.push_back(SummaryNode{});  // Synthetic root, sid 0.
+  }
+
+  SummaryKind kind() const { return kind_; }
+
+  // Number of summary nodes including the synthetic root.
+  size_t size() const { return nodes_.size(); }
+  // Number of real (non-root) summary nodes — the paper's "summary size".
+  size_t num_label_nodes() const { return nodes_.size() - 1; }
+
+  const SummaryNode& node(Sid sid) const { return nodes_[sid]; }
+  bool IsValidSid(Sid sid) const { return sid < nodes_.size(); }
+
+  // The sid a child element with (aliased) label `label` maps to, given
+  // its parent element's sid; creates the node if `create`. For the tag
+  // summary the parent is ignored for identity but recorded for tree
+  // rendering (first-seen parent wins).
+  Sid MapChild(Sid parent, const std::string& label, bool create);
+
+  // Root label path of a node, e.g. "/books/journal/article/bdy/sec".
+  std::string PathOf(Sid sid) const;
+
+  // Total elements summarized.
+  uint64_t total_extent_size() const { return total_extent_size_; }
+
+  // Number of (ancestor, descendant) element pairs observed sharing a
+  // sid during building (0 means the summary is ancestor-disjoint, as
+  // the paper requires for retrieval use).
+  uint64_t ancestor_violations() const { return ancestor_violations_; }
+
+  // Human-readable tree rendering (summary-explorer example, tests).
+  std::string ToTreeString(size_t max_nodes = SIZE_MAX) const;
+
+  // Manifest (de)serialization.
+  std::string Serialize() const;
+  static Result<Summary> Deserialize(const std::string& data);
+
+ private:
+  friend class SummaryBuilder;
+
+  SummaryKind kind_;
+  std::vector<SummaryNode> nodes_;
+  // incoming: (parent sid, label) -> sid ; tag: ("", label) -> sid.
+  std::map<std::pair<Sid, std::string>, Sid> child_index_;
+  uint64_t total_extent_size_ = 0;
+  uint64_t ancestor_violations_ = 0;
+};
+
+}  // namespace trex
+
+#endif  // TREX_SUMMARY_SUMMARY_H_

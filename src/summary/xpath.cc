@@ -1,0 +1,66 @@
+#include "summary/xpath.h"
+
+namespace trex {
+
+namespace {
+
+
+// NFA states = number of steps matched so far, exactly as in the
+// summary matcher (path_matcher.cc); the two implementations are kept
+// structurally parallel so their agreement is meaningful.
+void Walk(const XmlNode& node, const std::vector<PathStep>& steps,
+          const std::vector<int>& in_states, const AliasMap* aliases,
+          std::vector<const XmlNode*>* out) {
+  const int n = static_cast<int>(steps.size());
+  std::vector<int> out_states;
+  std::vector<char> seen(n + 1, 0);
+  auto add = [&](int s) {
+    if (!seen[s]) {
+      seen[s] = 1;
+      out_states.push_back(s);
+    }
+  };
+  bool matched_here = false;
+  for (int i : in_states) {
+    if (i >= n) continue;
+    const PathStep& step = steps[i];
+    if (step.axis == Axis::kDescendant) add(i);
+    const std::string& label =
+        aliases ? aliases->Apply(node.tag()) : node.tag();
+    if (StepLabelMatches(step, label, aliases)) {
+      if (i + 1 == n) {
+        matched_here = true;
+      } else {
+        add(i + 1);
+      }
+    }
+  }
+  if (matched_here) out->push_back(&node);
+  if (out_states.empty()) return;
+  for (const auto& child : node.children()) {
+    if (child->is_element()) {
+      Walk(*child, steps, out_states, aliases, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<const XmlNode*> EvaluatePathOnDocument(
+    const XmlNode& document, const std::vector<PathStep>& steps,
+    const AliasMap* aliases) {
+  std::vector<const XmlNode*> out;
+  if (steps.empty() || !document.is_element()) return out;
+  Walk(document, steps, {0}, aliases, &out);
+  return out;
+}
+
+Result<std::vector<const XmlNode*>> EvaluatePathExpression(
+    const XmlNode& document, const std::string& path,
+    const AliasMap* aliases) {
+  auto steps = ParsePathExpression(path);
+  if (!steps.ok()) return steps.status();
+  return EvaluatePathOnDocument(document, steps.value(), aliases);
+}
+
+}  // namespace trex

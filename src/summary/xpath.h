@@ -1,0 +1,36 @@
+// A reference XPath-subset evaluator over the DOM.
+//
+// Evaluates the NEXI path skeleton fragment (child '/' and descendant
+// '//' axes, tag tests and the '*' wildcard, optional alias rewriting)
+// directly against an XmlNode tree. This is deliberately the *slow,
+// obviously-correct* evaluator: TReX never uses it to answer queries —
+// it exists so that tests can cross-validate the summary-based
+// translation (extent membership, sid sets, ERA answers) against an
+// independent implementation, and so tools can inspect documents.
+#ifndef TREX_SUMMARY_XPATH_H_
+#define TREX_SUMMARY_XPATH_H_
+
+#include <string>
+#include <vector>
+
+#include "summary/alias.h"
+#include "summary/path_matcher.h"
+#include "xml/node.h"
+
+namespace trex {
+
+// Elements of `document` selected by the absolute path `steps`
+// (document order). Step labels are rewritten through `aliases` when
+// non-null AND document tags are too, mirroring summary construction.
+std::vector<const XmlNode*> EvaluatePathOnDocument(
+    const XmlNode& document, const std::vector<PathStep>& steps,
+    const AliasMap* aliases);
+
+// Convenience: parse + evaluate.
+Result<std::vector<const XmlNode*>> EvaluatePathExpression(
+    const XmlNode& document, const std::string& path,
+    const AliasMap* aliases);
+
+}  // namespace trex
+
+#endif  // TREX_SUMMARY_XPATH_H_

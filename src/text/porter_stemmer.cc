@@ -1,0 +1,327 @@
+#include "text/porter_stemmer.h"
+
+#include <cstring>
+
+namespace trex {
+
+namespace {
+
+// Direct transcription of Porter's 1980 algorithm. `b` holds the word,
+// `k` is the index of its last character, `j` marks the stem end during
+// suffix checks.
+class Stemmer {
+ public:
+  explicit Stemmer(const std::string& word)
+      : b_(word), k_(static_cast<int>(word.size()) - 1) {}
+
+  std::string Run() {
+    if (b_.size() <= 2) return b_;
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    return b_.substr(0, k_ + 1);
+  }
+
+ private:
+  bool IsConsonant(int i) const {
+    switch (b_[i]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure of the stem b[0..j]: the number of VC sequences.
+  int Measure() const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j_) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j_) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j_) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool VowelInStem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  // b[i-1..i] is a double consonant.
+  bool DoubleConsonant(int i) const {
+    if (i < 1) return false;
+    if (b_[i] != b_[i - 1]) return false;
+    return IsConsonant(i);
+  }
+
+  // b[i-2..i] is consonant-vowel-consonant and the last consonant is not
+  // w, x or y — used to restore an 'e' (e.g. cav(e), lov(e)).
+  bool Cvc(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) ||
+        !IsConsonant(i - 2)) {
+      return false;
+    }
+    char c = b_[i];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  bool Ends(const char* s) {
+    int len = static_cast<int>(std::strlen(s));
+    if (len > k_ + 1) return false;
+    if (std::memcmp(b_.data() + (k_ + 1 - len), s, len) != 0) return false;
+    j_ = k_ - len;
+    return true;
+  }
+
+  void SetTo(const char* s) {
+    int len = static_cast<int>(std::strlen(s));
+    b_.replace(j_ + 1, b_.size() - j_ - 1, s, len);
+    k_ = j_ + len;
+  }
+
+  void ReplaceIfMeasure(const char* s) {
+    if (Measure() > 0) SetTo(s);
+  }
+
+  // Plurals and -ed / -ing.
+  void Step1ab() {
+    if (b_[k_] == 's') {
+      if (Ends("sses")) {
+        k_ -= 2;
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (b_[k_ - 1] != 's') {
+        --k_;
+      }
+    }
+    if (Ends("eed")) {
+      if (Measure() > 0) --k_;
+    } else if ((Ends("ed") || Ends("ing")) && VowelInStem()) {
+      k_ = j_;
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k_)) {
+        char c = b_[k_];
+        if (c != 'l' && c != 's' && c != 'z') --k_;
+      } else if (Measure() == 1 && Cvc(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  // Turn terminal y to i when there is another vowel in the stem.
+  void Step1c() {
+    if (Ends("y") && VowelInStem()) b_[k_] = 'i';
+  }
+
+  // Map double suffixes to single ones, e.g. -ization -> -ize.
+  void Step2() {
+    if (k_ < 1) return;
+    switch (b_[k_ - 1]) {
+      case 'a':
+        if (Ends("ational")) {
+          ReplaceIfMeasure("ate");
+        } else if (Ends("tional")) {
+          ReplaceIfMeasure("tion");
+        }
+        break;
+      case 'c':
+        if (Ends("enci")) {
+          ReplaceIfMeasure("ence");
+        } else if (Ends("anci")) {
+          ReplaceIfMeasure("ance");
+        }
+        break;
+      case 'e':
+        if (Ends("izer")) ReplaceIfMeasure("ize");
+        break;
+      case 'l':
+        if (Ends("bli")) {
+          ReplaceIfMeasure("ble");
+        } else if (Ends("alli")) {
+          ReplaceIfMeasure("al");
+        } else if (Ends("entli")) {
+          ReplaceIfMeasure("ent");
+        } else if (Ends("eli")) {
+          ReplaceIfMeasure("e");
+        } else if (Ends("ousli")) {
+          ReplaceIfMeasure("ous");
+        }
+        break;
+      case 'o':
+        if (Ends("ization")) {
+          ReplaceIfMeasure("ize");
+        } else if (Ends("ation")) {
+          ReplaceIfMeasure("ate");
+        } else if (Ends("ator")) {
+          ReplaceIfMeasure("ate");
+        }
+        break;
+      case 's':
+        if (Ends("alism")) {
+          ReplaceIfMeasure("al");
+        } else if (Ends("iveness")) {
+          ReplaceIfMeasure("ive");
+        } else if (Ends("fulness")) {
+          ReplaceIfMeasure("ful");
+        } else if (Ends("ousness")) {
+          ReplaceIfMeasure("ous");
+        }
+        break;
+      case 't':
+        if (Ends("aliti")) {
+          ReplaceIfMeasure("al");
+        } else if (Ends("iviti")) {
+          ReplaceIfMeasure("ive");
+        } else if (Ends("biliti")) {
+          ReplaceIfMeasure("ble");
+        }
+        break;
+      case 'g':
+        if (Ends("logi")) ReplaceIfMeasure("log");
+        break;
+      default:
+        break;
+    }
+  }
+
+  // -icate, -ative etc.
+  void Step3() {
+    switch (b_[k_]) {
+      case 'e':
+        if (Ends("icate")) {
+          ReplaceIfMeasure("ic");
+        } else if (Ends("ative")) {
+          ReplaceIfMeasure("");
+        } else if (Ends("alize")) {
+          ReplaceIfMeasure("al");
+        }
+        break;
+      case 'i':
+        if (Ends("iciti")) ReplaceIfMeasure("ic");
+        break;
+      case 'l':
+        if (Ends("ical")) {
+          ReplaceIfMeasure("ic");
+        } else if (Ends("ful")) {
+          ReplaceIfMeasure("");
+        }
+        break;
+      case 's':
+        if (Ends("ness")) ReplaceIfMeasure("");
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Drop -ant, -ence etc. when measure > 1.
+  void Step4() {
+    if (k_ < 1) return;
+    switch (b_[k_ - 1]) {
+      case 'a':
+        if (Ends("al")) break;
+        return;
+      case 'c':
+        if (Ends("ance") || Ends("ence")) break;
+        return;
+      case 'e':
+        if (Ends("er")) break;
+        return;
+      case 'i':
+        if (Ends("ic")) break;
+        return;
+      case 'l':
+        if (Ends("able") || Ends("ible")) break;
+        return;
+      case 'n':
+        if (Ends("ant") || Ends("ement") || Ends("ment") || Ends("ent")) {
+          break;
+        }
+        return;
+      case 'o':
+        if (Ends("ion") && j_ >= 0 && (b_[j_] == 's' || b_[j_] == 't')) {
+          break;
+        }
+        if (Ends("ou")) break;  // e.g. -ious
+        return;
+      case 's':
+        if (Ends("ism")) break;
+        return;
+      case 't':
+        if (Ends("ate") || Ends("iti")) break;
+        return;
+      case 'u':
+        if (Ends("ous")) break;
+        return;
+      case 'v':
+        if (Ends("ive")) break;
+        return;
+      case 'z':
+        if (Ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (Measure() > 1) k_ = j_;
+  }
+
+  // Remove a final -e and reduce -ll when the measure allows.
+  void Step5() {
+    j_ = k_;
+    if (b_[k_] == 'e') {
+      int m = Measure();
+      if (m > 1 || (m == 1 && !Cvc(k_ - 1))) --k_;
+    }
+    if (b_[k_] == 'l' && DoubleConsonant(k_) && Measure() > 1) --k_;
+  }
+
+  std::string b_;
+  int k_;
+  int j_ = 0;
+};
+
+}  // namespace
+
+std::string PorterStem(const std::string& word) {
+  if (word.size() <= 2) return word;
+  for (char c : word) {
+    if (c < 'a' || c > 'z') return word;
+  }
+  return Stemmer(word).Run();
+}
+
+}  // namespace trex

@@ -1,0 +1,21 @@
+// Porter stemmer (M.F. Porter, "An algorithm for suffix stripping", 1980).
+//
+// Full five-step algorithm, used to normalize both indexed tokens and
+// query keywords so that e.g. "evaluation" and "evaluating" meet in the
+// same posting list — standard practice in the INEX systems the paper
+// builds on (TopX, XRANK).
+#ifndef TREX_TEXT_PORTER_STEMMER_H_
+#define TREX_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+
+namespace trex {
+
+// Returns the stem of `word`. The input must be lowercase ASCII letters;
+// other inputs are returned unchanged. Words of length <= 2 are returned
+// unchanged, per the original algorithm.
+std::string PorterStem(const std::string& word);
+
+}  // namespace trex
+
+#endif  // TREX_TEXT_PORTER_STEMMER_H_

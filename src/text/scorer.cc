@@ -1,0 +1,26 @@
+#include "text/scorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trex {
+
+double Bm25Scorer::Idf(uint64_t doc_freq) const {
+  double n = static_cast<double>(stats_.num_documents);
+  double df = static_cast<double>(doc_freq);
+  return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+}
+
+float Bm25Scorer::Score(uint32_t tf, uint64_t element_length,
+                        uint64_t doc_freq) const {
+  if (tf == 0) return 0.0f;
+  double len_norm =
+      (1.0 - params_.b) +
+      params_.b * static_cast<double>(element_length) /
+          std::max(1.0, stats_.avg_element_length);
+  double score = Idf(doc_freq) * static_cast<double>(tf) /
+                 (static_cast<double>(tf) + params_.k1 * len_norm);
+  return static_cast<float>(std::max(0.0, score));
+}
+
+}  // namespace trex

@@ -1,0 +1,55 @@
+// Element relevance scoring.
+//
+// The paper does not prescribe a scoring function ("each implementation of
+// NEXI has its own ranking criteria, which generally use well-established
+// IR techniques"); TReX uses the BM25-style element scoring common to the
+// INEX systems it cites (TopX uses the same family). What matters for the
+// reproduction is that *all three retrieval methods share one scorer*, so
+// ERA, TA and Merge rank identically and differ only in evaluation cost.
+//
+// score(e, t) = idf(t) * tf / (tf + k1 * ((1 - b) + b * len(e) / avg_len))
+// idf(t)      = ln(1 + (N - df + 0.5) / (df + 0.5))
+// score(e, Q) = sum over t in Q of score(e, t)
+#ifndef TREX_TEXT_SCORER_H_
+#define TREX_TEXT_SCORER_H_
+
+#include <cstdint>
+
+namespace trex {
+
+struct Bm25Params {
+  double k1 = 1.2;
+  double b = 0.3;  // Mild length normalization; elements vary wildly.
+};
+
+// Corpus-level statistics needed by the scorer, computed by the index
+// builder and persisted in the index manifest.
+struct CorpusStats {
+  uint64_t num_documents = 0;
+  uint64_t num_elements = 0;
+  double avg_element_length = 1.0;  // In token positions.
+};
+
+class Bm25Scorer {
+ public:
+  Bm25Scorer(const Bm25Params& params, const CorpusStats& stats)
+      : params_(params), stats_(stats) {}
+
+  // Score contribution of one term occurring `tf` times in an element of
+  // `element_length` positions, where the term occurs in `doc_freq`
+  // documents corpus-wide.
+  float Score(uint32_t tf, uint64_t element_length,
+              uint64_t doc_freq) const;
+
+  const CorpusStats& stats() const { return stats_; }
+
+ private:
+  double Idf(uint64_t doc_freq) const;
+
+  Bm25Params params_;
+  CorpusStats stats_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_TEXT_SCORER_H_

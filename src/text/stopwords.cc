@@ -1,0 +1,39 @@
+#include "text/stopwords.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace trex {
+
+namespace {
+// Sorted (strcmp order) classic English stopword list.
+const char* const kStopwords[] = {
+    "a",       "about",  "above",  "after",   "again",   "against", "all",
+    "am",      "an",     "and",    "any",     "are",     "as",      "at",
+    "be",      "because", "been",  "before",  "being",   "below",   "between",
+    "both",    "but",    "by",     "can",     "cannot",  "could",   "did",
+    "do",      "does",   "doing",  "down",    "during",  "each",    "few",
+    "for",     "from",   "further", "had",    "has",     "have",    "having",
+    "he",      "her",    "here",   "hers",    "herself", "him",     "himself",
+    "his",     "how",    "i",      "if",      "in",      "into",    "is",
+    "it",      "its",    "itself", "me",      "more",    "most",    "my",
+    "myself",  "no",     "nor",    "not",     "of",      "off",     "on",
+    "once",    "only",   "or",     "other",   "ought",   "our",     "ours",
+    "ourselves", "out",  "over",   "own",     "same",    "she",     "should",
+    "so",      "some",   "such",   "than",    "that",    "the",     "their",
+    "theirs",  "them",   "themselves", "then", "there",  "these",   "they",
+    "this",    "those",  "through", "to",     "too",     "under",   "until",
+    "up",      "very",   "was",    "we",      "were",    "what",    "when",
+    "where",   "which",  "while",  "who",     "whom",    "why",     "with",
+    "would",   "you",    "your",   "yours",   "yourself", "yourselves",
+};
+constexpr size_t kNumStopwords = sizeof(kStopwords) / sizeof(kStopwords[0]);
+}  // namespace
+
+bool IsStopword(const std::string& word) {
+  return std::binary_search(
+      kStopwords, kStopwords + kNumStopwords, word.c_str(),
+      [](const char* a, const char* b) { return std::strcmp(a, b) < 0; });
+}
+
+}  // namespace trex

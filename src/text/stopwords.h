@@ -1,0 +1,14 @@
+// English stopword list used by the tokenizer.
+#ifndef TREX_TEXT_STOPWORDS_H_
+#define TREX_TEXT_STOPWORDS_H_
+
+#include <string>
+
+namespace trex {
+
+// True if `word` (lowercase) is a stopword. O(log n) over a static table.
+bool IsStopword(const std::string& word);
+
+}  // namespace trex
+
+#endif  // TREX_TEXT_STOPWORDS_H_

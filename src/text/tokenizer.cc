@@ -1,0 +1,66 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+
+namespace trex {
+
+namespace {
+bool IsTokenChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c));
+}
+}  // namespace
+
+std::optional<std::string> Tokenizer::NormalizeTerm(
+    const std::string& raw) const {
+  std::string word;
+  word.reserve(raw.size());
+  for (char c : raw) {
+    if (IsTokenChar(c)) {
+      word.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  if (word.size() < options_.min_token_length ||
+      word.size() > options_.max_token_length) {
+    return std::nullopt;
+  }
+  if (options_.remove_stopwords && IsStopword(word)) return std::nullopt;
+  if (options_.stem) word = PorterStem(word);
+  return word;
+}
+
+void Tokenizer::Tokenize(Slice text, uint64_t base_offset,
+                         std::vector<TokenOccurrence>* out) const {
+  size_t i = 0;
+  std::string word;
+  while (i < text.size()) {
+    // Skip separators.
+    while (i < text.size() && !IsTokenChar(text[i])) ++i;
+    if (i >= text.size()) break;
+    size_t token_start = i;
+    word.clear();
+    while (i < text.size() && IsTokenChar(text[i])) {
+      word.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(text[i]))));
+      ++i;
+    }
+    if (word.size() < options_.min_token_length ||
+        word.size() > options_.max_token_length ||
+        (options_.remove_stopwords && IsStopword(word))) {
+      continue;
+    }
+    if (options_.stem) word = PorterStem(word);
+    out->push_back(TokenOccurrence{word, base_offset + token_start});
+  }
+}
+
+void Tokenizer::Tokenize(Slice text, std::vector<std::string>* terms) const {
+  std::vector<TokenOccurrence> occ;
+  Tokenize(text, 0, &occ);
+  for (auto& t : occ) terms->push_back(std::move(t.term));
+}
+
+}  // namespace trex

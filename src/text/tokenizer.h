@@ -1,0 +1,59 @@
+// Tokenizer: splits character data into index terms.
+//
+// The same pipeline (lowercase -> alnum runs -> stopword filter -> Porter
+// stem) is applied to document text and to query keywords, so a query
+// keyword matches a posting list iff both normalize to the same term.
+// Tokens dropped by the filter still consume a position: the paper's
+// element spans are measured in token positions, and keeping dropped
+// tokens positional keeps spans stable under tokenizer-option changes.
+#ifndef TREX_TEXT_TOKENIZER_H_
+#define TREX_TEXT_TOKENIZER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace trex {
+
+struct TokenizerOptions {
+  bool remove_stopwords = true;
+  bool stem = true;
+  size_t min_token_length = 1;
+  size_t max_token_length = 64;
+};
+
+// One kept token and the byte offset (within the document) where it
+// starts. Offsets are the paper's posting-list positions.
+struct TokenOccurrence {
+  std::string term;
+  uint64_t offset = 0;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {}) : options_(options) {}
+
+  // Splits `text` into lowercase alnum tokens, filters stopwords and
+  // out-of-range lengths, stems, and emits each surviving token with
+  // offset = base_offset + its byte position within `text`.
+  void Tokenize(Slice text, uint64_t base_offset,
+                std::vector<TokenOccurrence>* out) const;
+
+  // Convenience for tests and examples: terms only.
+  void Tokenize(Slice text, std::vector<std::string>* terms) const;
+
+  // Normalizes one query keyword; nullopt if it is filtered out
+  // (stopword / too short / too long).
+  std::optional<std::string> NormalizeTerm(const std::string& raw) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_TEXT_TOKENIZER_H_

@@ -1,0 +1,128 @@
+#include "trex/trex.h"
+
+#include <algorithm>
+
+#include "index/updater.h"
+#include "retrieval/strict.h"
+
+namespace trex {
+
+Result<std::unique_ptr<TReX>> TReX::Build(const std::string& dir,
+                                          const DocumentGenerator& documents,
+                                          TrexOptions options) {
+  IndexBuilder builder(dir, options.index);
+  const size_t n = documents.num_documents();
+  for (size_t i = 0; i < n; ++i) {
+    DocId docid = static_cast<DocId>(i);
+    std::string doc = documents.Generate(docid);
+    TREX_RETURN_IF_ERROR(builder.AddDocument(docid, doc));
+  }
+  TREX_RETURN_IF_ERROR(builder.Finish());
+  return Open(dir, std::move(options));
+}
+
+Result<std::unique_ptr<TReX>> TReX::BuildFromDocuments(
+    const std::string& dir, const std::vector<std::string>& documents,
+    TrexOptions options) {
+  IndexBuilder builder(dir, options.index);
+  for (size_t i = 0; i < documents.size(); ++i) {
+    TREX_RETURN_IF_ERROR(
+        builder.AddDocument(static_cast<DocId>(i), documents[i]));
+  }
+  TREX_RETURN_IF_ERROR(builder.Finish());
+  return Open(dir, std::move(options));
+}
+
+Result<std::unique_ptr<TReX>> TReX::Open(const std::string& dir,
+                                         TrexOptions options) {
+  auto index = Index::Open(dir, options.index.cache_pages);
+  if (!index.ok()) return index.status();
+  return std::unique_ptr<TReX>(
+      new TReX(std::move(index).value(), std::move(options)));
+}
+
+Result<QueryAnswer> TReX::RunQuery(const std::string& nexi, size_t k,
+                                   const RetrievalMethod* forced) {
+  auto translated = TranslateNexi(nexi, index_->summary(),
+                                  &index_->aliases(), index_->tokenizer());
+  if (!translated.ok()) return translated.status();
+
+  QueryAnswer answer;
+  answer.translation = std::move(translated).value();
+  const TranslatedClause& clause = answer.translation.flattened;
+
+  Evaluator evaluator(index_.get());
+  // When restricting to target sids, evaluate unrestricted first (the
+  // methods need the clause's own sids), then filter.
+  size_t effective_k = options_.restrict_to_target_sids ? 0 : k;
+  Status s;
+  if (forced != nullptr) {
+    answer.method = *forced;
+    s = evaluator.EvaluateWith(*forced, clause, effective_k, &answer.result);
+  } else {
+    s = evaluator.Evaluate(clause, effective_k, &answer.result,
+                           &answer.method);
+  }
+  if (!s.ok()) return s;
+
+  if (options_.restrict_to_target_sids) {
+    const std::vector<Sid>& targets = answer.translation.target_sids;
+    auto& elems = answer.result.elements;
+    elems.erase(std::remove_if(elems.begin(), elems.end(),
+                               [&](const ScoredElement& e) {
+                                 return !std::binary_search(
+                                     targets.begin(), targets.end(),
+                                     e.element.sid);
+                               }),
+                elems.end());
+    if (k > 0 && elems.size() > k) elems.resize(k);
+  }
+  return answer;
+}
+
+Result<QueryAnswer> TReX::Query(const std::string& nexi, size_t k) {
+  return RunQuery(nexi, k, nullptr);
+}
+
+Result<QueryAnswer> TReX::QueryStrict(const std::string& nexi, size_t k) {
+  auto translated = TranslateNexi(nexi, index_->summary(),
+                                  &index_->aliases(), index_->tokenizer());
+  if (!translated.ok()) return translated.status();
+  QueryAnswer answer;
+  answer.translation = std::move(translated).value();
+  answer.method = RetrievalMethod::kEra;  // Per-clause methods vary.
+  StrictEvaluator strict(index_.get());
+  TREX_RETURN_IF_ERROR(strict.Evaluate(answer.translation, k,
+                                       &answer.result));
+  return answer;
+}
+
+Result<QueryAnswer> TReX::QueryWith(RetrievalMethod method,
+                                    const std::string& nexi, size_t k) {
+  return RunQuery(nexi, k, &method);
+}
+
+Status TReX::SelfManage(const Workload& workload,
+                        const SelfManagerOptions& options,
+                        SelfManagerReport* report) {
+  SelfManager manager(index_.get(), options);
+  return manager.Run(workload, report);
+}
+
+Result<DocId> TReX::AddDocument(const std::string& xml) {
+  DocId docid = index_->max_docid() + 1;
+  IndexUpdater updater(index_.get());
+  TREX_RETURN_IF_ERROR(updater.AddDocument(docid, xml));
+  return docid;
+}
+
+Status TReX::MaterializeFor(const std::string& nexi, bool rpls, bool erpls,
+                            MaterializeStats* stats) {
+  auto translated = TranslateNexi(nexi, index_->summary(),
+                                  &index_->aliases(), index_->tokenizer());
+  if (!translated.ok()) return translated.status();
+  return MaterializeForClause(index_.get(), translated.value().flattened,
+                              rpls, erpls, stats);
+}
+
+}  // namespace trex

@@ -1,0 +1,99 @@
+// TReX — the public facade.
+//
+// "TReX, an XML retrieval system that can exploit multiple structural
+// summaries ... and can also self-manage small, redundant indexes to
+// speed up the evaluation of workloads of top-k queries."
+//
+// Typical use:
+//
+//   trex::TrexOptions options;                  // Alias map, tokenizer...
+//   auto trex = trex::TReX::Build(index_dir, docs, options);   // Ingest.
+//   auto result = trex->Query("//article[about(., xml)]", 10);  // Top-10.
+//   trex->SelfManage(workload, budget);          // Materialize RPL/ERPLs.
+//
+// Build() ingests documents; Open() reopens an existing index directory.
+#ifndef TREX_TREX_TREX_H_
+#define TREX_TREX_TREX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "corpus/corpus.h"
+#include "index/index.h"
+#include "index/index_builder.h"
+#include "nexi/translator.h"
+#include "retrieval/strategy.h"
+
+namespace trex {
+
+struct TrexOptions {
+  IndexOptions index;
+  // Evaluate answers only from the query skeleton's target sids
+  // (strict-flavoured result shaping); the default vague mode returns
+  // elements from every about() clause's sids, as in the paper's
+  // experiments.
+  bool restrict_to_target_sids = false;
+};
+
+struct QueryAnswer {
+  RetrievalResult result;
+  RetrievalMethod method = RetrievalMethod::kEra;
+  TranslatedQuery translation;
+};
+
+class TReX {
+ public:
+  // Builds a fresh index in `dir` from a document generator.
+  static Result<std::unique_ptr<TReX>> Build(
+      const std::string& dir, const DocumentGenerator& documents,
+      TrexOptions options = {});
+  // Builds a fresh index in `dir` from explicit documents.
+  static Result<std::unique_ptr<TReX>> BuildFromDocuments(
+      const std::string& dir, const std::vector<std::string>& documents,
+      TrexOptions options = {});
+  // Opens an existing index.
+  static Result<std::unique_ptr<TReX>> Open(const std::string& dir,
+                                            TrexOptions options = {});
+
+  // Evaluates a NEXI query; k == 0 returns all answers. The method is
+  // chosen by the strategy selector unless `force` is set.
+  Result<QueryAnswer> Query(const std::string& nexi, size_t k);
+  Result<QueryAnswer> QueryWith(RetrievalMethod method,
+                                const std::string& nexi, size_t k);
+  // Strict-interpretation evaluation (§1): structural constraints are
+  // satisfied precisely via per-clause evaluation and a containment join
+  // (see retrieval/strict.h).
+  Result<QueryAnswer> QueryStrict(const std::string& nexi, size_t k);
+
+  // Runs the §4 self-manager over a workload.
+  Status SelfManage(const Workload& workload,
+                    const SelfManagerOptions& options,
+                    SelfManagerReport* report);
+
+  // Materializes RPLs and/or ERPLs for one query (manual tuning path).
+  Status MaterializeFor(const std::string& nexi, bool rpls, bool erpls,
+                        MaterializeStats* stats);
+
+  // Incrementally inserts a document (docid = max_docid + 1). Redundant
+  // lists of terms occurring in the document are dropped; see
+  // index/updater.h for the scoring-snapshot semantics.
+  Result<DocId> AddDocument(const std::string& xml);
+
+  Index* index() { return index_.get(); }
+
+ private:
+  TReX(std::unique_ptr<Index> index, TrexOptions options)
+      : index_(std::move(index)), options_(std::move(options)) {}
+
+  Result<QueryAnswer> RunQuery(const std::string& nexi, size_t k,
+                               const RetrievalMethod* forced);
+
+  std::unique_ptr<Index> index_;
+  TrexOptions options_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_TREX_TREX_H_

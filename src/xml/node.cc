@@ -1,0 +1,81 @@
+#include "xml/node.h"
+
+#include <vector>
+
+namespace trex {
+
+const std::string* XmlNode::FindAttribute(const std::string& name) const {
+  for (const auto& a : attributes_) {
+    if (a.name == name) return &a.value;
+  }
+  return nullptr;
+}
+
+const XmlNode* XmlNode::FindChild(const std::string& tag) const {
+  for (const auto& c : children_) {
+    if (c->is_element() && c->tag() == tag) return c.get();
+  }
+  return nullptr;
+}
+
+std::string XmlNode::TextContent() const {
+  if (type_ == Type::kText) return text_;
+  std::string out;
+  for (const auto& c : children_) {
+    out += c->TextContent();
+  }
+  return out;
+}
+
+size_t XmlNode::CountElements() const {
+  if (type_ == Type::kText) return 0;
+  size_t n = 1;
+  for (const auto& c : children_) n += c->CountElements();
+  return n;
+}
+
+Result<std::unique_ptr<XmlNode>> ParseXmlDocument(Slice input) {
+  XmlReader reader(input);
+  std::unique_ptr<XmlNode> root;
+  std::vector<XmlNode*> stack;
+  XmlEvent event;
+  while (true) {
+    TREX_RETURN_IF_ERROR(reader.Next(&event));
+    switch (event.type) {
+      case XmlEventType::kStartElement: {
+        XmlNode node = XmlNode::Element(event.name);
+        node.set_offsets(event.offset, 0);
+        for (auto& a : event.attributes) {
+          node.AddAttribute(std::move(a.name), std::move(a.value));
+        }
+        if (stack.empty()) {
+          if (root != nullptr) {
+            return Status::Corruption("multiple root elements");
+          }
+          root = std::make_unique<XmlNode>(std::move(node));
+          stack.push_back(root.get());
+        } else {
+          stack.push_back(stack.back()->AddChild(std::move(node)));
+        }
+        break;
+      }
+      case XmlEventType::kEndElement:
+        stack.back()->set_offsets(stack.back()->start_offset(),
+                                  event.offset);
+        stack.pop_back();
+        break;
+      case XmlEventType::kText:
+        if (!stack.empty()) {
+          stack.back()->AddChild(XmlNode::Text(std::move(event.text)));
+        }
+        break;
+      case XmlEventType::kEndDocument:
+        if (root == nullptr) {
+          return Status::Corruption("document has no root element");
+        }
+        return root;
+    }
+  }
+}
+
+}  // namespace trex

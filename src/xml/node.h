@@ -1,0 +1,88 @@
+// A lightweight DOM built on top of XmlReader.
+//
+// The indexing pipeline is event-driven and never materializes documents;
+// the DOM exists for tests, tools and the summary-explorer example, where
+// whole-document navigation is convenient.
+#ifndef TREX_XML_NODE_H_
+#define TREX_XML_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/reader.h"
+
+namespace trex {
+
+class XmlNode {
+ public:
+  enum class Type { kElement, kText };
+
+  static XmlNode Element(std::string tag) {
+    XmlNode n;
+    n.type_ = Type::kElement;
+    n.tag_ = std::move(tag);
+    return n;
+  }
+  static XmlNode Text(std::string text) {
+    XmlNode n;
+    n.type_ = Type::kText;
+    n.text_ = std::move(text);
+    return n;
+  }
+
+  Type type() const { return type_; }
+  bool is_element() const { return type_ == Type::kElement; }
+  const std::string& tag() const { return tag_; }
+  const std::string& text() const { return text_; }
+
+  const std::vector<XmlAttribute>& attributes() const { return attributes_; }
+  void AddAttribute(std::string name, std::string value) {
+    attributes_.push_back({std::move(name), std::move(value)});
+  }
+  // Returns nullptr if absent.
+  const std::string* FindAttribute(const std::string& name) const;
+
+  const std::vector<std::unique_ptr<XmlNode>>& children() const {
+    return children_;
+  }
+  XmlNode* AddChild(XmlNode child) {
+    children_.push_back(std::make_unique<XmlNode>(std::move(child)));
+    return children_.back().get();
+  }
+
+  // First element child with the given tag, or nullptr.
+  const XmlNode* FindChild(const std::string& tag) const;
+  // Concatenation of all text descendants, in document order.
+  std::string TextContent() const;
+  // Number of element nodes in this subtree (including this node).
+  size_t CountElements() const;
+
+  // Byte span of this element in the source document (same semantics as
+  // the index's Elements table: [start, end) with end one past the end
+  // tag). Only meaningful for nodes built by ParseXmlDocument.
+  uint64_t start_offset() const { return start_offset_; }
+  uint64_t end_offset() const { return end_offset_; }
+  void set_offsets(uint64_t start, uint64_t end) {
+    start_offset_ = start;
+    end_offset_ = end;
+  }
+
+ private:
+  Type type_ = Type::kElement;
+  std::string tag_;
+  std::string text_;
+  uint64_t start_offset_ = 0;
+  uint64_t end_offset_ = 0;
+  std::vector<XmlAttribute> attributes_;
+  std::vector<std::unique_ptr<XmlNode>> children_;
+};
+
+// Parses a complete document; fails if the input has no root element or
+// more than one, or is malformed.
+Result<std::unique_ptr<XmlNode>> ParseXmlDocument(Slice input);
+
+}  // namespace trex
+
+#endif  // TREX_XML_NODE_H_

@@ -1,0 +1,307 @@
+#include "xml/reader.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace trex {
+
+namespace {
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '-' || c == '.';
+}
+}  // namespace
+
+Status XmlReader::Error(const std::string& what) const {
+  return Status::Corruption("XML parse error at byte " + std::to_string(pos_) +
+                            ": " + what);
+}
+
+bool XmlReader::StartsWith(const char* prefix) const {
+  size_t len = std::strlen(prefix);
+  return input_.size() - pos_ >= len &&
+         std::memcmp(input_.data() + pos_, prefix, len) == 0;
+}
+
+void XmlReader::SkipWhitespace() {
+  while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+}
+
+Status XmlReader::SkipUntil(const char* terminator, const std::string& what) {
+  size_t len = std::strlen(terminator);
+  while (pos_ + len <= input_.size()) {
+    if (std::memcmp(input_.data() + pos_, terminator, len) == 0) {
+      pos_ += len;
+      return Status::OK();
+    }
+    ++pos_;
+  }
+  pos_ = input_.size();
+  return Error("unterminated " + what);
+}
+
+Status XmlReader::ParseName(std::string* name) {
+  if (AtEnd() || !IsNameStartChar(Peek())) {
+    return Error("expected a name");
+  }
+  size_t start = pos_;
+  while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+  name->assign(input_.data() + start, pos_ - start);
+  return Status::OK();
+}
+
+Status XmlReader::DecodeEntity(std::string* out) {
+  // Cursor is on '&'.
+  size_t start = pos_;
+  ++pos_;
+  size_t semi = pos_;
+  while (semi < input_.size() && input_[semi] != ';' && semi - pos_ < 12) {
+    ++semi;
+  }
+  if (semi >= input_.size() || input_[semi] != ';') {
+    pos_ = start;
+    return Error("unterminated entity reference");
+  }
+  std::string ent(input_.data() + pos_, semi - pos_);
+  pos_ = semi + 1;
+  if (ent == "lt") {
+    out->push_back('<');
+  } else if (ent == "gt") {
+    out->push_back('>');
+  } else if (ent == "amp") {
+    out->push_back('&');
+  } else if (ent == "quot") {
+    out->push_back('"');
+  } else if (ent == "apos") {
+    out->push_back('\'');
+  } else if (!ent.empty() && ent[0] == '#') {
+    long code = 0;
+    size_t i = 1;
+    bool hex = ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X');
+    if (hex) i = 2;
+    if (i >= ent.size()) return Error("empty character reference");
+    for (; i < ent.size(); ++i) {
+      char c = ent[i];
+      int digit;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (hex && c >= 'a' && c <= 'f') {
+        digit = c - 'a' + 10;
+      } else if (hex && c >= 'A' && c <= 'F') {
+        digit = c - 'A' + 10;
+      } else {
+        return Error("bad character reference &" + ent + ";");
+      }
+      code = code * (hex ? 16 : 10) + digit;
+      if (code > 0x10FFFF) return Error("character reference out of range");
+    }
+    // Encode as UTF-8.
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  } else {
+    return Error("unknown entity &" + ent + ";");
+  }
+  return Status::OK();
+}
+
+Status XmlReader::ParseAttributes(XmlEvent* event, bool* self_closing) {
+  *self_closing = false;
+  while (true) {
+    SkipWhitespace();
+    if (AtEnd()) return Error("unterminated start tag <" + event->name);
+    char c = Peek();
+    if (c == '>') {
+      ++pos_;
+      return Status::OK();
+    }
+    if (c == '/') {
+      ++pos_;
+      if (AtEnd() || Peek() != '>') return Error("expected '>' after '/'");
+      ++pos_;
+      *self_closing = true;
+      return Status::OK();
+    }
+    XmlAttribute attr;
+    TREX_RETURN_IF_ERROR(ParseName(&attr.name));
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '=') return Error("expected '=' in attribute");
+    ++pos_;
+    SkipWhitespace();
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("attribute value must be quoted");
+    }
+    char quote = Peek();
+    ++pos_;
+    while (!AtEnd() && Peek() != quote) {
+      if (Peek() == '&') {
+        TREX_RETURN_IF_ERROR(DecodeEntity(&attr.value));
+      } else {
+        attr.value.push_back(Peek());
+        ++pos_;
+      }
+    }
+    if (AtEnd()) return Error("unterminated attribute value");
+    ++pos_;  // Closing quote.
+    event->attributes.push_back(std::move(attr));
+  }
+}
+
+// Handles one '<'-initiated construct. Sets *produced=false for markup
+// that yields no event (comments, PIs, DOCTYPE).
+Status XmlReader::ParseMarkup(XmlEvent* event, bool* produced) {
+  *produced = false;
+  const size_t markup_start = pos_;  // Offset of the '<'.
+  if (StartsWith("<!--")) {
+    pos_ += 4;
+    return SkipUntil("-->", "comment");
+  }
+  if (StartsWith("<![CDATA[")) {
+    pos_ += 9;
+    size_t start = pos_;
+    size_t end = pos_;
+    while (end + 3 <= input_.size() &&
+           std::memcmp(input_.data() + end, "]]>", 3) != 0) {
+      ++end;
+    }
+    if (end + 3 > input_.size()) return Error("unterminated CDATA section");
+    if (open_tags_.empty()) return Error("character data outside the root");
+    event->type = XmlEventType::kText;
+    event->text.assign(input_.data() + start, end - start);
+    event->offset = start;
+    pos_ = end + 3;
+    *produced = true;
+    return Status::OK();
+  }
+  if (StartsWith("<!")) {
+    // DOCTYPE or other declaration; skip to the matching '>'. Internal
+    // subsets ([...]) are tolerated by counting bracket depth.
+    pos_ += 2;
+    int depth = 0;
+    while (!AtEnd()) {
+      char c = Peek();
+      ++pos_;
+      if (c == '[') ++depth;
+      if (c == ']') --depth;
+      if (c == '>' && depth <= 0) return Status::OK();
+    }
+    return Error("unterminated '<!' declaration");
+  }
+  if (StartsWith("<?")) {
+    pos_ += 2;
+    return SkipUntil("?>", "processing instruction");
+  }
+  if (StartsWith("</")) {
+    pos_ += 2;
+    std::string name;
+    TREX_RETURN_IF_ERROR(ParseName(&name));
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '>') return Error("expected '>' in end tag");
+    ++pos_;
+    if (open_tags_.empty()) {
+      return Error("end tag </" + name + "> with no open element");
+    }
+    if (open_tags_.back() != name) {
+      return Error("mismatched end tag: expected </" + open_tags_.back() +
+                   ">, found </" + name + ">");
+    }
+    open_tags_.pop_back();
+    event->type = XmlEventType::kEndElement;
+    event->name = std::move(name);
+    event->offset = pos_;  // One past the '>' of the end tag.
+    *produced = true;
+    return Status::OK();
+  }
+  // Start tag.
+  ++pos_;
+  event->type = XmlEventType::kStartElement;
+  event->offset = markup_start;
+  TREX_RETURN_IF_ERROR(ParseName(&event->name));
+  bool self_closing = false;
+  TREX_RETURN_IF_ERROR(ParseAttributes(event, &self_closing));
+  if (self_closing) {
+    pending_end_ = true;
+    pending_end_name_ = event->name;
+    pending_end_offset_ = pos_;  // One past the '/>'.
+  } else {
+    open_tags_.push_back(event->name);
+  }
+  *produced = true;
+  return Status::OK();
+}
+
+Status XmlReader::Next(XmlEvent* event) {
+  event->type = XmlEventType::kEndDocument;
+  event->name.clear();
+  event->text.clear();
+  event->attributes.clear();
+
+  if (pending_end_) {
+    pending_end_ = false;
+    event->type = XmlEventType::kEndElement;
+    event->name = std::move(pending_end_name_);
+    event->offset = pending_end_offset_;
+    return Status::OK();
+  }
+  if (done_) return Status::OK();
+
+  while (true) {
+    if (AtEnd()) {
+      if (!open_tags_.empty()) {
+        return Error("unexpected end of input: <" + open_tags_.back() +
+                     "> is still open");
+      }
+      done_ = true;
+      event->type = XmlEventType::kEndDocument;
+      return Status::OK();
+    }
+    if (Peek() == '<') {
+      bool produced = false;
+      TREX_RETURN_IF_ERROR(ParseMarkup(event, &produced));
+      if (produced) return Status::OK();
+      continue;  // Comment / PI / DOCTYPE: keep scanning.
+    }
+    // Character data run (up to the next '<').
+    const size_t text_start = pos_;
+    std::string text;
+    while (!AtEnd() && Peek() != '<') {
+      if (Peek() == '&') {
+        TREX_RETURN_IF_ERROR(DecodeEntity(&text));
+      } else {
+        text.push_back(Peek());
+        ++pos_;
+      }
+    }
+    if (open_tags_.empty()) {
+      // Whitespace between top-level constructs is fine; anything else
+      // is character data outside the root element.
+      bool only_ws = true;
+      for (char c : text) {
+        if (!std::isspace(static_cast<unsigned char>(c))) only_ws = false;
+      }
+      if (!only_ws) return Error("character data outside the root element");
+      continue;
+    }
+    event->type = XmlEventType::kText;
+    event->text = std::move(text);
+    event->offset = text_start;
+    return Status::OK();
+  }
+}
+
+}  // namespace trex

@@ -1,0 +1,83 @@
+// XmlReader: a from-scratch pull parser for the XML subset used by
+// document collections (elements, attributes, character data, CDATA,
+// entities, comments, processing instructions, DOCTYPE).
+//
+// The reader emits a stream of events; the index builder and the summary
+// builder consume events directly (no DOM is materialized for indexing).
+// Well-formedness is enforced: mismatched or unclosed tags, bad entities
+// and malformed markup produce Corruption errors — this is the "malformed
+// XML rejected with useful errors" failure-injection surface.
+#ifndef TREX_XML_READER_H_
+#define TREX_XML_READER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace trex {
+
+enum class XmlEventType {
+  kStartElement,
+  kEndElement,
+  kText,
+  kEndDocument,
+};
+
+struct XmlAttribute {
+  std::string name;
+  std::string value;
+};
+
+struct XmlEvent {
+  XmlEventType type = XmlEventType::kEndDocument;
+  std::string name;                    // Tag name for start/end events.
+  std::string text;                    // Decoded character data for kText.
+  std::vector<XmlAttribute> attributes;  // For kStartElement.
+  // Byte offset of the event in the document: for kStartElement the '<'
+  // of the start tag, for kEndElement one past the '>' of the end tag,
+  // for kText the first character of the run. These are the paper's
+  // element start/end positions and term offsets.
+  size_t offset = 0;
+};
+
+class XmlReader {
+ public:
+  // The input buffer must outlive the reader.
+  explicit XmlReader(Slice input) : input_(input) {}
+
+  // Fills `event` with the next event. After kEndDocument is returned,
+  // further calls keep returning kEndDocument. Returns Corruption on
+  // malformed input, with a byte offset in the message.
+  Status Next(XmlEvent* event);
+
+  // Byte offset of the parse cursor (for error reporting and tests).
+  size_t offset() const { return pos_; }
+
+ private:
+  Status Error(const std::string& what) const;
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool StartsWith(const char* prefix) const;
+  void SkipWhitespace();
+  Status SkipUntil(const char* terminator, const std::string& what);
+  Status ParseName(std::string* name);
+  Status ParseAttributes(XmlEvent* event, bool* self_closing);
+  Status ParseMarkup(XmlEvent* event, bool* produced);
+  Status DecodeEntity(std::string* out);
+
+  Slice input_;
+  size_t pos_ = 0;
+  std::vector<std::string> open_tags_;
+  bool done_ = false;
+  // A self-closing tag yields kStartElement then kEndElement; the pending
+  // end event is stashed here.
+  bool pending_end_ = false;
+  std::string pending_end_name_;
+  size_t pending_end_offset_ = 0;
+};
+
+}  // namespace trex
+
+#endif  // TREX_XML_READER_H_

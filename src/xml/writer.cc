@@ -1,0 +1,85 @@
+#include "xml/writer.h"
+
+#include <cassert>
+
+namespace trex {
+
+void XmlWriter::AppendEscaped(std::string* out, const std::string& text,
+                              bool in_attribute) {
+  for (char c : text) {
+    switch (c) {
+      case '<':
+        *out += "&lt;";
+        break;
+      case '>':
+        *out += "&gt;";
+        break;
+      case '&':
+        *out += "&amp;";
+        break;
+      case '"':
+        if (in_attribute) {
+          *out += "&quot;";
+        } else {
+          out->push_back(c);
+        }
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+void XmlWriter::CloseStartTagIfOpen() {
+  if (start_tag_open_) {
+    out_.push_back('>');
+    start_tag_open_ = false;
+  }
+}
+
+void XmlWriter::StartElement(const std::string& tag) {
+  CloseStartTagIfOpen();
+  out_.push_back('<');
+  out_ += tag;
+  open_tags_.push_back(tag);
+  start_tag_open_ = true;
+  current_has_content_ = false;
+}
+
+void XmlWriter::Attribute(const std::string& name, const std::string& value) {
+  assert(start_tag_open_ && "Attribute() must directly follow StartElement()");
+  out_.push_back(' ');
+  out_ += name;
+  out_ += "=\"";
+  AppendEscaped(&out_, value, /*in_attribute=*/true);
+  out_.push_back('"');
+}
+
+void XmlWriter::Text(const std::string& text) {
+  if (text.empty()) return;
+  CloseStartTagIfOpen();
+  AppendEscaped(&out_, text, /*in_attribute=*/false);
+  current_has_content_ = true;
+}
+
+void XmlWriter::EndElement() {
+  assert(!open_tags_.empty());
+  std::string tag = open_tags_.back();
+  open_tags_.pop_back();
+  if (start_tag_open_) {
+    out_ += "/>";
+    start_tag_open_ = false;
+  } else {
+    out_ += "</";
+    out_ += tag;
+    out_.push_back('>');
+  }
+  current_has_content_ = true;
+}
+
+const std::string& XmlWriter::Finish() {
+  assert(open_tags_.empty() && "unclosed elements at Finish()");
+  return out_;
+}
+
+}  // namespace trex

@@ -1,0 +1,46 @@
+// XmlWriter: streaming XML serializer used by the corpus generators.
+//
+// Produces well-formed output (escaped text and attribute values, matched
+// tags); the generators' output is always re-parsable by XmlReader, which
+// the corpus tests verify round-trip.
+#ifndef TREX_XML_WRITER_H_
+#define TREX_XML_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace trex {
+
+class XmlWriter {
+ public:
+  XmlWriter() = default;
+
+  // Opens <tag>. Attributes may be added until text or a child follows.
+  void StartElement(const std::string& tag);
+  void Attribute(const std::string& name, const std::string& value);
+  // Appends escaped character data inside the current element.
+  void Text(const std::string& text);
+  // Closes the innermost open element (self-closing if empty).
+  void EndElement();
+
+  // The serialized document so far. All elements must be closed.
+  const std::string& Finish();
+
+  bool AllClosed() const { return open_tags_.empty(); }
+
+ private:
+  void CloseStartTagIfOpen();
+  static void AppendEscaped(std::string* out, const std::string& text,
+                            bool in_attribute);
+
+  std::string out_;
+  std::vector<std::string> open_tags_;
+  bool start_tag_open_ = false;
+  bool current_has_content_ = false;
+};
+
+}  // namespace trex
+
+#endif  // TREX_XML_WRITER_H_

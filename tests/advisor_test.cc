@@ -1,0 +1,311 @@
+// Tests for the workload model, the selection solvers (greedy vs exact),
+// the Theorem 4.2 bound, the cost model, and the end-to-end self-manager.
+#include <filesystem>
+
+#include "advisor/advisor.h"
+#include "advisor/greedy.h"
+#include "advisor/ilp.h"
+#include "common/rng.h"
+#include "corpus/ieee_generator.h"
+#include "gtest/gtest.h"
+#include "index/index.h"
+#include "index/index_builder.h"
+#include "retrieval/merge.h"
+#include "retrieval/ta.h"
+
+namespace trex {
+namespace {
+
+TEST(Workload, ValidatesDefinition41) {
+  Workload w;
+  EXPECT_TRUE(w.Validate().IsInvalidArgument());  // Empty.
+
+  w.Add("//a[about(., x)]", 0.5, 10);
+  w.Add("//b[about(., y)]", 0.5, 10);
+  EXPECT_TRUE(w.Validate().ok());
+
+  Workload bad_sum;
+  bad_sum.Add("//a[about(., x)]", 0.5, 10);
+  bad_sum.Add("//b[about(., y)]", 0.2, 10);
+  EXPECT_TRUE(bad_sum.Validate().IsInvalidArgument());
+
+  Workload bad_freq;
+  bad_freq.Add("//a[about(., x)]", 1.5, 10);
+  EXPECT_TRUE(bad_freq.Validate().IsInvalidArgument());
+
+  Workload bad_k;
+  bad_k.Add("//a[about(., x)]", 1.0, 0);
+  EXPECT_TRUE(bad_k.Validate().IsInvalidArgument());
+}
+
+TEST(Workload, TextFormatRoundTrip) {
+  Workload w;
+  w.Add("//article[about(., xml)]", 0.7, 10);
+  w.Add("//sec[about(., \"query evaluation\")]", 0.3, 100);
+  auto parsed = Workload::ParseFromText(w.SerializeToText());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value().queries()[0].nexi, "//article[about(., xml)]");
+  EXPECT_DOUBLE_EQ(parsed.value().queries()[0].frequency, 0.7);
+  EXPECT_EQ(parsed.value().queries()[1].k, 100u);
+  EXPECT_TRUE(parsed.value().Validate().ok());
+}
+
+TEST(Workload, TextFormatSkipsCommentsAndRejectsGarbage) {
+  auto parsed = Workload::ParseFromText(
+      "# comment\n\n0.5 10 //a[about(., x)]\n0.5 20 //b[about(., y)]\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().size(), 2u);
+
+  EXPECT_FALSE(Workload::ParseFromText("not numbers //a").ok());
+  EXPECT_FALSE(Workload::ParseFromText("0.5 10\n").ok());  // Missing NEXI.
+}
+
+SelectionInstance RandomInstance(Rng* rng, size_t num_queries) {
+  SelectionInstance instance;
+  double freq_total = 0;
+  std::vector<double> freqs;
+  for (size_t i = 0; i < num_queries; ++i) {
+    double f = 0.1 + rng->NextDouble();
+    freqs.push_back(f);
+    freq_total += f;
+  }
+  for (size_t i = 0; i < num_queries; ++i) {
+    SelectionQuery q;
+    q.frequency = freqs[i] / freq_total;
+    q.merge_saving = rng->NextDouble() * 100;
+    q.ta_saving = rng->NextDouble() * 100;
+    q.s_erpl = 1 + rng->Uniform(1000);
+    q.s_rpl = 1 + rng->Uniform(1000);
+    instance.queries.push_back(q);
+  }
+  instance.disk_budget = 1 + rng->Uniform(2000);
+  return instance;
+}
+
+TEST(Ilp, MatchesBruteForceOnRandomInstances) {
+  Rng rng(42);
+  for (int trial = 0; trial < 60; ++trial) {
+    SelectionInstance instance = RandomInstance(&rng, 2 + rng.Uniform(7));
+    SelectionResult exact = SolveBruteForce(instance);
+    IlpStats stats;
+    SelectionResult ilp = SolveIlp(instance, &stats);
+    EXPECT_NEAR(ilp.total_saving, exact.total_saving, 1e-9)
+        << "trial " << trial;
+    EXPECT_LE(SelectionSize(instance, ilp.choice), instance.disk_budget);
+    EXPECT_GT(stats.nodes_explored, 0u);
+  }
+}
+
+TEST(Ilp, RespectsMutualExclusion) {
+  // One query where both indexes would fit: only one may be chosen.
+  SelectionInstance instance;
+  SelectionQuery q;
+  q.frequency = 1.0;
+  q.merge_saving = 10;
+  q.ta_saving = 8;
+  q.s_erpl = 10;
+  q.s_rpl = 10;
+  instance.queries.push_back(q);
+  instance.disk_budget = 100;
+  SelectionResult r = SolveIlp(instance);
+  EXPECT_EQ(r.choice[0], IndexChoice::kErpl);  // The better saving.
+  EXPECT_NEAR(r.total_saving, 10.0, 1e-12);
+}
+
+TEST(Ilp, ZeroBudgetChoosesNothing) {
+  Rng rng(7);
+  SelectionInstance instance = RandomInstance(&rng, 5);
+  instance.disk_budget = 0;
+  SelectionResult r = SolveIlp(instance);
+  for (IndexChoice c : r.choice) EXPECT_EQ(c, IndexChoice::kNone);
+  EXPECT_EQ(r.total_saving, 0.0);
+}
+
+// Theorem 4.2: the greedy solution is a 2-approximation of the optimum.
+TEST(Greedy, TwoApproximationBoundHolds) {
+  Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    SelectionInstance instance = RandomInstance(&rng, 2 + rng.Uniform(8));
+    SelectionResult optimal = SolveBruteForce(instance);
+    GreedyStats stats;
+    SelectionResult greedy = SolveGreedy(instance, &stats);
+    EXPECT_LE(SelectionSize(instance, greedy.choice), instance.disk_budget);
+    EXPECT_LE(greedy.total_saving, optimal.total_saving + 1e-9);
+    EXPECT_LE(optimal.total_saving, 2.0 * greedy.total_saving + 1e-9)
+        << "trial " << trial << ": greedy " << greedy.total_saving
+        << " optimal " << optimal.total_saving;
+  }
+}
+
+TEST(Greedy, SharingMakesSecondQueryFree) {
+  // Two queries needing the SAME ERPL unit: after paying for it once,
+  // the second query is supported at zero additional cost.
+  SelectionInstance instance;
+  ListUnit shared{ListKind::kErpl, "xml", 7};
+  for (int i = 0; i < 2; ++i) {
+    SelectionQuery q;
+    q.frequency = 0.5;
+    q.merge_saving = 10;
+    q.ta_saving = 0;
+    q.s_erpl = 100;
+    q.s_rpl = 0;
+    q.erpl_units = {shared};
+    instance.queries.push_back(q);
+  }
+  instance.unit_sizes[shared] = 100;
+  instance.disk_budget = 100;  // Enough for ONE copy only.
+  SelectionResult r = SolveGreedy(instance);
+  // Both queries supported; only 100 bytes used.
+  EXPECT_EQ(r.choice[0], IndexChoice::kErpl);
+  EXPECT_EQ(r.choice[1], IndexChoice::kErpl);
+  EXPECT_EQ(r.total_size, 100u);
+  EXPECT_NEAR(r.total_saving, 10.0, 1e-12);  // 0.5*10 + 0.5*10.
+}
+
+TEST(Greedy, PrefersHigherGainCostRatio) {
+  SelectionInstance instance;
+  SelectionQuery cheap;  // Ratio 1.0.
+  cheap.frequency = 0.5;
+  cheap.merge_saving = 20;  // Weighted gain 10, size 10.
+  cheap.s_erpl = 10;
+  SelectionQuery expensive;  // Ratio 0.1.
+  expensive.frequency = 0.5;
+  expensive.merge_saving = 20;
+  expensive.s_erpl = 100;
+  instance.queries = {cheap, expensive};
+  instance.disk_budget = 10;
+  SelectionResult r = SolveGreedy(instance);
+  EXPECT_EQ(r.choice[0], IndexChoice::kErpl);
+  EXPECT_EQ(r.choice[1], IndexChoice::kNone);
+}
+
+class SelfManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/trex_advisor_selfmgr";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    IndexOptions options;
+    options.aliases = IeeeAliasMap();
+    IeeeGeneratorOptions gen_options;
+    gen_options.num_documents = 40;
+    gen_options.size_factor = 0.5;
+    IeeeGenerator gen(gen_options);
+    IndexBuilder builder(dir_ + "/idx", options);
+    for (size_t i = 0; i < gen.num_documents(); ++i) {
+      TREX_CHECK_OK(
+          builder.AddDocument(static_cast<DocId>(i), gen.Generate(i)));
+    }
+    TREX_CHECK_OK(builder.Finish());
+    auto index = Index::Open(dir_ + "/idx");
+    TREX_CHECK_OK(index.status());
+    index_ = std::move(index).value();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  std::unique_ptr<Index> index_;
+};
+
+TEST_F(SelfManagerTest, MaterializesChosenListsWithinBudget) {
+  Workload workload;
+  workload.Add("//article//sec[about(., ontologies)]", 0.6, 10);
+  workload.Add("//article[about(., information retrieval)]", 0.4, 20);
+  TREX_CHECK_OK(workload.Validate());
+  TREX_CHECK_OK(workload.Prepare(index_.get()));
+
+  SelfManagerOptions options;
+  options.solver = SelfManagerOptions::Solver::kGreedy;
+  options.costs = SelfManagerOptions::Costs::kMeasured;
+  options.disk_budget_bytes = 64ull << 20;  // Plenty.
+  SelfManager manager(index_.get(), options);
+  SelfManagerReport report;
+  TREX_CHECK_OK(manager.Run(workload, &report));
+
+  ASSERT_EQ(report.queries.size(), 2u);
+  // With an ample budget every query gets one redundant index, and the
+  // promised method becomes actually evaluable.
+  for (size_t i = 0; i < report.queries.size(); ++i) {
+    const auto& pq = report.queries[i];
+    const TranslatedClause& clause = workload.queries()[i].clause;
+    if (pq.choice == IndexChoice::kErpl) {
+      EXPECT_TRUE(Merge::CanEvaluate(index_.get(), clause));
+    } else if (pq.choice == IndexChoice::kRpl) {
+      EXPECT_TRUE(Ta::CanEvaluate(index_.get(), clause));
+    }
+  }
+  EXPECT_LE(report.bytes_materialized, options.disk_budget_bytes);
+}
+
+TEST_F(SelfManagerTest, ZeroBudgetMaterializesNothing) {
+  Workload workload;
+  workload.Add("//article//sec[about(., ontologies)]", 1.0, 10);
+  TREX_CHECK_OK(workload.Validate());
+  TREX_CHECK_OK(workload.Prepare(index_.get()));
+  SelfManagerOptions options;
+  options.disk_budget_bytes = 0;
+  options.costs = SelfManagerOptions::Costs::kEstimated;
+  SelfManager manager(index_.get(), options);
+  SelfManagerReport report;
+  TREX_CHECK_OK(manager.Run(workload, &report));
+  EXPECT_EQ(report.bytes_materialized, 0u);
+  EXPECT_EQ(report.queries[0].choice, IndexChoice::kNone);
+}
+
+TEST_F(SelfManagerTest, IlpAndGreedyAgreeOnEasyInstances) {
+  Workload workload;
+  workload.Add("//article//sec[about(., ontologies case study)]", 0.5, 10);
+  workload.Add("//sec[about(., code signing)]", 0.5, 10);
+  TREX_CHECK_OK(workload.Validate());
+  TREX_CHECK_OK(workload.Prepare(index_.get()));
+
+  for (auto solver : {SelfManagerOptions::Solver::kGreedy,
+                      SelfManagerOptions::Solver::kIlp}) {
+    SelfManagerOptions options;
+    options.solver = solver;
+    options.costs = SelfManagerOptions::Costs::kEstimated;
+    options.disk_budget_bytes = 1ull << 30;
+    SelfManager manager(index_.get(), options);
+    SelectionInstance instance;
+    SelectionResult result;
+    TREX_CHECK_OK(manager.Plan(workload, &instance, &result));
+    // Ample budget: both solvers support every query with its best index.
+    for (size_t i = 0; i < instance.queries.size(); ++i) {
+      double best = std::max(
+          instance.queries[i].frequency * instance.queries[i].merge_saving,
+          instance.queries[i].frequency * instance.queries[i].ta_saving);
+      double got =
+          result.choice[i] == IndexChoice::kErpl
+              ? instance.queries[i].frequency * instance.queries[i].merge_saving
+          : result.choice[i] == IndexChoice::kRpl
+              ? instance.queries[i].frequency * instance.queries[i].ta_saving
+              : 0.0;
+      if (best > 0) {
+        EXPECT_NEAR(got, best, 1e-12);
+      }
+    }
+  }
+}
+
+// The classic greedy pathology: a cheap tiny-gain index would block a
+// huge one; the best-single augmentation must rescue the bound.
+TEST(Greedy, SingleItemAugmentationRescuesPathology) {
+  SelectionInstance instance;
+  SelectionQuery tiny;
+  tiny.frequency = 1.0;
+  tiny.merge_saving = 1;  // Ratio 1.0.
+  tiny.s_erpl = 1;
+  SelectionQuery huge;
+  huge.frequency = 1.0;
+  huge.merge_saving = 99;  // Ratio 0.99.
+  huge.s_erpl = 100;
+  instance.queries = {tiny, huge};
+  instance.disk_budget = 100;
+  SelectionResult r = SolveGreedy(instance);
+  EXPECT_NEAR(r.total_saving, 99.0, 1e-12);
+  EXPECT_EQ(r.choice[1], IndexChoice::kErpl);
+}
+
+}  // namespace
+}  // namespace trex

@@ -1,0 +1,157 @@
+// Property tests: the B+-tree must behave exactly like std::map under
+// random operation streams (put / overwrite / delete / get / range scan),
+// across a sweep of key/value size profiles.
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "storage/bptree.h"
+
+namespace trex {
+namespace {
+
+struct ProfileParam {
+  const char* name;
+  uint64_t seed;
+  int num_ops;
+  size_t key_space;      // Number of distinct keys to draw from.
+  size_t min_value_len;
+  size_t max_value_len;
+};
+
+class BPTreeVsMapTest : public ::testing::TestWithParam<ProfileParam> {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/trex_btprop_" + GetParam().name;
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+std::string MakeKey(uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "key-%012llu",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+TEST_P(BPTreeVsMapTest, RandomOpsMatchReference) {
+  const ProfileParam& p = GetParam();
+  Rng rng(p.seed);
+  auto tree_or = BPTree::Open(dir_ + "/t", /*cache_pages=*/64);
+  ASSERT_TRUE(tree_or.ok());
+  BPTree* tree = tree_or.value().get();
+  std::map<std::string, std::string> ref;
+
+  for (int op = 0; op < p.num_ops; ++op) {
+    int action = static_cast<int>(rng.Uniform(10));
+    std::string key = MakeKey(rng.Uniform(p.key_space));
+    if (action < 6) {  // Put (often overwrites).
+      size_t len = rng.UniformRange(p.min_value_len, p.max_value_len);
+      std::string value(len, static_cast<char>('a' + rng.Uniform(26)));
+      ASSERT_TRUE(tree->Put(key, value).ok());
+      ref[key] = value;
+    } else if (action < 8) {  // Delete.
+      Status s = tree->Delete(key);
+      auto it = ref.find(key);
+      if (it == ref.end()) {
+        EXPECT_TRUE(s.IsNotFound());
+      } else {
+        EXPECT_TRUE(s.ok()) << s.ToString();
+        ref.erase(it);
+      }
+    } else {  // Get.
+      std::string v;
+      Status s = tree->Get(key, &v);
+      auto it = ref.find(key);
+      if (it == ref.end()) {
+        EXPECT_TRUE(s.IsNotFound());
+      } else {
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        EXPECT_EQ(v, it->second);
+      }
+    }
+    EXPECT_EQ(tree->row_count(), ref.size());
+  }
+
+  // Full scan must equal the reference map.
+  auto it = BPTree::Iterator(tree);
+  ASSERT_TRUE(it.SeekToFirst().ok());
+  auto rit = ref.begin();
+  while (it.Valid() && rit != ref.end()) {
+    EXPECT_EQ(it.key().ToString(), rit->first);
+    EXPECT_EQ(it.value().ToString(), rit->second);
+    ASSERT_TRUE(it.Next().ok());
+    ++rit;
+  }
+  EXPECT_FALSE(it.Valid());
+  EXPECT_EQ(rit, ref.end());
+
+  // Random lower-bound probes must agree with the reference map.
+  for (int probe = 0; probe < 200; ++probe) {
+    std::string target = MakeKey(rng.Uniform(p.key_space));
+    auto bt_it = BPTree::Iterator(tree);
+    ASSERT_TRUE(bt_it.Seek(target).ok());
+    auto ref_it = ref.lower_bound(target);
+    if (ref_it == ref.end()) {
+      EXPECT_FALSE(bt_it.Valid());
+    } else {
+      ASSERT_TRUE(bt_it.Valid());
+      EXPECT_EQ(bt_it.key().ToString(), ref_it->first);
+      EXPECT_EQ(bt_it.value().ToString(), ref_it->second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, BPTreeVsMapTest,
+    ::testing::Values(
+        ProfileParam{"small_values_dense", 101, 4000, 300, 0, 16},
+        ProfileParam{"medium_values", 202, 3000, 500, 32, 128},
+        ProfileParam{"large_values_split_heavy", 303, 1500, 200, 400, 900},
+        ProfileParam{"tiny_keyspace_churn", 404, 4000, 20, 0, 64},
+        ProfileParam{"wide_keyspace_sparse", 505, 2000, 100000, 8, 40}),
+    [](const ::testing::TestParamInfo<ProfileParam>& info) {
+      return info.param.name;
+    });
+
+// Reopen durability under a random workload: state after Flush + reopen
+// equals the reference.
+TEST(BPTreeDurability, SurvivesReopenMidWorkload) {
+  std::string dir = ::testing::TempDir() + "/trex_btprop_reopen";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  Rng rng(999);
+  std::map<std::string, std::string> ref;
+
+  for (int round = 0; round < 3; ++round) {
+    auto tree_or = BPTree::Open(dir + "/t", 64);
+    ASSERT_TRUE(tree_or.ok());
+    BPTree* tree = tree_or.value().get();
+    EXPECT_EQ(tree->row_count(), ref.size());
+    for (int op = 0; op < 800; ++op) {
+      std::string key = MakeKey(rng.Uniform(400));
+      std::string value = "r" + std::to_string(round) + "-" +
+                          std::to_string(rng.Uniform(1000000));
+      ASSERT_TRUE(tree->Put(key, value).ok());
+      ref[key] = value;
+    }
+    ASSERT_TRUE(tree->Flush().ok());
+  }
+
+  auto tree_or = BPTree::Open(dir + "/t", 64);
+  ASSERT_TRUE(tree_or.ok());
+  for (const auto& [k, v] : ref) {
+    std::string got;
+    ASSERT_TRUE(tree_or.value()->Get(k, &got).ok()) << k;
+    EXPECT_EQ(got, v);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace trex

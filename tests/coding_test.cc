@@ -1,0 +1,192 @@
+// Unit + property tests for the binary codecs in common/coding.h.
+#include "common/coding.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace trex {
+namespace {
+
+TEST(Fixed, RoundTrip32) {
+  for (uint32_t v : {0u, 1u, 255u, 256u, 0xdeadbeefu,
+                     std::numeric_limits<uint32_t>::max()}) {
+    std::string s;
+    PutFixed32(&s, v);
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_EQ(DecodeFixed32(s.data()), v);
+  }
+}
+
+TEST(Fixed, RoundTrip64) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{1} << 40,
+                     std::numeric_limits<uint64_t>::max()}) {
+    std::string s;
+    PutFixed64(&s, v);
+    ASSERT_EQ(s.size(), 8u);
+    EXPECT_EQ(DecodeFixed64(s.data()), v);
+  }
+}
+
+TEST(Varint, RoundTrip32Boundaries) {
+  std::vector<uint32_t> values = {0, 1, 127, 128, 16383, 16384,
+                                  std::numeric_limits<uint32_t>::max()};
+  for (uint32_t v : values) {
+    std::string s;
+    PutVarint32(&s, v);
+    Slice in(s);
+    uint32_t out = 0;
+    ASSERT_TRUE(GetVarint32(&in, &out));
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(Varint, RoundTrip64Random) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Next() >> rng.Uniform(64);
+    std::string s;
+    PutVarint64(&s, v);
+    Slice in(s);
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(&in, &out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(Varint, TruncatedInputFails) {
+  std::string s;
+  PutVarint64(&s, uint64_t{1} << 50);
+  for (size_t cut = 0; cut + 1 < s.size(); ++cut) {
+    Slice in(s.data(), cut);
+    uint64_t out = 0;
+    EXPECT_FALSE(GetVarint64(&in, &out)) << "cut=" << cut;
+  }
+}
+
+TEST(Varint, SequenceDecodesInOrder) {
+  std::string s;
+  for (uint32_t v = 0; v < 300; ++v) PutVarint32(&s, v * 7);
+  Slice in(s);
+  for (uint32_t v = 0; v < 300; ++v) {
+    uint32_t out = 0;
+    ASSERT_TRUE(GetVarint32(&in, &out));
+    EXPECT_EQ(out, v * 7);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(LengthPrefixed, RoundTrip) {
+  std::string s;
+  PutLengthPrefixed(&s, Slice("hello"));
+  PutLengthPrefixed(&s, Slice(""));
+  PutLengthPrefixed(&s, Slice(std::string(1000, 'x')));
+  Slice in(s);
+  Slice out;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &out));
+  EXPECT_EQ(out.ToString(), "hello");
+  ASSERT_TRUE(GetLengthPrefixed(&in, &out));
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(GetLengthPrefixed(&in, &out));
+  EXPECT_EQ(out.size(), 1000u);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(LengthPrefixed, TruncatedPayloadFails) {
+  std::string s;
+  PutLengthPrefixed(&s, Slice("hello"));
+  Slice in(s.data(), s.size() - 1);
+  Slice out;
+  EXPECT_FALSE(GetLengthPrefixed(&in, &out));
+}
+
+// Property: big-endian key encodings are order-preserving.
+TEST(BigEndian, OrderPreserving32) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    uint32_t a = static_cast<uint32_t>(rng.Next());
+    uint32_t b = static_cast<uint32_t>(rng.Next());
+    std::string ea, eb;
+    PutBigEndian32(&ea, a);
+    PutBigEndian32(&eb, b);
+    EXPECT_EQ(a < b, Slice(ea).Compare(Slice(eb)) < 0);
+    EXPECT_EQ(DecodeBigEndian32(ea.data()), a);
+  }
+}
+
+TEST(BigEndian, OrderPreserving64) {
+  Rng rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t a = rng.Next() >> rng.Uniform(64);
+    uint64_t b = rng.Next() >> rng.Uniform(64);
+    std::string ea, eb;
+    PutBigEndian64(&ea, a);
+    PutBigEndian64(&eb, b);
+    EXPECT_EQ(a < b, Slice(ea).Compare(Slice(eb)) < 0);
+    EXPECT_EQ(DecodeBigEndian64(ea.data()), a);
+  }
+}
+
+// Property: descending-score encoding inverts order, ascending preserves it.
+TEST(ScoreEncoding, DescendingInvertsOrder) {
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    float a = static_cast<float>(rng.NextDouble() * 1000.0);
+    float b = static_cast<float>(rng.NextDouble() * 1000.0);
+    std::string ea, eb;
+    PutDescendingScore(&ea, a);
+    PutDescendingScore(&eb, b);
+    if (a != b) {
+      EXPECT_EQ(a > b, Slice(ea).Compare(Slice(eb)) < 0)
+          << "a=" << a << " b=" << b;
+    }
+    EXPECT_FLOAT_EQ(DecodeDescendingScore(ea.data()), a);
+  }
+}
+
+TEST(ScoreEncoding, AscendingPreservesOrder) {
+  Rng rng(10);
+  for (int i = 0; i < 2000; ++i) {
+    float a = static_cast<float>(rng.NextDouble() * 10.0);
+    float b = static_cast<float>(rng.NextDouble() * 10.0);
+    std::string ea, eb;
+    PutAscendingScore(&ea, a);
+    PutAscendingScore(&eb, b);
+    if (a != b) {
+      EXPECT_EQ(a < b, Slice(ea).Compare(Slice(eb)) < 0);
+    }
+    EXPECT_FLOAT_EQ(DecodeAscendingScore(ea.data()), a);
+  }
+}
+
+TEST(ScoreEncoding, ZeroAndExtremes) {
+  std::string e0, e1;
+  PutDescendingScore(&e0, 0.0f);
+  PutDescendingScore(&e1, std::numeric_limits<float>::max());
+  // Larger score sorts first (smaller key).
+  EXPECT_LT(Slice(e1).Compare(Slice(e0)), 0);
+}
+
+TEST(Float, RoundTrip) {
+  for (float v : {0.0f, 1.5f, -3.25f, 1e30f}) {
+    std::string s;
+    PutFloat(&s, v);
+    EXPECT_EQ(DecodeFloat(s.data()), v);
+  }
+}
+
+TEST(Slice, CompareSemantics) {
+  EXPECT_LT(Slice("abc").Compare(Slice("abd")), 0);
+  EXPECT_LT(Slice("ab").Compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").Compare(Slice("abc")), 0);
+  EXPECT_GT(Slice("b").Compare(Slice("abc")), 0);
+  EXPECT_TRUE(Slice("abcdef").StartsWith(Slice("abc")));
+  EXPECT_FALSE(Slice("ab").StartsWith(Slice("abc")));
+}
+
+}  // namespace
+}  // namespace trex

@@ -1,0 +1,150 @@
+// Tests for the synthetic corpus generators and the document store.
+#include <filesystem>
+#include <set>
+
+#include "corpus/corpus.h"
+#include "corpus/ieee_generator.h"
+#include "corpus/wiki_generator.h"
+#include "gtest/gtest.h"
+#include "summary/builder.h"
+#include "text/tokenizer.h"
+#include "xml/node.h"
+
+namespace trex {
+namespace {
+
+TEST(Vocabulary, WordsAreDistinctAndStemStable) {
+  std::set<std::string> seen;
+  for (size_t r = 0; r < 5000; ++r) {
+    std::string w = Vocabulary::WordForRank(r);
+    EXPECT_GE(w.size(), 4u);
+    EXPECT_TRUE(seen.insert(w).second) << "duplicate word " << w;
+  }
+}
+
+TEST(Vocabulary, ZipfHeadDominates) {
+  Vocabulary vocab(1000, 1.0);
+  Rng rng(5);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[vocab.SampleWord(&rng)]++;
+  EXPECT_GT(counts[vocab.word(0)], counts[vocab.word(100)] * 5);
+}
+
+TEST(GenerateText, PlantsActiveTerms) {
+  Vocabulary vocab(1000, 1.0);
+  PlantedTerm term{"ontologies", 1.0, 0.5};
+  Rng rng(6);
+  std::string text = GenerateText(vocab, {&term}, 2000, &rng);
+  size_t hits = 0;
+  size_t pos = 0;
+  while ((pos = text.find("ontologies", pos)) != std::string::npos) {
+    ++hits;
+    pos += 10;
+  }
+  // ~50% of 2000 tokens.
+  EXPECT_GT(hits, 800u);
+  EXPECT_LT(hits, 1200u);
+}
+
+TEST(IeeeGenerator, DeterministicPerSeed) {
+  IeeeGeneratorOptions options;
+  options.num_documents = 3;
+  IeeeGenerator a(options), b(options);
+  EXPECT_EQ(a.Generate(0), b.Generate(0));
+  EXPECT_EQ(a.Generate(2), b.Generate(2));
+  EXPECT_NE(a.Generate(0), a.Generate(1));
+  options.seed = 77;
+  IeeeGenerator c(options);
+  EXPECT_NE(a.Generate(0), c.Generate(0));
+}
+
+TEST(IeeeGenerator, ProducesWellFormedIeeeShapedXml) {
+  IeeeGeneratorOptions options;
+  options.num_documents = 5;
+  IeeeGenerator gen(options);
+  for (DocId d = 0; d < 5; ++d) {
+    auto doc = ParseXmlDocument(gen.Generate(d));
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    EXPECT_EQ(doc.value()->tag(), "books");
+    const XmlNode* journal = doc.value()->FindChild("journal");
+    ASSERT_NE(journal, nullptr);
+    const XmlNode* article = journal->FindChild("article");
+    ASSERT_NE(article, nullptr);
+    EXPECT_NE(article->FindChild("fm"), nullptr);
+    EXPECT_NE(article->FindChild("bdy"), nullptr);
+    EXPECT_NE(article->FindChild("bm"), nullptr);
+    EXPECT_GT(article->CountElements(), 10u);
+  }
+}
+
+TEST(IeeeGenerator, AliasedSummaryIsAncestorDisjoint) {
+  // §2.1: TReX requires summaries where no two ancestor-descendant
+  // elements share a sid; the alias incoming summary over the IEEE-like
+  // corpus must satisfy it.
+  IeeeGeneratorOptions options;
+  options.num_documents = 20;
+  IeeeGenerator gen(options);
+  AliasMap aliases = IeeeAliasMap();
+  SummaryBuilder builder(SummaryKind::kIncoming, &aliases);
+  for (DocId d = 0; d < 20; ++d) {
+    ASSERT_TRUE(builder.AddDocument(gen.Generate(d)).ok());
+  }
+  Summary summary = builder.Take();
+  EXPECT_EQ(summary.ancestor_violations(), 0u);
+  // Summary size ordering from §2.1: alias incoming < plain incoming.
+  SummaryBuilder plain(SummaryKind::kIncoming, nullptr);
+  for (DocId d = 0; d < 20; ++d) {
+    ASSERT_TRUE(plain.AddDocument(gen.Generate(d)).ok());
+  }
+  EXPECT_LT(summary.num_label_nodes(), plain.Take().num_label_nodes());
+}
+
+TEST(WikiGenerator, ProducesWellFormedWikiShapedXml) {
+  WikiGeneratorOptions options;
+  options.num_documents = 5;
+  WikiGenerator gen(options);
+  for (DocId d = 0; d < 5; ++d) {
+    auto doc = ParseXmlDocument(gen.Generate(d));
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    EXPECT_EQ(doc.value()->tag(), "article");
+    EXPECT_NE(doc.value()->FindChild("body"), nullptr);
+  }
+}
+
+TEST(WikiGenerator, PlantedTermsAppearAtExpectedRates) {
+  WikiGeneratorOptions options;
+  options.num_documents = 200;
+  WikiGenerator gen(options);
+  Tokenizer tok{TokenizerOptions{.remove_stopwords = false, .stem = false}};
+  size_t docs_with_french = 0, docs_with_flemish = 0;
+  for (DocId d = 0; d < 200; ++d) {
+    std::string doc = gen.Generate(d);
+    if (doc.find("french") != std::string::npos) ++docs_with_french;
+    if (doc.find("flemish") != std::string::npos) ++docs_with_flemish;
+  }
+  // french (doc prob 0.10) must be far more common than flemish (0.006).
+  EXPECT_GT(docs_with_french, docs_with_flemish * 2);
+  EXPECT_GT(docs_with_french, 5u);
+}
+
+TEST(CorpusStore, WriteAndReadBack) {
+  std::string dir = ::testing::TempDir() + "/trex_corpus_store";
+  std::filesystem::remove_all(dir);
+  IeeeGeneratorOptions options;
+  options.num_documents = 4;
+  options.size_factor = 0.3;
+  IeeeGenerator gen(options);
+  ASSERT_TRUE(WriteCorpusToDir(gen, dir).ok());
+
+  auto corpus = Corpus::Open(dir);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  EXPECT_EQ(corpus.value().num_documents(), 4u);
+  auto doc = corpus.value().ReadDocument(2);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value(), gen.Generate(2));
+  EXPECT_FALSE(corpus.value().ReadDocument(99).ok());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace trex

@@ -1,0 +1,142 @@
+// ERA ground-truth property test: Figure 2's output (elements with
+// per-term frequencies) must equal a brute-force recount computed
+// independently from the raw documents — tokenize each document, then
+// for every element of the queried extents count the term occurrences
+// whose byte offsets fall inside the element's span.
+#include <filesystem>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "corpus/ieee_generator.h"
+#include "gtest/gtest.h"
+#include "index/index.h"
+#include "index/index_builder.h"
+#include "retrieval/era.h"
+#include "xml/reader.h"
+
+namespace trex {
+namespace {
+
+struct Key {
+  Sid sid;
+  DocId docid;
+  uint64_t endpos;
+  friend bool operator<(const Key& a, const Key& b) {
+    return std::tie(a.sid, a.docid, a.endpos) <
+           std::tie(b.sid, b.docid, b.endpos);
+  }
+  friend bool operator==(const Key& a, const Key& b) {
+    return a.sid == b.sid && a.docid == b.docid && a.endpos == b.endpos;
+  }
+};
+
+class EraGroundTruthTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EraGroundTruthTest, MatchesBruteForceRecount) {
+  std::string dir = ::testing::TempDir() + "/trex_era_gt_" +
+                    std::to_string(GetParam());
+  std::filesystem::remove_all(dir);
+
+  IeeeGeneratorOptions gen_options;
+  gen_options.seed = GetParam();
+  gen_options.num_documents = 20;
+  gen_options.size_factor = 0.4;
+  IeeeGenerator gen(gen_options);
+
+  IndexOptions options;
+  options.aliases = IeeeAliasMap();
+  IndexBuilder builder(dir + "/idx", options);
+  for (size_t d = 0; d < gen.num_documents(); ++d) {
+    TREX_CHECK_OK(
+        builder.AddDocument(static_cast<DocId>(d), gen.Generate(d)));
+  }
+  TREX_CHECK_OK(builder.Finish());
+  auto index_or = Index::Open(dir + "/idx");
+  TREX_CHECK_OK(index_or.status());
+  Index* index = index_or.value().get();
+
+  Rng rng(GetParam() * 7 + 3);
+  for (int task = 0; task < 6; ++task) {
+    // Random sids and terms.
+    std::set<Sid> sid_set;
+    size_t want = 1 + rng.Uniform(4);
+    while (sid_set.size() < want) {
+      sid_set.insert(
+          static_cast<Sid>(1 + rng.Uniform(index->summary().size() - 1)));
+    }
+    std::vector<Sid> sids(sid_set.begin(), sid_set.end());
+    std::vector<std::string> terms;
+    auto planted = DefaultIeeePlantedTerms();
+    std::set<std::string> term_set;
+    while (term_set.size() < 1 + rng.Uniform(3)) {
+      auto norm = index->tokenizer().NormalizeTerm(
+          planted[rng.Uniform(planted.size())].word);
+      if (norm) term_set.insert(*norm);
+    }
+    terms.assign(term_set.begin(), term_set.end());
+
+    // ERA's answer.
+    Era era(index);
+    std::vector<Era::TfEntry> entries;
+    TREX_CHECK_OK(era.ComputeTermFrequencies(sids, terms, &entries, nullptr));
+    std::map<Key, std::vector<uint32_t>> got;
+    for (const auto& e : entries) {
+      got[{e.element.sid, e.element.docid, e.element.endpos}] = e.tf;
+    }
+
+    // Brute force: re-tokenize every document, recount per element.
+    std::map<Key, std::vector<uint32_t>> expected;
+    for (size_t d = 0; d < gen.num_documents(); ++d) {
+      DocId docid = static_cast<DocId>(d);
+      // Token occurrences with byte offsets, via the XML reader + the
+      // index's tokenizer (independent of the posting lists).
+      std::string doc = gen.Generate(docid);
+      XmlReader reader(doc);
+      XmlEvent event;
+      std::vector<TokenOccurrence> occurrences;
+      while (true) {
+        TREX_CHECK_OK(reader.Next(&event));
+        if (event.type == XmlEventType::kEndDocument) break;
+        if (event.type == XmlEventType::kText) {
+          index->tokenizer().Tokenize(event.text, event.offset,
+                                      &occurrences);
+        }
+      }
+      for (Sid sid : sids) {
+        ElementIndex::ExtentIterator it(index->elements(), sid);
+        auto e = it.FirstElement();
+        TREX_CHECK_OK(e.status());
+        while (!e.value().is_dummy()) {
+          if (e.value().docid == docid) {
+            std::vector<uint32_t> tf(terms.size(), 0);
+            bool any = false;
+            for (const auto& occ : occurrences) {
+              if (!e.value().Contains(occ.offset)) continue;
+              for (size_t j = 0; j < terms.size(); ++j) {
+                if (occ.term == terms[j]) {
+                  ++tf[j];
+                  any = true;
+                }
+              }
+            }
+            if (any) {
+              expected[{sid, docid, e.value().endpos}] = tf;
+            }
+          }
+          e = it.NextElementAfter(e.value().end_position());
+          TREX_CHECK_OK(e.status());
+        }
+      }
+    }
+
+    EXPECT_EQ(got, expected) << "task " << task << " seed " << GetParam();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EraGroundTruthTest,
+                         ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace trex

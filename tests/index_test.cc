@@ -1,0 +1,439 @@
+// Tests for the four paper tables (Elements, PostingLists, RPLs, ERPLs),
+// the catalog, the index builder, and index reopen.
+#include <filesystem>
+#include <limits>
+
+#include "common/coding.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "index/element_index.h"
+#include "index/erpl.h"
+#include "index/index.h"
+#include "index/index_builder.h"
+#include "index/index_catalog.h"
+#include "index/posting_lists.h"
+#include "index/rpl.h"
+
+namespace trex {
+namespace {
+
+class IndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/trex_index_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(IndexTest, ElementExtentIterator) {
+  auto index = ElementIndex::Open(dir_);
+  ASSERT_TRUE(index.ok());
+  ElementIndex* ei = index.value().get();
+  // Extent of sid 5: elements at (doc 1, end 10, len 5), (doc 1, end 30,
+  // len 8), (doc 2, end 7, len 7). Plus noise in sids 4 and 6.
+  ASSERT_TRUE(ei->Add({5, 1, 10, 5}).ok());
+  ASSERT_TRUE(ei->Add({5, 1, 30, 8}).ok());
+  ASSERT_TRUE(ei->Add({5, 2, 7, 7}).ok());
+  ASSERT_TRUE(ei->Add({4, 1, 50, 10}).ok());
+  ASSERT_TRUE(ei->Add({6, 1, 5, 2}).ok());
+
+  ElementIndex::ExtentIterator it(ei, 5);
+  auto first = it.FirstElement();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().endpos, 10u);
+  EXPECT_EQ(first.value().length, 5u);
+
+  auto next = it.NextElementAfter(Position{1, 10});
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value().endpos, 30u);
+
+  next = it.NextElementAfter(Position{1, 31});
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value().docid, 2u);
+  EXPECT_EQ(next.value().endpos, 7u);
+
+  next = it.NextElementAfter(Position{2, 7});
+  ASSERT_TRUE(next.ok());
+  EXPECT_TRUE(next.value().is_dummy());
+
+  next = it.NextElementAfter(kMaxPosition);
+  ASSERT_TRUE(next.ok());
+  EXPECT_TRUE(next.value().is_dummy());
+
+  // An empty extent yields the dummy immediately.
+  ElementIndex::ExtentIterator empty(ei, 99);
+  auto f = empty.FirstElement();
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f.value().is_dummy());
+}
+
+TEST_F(IndexTest, ElementInfoSemantics) {
+  ElementInfo e{1, 2, 100, 30};
+  EXPECT_EQ(e.start(), 70u);
+  EXPECT_TRUE(e.Contains(70));
+  EXPECT_TRUE(e.Contains(99));
+  EXPECT_FALSE(e.Contains(100));
+  EXPECT_FALSE(e.Contains(69));
+  EXPECT_FALSE(e.is_dummy());
+  EXPECT_TRUE(kDummyElement.is_dummy());
+}
+
+TEST_F(IndexTest, PostingListsFragmentationAndSentinel) {
+  auto lists = PostingLists::Open(dir_);
+  ASSERT_TRUE(lists.ok());
+  PostingLists* pl = lists.value().get();
+
+  // A long list forces multiple fragments.
+  std::vector<Position> positions;
+  for (uint32_t d = 0; d < 5; ++d) {
+    for (uint64_t o = 0; o < 200; ++o) {
+      positions.push_back(Position{d, o * 3});
+    }
+  }
+  {
+    PostingLists::Loader loader(pl);
+    ASSERT_TRUE(loader.AddTerm("apple", positions).ok());
+    ASSERT_TRUE(loader.AddTerm("banana", {Position{7, 42}}).ok());
+    ASSERT_TRUE(loader.Finish().ok());
+  }
+  // Fragmented: more than one tuple for "apple".
+  EXPECT_GT(pl->postings_table()->row_count(), 2u);
+
+  PostingLists::PositionIterator it(pl, "apple");
+  for (const Position& expected : positions) {
+    auto p = it.NextPosition();
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p.value().docid, expected.docid);
+    EXPECT_EQ(p.value().offset, expected.offset);
+  }
+  // Then m-pos, forever.
+  for (int i = 0; i < 3; ++i) {
+    auto p = it.NextPosition();
+    ASSERT_TRUE(p.ok());
+    EXPECT_TRUE(p.value() == kMaxPosition);
+    EXPECT_TRUE(it.AtEnd());
+  }
+
+  // Iterating a term that does not exist yields m-pos immediately.
+  PostingLists::PositionIterator missing(pl, "zucchini");
+  auto p = missing.NextPosition();
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p.value() == kMaxPosition);
+
+  // The single-position term: its position, then m-pos.
+  PostingLists::PositionIterator banana(pl, "banana");
+  auto b = banana.NextPosition();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value().docid, 7u);
+  EXPECT_EQ(b.value().offset, 42u);
+  EXPECT_TRUE(banana.NextPosition().value() == kMaxPosition);
+
+  TermStats stats;
+  ASSERT_TRUE(pl->GetTermStats("apple", &stats).ok());
+  EXPECT_EQ(stats.doc_freq, 5u);
+  EXPECT_EQ(stats.collection_freq, 1000u);
+  EXPECT_TRUE(pl->GetTermStats("zucchini", &stats).IsNotFound());
+}
+
+TEST_F(IndexTest, PostingListLoaderRejectsEmptyList) {
+  auto lists = PostingLists::Open(dir_);
+  ASSERT_TRUE(lists.ok());
+  PostingLists::Loader loader(lists.value().get());
+  EXPECT_TRUE(loader.AddTerm("empty", {}).IsInvalidArgument());
+  ASSERT_TRUE(loader.Finish().ok());
+}
+
+std::vector<ScoredEntry> MakeEntries(int n, uint64_t seed) {
+  std::vector<ScoredEntry> entries;
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    ScoredEntry e;
+    e.docid = static_cast<DocId>(rng.Uniform(50));
+    // Unique end positions per (docid, endpos): i in the low bits.
+    e.endpos = rng.Uniform(100000) * 4096 + static_cast<uint64_t>(i);
+    e.length = rng.UniformRange(1, 500);
+    e.score = static_cast<float>(rng.NextDouble() * 10);
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+TEST_F(IndexTest, RplDescendingScoreOrder) {
+  auto store = RplStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  auto entries = MakeEntries(500, 11);
+  uint64_t bytes = 0;
+  ASSERT_TRUE(store.value()->WriteList("term", 7, entries, &bytes).ok());
+  EXPECT_GT(bytes, 0u);
+
+  RplStore::Iterator it(store.value().get(), "term", 7);
+  ASSERT_TRUE(it.Init().ok());
+  int count = 0;
+  float prev = std::numeric_limits<float>::max();
+  while (it.Valid()) {
+    EXPECT_LE(it.entry().score, prev);
+    prev = it.entry().score;
+    ++count;
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(count, 500);
+  EXPECT_EQ(it.entries_read(), 500u);
+
+  // Another (term, sid) is invisible to this prefix.
+  RplStore::Iterator other(store.value().get(), "term", 8);
+  ASSERT_TRUE(other.Init().ok());
+  EXPECT_FALSE(other.Valid());
+}
+
+TEST_F(IndexTest, ErplPositionOrder) {
+  auto store = ErplStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  auto entries = MakeEntries(500, 12);
+  uint64_t bytes = 0;
+  ASSERT_TRUE(store.value()->WriteList("term", 7, entries, &bytes).ok());
+
+  ErplStore::Iterator it(store.value().get(), "term", 7);
+  ASSERT_TRUE(it.Init().ok());
+  int count = 0;
+  Position prev{0, 0};
+  while (it.Valid()) {
+    Position p = it.entry().end_position();
+    EXPECT_TRUE(prev < p || count == 0)
+        << prev.ToString() << " vs " << p.ToString();
+    prev = p;
+    ++count;
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(count, 500);
+}
+
+TEST_F(IndexTest, RplDeleteListRemovesOnlyThatList) {
+  auto store = RplStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  uint64_t bytes = 0;
+  ASSERT_TRUE(
+      store.value()->WriteList("a", 1, MakeEntries(100, 1), &bytes).ok());
+  ASSERT_TRUE(
+      store.value()->WriteList("a", 2, MakeEntries(100, 2), &bytes).ok());
+  ASSERT_TRUE(store.value()->DeleteList("a", 1).ok());
+
+  RplStore::Iterator gone(store.value().get(), "a", 1);
+  ASSERT_TRUE(gone.Init().ok());
+  EXPECT_FALSE(gone.Valid());
+  RplStore::Iterator kept(store.value().get(), "a", 2);
+  ASSERT_TRUE(kept.Init().ok());
+  EXPECT_TRUE(kept.Valid());
+}
+
+TEST_F(IndexTest, CatalogRegisterListUnregister) {
+  auto catalog = IndexCatalog::Open(dir_);
+  ASSERT_TRUE(catalog.ok());
+  IndexCatalog* cat = catalog.value().get();
+  EXPECT_FALSE(cat->Has(ListKind::kRpl, "xml", 7));
+  ASSERT_TRUE(cat->Register(ListKind::kRpl, "xml", 7, 1234).ok());
+  ASSERT_TRUE(cat->Register(ListKind::kErpl, "xml", 7, 2345).ok());
+  ASSERT_TRUE(cat->Register(ListKind::kRpl, "query", 9, 100).ok());
+  EXPECT_TRUE(cat->Has(ListKind::kRpl, "xml", 7));
+  EXPECT_FALSE(cat->Has(ListKind::kRpl, "xml", 8));
+
+  auto entries = cat->List();
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries.value().size(), 3u);
+  EXPECT_EQ(cat->TotalSizeBytes().value(), 1234u + 2345u + 100u);
+
+  ASSERT_TRUE(cat->Unregister(ListKind::kRpl, "xml", 7).ok());
+  EXPECT_FALSE(cat->Has(ListKind::kRpl, "xml", 7));
+  // Idempotent.
+  ASSERT_TRUE(cat->Unregister(ListKind::kRpl, "xml", 7).ok());
+}
+
+TEST_F(IndexTest, BuilderEndToEndAndReopen) {
+  IndexOptions options;
+  options.aliases = IeeeAliasMap();
+  {
+    IndexBuilder builder(dir_ + "/idx", options);
+    ASSERT_TRUE(builder
+                    .AddDocument(0,
+                                 "<books><journal><article><bdy>"
+                                 "<sec><p>xml retrieval systems</p></sec>"
+                                 "<ss1><p>xml queries</p></ss1>"
+                                 "</bdy></article></journal></books>")
+                    .ok());
+    ASSERT_TRUE(builder
+                    .AddDocument(1,
+                                 "<books><journal><article><bdy>"
+                                 "<sec><p>databases</p></sec>"
+                                 "</bdy></article></journal></books>")
+                    .ok());
+    ASSERT_TRUE(builder.Finish().ok());
+    EXPECT_EQ(builder.stats().num_documents, 2u);
+    // 8 elements in doc 0, 6 in doc 1.
+    EXPECT_EQ(builder.stats().num_elements, 14u);
+  }
+  auto index = Index::Open(dir_ + "/idx");
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ(index.value()->stats().num_documents, 2u);
+  EXPECT_EQ(index.value()->stats().num_elements, 14u);
+  EXPECT_GT(index.value()->stats().avg_element_length, 0.0);
+  // Summary persisted with aliases applied: ss1 merged into sec.
+  const Summary& summary = index.value()->summary();
+  EXPECT_EQ(summary.kind(), SummaryKind::kIncoming);
+  EXPECT_EQ(summary.ancestor_violations(), 0u);
+  // "xml" occurs in two docs; stemmed terms present.
+  TermStats stats;
+  ASSERT_TRUE(index.value()->postings()->GetTermStats("xml", &stats).ok());
+  EXPECT_EQ(stats.doc_freq, 1u);  // Both occurrences are in doc 0.
+  EXPECT_EQ(stats.collection_freq, 2u);
+  ASSERT_TRUE(
+      index.value()->postings()->GetTermStats("databas", &stats).ok());
+  EXPECT_EQ(stats.doc_freq, 1u);
+}
+
+TEST_F(IndexTest, BuilderRejectsOutOfOrderDocids) {
+  IndexBuilder builder(dir_ + "/idx", IndexOptions{});
+  ASSERT_TRUE(builder.AddDocument(5, "<a>x</a>").ok());
+  EXPECT_TRUE(builder.AddDocument(5, "<a>y</a>").IsInvalidArgument());
+  EXPECT_TRUE(builder.AddDocument(3, "<a>z</a>").IsInvalidArgument());
+}
+
+TEST_F(IndexTest, BuilderPropagatesXmlErrors) {
+  IndexBuilder builder(dir_ + "/idx", IndexOptions{});
+  EXPECT_TRUE(builder.AddDocument(0, "<a><b></a>").IsCorruption());
+}
+
+TEST_F(IndexTest, OpenFailsOnMissingIndex) {
+  auto index = Index::Open(dir_ + "/nonexistent");
+  EXPECT_FALSE(index.ok());
+}
+
+TEST_F(IndexTest, VerifyPassesOnFreshIndex) {
+  IndexOptions options;
+  options.aliases = IeeeAliasMap();
+  IndexBuilder builder(dir_ + "/idx", options);
+  TREX_CHECK_OK(builder.AddDocument(
+      0, "<doc><sec><p>alpha beta alpha</p></sec><sec><p>beta</p></sec>"
+         "</doc>"));
+  TREX_CHECK_OK(builder.AddDocument(
+      1, "<doc><sec><p>gamma alpha</p></sec></doc>"));
+  TREX_CHECK_OK(builder.Finish());
+  auto index = Index::Open(dir_ + "/idx");
+  ASSERT_TRUE(index.ok());
+  Status s = index.value()->Verify();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  std::string stats = index.value()->DebugStats();
+  EXPECT_NE(stats.find("documents 2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("Elements"), std::string::npos);
+}
+
+TEST_F(IndexTest, VerifyCatchesMissingSentinel) {
+  // Hand-build a posting list WITHOUT the m-pos sentinel by writing a
+  // raw fragment, then check Verify flags it.
+  IndexOptions options;
+  IndexBuilder builder(dir_ + "/idx", options);
+  TREX_CHECK_OK(builder.AddDocument(0, "<doc><p>alpha</p></doc>"));
+  TREX_CHECK_OK(builder.Finish());
+  auto index = Index::Open(dir_ + "/idx");
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index.value()->Verify().ok());
+
+  std::string key = PostingLists::EncodeKey("zzz", Position{9, 9});
+  std::string value;
+  PostingLists::EncodeFragment(Position{9, 9}, {}, &value);  // No m-pos.
+  TREX_CHECK_OK(index.value()->postings()->postings_table()->Put(key, value));
+  Status s = index.value()->Verify();
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  EXPECT_NE(s.message().find("m-pos"), std::string::npos) << s.ToString();
+}
+
+TEST_F(IndexTest, VerifyCatchesUnsortedRplBlock) {
+  IndexOptions options;
+  IndexBuilder builder(dir_ + "/idx", options);
+  TREX_CHECK_OK(builder.AddDocument(0, "<doc><p>alpha</p></doc>"));
+  TREX_CHECK_OK(builder.Finish());
+  auto index = Index::Open(dir_ + "/idx");
+  ASSERT_TRUE(index.ok());
+
+  // Write an RPL block with ascending scores (invalid).
+  std::string key = RplStore::KeyPrefix("alpha", 3);
+  PutDescendingScore(&key, 5.0f);
+  PutBigEndian32(&key, 0);
+  PutBigEndian64(&key, 10);
+  std::vector<ScoredEntry> block = {{0, 10, 5, 1.0f}, {0, 20, 5, 2.0f}};
+  std::string value;
+  EncodeScoredBlock(block, &value);
+  TREX_CHECK_OK(index.value()->rpls()->table()->Put(key, value));
+  Status s = index.value()->Verify();
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST_F(IndexTest, VerifyCatchesOverlappingExtentElements) {
+  IndexOptions options;
+  IndexBuilder builder(dir_ + "/idx", options);
+  TREX_CHECK_OK(builder.AddDocument(0, "<doc><p>alpha</p></doc>"));
+  TREX_CHECK_OK(builder.Finish());
+  auto index = Index::Open(dir_ + "/idx");
+  ASSERT_TRUE(index.ok());
+  // Inject an element overlapping an existing one in the same extent.
+  // sid 2 is the <p> extent (doc=1, root=... first doc creates doc=1,p=2).
+  ElementInfo bogus{2, 0, 12, 12};  // Spans [0,12): overlaps everything.
+  ElementInfo bogus2{2, 0, 13, 12};
+  TREX_CHECK_OK(index.value()->elements()->Add(bogus));
+  TREX_CHECK_OK(index.value()->elements()->Add(bogus2));
+  Status s = index.value()->Verify();
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+
+// Codec property: fragment encode/decode round-trips arbitrary ascending
+// position lists, including cross-document jumps and huge offsets.
+TEST_F(IndexTest, FragmentCodecRoundTripsRandomLists) {
+  Rng rng(404);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Position> positions;
+    Position cur{static_cast<DocId>(rng.Uniform(10)), rng.Uniform(1000)};
+    size_t n = 1 + rng.Uniform(60);
+    for (size_t i = 0; i < n; ++i) {
+      positions.push_back(cur);
+      if (rng.Bernoulli(0.2)) {
+        cur.docid += 1 + static_cast<DocId>(rng.Uniform(1000));
+        cur.offset = rng.Uniform(1ull << 40);
+      } else {
+        cur.offset += 1 + rng.Uniform(1ull << 20);
+      }
+    }
+    std::string key = PostingLists::EncodeKey("t", positions.front());
+    std::vector<Position> rest(positions.begin() + 1, positions.end());
+    std::string value;
+    PostingLists::EncodeFragment(positions.front(), rest, &value);
+    std::vector<Position> decoded;
+    ASSERT_TRUE(PostingLists::DecodeFragment(key, value, &decoded).ok());
+    ASSERT_EQ(decoded.size(), positions.size());
+    for (size_t i = 0; i < positions.size(); ++i) {
+      EXPECT_TRUE(decoded[i] == positions[i]) << trial << ":" << i;
+    }
+  }
+}
+
+TEST_F(IndexTest, FragmentCodecRejectsTruncation) {
+  std::string key = PostingLists::EncodeKey("t", Position{1, 2});
+  std::string value;
+  PostingLists::EncodeFragment(Position{1, 2},
+                               {Position{1, 9}, Position{2, 5}}, &value);
+  std::vector<Position> decoded;
+  for (size_t cut = 1; cut < value.size(); ++cut) {
+    Slice partial(value.data(), cut);
+    Status s = PostingLists::DecodeFragment(key, partial, &decoded);
+    // Either cleanly rejected or not silently wrong-length.
+    if (s.ok()) EXPECT_EQ(decoded.size(), 3u);
+  }
+  // A bad key is always rejected.
+  EXPECT_TRUE(PostingLists::DecodeFragment("nokey", value, &decoded)
+                  .IsCorruption());
+}
+
+}  // namespace
+}  // namespace trex

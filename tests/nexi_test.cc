@@ -1,0 +1,228 @@
+// Tests for the NEXI lexer, parser, and query translation.
+#include "gtest/gtest.h"
+#include "nexi/lexer.h"
+#include "nexi/parser.h"
+#include "nexi/translator.h"
+#include "summary/builder.h"
+
+namespace trex {
+namespace {
+
+TEST(NexiLexer, TokenizesAllKinds) {
+  auto tokens = LexNexi("//a[about(., \"x y\" +b -c)] | *");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<NexiTokenType> types;
+  for (const auto& t : tokens.value()) types.push_back(t.type);
+  std::vector<NexiTokenType> expected = {
+      NexiTokenType::kDoubleSlash, NexiTokenType::kWord,
+      NexiTokenType::kLBracket,    NexiTokenType::kWord,
+      NexiTokenType::kLParen,      NexiTokenType::kDot,
+      NexiTokenType::kComma,       NexiTokenType::kQuoted,
+      NexiTokenType::kPlus,        NexiTokenType::kWord,
+      NexiTokenType::kMinus,       NexiTokenType::kWord,
+      NexiTokenType::kRParen,      NexiTokenType::kRBracket,
+      NexiTokenType::kPipe,        NexiTokenType::kStar,
+      NexiTokenType::kEnd};
+  EXPECT_EQ(types, expected);
+}
+
+TEST(NexiLexer, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(LexNexi("//a[about(., \"oops)]").ok());
+}
+
+TEST(NexiLexer, RejectsForeignCharacters) {
+  EXPECT_FALSE(LexNexi("//a{b}").ok());
+}
+
+TEST(NexiParser, PaperExampleQuery) {
+  // Example 1.1 of the paper.
+  auto q = ParseNexi(
+      "//article[about(., XML)]//sec[about(., query evaluation)]");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q.value().steps.size(), 2u);
+  EXPECT_EQ(q.value().steps[0].path_step.label, "article");
+  EXPECT_EQ(q.value().steps[0].path_step.axis, Axis::kDescendant);
+  ASSERT_NE(q.value().steps[0].predicate, nullptr);
+  EXPECT_EQ(q.value().steps[0].predicate->kind, PredicateExpr::Kind::kAbout);
+  EXPECT_EQ(q.value().steps[0].predicate->about.terms.size(), 1u);
+  EXPECT_EQ(q.value().steps[0].predicate->about.terms[0].text, "XML");
+  ASSERT_NE(q.value().steps[1].predicate, nullptr);
+  EXPECT_EQ(q.value().steps[1].predicate->about.terms.size(), 2u);
+}
+
+TEST(NexiParser, AndOrPredicates) {
+  // Q233 from Table 1.
+  auto q = ParseNexi(
+      "//article[about(.//bdy, synthesizers) and about(.//bdy, music)]");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const auto& pred = q.value().steps[0].predicate;
+  ASSERT_NE(pred, nullptr);
+  EXPECT_EQ(pred->kind, PredicateExpr::Kind::kAnd);
+  std::vector<const AboutClause*> abouts;
+  pred->CollectAboutClauses(&abouts);
+  ASSERT_EQ(abouts.size(), 2u);
+  ASSERT_EQ(abouts[0]->relative_path.size(), 1u);
+  EXPECT_EQ(abouts[0]->relative_path[0].label, "bdy");
+  EXPECT_EQ(abouts[0]->terms[0].text, "synthesizers");
+  EXPECT_EQ(abouts[1]->terms[0].text, "music");
+
+  auto q2 = ParseNexi("//a[about(., x) or (about(., y) and about(., z))]");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2.value().steps[0].predicate->kind, PredicateExpr::Kind::kOr);
+}
+
+TEST(NexiParser, WildcardStepAndModifiers) {
+  // Q260 and Q292 shapes from Table 1.
+  auto q = ParseNexi("//bdy//*[about(., model checking)]");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().steps[1].path_step.label, "*");
+
+  auto q2 = ParseNexi(
+      "//article//figure[about(., Renaissance painting Italian Flemish "
+      "-French -German)]");
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  const auto& terms = q2.value().steps[1].predicate->about.terms;
+  ASSERT_EQ(terms.size(), 6u);
+  EXPECT_EQ(terms[4].text, "French");
+  EXPECT_EQ(terms[4].modifier, QueryTerm::Modifier::kExcluded);
+  EXPECT_EQ(terms[5].modifier, QueryTerm::Modifier::kExcluded);
+  EXPECT_EQ(terms[0].modifier, QueryTerm::Modifier::kPlain);
+  EXPECT_LT(terms[4].weight(), 0.0f);
+}
+
+TEST(NexiParser, QuotedPhrase) {
+  auto q = ParseNexi("//article[about(., \"genetic algorithm\")]");
+  ASSERT_TRUE(q.ok());
+  const auto& terms = q.value().steps[0].predicate->about.terms;
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_TRUE(terms[0].is_phrase);
+  EXPECT_EQ(terms[0].text, "genetic algorithm");
+}
+
+TEST(NexiParser, RejectsMalformedQueries) {
+  EXPECT_FALSE(ParseNexi("").ok());
+  EXPECT_FALSE(ParseNexi("article").ok());
+  EXPECT_FALSE(ParseNexi("//article[").ok());
+  EXPECT_FALSE(ParseNexi("//article[about(, x)]").ok());      // Missing '.'.
+  EXPECT_FALSE(ParseNexi("//article[about(.)]").ok());        // No keywords.
+  EXPECT_FALSE(ParseNexi("//article[about(., )]").ok());      // Empty kw.
+  EXPECT_FALSE(ParseNexi("//article[notabout(., x)]").ok());
+  EXPECT_FALSE(ParseNexi("//article[about(., x)] trailing").ok());
+  EXPECT_FALSE(ParseNexi("//article[about(., x) and]").ok());
+}
+
+class TranslatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    aliases_ = IeeeAliasMap();
+    SummaryBuilder builder(SummaryKind::kIncoming, &aliases_);
+    ASSERT_TRUE(builder
+                    .AddDocument("<books><journal><article>"
+                                 "<fm><atl>t</atl></fm>"
+                                 "<bdy><sec><p>a</p></sec>"
+                                 "<ss1><p>b</p><fig><fgc>c</fgc></fig></ss1>"
+                                 "</bdy></article></journal></books>")
+                    .ok());
+    summary_ = std::make_unique<Summary>(builder.Take());
+  }
+
+  AliasMap aliases_;
+  std::unique_ptr<Summary> summary_;
+  Tokenizer tokenizer_;
+};
+
+TEST_F(TranslatorTest, FlattensClausesLikeTable1) {
+  auto t = TranslateNexi(
+      "//article[about(., XML)]//sec[about(., query evaluation)]", *summary_,
+      &aliases_, tokenizer_);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t.value().clauses.size(), 2u);
+  // Clause 0: //article -> 1 sid, term "xml".
+  EXPECT_EQ(t.value().clauses[0].sids.size(), 1u);
+  ASSERT_EQ(t.value().clauses[0].terms.size(), 1u);
+  EXPECT_EQ(t.value().clauses[0].terms[0].term, "xml");
+  // Clause 1: //article//sec -> 1 sid (aliased), terms query+evaluation.
+  EXPECT_EQ(t.value().clauses[1].sids.size(), 1u);
+  EXPECT_EQ(t.value().clauses[1].terms.size(), 2u);
+  // Flattened: union of sids (2) and terms (3), as in Table 1's counts.
+  EXPECT_EQ(t.value().flattened.sids.size(), 2u);
+  EXPECT_EQ(t.value().flattened.terms.size(), 3u);
+  // Target: //article//sec.
+  EXPECT_EQ(t.value().target_sids.size(), 1u);
+}
+
+TEST_F(TranslatorTest, RelativePathExtendsContext) {
+  auto t = TranslateNexi("//article[about(.//fgc, caption words)]", *summary_,
+                         &aliases_, tokenizer_);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  // //article//fgc -> the figure node (fgc aliased to figure).
+  ASSERT_EQ(t.value().clauses.size(), 1u);
+  ASSERT_EQ(t.value().clauses[0].sids.size(), 1u);
+  EXPECT_EQ(summary_->node(t.value().clauses[0].sids[0]).label, "figure");
+}
+
+TEST_F(TranslatorTest, ExcludedTermsCarryNegativeWeight) {
+  auto t = TranslateNexi("//sec[about(., painting -french)]", *summary_,
+                         &aliases_, tokenizer_);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  const auto& terms = t.value().flattened.terms;
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_GT(terms[0].weight, 0.0f);
+  EXPECT_LT(terms[1].weight, 0.0f);
+}
+
+TEST_F(TranslatorTest, PhraseDecomposesIntoWords) {
+  auto t = TranslateNexi("//sec[about(., \"query evaluation\")]", *summary_,
+                         &aliases_, tokenizer_);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().flattened.terms.size(), 2u);
+}
+
+TEST_F(TranslatorTest, StopwordOnlyAboutFails) {
+  auto t = TranslateNexi("//sec[about(., the of and)]", *summary_, &aliases_,
+                         tokenizer_);
+  EXPECT_FALSE(t.ok());
+}
+
+TEST_F(TranslatorTest, NoAboutClauseFails) {
+  auto t = TranslateNexi("//article//sec", *summary_, &aliases_, tokenizer_);
+  EXPECT_FALSE(t.ok());
+}
+
+TEST_F(TranslatorTest, WildcardTargetMatchesManySids) {
+  auto t = TranslateNexi("//bdy//*[about(., word)]", *summary_, &aliases_,
+                         tokenizer_);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  // sec, p, fig, figure under bdy.
+  EXPECT_GE(t.value().flattened.sids.size(), 3u);
+}
+
+TEST_F(TranslatorTest, TagSummaryFallsBackToLabelMatching) {
+  SummaryBuilder tag_builder(SummaryKind::kTag, &aliases_);
+  ASSERT_TRUE(tag_builder.AddDocument("<a><b>x</b><c><b>y</b></c></a>").ok());
+  Summary tag_summary = tag_builder.Take();
+  // Tag summaries cannot check paths: //c/b degrades to label "b".
+  auto t = TranslateNexi("//c/b[about(., x)]", tag_summary, &aliases_,
+                         tokenizer_);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t.value().flattened.sids.size(), 1u);
+  EXPECT_EQ(tag_summary.node(t.value().flattened.sids[0]).label, "b");
+  // Wildcard matches every node.
+  auto t2 = TranslateNexi("//*[about(., x)]", tag_summary, &aliases_,
+                          tokenizer_);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t2.value().flattened.sids.size(),
+            tag_summary.num_label_nodes());
+}
+
+
+TEST(NexiParser, TagAlternation) {
+  auto q = ParseNexi("//article//(sec|abs)[about(., xml)]");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().steps[1].path_step.label, "sec|abs");
+  EXPECT_FALSE(ParseNexi("//(sec|)[about(., x)]").ok());
+  EXPECT_FALSE(ParseNexi("//()[about(., x)]").ok());
+}
+
+}  // namespace
+}  // namespace trex

@@ -1,0 +1,123 @@
+// Tests for the parallel TA-vs-Merge race evaluator (§4's "return the
+// answer from the computation that finishes first").
+#include <filesystem>
+
+#include "corpus/ieee_generator.h"
+#include "gtest/gtest.h"
+#include "index/index_builder.h"
+#include "retrieval/era.h"
+#include "retrieval/materializer.h"
+#include "retrieval/race.h"
+
+namespace trex {
+namespace {
+
+class RaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/trex_race";
+    std::filesystem::remove_all(dir_);
+    IndexOptions options;
+    options.aliases = IeeeAliasMap();
+    IeeeGeneratorOptions gen_options;
+    gen_options.num_documents = 60;
+    gen_options.size_factor = 0.5;
+    IeeeGenerator gen(gen_options);
+    IndexBuilder builder(dir_ + "/idx", options);
+    for (size_t d = 0; d < gen.num_documents(); ++d) {
+      TREX_CHECK_OK(
+          builder.AddDocument(static_cast<DocId>(d), gen.Generate(d)));
+    }
+    TREX_CHECK_OK(builder.Finish());
+    auto index = Index::Open(dir_ + "/idx");
+    TREX_CHECK_OK(index.status());
+    index_ = std::move(index).value();
+
+    auto translated =
+        TranslateNexi("//article//sec[about(., information retrieval)]",
+                      index_->summary(), &index_->aliases(),
+                      index_->tokenizer());
+    TREX_CHECK_OK(translated.status());
+    clause_ = translated.value().flattened;
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  std::unique_ptr<Index> index_;
+  TranslatedClause clause_;
+};
+
+TEST_F(RaceTest, RequiresBothListKinds) {
+  auto race = RaceEvaluator::Open(dir_ + "/idx");
+  ASSERT_TRUE(race.ok()) << race.status().ToString();
+  RaceOutcome outcome;
+  EXPECT_TRUE(race.value()->Evaluate(clause_, 5, &outcome).IsNotFound());
+
+  MaterializeStats stats;
+  TREX_CHECK_OK(
+      MaterializeForClause(index_.get(), clause_, true, false, &stats));
+  TREX_CHECK_OK(index_->Flush());
+  auto race2 = RaceEvaluator::Open(dir_ + "/idx");
+  ASSERT_TRUE(race2.ok());
+  EXPECT_TRUE(race2.value()->Evaluate(clause_, 5, &outcome).IsNotFound());
+}
+
+TEST_F(RaceTest, WinnerMatchesExactTopK) {
+  MaterializeStats stats;
+  TREX_CHECK_OK(
+      MaterializeForClause(index_.get(), clause_, true, true, &stats));
+  TREX_CHECK_OK(index_->Flush());
+
+  Era era(index_.get());
+  RetrievalResult exact;
+  TREX_CHECK_OK(era.Evaluate(clause_, &exact));
+  ASSERT_GT(exact.elements.size(), 5u);
+
+  auto race = RaceEvaluator::Open(dir_ + "/idx");
+  ASSERT_TRUE(race.ok()) << race.status().ToString();
+  RaceOutcome outcome;
+  TREX_CHECK_OK(race.value()->Evaluate(clause_, 5, &outcome));
+  EXPECT_GT(outcome.ta_seconds, 0.0);
+  EXPECT_GT(outcome.merge_seconds, 0.0);
+  ASSERT_EQ(outcome.result.elements.size(), 5u);
+  // The winner's top-5 is a valid top-5: every returned element's exact
+  // score clears the exact 5th score.
+  float kth = exact.elements[4].score;
+  for (const auto& e : outcome.result.elements) {
+    bool found = false;
+    for (const auto& f : exact.elements) {
+      if (f.element == e.element) {
+        EXPECT_GE(f.score, kth - 1e-5f);
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(RaceTest, AllAnswersModeMatchesMergeExactly) {
+  MaterializeStats stats;
+  TREX_CHECK_OK(
+      MaterializeForClause(index_.get(), clause_, true, true, &stats));
+  TREX_CHECK_OK(index_->Flush());
+
+  Era era(index_.get());
+  RetrievalResult exact;
+  TREX_CHECK_OK(era.Evaluate(clause_, &exact));
+
+  auto race = RaceEvaluator::Open(dir_ + "/idx");
+  ASSERT_TRUE(race.ok());
+  RaceOutcome outcome;
+  // k beyond the answer count: both contestants compute the exact list.
+  TREX_CHECK_OK(
+      race.value()->Evaluate(clause_, exact.elements.size(), &outcome));
+  ASSERT_EQ(outcome.result.elements.size(), exact.elements.size());
+  for (size_t i = 0; i < exact.elements.size(); ++i) {
+    EXPECT_EQ(outcome.result.elements[i].element, exact.elements[i].element);
+    EXPECT_EQ(outcome.result.elements[i].score, exact.elements[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace trex

@@ -1,0 +1,196 @@
+// Cross-method property tests: on randomly generated corpora and random
+// (sids, terms) tasks, ERA, Merge, and exhaustive TA must return
+// identical ranked lists, and top-k TA must return a correct top-k set.
+#include <filesystem>
+#include <set>
+
+#include "common/rng.h"
+#include "corpus/ieee_generator.h"
+#include "corpus/wiki_generator.h"
+#include "gtest/gtest.h"
+#include "index/index.h"
+#include "index/index_builder.h"
+#include "retrieval/era.h"
+#include "retrieval/materializer.h"
+#include "retrieval/merge.h"
+#include "retrieval/ta.h"
+
+namespace trex {
+namespace {
+
+struct CorpusParam {
+  const char* name;
+  bool wiki;       // IEEE-like vs Wikipedia-like generator.
+  uint64_t seed;
+  size_t num_docs;
+  int num_tasks;   // Random (sids, terms) tasks to check.
+};
+
+class CrossMethodTest : public ::testing::TestWithParam<CorpusParam> {
+ protected:
+  void SetUp() override {
+    const CorpusParam& p = GetParam();
+    dir_ = ::testing::TempDir() + "/trex_xmethod_" + p.name;
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+
+    IndexOptions options;
+    options.aliases = p.wiki ? WikiAliasMap() : IeeeAliasMap();
+    IndexBuilder builder(dir_ + "/idx", options);
+    if (p.wiki) {
+      WikiGeneratorOptions gen_options;
+      gen_options.seed = p.seed;
+      gen_options.num_documents = p.num_docs;
+      gen_options.size_factor = 0.4;
+      WikiGenerator gen(gen_options);
+      for (size_t i = 0; i < p.num_docs; ++i) {
+        TREX_CHECK_OK(
+            builder.AddDocument(static_cast<DocId>(i), gen.Generate(i)));
+      }
+    } else {
+      IeeeGeneratorOptions gen_options;
+      gen_options.seed = p.seed;
+      gen_options.num_documents = p.num_docs;
+      gen_options.size_factor = 0.4;
+      IeeeGenerator gen(gen_options);
+      for (size_t i = 0; i < p.num_docs; ++i) {
+        TREX_CHECK_OK(
+            builder.AddDocument(static_cast<DocId>(i), gen.Generate(i)));
+      }
+    }
+    TREX_CHECK_OK(builder.Finish());
+    auto index = Index::Open(dir_ + "/idx");
+    TREX_CHECK_OK(index.status());
+    index_ = std::move(index).value();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  // Builds a random retrieval task over existing sids and terms.
+  TranslatedClause RandomClause(Rng* rng) {
+    TranslatedClause clause;
+    const Summary& summary = index_->summary();
+    size_t num_sids = 1 + rng->Uniform(5);
+    std::set<Sid> sids;
+    while (sids.size() < num_sids) {
+      Sid sid = static_cast<Sid>(1 + rng->Uniform(summary.size() - 1));
+      sids.insert(sid);
+    }
+    clause.sids.assign(sids.begin(), sids.end());
+
+    // Pick terms that exist: sample words from the planted set and the
+    // synthetic vocabulary head (frequent ranks).
+    std::vector<std::string> pool;
+    for (const auto& t : GetParam().wiki ? DefaultWikiPlantedTerms()
+                                         : DefaultIeeePlantedTerms()) {
+      pool.push_back(t.word);
+    }
+    for (size_t r = 0; r < 40; ++r) pool.push_back(Vocabulary::WordForRank(r));
+    size_t num_terms = 1 + rng->Uniform(4);
+    std::set<std::string> chosen;
+    while (chosen.size() < num_terms) {
+      std::string raw = pool[rng->Uniform(pool.size())];
+      auto norm = index_->tokenizer().NormalizeTerm(raw);
+      if (norm.has_value()) chosen.insert(*norm);
+    }
+    for (const auto& t : chosen) {
+      float weight = rng->Bernoulli(0.2) ? -1.0f : 1.0f;
+      clause.terms.push_back(WeightedTerm{t, weight});
+    }
+    return clause;
+  }
+
+  std::string dir_;
+  std::unique_ptr<Index> index_;
+};
+
+TEST_P(CrossMethodTest, MethodsReturnIdenticalRankedLists) {
+  Rng rng(GetParam().seed * 31 + 1);
+  Era era(index_.get());
+  Merge merge(index_.get());
+  Ta ta(index_.get());
+  int non_empty = 0;
+  for (int task = 0; task < GetParam().num_tasks; ++task) {
+    TranslatedClause clause = RandomClause(&rng);
+    MaterializeStats stats;
+    TREX_CHECK_OK(
+        MaterializeForClause(index_.get(), clause, true, true, &stats));
+
+    RetrievalResult r_era, r_merge, r_ta;
+    TREX_CHECK_OK(era.Evaluate(clause, &r_era));
+    TREX_CHECK_OK(merge.Evaluate(clause, &r_merge));
+    TREX_CHECK_OK(ta.Evaluate(clause, SIZE_MAX, &r_ta));
+
+    ASSERT_EQ(r_era.elements.size(), r_merge.elements.size())
+        << "task " << task;
+    ASSERT_EQ(r_era.elements.size(), r_ta.elements.size()) << "task " << task;
+    for (size_t i = 0; i < r_era.elements.size(); ++i) {
+      ASSERT_EQ(r_era.elements[i].element, r_merge.elements[i].element)
+          << "task " << task << " rank " << i;
+      ASSERT_EQ(r_era.elements[i].score, r_merge.elements[i].score)
+          << "task " << task << " rank " << i;
+      ASSERT_EQ(r_era.elements[i].element, r_ta.elements[i].element)
+          << "task " << task << " rank " << i;
+      ASSERT_EQ(r_era.elements[i].score, r_ta.elements[i].score)
+          << "task " << task << " rank " << i;
+    }
+    if (!r_era.elements.empty()) ++non_empty;
+  }
+  // The corpus must actually exercise the comparison.
+  EXPECT_GT(non_empty, GetParam().num_tasks / 2);
+}
+
+TEST_P(CrossMethodTest, TopKTaReturnsValidTopKSet) {
+  Rng rng(GetParam().seed * 31 + 2);
+  Era era(index_.get());
+  Ta ta(index_.get());
+  for (int task = 0; task < GetParam().num_tasks / 2; ++task) {
+    TranslatedClause clause = RandomClause(&rng);
+    MaterializeStats stats;
+    TREX_CHECK_OK(
+        MaterializeForClause(index_.get(), clause, true, false, &stats));
+    RetrievalResult full;
+    TREX_CHECK_OK(era.Evaluate(clause, &full));
+    if (full.elements.empty()) continue;
+
+    for (size_t k : {size_t{1}, size_t{5}, full.elements.size()}) {
+      k = std::min(k, full.elements.size());
+      RetrievalResult topk;
+      TREX_CHECK_OK(ta.Evaluate(clause, k, &topk));
+      ASSERT_EQ(topk.elements.size(), k) << "task " << task << " k " << k;
+      // Every returned element's exact score must be >= the exact k-th
+      // score (a correct top-k set under ties).
+      float kth_exact = full.elements[k - 1].score;
+      std::set<std::pair<DocId, uint64_t>> exact_scores;
+      for (const auto& e : full.elements) {
+        exact_scores.insert({e.element.docid, e.element.endpos});
+      }
+      for (const auto& e : topk.elements) {
+        // Find the element's exact score in the full ranking.
+        bool found = false;
+        for (const auto& f : full.elements) {
+          if (f.element == e.element) {
+            EXPECT_GE(f.score, kth_exact - 1e-5f)
+                << "task " << task << " k " << k;
+            found = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(found) << "TA returned an element ERA did not";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpora, CrossMethodTest,
+    ::testing::Values(CorpusParam{"ieee_small", false, 1001, 30, 12},
+                      CorpusParam{"ieee_other_seed", false, 2002, 40, 12},
+                      CorpusParam{"ieee_larger", false, 5005, 80, 8},
+                      CorpusParam{"wiki_small", true, 3003, 30, 12},
+                      CorpusParam{"wiki_other_seed", true, 4004, 50, 10}),
+    [](const ::testing::TestParamInfo<CorpusParam>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace trex

@@ -1,0 +1,316 @@
+// Tests for ERA, TA, Merge, the materializer, the strategy selector,
+// the instrumented heap, and the hand-written quicksort.
+#include <algorithm>
+#include <filesystem>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "index/index.h"
+#include "index/index_builder.h"
+#include "retrieval/era.h"
+#include "retrieval/heap.h"
+#include "retrieval/materializer.h"
+#include "retrieval/merge.h"
+#include "retrieval/strategy.h"
+#include "retrieval/ta.h"
+
+namespace trex {
+namespace {
+
+class RetrievalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/trex_retr_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+
+    IndexOptions options;
+    IndexBuilder builder(dir_ + "/idx", options);
+    // Three documents; "apple" concentrated in doc0 secs, "pear" in doc1.
+    TREX_CHECK_OK(builder.AddDocument(
+        0,
+        "<doc><sec><p>apple apple banana</p></sec>"
+        "<sec><p>apple cherry</p></sec></doc>"));
+    TREX_CHECK_OK(builder.AddDocument(
+        1,
+        "<doc><sec><p>pear pear pear</p></sec>"
+        "<sec><p>banana pear</p></sec></doc>"));
+    TREX_CHECK_OK(builder.AddDocument(
+        2, "<doc><sec><p>cherry banana</p></sec></doc>"));
+    TREX_CHECK_OK(builder.Finish());
+
+    auto index = Index::Open(dir_ + "/idx");
+    TREX_CHECK_OK(index.status());
+    index_ = std::move(index).value();
+
+    // Clause over the sec extent with terms apple, banana.
+    auto steps = ParsePathExpression("//doc/sec");
+    TREX_CHECK_OK(steps.status());
+    clause_.sids = MatchPath(index_->summary(), steps.value(), nullptr);
+    ASSERT_EQ(clause_.sids.size(), 1u);
+    // Query terms go through the same normalization as indexed tokens
+    // ("apple" stems to "appl").
+    clause_.terms = {{*index_->tokenizer().NormalizeTerm("apple"), 1.0f},
+                     {*index_->tokenizer().NormalizeTerm("banana"), 1.0f}};
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  std::unique_ptr<Index> index_;
+  TranslatedClause clause_;
+};
+
+TEST_F(RetrievalTest, EraFindsElementsWithTermFrequencies) {
+  Era era(index_.get());
+  std::vector<Era::TfEntry> entries;
+  RetrievalMetrics metrics;
+  std::vector<std::string> terms = {clause_.terms[0].term,
+                                    clause_.terms[1].term};
+  TREX_CHECK_OK(era.ComputeTermFrequencies(clause_.sids, terms, &entries,
+                                           &metrics));
+  // Relevant sec elements: doc0-sec1 (apple x2, banana x1),
+  // doc0-sec2 (apple x1), doc1-sec2 (banana x1), doc2-sec1 (banana x1).
+  ASSERT_EQ(entries.size(), 4u);
+  uint32_t total_apple = 0, total_banana = 0;
+  for (const auto& e : entries) {
+    total_apple += e.tf[0];
+    total_banana += e.tf[1];
+    EXPECT_GT(e.tf[0] + e.tf[1], 0u);
+  }
+  EXPECT_EQ(total_apple, 3u);
+  EXPECT_EQ(total_banana, 3u);
+  EXPECT_GT(metrics.positions_scanned, 0u);
+  EXPECT_GT(metrics.elements_scanned, 0u);
+}
+
+TEST_F(RetrievalTest, EraEvaluateRanksByScore) {
+  Era era(index_.get());
+  RetrievalResult result;
+  TREX_CHECK_OK(era.Evaluate(clause_, &result));
+  ASSERT_EQ(result.elements.size(), 4u);
+  // doc0-sec1 has apple x2 + banana: highest score.
+  EXPECT_EQ(result.elements[0].element.docid, 0u);
+  for (size_t i = 1; i < result.elements.size(); ++i) {
+    EXPECT_TRUE(ScoredElementGreater(result.elements[i - 1],
+                                     result.elements[i]) ||
+                result.elements[i - 1].score == result.elements[i].score);
+  }
+}
+
+TEST_F(RetrievalTest, EraEmptyInputs) {
+  Era era(index_.get());
+  RetrievalResult result;
+  TranslatedClause empty;
+  TREX_CHECK_OK(era.Evaluate(empty, &result));
+  EXPECT_TRUE(result.elements.empty());
+
+  TranslatedClause no_match = clause_;
+  no_match.terms = {{"zzzmissing", 1.0f}};
+  TREX_CHECK_OK(era.Evaluate(no_match, &result));
+  EXPECT_TRUE(result.elements.empty());
+}
+
+TEST_F(RetrievalTest, TaAndMergeRequireMaterializedLists) {
+  EXPECT_FALSE(Ta::CanEvaluate(index_.get(), clause_));
+  EXPECT_FALSE(Merge::CanEvaluate(index_.get(), clause_));
+  Ta ta(index_.get());
+  RetrievalResult result;
+  EXPECT_TRUE(ta.Evaluate(clause_, 3, &result).IsNotFound());
+  Merge merge(index_.get());
+  EXPECT_TRUE(merge.Evaluate(clause_, &result).IsNotFound());
+}
+
+TEST_F(RetrievalTest, MaterializerWritesAndRegistersLists) {
+  MaterializeStats stats;
+  TREX_CHECK_OK(
+      MaterializeForClause(index_.get(), clause_, true, true, &stats));
+  EXPECT_EQ(stats.lists_written, 4u);  // 2 terms x 1 sid x 2 kinds.
+  EXPECT_GT(stats.bytes_written, 0u);
+  EXPECT_TRUE(Ta::CanEvaluate(index_.get(), clause_));
+  EXPECT_TRUE(Merge::CanEvaluate(index_.get(), clause_));
+
+  // Idempotent: nothing written the second time.
+  MaterializeStats again;
+  TREX_CHECK_OK(
+      MaterializeForClause(index_.get(), clause_, true, true, &again));
+  EXPECT_EQ(again.lists_written, 0u);
+  EXPECT_EQ(again.lists_skipped, 4u);
+
+  // Dropping brings back the NotFound behaviour.
+  TREX_CHECK_OK(DropUnits(index_.get(), UnitsForClause(clause_, true, true)));
+  EXPECT_FALSE(Ta::CanEvaluate(index_.get(), clause_));
+}
+
+TEST_F(RetrievalTest, AllThreeMethodsAgreeExactly) {
+  MaterializeStats stats;
+  TREX_CHECK_OK(
+      MaterializeForClause(index_.get(), clause_, true, true, &stats));
+
+  Era era(index_.get());
+  Merge merge(index_.get());
+  Ta ta(index_.get());
+  RetrievalResult r_era, r_merge, r_ta;
+  TREX_CHECK_OK(era.Evaluate(clause_, &r_era));
+  TREX_CHECK_OK(merge.Evaluate(clause_, &r_merge));
+  TREX_CHECK_OK(ta.Evaluate(clause_, 100, &r_ta));  // k > #answers: exact.
+
+  ASSERT_EQ(r_era.elements.size(), r_merge.elements.size());
+  ASSERT_EQ(r_era.elements.size(), r_ta.elements.size());
+  for (size_t i = 0; i < r_era.elements.size(); ++i) {
+    EXPECT_EQ(r_era.elements[i].element, r_merge.elements[i].element) << i;
+    EXPECT_EQ(r_era.elements[i].score, r_merge.elements[i].score) << i;
+    EXPECT_EQ(r_era.elements[i].element, r_ta.elements[i].element) << i;
+    EXPECT_EQ(r_era.elements[i].score, r_ta.elements[i].score) << i;
+  }
+}
+
+TEST_F(RetrievalTest, TaTopKIsPrefixOfFullRanking) {
+  MaterializeStats stats;
+  TREX_CHECK_OK(
+      MaterializeForClause(index_.get(), clause_, true, true, &stats));
+  Era era(index_.get());
+  RetrievalResult full;
+  TREX_CHECK_OK(era.Evaluate(clause_, &full));
+  Ta ta(index_.get());
+  for (size_t k = 1; k <= full.elements.size(); ++k) {
+    RetrievalResult topk;
+    TREX_CHECK_OK(ta.Evaluate(clause_, k, &topk));
+    ASSERT_EQ(topk.elements.size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      // The top-k SET is correct; scores are lower bounds.
+      EXPECT_LE(topk.elements[i].score, full.elements[i].score + 1e-5f);
+      EXPECT_GE(topk.elements[i].score,
+                full.elements[k - 1].score - 1e-5f);
+    }
+  }
+}
+
+TEST_F(RetrievalTest, NegativeWeightsPenalize) {
+  TranslatedClause with_excluded = clause_;
+  with_excluded.terms = {{clause_.terms[0].term, 1.0f},
+                         {clause_.terms[1].term, -1.0f}};
+  MaterializeStats stats;
+  TREX_CHECK_OK(MaterializeForClause(index_.get(), with_excluded, true, true,
+                                     &stats));
+  Era era(index_.get());
+  Merge merge(index_.get());
+  RetrievalResult r_era, r_merge;
+  TREX_CHECK_OK(era.Evaluate(with_excluded, &r_era));
+  TREX_CHECK_OK(merge.Evaluate(with_excluded, &r_merge));
+  ASSERT_EQ(r_era.elements.size(), r_merge.elements.size());
+  for (size_t i = 0; i < r_era.elements.size(); ++i) {
+    EXPECT_EQ(r_era.elements[i].score, r_merge.elements[i].score);
+  }
+  // Banana-only elements rank at the bottom with negative scores.
+  EXPECT_LT(r_era.elements.back().score, 0.0f);
+  // The apple-only element outranks the banana-contaminated ones.
+  EXPECT_EQ(r_era.elements[0].element.docid, 0u);
+}
+
+TEST_F(RetrievalTest, StrategySelectorRespectsAvailability) {
+  auto decision = ChooseStrategy(index_.get(), clause_, 5);
+  EXPECT_EQ(decision.method, RetrievalMethod::kEra);
+
+  MaterializeStats stats;
+  TREX_CHECK_OK(
+      MaterializeForClause(index_.get(), clause_, true, false, &stats));
+  decision = ChooseStrategy(index_.get(), clause_, 1);
+  EXPECT_EQ(decision.method, RetrievalMethod::kTa);
+
+  TREX_CHECK_OK(
+      MaterializeForClause(index_.get(), clause_, false, true, &stats));
+  decision = ChooseStrategy(index_.get(), clause_, 0);  // All answers.
+  EXPECT_EQ(decision.method, RetrievalMethod::kMerge);
+}
+
+TEST_F(RetrievalTest, EvaluatorRunsChosenMethod) {
+  MaterializeStats stats;
+  TREX_CHECK_OK(
+      MaterializeForClause(index_.get(), clause_, true, true, &stats));
+  Evaluator evaluator(index_.get());
+  RetrievalResult result;
+  RetrievalMethod used;
+  TREX_CHECK_OK(evaluator.Evaluate(clause_, 2, &result, &used));
+  EXPECT_EQ(result.elements.size(), 2u);
+  for (RetrievalMethod m : {RetrievalMethod::kEra, RetrievalMethod::kTa,
+                            RetrievalMethod::kMerge}) {
+    RetrievalResult forced;
+    TREX_CHECK_OK(evaluator.EvaluateWith(m, clause_, 2, &forced));
+    EXPECT_EQ(forced.elements.size(), 2u) << RetrievalMethodName(m);
+    EXPECT_EQ(forced.elements[0].element, result.elements[0].element);
+  }
+}
+
+TEST(InstrumentedHeap, OrderingAndOps) {
+  InstrumentedHeap<int> heap;
+  for (int v : {5, 1, 4, 2, 3}) heap.Push(v);
+  EXPECT_EQ(heap.size(), 5u);
+  for (int expected : {1, 2, 3, 4, 5}) {
+    EXPECT_EQ(heap.Pop(), expected);
+  }
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.operations(), 10u);
+}
+
+TEST(InstrumentedHeap, ReplaceKeepsHeapProperty) {
+  InstrumentedHeap<int> heap;
+  for (int v = 10; v > 0; --v) heap.Push(v);
+  EXPECT_EQ(heap.Replace(99), 1);
+  EXPECT_EQ(heap.top(), 2);
+  int prev = 0;
+  while (!heap.empty()) {
+    int v = heap.Pop();
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(InstrumentedHeap, PausesAttachedTimer) {
+  PausableTimer timer;
+  timer.Start();
+  InstrumentedHeap<int> heap;
+  heap.set_timer(&timer);
+  for (int i = 0; i < 1000; ++i) heap.Push(i);
+  while (!heap.empty()) heap.Pop();
+  timer.Stop();
+  EXPECT_GT(timer.PausedNanos(), 0);
+  EXPECT_LE(timer.ActiveNanos(), timer.WallNanos());
+}
+
+TEST(QuickSort, SortsDescendingByScoreWithStableTies) {
+  Rng rng(77);
+  std::vector<ScoredElement> v;
+  for (int i = 0; i < 5000; ++i) {
+    ScoredElement e;
+    e.element = ElementInfo{1, static_cast<DocId>(rng.Uniform(100)),
+                            rng.Uniform(100000), 10};
+    e.score = static_cast<float>(rng.Uniform(50));  // Many ties.
+    v.push_back(e);
+  }
+  std::vector<ScoredElement> expected = v;
+  std::sort(expected.begin(), expected.end(), ScoredElementGreater);
+  QuickSortByScore(&v);
+  ASSERT_EQ(v.size(), expected.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i].score, expected[i].score) << i;
+  }
+  // Fully ordered under the canonical comparator.
+  for (size_t i = 1; i < v.size(); ++i) {
+    EXPECT_FALSE(ScoredElementGreater(v[i], v[i - 1])) << i;
+  }
+}
+
+TEST(QuickSort, EdgeCases) {
+  std::vector<ScoredElement> empty;
+  QuickSortByScore(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<ScoredElement> one(1);
+  QuickSortByScore(&one);
+  std::vector<ScoredElement> equal(100);
+  QuickSortByScore(&equal);
+  EXPECT_EQ(equal.size(), 100u);
+}
+
+}  // namespace
+}  // namespace trex

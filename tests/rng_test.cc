@@ -1,0 +1,66 @@
+#include "common/rng.h"
+
+#include <map>
+
+#include "gtest/gtest.h"
+
+namespace trex {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  bool all_equal = true, any_diff_c = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next(), vb = b.Next(), vc = c.Next();
+    all_equal = all_equal && (va == vb);
+    any_diff_c = any_diff_c || (va != vc);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_c);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformRange(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Zipf, RankZeroIsMostFrequent) {
+  Rng rng(7);
+  ZipfSampler zipf(100, 1.0);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[zipf.Sample(&rng)]++;
+  // Head rank should dominate rank 50 by roughly 50x under theta=1.
+  EXPECT_GT(counts[0], counts[50] * 10);
+  // All samples in range.
+  for (const auto& [rank, n] : counts) {
+    EXPECT_LT(rank, 100u);
+    EXPECT_GT(n, 0);
+  }
+}
+
+TEST(Zipf, ThetaZeroIsRoughlyUniform) {
+  Rng rng(8);
+  ZipfSampler zipf(10, 0.0);
+  std::map<size_t, int> counts;
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) counts[zipf.Sample(&rng)]++;
+  for (size_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(counts[r], kDraws / 10, kDraws / 50) << "rank " << r;
+  }
+}
+
+}  // namespace
+}  // namespace trex

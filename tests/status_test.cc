@@ -1,0 +1,57 @@
+#include "common/status.h"
+
+#include "gtest/gtest.h"
+
+namespace trex {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CodesAndMessages) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: missing key");
+
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+}
+
+Status FailsEarly() {
+  TREX_RETURN_IF_ERROR(Status::IOError("disk on fire"));
+  ADD_FAILURE() << "should not reach here";
+  return Status::OK();
+}
+
+TEST(Status, ReturnIfErrorPropagates) {
+  Status s = FailsEarly();
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(s.message(), "disk on fire");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string(100, 'a'));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v.size(), 100u);
+}
+
+}  // namespace
+}  // namespace trex

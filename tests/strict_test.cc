@@ -1,0 +1,155 @@
+// Tests for the strict-interpretation evaluator (§1): structural
+// constraints satisfied precisely, per-clause support joined by
+// containment.
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+#include "corpus/ieee_generator.h"
+#include "gtest/gtest.h"
+#include "index/index.h"
+#include "index/index_builder.h"
+#include "retrieval/strict.h"
+#include "trex/trex.h"
+
+namespace trex {
+namespace {
+
+class StrictTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/trex_strict_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::vector<std::string> docs = {
+        // doc 0: article about xml AND its sec about query -> strict hit.
+        "<lib><article><abs>xml systems xml</abs>"
+        "<sec>query engines query</sec></article></lib>",
+        // doc 1: sec about query, but the article never mentions xml ->
+        // vague hit (flattened terms), strict miss.
+        "<lib><article><abs>databases</abs>"
+        "<sec>query engines</sec></article></lib>",
+        // doc 2: article about xml but no sec about query -> strict miss.
+        "<lib><article><abs>xml stores</abs>"
+        "<sec>storage layouts</sec></article></lib>",
+    };
+    auto trex = TReX::BuildFromDocuments(dir_ + "/idx", docs, TrexOptions{});
+    TREX_CHECK_OK(trex.status());
+    trex_ = std::move(trex).value();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  std::unique_ptr<TReX> trex_;
+};
+
+constexpr char kQuery[] =
+    "//article[about(., xml)]//sec[about(., query)]";
+
+TEST_F(StrictTest, StrictRequiresAllClausesSupported) {
+  auto strict = trex_->QueryStrict(kQuery, 0);
+  ASSERT_TRUE(strict.ok()) << strict.status().ToString();
+  // Only doc 0's sec qualifies: doc 1 lacks xml in the article, doc 2
+  // lacks query in a sec.
+  ASSERT_EQ(strict.value().result.elements.size(), 1u);
+  EXPECT_EQ(strict.value().result.elements[0].element.docid, 0u);
+  const Summary& summary = trex_->index()->summary();
+  EXPECT_EQ(
+      summary.node(strict.value().result.elements[0].element.sid).label,
+      "sec");
+}
+
+TEST_F(StrictTest, VagueReturnsSuperset) {
+  auto strict = trex_->QueryStrict(kQuery, 0);
+  auto vague = trex_->Query(kQuery, 0);
+  ASSERT_TRUE(strict.ok());
+  ASSERT_TRUE(vague.ok());
+  // The vague flattened evaluation also returns doc 1's sec (contains
+  // "query") and the article elements themselves.
+  EXPECT_GT(vague.value().result.elements.size(),
+            strict.value().result.elements.size());
+}
+
+TEST_F(StrictTest, ScoreSumsClauseSupports) {
+  auto strict = trex_->QueryStrict(kQuery, 0);
+  ASSERT_TRUE(strict.ok());
+  ASSERT_EQ(strict.value().result.elements.size(), 1u);
+  float combined = strict.value().result.elements[0].score;
+  // Single-clause strict query on the sec alone must score lower than
+  // the combined article+sec support.
+  auto sec_only = trex_->QueryStrict("//article//sec[about(., query)]", 0);
+  ASSERT_TRUE(sec_only.ok());
+  ASSERT_GE(sec_only.value().result.elements.size(), 1u);
+  EXPECT_GT(combined, sec_only.value().result.elements[0].score);
+}
+
+TEST_F(StrictTest, RelativePathClauseSupportsFromBelow) {
+  // about(.//sec, query): the support (sec) is a DESCENDANT of the
+  // target (article).
+  auto r = trex_->QueryStrict("//article[about(.//sec, query)]", 0);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Articles of docs 0 and 1 have a sec containing "query".
+  ASSERT_EQ(r.value().result.elements.size(), 2u);
+  const Summary& summary = trex_->index()->summary();
+  for (const auto& e : r.value().result.elements) {
+    EXPECT_EQ(summary.node(e.element.sid).label, "article");
+    EXPECT_NE(e.element.docid, 2u);
+  }
+}
+
+TEST_F(StrictTest, TopKTruncates) {
+  auto r = trex_->QueryStrict("//article[about(.//sec, query)]", 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().result.elements.size(), 1u);
+}
+
+TEST_F(StrictTest, NoMatchesIsEmptyNotError) {
+  auto r = trex_->QueryStrict("//article[about(., nonexistentterm)]", 10);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().result.elements.empty());
+}
+
+
+// Property over a generated corpus: every strict answer is a target-sid
+// element, and its document also appears among the vague answers (the
+// strict semantics only tightens the vague one).
+TEST(StrictProperty, StrictAnswersAreVagueAnswersDocuments) {
+  std::string dir = ::testing::TempDir() + "/trex_strict_prop";
+  std::filesystem::remove_all(dir);
+  IeeeGeneratorOptions gen_options;
+  gen_options.num_documents = 40;
+  gen_options.size_factor = 0.5;
+  IeeeGenerator gen(gen_options);
+  TrexOptions options;
+  options.index.aliases = IeeeAliasMap();
+  auto trex = TReX::Build(dir + "/idx", gen, options);
+  ASSERT_TRUE(trex.ok());
+
+  const char* queries[] = {
+      "//article[about(., ontologies)]//sec[about(., case study)]",
+      "//article[about(.//bdy, model)]//sec[about(., checking)]",
+      "//article[about(., information)]",
+  };
+  for (const char* q : queries) {
+    auto strict = trex.value()->QueryStrict(q, 0);
+    auto vague = trex.value()->Query(q, 0);
+    ASSERT_TRUE(strict.ok()) << q;
+    ASSERT_TRUE(vague.ok()) << q;
+    const auto& targets = strict.value().translation.target_sids;
+    std::set<DocId> vague_docs;
+    for (const auto& e : vague.value().result.elements) {
+      vague_docs.insert(e.element.docid);
+    }
+    for (const auto& e : strict.value().result.elements) {
+      EXPECT_TRUE(std::binary_search(targets.begin(), targets.end(),
+                                     e.element.sid))
+          << q;
+      EXPECT_TRUE(vague_docs.count(e.element.docid)) << q;
+      EXPECT_GT(e.score, 0.0f) << q;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace trex

@@ -1,0 +1,247 @@
+// Tests for structural summaries, alias maps, and path matching.
+#include <set>
+
+#include "gtest/gtest.h"
+#include "summary/alias.h"
+#include "summary/builder.h"
+#include "summary/path_matcher.h"
+#include "summary/summary.h"
+
+namespace trex {
+namespace {
+
+constexpr char kDoc1[] =
+    "<books><journal><article><fm><atl>t</atl></fm>"
+    "<bdy><sec><p>x</p></sec><ss1><p>y</p></ss1></bdy>"
+    "</article></journal></books>";
+constexpr char kDoc2[] =
+    "<books><journal><article><bdy><sec><p>z</p><fig><fgc>c</fgc></fig>"
+    "</sec></bdy></article></journal></books>";
+
+TEST(AliasMap, ApplyAndSerialize) {
+  AliasMap map;
+  map.Add("ss1", "sec");
+  map.Add("ss2", "sec");
+  EXPECT_EQ(map.Apply("ss1"), "sec");
+  EXPECT_EQ(map.Apply("sec"), "sec");
+  EXPECT_EQ(map.Apply("unknown"), "unknown");
+
+  AliasMap restored = AliasMap::Deserialize(map.Serialize());
+  EXPECT_EQ(restored.Apply("ss2"), "sec");
+  EXPECT_EQ(restored.size(), 2u);
+}
+
+TEST(SummaryBuilder, IncomingSummaryDistinguishesPaths) {
+  SummaryBuilder builder(SummaryKind::kIncoming, nullptr);
+  ASSERT_TRUE(builder.AddDocument(kDoc1).ok());
+  Summary summary = builder.Take();
+  // Distinct root paths: books, journal, article, fm, atl, bdy, sec, p
+  // (under sec), ss1, p (under ss1) = 10 nodes.
+  EXPECT_EQ(summary.num_label_nodes(), 10u);
+  EXPECT_EQ(summary.ancestor_violations(), 0u);
+}
+
+TEST(SummaryBuilder, TagSummaryMergesByLabel) {
+  SummaryBuilder builder(SummaryKind::kTag, nullptr);
+  ASSERT_TRUE(builder.AddDocument(kDoc1).ok());
+  Summary summary = builder.Take();
+  // Distinct tags: books, journal, article, fm, atl, bdy, sec, p, ss1 = 9.
+  EXPECT_EQ(summary.num_label_nodes(), 9u);
+}
+
+TEST(SummaryBuilder, AliasCollapsesSynonyms) {
+  AliasMap aliases = IeeeAliasMap();
+  SummaryBuilder with(SummaryKind::kIncoming, &aliases);
+  ASSERT_TRUE(with.AddDocument(kDoc1).ok());
+  Summary aliased = with.Take();
+  SummaryBuilder without(SummaryKind::kIncoming, nullptr);
+  ASSERT_TRUE(without.AddDocument(kDoc1).ok());
+  Summary plain = without.Take();
+  // ss1 collapses into sec (and its p child collapses too): the aliased
+  // incoming summary is strictly smaller, as in §2.1's numbers.
+  EXPECT_LT(aliased.num_label_nodes(), plain.num_label_nodes());
+}
+
+TEST(SummaryBuilder, ExtentsPartitionElements) {
+  SummaryBuilder builder(SummaryKind::kIncoming, nullptr);
+  ASSERT_TRUE(builder.AddDocument(kDoc1).ok());
+  ASSERT_TRUE(builder.AddDocument(kDoc2).ok());
+  Summary summary = builder.Take();
+  uint64_t total = 0;
+  for (size_t sid = 1; sid < summary.size(); ++sid) {
+    total += summary.node(static_cast<Sid>(sid)).extent_size;
+  }
+  // doc1 has 10 elements, doc2 has 8: extents must partition all 18.
+  EXPECT_EQ(total, 18u);
+  EXPECT_EQ(summary.total_extent_size(), 18u);
+}
+
+TEST(SummaryBuilder, DetectsAncestorViolations) {
+  // <a><a>...</a></a> puts two nested elements in one tag-summary extent.
+  SummaryBuilder builder(SummaryKind::kTag, nullptr);
+  ASSERT_TRUE(builder.AddDocument("<a><b><a>x</a></b></a>").ok());
+  Summary summary = builder.Take();
+  EXPECT_EQ(summary.ancestor_violations(), 1u);
+  // The incoming summary distinguishes /a from /a/b/a: no violations.
+  SummaryBuilder builder2(SummaryKind::kIncoming, nullptr);
+  ASSERT_TRUE(builder2.AddDocument("<a><b><a>x</a></b></a>").ok());
+  EXPECT_EQ(builder2.Take().ancestor_violations(), 0u);
+}
+
+TEST(Summary, PathOfWalksToRoot) {
+  SummaryBuilder builder(SummaryKind::kIncoming, nullptr);
+  ASSERT_TRUE(builder.AddDocument(kDoc1).ok());
+  Summary summary = builder.Take();
+  std::set<std::string> paths;
+  for (size_t sid = 1; sid < summary.size(); ++sid) {
+    paths.insert(summary.PathOf(static_cast<Sid>(sid)));
+  }
+  EXPECT_TRUE(paths.count("/books/journal/article/bdy/sec/p"));
+  EXPECT_TRUE(paths.count("/books/journal/article/fm/atl"));
+}
+
+TEST(Summary, SerializeRoundTrip) {
+  AliasMap aliases = IeeeAliasMap();
+  SummaryBuilder builder(SummaryKind::kIncoming, &aliases);
+  ASSERT_TRUE(builder.AddDocument(kDoc1).ok());
+  ASSERT_TRUE(builder.AddDocument(kDoc2).ok());
+  Summary original = builder.Take();
+  auto restored = Summary::Deserialize(original.Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().size(), original.size());
+  EXPECT_EQ(restored.value().kind(), original.kind());
+  for (size_t sid = 1; sid < original.size(); ++sid) {
+    Sid s = static_cast<Sid>(sid);
+    EXPECT_EQ(restored.value().node(s).label, original.node(s).label);
+    EXPECT_EQ(restored.value().node(s).parent, original.node(s).parent);
+    EXPECT_EQ(restored.value().node(s).extent_size,
+              original.node(s).extent_size);
+    EXPECT_EQ(restored.value().PathOf(s), original.PathOf(s));
+  }
+}
+
+TEST(Summary, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Summary::Deserialize("not a summary").ok());
+  EXPECT_FALSE(Summary::Deserialize("kind bogus\nnodes 1\nviolations 0\n").ok());
+  // Node referencing a later parent is rejected.
+  EXPECT_FALSE(
+      Summary::Deserialize("kind tag\nnodes 3\nviolations 0\n1 2 5 a\n2 0 5 b\n")
+          .ok());
+}
+
+class PathMatcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    aliases_ = IeeeAliasMap();
+    SummaryBuilder builder(SummaryKind::kIncoming, &aliases_);
+    ASSERT_TRUE(builder.AddDocument(kDoc1).ok());
+    ASSERT_TRUE(builder.AddDocument(kDoc2).ok());
+    summary_ = std::make_unique<Summary>(builder.Take());
+  }
+
+  std::vector<std::string> MatchPaths(const std::string& expr) {
+    auto steps = ParsePathExpression(expr);
+    EXPECT_TRUE(steps.ok()) << steps.status().ToString();
+    std::vector<std::string> paths;
+    for (Sid sid : MatchPath(*summary_, steps.value(), &aliases_)) {
+      paths.push_back(summary_->PathOf(sid));
+    }
+    return paths;
+  }
+
+  AliasMap aliases_;
+  std::unique_ptr<Summary> summary_;
+};
+
+TEST_F(PathMatcherTest, DescendantMatch) {
+  auto paths = MatchPaths("//article//sec");
+  // With aliases, sec and ss1 collapse: one summary node.
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], "/books/journal/article/bdy/sec");
+}
+
+TEST_F(PathMatcherTest, AliasAppliedToQueryLabels) {
+  // Querying the synonym ss1 must hit the aliased sec node.
+  auto paths = MatchPaths("//ss1");
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], "/books/journal/article/bdy/sec");
+}
+
+TEST_F(PathMatcherTest, ChildAxisIsExact) {
+  EXPECT_TRUE(MatchPaths("/article").empty());  // article is not the root.
+  auto paths = MatchPaths("/books/journal/article");
+  ASSERT_EQ(paths.size(), 1u);
+  // Child axis after descendant.
+  auto paths2 = MatchPaths("//bdy/sec");
+  ASSERT_EQ(paths2.size(), 1u);
+  // /bdy/sec exists but //fm/sec does not.
+  EXPECT_TRUE(MatchPaths("//fm/sec").empty());
+}
+
+TEST_F(PathMatcherTest, WildcardMatchesAnyLabel) {
+  auto paths = MatchPaths("//bdy//*");
+  // Everything under bdy: sec, p, figure(fgc via alias), fig.
+  EXPECT_GE(paths.size(), 3u);
+  for (const auto& p : paths) {
+    EXPECT_NE(p.find("/bdy/"), std::string::npos) << p;
+  }
+}
+
+TEST_F(PathMatcherTest, DescendantSkipsLevels) {
+  auto paths = MatchPaths("//books//p");
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], "/books/journal/article/bdy/sec/p");
+}
+
+TEST_F(PathMatcherTest, NoMatchForUnknownLabel) {
+  EXPECT_TRUE(MatchPaths("//nosuchtag").empty());
+}
+
+TEST(PathExpression, ParseAndPrint) {
+  auto steps = ParsePathExpression("//article/bdy//*");
+  ASSERT_TRUE(steps.ok());
+  ASSERT_EQ(steps.value().size(), 3u);
+  EXPECT_EQ(steps.value()[0].axis, Axis::kDescendant);
+  EXPECT_EQ(steps.value()[1].axis, Axis::kChild);
+  EXPECT_TRUE(steps.value()[2].is_wildcard());
+  EXPECT_EQ(PathToString(steps.value()), "//article/bdy//*");
+
+  EXPECT_FALSE(ParsePathExpression("").ok());
+  EXPECT_FALSE(ParsePathExpression("article").ok());
+  EXPECT_FALSE(ParsePathExpression("//").ok());
+  EXPECT_FALSE(ParsePathExpression("//a[pred]").ok());
+}
+
+
+TEST_F(PathMatcherTest, AlternationMatchesAnyListedTag) {
+  // fm|bdy at the article level.
+  auto paths = MatchPaths("//article/(fm|bdy)");
+  ASSERT_EQ(paths.size(), 2u);
+  // Alternation members go through the alias map too: ss1 ≡ sec.
+  auto paths2 = MatchPaths("//(ss1|fgc)");
+  ASSERT_EQ(paths2.size(), 2u);  // The sec node and the figure node.
+}
+
+TEST(PathExpressionAlternation, ParsePrintRoundTrip) {
+  auto steps = ParsePathExpression("//(sec|abs)/p");
+  ASSERT_TRUE(steps.ok()) << steps.status().ToString();
+  ASSERT_EQ(steps.value().size(), 2u);
+  EXPECT_EQ(steps.value()[0].label, "sec|abs");
+  EXPECT_EQ(PathToString(steps.value()), "//(sec|abs)/p");
+  EXPECT_FALSE(ParsePathExpression("//(sec|)").ok());
+  EXPECT_FALSE(ParsePathExpression("//(sec").ok());
+  EXPECT_FALSE(ParsePathExpression("//()").ok());
+}
+
+TEST(StepLabelMatchesTest, AlternationAndWildcard) {
+  EXPECT_TRUE(StepLabelMatches({Axis::kChild, "a|b|c"}, "b", nullptr));
+  EXPECT_FALSE(StepLabelMatches({Axis::kChild, "a|b|c"}, "d", nullptr));
+  EXPECT_TRUE(StepLabelMatches({Axis::kChild, "*"}, "anything", nullptr));
+  EXPECT_FALSE(StepLabelMatches({Axis::kChild, "ab"}, "a", nullptr));
+  AliasMap aliases;
+  aliases.Add("ss1", "sec");
+  EXPECT_TRUE(StepLabelMatches({Axis::kChild, "x|ss1"}, "sec", &aliases));
+}
+
+}  // namespace
+}  // namespace trex

@@ -1,0 +1,178 @@
+// Tests for the tokenizer, stopwords, Porter stemmer, and BM25 scorer.
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "text/porter_stemmer.h"
+#include "text/scorer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace trex {
+namespace {
+
+TEST(Stopwords, KnownWords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_TRUE(IsStopword("ourselves"));
+  EXPECT_FALSE(IsStopword("xml"));
+  EXPECT_FALSE(IsStopword("retrieval"));
+  EXPECT_FALSE(IsStopword(""));
+}
+
+struct StemCase {
+  const char* input;
+  const char* expected;
+};
+
+class PorterStemTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterStemTest, MatchesPublishedVector) {
+  EXPECT_EQ(PorterStem(GetParam().input), GetParam().expected)
+      << "input: " << GetParam().input;
+}
+
+// Vectors from Porter's paper and the reference implementation's
+// voc.txt/output.txt sample.
+INSTANTIATE_TEST_SUITE_P(
+    Vectors, PorterStemTest,
+    ::testing::Values(
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+        StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+        StemCase{"sing", "sing"}, StemCase{"conflated", "conflat"},
+        StemCase{"troubled", "troubl"}, StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"}, StemCase{"tanned", "tan"},
+        StemCase{"falling", "fall"}, StemCase{"hissing", "hiss"},
+        StemCase{"fizzed", "fizz"}, StemCase{"failing", "fail"},
+        StemCase{"filing", "file"}, StemCase{"happy", "happi"},
+        StemCase{"sky", "sky"}, StemCase{"relational", "relat"},
+        StemCase{"conditional", "condit"}, StemCase{"rational", "ration"},
+        StemCase{"valenci", "valenc"}, StemCase{"hesitanci", "hesit"},
+        StemCase{"digitizer", "digit"}, StemCase{"conformabli", "conform"},
+        StemCase{"radicalli", "radic"}, StemCase{"differentli", "differ"},
+        StemCase{"vileli", "vile"}, StemCase{"analogousli", "analog"},
+        StemCase{"vietnamization", "vietnam"},
+        StemCase{"predication", "predic"}, StemCase{"operator", "oper"},
+        StemCase{"feudalism", "feudal"}, StemCase{"decisiveness", "decis"},
+        StemCase{"hopefulness", "hope"}, StemCase{"callousness", "callous"},
+        StemCase{"formaliti", "formal"}, StemCase{"sensitiviti", "sensit"},
+        StemCase{"sensibiliti", "sensibl"}, StemCase{"triplicate", "triplic"},
+        StemCase{"formative", "form"}, StemCase{"formalize", "formal"},
+        StemCase{"electriciti", "electr"}, StemCase{"electrical", "electr"},
+        StemCase{"hopeful", "hope"}, StemCase{"goodness", "good"},
+        StemCase{"revival", "reviv"}, StemCase{"allowance", "allow"},
+        StemCase{"inference", "infer"}, StemCase{"airliner", "airlin"},
+        StemCase{"gyroscopic", "gyroscop"}, StemCase{"adjustable", "adjust"},
+        StemCase{"defensible", "defens"}, StemCase{"irritant", "irrit"},
+        StemCase{"replacement", "replac"}, StemCase{"adjustment", "adjust"},
+        StemCase{"dependent", "depend"}, StemCase{"adoption", "adopt"},
+        StemCase{"homologou", "homolog"}, StemCase{"communism", "commun"},
+        StemCase{"activate", "activ"}, StemCase{"angulariti", "angular"},
+        StemCase{"homologous", "homolog"}, StemCase{"effective", "effect"},
+        StemCase{"bowdlerize", "bowdler"}, StemCase{"probate", "probat"},
+        StemCase{"rate", "rate"}, StemCase{"cease", "ceas"},
+        StemCase{"controll", "control"}, StemCase{"roll", "roll"},
+        // Retrieval-domain words used by the queries.
+        StemCase{"ontologies", "ontolog"}, StemCase{"ontology", "ontolog"},
+        StemCase{"evaluation", "evalu"}, StemCase{"evaluating", "evalu"},
+        StemCase{"retrieval", "retriev"}, StemCase{"queries", "queri"}));
+
+TEST(PorterStem, ShortAndNonAlphaUnchanged) {
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem("ab"), "ab");
+  EXPECT_EQ(PorterStem("x86"), "x86");
+  EXPECT_EQ(PorterStem(""), "");
+}
+
+TEST(Tokenizer, SplitsLowercasesAndStems) {
+  Tokenizer tok;
+  std::vector<std::string> terms;
+  tok.Tokenize("The Ontologies, of XML-retrieval!", &terms);
+  // "The" and "of" are stopwords.
+  ASSERT_EQ(terms.size(), 3u);
+  EXPECT_EQ(terms[0], "ontolog");
+  EXPECT_EQ(terms[1], "xml");
+  EXPECT_EQ(terms[2], "retriev");
+}
+
+TEST(Tokenizer, OffsetsAreBytePositions) {
+  Tokenizer tok;
+  std::vector<TokenOccurrence> occ;
+  tok.Tokenize("  xml  query ", 100, &occ);
+  ASSERT_EQ(occ.size(), 2u);
+  EXPECT_EQ(occ[0].term, "xml");
+  EXPECT_EQ(occ[0].offset, 102u);
+  EXPECT_EQ(occ[1].term, "queri");
+  EXPECT_EQ(occ[1].offset, 107u);
+}
+
+TEST(Tokenizer, OptionsControlPipeline) {
+  Tokenizer raw{TokenizerOptions{.remove_stopwords = false, .stem = false}};
+  std::vector<std::string> terms;
+  raw.Tokenize("The evaluation", &terms);
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], "the");
+  EXPECT_EQ(terms[1], "evaluation");
+
+  Tokenizer limited{TokenizerOptions{.min_token_length = 3,
+                                     .max_token_length = 5}};
+  terms.clear();
+  limited.Tokenize("ab abc abcdef", &terms);
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_EQ(terms[0], "abc");
+}
+
+TEST(Tokenizer, NormalizeTermMatchesTokenize) {
+  Tokenizer tok;
+  auto norm = tok.NormalizeTerm("Ontologies");
+  ASSERT_TRUE(norm.has_value());
+  EXPECT_EQ(*norm, "ontolog");
+  EXPECT_FALSE(tok.NormalizeTerm("the").has_value());
+  // Every document token must normalize to itself under NormalizeTerm.
+  std::vector<std::string> terms;
+  tok.Tokenize("ontologies evaluation retrieval", &terms);
+  for (const auto& t : terms) {
+    auto again = tok.NormalizeTerm(t);
+    ASSERT_TRUE(again.has_value());
+    // Stemming is idempotent on these stems.
+    EXPECT_EQ(*again, t);
+  }
+}
+
+TEST(Scorer, MonotoneInTf) {
+  CorpusStats stats{100, 1000, 50.0};
+  Bm25Scorer scorer(Bm25Params{}, stats);
+  float prev = 0;
+  for (uint32_t tf = 1; tf <= 10; ++tf) {
+    float s = scorer.Score(tf, 50, 10);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+  EXPECT_EQ(scorer.Score(0, 50, 10), 0.0f);
+}
+
+TEST(Scorer, RareTermsScoreHigher) {
+  CorpusStats stats{1000, 10000, 50.0};
+  Bm25Scorer scorer(Bm25Params{}, stats);
+  EXPECT_GT(scorer.Score(3, 50, 2), scorer.Score(3, 50, 500));
+}
+
+TEST(Scorer, LongerElementsScoreLower) {
+  CorpusStats stats{1000, 10000, 50.0};
+  Bm25Scorer scorer(Bm25Params{}, stats);
+  EXPECT_GT(scorer.Score(3, 20, 10), scorer.Score(3, 2000, 10));
+}
+
+TEST(Scorer, NonNegative) {
+  CorpusStats stats{10, 100, 5.0};
+  Bm25Scorer scorer(Bm25Params{}, stats);
+  // Even when df is close to N the score must not go negative.
+  EXPECT_GE(scorer.Score(1, 5, 10), 0.0f);
+  EXPECT_GE(scorer.Score(100, 100000, 9), 0.0f);
+}
+
+}  // namespace
+}  // namespace trex

@@ -1,0 +1,183 @@
+// End-to-end tests of the TReX facade: build, query with every method,
+// self-manage, persistence across reopen, strict result shaping.
+#include <algorithm>
+#include <filesystem>
+
+#include "corpus/ieee_generator.h"
+#include "gtest/gtest.h"
+#include "trex/trex.h"
+
+namespace trex {
+namespace {
+
+class TrexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/trex_e2e_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  TrexOptions IeeeOptions() {
+    TrexOptions options;
+    options.index.aliases = IeeeAliasMap();
+    return options;
+  }
+
+  std::unique_ptr<TReX> BuildIeee(size_t docs) {
+    IeeeGeneratorOptions gen_options;
+    gen_options.num_documents = docs;
+    gen_options.size_factor = 0.5;
+    IeeeGenerator gen(gen_options);
+    auto trex = TReX::Build(dir_ + "/idx", gen, IeeeOptions());
+    TREX_CHECK_OK(trex.status());
+    return std::move(trex).value();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(TrexTest, BuildQueryTopK) {
+  auto trex = BuildIeee(50);
+  auto answer =
+      trex->Query("//article//sec[about(., ontologies case study)]", 10);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_LE(answer.value().result.elements.size(), 10u);
+  EXPECT_GT(answer.value().result.elements.size(), 0u);
+  // No redundant lists yet: strategy must fall back to ERA.
+  EXPECT_EQ(answer.value().method, RetrievalMethod::kEra);
+  // Ranked output.
+  const auto& elems = answer.value().result.elements;
+  for (size_t i = 1; i < elems.size(); ++i) {
+    EXPECT_GE(elems[i - 1].score, elems[i].score);
+  }
+  // Translation exposed: Table-1-style counts.
+  EXPECT_GT(answer.value().translation.flattened.sids.size(), 0u);
+  EXPECT_EQ(answer.value().translation.flattened.terms.size(), 3u);
+}
+
+TEST_F(TrexTest, MaterializeThenAllMethodsAgree) {
+  auto trex = BuildIeee(40);
+  const std::string query = "//article[about(., xml query evaluation)]";
+  MaterializeStats stats;
+  TREX_CHECK_OK(trex->MaterializeFor(query, true, true, &stats));
+  EXPECT_GT(stats.lists_written, 0u);
+
+  auto era = trex->QueryWith(RetrievalMethod::kEra, query, 0);
+  auto ta = trex->QueryWith(RetrievalMethod::kTa, query, 0);
+  auto merge = trex->QueryWith(RetrievalMethod::kMerge, query, 0);
+  ASSERT_TRUE(era.ok());
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(merge.ok());
+  ASSERT_EQ(era.value().result.elements.size(),
+            merge.value().result.elements.size());
+  ASSERT_EQ(era.value().result.elements.size(),
+            ta.value().result.elements.size());
+  for (size_t i = 0; i < era.value().result.elements.size(); ++i) {
+    EXPECT_EQ(era.value().result.elements[i].element,
+              merge.value().result.elements[i].element);
+    EXPECT_EQ(era.value().result.elements[i].score,
+              ta.value().result.elements[i].score);
+  }
+}
+
+TEST_F(TrexTest, IndexPersistsAcrossReopen) {
+  std::vector<ScoredElement> before;
+  const std::string query = "//article//sec[about(., information)]";
+  {
+    auto trex = BuildIeee(30);
+    MaterializeStats stats;
+    TREX_CHECK_OK(trex->MaterializeFor(query, true, true, &stats));
+    auto answer = trex->Query(query, 5);
+    ASSERT_TRUE(answer.ok());
+    before = answer.value().result.elements;
+    TREX_CHECK_OK(trex->index()->Flush());
+  }
+  auto reopened = TReX::Open(dir_ + "/idx", IeeeOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto answer = reopened.value()->Query(query, 5);
+  ASSERT_TRUE(answer.ok());
+  // Materialized lists survived: the selector picks TA or Merge now.
+  EXPECT_NE(answer.value().method, RetrievalMethod::kEra);
+  ASSERT_EQ(answer.value().result.elements.size(), before.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].element, answer.value().result.elements[i].element);
+    EXPECT_EQ(before[i].score, answer.value().result.elements[i].score);
+  }
+}
+
+TEST_F(TrexTest, StrictModeRestrictsToTargetSids) {
+  TrexOptions strict = IeeeOptions();
+  strict.restrict_to_target_sids = true;
+  IeeeGeneratorOptions gen_options;
+  gen_options.num_documents = 40;
+  gen_options.size_factor = 0.5;
+  IeeeGenerator gen(gen_options);
+  auto trex = TReX::Build(dir_ + "/idx", gen, strict);
+  ASSERT_TRUE(trex.ok());
+  auto answer = trex.value()->Query(
+      "//article[about(., xml)]//sec[about(., query evaluation)]", 20);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  const auto& targets = answer.value().translation.target_sids;
+  for (const auto& e : answer.value().result.elements) {
+    EXPECT_TRUE(std::binary_search(targets.begin(), targets.end(),
+                                   e.element.sid))
+        << "element from sid " << e.element.sid
+        << " is not a //article//sec target";
+  }
+  // Under the vague default the same query also returns article
+  // elements.
+  auto vague = TReX::Open(dir_ + "/idx", IeeeOptions());
+  ASSERT_TRUE(vague.ok());
+  auto vague_answer = vague.value()->Query(
+      "//article[about(., xml)]//sec[about(., query evaluation)]", 0);
+  ASSERT_TRUE(vague_answer.ok());
+  EXPECT_GT(vague_answer.value().result.elements.size(),
+            answer.value().result.elements.size());
+}
+
+TEST_F(TrexTest, SelfManageEndToEnd) {
+  auto trex = BuildIeee(40);
+  Workload workload;
+  workload.Add("//article//sec[about(., ontologies)]", 0.5, 10);
+  workload.Add("//article[about(., information retrieval)]", 0.3, 10);
+  workload.Add("//sec[about(., model checking)]", 0.2, 10);
+  TREX_CHECK_OK(workload.Validate());
+  TREX_CHECK_OK(workload.Prepare(trex->index()));
+
+  SelfManagerOptions options;
+  options.costs = SelfManagerOptions::Costs::kMeasured;
+  options.disk_budget_bytes = 256ull << 20;
+  SelfManagerReport report;
+  TREX_CHECK_OK(trex->SelfManage(workload, options, &report));
+  ASSERT_EQ(report.queries.size(), 3u);
+  // After self-management the promised strategies actually run.
+  for (size_t i = 0; i < report.queries.size(); ++i) {
+    auto answer = trex->Query(report.queries[i].nexi, 10);
+    ASSERT_TRUE(answer.ok());
+    if (report.queries[i].choice == IndexChoice::kErpl) {
+      EXPECT_EQ(answer.value().method, RetrievalMethod::kMerge);
+    } else if (report.queries[i].choice == IndexChoice::kRpl) {
+      // The selector may still prefer TA or Merge by k; at minimum it
+      // must not fall back to ERA.
+      EXPECT_NE(answer.value().method, RetrievalMethod::kEra);
+    }
+  }
+}
+
+TEST_F(TrexTest, RejectsBadQueries) {
+  auto trex = BuildIeee(5);
+  EXPECT_FALSE(trex->Query("not a query", 10).ok());
+  EXPECT_FALSE(trex->Query("//article//sec", 10).ok());  // No about().
+  EXPECT_FALSE(trex->Query("//article[about(., the of)]", 10).ok());
+}
+
+TEST_F(TrexTest, OpenMissingDirectoryFails) {
+  auto trex = TReX::Open(dir_ + "/nope", TrexOptions{});
+  EXPECT_FALSE(trex.ok());
+}
+
+}  // namespace
+}  // namespace trex

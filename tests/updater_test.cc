@@ -1,0 +1,227 @@
+// Tests for incremental document insertion (index/updater.h): the
+// updated index must be indistinguishable from one built from scratch
+// over the same documents, up to the frozen scoring-statistics snapshot.
+#include <filesystem>
+
+#include "corpus/ieee_generator.h"
+#include "gtest/gtest.h"
+#include "index/updater.h"
+#include "retrieval/era.h"
+#include "retrieval/materializer.h"
+#include "retrieval/merge.h"
+#include "retrieval/ta.h"
+#include "trex/trex.h"
+
+namespace trex {
+namespace {
+
+class UpdaterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/trex_updater_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(UpdaterTest, InsertedDocumentBecomesSearchable) {
+  std::vector<std::string> docs = {
+      "<doc><sec><p>alpha beta</p></sec></doc>",
+      "<doc><sec><p>beta gamma</p></sec></doc>",
+  };
+  auto trex = TReX::BuildFromDocuments(dir_ + "/idx", docs, TrexOptions{});
+  ASSERT_TRUE(trex.ok());
+
+  auto before = trex.value()->Query("//doc//sec[about(., alpha)]", 0);
+  ASSERT_TRUE(before.ok());
+  size_t before_count = before.value().result.elements.size();
+
+  auto docid = trex.value()->AddDocument(
+      "<doc><sec><p>alpha alpha delta</p></sec></doc>");
+  ASSERT_TRUE(docid.ok()) << docid.status().ToString();
+  EXPECT_EQ(docid.value(), 2u);
+
+  auto after = trex.value()->Query("//doc//sec[about(., alpha)]", 0);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().result.elements.size(), before_count + 1);
+  // The new document ranks first (alpha twice, short element).
+  EXPECT_EQ(after.value().result.elements[0].element.docid, 2u);
+
+  // New terms are searchable too.
+  auto delta = trex.value()->Query("//doc//sec[about(., delta)]", 0);
+  ASSERT_TRUE(delta.ok());
+  ASSERT_EQ(delta.value().result.elements.size(), 1u);
+  EXPECT_EQ(delta.value().result.elements[0].element.docid, 2u);
+}
+
+TEST_F(UpdaterTest, NewPathsExtendSummary) {
+  std::vector<std::string> docs = {"<doc><sec><p>alpha</p></sec></doc>"};
+  auto trex = TReX::BuildFromDocuments(dir_ + "/idx", docs, TrexOptions{});
+  ASSERT_TRUE(trex.ok());
+  size_t before_nodes = trex.value()->index()->summary().num_label_nodes();
+
+  ASSERT_TRUE(trex.value()
+                  ->AddDocument("<doc><appendix><p>omega</p></appendix></doc>")
+                  .ok());
+  EXPECT_GT(trex.value()->index()->summary().num_label_nodes(),
+            before_nodes);
+  auto r = trex.value()->Query("//appendix//*[about(., omega)]", 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().result.elements.size(), 1u);
+}
+
+TEST_F(UpdaterTest, UpdateInvalidatesAffectedListsOnly) {
+  std::vector<std::string> docs = {
+      "<doc><sec><p>alpha beta</p></sec></doc>",
+      "<doc><sec><p>gamma</p></sec></doc>",
+  };
+  auto trex = TReX::BuildFromDocuments(dir_ + "/idx", docs, TrexOptions{});
+  ASSERT_TRUE(trex.ok());
+  Index* index = trex.value()->index();
+
+  MaterializeStats stats;
+  TREX_CHECK_OK(trex.value()->MaterializeFor("//sec[about(., alpha)]", true,
+                                             true, &stats));
+  TREX_CHECK_OK(trex.value()->MaterializeFor("//sec[about(., gamma)]", true,
+                                             true, &stats));
+  auto norm = index->tokenizer().NormalizeTerm("alpha");
+  auto norm_gamma = index->tokenizer().NormalizeTerm("gamma");
+
+  // Insert a doc containing alpha but not gamma.
+  ASSERT_TRUE(
+      trex.value()->AddDocument("<doc><sec><p>alpha</p></sec></doc>").ok());
+
+  // alpha lists dropped, gamma lists intact.
+  auto entries = index->catalog()->List();
+  ASSERT_TRUE(entries.ok());
+  bool has_alpha = false, has_gamma = false;
+  for (const auto& e : entries.value()) {
+    if (e.term == *norm) has_alpha = true;
+    if (e.term == *norm_gamma) has_gamma = true;
+  }
+  EXPECT_FALSE(has_alpha);
+  EXPECT_TRUE(has_gamma);
+}
+
+TEST_F(UpdaterTest, MethodsAgreeAfterUpdateAndRematerialization) {
+  IeeeGeneratorOptions gen_options;
+  gen_options.num_documents = 25;
+  gen_options.size_factor = 0.4;
+  IeeeGenerator gen(gen_options);
+  TrexOptions options;
+  options.index.aliases = IeeeAliasMap();
+  std::vector<std::string> docs;
+  for (size_t d = 0; d < 20; ++d) docs.push_back(gen.Generate(d));
+  auto trex = TReX::BuildFromDocuments(dir_ + "/idx", docs, options);
+  ASSERT_TRUE(trex.ok());
+
+  // Insert five more documents incrementally.
+  for (size_t d = 20; d < 25; ++d) {
+    ASSERT_TRUE(trex.value()->AddDocument(gen.Generate(d)).ok());
+  }
+
+  const std::string query =
+      "//article//sec[about(., information retrieval)]";
+  MaterializeStats stats;
+  TREX_CHECK_OK(trex.value()->MaterializeFor(query, true, true, &stats));
+
+  auto era = trex.value()->QueryWith(RetrievalMethod::kEra, query, 0);
+  auto ta = trex.value()->QueryWith(RetrievalMethod::kTa, query, 0);
+  auto merge = trex.value()->QueryWith(RetrievalMethod::kMerge, query, 0);
+  ASSERT_TRUE(era.ok());
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(merge.ok());
+  ASSERT_GT(era.value().result.elements.size(), 0u);
+  ASSERT_EQ(era.value().result.elements.size(),
+            ta.value().result.elements.size());
+  ASSERT_EQ(era.value().result.elements.size(),
+            merge.value().result.elements.size());
+  for (size_t i = 0; i < era.value().result.elements.size(); ++i) {
+    EXPECT_EQ(era.value().result.elements[i].element,
+              ta.value().result.elements[i].element);
+    EXPECT_EQ(era.value().result.elements[i].score,
+              merge.value().result.elements[i].score);
+  }
+  // Some answers come from the incrementally added documents.
+  bool any_new = false;
+  for (const auto& e : era.value().result.elements) {
+    if (e.element.docid >= 20) any_new = true;
+  }
+  EXPECT_TRUE(any_new);
+}
+
+TEST_F(UpdaterTest, IndexStaysVerifiableAndReopenable) {
+  std::vector<std::string> docs = {"<doc><sec><p>alpha beta</p></sec></doc>"};
+  auto trex = TReX::BuildFromDocuments(dir_ + "/idx", docs, TrexOptions{});
+  ASSERT_TRUE(trex.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(trex.value()
+                    ->AddDocument("<doc><sec><p>alpha beta gamma word" +
+                                  std::to_string(i) + "</p></sec></doc>")
+                    .ok());
+  }
+  Status s = trex.value()->index()->Verify();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+
+  // Reopen: counts and searchability survive.
+  trex.value().reset();
+  auto reopened = TReX::Open(dir_ + "/idx", TrexOptions{});
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->index()->max_docid(), 10u);
+  s = reopened.value()->index()->Verify();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  auto r = reopened.value()->Query("//sec[about(., word7)]", 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().result.elements.size(), 1u);
+}
+
+TEST_F(UpdaterTest, LongListsSpillIntoNewFragments) {
+  // Force the tail-extension path across fragment boundaries: one term
+  // occurring thousands of times.
+  std::string big = "<doc><p>";
+  for (int i = 0; i < 800; ++i) big += "omega ";
+  big += "</p></doc>";
+  std::vector<std::string> docs = {big};
+  auto trex = TReX::BuildFromDocuments(dir_ + "/idx", docs, TrexOptions{});
+  ASSERT_TRUE(trex.ok());
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(trex.value()->AddDocument(big).ok());
+  }
+  Status s = trex.value()->index()->Verify();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  TermStats stats;
+  auto norm = trex.value()->index()->tokenizer().NormalizeTerm("omega");
+  ASSERT_TRUE(trex.value()
+                  ->index()
+                  ->postings()
+                  ->GetTermStats(*norm, &stats)
+                  .ok());
+  EXPECT_EQ(stats.collection_freq, 3200u);
+  EXPECT_EQ(stats.doc_freq, 4u);
+}
+
+TEST_F(UpdaterTest, RejectsNonMonotoneDocids) {
+  std::vector<std::string> docs = {"<doc><p>alpha</p></doc>"};
+  auto trex = TReX::BuildFromDocuments(dir_ + "/idx", docs, TrexOptions{});
+  ASSERT_TRUE(trex.ok());
+  IndexUpdater updater(trex.value()->index());
+  EXPECT_TRUE(
+      updater.AddDocument(0, "<doc><p>x</p></doc>").IsInvalidArgument());
+}
+
+TEST_F(UpdaterTest, MalformedDocumentLeavesSummaryUsable) {
+  std::vector<std::string> docs = {"<doc><p>alpha</p></doc>"};
+  auto trex = TReX::BuildFromDocuments(dir_ + "/idx", docs, TrexOptions{});
+  ASSERT_TRUE(trex.ok());
+  auto r = trex.value()->AddDocument("<doc><p>oops</doc>");
+  EXPECT_FALSE(r.ok());
+  // The index still answers queries.
+  auto q = trex.value()->Query("//doc//p[about(., alpha)]", 0);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().result.elements.size(), 1u);
+}
+
+}  // namespace
+}  // namespace trex

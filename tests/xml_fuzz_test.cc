@@ -1,0 +1,178 @@
+// Randomized round-trip properties for the XML stack:
+//  * writer output always re-parses, and the rebuilt DOM is structurally
+//    identical (tags, attributes, text, element counts);
+//  * serialize(parse(serialize(tree))) is a fixpoint;
+//  * random byte mutations of well-formed documents never crash the
+//    reader — they either parse or fail with Corruption.
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "retrieval/heap.h"
+#include "xml/node.h"
+#include "xml/reader.h"
+#include "xml/writer.h"
+
+namespace trex {
+namespace {
+
+// Random printable text including XML-special characters.
+std::string RandomText(Rng* rng, size_t max_len) {
+  static const char kAlphabet[] =
+      "abc XYZ 012 <>&\"' \t.,;:!?()-_=+*/\\@#$%";
+  size_t len = rng->Uniform(max_len + 1);
+  std::string out;
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[rng->Uniform(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+std::string RandomTag(Rng* rng) {
+  static const char* kTags[] = {"a", "b", "sec", "p", "title", "x-1", "n_2"};
+  return kTags[rng->Uniform(7)];
+}
+
+void BuildRandomTree(XmlWriter* w, Rng* rng, int depth, int* budget) {
+  std::string tag = RandomTag(rng);
+  w->StartElement(tag);
+  size_t num_attrs = rng->Uniform(3);
+  for (size_t i = 0; i < num_attrs; ++i) {
+    w->Attribute("attr" + std::to_string(i), RandomText(rng, 12));
+  }
+  while (*budget > 0 && rng->Bernoulli(depth == 0 ? 0.9 : 0.5)) {
+    --*budget;
+    if (depth < 6 && rng->Bernoulli(0.4)) {
+      BuildRandomTree(w, rng, depth + 1, budget);
+    } else {
+      w->Text(RandomText(rng, 30));
+    }
+  }
+  w->EndElement();
+}
+
+bool TreesEqual(const XmlNode& a, const XmlNode& b) {
+  if (a.type() != b.type()) return false;
+  if (a.is_element()) {
+    if (a.tag() != b.tag()) return false;
+    if (a.attributes().size() != b.attributes().size()) return false;
+    for (size_t i = 0; i < a.attributes().size(); ++i) {
+      if (a.attributes()[i].name != b.attributes()[i].name ||
+          a.attributes()[i].value != b.attributes()[i].value) {
+        return false;
+      }
+    }
+    // Compare text content and element children; adjacent text nodes may
+    // be merged by serialization, so compare the concatenation and the
+    // sequence of element children.
+    if (a.TextContent() != b.TextContent()) return false;
+    std::vector<const XmlNode*> ea, eb;
+    for (const auto& c : a.children()) {
+      if (c->is_element()) ea.push_back(c.get());
+    }
+    for (const auto& c : b.children()) {
+      if (c->is_element()) eb.push_back(c.get());
+    }
+    if (ea.size() != eb.size()) return false;
+    for (size_t i = 0; i < ea.size(); ++i) {
+      if (!TreesEqual(*ea[i], *eb[i])) return false;
+    }
+    return true;
+  }
+  return a.text() == b.text();
+}
+
+std::string SerializeTree(const XmlNode& node, XmlWriter* w) {
+  std::function<void(const XmlNode&)> emit = [&](const XmlNode& n) {
+    if (!n.is_element()) {
+      w->Text(n.text());
+      return;
+    }
+    w->StartElement(n.tag());
+    for (const auto& a : n.attributes()) w->Attribute(a.name, a.value);
+    for (const auto& c : n.children()) emit(*c);
+    w->EndElement();
+  };
+  emit(node);
+  return w->Finish();
+}
+
+TEST(XmlFuzz, WriterOutputAlwaysReparses) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 200; ++trial) {
+    XmlWriter w;
+    int budget = 40;
+    BuildRandomTree(&w, &rng, 0, &budget);
+    const std::string& xml = w.Finish();
+    auto doc = ParseXmlDocument(xml);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString() << "\n" << xml;
+
+    // Fixpoint: serialize the parsed DOM; it must reparse to an equal
+    // tree (serialization normalizes entity forms, so compare trees,
+    // not strings).
+    XmlWriter w2;
+    std::string xml2 = SerializeTree(*doc.value(), &w2);
+    auto doc2 = ParseXmlDocument(xml2);
+    ASSERT_TRUE(doc2.ok()) << xml2;
+    EXPECT_TRUE(TreesEqual(*doc.value(), *doc2.value()))
+        << xml << "\nvs\n" << xml2;
+  }
+}
+
+TEST(XmlFuzz, MutatedDocumentsNeverCrash) {
+  Rng rng(777);
+  for (int trial = 0; trial < 300; ++trial) {
+    XmlWriter w;
+    int budget = 20;
+    BuildRandomTree(&w, &rng, 0, &budget);
+    std::string xml = w.Finish();
+    // Flip / insert / delete a few bytes.
+    size_t mutations = 1 + rng.Uniform(4);
+    for (size_t m = 0; m < mutations && !xml.empty(); ++m) {
+      size_t pos = rng.Uniform(xml.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          xml[pos] = static_cast<char>(32 + rng.Uniform(95));
+          break;
+        case 1:
+          xml.erase(pos, 1);
+          break;
+        case 2:
+          xml.insert(pos, 1, static_cast<char>(32 + rng.Uniform(95)));
+          break;
+      }
+    }
+    // Must not crash; status is either OK or a clean error.
+    auto doc = ParseXmlDocument(xml);
+    if (!doc.ok()) {
+      EXPECT_TRUE(doc.status().IsCorruption()) << doc.status().ToString();
+    }
+  }
+}
+
+TEST(HeapProperty, MatchesStdPriorityQueue) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    InstrumentedHeap<uint64_t> heap;
+    std::vector<uint64_t> reference;
+    for (int op = 0; op < 400; ++op) {
+      if (heap.empty() || rng.Bernoulli(0.6)) {
+        uint64_t v = rng.Uniform(1000);
+        heap.Push(v);
+        reference.push_back(v);
+      } else {
+        auto it = std::min_element(reference.begin(), reference.end());
+        EXPECT_EQ(heap.top(), *it);
+        EXPECT_EQ(heap.Pop(), *it);
+        reference.erase(it);
+      }
+      EXPECT_EQ(heap.size(), reference.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trex

@@ -1,0 +1,212 @@
+// Tests for the XML pull parser, DOM, and writer.
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "xml/node.h"
+#include "xml/reader.h"
+#include "xml/writer.h"
+
+namespace trex {
+namespace {
+
+std::vector<XmlEvent> ReadAll(const std::string& xml, Status* status) {
+  XmlReader reader(xml);
+  std::vector<XmlEvent> events;
+  XmlEvent event;
+  while (true) {
+    *status = reader.Next(&event);
+    if (!status->ok()) return events;
+    if (event.type == XmlEventType::kEndDocument) return events;
+    events.push_back(event);
+  }
+}
+
+TEST(XmlReader, SimpleDocument) {
+  Status s;
+  auto events = ReadAll("<a><b>hello</b></a>", &s);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].type, XmlEventType::kStartElement);
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[1].name, "b");
+  EXPECT_EQ(events[2].type, XmlEventType::kText);
+  EXPECT_EQ(events[2].text, "hello");
+  EXPECT_EQ(events[3].type, XmlEventType::kEndElement);
+  EXPECT_EQ(events[3].name, "b");
+  EXPECT_EQ(events[4].name, "a");
+}
+
+TEST(XmlReader, Attributes) {
+  Status s;
+  auto events = ReadAll("<a x=\"1\" y='two' z=\"a&amp;b\"/>", &s);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(events.size(), 2u);
+  ASSERT_EQ(events[0].attributes.size(), 3u);
+  EXPECT_EQ(events[0].attributes[0].name, "x");
+  EXPECT_EQ(events[0].attributes[0].value, "1");
+  EXPECT_EQ(events[0].attributes[1].value, "two");
+  EXPECT_EQ(events[0].attributes[2].value, "a&b");
+  EXPECT_EQ(events[1].type, XmlEventType::kEndElement);
+}
+
+TEST(XmlReader, EntitiesAndCharRefs) {
+  Status s;
+  auto events =
+      ReadAll("<a>&lt;tag&gt; &amp; &quot;q&quot; &apos; &#65;&#x42;</a>", &s);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(events[1].text, "<tag> & \"q\" ' AB");
+}
+
+TEST(XmlReader, UnicodeCharRef) {
+  Status s;
+  auto events = ReadAll("<a>&#233;&#x4E2D;</a>", &s);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(events[1].text, "\xC3\xA9\xE4\xB8\xAD");  // é + 中 in UTF-8.
+}
+
+TEST(XmlReader, CommentsPIsAndDoctypeSkipped) {
+  Status s;
+  auto events = ReadAll(
+      "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a ANY>]>"
+      "<a><!-- comment with <tags> -->text</a>",
+      &s);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].text, "text");
+}
+
+TEST(XmlReader, Cdata) {
+  Status s;
+  auto events = ReadAll("<a><![CDATA[<raw> & stuff]]></a>", &s);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(events[1].text, "<raw> & stuff");
+}
+
+TEST(XmlReader, OffsetsTrackBytePositions) {
+  const std::string xml = "<a><b>xy</b></a>";
+  //                       0123456789012345
+  XmlReader reader(xml);
+  XmlEvent e;
+  ASSERT_TRUE(reader.Next(&e).ok());  // <a>
+  EXPECT_EQ(e.offset, 0u);
+  ASSERT_TRUE(reader.Next(&e).ok());  // <b>
+  EXPECT_EQ(e.offset, 3u);
+  ASSERT_TRUE(reader.Next(&e).ok());  // "xy"
+  EXPECT_EQ(e.offset, 6u);
+  ASSERT_TRUE(reader.Next(&e).ok());  // </b> -> one past '>'
+  EXPECT_EQ(e.offset, 12u);
+  ASSERT_TRUE(reader.Next(&e).ok());  // </a>
+  EXPECT_EQ(e.offset, 16u);
+}
+
+TEST(XmlReader, SelfClosingProducesBothEvents) {
+  Status s;
+  auto events = ReadAll("<a><b/></a>", &s);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[1].type, XmlEventType::kStartElement);
+  EXPECT_EQ(events[2].type, XmlEventType::kEndElement);
+  EXPECT_EQ(events[2].name, "b");
+  // End offset of <b/> is one past the '/>'.
+  EXPECT_EQ(events[2].offset, 7u);
+}
+
+// Malformed-input rejection (failure injection surface).
+TEST(XmlReader, RejectsMismatchedTags) {
+  Status s;
+  ReadAll("<a><b></a></b>", &s);
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_NE(s.message().find("mismatched"), std::string::npos);
+}
+
+TEST(XmlReader, RejectsUnclosedElement) {
+  Status s;
+  ReadAll("<a><b>text</b>", &s);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(XmlReader, RejectsStrayEndTag) {
+  Status s;
+  ReadAll("</a>", &s);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(XmlReader, RejectsTextOutsideRoot) {
+  Status s;
+  ReadAll("hello <a/>", &s);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(XmlReader, RejectsBadEntity) {
+  Status s;
+  ReadAll("<a>&bogus;</a>", &s);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(XmlReader, RejectsUnterminatedComment) {
+  Status s;
+  ReadAll("<a><!-- never closed </a>", &s);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(XmlReader, RejectsUnquotedAttribute) {
+  Status s;
+  ReadAll("<a x=1/>", &s);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(XmlNode, BuildsDomTree) {
+  auto doc = ParseXmlDocument("<a x=\"1\"><b>hi</b><b>ho</b><c/></a>");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const XmlNode* root = doc.value().get();
+  EXPECT_EQ(root->tag(), "a");
+  ASSERT_NE(root->FindAttribute("x"), nullptr);
+  EXPECT_EQ(*root->FindAttribute("x"), "1");
+  EXPECT_EQ(root->FindAttribute("y"), nullptr);
+  EXPECT_EQ(root->children().size(), 3u);
+  ASSERT_NE(root->FindChild("b"), nullptr);
+  EXPECT_EQ(root->FindChild("b")->TextContent(), "hi");
+  EXPECT_EQ(root->TextContent(), "hiho");
+  EXPECT_EQ(root->CountElements(), 4u);
+}
+
+TEST(XmlNode, RejectsMultipleRoots) {
+  auto doc = ParseXmlDocument("<a/><b/>");
+  EXPECT_FALSE(doc.ok());
+}
+
+TEST(XmlNode, RejectsEmptyDocument) {
+  auto doc = ParseXmlDocument("  <!-- nothing -->  ");
+  EXPECT_FALSE(doc.ok());
+}
+
+TEST(XmlWriter, WritesWellFormedOutput) {
+  XmlWriter w;
+  w.StartElement("a");
+  w.Attribute("x", "1 & 2");
+  w.StartElement("b");
+  w.Text("x < y");
+  w.EndElement();
+  w.StartElement("c");
+  w.EndElement();  // Empty -> self-closing.
+  w.EndElement();
+  EXPECT_EQ(w.Finish(), "<a x=\"1 &amp; 2\"><b>x &lt; y</b><c/></a>");
+}
+
+TEST(XmlWriter, RoundTripsThroughReader) {
+  XmlWriter w;
+  w.StartElement("doc");
+  w.Attribute("name", "quotes \" and & amps");
+  w.Text("text with <angle> & ampersand");
+  w.StartElement("child");
+  w.EndElement();
+  w.EndElement();
+  auto doc = ParseXmlDocument(w.Finish());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(*doc.value()->FindAttribute("name"), "quotes \" and & amps");
+  EXPECT_EQ(doc.value()->TextContent(), "text with <angle> & ampersand");
+}
+
+}  // namespace
+}  // namespace trex

@@ -1,0 +1,157 @@
+// Tests for the reference XPath evaluator, including the key
+// cross-validation property: for any path expression, the elements
+// selected through the structural summary (sid extents in the Elements
+// table) must be exactly the elements selected by evaluating the path
+// directly on the documents.
+#include <filesystem>
+#include <set>
+
+#include "corpus/ieee_generator.h"
+#include "gtest/gtest.h"
+#include "index/index.h"
+#include "index/index_builder.h"
+#include "summary/xpath.h"
+#include "xml/node.h"
+
+namespace trex {
+namespace {
+
+TEST(XPathEval, BasicAxesAndWildcard) {
+  auto doc = ParseXmlDocument(
+      "<a><b><c>x</c></b><d><c>y</c><c>z</c></d><c>top</c></a>");
+  ASSERT_TRUE(doc.ok());
+
+  auto r = EvaluatePathExpression(*doc.value(), "//c", nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 4u);
+
+  r = EvaluatePathExpression(*doc.value(), "/a/c", nullptr);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value()[0]->TextContent(), "top");
+
+  r = EvaluatePathExpression(*doc.value(), "//d/c", nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+
+  r = EvaluatePathExpression(*doc.value(), "//b//*", nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 1u);  // Only c under b.
+
+  r = EvaluatePathExpression(*doc.value(), "/b", nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());  // b is not the root.
+
+  EXPECT_FALSE(EvaluatePathExpression(*doc.value(), "c", nullptr).ok());
+}
+
+TEST(XPathEval, AliasRewriting) {
+  AliasMap aliases;
+  aliases.Add("ss1", "sec");
+  auto doc = ParseXmlDocument("<a><sec>x</sec><ss1>y</ss1></a>");
+  ASSERT_TRUE(doc.ok());
+  auto r = EvaluatePathExpression(*doc.value(), "//sec", &aliases);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);  // ss1 counts as sec.
+  // Without aliases only the literal sec matches.
+  r = EvaluatePathExpression(*doc.value(), "//sec", nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 1u);
+}
+
+TEST(XPathEval, DomOffsetsMatchIndexSemantics) {
+  const std::string xml = "<a><b>hello</b></a>";
+  auto doc = ParseXmlDocument(xml);
+  ASSERT_TRUE(doc.ok());
+  const XmlNode* b = doc.value()->FindChild("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->start_offset(), 3u);
+  EXPECT_EQ(b->end_offset(), 15u);  // One past </b>.
+  EXPECT_EQ(doc.value()->start_offset(), 0u);
+  EXPECT_EQ(doc.value()->end_offset(), xml.size());
+}
+
+class SummaryVsXPathTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::string(::testing::TempDir() + "/trex_xpath_cross");
+    std::filesystem::remove_all(*dir_);
+    IeeeGeneratorOptions gen_options;
+    gen_options.num_documents = 25;
+    gen_options.size_factor = 0.5;
+    generator_ = new IeeeGenerator(gen_options);
+    IndexOptions options;
+    options.aliases = IeeeAliasMap();
+    IndexBuilder builder(*dir_ + "/idx", options);
+    for (size_t d = 0; d < generator_->num_documents(); ++d) {
+      TREX_CHECK_OK(builder.AddDocument(static_cast<DocId>(d),
+                                        generator_->Generate(d)));
+    }
+    TREX_CHECK_OK(builder.Finish());
+    auto index = Index::Open(*dir_ + "/idx");
+    TREX_CHECK_OK(index.status());
+    index_ = std::move(index).value().release();
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    index_ = nullptr;
+    delete generator_;
+    std::filesystem::remove_all(*dir_);
+    delete dir_;
+  }
+
+  static std::string* dir_;
+  static IeeeGenerator* generator_;
+  static Index* index_;
+};
+
+std::string* SummaryVsXPathTest::dir_ = nullptr;
+IeeeGenerator* SummaryVsXPathTest::generator_ = nullptr;
+Index* SummaryVsXPathTest::index_ = nullptr;
+
+TEST_P(SummaryVsXPathTest, ExtentsEqualDirectEvaluation) {
+  const std::string path = GetParam();
+  AliasMap aliases = IeeeAliasMap();
+  auto steps = ParsePathExpression(path);
+  ASSERT_TRUE(steps.ok());
+
+  // Side A: summary translation + Elements-table extents.
+  std::vector<Sid> sids = MatchPath(index_->summary(), steps.value(),
+                                    &aliases);
+  std::set<std::pair<DocId, uint64_t>> via_summary;
+  for (Sid sid : sids) {
+    ElementIndex::ExtentIterator it(index_->elements(), sid);
+    auto e = it.FirstElement();
+    ASSERT_TRUE(e.ok());
+    while (!e.value().is_dummy()) {
+      via_summary.insert({e.value().docid, e.value().endpos});
+      e = it.NextElementAfter(e.value().end_position());
+      ASSERT_TRUE(e.ok());
+    }
+  }
+
+  // Side B: direct XPath evaluation over every document's DOM.
+  std::set<std::pair<DocId, uint64_t>> via_xpath;
+  for (size_t d = 0; d < generator_->num_documents(); ++d) {
+    auto doc = ParseXmlDocument(generator_->Generate(static_cast<DocId>(d)));
+    ASSERT_TRUE(doc.ok());
+    for (const XmlNode* node :
+         EvaluatePathOnDocument(*doc.value(), steps.value(), &aliases)) {
+      via_xpath.insert({static_cast<DocId>(d), node->end_offset()});
+    }
+  }
+
+  EXPECT_EQ(via_summary, via_xpath) << "path " << path;
+  EXPECT_FALSE(via_xpath.empty()) << "path " << path
+                                  << " selects nothing; weak test";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paths, SummaryVsXPathTest,
+    ::testing::Values("//article", "//article//sec", "//bdy/sec",
+                      "//sec//p", "//bdy//*", "//article//figure",
+                      "//sec/sec", "/books/journal/article/fm//*",
+                      "//bb/title", "//journal//title"));
+
+}  // namespace
+}  // namespace trex
