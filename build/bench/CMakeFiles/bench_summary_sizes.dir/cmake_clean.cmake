@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_summary_sizes.dir/bench_summary_sizes.cc.o"
+  "CMakeFiles/bench_summary_sizes.dir/bench_summary_sizes.cc.o.d"
+  "bench_summary_sizes"
+  "bench_summary_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_summary_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_doctor.dir/index_doctor.cpp.o"
+  "CMakeFiles/index_doctor.dir/index_doctor.cpp.o.d"
+  "index_doctor"
+  "index_doctor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_doctor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/inex_workload.cpp" "examples/CMakeFiles/inex_workload.dir/inex_workload.cpp.o" "gcc" "examples/CMakeFiles/inex_workload.dir/inex_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_advisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_nexi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_summary.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

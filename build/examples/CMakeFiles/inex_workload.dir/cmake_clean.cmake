@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inex_workload.dir/inex_workload.cpp.o"
+  "CMakeFiles/inex_workload.dir/inex_workload.cpp.o.d"
+  "inex_workload"
+  "inex_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inex_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

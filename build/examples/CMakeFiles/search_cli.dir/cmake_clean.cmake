@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_cli.dir/search_cli.cpp.o"
+  "CMakeFiles/search_cli.dir/search_cli.cpp.o.d"
+  "search_cli"
+  "search_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

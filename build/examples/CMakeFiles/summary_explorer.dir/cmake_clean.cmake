@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_explorer.dir/summary_explorer.cpp.o"
+  "CMakeFiles/summary_explorer.dir/summary_explorer.cpp.o.d"
+  "summary_explorer"
+  "summary_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

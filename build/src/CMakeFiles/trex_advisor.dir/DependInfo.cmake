@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/advisor/advisor.cc" "src/CMakeFiles/trex_advisor.dir/advisor/advisor.cc.o" "gcc" "src/CMakeFiles/trex_advisor.dir/advisor/advisor.cc.o.d"
+  "/root/repo/src/advisor/cost_model.cc" "src/CMakeFiles/trex_advisor.dir/advisor/cost_model.cc.o" "gcc" "src/CMakeFiles/trex_advisor.dir/advisor/cost_model.cc.o.d"
+  "/root/repo/src/advisor/greedy.cc" "src/CMakeFiles/trex_advisor.dir/advisor/greedy.cc.o" "gcc" "src/CMakeFiles/trex_advisor.dir/advisor/greedy.cc.o.d"
+  "/root/repo/src/advisor/ilp.cc" "src/CMakeFiles/trex_advisor.dir/advisor/ilp.cc.o" "gcc" "src/CMakeFiles/trex_advisor.dir/advisor/ilp.cc.o.d"
+  "/root/repo/src/advisor/workload.cc" "src/CMakeFiles/trex_advisor.dir/advisor/workload.cc.o" "gcc" "src/CMakeFiles/trex_advisor.dir/advisor/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trex_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_nexi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_summary.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

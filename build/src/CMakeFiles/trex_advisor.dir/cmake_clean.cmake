@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trex_advisor.dir/advisor/advisor.cc.o"
+  "CMakeFiles/trex_advisor.dir/advisor/advisor.cc.o.d"
+  "CMakeFiles/trex_advisor.dir/advisor/cost_model.cc.o"
+  "CMakeFiles/trex_advisor.dir/advisor/cost_model.cc.o.d"
+  "CMakeFiles/trex_advisor.dir/advisor/greedy.cc.o"
+  "CMakeFiles/trex_advisor.dir/advisor/greedy.cc.o.d"
+  "CMakeFiles/trex_advisor.dir/advisor/ilp.cc.o"
+  "CMakeFiles/trex_advisor.dir/advisor/ilp.cc.o.d"
+  "CMakeFiles/trex_advisor.dir/advisor/workload.cc.o"
+  "CMakeFiles/trex_advisor.dir/advisor/workload.cc.o.d"
+  "libtrex_advisor.a"
+  "libtrex_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trex_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trex_common.dir/common/coding.cc.o"
+  "CMakeFiles/trex_common.dir/common/coding.cc.o.d"
+  "CMakeFiles/trex_common.dir/common/status.cc.o"
+  "CMakeFiles/trex_common.dir/common/status.cc.o.d"
+  "libtrex_common.a"
+  "libtrex_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trex_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

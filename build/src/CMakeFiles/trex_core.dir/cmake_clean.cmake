@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trex_core.dir/trex/trex.cc.o"
+  "CMakeFiles/trex_core.dir/trex/trex.cc.o.d"
+  "libtrex_core.a"
+  "libtrex_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trex_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/corpus.cc" "src/CMakeFiles/trex_corpus.dir/corpus/corpus.cc.o" "gcc" "src/CMakeFiles/trex_corpus.dir/corpus/corpus.cc.o.d"
+  "/root/repo/src/corpus/ieee_generator.cc" "src/CMakeFiles/trex_corpus.dir/corpus/ieee_generator.cc.o" "gcc" "src/CMakeFiles/trex_corpus.dir/corpus/ieee_generator.cc.o.d"
+  "/root/repo/src/corpus/vocabulary.cc" "src/CMakeFiles/trex_corpus.dir/corpus/vocabulary.cc.o" "gcc" "src/CMakeFiles/trex_corpus.dir/corpus/vocabulary.cc.o.d"
+  "/root/repo/src/corpus/wiki_generator.cc" "src/CMakeFiles/trex_corpus.dir/corpus/wiki_generator.cc.o" "gcc" "src/CMakeFiles/trex_corpus.dir/corpus/wiki_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trex_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trex_corpus.dir/corpus/corpus.cc.o"
+  "CMakeFiles/trex_corpus.dir/corpus/corpus.cc.o.d"
+  "CMakeFiles/trex_corpus.dir/corpus/ieee_generator.cc.o"
+  "CMakeFiles/trex_corpus.dir/corpus/ieee_generator.cc.o.d"
+  "CMakeFiles/trex_corpus.dir/corpus/vocabulary.cc.o"
+  "CMakeFiles/trex_corpus.dir/corpus/vocabulary.cc.o.d"
+  "CMakeFiles/trex_corpus.dir/corpus/wiki_generator.cc.o"
+  "CMakeFiles/trex_corpus.dir/corpus/wiki_generator.cc.o.d"
+  "libtrex_corpus.a"
+  "libtrex_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trex_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

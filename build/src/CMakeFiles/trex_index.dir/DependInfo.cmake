@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/element_index.cc" "src/CMakeFiles/trex_index.dir/index/element_index.cc.o" "gcc" "src/CMakeFiles/trex_index.dir/index/element_index.cc.o.d"
+  "/root/repo/src/index/erpl.cc" "src/CMakeFiles/trex_index.dir/index/erpl.cc.o" "gcc" "src/CMakeFiles/trex_index.dir/index/erpl.cc.o.d"
+  "/root/repo/src/index/index.cc" "src/CMakeFiles/trex_index.dir/index/index.cc.o" "gcc" "src/CMakeFiles/trex_index.dir/index/index.cc.o.d"
+  "/root/repo/src/index/index_builder.cc" "src/CMakeFiles/trex_index.dir/index/index_builder.cc.o" "gcc" "src/CMakeFiles/trex_index.dir/index/index_builder.cc.o.d"
+  "/root/repo/src/index/index_catalog.cc" "src/CMakeFiles/trex_index.dir/index/index_catalog.cc.o" "gcc" "src/CMakeFiles/trex_index.dir/index/index_catalog.cc.o.d"
+  "/root/repo/src/index/posting_lists.cc" "src/CMakeFiles/trex_index.dir/index/posting_lists.cc.o" "gcc" "src/CMakeFiles/trex_index.dir/index/posting_lists.cc.o.d"
+  "/root/repo/src/index/rpl.cc" "src/CMakeFiles/trex_index.dir/index/rpl.cc.o" "gcc" "src/CMakeFiles/trex_index.dir/index/rpl.cc.o.d"
+  "/root/repo/src/index/updater.cc" "src/CMakeFiles/trex_index.dir/index/updater.cc.o" "gcc" "src/CMakeFiles/trex_index.dir/index/updater.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trex_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_summary.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trex_index.dir/index/element_index.cc.o"
+  "CMakeFiles/trex_index.dir/index/element_index.cc.o.d"
+  "CMakeFiles/trex_index.dir/index/erpl.cc.o"
+  "CMakeFiles/trex_index.dir/index/erpl.cc.o.d"
+  "CMakeFiles/trex_index.dir/index/index.cc.o"
+  "CMakeFiles/trex_index.dir/index/index.cc.o.d"
+  "CMakeFiles/trex_index.dir/index/index_builder.cc.o"
+  "CMakeFiles/trex_index.dir/index/index_builder.cc.o.d"
+  "CMakeFiles/trex_index.dir/index/index_catalog.cc.o"
+  "CMakeFiles/trex_index.dir/index/index_catalog.cc.o.d"
+  "CMakeFiles/trex_index.dir/index/posting_lists.cc.o"
+  "CMakeFiles/trex_index.dir/index/posting_lists.cc.o.d"
+  "CMakeFiles/trex_index.dir/index/rpl.cc.o"
+  "CMakeFiles/trex_index.dir/index/rpl.cc.o.d"
+  "CMakeFiles/trex_index.dir/index/updater.cc.o"
+  "CMakeFiles/trex_index.dir/index/updater.cc.o.d"
+  "libtrex_index.a"
+  "libtrex_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trex_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nexi/lexer.cc" "src/CMakeFiles/trex_nexi.dir/nexi/lexer.cc.o" "gcc" "src/CMakeFiles/trex_nexi.dir/nexi/lexer.cc.o.d"
+  "/root/repo/src/nexi/parser.cc" "src/CMakeFiles/trex_nexi.dir/nexi/parser.cc.o" "gcc" "src/CMakeFiles/trex_nexi.dir/nexi/parser.cc.o.d"
+  "/root/repo/src/nexi/translator.cc" "src/CMakeFiles/trex_nexi.dir/nexi/translator.cc.o" "gcc" "src/CMakeFiles/trex_nexi.dir/nexi/translator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trex_summary.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

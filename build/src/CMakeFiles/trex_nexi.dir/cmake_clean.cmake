@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trex_nexi.dir/nexi/lexer.cc.o"
+  "CMakeFiles/trex_nexi.dir/nexi/lexer.cc.o.d"
+  "CMakeFiles/trex_nexi.dir/nexi/parser.cc.o"
+  "CMakeFiles/trex_nexi.dir/nexi/parser.cc.o.d"
+  "CMakeFiles/trex_nexi.dir/nexi/translator.cc.o"
+  "CMakeFiles/trex_nexi.dir/nexi/translator.cc.o.d"
+  "libtrex_nexi.a"
+  "libtrex_nexi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trex_nexi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

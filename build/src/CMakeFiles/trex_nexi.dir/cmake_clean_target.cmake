@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtrex_nexi.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/retrieval/era.cc" "src/CMakeFiles/trex_retrieval.dir/retrieval/era.cc.o" "gcc" "src/CMakeFiles/trex_retrieval.dir/retrieval/era.cc.o.d"
+  "/root/repo/src/retrieval/materializer.cc" "src/CMakeFiles/trex_retrieval.dir/retrieval/materializer.cc.o" "gcc" "src/CMakeFiles/trex_retrieval.dir/retrieval/materializer.cc.o.d"
+  "/root/repo/src/retrieval/merge.cc" "src/CMakeFiles/trex_retrieval.dir/retrieval/merge.cc.o" "gcc" "src/CMakeFiles/trex_retrieval.dir/retrieval/merge.cc.o.d"
+  "/root/repo/src/retrieval/race.cc" "src/CMakeFiles/trex_retrieval.dir/retrieval/race.cc.o" "gcc" "src/CMakeFiles/trex_retrieval.dir/retrieval/race.cc.o.d"
+  "/root/repo/src/retrieval/strategy.cc" "src/CMakeFiles/trex_retrieval.dir/retrieval/strategy.cc.o" "gcc" "src/CMakeFiles/trex_retrieval.dir/retrieval/strategy.cc.o.d"
+  "/root/repo/src/retrieval/strict.cc" "src/CMakeFiles/trex_retrieval.dir/retrieval/strict.cc.o" "gcc" "src/CMakeFiles/trex_retrieval.dir/retrieval/strict.cc.o.d"
+  "/root/repo/src/retrieval/ta.cc" "src/CMakeFiles/trex_retrieval.dir/retrieval/ta.cc.o" "gcc" "src/CMakeFiles/trex_retrieval.dir/retrieval/ta.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trex_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_nexi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_summary.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

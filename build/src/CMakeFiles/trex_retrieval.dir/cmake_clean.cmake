@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trex_retrieval.dir/retrieval/era.cc.o"
+  "CMakeFiles/trex_retrieval.dir/retrieval/era.cc.o.d"
+  "CMakeFiles/trex_retrieval.dir/retrieval/materializer.cc.o"
+  "CMakeFiles/trex_retrieval.dir/retrieval/materializer.cc.o.d"
+  "CMakeFiles/trex_retrieval.dir/retrieval/merge.cc.o"
+  "CMakeFiles/trex_retrieval.dir/retrieval/merge.cc.o.d"
+  "CMakeFiles/trex_retrieval.dir/retrieval/race.cc.o"
+  "CMakeFiles/trex_retrieval.dir/retrieval/race.cc.o.d"
+  "CMakeFiles/trex_retrieval.dir/retrieval/strategy.cc.o"
+  "CMakeFiles/trex_retrieval.dir/retrieval/strategy.cc.o.d"
+  "CMakeFiles/trex_retrieval.dir/retrieval/strict.cc.o"
+  "CMakeFiles/trex_retrieval.dir/retrieval/strict.cc.o.d"
+  "CMakeFiles/trex_retrieval.dir/retrieval/ta.cc.o"
+  "CMakeFiles/trex_retrieval.dir/retrieval/ta.cc.o.d"
+  "libtrex_retrieval.a"
+  "libtrex_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trex_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

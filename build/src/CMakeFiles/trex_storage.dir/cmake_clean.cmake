@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trex_storage.dir/storage/bptree.cc.o"
+  "CMakeFiles/trex_storage.dir/storage/bptree.cc.o.d"
+  "CMakeFiles/trex_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/trex_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/trex_storage.dir/storage/env.cc.o"
+  "CMakeFiles/trex_storage.dir/storage/env.cc.o.d"
+  "CMakeFiles/trex_storage.dir/storage/pager.cc.o"
+  "CMakeFiles/trex_storage.dir/storage/pager.cc.o.d"
+  "CMakeFiles/trex_storage.dir/storage/table.cc.o"
+  "CMakeFiles/trex_storage.dir/storage/table.cc.o.d"
+  "libtrex_storage.a"
+  "libtrex_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trex_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/summary/alias.cc" "src/CMakeFiles/trex_summary.dir/summary/alias.cc.o" "gcc" "src/CMakeFiles/trex_summary.dir/summary/alias.cc.o.d"
+  "/root/repo/src/summary/builder.cc" "src/CMakeFiles/trex_summary.dir/summary/builder.cc.o" "gcc" "src/CMakeFiles/trex_summary.dir/summary/builder.cc.o.d"
+  "/root/repo/src/summary/path_matcher.cc" "src/CMakeFiles/trex_summary.dir/summary/path_matcher.cc.o" "gcc" "src/CMakeFiles/trex_summary.dir/summary/path_matcher.cc.o.d"
+  "/root/repo/src/summary/summary.cc" "src/CMakeFiles/trex_summary.dir/summary/summary.cc.o" "gcc" "src/CMakeFiles/trex_summary.dir/summary/summary.cc.o.d"
+  "/root/repo/src/summary/xpath.cc" "src/CMakeFiles/trex_summary.dir/summary/xpath.cc.o" "gcc" "src/CMakeFiles/trex_summary.dir/summary/xpath.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trex_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

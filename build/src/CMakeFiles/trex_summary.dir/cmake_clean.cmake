@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trex_summary.dir/summary/alias.cc.o"
+  "CMakeFiles/trex_summary.dir/summary/alias.cc.o.d"
+  "CMakeFiles/trex_summary.dir/summary/builder.cc.o"
+  "CMakeFiles/trex_summary.dir/summary/builder.cc.o.d"
+  "CMakeFiles/trex_summary.dir/summary/path_matcher.cc.o"
+  "CMakeFiles/trex_summary.dir/summary/path_matcher.cc.o.d"
+  "CMakeFiles/trex_summary.dir/summary/summary.cc.o"
+  "CMakeFiles/trex_summary.dir/summary/summary.cc.o.d"
+  "CMakeFiles/trex_summary.dir/summary/xpath.cc.o"
+  "CMakeFiles/trex_summary.dir/summary/xpath.cc.o.d"
+  "libtrex_summary.a"
+  "libtrex_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trex_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

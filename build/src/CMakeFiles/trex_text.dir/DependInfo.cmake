@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/porter_stemmer.cc" "src/CMakeFiles/trex_text.dir/text/porter_stemmer.cc.o" "gcc" "src/CMakeFiles/trex_text.dir/text/porter_stemmer.cc.o.d"
+  "/root/repo/src/text/scorer.cc" "src/CMakeFiles/trex_text.dir/text/scorer.cc.o" "gcc" "src/CMakeFiles/trex_text.dir/text/scorer.cc.o.d"
+  "/root/repo/src/text/stopwords.cc" "src/CMakeFiles/trex_text.dir/text/stopwords.cc.o" "gcc" "src/CMakeFiles/trex_text.dir/text/stopwords.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/trex_text.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/trex_text.dir/text/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trex_text.dir/text/porter_stemmer.cc.o"
+  "CMakeFiles/trex_text.dir/text/porter_stemmer.cc.o.d"
+  "CMakeFiles/trex_text.dir/text/scorer.cc.o"
+  "CMakeFiles/trex_text.dir/text/scorer.cc.o.d"
+  "CMakeFiles/trex_text.dir/text/stopwords.cc.o"
+  "CMakeFiles/trex_text.dir/text/stopwords.cc.o.d"
+  "CMakeFiles/trex_text.dir/text/tokenizer.cc.o"
+  "CMakeFiles/trex_text.dir/text/tokenizer.cc.o.d"
+  "libtrex_text.a"
+  "libtrex_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trex_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

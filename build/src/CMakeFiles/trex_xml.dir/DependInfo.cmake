@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/node.cc" "src/CMakeFiles/trex_xml.dir/xml/node.cc.o" "gcc" "src/CMakeFiles/trex_xml.dir/xml/node.cc.o.d"
+  "/root/repo/src/xml/reader.cc" "src/CMakeFiles/trex_xml.dir/xml/reader.cc.o" "gcc" "src/CMakeFiles/trex_xml.dir/xml/reader.cc.o.d"
+  "/root/repo/src/xml/writer.cc" "src/CMakeFiles/trex_xml.dir/xml/writer.cc.o" "gcc" "src/CMakeFiles/trex_xml.dir/xml/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

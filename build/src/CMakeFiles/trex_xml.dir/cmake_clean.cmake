@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trex_xml.dir/xml/node.cc.o"
+  "CMakeFiles/trex_xml.dir/xml/node.cc.o.d"
+  "CMakeFiles/trex_xml.dir/xml/reader.cc.o"
+  "CMakeFiles/trex_xml.dir/xml/reader.cc.o.d"
+  "CMakeFiles/trex_xml.dir/xml/writer.cc.o"
+  "CMakeFiles/trex_xml.dir/xml/writer.cc.o.d"
+  "libtrex_xml.a"
+  "libtrex_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trex_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bptree_property_test.dir/bptree_property_test.cc.o"
+  "CMakeFiles/bptree_property_test.dir/bptree_property_test.cc.o.d"
+  "bptree_property_test"
+  "bptree_property_test.pdb"
+  "bptree_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bptree_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/era_property_test.dir/era_property_test.cc.o"
+  "CMakeFiles/era_property_test.dir/era_property_test.cc.o.d"
+  "era_property_test"
+  "era_property_test.pdb"
+  "era_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/era_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

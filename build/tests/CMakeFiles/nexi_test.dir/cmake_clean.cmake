@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexi_test.dir/nexi_test.cc.o"
+  "CMakeFiles/nexi_test.dir/nexi_test.cc.o.d"
+  "nexi_test"
+  "nexi_test.pdb"
+  "nexi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

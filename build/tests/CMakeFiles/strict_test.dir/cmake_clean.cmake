@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strict_test.dir/strict_test.cc.o"
+  "CMakeFiles/strict_test.dir/strict_test.cc.o.d"
+  "strict_test"
+  "strict_test.pdb"
+  "strict_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

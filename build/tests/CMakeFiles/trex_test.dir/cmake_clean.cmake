@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trex_test.dir/trex_test.cc.o"
+  "CMakeFiles/trex_test.dir/trex_test.cc.o.d"
+  "trex_test"
+  "trex_test.pdb"
+  "trex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_fuzz_test.dir/xml_fuzz_test.cc.o"
+  "CMakeFiles/xml_fuzz_test.dir/xml_fuzz_test.cc.o.d"
+  "xml_fuzz_test"
+  "xml_fuzz_test.pdb"
+  "xml_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

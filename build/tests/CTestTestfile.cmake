@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/coding_test[1]_include.cmake")
+include("/root/repo/build/tests/status_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/bptree_property_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+include("/root/repo/build/tests/summary_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/nexi_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/xpath_test[1]_include.cmake")
+include("/root/repo/build/tests/retrieval_test[1]_include.cmake")
+include("/root/repo/build/tests/race_test[1]_include.cmake")
+include("/root/repo/build/tests/era_property_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/retrieval_property_test[1]_include.cmake")
+include("/root/repo/build/tests/advisor_test[1]_include.cmake")
+include("/root/repo/build/tests/strict_test[1]_include.cmake")
+include("/root/repo/build/tests/updater_test[1]_include.cmake")
+include("/root/repo/build/tests/trex_test[1]_include.cmake")
