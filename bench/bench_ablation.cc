@@ -137,4 +137,8 @@ int Run() {
 }  // namespace bench
 }  // namespace trex
 
-int main() { return trex::bench::Run(); }
+int main() {
+  int rc = trex::bench::Run();
+  trex::bench::WriteBenchMetrics("bench_ablation");
+  return rc;
+}

@@ -16,5 +16,6 @@ int main() {
       RunFigureForQuery(ieee.get(), q);
     }
   }
+  WriteBenchMetrics("bench_fig4");
   return 0;
 }

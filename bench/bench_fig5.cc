@@ -15,5 +15,6 @@ int main() {
       RunFigureForQuery(ieee.get(), q);
     }
   }
+  WriteBenchMetrics("bench_fig5");
   return 0;
 }

@@ -18,5 +18,6 @@ int main() {
     if (id == "233") RunFigureForQuery(ieee.get(), q);
     if (id == "290" || id == "292") RunFigureForQuery(wiki.get(), q);
   }
+  WriteBenchMetrics("bench_fig6");
   return 0;
 }

@@ -68,4 +68,8 @@ int Run() {
 }  // namespace bench
 }  // namespace trex
 
-int main() { return trex::bench::Run(); }
+int main() {
+  int rc = trex::bench::Run();
+  trex::bench::WriteBenchMetrics("bench_summary_sizes");
+  return rc;
+}

@@ -20,6 +20,7 @@
 
 #include "corpus/ieee_generator.h"
 #include "corpus/wiki_generator.h"
+#include "obs/metrics.h"
 #include "storage/env.h"
 #include "trex/trex.h"
 
@@ -121,6 +122,24 @@ inline double TimeRuns(const std::function<double()>& run_once) {
     return sum / (runs - 2);
   }
   return times[times.size() / 2];  // Median.
+}
+
+// Dumps the cumulative metrics registry to <bench>_metrics.json in the
+// bench data dir, so figure scripts can correlate reported times with
+// the I/O and algorithm counters behind them. Call once, at exit.
+inline void WriteBenchMetrics(const std::string& bench_name) {
+  std::string path = BenchDataDir() + "/" + bench_name + "_metrics.json";
+  Status s = Env::CreateDir(BenchDataDir());
+  if (s.ok()) {
+    s = Env::WriteStringToFile(path,
+                               obs::Default().Snapshot().ToJson() + "\n");
+  }
+  if (!s.ok()) {
+    std::fprintf(stderr, "[bench] cannot write %s: %s\n", path.c_str(),
+                 s.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "[bench] metrics written to %s\n", path.c_str());
 }
 
 }  // namespace bench

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "corpus/ieee_generator.h"
+#include "obs/metrics.h"
 #include "retrieval/materializer.h"
 #include "trex/trex.h"
 
@@ -76,8 +77,14 @@ int main(int argc, char** argv) {
   trex::Status s = index.value()->Verify();
   if (s.ok()) {
     std::printf("OK\n");
-    return 0;
+  } else {
+    std::printf("FAILED\n  %s\n", s.ToString().c_str());
   }
-  std::printf("FAILED\n  %s\n", s.ToString().c_str());
-  return 1;
+
+  // Cumulative process metrics — the storage I/O that the checks above
+  // cost is itself a useful smoke signal (e.g. a zero hit rate points at
+  // an undersized buffer pool).
+  std::printf("\nmetrics: %s\n",
+              trex::obs::Default().Snapshot().ToJson().c_str());
+  return s.ok() ? 0 : 1;
 }

@@ -6,6 +6,10 @@
 //
 //   # Or index your own directory of .xml files:
 //   ./examples/search_cli /path/to/xml-dir workdir "//sec[about(., x)]"
+//
+//   # Append --explain to print the per-query trace (EXPLAIN) as JSON:
+//   ./examples/search_cli --demo workdir "//article[about(., xml)]" 10 \
+//       --explain
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -36,17 +40,26 @@ std::string Snippet(const std::string& doc, const trex::ElementInfo& e) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 4) {
+  bool explain = false;
+  std::vector<char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (args.size() < 3) {
     std::fprintf(stderr,
                  "usage: %s (--demo | <xml-dir>) <workdir> <nexi-query> "
-                 "[k]\n",
+                 "[k] [--explain]\n",
                  argv[0]);
     return 2;
   }
-  std::string source = argv[1];
-  std::string workdir = argv[2];
-  std::string query = argv[3];
-  size_t k = argc > 4 ? static_cast<size_t>(std::atoll(argv[4])) : 10;
+  std::string source = args[0];
+  std::string workdir = args[1];
+  std::string query = args[2];
+  size_t k = args.size() > 3 ? static_cast<size_t>(std::atoll(args[3])) : 10;
 
   std::string corpus_dir = workdir + "/corpus";
   if (source == "--demo") {
@@ -135,6 +148,9 @@ int main(int argc, char** argv) {
   }
   if (answer.value().result.elements.empty()) {
     std::printf("(no answers)\n");
+  }
+  if (explain && answer.value().trace != nullptr) {
+    std::printf("\nexplain: %s\n", answer.value().trace->ToJson().c_str());
   }
   return 0;
 }

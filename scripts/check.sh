@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification under sanitizers: configure, build and run the
+# full test suite with ASan + UBSan in a separate build tree.
+#
+#   scripts/check.sh              # build-check/ next to the sources
+#   BUILD_DIR=/tmp/chk scripts/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build-check}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTREX_ENABLE_ASAN=ON \
+  -DTREX_ENABLE_UBSAN=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

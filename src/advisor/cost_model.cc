@@ -1,5 +1,6 @@
 #include "advisor/cost_model.h"
 
+#include "obs/metrics.h"
 #include "retrieval/era.h"
 #include "retrieval/merge.h"
 #include "retrieval/ta.h"
@@ -9,6 +10,9 @@ namespace trex {
 Result<QueryCosts> CostModel::Measure(Index* index,
                                       const TranslatedClause& clause,
                                       size_t k) {
+  static obs::Counter* const measurements =
+      obs::Default().GetCounter("advisor.cost_model.measurements");
+  measurements->Add();
   QueryCosts costs;
 
   // Record which units already exist so we can drop only what we add.
@@ -56,6 +60,9 @@ Result<QueryCosts> CostModel::Measure(Index* index,
 Result<QueryCosts> CostModel::Estimate(Index* index,
                                        const TranslatedClause& clause,
                                        size_t k) {
+  static obs::Counter* const estimates =
+      obs::Default().GetCounter("advisor.cost_model.estimates");
+  estimates->Add();
   // Volume drivers: total positions of the query's terms (ERA scan) and
   // the number of (element, term) pairs (RPL/ERPL entries). We estimate
   // entries as collection_freq (every occurrence contributes to at most

@@ -4,6 +4,8 @@
 #include <limits>
 #include <map>
 
+#include "obs/metrics.h"
+
 namespace trex {
 
 namespace {
@@ -77,7 +79,9 @@ SelectionResult SolveGreedy(const SelectionInstance& instance,
   };
 
   std::vector<bool> supported(l, false);
+  uint64_t iterations = 0;
   while (true) {
+    ++iterations;
     if (stats != nullptr) ++stats->iterations;
     // Find the (query, method) with the highest non-zero gain-cost
     // ratio among those whose minimal addition fits the budget.
@@ -117,6 +121,7 @@ SelectionResult SolveGreedy(const SelectionInstance& instance,
     result.choice[best_query] = need.choice;
     result.total_saving += need.gain;
   }
+  obs::Default().GetCounter("advisor.greedy.iterations")->Add(iterations);
 
   // Standard augmentation that makes the Theorem 4.2 bound hold: the
   // plain ratio rule alone can be arbitrarily bad (a cheap tiny-gain

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace trex {
 
 double SelectionObjective(const SelectionInstance& instance,
@@ -195,7 +197,17 @@ class BranchAndBound {
 }  // namespace
 
 SelectionResult SolveIlp(const SelectionInstance& instance, IlpStats* stats) {
-  return BranchAndBound(instance, stats).Solve();
+  IlpStats local;
+  if (stats == nullptr) stats = &local;
+  const uint64_t explored0 = stats->nodes_explored;
+  const uint64_t pruned0 = stats->nodes_pruned;
+  SelectionResult result = BranchAndBound(instance, stats).Solve();
+  obs::MetricsRegistry& reg = obs::Default();
+  reg.GetCounter("advisor.ilp.nodes_explored")
+      ->Add(stats->nodes_explored - explored0);
+  reg.GetCounter("advisor.ilp.nodes_pruned")
+      ->Add(stats->nodes_pruned - pruned0);
+  return result;
 }
 
 }  // namespace trex

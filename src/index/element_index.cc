@@ -4,6 +4,13 @@
 
 namespace trex {
 
+ElementIndex::ElementIndex(std::unique_ptr<Table> table)
+    : table_(std::move(table)) {
+  obs::MetricsRegistry& reg = obs::Default();
+  m_lookups_ = reg.GetCounter("index.elements.lookups");
+  m_extent_seeks_ = reg.GetCounter("index.elements.extent_seeks");
+}
+
 Result<std::unique_ptr<ElementIndex>> ElementIndex::Open(
     const std::string& dir, size_t cache_pages) {
   auto table = Table::Open(dir, "Elements", cache_pages);
@@ -37,6 +44,7 @@ Status ElementIndex::Add(const ElementInfo& info) {
 
 Status ElementIndex::Get(Sid sid, DocId docid, uint64_t endpos,
                          ElementInfo* info) {
+  m_lookups_->Add();
   std::string value;
   TREX_RETURN_IF_ERROR(table_->Get(EncodeKey(sid, docid, endpos), &value));
   Slice in(value);
@@ -68,6 +76,7 @@ Result<ElementInfo> ElementIndex::ExtentIterator::CurrentOrDummy() {
 }
 
 Result<ElementInfo> ElementIndex::ExtentIterator::FirstElement() {
+  index_->m_extent_seeks_->Add();
   TREX_RETURN_IF_ERROR(it_.Seek(EncodeKey(sid_, 0, 0)));
   return CurrentOrDummy();
 }
@@ -76,6 +85,7 @@ Result<ElementInfo> ElementIndex::ExtentIterator::NextElementAfter(
     const Position& p) {
   // Nothing exceeds m-pos (ERA's final sweep passes it in here).
   if (p == kMaxPosition) return kDummyElement;
+  index_->m_extent_seeks_->Add();
   // Lowest end position strictly greater than p: lower_bound of p+1.
   TREX_RETURN_IF_ERROR(it_.Seek(EncodeKey(sid_, p.docid, p.offset + 1)));
   return CurrentOrDummy();

@@ -14,14 +14,14 @@
 #include <string>
 
 #include "index/types.h"
+#include "obs/metrics.h"
 #include "storage/table.h"
 
 namespace trex {
 
 class ElementIndex {
  public:
-  explicit ElementIndex(std::unique_ptr<Table> table)
-      : table_(std::move(table)) {}
+  explicit ElementIndex(std::unique_ptr<Table> table);
 
   static Result<std::unique_ptr<ElementIndex>> Open(const std::string& dir,
                                                     size_t cache_pages = 1024);
@@ -75,6 +75,9 @@ class ElementIndex {
 
  private:
   std::unique_ptr<Table> table_;
+  // index.elements.* metrics; iterators report through their parent index.
+  obs::Counter* m_lookups_;
+  obs::Counter* m_extent_seeks_;
 };
 
 }  // namespace trex

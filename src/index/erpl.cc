@@ -10,6 +10,14 @@ namespace {
 constexpr size_t kBlockBudget = 800;
 }  // namespace
 
+ErplStore::ErplStore(std::unique_ptr<Table> table) : table_(std::move(table)) {
+  obs::MetricsRegistry& reg = obs::Default();
+  m_lists_written_ = reg.GetCounter("index.erpl.lists_written");
+  m_bytes_written_ = reg.GetCounter("index.erpl.bytes_written");
+  m_blocks_read_ = reg.GetCounter("index.erpl.blocks_read");
+  m_entries_read_ = reg.GetCounter("index.erpl.entries_read");
+}
+
 Result<std::unique_ptr<ErplStore>> ErplStore::Open(const std::string& dir,
                                                    size_t cache_pages) {
   auto table = Table::Open(dir, "ERPLs", cache_pages);
@@ -50,6 +58,8 @@ Status ErplStore::WriteList(const std::string& term, Sid sid,
     written += key.size() + value.size();
   }
   *bytes_written = written;
+  m_lists_written_->Add();
+  m_bytes_written_->Add(written);
   return Status::OK();
 }
 
@@ -83,6 +93,7 @@ Status ErplStore::Iterator::LoadBlock() {
     return Status::OK();
   }
   TREX_RETURN_IF_ERROR(DecodeScoredBlock(it_.value(), &block_));
+  store_->m_blocks_read_->Add();
   next_in_block_ = 0;
   return it_.Next();
 }
@@ -104,6 +115,7 @@ Status ErplStore::Iterator::Next() {
   entry_ = block_[next_in_block_++];
   valid_ = true;
   ++entries_read_;
+  store_->m_entries_read_->Add();
   return Status::OK();
 }
 

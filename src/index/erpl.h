@@ -20,8 +20,7 @@ namespace trex {
 
 class ErplStore {
  public:
-  explicit ErplStore(std::unique_ptr<Table> table)
-      : table_(std::move(table)) {}
+  explicit ErplStore(std::unique_ptr<Table> table);
 
   static Result<std::unique_ptr<ErplStore>> Open(const std::string& dir,
                                                  size_t cache_pages = 1024);
@@ -66,6 +65,11 @@ class ErplStore {
 
  private:
   std::unique_ptr<Table> table_;
+  // index.erpl.* metrics; iterators report through their parent store.
+  obs::Counter* m_lists_written_;
+  obs::Counter* m_bytes_written_;
+  obs::Counter* m_blocks_read_;
+  obs::Counter* m_entries_read_;
 };
 
 }  // namespace trex

@@ -6,6 +6,16 @@
 
 namespace trex {
 
+PostingLists::PostingLists(std::unique_ptr<Table> postings,
+                           std::unique_ptr<Table> stats)
+    : postings_(std::move(postings)), stats_(std::move(stats)) {
+  obs::MetricsRegistry& reg = obs::Default();
+  m_fragments_read_ = reg.GetCounter("index.postings.fragments_read");
+  m_positions_read_ = reg.GetCounter("index.postings.positions_read");
+  m_sentinel_skips_ = reg.GetCounter("index.postings.sentinel_skips");
+  m_stat_lookups_ = reg.GetCounter("index.postings.stat_lookups");
+}
+
 Result<std::unique_ptr<PostingLists>> PostingLists::Open(
     const std::string& dir, size_t cache_pages) {
   auto postings = Table::Open(dir, "PostingLists", cache_pages);
@@ -74,6 +84,7 @@ Status PostingLists::DecodeFragment(Slice key, Slice value,
 }
 
 Status PostingLists::GetTermStats(const std::string& term, TermStats* stats) {
+  m_stat_lookups_->Add();
   std::string key;
   TREX_RETURN_IF_ERROR(AppendTokenComponent(&key, term));
   std::string value;
@@ -197,6 +208,7 @@ Status PostingLists::PositionIterator::LoadFragment() {
     return Status::OK();
   }
   TREX_RETURN_IF_ERROR(DecodeFragment(it_.key(), it_.value(), &fragment_));
+  lists_->m_fragments_read_->Add();
   next_in_fragment_ = 0;
   TREX_RETURN_IF_ERROR(it_.Next());
   return Status::OK();
@@ -206,8 +218,13 @@ Result<Position> PostingLists::PositionIterator::NextPosition() {
   while (!at_end_ && next_in_fragment_ >= fragment_.size()) {
     TREX_RETURN_IF_ERROR(LoadFragment());
   }
-  if (at_end_) return kMaxPosition;
+  if (at_end_) {
+    // Call past the sentinel: the scan is replaying m-pos, not reading.
+    lists_->m_sentinel_skips_->Add();
+    return kMaxPosition;
+  }
   Position p = fragment_[next_in_fragment_++];
+  lists_->m_positions_read_->Add();
   if (p == kMaxPosition) at_end_ = true;
   return p;
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "index/types.h"
+#include "obs/metrics.h"
 #include "storage/table.h"
 
 namespace trex {
@@ -35,8 +36,7 @@ struct TermStats {
 
 class PostingLists {
  public:
-  PostingLists(std::unique_ptr<Table> postings, std::unique_ptr<Table> stats)
-      : postings_(std::move(postings)), stats_(std::move(stats)) {}
+  PostingLists(std::unique_ptr<Table> postings, std::unique_ptr<Table> stats);
 
   static Result<std::unique_ptr<PostingLists>> Open(const std::string& dir,
                                                     size_t cache_pages = 1024);
@@ -102,6 +102,11 @@ class PostingLists {
  private:
   std::unique_ptr<Table> postings_;
   std::unique_ptr<Table> stats_;
+  // index.postings.* metrics; iterators report through their parent store.
+  obs::Counter* m_fragments_read_;
+  obs::Counter* m_positions_read_;
+  obs::Counter* m_sentinel_skips_;
+  obs::Counter* m_stat_lookups_;
 };
 
 }  // namespace trex

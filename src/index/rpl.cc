@@ -44,6 +44,14 @@ Status DecodeScoredBlock(Slice value, std::vector<ScoredEntry>* entries) {
   return Status::OK();
 }
 
+RplStore::RplStore(std::unique_ptr<Table> table) : table_(std::move(table)) {
+  obs::MetricsRegistry& reg = obs::Default();
+  m_lists_written_ = reg.GetCounter("index.rpl.lists_written");
+  m_bytes_written_ = reg.GetCounter("index.rpl.bytes_written");
+  m_blocks_read_ = reg.GetCounter("index.rpl.blocks_read");
+  m_entries_read_ = reg.GetCounter("index.rpl.entries_read");
+}
+
 Result<std::unique_ptr<RplStore>> RplStore::Open(const std::string& dir,
                                                  size_t cache_pages) {
   auto table = Table::Open(dir, "RPLs", cache_pages);
@@ -87,6 +95,8 @@ Status RplStore::WriteList(const std::string& term, Sid sid,
     written += key.size() + value.size();
   }
   *bytes_written = written;
+  m_lists_written_->Add();
+  m_bytes_written_->Add(written);
   return Status::OK();
 }
 
@@ -120,6 +130,7 @@ Status RplStore::Iterator::LoadBlock() {
     return Status::OK();
   }
   TREX_RETURN_IF_ERROR(DecodeScoredBlock(it_.value(), &block_));
+  store_->m_blocks_read_->Add();
   next_in_block_ = 0;
   return it_.Next();
 }
@@ -141,6 +152,7 @@ Status RplStore::Iterator::Next() {
   entry_ = block_[next_in_block_++];
   valid_ = true;
   ++entries_read_;
+  store_->m_entries_read_->Add();
   return Status::OK();
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "index/types.h"
+#include "obs/metrics.h"
 #include "storage/table.h"
 
 namespace trex {
@@ -34,7 +35,7 @@ Status DecodeScoredBlock(Slice value, std::vector<ScoredEntry>* entries);
 
 class RplStore {
  public:
-  explicit RplStore(std::unique_ptr<Table> table) : table_(std::move(table)) {}
+  explicit RplStore(std::unique_ptr<Table> table);
 
   static Result<std::unique_ptr<RplStore>> Open(const std::string& dir,
                                                 size_t cache_pages = 1024);
@@ -85,6 +86,11 @@ class RplStore {
 
  private:
   std::unique_ptr<Table> table_;
+  // index.rpl.* metrics; iterators report through their parent store.
+  obs::Counter* m_lists_written_;
+  obs::Counter* m_bytes_written_;
+  obs::Counter* m_blocks_read_;
+  obs::Counter* m_entries_read_;
 };
 
 }  // namespace trex

@@ -1,0 +1,253 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace trex {
+namespace obs {
+
+namespace {
+
+// Inclusive value range covered by bucket b (see class comment).
+void BucketRange(int b, uint64_t* lo, uint64_t* hi) {
+  if (b == 0) {
+    *lo = *hi = 0;
+    return;
+  }
+  *lo = uint64_t{1} << (b - 1);
+  *hi = b == 64 ? UINT64_MAX : (uint64_t{1} << b) - 1;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out->append(buf);
+}
+
+}  // namespace
+
+void JsonEscape(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+void Histogram::Record(uint64_t value) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  int b = std::bit_width(value);  // 0 for 0, else floor(log2) + 1.
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  // Lossy min/max under contention is acceptable for reporting.
+  uint64_t cur_min = min_.load(std::memory_order_relaxed);
+  while (value < cur_min &&
+         !min_.compare_exchange_weak(cur_min, value,
+                                     std::memory_order_relaxed)) {
+  }
+  uint64_t cur_max = max_.load(std::memory_order_relaxed);
+  while (value > cur_max &&
+         !max_.compare_exchange_weak(cur_max, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+HistogramSummary Histogram::Summary() const {
+  HistogramSummary s;
+  uint64_t counts[kBuckets];
+  for (int b = 0; b < kBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    s.count += counts[b];
+  }
+  if (s.count == 0) return s;
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+
+  auto percentile = [&](double q) -> uint64_t {
+    // Rank of the q-quantile sample, 1-based.
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(s.count));
+    if (rank < 1) rank = 1;
+    if (rank > s.count) rank = s.count;
+    uint64_t cum = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      if (counts[b] == 0) continue;
+      if (cum + counts[b] >= rank) {
+        uint64_t lo, hi;
+        BucketRange(b, &lo, &hi);
+        // Linear interpolation across the bucket's value range.
+        double frac = static_cast<double>(rank - cum) /
+                      static_cast<double>(counts[b]);
+        uint64_t span = hi - lo;
+        uint64_t v = lo + static_cast<uint64_t>(frac *
+                                                static_cast<double>(span));
+        // Clamp into the recorded range for tight single-bucket data.
+        if (v < s.min) v = s.min;
+        if (v > s.max) v = s.max;
+        return v;
+      }
+      cum += counts[b];
+    }
+    return s.max;
+  };
+  s.p50 = percentile(0.50);
+  s.p95 = percentile(0.95);
+  s.p99 = percentile(0.99);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second.get();
+  auto* c = new Counter(&enabled_);
+  counters_.emplace(std::string(name), std::unique_ptr<Counter>(c));
+  return c;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second.get();
+  auto* g = new Gauge(&enabled_);
+  gauges_.emplace(std::string(name), std::unique_ptr<Gauge>(g));
+  return g;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second.get();
+  auto* h = new Histogram(&enabled_);
+  histograms_.emplace(std::string(name), std::unique_ptr<Histogram>(h));
+  return h;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->Summary();
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    JsonEscape(name, &out);
+    out.append("\":");
+    AppendU64(&out, value);
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    JsonEscape(name, &out);
+    out.append("\":");
+    AppendI64(&out, value);
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    JsonEscape(name, &out);
+    out.append("\":{\"count\":");
+    AppendU64(&out, h.count);
+    out.append(",\"sum\":");
+    AppendU64(&out, h.sum);
+    out.append(",\"min\":");
+    AppendU64(&out, h.count == 0 ? 0 : h.min);
+    out.append(",\"max\":");
+    AppendU64(&out, h.max);
+    out.append(",\"p50\":");
+    AppendU64(&out, h.p50);
+    out.append(",\"p95\":");
+    AppendU64(&out, h.p95);
+    out.append(",\"p99\":");
+    AppendU64(&out, h.p99);
+    out.append("}");
+  }
+  out.append("}}");
+  return out;
+}
+
+MetricsRegistry& Default() {
+  // Leaked singleton: instrument pointers handed to static-storage hot
+  // paths must never dangle, not even during process teardown.
+  static MetricsRegistry* const registry = [] {
+    auto* r = new MetricsRegistry();
+    const char* v = std::getenv("TREX_OBS_DISABLED");
+    if (v != nullptr && v[0] != '\0' && v[0] != '0') r->set_enabled(false);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace trex

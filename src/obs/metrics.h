@@ -1,0 +1,191 @@
+// Observability: a process-wide registry of named metrics.
+//
+// The paper's experiments (§5) attribute query time to individual
+// components — sorted accesses, heap operations, posting-list scans —
+// and every later performance PR is judged against those numbers. This
+// module makes that accounting first-class:
+//
+//   * Counter    — monotonically increasing uint64 (relaxed atomics).
+//   * Gauge      — last-write-wins int64 (e.g. catalog size, pool usage).
+//   * Histogram  — log2-bucketed distribution of uint64 samples with
+//                  p50/p95/p99 extraction (e.g. B+-tree seek depth,
+//                  span latencies in nanoseconds).
+//
+// Instruments are created on first use, keyed by a dotted name
+// ("storage.bufpool.hits"); pointers returned by the registry are valid
+// for the registry's lifetime, so hot paths fetch once and then pay one
+// predictable branch plus one relaxed atomic op per event. Disabling a
+// registry (set_enabled(false), or TREX_OBS_DISABLED=1 for the default
+// registry) turns every instrument into a cheap no-op without
+// invalidating any cached pointer — the acceptance bar is that a
+// disabled run of bench_micro is within noise of an uninstrumented one.
+//
+// Naming scheme (see DESIGN.md "Observability"):
+//   <layer>.<component>.<event>   e.g. storage.bufpool.misses,
+//   index.rpl.entries_read, retrieval.ta.sorted_accesses,
+//   advisor.greedy.iterations.
+#ifndef TREX_OBS_METRICS_H_
+#define TREX_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace trex {
+namespace obs {
+
+class MetricsRegistry;
+
+// Monotonic event count. Thread-safe; Add() is one relaxed fetch_add
+// behind an enabled check.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins level (can go up and down).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.store(v, std::memory_order_relaxed);
+    }
+  }
+  void Add(int64_t n) {
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<int64_t> value_{0};
+};
+
+// Point-in-time percentile summary of a histogram.
+struct HistogramSummary {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+// Log2-bucketed distribution: bucket b >= 1 covers [2^(b-1), 2^b - 1],
+// bucket 0 holds exact zeros. Percentiles interpolate linearly within a
+// bucket, so the relative error is bounded by the bucket width (a factor
+// of two) and is much smaller for smooth distributions.
+class Histogram {
+ public:
+  // 1 zero bucket + one bucket per possible bit width of a uint64.
+  static constexpr int kBuckets = 65;
+
+  void Record(uint64_t value);
+  HistogramSummary Summary() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  void Reset();
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+// A consistent-enough copy of every instrument's current value.
+// (Individual reads are relaxed; cross-metric skew is acceptable for
+// reporting.)
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+
+  // 0 when absent — convenient for assertions.
+  uint64_t counter(const std::string& name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+  // sum, min, max, p50, p95, p99}, ...}}
+  std::string ToJson() const;
+};
+
+// Thread-safe instrument registry. Instruments are interned by name and
+// never deallocated while the registry lives; Default() is a leaked
+// process-wide singleton, so pointers from it are valid forever.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  // Disabling turns every instrument into a no-op; cached pointers stay
+  // valid and re-enable transparently.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Zeroes every instrument (names and pointers survive).
+  void Reset();
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// The process-wide default registry every component reports into.
+// Honors TREX_OBS_DISABLED=1 at first use.
+MetricsRegistry& Default();
+
+// Appends a JSON-escaped rendering of `s` (without quotes) to `out`.
+// Shared by the metrics and trace serializers.
+void JsonEscape(std::string_view s, std::string* out);
+
+}  // namespace obs
+}  // namespace trex
+
+#endif  // TREX_OBS_METRICS_H_

@@ -1,0 +1,131 @@
+#include "obs/trace.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+
+namespace trex {
+namespace obs {
+
+namespace {
+
+void AppendNode(const TraceNode& node, std::string* out) {
+  out->append("{\"name\":\"");
+  JsonEscape(node.name, out);
+  out->append("\",\"start_ns\":");
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, node.start_nanos);
+  out->append(buf);
+  out->append(",\"duration_ns\":");
+  std::snprintf(buf, sizeof(buf), "%" PRId64, node.duration_nanos);
+  out->append(buf);
+  if (!node.attrs.empty()) {
+    out->append(",\"attrs\":{");
+    for (size_t i = 0; i < node.attrs.size(); ++i) {
+      const TraceAttr& a = node.attrs[i];
+      if (i > 0) out->push_back(',');
+      out->push_back('"');
+      JsonEscape(a.key, out);
+      out->append("\":");
+      switch (a.kind) {
+        case TraceAttr::Kind::kUint:
+          std::snprintf(buf, sizeof(buf), "%" PRIu64, a.u);
+          out->append(buf);
+          break;
+        case TraceAttr::Kind::kDouble:
+          std::snprintf(buf, sizeof(buf), "%.9g", a.d);
+          out->append(buf);
+          break;
+        case TraceAttr::Kind::kString:
+          out->push_back('"');
+          JsonEscape(a.s, out);
+          out->push_back('"');
+          break;
+      }
+    }
+    out->push_back('}');
+  }
+  if (!node.children.empty()) {
+    out->append(",\"children\":[");
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      AppendNode(*node.children[i], out);
+    }
+    out->push_back(']');
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+Trace::Trace(std::string root_name) : epoch_nanos_(NowNanos()) {
+  root_.name = std::move(root_name);
+  root_.start_nanos = 0;
+  stack_.push_back(&root_);
+}
+
+TraceNode* Trace::OpenSpan(std::string_view name) {
+  assert(!stack_.empty() && "trace already finished");
+  auto node = std::make_unique<TraceNode>();
+  node->name.assign(name.data(), name.size());
+  node->start_nanos = NowNanos() - epoch_nanos_;
+  TraceNode* raw = node.get();
+  stack_.back()->children.push_back(std::move(node));
+  stack_.push_back(raw);
+  return raw;
+}
+
+void Trace::CloseSpan(TraceNode* node) {
+  assert(!stack_.empty() && stack_.back() == node &&
+         "spans must close in LIFO order");
+  node->duration_nanos = NowNanos() - epoch_nanos_ - node->start_nanos;
+  stack_.pop_back();
+}
+
+void Trace::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  // Close any spans a caller leaked, then the root.
+  while (stack_.size() > 1) CloseSpan(stack_.back());
+  root_.duration_nanos = NowNanos() - epoch_nanos_;
+  stack_.clear();
+}
+
+std::string Trace::ToJson() const {
+  std::string out;
+  AppendNode(root_, &out);
+  return out;
+}
+
+void TraceSpan::AddAttr(std::string_view key, uint64_t value) {
+  if (node_ == nullptr) return;
+  TraceAttr a;
+  a.key.assign(key.data(), key.size());
+  a.kind = TraceAttr::Kind::kUint;
+  a.u = value;
+  node_->attrs.push_back(std::move(a));
+}
+
+void TraceSpan::AddAttr(std::string_view key, double value) {
+  if (node_ == nullptr) return;
+  TraceAttr a;
+  a.key.assign(key.data(), key.size());
+  a.kind = TraceAttr::Kind::kDouble;
+  a.d = value;
+  node_->attrs.push_back(std::move(a));
+}
+
+void TraceSpan::AddAttr(std::string_view key, std::string_view value) {
+  if (node_ == nullptr) return;
+  TraceAttr a;
+  a.key.assign(key.data(), key.size());
+  a.kind = TraceAttr::Kind::kString;
+  a.s.assign(value.data(), value.size());
+  node_->attrs.push_back(std::move(a));
+}
+
+}  // namespace obs
+}  // namespace trex

@@ -1,0 +1,109 @@
+// Observability: per-query trace trees (the EXPLAIN substrate).
+//
+// A Trace is a tree of named spans, each with a start offset and
+// duration in nanoseconds plus typed attributes. The retrieval stack
+// opens one span per phase (translate, strategy, evaluate:<method>,
+// shape) and folds its RetrievalMetrics into span attributes, so
+// `QueryAnswer::trace` answers "where did this query's time go" the
+// way the paper's §5 instrumentation answers it for whole benchmarks.
+//
+// Spans are scoped: TraceSpan opens on construction and closes on
+// destruction (or an explicit End()). A null Trace* makes every span
+// operation a no-op, so call sites pay nothing when tracing is off.
+// Traces are single-threaded by design — one per query evaluation.
+#ifndef TREX_OBS_TRACE_H_
+#define TREX_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace trex {
+namespace obs {
+
+// One typed span attribute. Kept as a tagged value so numeric
+// attributes serialize as JSON numbers.
+struct TraceAttr {
+  enum class Kind { kUint, kDouble, kString };
+  std::string key;
+  Kind kind = Kind::kUint;
+  uint64_t u = 0;
+  double d = 0.0;
+  std::string s;
+};
+
+struct TraceNode {
+  std::string name;
+  int64_t start_nanos = 0;     // Relative to the trace epoch.
+  int64_t duration_nanos = 0;  // 0 until the span is closed.
+  std::vector<TraceAttr> attrs;
+  std::vector<std::unique_ptr<TraceNode>> children;
+};
+
+class Trace {
+ public:
+  explicit Trace(std::string root_name = "query");
+
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  // Opens a child span under the innermost open span.
+  TraceNode* OpenSpan(std::string_view name);
+  // Closes `node`, stamping its duration. Must be the innermost open
+  // span (spans close in LIFO order by construction of TraceSpan).
+  void CloseSpan(TraceNode* node);
+
+  // Closes the root span. Idempotent; ToJson() calls it implicitly.
+  void Finish();
+
+  TraceNode* root() { return &root_; }
+  const TraceNode& root() const { return root_; }
+
+  // {"name":..., "start_ns":..., "duration_ns":..., "attrs":{...},
+  //  "children":[...]} — recursively.
+  std::string ToJson() const;
+
+ private:
+  int64_t epoch_nanos_;
+  TraceNode root_;
+  std::vector<TraceNode*> stack_;  // Innermost open span at the back.
+  bool finished_ = false;
+};
+
+// RAII span over a (possibly null) Trace.
+class TraceSpan {
+ public:
+  TraceSpan(Trace* trace, std::string_view name) {
+    if (trace != nullptr) {
+      trace_ = trace;
+      node_ = trace->OpenSpan(name);
+    }
+  }
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void End() {
+    if (trace_ != nullptr) {
+      trace_->CloseSpan(node_);
+      trace_ = nullptr;
+      node_ = nullptr;
+    }
+  }
+
+  void AddAttr(std::string_view key, uint64_t value);
+  void AddAttr(std::string_view key, double value);
+  void AddAttr(std::string_view key, std::string_view value);
+
+ private:
+  Trace* trace_ = nullptr;
+  TraceNode* node_ = nullptr;
+};
+
+}  // namespace obs
+}  // namespace trex
+
+#endif  // TREX_OBS_TRACE_H_

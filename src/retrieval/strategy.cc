@@ -1,5 +1,8 @@
 #include "retrieval/strategy.h"
 
+#include <string>
+
+#include "obs/metrics.h"
 #include "retrieval/era.h"
 #include "retrieval/merge.h"
 #include "retrieval/ta.h"
@@ -19,39 +22,52 @@ const char* RetrievalMethodName(RetrievalMethod method) {
 }
 
 StrategyDecision ChooseStrategy(Index* index, const TranslatedClause& clause,
-                                size_t k) {
+                                size_t k, obs::Trace* trace) {
+  obs::TraceSpan span(trace, "strategy");
+  static obs::Counter* const stat_probes =
+      obs::Default().GetCounter("retrieval.strategy.stat_probes");
+
+  StrategyDecision decision;
+  uint64_t volume = 0;
   const bool ta_ok = Ta::CanEvaluate(index, clause);
   const bool merge_ok = Merge::CanEvaluate(index, clause);
   if (!ta_ok && !merge_ok) {
-    return {RetrievalMethod::kEra, "no redundant lists materialized"};
-  }
+    decision = {RetrievalMethod::kEra, "no redundant lists materialized"};
+  } else {
+    // Estimated total list volume: an upper bound on the entries TA/Merge
+    // read, from the terms' collection frequencies.
+    for (const WeightedTerm& t : clause.terms) {
+      TermStats stats;
+      stat_probes->Add();
+      if (index->postings()->GetTermStats(t.term, &stats).ok()) {
+        volume += stats.collection_freq;
+      }
+    }
 
-  // Estimated total list volume: an upper bound on the entries TA/Merge
-  // read, from the terms' collection frequencies.
-  uint64_t volume = 0;
-  for (const WeightedTerm& t : clause.terms) {
-    TermStats stats;
-    if (index->postings()->GetTermStats(t.term, &stats).ok()) {
-      volume += stats.collection_freq;
+    // §5's observed crossover: TA pays off only when it can stop after a
+    // small fraction of the lists; otherwise its candidate bookkeeping and
+    // top-k heap management lose to Merge's single pass + quicksort.
+    if (ta_ok && k > 0 && (!merge_ok || k * 100 < volume)) {
+      decision = {RetrievalMethod::kTa,
+                  "k is small relative to the expected list volume"};
+    } else if (merge_ok) {
+      decision = {RetrievalMethod::kMerge, "full merge cheaper than threshold"};
+    } else {
+      decision = {RetrievalMethod::kTa, "only RPLs are materialized"};
     }
   }
-
-  // §5's observed crossover: TA pays off only when it can stop after a
-  // small fraction of the lists; otherwise its candidate bookkeeping and
-  // top-k heap management lose to Merge's single pass + quicksort.
-  if (ta_ok && k > 0 && (!merge_ok || k * 100 < volume)) {
-    return {RetrievalMethod::kTa,
-            "k is small relative to the expected list volume"};
-  }
-  if (merge_ok) {
-    return {RetrievalMethod::kMerge, "full merge cheaper than threshold"};
-  }
-  return {RetrievalMethod::kTa, "only RPLs are materialized"};
+  span.AddAttr("method", RetrievalMethodName(decision.method));
+  span.AddAttr("reason", decision.reason);
+  span.AddAttr("k", static_cast<uint64_t>(k));
+  span.AddAttr("probed_volume", volume);
+  return decision;
 }
 
 Status Evaluator::EvaluateWith(RetrievalMethod method,
                                const TranslatedClause& clause, size_t k,
                                RetrievalResult* out) {
+  obs::TraceSpan span(trace_,
+                      std::string("evaluate:") + RetrievalMethodName(method));
   switch (method) {
     case RetrievalMethod::kEra: {
       Era era(index_);
@@ -72,12 +88,49 @@ Status Evaluator::EvaluateWith(RetrievalMethod method,
     }
   }
   if (k > 0 && out->elements.size() > k) out->elements.resize(k);
+
+  // Fold the per-run RetrievalMetrics into the cumulative registry and the
+  // per-query trace, so they are no longer dropped by callers that only
+  // keep the ranked elements.
+  obs::MetricsRegistry& reg = obs::Default();
+  static obs::Counter* const ta_sorted =
+      reg.GetCounter("retrieval.ta.sorted_accesses");
+  static obs::Counter* const ta_heap =
+      reg.GetCounter("retrieval.ta.heap_operations");
+  static obs::Counter* const era_positions =
+      reg.GetCounter("retrieval.era.positions_scanned");
+  static obs::Counter* const era_elements =
+      reg.GetCounter("retrieval.era.elements_scanned");
+  static obs::Counter* const merge_sorted =
+      reg.GetCounter("retrieval.merge.sorted_accesses");
+  const RetrievalMetrics& m = out->metrics;
+  switch (method) {
+    case RetrievalMethod::kEra:
+      era_positions->Add(m.positions_scanned);
+      era_elements->Add(m.elements_scanned);
+      span.AddAttr("positions_scanned", m.positions_scanned);
+      span.AddAttr("elements_scanned", m.elements_scanned);
+      break;
+    case RetrievalMethod::kTa:
+      ta_sorted->Add(m.sorted_accesses);
+      ta_heap->Add(m.heap_operations);
+      span.AddAttr("sorted_accesses", m.sorted_accesses);
+      span.AddAttr("heap_operations", m.heap_operations);
+      span.AddAttr("ideal_seconds", m.ideal_seconds);
+      break;
+    case RetrievalMethod::kMerge:
+      merge_sorted->Add(m.sorted_accesses);
+      span.AddAttr("sorted_accesses", m.sorted_accesses);
+      break;
+  }
+  span.AddAttr("wall_seconds", m.wall_seconds);
+  span.AddAttr("results", static_cast<uint64_t>(out->elements.size()));
   return Status::OK();
 }
 
 Status Evaluator::Evaluate(const TranslatedClause& clause, size_t k,
                            RetrievalResult* out, RetrievalMethod* used) {
-  StrategyDecision decision = ChooseStrategy(index_, clause, k);
+  StrategyDecision decision = ChooseStrategy(index_, clause, k, trace_);
   if (used != nullptr) *used = decision.method;
   return EvaluateWith(decision.method, clause, k, out);
 }

@@ -15,6 +15,7 @@
 
 #include "index/index.h"
 #include "nexi/translator.h"
+#include "obs/trace.h"
 #include "retrieval/common.h"
 
 namespace trex {
@@ -33,9 +34,11 @@ struct StrategyDecision {
 };
 
 // Picks a method for evaluating `clause` with the given k (k == 0 means
-// "all answers").
+// "all answers"). With a trace, the selection — including the per-term
+// stats probes whose cost was previously invisible — is recorded as a
+// "strategy" span with method/reason/volume attributes.
 StrategyDecision ChooseStrategy(Index* index, const TranslatedClause& clause,
-                                size_t k);
+                                size_t k, obs::Trace* trace = nullptr);
 
 // Runs the chosen (or forced) method. k == 0 returns all answers; for
 // k > 0 the result is truncated to k. `used` (optional) reports which
@@ -44,6 +47,10 @@ class Evaluator {
  public:
   explicit Evaluator(Index* index) : index_(index) {}
 
+  // Optional per-query trace: each evaluation becomes an
+  // "evaluate:<method>" span carrying the RetrievalMetrics as attrs.
+  void set_trace(obs::Trace* trace) { trace_ = trace; }
+
   Status Evaluate(const TranslatedClause& clause, size_t k,
                   RetrievalResult* out, RetrievalMethod* used = nullptr);
   Status EvaluateWith(RetrievalMethod method, const TranslatedClause& clause,
@@ -51,6 +58,7 @@ class Evaluator {
 
  private:
   Index* index_;
+  obs::Trace* trace_ = nullptr;
 };
 
 }  // namespace trex

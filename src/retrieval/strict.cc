@@ -33,13 +33,17 @@ Status StrictEvaluator::Evaluate(const TranslatedQuery& query, size_t k,
 
   // 1. Evaluate every clause separately; group results per document.
   Evaluator evaluator(index_);
+  evaluator.set_trace(trace_);
   // clause -> docid -> supports sorted by start offset.
   std::vector<std::map<DocId, std::vector<ScoredElement>>> supports(
       query.clauses.size());
   for (size_t c = 0; c < query.clauses.size(); ++c) {
+    obs::TraceSpan clause_span(trace_, "clause:" + std::to_string(c));
     RetrievalResult result;
     TREX_RETURN_IF_ERROR(
         evaluator.Evaluate(query.clauses[c], /*k=*/0, &result));
+    clause_span.AddAttr("supports",
+                        static_cast<uint64_t>(result.elements.size()));
     out->metrics.sorted_accesses += result.metrics.sorted_accesses;
     out->metrics.positions_scanned += result.metrics.positions_scanned;
     out->metrics.elements_scanned += result.metrics.elements_scanned;
@@ -51,6 +55,7 @@ Status StrictEvaluator::Evaluate(const TranslatedQuery& query, size_t k,
   // 2. Candidates: all elements of the target extents in documents where
   //    the first clause has any support (cheap pre-filter — a qualifying
   //    candidate needs support from every clause).
+  obs::TraceSpan join_span(trace_, "containment_join");
   const auto& first_clause_docs = supports[0];
   for (Sid sid : query.target_sids) {
     ElementIndex::ExtentIterator it(index_->elements(), sid);
@@ -93,6 +98,10 @@ Status StrictEvaluator::Evaluate(const TranslatedQuery& query, size_t k,
       ++out->metrics.elements_scanned;
     }
   }
+
+  join_span.AddAttr("qualified",
+                    static_cast<uint64_t>(out->elements.size()));
+  join_span.End();
 
   std::sort(out->elements.begin(), out->elements.end(),
             ScoredElementGreater);

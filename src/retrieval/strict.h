@@ -27,6 +27,7 @@
 
 #include "index/index.h"
 #include "nexi/translator.h"
+#include "obs/trace.h"
 #include "retrieval/common.h"
 
 namespace trex {
@@ -35,12 +36,17 @@ class StrictEvaluator {
  public:
   explicit StrictEvaluator(Index* index) : index_(index) {}
 
+  // Optional per-query trace: one span per clause evaluation plus a
+  // "containment_join" span for the candidate filtering phase.
+  void set_trace(obs::Trace* trace) { trace_ = trace; }
+
   // k == 0 returns all strict answers.
   Status Evaluate(const TranslatedQuery& query, size_t k,
                   RetrievalResult* out);
 
  private:
   Index* index_;
+  obs::Trace* trace_ = nullptr;
 };
 
 }  // namespace trex

@@ -222,6 +222,10 @@ BPTree::BPTree(std::unique_ptr<Pager> pager, size_t cache_pages)
     : pager_(std::move(pager)) {
   pool_ = std::make_unique<BufferPool>(pager_.get(), cache_pages);
   row_count_ = pager_->row_count();
+  obs::MetricsRegistry& reg = obs::Default();
+  m_node_splits_ = reg.GetCounter("storage.bptree.node_splits");
+  m_seeks_ = reg.GetCounter("storage.bptree.seeks");
+  m_seek_depth_ = reg.GetHistogram("storage.bptree.seek_depth");
 }
 
 BPTree::~BPTree() { Flush().ok(); }
@@ -245,12 +249,16 @@ Status BPTree::FindLeaf(const Slice& target, PageHandle* leaf) {
   if (node == kInvalidPageId) {
     return Status::NotFound("empty tree");
   }
+  m_seeks_->Add();
+  uint64_t depth = 0;
   while (true) {
+    ++depth;
     auto h = pool_->Fetch(node);
     if (!h.ok()) return h.status();
     NodeView view(h.value().data());
     if (view.is_leaf()) {
       *leaf = std::move(h).value();
+      m_seek_depth_->Record(depth);
       return Status::OK();
     }
     node = view.ChildFor(target);
@@ -368,6 +376,7 @@ Status BPTree::InsertInto(PageId node, const Slice& key, const Slice& value,
     for (int i = 0; i < mid; ++i) {
       view.InsertCellAt(view.ncells(), cells[i]);
     }
+    m_node_splits_->Add();
     *split = SplitResult{std::move(sep), right.id()};
     return Status::OK();
   }
@@ -421,6 +430,7 @@ Status BPTree::InsertInto(PageId node, const Slice& key, const Slice& value,
     GetVarint32(&in, &vlen);
     sep_key = Slice(in.data(), klen);
   }
+  m_node_splits_->Add();
   *split = SplitResult{sep_key.ToString(), right.id()};
   return Status::OK();
 }

@@ -151,6 +151,10 @@ class BPTree {
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<BufferPool> pool_;
   uint64_t row_count_ = 0;
+  // storage.bptree.* metrics (splits and root-to-leaf descents).
+  obs::Counter* m_node_splits_;
+  obs::Counter* m_seeks_;
+  obs::Histogram* m_seek_depth_;
 };
 
 }  // namespace trex

@@ -36,6 +36,11 @@ BufferPool::BufferPool(Pager* pager, size_t capacity) : pager_(pager) {
   assert(capacity > 0);
   frames_.resize(capacity);
   for (auto& f : frames_) f.data.resize(kPageSize);
+  obs::MetricsRegistry& reg = obs::Default();
+  m_hits_ = reg.GetCounter("storage.bufpool.hits");
+  m_misses_ = reg.GetCounter("storage.bufpool.misses");
+  m_evictions_ = reg.GetCounter("storage.bufpool.evictions");
+  m_writebacks_ = reg.GetCounter("storage.bufpool.dirty_writebacks");
 }
 
 BufferPool::~BufferPool() {
@@ -57,6 +62,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
     size_t frame = it->second;
     ++frames_[frame].pins;
     TouchLru(frame);
+    m_hits_->Add();
     return PageHandle(this, frame, id, frames_[frame].data.data());
   }
   auto frame_or = GrabFrame();
@@ -65,6 +71,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
   Frame& f = frames_[frame];
   TREX_RETURN_IF_ERROR(pager_->ReadPage(id, f.data.data()));
   ++page_reads_;
+  m_misses_->Add();
   f.id = id;
   f.pins = 1;
   f.dirty = false;
@@ -110,8 +117,12 @@ Result<size_t> BufferPool::GrabFrame() {
 
 Status BufferPool::EvictFrame(size_t frame) {
   Frame& f = frames_[frame];
+  ++evictions_;
+  m_evictions_->Add();
   if (f.dirty) {
     TREX_RETURN_IF_ERROR(pager_->WritePage(f.id, f.data.data()));
+    ++dirty_writebacks_;
+    m_writebacks_->Add();
   }
   page_to_frame_.erase(f.id);
   auto it = lru_pos_.find(frame);
@@ -135,6 +146,8 @@ Status BufferPool::Flush() {
     if (f.in_use && f.dirty) {
       TREX_RETURN_IF_ERROR(pager_->WritePage(f.id, f.data.data()));
       f.dirty = false;
+      ++dirty_writebacks_;
+      m_writebacks_->Add();
     }
   }
   return Status::OK();

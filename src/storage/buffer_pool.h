@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/pager.h"
 
 namespace trex {
@@ -68,10 +69,17 @@ class BufferPool {
 
   Pager* pager() { return pager_; }
 
-  // Counters for the experiment harness.
+  // Counters for the experiment harness. The same events also feed the
+  // storage.bufpool.* metrics in obs::Default().
   uint64_t page_reads() const { return page_reads_; }     // Disk reads.
   uint64_t page_accesses() const { return page_accesses_; }  // Fetches.
-  void ResetCounters() { page_reads_ = page_accesses_ = 0; }
+  uint64_t hits() const { return page_accesses_ - page_reads_; }
+  uint64_t misses() const { return page_reads_; }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t dirty_writebacks() const { return dirty_writebacks_; }
+  void ResetCounters() {
+    page_reads_ = page_accesses_ = evictions_ = dirty_writebacks_ = 0;
+  }
 
  private:
   friend class PageHandle;
@@ -98,6 +106,14 @@ class BufferPool {
   std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
   uint64_t page_reads_ = 0;
   uint64_t page_accesses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t dirty_writebacks_ = 0;
+  // Process-wide metrics, fetched once per pool (pointers are stable for
+  // the life of the default registry).
+  obs::Counter* m_hits_;
+  obs::Counter* m_misses_;
+  obs::Counter* m_evictions_;
+  obs::Counter* m_writebacks_;
 };
 
 }  // namespace trex

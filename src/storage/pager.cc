@@ -16,6 +16,15 @@ constexpr size_t kHeaderRootOff = 12;
 constexpr size_t kHeaderRowCountOff = 16;
 }  // namespace
 
+Pager::Pager(std::unique_ptr<RandomAccessFile> file)
+    : file_(std::move(file)) {
+  obs::MetricsRegistry& reg = obs::Default();
+  m_page_reads_ = reg.GetCounter("storage.pager.page_reads");
+  m_page_writes_ = reg.GetCounter("storage.pager.page_writes");
+  m_bytes_read_ = reg.GetCounter("storage.pager.bytes_read");
+  m_bytes_written_ = reg.GetCounter("storage.pager.bytes_written");
+}
+
 Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path) {
   auto file = Env::OpenFile(path);
   if (!file.ok()) return file.status();
@@ -45,6 +54,8 @@ Status Pager::WriteHeader() {
   std::memcpy(buf.data() + kHeaderRootOff, &root_page_, 4);
   std::memcpy(buf.data() + kHeaderRowCountOff, &row_count_, 8);
   StampPageChecksum(buf.data());
+  m_page_writes_->Add();
+  m_bytes_written_->Add(kPageSize);
   return file_->Write(0, buf.data(), kPageSize);
 }
 
@@ -73,6 +84,8 @@ Status Pager::ReadPage(PageId id, char* buf) {
   }
   TREX_RETURN_IF_ERROR(
       file_->Read(static_cast<uint64_t>(id) * kPageSize, kPageSize, buf));
+  m_page_reads_->Add();
+  m_bytes_read_->Add(kPageSize);
   if (!VerifyPageChecksum(buf)) {
     return Status::Corruption("checksum mismatch on page " +
                               std::to_string(id));
@@ -86,6 +99,8 @@ Status Pager::WritePage(PageId id, char* buf) {
                                    " out of range");
   }
   StampPageChecksum(buf);
+  m_page_writes_->Add();
+  m_bytes_written_->Add(kPageSize);
   return file_->Write(static_cast<uint64_t>(id) * kPageSize, buf, kPageSize);
 }
 

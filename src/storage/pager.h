@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/env.h"
 #include "storage/page.h"
 
@@ -52,8 +53,7 @@ class Pager {
   Status Sync();
 
  private:
-  explicit Pager(std::unique_ptr<RandomAccessFile> file)
-      : file_(std::move(file)) {}
+  explicit Pager(std::unique_ptr<RandomAccessFile> file);
 
   Status WriteHeader();
   Status ReadHeader();
@@ -63,6 +63,11 @@ class Pager {
   PageId freelist_head_ = kInvalidPageId;
   PageId root_page_ = kInvalidPageId;
   uint64_t row_count_ = 0;
+  // storage.pager.* metrics (physical page I/O, including header writes).
+  obs::Counter* m_page_reads_;
+  obs::Counter* m_page_writes_;
+  obs::Counter* m_bytes_read_;
+  obs::Counter* m_bytes_written_;
 };
 
 }  // namespace trex

@@ -43,15 +43,25 @@ Result<std::unique_ptr<TReX>> TReX::Open(const std::string& dir,
 
 Result<QueryAnswer> TReX::RunQuery(const std::string& nexi, size_t k,
                                    const RetrievalMethod* forced) {
-  auto translated = TranslateNexi(nexi, index_->summary(),
-                                  &index_->aliases(), index_->tokenizer());
-  if (!translated.ok()) return translated.status();
-
   QueryAnswer answer;
-  answer.translation = std::move(translated).value();
+  answer.trace = std::make_shared<obs::Trace>("query");
+  obs::Trace* trace = answer.trace.get();
+
+  {
+    obs::TraceSpan span(trace, "translate");
+    auto translated = TranslateNexi(nexi, index_->summary(),
+                                    &index_->aliases(), index_->tokenizer());
+    if (!translated.ok()) return translated.status();
+    answer.translation = std::move(translated).value();
+    span.AddAttr("terms", static_cast<uint64_t>(
+                              answer.translation.flattened.terms.size()));
+    span.AddAttr("sids", static_cast<uint64_t>(
+                             answer.translation.flattened.sids.size()));
+  }
   const TranslatedClause& clause = answer.translation.flattened;
 
   Evaluator evaluator(index_.get());
+  evaluator.set_trace(trace);
   // When restricting to target sids, evaluate unrestricted first (the
   // methods need the clause's own sids), then filter.
   size_t effective_k = options_.restrict_to_target_sids ? 0 : k;
@@ -66,8 +76,10 @@ Result<QueryAnswer> TReX::RunQuery(const std::string& nexi, size_t k,
   if (!s.ok()) return s;
 
   if (options_.restrict_to_target_sids) {
+    obs::TraceSpan span(trace, "shape");
     const std::vector<Sid>& targets = answer.translation.target_sids;
     auto& elems = answer.result.elements;
+    span.AddAttr("unrestricted", static_cast<uint64_t>(elems.size()));
     elems.erase(std::remove_if(elems.begin(), elems.end(),
                                [&](const ScoredElement& e) {
                                  return !std::binary_search(
@@ -76,7 +88,9 @@ Result<QueryAnswer> TReX::RunQuery(const std::string& nexi, size_t k,
                                }),
                 elems.end());
     if (k > 0 && elems.size() > k) elems.resize(k);
+    span.AddAttr("kept", static_cast<uint64_t>(elems.size()));
   }
+  answer.trace->Finish();
   return answer;
 }
 
@@ -85,15 +99,27 @@ Result<QueryAnswer> TReX::Query(const std::string& nexi, size_t k) {
 }
 
 Result<QueryAnswer> TReX::QueryStrict(const std::string& nexi, size_t k) {
-  auto translated = TranslateNexi(nexi, index_->summary(),
-                                  &index_->aliases(), index_->tokenizer());
-  if (!translated.ok()) return translated.status();
   QueryAnswer answer;
-  answer.translation = std::move(translated).value();
+  answer.trace = std::make_shared<obs::Trace>("query");
+  obs::Trace* trace = answer.trace.get();
+  {
+    obs::TraceSpan span(trace, "translate");
+    auto translated = TranslateNexi(nexi, index_->summary(),
+                                    &index_->aliases(), index_->tokenizer());
+    if (!translated.ok()) return translated.status();
+    answer.translation = std::move(translated).value();
+  }
   answer.method = RetrievalMethod::kEra;  // Per-clause methods vary.
   StrictEvaluator strict(index_.get());
-  TREX_RETURN_IF_ERROR(strict.Evaluate(answer.translation, k,
-                                       &answer.result));
+  strict.set_trace(trace);
+  {
+    obs::TraceSpan span(trace, "evaluate:strict");
+    TREX_RETURN_IF_ERROR(strict.Evaluate(answer.translation, k,
+                                         &answer.result));
+    span.AddAttr("results",
+                 static_cast<uint64_t>(answer.result.elements.size()));
+  }
+  answer.trace->Finish();
   return answer;
 }
 

@@ -24,6 +24,8 @@
 #include "index/index.h"
 #include "index/index_builder.h"
 #include "nexi/translator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "retrieval/strategy.h"
 
 namespace trex {
@@ -41,6 +43,10 @@ struct QueryAnswer {
   RetrievalResult result;
   RetrievalMethod method = RetrievalMethod::kEra;
   TranslatedQuery translation;
+  // Per-query EXPLAIN: one span per phase (translate, strategy,
+  // evaluate:<method>, shape), serializable with trace->ToJson().
+  // shared_ptr keeps QueryAnswer copyable (Trace itself is move-only).
+  std::shared_ptr<obs::Trace> trace;
 };
 
 class TReX {
@@ -80,6 +86,10 @@ class TReX {
   // lists of terms occurring in the document are dropped; see
   // index/updater.h for the scoring-snapshot semantics.
   Result<DocId> AddDocument(const std::string& xml);
+
+  // Cumulative snapshot of the process-wide metrics registry (buffer
+  // pool, pager, B+-tree, posting/RPL/ERPL access, retrieval, advisor).
+  obs::MetricsSnapshot Metrics() const { return obs::Default().Snapshot(); }
 
   Index* index() { return index_.get(); }
 

@@ -1,0 +1,215 @@
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace trex {
+namespace obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("test.counter");
+  EXPECT_EQ(c->value(), 0u);
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42u);
+}
+
+TEST(CounterTest, InternedByName) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("test.same");
+  Counter* b = reg.GetCounter("test.same");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, reg.GetCounter("test.other"));
+}
+
+TEST(CounterTest, DisabledAddsAreDropped) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("test.counter");
+  c->Add(5);
+  reg.set_enabled(false);
+  c->Add(100);
+  EXPECT_EQ(c->value(), 5u);
+  reg.set_enabled(true);
+  c->Add(1);
+  EXPECT_EQ(c->value(), 6u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsFromFourThreads) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("test.concurrent");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c->value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  MetricsRegistry reg;
+  Gauge* g = reg.GetGauge("test.gauge");
+  g->Set(10);
+  EXPECT_EQ(g->value(), 10);
+  g->Add(-4);
+  EXPECT_EQ(g->value(), 6);
+  g->Set(-3);
+  EXPECT_EQ(g->value(), -3);
+}
+
+TEST(HistogramTest, SummaryOfKnownSamples) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("test.hist");
+  EXPECT_EQ(h->Summary().count, 0u);
+  h->Record(0);
+  h->Record(1);
+  h->Record(2);
+  h->Record(1000);
+  HistogramSummary s = h->Summary();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 1003u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 1000u);
+}
+
+TEST(HistogramTest, ConstantDistributionPercentilesAreExact) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("test.hist");
+  for (int i = 0; i < 1000; ++i) h->Record(7);
+  HistogramSummary s = h->Summary();
+  // All mass in one bucket, clamped to the recorded min/max.
+  EXPECT_EQ(s.p50, 7u);
+  EXPECT_EQ(s.p95, 7u);
+  EXPECT_EQ(s.p99, 7u);
+}
+
+TEST(HistogramTest, UniformDistributionPercentilesWithinBucketError) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("test.hist");
+  // Uniform over [1, 10000].
+  for (uint64_t v = 1; v <= 10000; ++v) h->Record(v);
+  HistogramSummary s = h->Summary();
+  // Log2 buckets bound the relative error by 2x; uniform mass makes the
+  // interpolation much tighter, but assert only the guaranteed bound.
+  EXPECT_GE(s.p50, 2500u);
+  EXPECT_LE(s.p50, 10000u);
+  EXPECT_GE(s.p95, 4750u);
+  EXPECT_LE(s.p95, 10000u);
+  EXPECT_GE(s.p99, 4950u);
+  EXPECT_LE(s.p99, 10000u);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("test.hist");
+  h->Record(UINT64_MAX);
+  h->Record(1);
+  HistogramSummary s = h->Summary();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.max, UINT64_MAX);
+  EXPECT_EQ(s.min, 1u);
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsPointers) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("test.counter");
+  Histogram* h = reg.GetHistogram("test.hist");
+  c->Add(9);
+  h->Record(5);
+  reg.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->Summary().count, 0u);
+  EXPECT_EQ(reg.GetCounter("test.counter"), c);
+  c->Add(2);
+  EXPECT_EQ(c->value(), 2u);
+}
+
+TEST(RegistryTest, SnapshotAndJson) {
+  MetricsRegistry reg;
+  reg.GetCounter("a.b.c")->Add(3);
+  reg.GetGauge("g")->Set(-1);
+  reg.GetHistogram("h")->Record(4);
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counter("a.b.c"), 3u);
+  EXPECT_EQ(snap.counter("missing"), 0u);
+  EXPECT_EQ(snap.gauges.at("g"), -1);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+  std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"a.b.c\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(JsonEscapeTest, EscapesControlAndQuoteCharacters) {
+  std::string out;
+  JsonEscape("a\"b\\c\n\t", &out);
+  EXPECT_EQ(out, "a\\\"b\\\\c\\n\\t");
+}
+
+TEST(TraceTest, NullTraceIsANoOp) {
+  TraceSpan span(nullptr, "phase");
+  span.AddAttr("k", uint64_t{1});
+  span.End();  // Must not crash.
+}
+
+TEST(TraceTest, NestedSpansFormATree) {
+  Trace trace("query");
+  {
+    TraceSpan outer(&trace, "outer");
+    outer.AddAttr("n", uint64_t{2});
+    { TraceSpan inner(&trace, "inner"); }
+    { TraceSpan inner2(&trace, "inner2"); }
+  }
+  trace.Finish();
+  const TraceNode& root = *trace.root();
+  EXPECT_EQ(root.name, "query");
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.children[0]->name, "outer");
+  ASSERT_EQ(root.children[0]->children.size(), 2u);
+  EXPECT_EQ(root.children[0]->children[0]->name, "inner");
+  EXPECT_EQ(root.children[0]->children[1]->name, "inner2");
+  EXPECT_GE(root.duration_nanos, root.children[0]->duration_nanos);
+}
+
+TEST(TraceTest, JsonShapeHasDurationsAndAttrs) {
+  Trace trace("query");
+  {
+    TraceSpan span(&trace, "evaluate:TA");
+    span.AddAttr("sorted_accesses", uint64_t{12});
+    span.AddAttr("wall_seconds", 0.5);
+    span.AddAttr("reason", "test");
+  }
+  std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"name\":\"query\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"evaluate:TA\""), std::string::npos);
+  EXPECT_NE(json.find("\"duration_ns\":"), std::string::npos);
+  EXPECT_NE(json.find("\"start_ns\":"), std::string::npos);
+  EXPECT_NE(json.find("\"sorted_accesses\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"test\""), std::string::npos);
+}
+
+TEST(TraceTest, FinishClosesLeakedSpansAndIsIdempotent) {
+  Trace trace;
+  TraceNode* open = trace.OpenSpan("leaked");
+  (void)open;
+  trace.Finish();
+  trace.Finish();
+  EXPECT_GE(trace.root()->duration_nanos, 0);
+  ASSERT_EQ(trace.root()->children.size(), 1u);
+  EXPECT_GE(trace.root()->children[0]->duration_nanos, 0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace trex

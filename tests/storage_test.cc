@@ -7,6 +7,7 @@
 #include "common/coding.h"
 #include "common/rng.h"
 #include "gtest/gtest.h"
+#include "obs/metrics.h"
 #include "storage/bptree.h"
 #include "storage/buffer_pool.h"
 #include "storage/env.h"
@@ -166,6 +167,50 @@ TEST_F(StorageTest, BufferPoolCachesPages) {
   }
   EXPECT_EQ(pool.page_accesses(), 5u);
   EXPECT_EQ(pool.page_reads(), 0u);  // All hits (page stayed cached).
+}
+
+TEST_F(StorageTest, BufferPoolCountsColdMissesAndWarmHits) {
+  constexpr int kPages = 6;
+  std::vector<PageId> ids;
+  {
+    auto pager_or = Pager::Open(Path("p"));
+    ASSERT_TRUE(pager_or.ok());
+    BufferPool pool(pager_or.value().get(), 8);
+    for (int i = 0; i < kPages; ++i) {
+      auto h = pool.Allocate();
+      ASSERT_TRUE(h.ok());
+      h.value().MutableData()[0] = static_cast<char>('a' + i);
+      ids.push_back(h.value().id());
+    }
+    ASSERT_TRUE(pool.Flush().ok());
+  }
+
+  // A fresh pool reading a cold workload must report one miss per page...
+  auto pager_or = Pager::Open(Path("p"));
+  ASSERT_TRUE(pager_or.ok());
+  BufferPool pool(pager_or.value().get(), 8);
+  obs::MetricsSnapshot before = obs::Default().Snapshot();
+  for (PageId id : ids) ASSERT_TRUE(pool.Fetch(id).ok());
+  EXPECT_EQ(pool.misses(), static_cast<uint64_t>(kPages));
+  EXPECT_EQ(pool.hits(), 0u);
+
+  // ...and re-reading the same pages must be all hits.
+  for (PageId id : ids) ASSERT_TRUE(pool.Fetch(id).ok());
+  EXPECT_EQ(pool.misses(), static_cast<uint64_t>(kPages));
+  EXPECT_EQ(pool.hits(), static_cast<uint64_t>(kPages));
+  EXPECT_EQ(pool.evictions(), 0u);
+
+  // The same events flow into the process-wide registry (deltas, since
+  // the registry is cumulative across tests).
+  obs::MetricsSnapshot after = obs::Default().Snapshot();
+  EXPECT_EQ(after.counter("storage.bufpool.misses") -
+                before.counter("storage.bufpool.misses"),
+            static_cast<uint64_t>(kPages));
+  EXPECT_EQ(after.counter("storage.bufpool.hits") -
+                before.counter("storage.bufpool.hits"),
+            static_cast<uint64_t>(kPages));
+  EXPECT_GE(after.counter("storage.pager.page_reads"),
+            before.counter("storage.pager.page_reads") + kPages);
 }
 
 TEST_F(StorageTest, BufferPoolEvictsAndWritesBack) {

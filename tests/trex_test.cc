@@ -167,6 +167,63 @@ TEST_F(TrexTest, SelfManageEndToEnd) {
   }
 }
 
+TEST_F(TrexTest, MetricsAndTraceAfterBuildAndQuery) {
+  obs::MetricsSnapshot before = obs::Default().Snapshot();
+  auto trex = BuildIeee(40);
+  auto answer = trex->Query("//article[about(., xml information)]", 5);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+
+  // Cumulative registry: the build + query must have exercised the
+  // buffer pool and the posting lists.
+  obs::MetricsSnapshot after = trex->Metrics();
+  EXPECT_GT(after.counter("storage.bufpool.misses"),
+            before.counter("storage.bufpool.misses"));
+  EXPECT_GT(after.counter("storage.bufpool.hits"),
+            before.counter("storage.bufpool.hits"));
+  EXPECT_GT(after.counter("storage.pager.page_writes"),
+            before.counter("storage.pager.page_writes"));
+  EXPECT_GT(after.counter("index.postings.positions_read"),
+            before.counter("index.postings.positions_read"));
+  EXPECT_GT(after.counter("index.elements.extent_seeks"),
+            before.counter("index.elements.extent_seeks"));
+  EXPECT_GT(after.counter("retrieval.era.positions_scanned"),
+            before.counter("retrieval.era.positions_scanned"));
+
+  // Per-query EXPLAIN: one span per phase, with nanosecond durations.
+  ASSERT_NE(answer.value().trace, nullptr);
+  const obs::TraceNode& root = *answer.value().trace->root();
+  EXPECT_EQ(root.name, "query");
+  EXPECT_GT(root.duration_nanos, 0);
+  std::vector<std::string> phases;
+  for (const auto& child : root.children) phases.push_back(child->name);
+  EXPECT_NE(std::find(phases.begin(), phases.end(), "translate"),
+            phases.end());
+  EXPECT_NE(std::find(phases.begin(), phases.end(), "strategy"),
+            phases.end());
+  EXPECT_NE(std::find_if(phases.begin(), phases.end(),
+                         [](const std::string& p) {
+                           return p.rfind("evaluate:", 0) == 0;
+                         }),
+            phases.end());
+
+  std::string json = answer.value().trace->ToJson();
+  EXPECT_NE(json.find("\"name\":\"query\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"translate\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"strategy\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"evaluate:"), std::string::npos);
+  EXPECT_NE(json.find("\"duration_ns\":"), std::string::npos);
+}
+
+TEST_F(TrexTest, QueryStrictProducesTrace) {
+  auto trex = BuildIeee(30);
+  auto answer = trex->QueryStrict("//article[about(., xml)]", 5);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  ASSERT_NE(answer.value().trace, nullptr);
+  std::string json = answer.value().trace->ToJson();
+  EXPECT_NE(json.find("\"name\":\"evaluate:strict\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"containment_join\""), std::string::npos);
+}
+
 TEST_F(TrexTest, RejectsBadQueries) {
   auto trex = BuildIeee(5);
   EXPECT_FALSE(trex->Query("not a query", 10).ok());
