@@ -1,31 +1,116 @@
 // index_doctor: open an index directory, print its statistics, verify
-// every structural invariant (Elements ordering and extent
-// disjointness, posting-list order and m-pos sentinels, RPL/ERPL block
-// order, catalog consistency), and report the result.
+// its invariants, and optionally repair it after a crash.
 //
-//   ./examples/index_doctor <index-dir>
-//   ./examples/index_doctor --demo <workdir>    # Build a demo index first.
+//   ./examples/index_doctor <index-dir>            # Stats + logical Verify().
+//   ./examples/index_doctor <index-dir> --verify   # + page-level DeepVerify.
+//   ./examples/index_doctor <index-dir> --repair   # RecoverIndex + reverify.
+//   ./examples/index_doctor --demo <workdir>       # Build a demo index first.
+//
+// --inject <spec> installs a deterministic fault-injecting Env before
+// anything touches disk, for exercising the failure paths by hand. The
+// spec is comma-separated kind=N pairs counting I/O operations from
+// process start:
+//   fail_write=N   Nth write fails with IOError
+//   torn=N[:B]     Nth write persists only its first B bytes (default 512)
+//                  and the process "loses power" (later writes dropped)
+//   flip_read=N    one bit of the Nth read is flipped
+//   fail_sync=N    Nth sync fails with IOError
+//   crash=N        power loss after N writes (later writes dropped)
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "corpus/ieee_generator.h"
+#include "index/recovery.h"
 #include "obs/metrics.h"
 #include "retrieval/materializer.h"
+#include "storage/fault_env.h"
 #include "trex/trex.h"
 
+namespace {
+
+bool ParseFaultSpec(const std::string& spec, trex::FaultPlan* plan) {
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string item = spec.substr(start, comma - start);
+    start = comma + 1;
+    size_t eq = item.find('=');
+    if (eq == std::string::npos) return false;
+    std::string kind = item.substr(0, eq);
+    std::string arg = item.substr(eq + 1);
+    char* end = nullptr;
+    long n = std::strtol(arg.c_str(), &end, 10);
+    if (end == arg.c_str() || n < 0) return false;
+    if (kind == "fail_write") {
+      plan->fail_write_at = n;
+    } else if (kind == "torn") {
+      plan->torn_write_at = n;
+      if (*end == ':') plan->torn_bytes = std::strtoul(end + 1, nullptr, 10);
+    } else if (kind == "flip_read") {
+      plan->flip_read_bit_at = n;
+    } else if (kind == "fail_sync") {
+      plan->fail_sync_at = n;
+    } else if (kind == "crash") {
+      plan->crash_after_writes = n;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s (<index-dir> | --demo <workdir>)\n",
+  std::string dir;
+  bool demo = false;
+  bool deep = false;
+  bool repair = false;
+  trex::FaultPlan plan;
+  bool inject = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--verify") {
+      deep = true;
+    } else if (arg == "--repair") {
+      repair = true;
+    } else if (arg == "--inject") {
+      if (++i >= argc || !ParseFaultSpec(argv[i], &plan)) {
+        std::fprintf(stderr, "--inject needs a spec like crash=150,torn=40\n");
+        return 2;
+      }
+      inject = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    } else {
+      dir = arg;
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--inject spec] "
+                 "(<index-dir> [--verify|--repair] | --demo <workdir>)\n",
                  argv[0]);
     return 2;
   }
-  std::string dir;
-  if (std::string(argv[1]) == "--demo") {
-    if (argc < 3) {
-      std::fprintf(stderr, "--demo needs a workdir\n");
-      return 2;
-    }
-    dir = std::string(argv[2]) + "/index";
+
+  std::unique_ptr<trex::FaultInjectingEnv> fault_env;
+  if (inject) {
+    fault_env = std::make_unique<trex::FaultInjectingEnv>();
+    fault_env->plan() = plan;
+    trex::Env::Swap(fault_env.get());
+    std::printf("fault injection armed\n");
+  }
+
+  if (demo) {
+    std::string workdir = dir;
+    dir = workdir + "/index";
     trex::TrexOptions options;
     options.index.aliases = trex::IeeeAliasMap();
     trex::IeeeGeneratorOptions gen_options;
@@ -33,20 +118,40 @@ int main(int argc, char** argv) {
     trex::IeeeGenerator gen(gen_options);
     std::printf("building a demo index in %s ...\n", dir.c_str());
     auto built = trex::TReX::Build(dir, gen, options);
-    TREX_CHECK_OK(built.status());
+    if (!built.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   built.status().ToString().c_str());
+      if (fault_env != nullptr && fault_env->crashed()) {
+        std::fprintf(stderr, "(injected crash after %llu writes)\n",
+                     static_cast<unsigned long long>(fault_env->writes()));
+      }
+      trex::Env::Swap(nullptr);
+      return 1;
+    }
     // Materialize a couple of lists so the catalog is non-trivial.
     trex::MaterializeStats stats;
     TREX_CHECK_OK(built.value()->MaterializeFor(
         "//article//sec[about(., ontologies)]", true, true, &stats));
     TREX_CHECK_OK(built.value()->index()->Flush());
-  } else {
-    dir = argv[1];
+  }
+
+  if (repair) {
+    trex::RecoveryReport report;
+    trex::Status s = trex::RecoverIndex(dir, &report);
+    if (!s.ok()) {
+      std::fprintf(stderr, "repair failed: %s\n", s.ToString().c_str());
+      trex::Env::Swap(nullptr);
+      return 1;
+    }
+    std::printf("%s\n", report.ToString().c_str());
   }
 
   auto index = trex::Index::Open(dir);
   if (!index.ok()) {
     std::fprintf(stderr, "cannot open index: %s\n",
                  index.status().ToString().c_str());
+    std::fprintf(stderr, "hint: rerun with --repair\n");
+    trex::Env::Swap(nullptr);
     return 1;
   }
   std::printf("%s\n", index.value()->DebugStats().c_str());
@@ -62,7 +167,13 @@ int main(int argc, char** argv) {
   };
   for (const Named& t : trees) {
     trex::BPTree::TreeStats stats;
-    TREX_CHECK_OK(t.tree->Analyze(&stats));
+    trex::Status as = t.tree->Analyze(&stats);
+    if (!as.ok()) {
+      // Keep going: the whole point of the doctor is reporting on damaged
+      // indexes, and the verify pass below gives the full diagnosis.
+      std::printf("%-14s unreadable: %s\n", t.name, as.ToString().c_str());
+      continue;
+    }
     std::printf(
         "%-14s height %u, %llu internal + %llu leaf nodes, fill %.2f\n",
         t.name, stats.height,
@@ -72,13 +183,21 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
-  std::printf("verifying invariants ... ");
-  std::fflush(stdout);
-  trex::Status s = index.value()->Verify();
+  trex::Status s;
+  if (deep || repair) {
+    std::printf("deep-verifying pages + invariants ... ");
+    std::fflush(stdout);
+    s = index.value()->DeepVerify();
+  } else {
+    std::printf("verifying invariants ... ");
+    std::fflush(stdout);
+    s = index.value()->Verify();
+  }
   if (s.ok()) {
     std::printf("OK\n");
   } else {
     std::printf("FAILED\n  %s\n", s.ToString().c_str());
+    if (!repair) std::printf("hint: rerun with --repair\n");
   }
 
   // Cumulative process metrics — the storage I/O that the checks above
@@ -86,5 +205,6 @@ int main(int argc, char** argv) {
   // an undersized buffer pool).
   std::printf("\nmetrics: %s\n",
               trex::obs::Default().Snapshot().ToJson().c_str());
+  trex::Env::Swap(nullptr);
   return s.ok() ? 0 : 1;
 }

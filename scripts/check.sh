@@ -15,3 +15,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DTREX_ENABLE_UBSAN=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# Run the crash/corruption suite once more on its own so a fault-injection
+# regression is reported as such even when the full run above is skimmed.
+ctest --test-dir "$BUILD_DIR" -L fault --output-on-failure -j "$(nproc)"

@@ -273,6 +273,28 @@ Status Index::Verify() {
   return Status::OK();
 }
 
+Status Index::DeepVerify() {
+  struct Named {
+    const char* name;
+    BPTree* tree;
+  };
+  const Named trees[] = {
+      {"Elements", elements_->table()->tree()},
+      {"PostingLists", postings_->postings_table()->tree()},
+      {"TermStats", postings_->stats_table()->tree()},
+      {"RPLs", rpls_->table()->tree()},
+      {"ERPLs", erpls_->table()->tree()},
+      {"Catalog", catalog_->table()->tree()},
+  };
+  for (const Named& t : trees) {
+    Status s = t.tree->DeepVerify();
+    if (!s.ok()) {
+      return Status::Corruption(std::string(t.name) + ": " + s.message());
+    }
+  }
+  return Verify();
+}
+
 std::string Index::DebugStats() {
   std::ostringstream out;
   out << "Index " << dir_ << "\n";

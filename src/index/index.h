@@ -59,6 +59,12 @@ class Index {
   // Returns the first violation found as a Corruption status.
   Status Verify();
 
+  // Verify() plus an exhaustive storage-level check: every table's
+  // B+-tree is walked page by page (checksums, node layout, key order,
+  // freelist disjointness). This is the check TReX::Open runs in repair
+  // mode and index_doctor --verify exposes.
+  Status DeepVerify();
+
   // Human-readable table statistics (row counts and file sizes).
   std::string DebugStats();
 

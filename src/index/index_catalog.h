@@ -50,6 +50,7 @@ class IndexCatalog {
   Result<uint64_t> TotalSizeBytes();
 
   Status Flush() { return table_->Flush(); }
+  Table* table() { return table_.get(); }
 
  private:
   static std::string EncodeKey(ListKind kind, const std::string& term,

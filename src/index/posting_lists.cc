@@ -112,6 +112,39 @@ Status PostingLists::Flush() {
   return stats_->Flush();
 }
 
+Status PostingLists::WriteFragments(Table* table, const std::string& term,
+                                    const std::vector<Position>& positions) {
+  auto entry_size = [](const Position& prev, const Position& p) {
+    std::string tmp;
+    uint32_t d = p.docid - prev.docid;
+    PutVarint32(&tmp, d);
+    PutVarint64(&tmp, d == 0 ? p.offset - prev.offset : p.offset);
+    return tmp.size();
+  };
+  size_t i = 0;
+  const size_t n = positions.size();
+  while (i < n) {
+    Position first = positions[i];
+    ++i;
+    std::vector<Position> rest;
+    size_t encoded = 0;
+    Position prev = first;
+    while (i < n) {
+      size_t sz = entry_size(prev, positions[i]);
+      if (encoded + sz > kPostingFragmentBudget) break;
+      encoded += sz;
+      prev = positions[i];
+      rest.push_back(positions[i]);
+      ++i;
+    }
+    if (i == n) rest.push_back(kMaxPosition);
+    std::string value;
+    EncodeFragment(first, rest, &value);
+    TREX_RETURN_IF_ERROR(table->Put(EncodeKey(term, first), value));
+  }
+  return Status::OK();
+}
+
 // ---------------------------------------------------------------------------
 // Loader
 // ---------------------------------------------------------------------------

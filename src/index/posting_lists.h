@@ -89,7 +89,15 @@ class PostingLists {
   }
   uint64_t num_terms() const { return stats_->row_count(); }
   Table* postings_table() { return postings_.get(); }
+  Table* stats_table() { return stats_.get(); }
   Status Flush();
+
+  // Splits `positions` into fragments under the byte budget and writes
+  // them with Put, appending the m-pos sentinel to the last fragment.
+  // Shared by the incremental updater (extend-in-place) and recovery
+  // (rewrite-after-truncation).
+  static Status WriteFragments(Table* table, const std::string& term,
+                               const std::vector<Position>& positions);
 
   // Codec helpers (exposed for tests).
   static std::string EncodeKey(const std::string& term, const Position& first);

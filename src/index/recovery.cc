@@ -1,0 +1,387 @@
+#include "index/recovery.h"
+
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/coding.h"
+#include "index/element_index.h"
+#include "index/erpl.h"
+#include "index/index_catalog.h"
+#include "index/posting_lists.h"
+#include "index/rpl.h"
+#include "obs/metrics.h"
+#include "storage/env.h"
+#include "storage/page.h"
+#include "storage/table.h"
+#include "summary/summary.h"
+
+namespace trex {
+
+namespace {
+
+// The committed horizon: every docid <= this survived a full commit.
+Result<DocId> ReadCommittedMaxDocid(const std::string& dir) {
+  auto manifest = Env::ReadFileToString(dir + "/manifest.txt");
+  if (!manifest.ok()) {
+    return Status::Corruption(dir +
+                              ": manifest.txt unreadable, no commit point "
+                              "to recover to (" +
+                              manifest.status().message() + ")");
+  }
+  std::istringstream in(manifest.value());
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "trex-index" || version != 1) {
+    return Status::Corruption(dir + ": manifest.txt is not a TReX manifest");
+  }
+  DocId max_docid = 0;
+  uint64_t num_documents = 0;
+  bool have_max = false;
+  std::string key;
+  while (in >> key) {
+    if (key == "max_docid") {
+      in >> max_docid;
+      have_max = true;
+    } else if (key == "num_documents") {
+      in >> num_documents;
+    } else {
+      std::string skip;
+      in >> skip;
+    }
+  }
+  if (!have_max && num_documents > 0) {
+    max_docid = static_cast<DocId>(num_documents - 1);
+  }
+  return max_docid;
+}
+
+// Moves a corrupt derived table aside and recreates it empty. The
+// quarantined file is kept for post-mortems; reopening the table after
+// this always succeeds with zero rows.
+Status QuarantineTable(const std::string& dir, const std::string& name,
+                       RecoveryReport* report) {
+  const std::string path = dir + "/" + name + ".tbl";
+  if (Env::FileExists(path)) {
+    uint64_t bytes = 0;
+    {
+      auto file = Env::OpenFile(path);
+      if (file.ok()) file.value()->Size(&bytes).ok();
+    }
+    TREX_RETURN_IF_ERROR(Env::RemoveFile(path + ".quarantined"));
+    TREX_RETURN_IF_ERROR(Env::RenameFile(path, path + ".quarantined"));
+    report->pages_quarantined += (bytes + kPageSize - 1) / kPageSize;
+  }
+  report->quarantined_tables.push_back(name);
+  auto table = Table::Open(dir, name);
+  if (!table.ok()) return table.status();
+  return table.value()->Flush();
+}
+
+// True if the table opens and passes the exhaustive structural check.
+bool TableIsSound(const std::string& dir, const std::string& name,
+                  size_t cache_pages) {
+  auto table = Table::Open(dir, name, cache_pages);
+  if (!table.ok()) return false;
+  return table.value()->tree()->DeepVerify().ok();
+}
+
+Status Unrecoverable(const std::string& table, const Status& cause) {
+  return Status::Corruption(table + " table is unrecoverable (primary data): " +
+                            cause.ToString());
+}
+
+std::string ListId(ListKind kind, const std::string& term, Sid sid) {
+  std::string id;
+  id.push_back(static_cast<char>(kind));
+  id.append(term);
+  id.push_back('\0');
+  PutBigEndian32(&id, sid);
+  return id;
+}
+
+// Actual on-disk footprint of every (kind, term, sid) list in a store,
+// measured the same way WriteList accounts it: key bytes + value bytes.
+Status MeasureLists(Table* table, ListKind kind,
+                    std::map<std::string, uint64_t>* sizes) {
+  BPTree::Iterator it = table->NewIterator();
+  TREX_RETURN_IF_ERROR(it.SeekToFirst());
+  while (it.Valid()) {
+    Slice key = it.key();
+    Slice token;
+    if (!GetTokenComponent(&key, &token) || key.size() < 4) {
+      return Status::Corruption("malformed list key during reconciliation");
+    }
+    std::string id = ListId(kind, token.ToString(),
+                            DecodeBigEndian32(key.data()));
+    (*sizes)[id] += it.key().size() + it.value().size();
+    TREX_RETURN_IF_ERROR(it.Next());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string RecoveryReport::ToString() const {
+  std::ostringstream out;
+  out << "recovery " << (ran ? "ran" : "skipped");
+  if (!ran) return out.str();
+  out << ": elements_removed=" << elements_removed
+      << " terms_truncated=" << terms_truncated
+      << " catalog_entries_dropped=" << catalog_entries_dropped
+      << " orphan_lists_deleted=" << orphan_lists_deleted
+      << " pages_quarantined=" << pages_quarantined
+      << " summary_rewritten=" << (summary_rewritten ? 1 : 0);
+  if (!quarantined_tables.empty()) {
+    out << " quarantined=[";
+    for (size_t i = 0; i < quarantined_tables.size(); ++i) {
+      if (i) out << ',';
+      out << quarantined_tables[i];
+    }
+    out << ']';
+  }
+  return out.str();
+}
+
+Status RecoverIndex(const std::string& dir, RecoveryReport* report,
+                    size_t cache_pages) {
+  RecoveryReport local;
+  if (report == nullptr) report = &local;
+  *report = RecoveryReport{};
+  report->ran = true;
+
+  auto horizon = ReadCommittedMaxDocid(dir);
+  if (!horizon.ok()) return horizon.status();
+  const DocId committed = horizon.value();
+
+  auto summary_text = Env::ReadFileToString(dir + "/summary.txt");
+  if (!summary_text.ok()) {
+    return Status::Corruption(dir + ": summary.txt unreadable: " +
+                              summary_text.status().message());
+  }
+  auto summary_or = Summary::Deserialize(summary_text.value());
+  if (!summary_or.ok()) return summary_or.status();
+  Summary summary = std::move(summary_or).value();
+
+  // --- Elements: primary data. Roll back rows past the commit horizon
+  // and recount extents from the survivors.
+  std::vector<uint64_t> extent_counts(summary.size(), 0);
+  {
+    auto table_or = Table::Open(dir, "Elements", cache_pages);
+    if (!table_or.ok()) return Unrecoverable("Elements", table_or.status());
+    Table* table = table_or.value().get();
+    Status sound = table->tree()->DeepVerify();
+    if (!sound.ok()) return Unrecoverable("Elements", sound);
+
+    std::vector<std::string> doomed;
+    BPTree::Iterator it = table->NewIterator();
+    TREX_RETURN_IF_ERROR(it.SeekToFirst());
+    while (it.Valid()) {
+      ElementInfo info;
+      TREX_RETURN_IF_ERROR(ElementIndex::DecodeKey(it.key(), &info));
+      if (info.docid > committed) {
+        doomed.push_back(it.key().ToString());
+      } else if (info.sid < summary.size()) {
+        ++extent_counts[info.sid];
+      }
+      TREX_RETURN_IF_ERROR(it.Next());
+    }
+    for (const std::string& key : doomed) {
+      TREX_RETURN_IF_ERROR(table->Delete(key));
+    }
+    report->elements_removed += doomed.size();
+    TREX_RETURN_IF_ERROR(table->Flush());
+  }
+
+  // --- Posting lists: primary data. A term whose list reaches past the
+  // horizon gets its fragments rewritten truncated (the m-pos sentinel
+  // restored by WriteFragments) and its TermStats recomputed; a term
+  // whose every position is past the horizon disappears entirely.
+  {
+    auto lists_or = PostingLists::Open(dir, cache_pages);
+    if (!lists_or.ok()) return Unrecoverable("PostingLists", lists_or.status());
+    PostingLists* lists = lists_or.value().get();
+    Status sound = lists->postings_table()->tree()->DeepVerify();
+    if (!sound.ok()) return Unrecoverable("PostingLists", sound);
+    sound = lists->stats_table()->tree()->DeepVerify();
+    if (!sound.ok()) return Unrecoverable("TermStats", sound);
+
+    struct DirtyTerm {
+      std::vector<std::string> keys;    // Every fragment key of the term.
+      std::vector<Position> survivors;  // Positions at or below the horizon.
+    };
+    std::map<std::string, DirtyTerm> dirty;
+    {
+      std::string cur_term;
+      bool cur_dirty = false;
+      DirtyTerm cur;
+      auto finish_term = [&]() {
+        if (cur_dirty) dirty[cur_term] = std::move(cur);
+        cur = DirtyTerm{};
+        cur_dirty = false;
+      };
+      BPTree::Iterator it = lists->postings_table()->NewIterator();
+      TREX_RETURN_IF_ERROR(it.SeekToFirst());
+      while (it.Valid()) {
+        Slice key = it.key();
+        Slice token;
+        if (!GetTokenComponent(&key, &token)) {
+          return Unrecoverable("PostingLists",
+                               Status::Corruption("malformed fragment key"));
+        }
+        std::string term = token.ToString();
+        if (term != cur_term) {
+          finish_term();
+          cur_term = term;
+        }
+        std::vector<Position> fragment;
+        TREX_RETURN_IF_ERROR(
+            PostingLists::DecodeFragment(it.key(), it.value(), &fragment));
+        cur.keys.push_back(it.key().ToString());
+        for (const Position& p : fragment) {
+          if (p == kMaxPosition) continue;  // Sentinel, not data.
+          if (p.docid > committed) {
+            cur_dirty = true;
+          } else {
+            cur.survivors.push_back(p);
+          }
+        }
+        TREX_RETURN_IF_ERROR(it.Next());
+      }
+      finish_term();
+    }
+
+    for (auto& [term, d] : dirty) {
+      for (const std::string& key : d.keys) {
+        TREX_RETURN_IF_ERROR(lists->postings_table()->Delete(key));
+      }
+      std::string stats_key;
+      TREX_RETURN_IF_ERROR(AppendTokenComponent(&stats_key, term));
+      if (d.survivors.empty()) {
+        Status s = lists->stats_table()->Delete(stats_key);
+        if (!s.ok() && !s.IsNotFound()) return s;
+      } else {
+        TREX_RETURN_IF_ERROR(PostingLists::WriteFragments(
+            lists->postings_table(), term, d.survivors));
+        TermStats stats;
+        stats.collection_freq = d.survivors.size();
+        DocId prev_doc = UINT32_MAX;
+        for (const Position& p : d.survivors) {
+          if (p.docid != prev_doc) {
+            ++stats.doc_freq;
+            prev_doc = p.docid;
+          }
+        }
+        TREX_RETURN_IF_ERROR(lists->PutTermStats(term, stats));
+      }
+      ++report->terms_truncated;
+    }
+    TREX_RETURN_IF_ERROR(lists->Flush());
+  }
+
+  // --- Summary: extent sizes must match the (rolled-back) Elements
+  // table. Nodes created only by the torn document keep a zero extent,
+  // which is harmless.
+  {
+    bool changed = false;
+    for (Sid sid = 1; sid < summary.size(); ++sid) {
+      if (summary.node(sid).extent_size != extent_counts[sid]) {
+        summary.SetExtentSize(sid, extent_counts[sid]);
+        changed = true;
+      }
+    }
+    if (changed) {
+      TREX_RETURN_IF_ERROR(
+          Env::WriteStringToFile(dir + "/summary.txt", summary.Serialize()));
+      report->summary_rewritten = true;
+    }
+  }
+
+  // --- Derived tables: quarantine whatever fails deep verification.
+  // A corrupt catalog drags both stores with it — without the catalog
+  // there is no record of what the stores should contain.
+  if (!TableIsSound(dir, "Catalog", 64)) {
+    TREX_RETURN_IF_ERROR(QuarantineTable(dir, "Catalog", report));
+    TREX_RETURN_IF_ERROR(QuarantineTable(dir, "RPLs", report));
+    TREX_RETURN_IF_ERROR(QuarantineTable(dir, "ERPLs", report));
+  } else {
+    if (!TableIsSound(dir, "RPLs", cache_pages)) {
+      TREX_RETURN_IF_ERROR(QuarantineTable(dir, "RPLs", report));
+    }
+    if (!TableIsSound(dir, "ERPLs", cache_pages)) {
+      TREX_RETURN_IF_ERROR(QuarantineTable(dir, "ERPLs", report));
+    }
+  }
+
+  // --- Reconcile catalog against the stores. The recorded size is an
+  // exact byte count, so any interrupted list write shows up as a
+  // mismatch.
+  {
+    auto catalog_or = IndexCatalog::Open(dir);
+    if (!catalog_or.ok()) return catalog_or.status();
+    auto rpls_or = RplStore::Open(dir, cache_pages);
+    if (!rpls_or.ok()) return rpls_or.status();
+    auto erpls_or = ErplStore::Open(dir, cache_pages);
+    if (!erpls_or.ok()) return erpls_or.status();
+    IndexCatalog* catalog = catalog_or.value().get();
+    RplStore* rpls = rpls_or.value().get();
+    ErplStore* erpls = erpls_or.value().get();
+
+    std::map<std::string, uint64_t> actual;
+    TREX_RETURN_IF_ERROR(MeasureLists(rpls->table(), ListKind::kRpl, &actual));
+    TREX_RETURN_IF_ERROR(
+        MeasureLists(erpls->table(), ListKind::kErpl, &actual));
+
+    auto entries_or = catalog->List();
+    if (!entries_or.ok()) {
+      // Structurally sound but semantically unreadable: quarantine all
+      // three; the self-manager re-materializes lists on demand.
+      TREX_RETURN_IF_ERROR(QuarantineTable(dir, "Catalog", report));
+      TREX_RETURN_IF_ERROR(QuarantineTable(dir, "RPLs", report));
+      TREX_RETURN_IF_ERROR(QuarantineTable(dir, "ERPLs", report));
+    } else {
+      // Mismatched entries and their lists go; matching ones are erased
+      // from `actual` so what remains are orphan lists.
+      for (const CatalogEntry& e : entries_or.value()) {
+        const std::string id = ListId(e.kind, e.term, e.sid);
+        auto it = actual.find(id);
+        const bool matches = it != actual.end() && it->second == e.size_bytes;
+        if (it != actual.end()) actual.erase(it);
+        if (matches) continue;
+        if (e.kind == ListKind::kRpl) {
+          TREX_RETURN_IF_ERROR(rpls->DeleteList(e.term, e.sid));
+        } else {
+          TREX_RETURN_IF_ERROR(erpls->DeleteList(e.term, e.sid));
+        }
+        TREX_RETURN_IF_ERROR(catalog->Unregister(e.kind, e.term, e.sid));
+        ++report->catalog_entries_dropped;
+      }
+      for (const auto& [id, bytes] : actual) {
+        (void)bytes;
+        const ListKind kind = static_cast<ListKind>(id[0]);
+        const size_t nul = id.find('\0', 1);
+        const std::string term = id.substr(1, nul - 1);
+        const Sid sid = DecodeBigEndian32(id.data() + nul + 1);
+        if (kind == ListKind::kRpl) {
+          TREX_RETURN_IF_ERROR(rpls->DeleteList(term, sid));
+        } else {
+          TREX_RETURN_IF_ERROR(erpls->DeleteList(term, sid));
+        }
+        ++report->orphan_lists_deleted;
+      }
+      TREX_RETURN_IF_ERROR(rpls->Flush());
+      TREX_RETURN_IF_ERROR(erpls->Flush());
+      TREX_RETURN_IF_ERROR(catalog->Flush());
+    }
+  }
+
+  obs::MetricsRegistry& reg = obs::Default();
+  reg.GetCounter("recovery.runs")->Add();
+  reg.GetCounter("recovery.pages_quarantined")->Add(report->pages_quarantined);
+  reg.GetCounter("recovery.elements_removed")->Add(report->elements_removed);
+  reg.GetCounter("recovery.terms_truncated")->Add(report->terms_truncated);
+  return Status::OK();
+}
+
+}  // namespace trex

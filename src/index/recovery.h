@@ -1,0 +1,72 @@
+// Index recovery & repair.
+//
+// The manifest's max_docid is the index's cross-table commit point: the
+// builder and the incremental updater both flush every table durably
+// (BPTree::Flush -> pager commit protocol) before rewriting manifest.txt.
+// After a crash, each table file individually reopens at its own last
+// durable commit, but the tables need not agree with each other — an
+// interrupted AddDocument can leave some tables with rows of a document
+// the manifest never acknowledged.
+//
+// RecoverIndex restores cross-table consistency by rolling every table
+// back to the manifest's horizon:
+//   * Elements rows with docid > max_docid are deleted; extent sizes in
+//     summary.txt are recounted from the surviving rows.
+//   * Posting lists containing positions past the horizon are rewritten
+//     truncated (m-pos sentinel restored) and their TermStats recomputed.
+//   * The base tables (Elements, PostingLists, TermStats) are primary
+//     data — if one fails DeepVerify the index is unrecoverable and a
+//     Corruption status is returned.
+//   * The derived tables (RPLs, ERPLs, Catalog) are rebuildable caches —
+//     a corrupt one is quarantined (file renamed to *.quarantined and
+//     recreated empty) rather than failing recovery; the self-manager
+//     re-materializes lists on demand.
+//   * Catalog entries are reconciled against the stores byte-for-byte:
+//     entries whose recorded size disagrees with the stored list are
+//     dropped, and orphan list rows with no catalog entry are purged.
+//
+// RecoverIndex is idempotent: running it on a consistent index changes
+// nothing and reports no repairs.
+#ifndef TREX_INDEX_RECOVERY_H_
+#define TREX_INDEX_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace trex {
+
+enum class RecoveryMode {
+  kOff,     // Open normally; corruption surfaces as errors.
+  kRepair,  // Verify on open; run RecoverIndex if verification fails.
+};
+
+struct RecoveryReport {
+  bool ran = false;
+  uint64_t elements_removed = 0;         // Rows rolled back past the horizon.
+  uint64_t terms_truncated = 0;          // Posting lists rewritten.
+  uint64_t catalog_entries_dropped = 0;  // Mismatched or unbacked entries.
+  uint64_t orphan_lists_deleted = 0;     // Store rows with no catalog entry.
+  uint64_t pages_quarantined = 0;        // Pages in quarantined table files.
+  std::vector<std::string> quarantined_tables;
+  bool summary_rewritten = false;
+
+  bool repaired_anything() const {
+    return elements_removed || terms_truncated || catalog_entries_dropped ||
+           orphan_lists_deleted || !quarantined_tables.empty() ||
+           summary_rewritten;
+  }
+  std::string ToString() const;
+};
+
+// Repairs the index in `dir` in place (see file comment). Fails with
+// Corruption if the manifest or a base table is unrecoverable. `report`
+// may be null.
+Status RecoverIndex(const std::string& dir, RecoveryReport* report = nullptr,
+                    size_t cache_pages = 2048);
+
+}  // namespace trex
+
+#endif  // TREX_INDEX_RECOVERY_H_

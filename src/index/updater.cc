@@ -8,46 +8,6 @@
 
 namespace trex {
 
-namespace {
-
-// Splits `positions` into fragments under the byte budget (same policy
-// as the bulk Loader) and writes them with Put; appends m-pos at the end.
-Status WriteFragments(Table* table, const std::string& term,
-                      const std::vector<Position>& positions) {
-  auto entry_size = [](const Position& prev, const Position& p) {
-    std::string tmp;
-    uint32_t d = p.docid - prev.docid;
-    PutVarint32(&tmp, d);
-    PutVarint64(&tmp, d == 0 ? p.offset - prev.offset : p.offset);
-    return tmp.size();
-  };
-  size_t i = 0;
-  const size_t n = positions.size();
-  while (i < n) {
-    Position first = positions[i];
-    ++i;
-    std::vector<Position> rest;
-    size_t encoded = 0;
-    Position prev = first;
-    while (i < n) {
-      size_t sz = entry_size(prev, positions[i]);
-      if (encoded + sz > kPostingFragmentBudget) break;
-      encoded += sz;
-      prev = positions[i];
-      rest.push_back(positions[i]);
-      ++i;
-    }
-    if (i == n) rest.push_back(kMaxPosition);
-    std::string value;
-    PostingLists::EncodeFragment(first, rest, &value);
-    TREX_RETURN_IF_ERROR(
-        table->Put(PostingLists::EncodeKey(term, first), value));
-  }
-  return Status::OK();
-}
-
-}  // namespace
-
 Status IndexUpdater::ExtendPostingList(
     const std::string& term, const std::vector<Position>& new_positions) {
   Table* table = index_->postings()->postings_table();
@@ -71,7 +31,8 @@ Status IndexUpdater::ExtendPostingList(
 
   if (last_key.empty()) {
     // Brand-new term.
-    TREX_RETURN_IF_ERROR(WriteFragments(table, term, new_positions));
+    TREX_RETURN_IF_ERROR(
+        PostingLists::WriteFragments(table, term, new_positions));
   } else {
     std::vector<Position> tail;
     TREX_RETURN_IF_ERROR(
@@ -88,7 +49,7 @@ Status IndexUpdater::ExtendPostingList(
     tail.insert(tail.end(), new_positions.begin(), new_positions.end());
     // Rewrite from the last fragment's first position onward (the key
     // stays valid because the first position is unchanged).
-    TREX_RETURN_IF_ERROR(WriteFragments(table, term, tail));
+    TREX_RETURN_IF_ERROR(PostingLists::WriteFragments(table, term, tail));
   }
 
   // TermStats read-modify-write.
@@ -175,8 +136,12 @@ Status IndexUpdater::AddDocument(DocId docid, Slice xml) {
   }
 
   index_->max_docid_ = docid;
-  TREX_RETURN_IF_ERROR(index_->PersistMetadata());
-  return index_->Flush();
+  // Commit order: table data first, manifest last. The manifest's
+  // max_docid is the cross-table commit point — recovery rolls any table
+  // state past it back, so the manifest must never get ahead of the
+  // (durable) tables.
+  TREX_RETURN_IF_ERROR(index_->Flush());
+  return index_->PersistMetadata();
 }
 
 }  // namespace trex

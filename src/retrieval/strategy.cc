@@ -66,6 +66,28 @@ StrategyDecision ChooseStrategy(Index* index, const TranslatedClause& clause,
 Status Evaluator::EvaluateWith(RetrievalMethod method,
                                const TranslatedClause& clause, size_t k,
                                RetrievalResult* out) {
+  Status s = RunMethod(method, clause, k, out);
+  if (s.IsCorruption() && method != RetrievalMethod::kEra) {
+    // Graceful degradation: the redundant lists are caches of the base
+    // postings, so a corrupt RPL/ERPL mid-query costs speed, not answers.
+    // (index_doctor --repair quarantines the bad table permanently.)
+    static obs::Counter* const degraded =
+        obs::Default().GetCounter("retrieval.degraded_fallbacks");
+    degraded->Add();
+    {
+      obs::TraceSpan span(trace_, "degrade");
+      span.AddAttr("degraded_from", RetrievalMethodName(method));
+      span.AddAttr("reason", s.message());
+    }
+    *out = RetrievalResult{};
+    return RunMethod(RetrievalMethod::kEra, clause, k, out);
+  }
+  return s;
+}
+
+Status Evaluator::RunMethod(RetrievalMethod method,
+                            const TranslatedClause& clause, size_t k,
+                            RetrievalResult* out) {
   obs::TraceSpan span(trace_,
                       std::string("evaluate:") + RetrievalMethodName(method));
   switch (method) {

@@ -53,10 +53,19 @@ class Evaluator {
 
   Status Evaluate(const TranslatedClause& clause, size_t k,
                   RetrievalResult* out, RetrievalMethod* used = nullptr);
+  // Runs `method`, degrading gracefully on storage corruption: if TA or
+  // Merge hits a Corruption status (a bad RPL/ERPL page or block), the
+  // query is re-run with ERA over the base posting lists instead of
+  // failing, and retrieval.degraded_fallbacks is incremented. Corruption
+  // in the base tables still fails the query.
   Status EvaluateWith(RetrievalMethod method, const TranslatedClause& clause,
                       size_t k, RetrievalResult* out);
 
  private:
+  // Dispatches to one method and folds its metrics; no fallback.
+  Status RunMethod(RetrievalMethod method, const TranslatedClause& clause,
+                   size_t k, RetrievalResult* out);
+
   Index* index_;
   obs::Trace* trace_ = nullptr;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <unordered_set>
 #include <vector>
 
 #include "common/coding.h"
@@ -132,9 +133,9 @@ class NodeView {
     return lo;
   }
 
-  // Child to descend into for `target` in an internal node: the child of
-  // the largest separator <= target, or the leftmost child.
-  PageId ChildFor(const Slice& target) const {
+  // Slot routing `target` in an internal node: index of the largest
+  // separator <= target, or -1 for the leftmost (aux) child.
+  int ChildSlotFor(const Slice& target) const {
     int lo = 0, hi = ncells();  // Invariant: seps [0,lo) are <= target.
     while (lo < hi) {
       int mid = lo + (hi - lo) / 2;
@@ -144,11 +145,35 @@ class NodeView {
         hi = mid;
       }
     }
-    if (lo == 0) return aux();
+    return lo - 1;
+  }
+
+  PageId ChildAt(int i) const {
+    if (i < 0) return aux();
     Slice key;
     PageId child;
-    ParseInternalCell(lo - 1, &key, &child);
+    ParseInternalCell(i, &key, &child);
     return child;
+  }
+
+  // Repoints the child of slot i (-1 = aux) — used when shadow paging
+  // relocates a child page.
+  void SetChildAt(int i, PageId child) {
+    if (i < 0) {
+      set_aux(child);
+      return;
+    }
+    Slice in(data_ + slot(i), kPageUsableSize - slot(i));
+    uint32_t klen = 0;
+    bool ok = GetVarint32(&in, &klen);
+    assert(ok);
+    (void)ok;
+    WriteU32(const_cast<char*>(in.data()) + klen, child);
+  }
+
+  // Child to descend into for `target` in an internal node.
+  PageId ChildFor(const Slice& target) const {
+    return ChildAt(ChildSlotFor(target));
   }
 
   // Inserts raw cell bytes at slot position i. Caller must ensure space.
@@ -192,6 +217,73 @@ class NodeView {
  private:
   char* data_;
 };
+
+// Bounds-checked structural validation of one node page for DeepVerify.
+// NodeView's parsers assert on malformed layout; this one never trusts the
+// page: a checksummed-but-nonsensical page (e.g. a stale or misrouted
+// page after a bad repair) must yield Corruption, not a crash.
+Status CheckNodeStructure(const char* data, PageId page, uint32_t page_count,
+                          bool* is_leaf, std::vector<PageId>* children,
+                          uint64_t* leaf_cells) {
+  auto bad = [page](const std::string& what) {
+    return Status::Corruption("page " + std::to_string(page) + ": " + what);
+  };
+  const uint8_t type = static_cast<uint8_t>(data[0]);
+  if (type != kLeafNode && type != kInternalNode) {
+    return bad("unknown node type " + std::to_string(type));
+  }
+  *is_leaf = (type == kLeafNode);
+  const uint16_t ncells = ReadU16(data + 1);
+  const uint16_t content_start = ReadU16(data + 3);
+  if (content_start > kPageUsableSize) {
+    return bad("content_start past usable page end");
+  }
+  if (kNodeHeaderSize + kSlotSize * static_cast<size_t>(ncells) >
+      content_start) {
+    return bad("slot array overlaps cell content");
+  }
+  children->clear();
+  if (!*is_leaf) {
+    const PageId aux = ReadU32(data + 5);
+    if (aux < kFirstDataPage || aux >= page_count) {
+      return bad("leftmost child out of range");
+    }
+    children->push_back(aux);
+  }
+  std::string prev_key;
+  for (int i = 0; i < ncells; ++i) {
+    const uint16_t off = ReadU16(data + kNodeHeaderSize + kSlotSize * i);
+    if (off < content_start || off >= kPageUsableSize) {
+      return bad("cell offset out of range");
+    }
+    Slice in(data + off, kPageUsableSize - off);
+    uint32_t klen = 0;
+    if (!GetVarint32(&in, &klen)) return bad("unreadable cell key length");
+    if (*is_leaf) {
+      uint32_t vlen = 0;
+      if (!GetVarint32(&in, &vlen)) return bad("unreadable cell value length");
+      if (static_cast<uint64_t>(klen) + vlen > in.size()) {
+        return bad("cell overruns page");
+      }
+      ++*leaf_cells;
+    } else {
+      if (static_cast<uint64_t>(klen) + 4 > in.size()) {
+        return bad("cell overruns page");
+      }
+      const PageId child = ReadU32(in.data() + klen);
+      if (child < kFirstDataPage || child >= page_count) {
+        return bad("child page out of range");
+      }
+      children->push_back(child);
+    }
+    Slice key(in.data(), klen);
+    if (i > 0 && Slice(prev_key).Compare(key) >= 0) {
+      return bad("cell keys out of order");
+    }
+    prev_key.assign(key.data(), key.size());
+  }
+  return Status::OK();
+}
 
 std::string MakeLeafCell(const Slice& key, const Slice& value) {
   std::string cell;
@@ -239,9 +331,50 @@ Result<std::unique_ptr<BPTree>> BPTree::Open(const std::string& path,
 }
 
 Status BPTree::Flush() {
-  TREX_RETURN_IF_ERROR(pool_->Flush());
+  TREX_RETURN_IF_ERROR(pool_->FlushAll());
   TREX_RETURN_IF_ERROR(pager_->SetRowCount(row_count_));
-  return Status::OK();
+  return pager_->Commit();
+}
+
+Status BPTree::RelocatePage(PageId old_id, PageId* new_id) {
+  auto old_or = pool_->Fetch(old_id);
+  if (!old_or.ok()) return old_or.status();
+  auto new_or = pool_->Allocate();
+  if (!new_or.ok()) return new_or.status();
+  std::memcpy(new_or.value().MutableData(), old_or.value().data(), kPageSize);
+  *new_id = new_or.value().id();
+  old_or.value().Release();
+  new_or.value().Release();
+  pool_->Discard(old_id);
+  return pager_->FreePage(old_id);
+}
+
+Status BPTree::ShadowPath(const Slice& key) {
+  PageId node = pager_->root_page();
+  if (node == kInvalidPageId) return Status::OK();
+  if (!pager_->IsShadowed(node)) {
+    PageId moved;
+    TREX_RETURN_IF_ERROR(RelocatePage(node, &moved));
+    TREX_RETURN_IF_ERROR(pager_->SetRootPage(moved));
+    node = moved;
+  }
+  while (true) {
+    auto h = pool_->Fetch(node);
+    if (!h.ok()) return h.status();
+    PageHandle parent = std::move(h).value();
+    NodeView view(parent.data());
+    if (view.is_leaf()) return Status::OK();
+    int slot = view.ChildSlotFor(key);
+    PageId child = view.ChildAt(slot);
+    if (!pager_->IsShadowed(child)) {
+      PageId moved;
+      TREX_RETURN_IF_ERROR(RelocatePage(child, &moved));
+      NodeView mview(parent.MutableData());
+      mview.SetChildAt(slot, moved);
+      child = moved;
+    }
+    node = child;
+  }
 }
 
 Status BPTree::FindLeaf(const Slice& target, PageHandle* leaf) {
@@ -299,6 +432,10 @@ Status BPTree::Put(const Slice& key, const Slice& value) {
     ++row_count_;
     return Status::OK();
   }
+  // Shadow the whole descent path first so the in-place mutations below
+  // never touch pages the committed header references (crash safety).
+  TREX_RETURN_IF_ERROR(ShadowPath(key));
+  root = pager_->root_page();
   std::optional<SplitResult> split;
   bool inserted_new = false;
   TREX_RETURN_IF_ERROR(InsertInto(root, key, value, &split, &inserted_new));
@@ -436,6 +573,7 @@ Status BPTree::InsertInto(PageId node, const Slice& key, const Slice& value,
 }
 
 Status BPTree::Delete(const Slice& key) {
+  TREX_RETURN_IF_ERROR(ShadowPath(key));
   PageHandle leaf;
   Status s = FindLeaf(key, &leaf);
   if (s.IsNotFound()) return Status::NotFound("key not found");
@@ -488,6 +626,69 @@ Status BPTree::Analyze(TreeStats* stats) {
   return Status::OK();
 }
 
+Status BPTree::DeepVerify(DeepVerifyStats* stats_out) {
+  DeepVerifyStats stats;
+  const uint32_t page_count = pager_->page_count();
+  std::unordered_set<PageId> reachable;
+  uint64_t leaf_cells = 0;
+  const PageId root = pager_->root_page();
+  if (root != kInvalidPageId) {
+    if (root < kFirstDataPage || root >= page_count) {
+      return Status::Corruption("root page " + std::to_string(root) +
+                                " out of range");
+    }
+    std::vector<PageId> stack = {root};
+    reachable.insert(root);
+    std::vector<PageId> children;
+    while (!stack.empty()) {
+      const PageId page = stack.back();
+      stack.pop_back();
+      auto h = pool_->Fetch(page);  // Checksum verified on every pool miss.
+      if (!h.ok()) return h.status();
+      bool is_leaf = false;
+      TREX_RETURN_IF_ERROR(CheckNodeStructure(
+          h.value().data(), page, page_count, &is_leaf, &children,
+          &leaf_cells));
+      if (is_leaf) {
+        // The leaf scan chain may cross subtrees; only range-check it.
+        NodeView view(h.value().data());
+        const PageId next = view.aux();
+        if (next != kInvalidPageId &&
+            (next < kFirstDataPage || next >= page_count)) {
+          return Status::Corruption("page " + std::to_string(page) +
+                                    ": next-leaf link out of range");
+        }
+      } else {
+        for (const PageId child : children) {
+          if (!reachable.insert(child).second) {
+            return Status::Corruption("page " + std::to_string(child) +
+                                      " referenced by two parents");
+          }
+          stack.push_back(child);
+        }
+      }
+    }
+  }
+  if (leaf_cells != row_count_) {
+    return Status::Corruption(
+        "row count mismatch: header says " + std::to_string(row_count_) +
+        ", leaves hold " + std::to_string(leaf_cells));
+  }
+  for (const PageId p : pager_->FreePages()) {
+    ++stats.free_pages;
+    if (reachable.find(p) != reachable.end()) {
+      return Status::Corruption("page " + std::to_string(p) +
+                                " is both free and reachable");
+    }
+  }
+  stats.pages_visited = reachable.size();
+  const uint64_t accounted =
+      kFirstDataPage + reachable.size() + stats.free_pages;
+  stats.leaked_pages = page_count > accounted ? page_count - accounted : 0;
+  if (stats_out != nullptr) *stats_out = stats;
+  return Status::OK();
+}
+
 // ---------------------------------------------------------------------------
 // Iterator
 // ---------------------------------------------------------------------------
@@ -502,33 +703,7 @@ Status BPTree::Iterator::LoadCell() {
   return AdvanceLeaf();
 }
 
-Status BPTree::Iterator::AdvanceLeaf() {
-  while (true) {
-    NodeView view(leaf_.data());
-    PageId next = view.aux();
-    if (next == kInvalidPageId) {
-      valid_ = false;
-      leaf_.Release();
-      return Status::OK();
-    }
-    auto h = tree_->pool_->Fetch(next);
-    if (!h.ok()) return h.status();
-    leaf_ = std::move(h).value();
-    slot_ = 0;
-    NodeView nview(leaf_.data());
-    if (nview.ncells() > 0) {
-      nview.ParseLeafCell(0, &key_, &value_);
-      valid_ = true;
-      return Status::OK();
-    }
-    // Empty leaf (possible after deletes); keep walking.
-  }
-}
-
-Status BPTree::Iterator::SeekToFirst() {
-  valid_ = false;
-  PageId node = tree_->pager_->root_page();
-  if (node == kInvalidPageId) return Status::OK();
+Status BPTree::Iterator::DescendToLeftmostLeaf(PageId node) {
   while (true) {
     auto h = tree_->pool_->Fetch(node);
     if (!h.ok()) return h.status();
@@ -536,17 +711,70 @@ Status BPTree::Iterator::SeekToFirst() {
     if (view.is_leaf()) {
       leaf_ = std::move(h).value();
       slot_ = 0;
-      return LoadCell();
+      return Status::OK();
     }
-    node = view.aux();
+    path_.push_back({node, -1});
+    node = view.ChildAt(-1);
   }
+}
+
+Status BPTree::Iterator::AdvanceLeaf() {
+  // Backtrack to the deepest ancestor with an unvisited child, then take
+  // its next subtree. Loops because a leaf can be empty after deletes.
+  leaf_.Release();
+  while (!path_.empty()) {
+    auto& [page, taken] = path_.back();
+    auto h = tree_->pool_->Fetch(page);
+    if (!h.ok()) return h.status();
+    NodeView view(h.value().data());
+    if (taken + 1 >= view.ncells()) {
+      path_.pop_back();
+      continue;
+    }
+    ++taken;
+    TREX_RETURN_IF_ERROR(DescendToLeftmostLeaf(view.ChildAt(taken)));
+    NodeView lview(leaf_.data());
+    if (lview.ncells() > 0) {
+      lview.ParseLeafCell(0, &key_, &value_);
+      valid_ = true;
+      return Status::OK();
+    }
+    leaf_.Release();  // Empty leaf; keep backtracking.
+  }
+  valid_ = false;
+  return Status::OK();
+}
+
+Status BPTree::Iterator::SeekToFirst() {
+  valid_ = false;
+  path_.clear();
+  PageId node = tree_->pager_->root_page();
+  if (node == kInvalidPageId) return Status::OK();
+  TREX_RETURN_IF_ERROR(DescendToLeftmostLeaf(node));
+  return LoadCell();
 }
 
 Status BPTree::Iterator::Seek(const Slice& target) {
   valid_ = false;
-  Status s = tree_->FindLeaf(target, &leaf_);
-  if (s.IsNotFound()) return Status::OK();  // Empty tree.
-  TREX_RETURN_IF_ERROR(s);
+  path_.clear();
+  PageId node = tree_->pager_->root_page();
+  if (node == kInvalidPageId) return Status::OK();  // Empty tree.
+  tree_->m_seeks_->Add();
+  uint64_t depth = 0;
+  while (true) {
+    ++depth;
+    auto h = tree_->pool_->Fetch(node);
+    if (!h.ok()) return h.status();
+    NodeView view(h.value().data());
+    if (view.is_leaf()) {
+      leaf_ = std::move(h).value();
+      tree_->m_seek_depth_->Record(depth);
+      break;
+    }
+    int slot = view.ChildSlotFor(target);
+    path_.push_back({node, slot});
+    node = view.ChildAt(slot);
+  }
   NodeView view(leaf_.data());
   bool exact = false;
   slot_ = view.LowerBound(target, &exact);

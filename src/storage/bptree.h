@@ -24,6 +24,8 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/slice.h"
 #include "common/status.h"
@@ -73,7 +75,22 @@ class BPTree {
   };
   Status Analyze(TreeStats* stats);
 
-  // Writes back dirty pages and the header.
+  // Exhaustive structural check for recovery and index_doctor: walks the
+  // tree from the root, checksums every reachable page (via the buffer
+  // pool, so call it on a freshly opened tree for full on-disk coverage),
+  // bounds-checks node layout and key order, verifies child ranges, and
+  // checks that the free list is disjoint from the reachable set.
+  // Returns Corruption on the first violation.
+  struct DeepVerifyStats {
+    uint64_t pages_visited = 0;   // Reachable tree pages.
+    uint64_t free_pages = 0;      // Pages on the in-memory free list.
+    uint64_t leaked_pages = 0;    // Neither reachable nor free (crash leaks).
+  };
+  Status DeepVerify(DeepVerifyStats* stats = nullptr);
+
+  // Writes back dirty pages, then durably publishes them via the pager
+  // commit protocol (data sync -> header slot -> sync). After a crash the
+  // tree reopens exactly at its last Flush().
   Status Flush();
 
   BufferPool* buffer_pool() { return pool_.get(); }
@@ -98,9 +115,19 @@ class BPTree {
 
    private:
     Status LoadCell();
+    // Moves to the next leaf in key order by backtracking the descent
+    // path. Scans must not follow the leaf aux chain: shadow paging
+    // relocates leaves without repairing their predecessors' links, so
+    // the chain can resurrect superseded pages after a reopen-and-mutate
+    // session. The path descent always reads the live tree.
     Status AdvanceLeaf();
+    Status DescendToLeftmostLeaf(PageId node);
 
     BPTree* tree_;
+    // Internal nodes on the path to leaf_, with the child slot taken at
+    // each (-1 = leftmost/aux child). Stale after any mutation of the
+    // tree — like key()/value(), the position survives only until then.
+    std::vector<std::pair<PageId, int>> path_;
     PageHandle leaf_;
     int slot_ = 0;
     bool valid_ = false;
@@ -147,6 +174,11 @@ class BPTree {
   Status InsertInto(PageId node, const Slice& key, const Slice& value,
                     std::optional<SplitResult>* split, bool* inserted_new);
   Status FindLeaf(const Slice& target, PageHandle* leaf);
+  // Shadow paging: copies every committed page on the root-to-leaf path
+  // for `key` to a fresh page (updating parent links), so in-place
+  // mutation below never touches pages the committed header references.
+  Status ShadowPath(const Slice& key);
+  Status RelocatePage(PageId old_id, PageId* new_id);
 
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<BufferPool> pool_;

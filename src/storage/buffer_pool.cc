@@ -44,8 +44,8 @@ BufferPool::BufferPool(Pager* pager, size_t capacity) : pager_(pager) {
 }
 
 BufferPool::~BufferPool() {
-  // Best effort: callers should Flush() explicitly and check the status.
-  Flush().ok();
+  // Best effort: callers should FlushAll() explicitly and check the status.
+  FlushAll().ok();
 }
 
 void BufferPool::TouchLru(size_t frame) {
@@ -141,7 +141,7 @@ void BufferPool::Unpin(size_t frame) {
   --frames_[frame].pins;
 }
 
-Status BufferPool::Flush() {
+Status BufferPool::FlushAll() {
   for (auto& f : frames_) {
     if (f.in_use && f.dirty) {
       TREX_RETURN_IF_ERROR(pager_->WritePage(f.id, f.data.data()));

@@ -1,7 +1,7 @@
 // BufferPool: an LRU page cache with pin counts over a Pager.
 //
 // The B+-tree acquires PageHandles; a pinned frame is never evicted.
-// Dirty frames are written back on eviction and on Flush(). The pool also
+// Dirty frames are written back on eviction and on FlushAll(). The pool also
 // counts logical page reads ("page accesses"), which the retrieval layer
 // reports as an I/O proxy next to wall-clock times.
 #ifndef TREX_STORAGE_BUFFER_POOL_H_
@@ -61,8 +61,10 @@ class BufferPool {
   // Allocates a fresh page and pins it (contents zeroed).
   Result<PageHandle> Allocate();
 
-  // Writes back all dirty frames and the pager header.
-  Status Flush();
+  // Writes back all dirty frames. Does NOT publish a pager header —
+  // callers that want durability follow up with pager()->Commit(), which
+  // enforces the `flush data -> sync -> publish header -> sync` order.
+  Status FlushAll();
 
   // Drops a page from the cache (used by FreePage paths).
   void Discard(PageId id);

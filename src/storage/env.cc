@@ -5,7 +5,9 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 namespace trex {
@@ -78,57 +80,91 @@ class PosixRandomAccessFile : public RandomAccessFile {
   int fd_;
 };
 
+class PosixEnvImpl : public Env {
+ public:
+  Result<std::unique_ptr<RandomAccessFile>> NewFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) {
+      return Status::IOError(ErrnoMessage("open " + path));
+    }
+    return std::unique_ptr<RandomAccessFile>(
+        new PosixRandomAccessFile(path, fd));
+  }
+
+  bool Exists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Status Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::IOError(ErrnoMessage("unlink " + path));
+    }
+    return Status::OK();
+  }
+
+  Status MakeDirs(const std::string& path) override {
+    // Create missing parents too (mkdir -p semantics).
+    std::string partial;
+    for (size_t i = 0; i <= path.size(); ++i) {
+      if (i == path.size() || path[i] == '/') {
+        if (!partial.empty() && ::mkdir(partial.c_str(), 0755) != 0 &&
+            errno != EEXIST) {
+          return Status::IOError(ErrnoMessage("mkdir " + partial));
+        }
+      }
+      if (i < path.size()) partial.push_back(path[i]);
+    }
+    return Status::OK();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOError(ErrnoMessage("rename " + from + " -> " + to));
+    }
+    return Status::OK();
+  }
+};
+
+std::atomic<Env*> g_default_env{nullptr};
+
 }  // namespace
 
-Result<std::unique_ptr<RandomAccessFile>> Env::OpenFile(
-    const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
-  if (fd < 0) {
-    return Status::IOError(ErrnoMessage("open " + path));
-  }
-  return std::unique_ptr<RandomAccessFile>(
-      new PosixRandomAccessFile(path, fd));
+Env* PosixEnv() {
+  static PosixEnvImpl* posix = new PosixEnvImpl();
+  return posix;
 }
 
-bool Env::FileExists(const std::string& path) {
-  return ::access(path.c_str(), F_OK) == 0;
+Env* Env::Default() {
+  Env* env = g_default_env.load(std::memory_order_acquire);
+  return env != nullptr ? env : PosixEnv();
 }
 
-Status Env::RemoveFile(const std::string& path) {
-  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
-    return Status::IOError(ErrnoMessage("unlink " + path));
-  }
-  return Status::OK();
+Env* Env::Swap(Env* env) {
+  Env* prev = g_default_env.exchange(env, std::memory_order_acq_rel);
+  return prev != nullptr ? prev : PosixEnv();
 }
 
-Status Env::CreateDir(const std::string& path) {
-  // Create missing parents too (mkdir -p semantics).
-  std::string partial;
-  for (size_t i = 0; i <= path.size(); ++i) {
-    if (i == path.size() || path[i] == '/') {
-      if (!partial.empty() && ::mkdir(partial.c_str(), 0755) != 0 &&
-          errno != EEXIST) {
-        return Status::IOError(ErrnoMessage("mkdir " + partial));
-      }
+Status Env::WriteAtomically(const std::string& path,
+                            const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  // Drop any stale temp file from an earlier crash so the write below
+  // starts from an empty file.
+  TREX_RETURN_IF_ERROR(Remove(tmp));
+  {
+    auto file = NewFile(tmp);
+    if (!file.ok()) return file.status();
+    if (!contents.empty()) {
+      TREX_RETURN_IF_ERROR(
+          file.value()->Write(0, contents.data(), contents.size()));
     }
-    if (i < path.size()) partial.push_back(path[i]);
+    TREX_RETURN_IF_ERROR(file.value()->Sync());
   }
-  return Status::OK();
+  return Rename(tmp, path);
 }
 
-Status Env::WriteStringToFile(const std::string& path,
-                              const std::string& contents) {
-  auto file = OpenFile(path);
-  if (!file.ok()) return file.status();
-  // Truncate any previous contents.
-  if (::truncate(path.c_str(), 0) != 0) {
-    return Status::IOError(ErrnoMessage("truncate " + path));
-  }
-  return file.value()->Write(0, contents.data(), contents.size());
-}
-
-Result<std::string> Env::ReadFileToString(const std::string& path) {
-  auto file = OpenFile(path);
+Result<std::string> Env::ReadToString(const std::string& path) {
+  auto file = NewFile(path);
   if (!file.ok()) return file.status();
   uint64_t size = 0;
   TREX_RETURN_IF_ERROR(file.value()->Size(&size));

@@ -2,6 +2,12 @@
 //
 // All storage I/O goes through RandomAccessFile so tests can exercise I/O
 // failure paths and so the engine has a single place that touches POSIX.
+//
+// Env is an *instance* interface: the process default (POSIX) can be
+// swapped for a wrapper such as FaultInjectingEnv (storage/fault_env.h)
+// that injects deterministic I/O faults. Historic call sites keep using
+// the static facade (Env::OpenFile etc.), which delegates to the
+// swappable process default.
 #ifndef TREX_STORAGE_ENV_H_
 #define TREX_STORAGE_ENV_H_
 
@@ -29,17 +35,64 @@ class RandomAccessFile {
 
 class Env {
  public:
+  virtual ~Env() = default;
+
   // Opens (creating if absent) a read-write file.
+  virtual Result<std::unique_ptr<RandomAccessFile>> NewFile(
+      const std::string& path) = 0;
+  virtual bool Exists(const std::string& path) = 0;
+  virtual Status Remove(const std::string& path) = 0;
+  // mkdir -p semantics.
+  virtual Status MakeDirs(const std::string& path) = 0;
+  // rename(2): atomically replaces `to` with `from`.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  // Crash-safe whole-file replacement (corpus documents, manifests):
+  // writes `<path>.tmp`, syncs it, then renames it into place, so `path`
+  // always holds either the old or the new contents — never a torn mix.
+  // Built on the virtual primitives above, so fault envs intercept it.
+  Status WriteAtomically(const std::string& path, const std::string& contents);
+  Result<std::string> ReadToString(const std::string& path);
+
+  // The swappable process-default environment (POSIX unless a test or
+  // tool installed another one via Swap). Never null.
+  static Env* Default();
+  // Installs `env` as the process default (nullptr restores POSIX) and
+  // returns the previous default. The caller keeps ownership of both.
+  // Swapping while other threads perform I/O is not supported.
+  static Env* Swap(Env* env);
+
+  // Static facade kept for the existing call sites; delegates to
+  // Default() so injected environments see every operation.
   static Result<std::unique_ptr<RandomAccessFile>> OpenFile(
-      const std::string& path);
-  static bool FileExists(const std::string& path);
-  static Status RemoveFile(const std::string& path);
-  static Status CreateDir(const std::string& path);
+      const std::string& path) {
+    return Default()->NewFile(path);
+  }
+  static bool FileExists(const std::string& path) {
+    return Default()->Exists(path);
+  }
+  static Status RemoveFile(const std::string& path) {
+    return Default()->Remove(path);
+  }
+  static Status CreateDir(const std::string& path) {
+    return Default()->MakeDirs(path);
+  }
+  static Status RenameFile(const std::string& from, const std::string& to) {
+    return Default()->Rename(from, to);
+  }
   // Writes a whole small file (used for corpus documents & manifests).
   static Status WriteStringToFile(const std::string& path,
-                                  const std::string& contents);
-  static Result<std::string> ReadFileToString(const std::string& path);
+                                  const std::string& contents) {
+    return Default()->WriteAtomically(path, contents);
+  }
+  static Result<std::string> ReadFileToString(const std::string& path) {
+    return Default()->ReadToString(path);
+  }
 };
+
+// The concrete POSIX environment backing Env::Default(). Singleton; do
+// not delete.
+Env* PosixEnv();
 
 }  // namespace trex
 

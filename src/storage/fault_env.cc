@@ -1,0 +1,132 @@
+#include "storage/fault_env.h"
+
+#include <algorithm>
+
+namespace trex {
+
+FaultInjectingEnv::FaultInjectingEnv(Env* base)
+    : base_(base != nullptr ? base : PosixEnv()) {
+  obs::MetricsRegistry& reg = obs::Default();
+  m_write_failures_ = reg.GetCounter("storage.fault.injected_write_failures");
+  m_torn_writes_ = reg.GetCounter("storage.fault.torn_writes");
+  m_bit_flips_ = reg.GetCounter("storage.fault.bit_flips");
+  m_sync_failures_ = reg.GetCounter("storage.fault.sync_failures");
+  m_dropped_ops_ = reg.GetCounter("storage.fault.dropped_ops");
+}
+
+void FaultInjectingEnv::Reset() {
+  writes_ = reads_ = syncs_ = 0;
+  crashed_ = false;
+  log_.clear();
+}
+
+void FaultInjectingEnv::Record(FaultOp::Kind kind, const std::string& path,
+                               uint64_t offset, size_t length, bool dropped) {
+  if (dropped) m_dropped_ops_->Add();
+  if (keep_log_) log_.push_back(FaultOp{kind, path, offset, length, dropped});
+}
+
+Result<std::unique_ptr<RandomAccessFile>> FaultInjectingEnv::NewFile(
+    const std::string& path) {
+  // File creation is allowed even after a crash: an empty inode is
+  // harmless, and callers need a handle for their (dropped) writes.
+  auto base = base_->NewFile(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<RandomAccessFile>(
+      new FaultInjectingFile(this, path, std::move(base).value()));
+}
+
+bool FaultInjectingEnv::Exists(const std::string& path) {
+  return base_->Exists(path);
+}
+
+Status FaultInjectingEnv::Remove(const std::string& path) {
+  if (crashed_) {
+    Record(FaultOp::Kind::kRemove, path, 0, 0, /*dropped=*/true);
+    return Status::OK();
+  }
+  Record(FaultOp::Kind::kRemove, path, 0, 0, /*dropped=*/false);
+  return base_->Remove(path);
+}
+
+Status FaultInjectingEnv::MakeDirs(const std::string& path) {
+  // Directory creation is metadata-only; let it through (see NewFile).
+  return base_->MakeDirs(path);
+}
+
+Status FaultInjectingEnv::Rename(const std::string& from,
+                                 const std::string& to) {
+  if (crashed_) {
+    Record(FaultOp::Kind::kRename, from + " -> " + to, 0, 0, /*dropped=*/true);
+    return Status::OK();
+  }
+  Record(FaultOp::Kind::kRename, from + " -> " + to, 0, 0, /*dropped=*/false);
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectingEnv::OnWrite(RandomAccessFile* base,
+                                  const std::string& path, uint64_t offset,
+                                  const char* data, size_t n) {
+  const int64_t idx = static_cast<int64_t>(writes_++);
+  if (crashed_) {
+    Record(FaultOp::Kind::kWrite, path, offset, n, /*dropped=*/true);
+    return Status::OK();
+  }
+  if (idx == plan_.fail_write_at) {
+    m_write_failures_->Add();
+    Record(FaultOp::Kind::kWrite, path, offset, n, /*dropped=*/true);
+    return Status::IOError("injected write failure at write #" +
+                           std::to_string(idx) + " (" + path + ")");
+  }
+  if (idx == plan_.torn_write_at) {
+    m_torn_writes_->Add();
+    crashed_ = true;
+    size_t kept = std::min(plan_.torn_bytes, n);
+    Record(FaultOp::Kind::kWrite, path, offset, kept, /*dropped=*/false);
+    if (kept > 0) {
+      TREX_RETURN_IF_ERROR(base->Write(offset, data, kept));
+    }
+    // The caller observes success; the power is already off.
+    return Status::OK();
+  }
+  if (plan_.crash_after_writes != FaultPlan::kNever &&
+      idx >= plan_.crash_after_writes) {
+    crashed_ = true;
+    Record(FaultOp::Kind::kWrite, path, offset, n, /*dropped=*/true);
+    return Status::OK();
+  }
+  Record(FaultOp::Kind::kWrite, path, offset, n, /*dropped=*/false);
+  return base->Write(offset, data, n);
+}
+
+Status FaultInjectingEnv::OnRead(RandomAccessFile* base,
+                                 const std::string& path, uint64_t offset,
+                                 size_t n, char* scratch) {
+  const int64_t idx = static_cast<int64_t>(reads_++);
+  Record(FaultOp::Kind::kRead, path, offset, n, /*dropped=*/false);
+  TREX_RETURN_IF_ERROR(base->Read(offset, n, scratch));
+  if (idx == plan_.flip_read_bit_at && n > 0) {
+    m_bit_flips_->Add();
+    scratch[n / 2] ^= 0x04;  // One silent bit flip mid-buffer.
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::OnSync(RandomAccessFile* base,
+                                 const std::string& path) {
+  const int64_t idx = static_cast<int64_t>(syncs_++);
+  if (crashed_) {
+    Record(FaultOp::Kind::kSync, path, 0, 0, /*dropped=*/true);
+    return Status::OK();
+  }
+  if (idx == plan_.fail_sync_at) {
+    m_sync_failures_->Add();
+    Record(FaultOp::Kind::kSync, path, 0, 0, /*dropped=*/true);
+    return Status::IOError("injected sync failure at sync #" +
+                           std::to_string(idx) + " (" + path + ")");
+  }
+  Record(FaultOp::Kind::kSync, path, 0, 0, /*dropped=*/false);
+  return base->Sync();
+}
+
+}  // namespace trex

@@ -1,0 +1,149 @@
+// Deterministic I/O fault injection for crash / corruption testing.
+//
+// FaultInjectingEnv wraps another Env (POSIX by default) and forwards
+// every operation while counting it against a FaultPlan. All counters are
+// global across the files opened through the env, so the Nth write of a
+// whole index build is a well-defined, reproducible event regardless of
+// which table file it lands in.
+//
+// Faults supported:
+//   * fail_write_at      — the Nth write returns IOError, nothing written.
+//   * torn_write_at      — only the first `torn_bytes` bytes of the Nth
+//                          write reach disk; the simulated machine then
+//                          loses power (all later mutations are dropped).
+//   * flip_read_bit_at   — one bit of the Nth read's returned buffer is
+//                          flipped (silent media corruption).
+//   * fail_sync_at       — the Nth Sync() returns IOError.
+//   * crash_after_writes — after K writes have been persisted, the
+//                          simulated machine loses power: every later
+//                          write / sync / rename / remove is silently
+//                          dropped (returns OK, changes nothing on disk),
+//                          which models a process that keeps running on a
+//                          dead disk until the test "reboots" by swapping
+//                          the real env back in.
+//
+// Typical use (tests, index_doctor --inject):
+//   FaultInjectingEnv fenv;               // wraps PosixEnv()
+//   fenv.plan().crash_after_writes = 42;
+//   Env* prev = Env::Swap(&fenv);
+//   ... build / update an index; writes past #42 vanish ...
+//   Env::Swap(prev);                      // "reboot"
+//   ... reopen with recovery and check invariants ...
+#ifndef TREX_STORAGE_FAULT_ENV_H_
+#define TREX_STORAGE_FAULT_ENV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "storage/env.h"
+
+namespace trex {
+
+struct FaultPlan {
+  static constexpr int64_t kNever = -1;
+
+  int64_t fail_write_at = kNever;       // 0-based global write index.
+  int64_t torn_write_at = kNever;       // 0-based global write index.
+  size_t torn_bytes = 512;              // Prefix that survives a torn write.
+  int64_t flip_read_bit_at = kNever;    // 0-based global read index.
+  int64_t fail_sync_at = kNever;        // 0-based global sync index.
+  int64_t crash_after_writes = kNever;  // Writes persisted before power loss.
+};
+
+// One intercepted operation, in global order. Tests use the log to assert
+// ordering protocols (e.g. data writes sync before the header publishes).
+struct FaultOp {
+  enum class Kind { kWrite, kRead, kSync, kRename, kRemove };
+  Kind kind;
+  std::string path;
+  uint64_t offset = 0;  // kWrite/kRead only.
+  size_t length = 0;    // kWrite/kRead only.
+  bool dropped = false; // True when the simulated crash swallowed it.
+};
+
+class FaultInjectingEnv : public Env {
+ public:
+  // Wraps `base` (PosixEnv() when null) with an initially empty plan.
+  explicit FaultInjectingEnv(Env* base = nullptr);
+
+  Result<std::unique_ptr<RandomAccessFile>> NewFile(
+      const std::string& path) override;
+  bool Exists(const std::string& path) override;
+  Status Remove(const std::string& path) override;
+  Status MakeDirs(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+
+  FaultPlan& plan() { return plan_; }
+  const FaultPlan& plan() const { return plan_; }
+
+  uint64_t writes() const { return writes_; }
+  uint64_t reads() const { return reads_; }
+  uint64_t syncs() const { return syncs_; }
+  // True once a torn write or crash point has "cut the power".
+  bool crashed() const { return crashed_; }
+
+  const std::vector<FaultOp>& log() const { return log_; }
+  // When false (default), operations are counted but not logged.
+  void set_keep_log(bool keep) { keep_log_ = keep; }
+
+  // Clears counters, the op log and the crashed flag (plan unchanged).
+  void Reset();
+
+ private:
+  friend class FaultInjectingFile;
+
+  void Record(FaultOp::Kind kind, const std::string& path, uint64_t offset,
+              size_t length, bool dropped);
+
+  // Fault hooks used by FaultInjectingFile.
+  Status OnWrite(RandomAccessFile* base, const std::string& path,
+                 uint64_t offset, const char* data, size_t n);
+  Status OnRead(RandomAccessFile* base, const std::string& path,
+                uint64_t offset, size_t n, char* scratch);
+  Status OnSync(RandomAccessFile* base, const std::string& path);
+
+  Env* base_;
+  FaultPlan plan_;
+  uint64_t writes_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t syncs_ = 0;
+  bool crashed_ = false;
+  bool keep_log_ = false;
+  std::vector<FaultOp> log_;
+  // storage.fault.* metrics.
+  obs::Counter* m_write_failures_;
+  obs::Counter* m_torn_writes_;
+  obs::Counter* m_bit_flips_;
+  obs::Counter* m_sync_failures_;
+  obs::Counter* m_dropped_ops_;
+};
+
+// File handle that routes every operation through its owning env's fault
+// hooks. Size() is served from the base file (a crashed env still reports
+// whatever actually reached disk).
+class FaultInjectingFile : public RandomAccessFile {
+ public:
+  FaultInjectingFile(FaultInjectingEnv* env, std::string path,
+                     std::unique_ptr<RandomAccessFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Read(uint64_t offset, size_t n, char* scratch) override {
+    return env_->OnRead(base_.get(), path_, offset, n, scratch);
+  }
+  Status Write(uint64_t offset, const char* data, size_t n) override {
+    return env_->OnWrite(base_.get(), path_, offset, data, n);
+  }
+  Status Sync() override { return env_->OnSync(base_.get(), path_); }
+  Status Size(uint64_t* size) override { return base_->Size(size); }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::string path_;
+  std::unique_ptr<RandomAccessFile> base_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_STORAGE_FAULT_ENV_H_

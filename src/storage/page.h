@@ -4,8 +4,9 @@
 // checksum over the rest of the page, verified on every read from disk
 // (this is how corrupt-page failure injection is detected in tests).
 //
-// Page 0 is the pager header; all other pages are B+-tree nodes or free
-// pages chained through the freelist.
+// Pages 0 and 1 are the two pager header slots (the commit protocol
+// alternates between them, see storage/pager.h); all other pages are
+// B+-tree nodes or free pages.
 #ifndef TREX_STORAGE_PAGE_H_
 #define TREX_STORAGE_PAGE_H_
 
@@ -20,7 +21,9 @@ inline constexpr size_t kPageSize = 4096;
 inline constexpr size_t kPageChecksumSize = 4;
 // Bytes usable by page contents (checksum trailer excluded).
 inline constexpr size_t kPageUsableSize = kPageSize - kPageChecksumSize;
-inline constexpr PageId kInvalidPageId = 0;  // Page 0 is the header page.
+inline constexpr PageId kInvalidPageId = 0;  // Page 0 is a header slot.
+// First page available for tree nodes; 0 and 1 hold the header slots.
+inline constexpr PageId kFirstDataPage = 2;
 
 // Fletcher-32 over `n` bytes. Simple, fast, and catches the byte-flip /
 // torn-write corruptions the tests inject.

@@ -1,5 +1,6 @@
 #include "storage/pager.h"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -9,11 +10,13 @@ namespace trex {
 
 namespace {
 constexpr uint32_t kMagic = 0x54524558;  // "TREX"
+constexpr uint32_t kFormatVersion = 2;   // v2 = dual header slots + epoch.
 constexpr size_t kHeaderMagicOff = 0;
-constexpr size_t kHeaderPageCountOff = 4;
-constexpr size_t kHeaderFreelistOff = 8;
-constexpr size_t kHeaderRootOff = 12;
-constexpr size_t kHeaderRowCountOff = 16;
+constexpr size_t kHeaderVersionOff = 4;
+constexpr size_t kHeaderEpochOff = 8;
+constexpr size_t kHeaderPageCountOff = 16;
+constexpr size_t kHeaderRootOff = 20;
+constexpr size_t kHeaderRowCountOff = 24;
 }  // namespace
 
 Pager::Pager(std::unique_ptr<RandomAccessFile> file)
@@ -23,6 +26,7 @@ Pager::Pager(std::unique_ptr<RandomAccessFile> file)
   m_page_writes_ = reg.GetCounter("storage.pager.page_writes");
   m_bytes_read_ = reg.GetCounter("storage.pager.bytes_read");
   m_bytes_written_ = reg.GetCounter("storage.pager.bytes_written");
+  m_commits_ = reg.GetCounter("storage.pager.commits");
 }
 
 Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path) {
@@ -33,52 +37,75 @@ Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path) {
   uint64_t size = 0;
   TREX_RETURN_IF_ERROR(pager->file_->Size(&size));
   if (size == 0) {
-    TREX_RETURN_IF_ERROR(pager->WriteHeader());
+    // Fresh file: seed slot 0 with epoch 0 so the file reopens before the
+    // first Commit(). Durability starts with the first Commit().
+    TREX_RETURN_IF_ERROR(pager->WriteHeaderSlot(0));
   } else {
-    if (size % kPageSize != 0) {
-      return Status::Corruption(path + ": size is not a multiple of the page size");
-    }
-    TREX_RETURN_IF_ERROR(pager->ReadHeader());
-    if (pager->page_count_ * static_cast<uint64_t>(kPageSize) != size) {
-      return Status::Corruption(path + ": header page count disagrees with file size");
-    }
+    TREX_RETURN_IF_ERROR(pager->ReadHeaders(path, size));
   }
   return pager;
 }
 
-Status Pager::WriteHeader() {
+Status Pager::WriteHeaderSlot(uint64_t epoch) {
   std::vector<char> buf(kPageSize, 0);
   std::memcpy(buf.data() + kHeaderMagicOff, &kMagic, 4);
+  std::memcpy(buf.data() + kHeaderVersionOff, &kFormatVersion, 4);
+  std::memcpy(buf.data() + kHeaderEpochOff, &epoch, 8);
   std::memcpy(buf.data() + kHeaderPageCountOff, &page_count_, 4);
-  std::memcpy(buf.data() + kHeaderFreelistOff, &freelist_head_, 4);
   std::memcpy(buf.data() + kHeaderRootOff, &root_page_, 4);
   std::memcpy(buf.data() + kHeaderRowCountOff, &row_count_, 8);
   StampPageChecksum(buf.data());
   m_page_writes_->Add();
   m_bytes_written_->Add(kPageSize);
-  return file_->Write(0, buf.data(), kPageSize);
+  const PageId slot = static_cast<PageId>(epoch % 2);
+  return file_->Write(static_cast<uint64_t>(slot) * kPageSize, buf.data(),
+                      kPageSize);
 }
 
-Status Pager::ReadHeader() {
+Status Pager::ReadHeaders(const std::string& path, uint64_t file_size) {
+  // A slot is a candidate if its checksum, magic and version check out and
+  // its page count fits the file; the newest epoch wins. A torn header
+  // write invalidates at most the slot being replaced, so a committed
+  // file always keeps one valid slot.
+  bool found = false;
   std::vector<char> buf(kPageSize);
-  TREX_RETURN_IF_ERROR(file_->Read(0, kPageSize, buf.data()));
-  if (!VerifyPageChecksum(buf.data())) {
-    return Status::Corruption("header page checksum mismatch");
+  for (PageId slot = 0; slot < kFirstDataPage; ++slot) {
+    const uint64_t off = static_cast<uint64_t>(slot) * kPageSize;
+    if (off + kPageSize > file_size) break;
+    TREX_RETURN_IF_ERROR(file_->Read(off, kPageSize, buf.data()));
+    if (!VerifyPageChecksum(buf.data())) continue;
+    uint32_t magic, version;
+    std::memcpy(&magic, buf.data() + kHeaderMagicOff, 4);
+    std::memcpy(&version, buf.data() + kHeaderVersionOff, 4);
+    if (magic != kMagic || version != kFormatVersion) continue;
+    uint64_t epoch;
+    uint32_t page_count;
+    std::memcpy(&epoch, buf.data() + kHeaderEpochOff, 8);
+    std::memcpy(&page_count, buf.data() + kHeaderPageCountOff, 4);
+    if (page_count < kFirstDataPage) continue;
+    // Committed data pages must all exist; an uncommitted (torn or
+    // unsynced) tail past them is fine and simply ignored.
+    if (page_count > kFirstDataPage &&
+        static_cast<uint64_t>(page_count) * kPageSize > file_size) {
+      continue;
+    }
+    if (found && epoch <= epoch_) continue;
+    found = true;
+    epoch_ = epoch;
+    page_count_ = page_count;
+    std::memcpy(&root_page_, buf.data() + kHeaderRootOff, 4);
+    std::memcpy(&row_count_, buf.data() + kHeaderRowCountOff, 8);
   }
-  uint32_t magic;
-  std::memcpy(&magic, buf.data() + kHeaderMagicOff, 4);
-  if (magic != kMagic) {
-    return Status::Corruption("bad magic; not a TReX table file");
+  if (!found) {
+    return Status::Corruption(path +
+                              ": no valid header slot (not a TReX v2 table "
+                              "file, or both headers corrupt)");
   }
-  std::memcpy(&page_count_, buf.data() + kHeaderPageCountOff, 4);
-  std::memcpy(&freelist_head_, buf.data() + kHeaderFreelistOff, 4);
-  std::memcpy(&root_page_, buf.data() + kHeaderRootOff, 4);
-  std::memcpy(&row_count_, buf.data() + kHeaderRowCountOff, 8);
   return Status::OK();
 }
 
 Status Pager::ReadPage(PageId id, char* buf) {
-  if (id == kInvalidPageId || id >= page_count_) {
+  if (id < kFirstDataPage || id >= page_count_) {
     return Status::InvalidArgument("ReadPage: page id " + std::to_string(id) +
                                    " out of range");
   }
@@ -94,57 +121,92 @@ Status Pager::ReadPage(PageId id, char* buf) {
 }
 
 Status Pager::WritePage(PageId id, char* buf) {
-  if (id == kInvalidPageId || id >= page_count_) {
+  if (id < kFirstDataPage || id >= page_count_) {
     return Status::InvalidArgument("WritePage: page id " + std::to_string(id) +
                                    " out of range");
   }
   StampPageChecksum(buf);
   m_page_writes_->Add();
   m_bytes_written_->Add(kPageSize);
+  dirty_ = true;
   return file_->Write(static_cast<uint64_t>(id) * kPageSize, buf, kPageSize);
 }
 
 Result<PageId> Pager::AllocatePage() {
-  if (freelist_head_ != kInvalidPageId) {
-    PageId id = freelist_head_;
-    std::vector<char> buf(kPageSize);
-    TREX_RETURN_IF_ERROR(ReadPage(id, buf.data()));
-    std::memcpy(&freelist_head_, buf.data(), 4);
-    TREX_RETURN_IF_ERROR(WriteHeader());
-    return id;
+  PageId id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+  } else {
+    id = page_count_;
+    ++page_count_;
+    std::vector<char> zero(kPageSize, 0);
+    StampPageChecksum(zero.data());
+    TREX_RETURN_IF_ERROR(file_->Write(static_cast<uint64_t>(id) * kPageSize,
+                                      zero.data(), kPageSize));
   }
-  PageId id = page_count_;
-  ++page_count_;
-  std::vector<char> zero(kPageSize, 0);
-  StampPageChecksum(zero.data());
-  TREX_RETURN_IF_ERROR(
-      file_->Write(static_cast<uint64_t>(id) * kPageSize, zero.data(),
-                   kPageSize));
-  TREX_RETURN_IF_ERROR(WriteHeader());
+  shadowed_.insert(id);
+  dirty_ = true;
   return id;
 }
 
 Status Pager::FreePage(PageId id) {
-  if (id == kInvalidPageId || id >= page_count_) {
+  if (id < kFirstDataPage || id >= page_count_) {
     return Status::InvalidArgument("FreePage: page id out of range");
   }
-  std::vector<char> buf(kPageSize, 0);
-  std::memcpy(buf.data(), &freelist_head_, 4);
-  TREX_RETURN_IF_ERROR(WritePage(id, buf.data()));
-  freelist_head_ = id;
-  return WriteHeader();
+  auto it = shadowed_.find(id);
+  if (it != shadowed_.end()) {
+    // Never committed: reusable right away.
+    shadowed_.erase(it);
+    free_.push_back(id);
+  } else {
+    // Referenced by the committed header; hold it back until the next
+    // Commit() so a crash can still roll back to that state.
+    pending_free_.push_back(id);
+  }
+  dirty_ = true;
+  return Status::OK();
 }
 
 Status Pager::SetRootPage(PageId id) {
+  if (id != root_page_) dirty_ = true;
   root_page_ = id;
-  return WriteHeader();
+  return Status::OK();
 }
 
 Status Pager::SetRowCount(uint64_t n) {
+  if (n != row_count_) dirty_ = true;
   row_count_ = n;
-  return WriteHeader();
+  return Status::OK();
 }
 
 Status Pager::Sync() { return file_->Sync(); }
+
+Status Pager::Commit() {
+  if (!dirty_) return Status::OK();
+  // 1. Data pages durable before any header points at them.
+  TREX_RETURN_IF_ERROR(file_->Sync());
+  // 2. Publish into the slot the committed header does NOT occupy, so a
+  //    torn header write can only damage the slot being replaced. The
+  //    epoch advances only after the publish is durable; a failed attempt
+  //    retries into the same (non-live) slot.
+  const uint64_t next_epoch = epoch_ + 1;
+  TREX_RETURN_IF_ERROR(WriteHeaderSlot(next_epoch));
+  // 3. Header durable.
+  TREX_RETURN_IF_ERROR(file_->Sync());
+  epoch_ = next_epoch;
+  free_.insert(free_.end(), pending_free_.begin(), pending_free_.end());
+  pending_free_.clear();
+  shadowed_.clear();
+  dirty_ = false;
+  m_commits_->Add();
+  return Status::OK();
+}
+
+std::vector<PageId> Pager::FreePages() const {
+  std::vector<PageId> out = free_;
+  out.insert(out.end(), pending_free_.begin(), pending_free_.end());
+  return out;
+}
 
 }  // namespace trex

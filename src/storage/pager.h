@@ -1,9 +1,27 @@
-// Pager: allocates, frees, reads and writes fixed-size pages in one file.
+// Pager: allocates, frees, reads and writes fixed-size pages in one file,
+// with a crash-safe commit protocol.
 //
-// File layout:
-//   page 0: header {magic, page_count, freelist_head, root_page, row_count}
-//   page 1..N: tree nodes / free pages.
-// Freed pages are chained through their first 4 bytes.
+// File layout (format v2):
+//   page 0, page 1: header slots {magic, version, epoch, page_count,
+//                   freelist_head (reserved), root_page, row_count},
+//                   each checksummed like every other page.
+//   page 2..N:      tree nodes / free pages.
+//
+// Commit protocol. Mutations (allocate, free, set-root, set-row-count)
+// only touch in-memory header state; nothing is published until Commit():
+//   1. Sync()                 — data pages become durable,
+//   2. write header slot (epoch+1) % 2 with epoch+1,
+//   3. Sync()                 — the new header becomes durable.
+// Open() reads both slots and adopts the one with the highest epoch whose
+// checksum verifies, so a crash at any point leaves the previously
+// committed state intact. Page contents cooperate via shadow paging: the
+// B+-tree never modifies a page referenced by the committed header in
+// place (see BPTree), so the old header always describes valid pages.
+//
+// The free list is kept in memory only. Pages freed before the crash and
+// never re-committed are leaked on reopen (DeepVerify reports them as
+// unreachable); this trades a bounded space leak for not having to make
+// the on-disk freelist chain itself crash-safe.
 //
 // The pager itself is unbuffered; BufferPool (buffer_pool.h) sits on top.
 #ifndef TREX_STORAGE_PAGER_H_
@@ -11,6 +29,8 @@
 
 #include <memory>
 #include <string>
+#include <unordered_set>
+#include <vector>
 
 #include "common/status.h"
 #include "obs/metrics.h"
@@ -32,16 +52,26 @@ class Pager {
   // Stamps the checksum into `buf` and writes it to disk.
   Status WritePage(PageId id, char* buf);
 
-  // Returns a zeroed new page (possibly recycled from the freelist).
+  // Returns a zeroed new page (possibly recycled from the free list).
+  // New pages are "shadowed": not part of any committed state, so they
+  // may be modified in place until the next Commit().
   Result<PageId> AllocatePage();
-  // Returns a page to the freelist.
+  // Returns a page to the free list. Shadowed pages become reusable
+  // immediately; committed pages only after the next Commit() (a crash
+  // before it must leave the committed state intact).
   Status FreePage(PageId id);
 
-  // The B+-tree root, persisted in the header (kInvalidPageId if empty).
+  // True while `id` is not referenced by the committed header, i.e. it
+  // was allocated (or COW-relocated onto) since the last Commit().
+  bool IsShadowed(PageId id) const {
+    return shadowed_.find(id) != shadowed_.end();
+  }
+
+  // The B+-tree root (kInvalidPageId if empty). In-memory until Commit().
   PageId root_page() const { return root_page_; }
   Status SetRootPage(PageId id);
 
-  // Entry count, persisted in the header and maintained by the tree.
+  // Entry count, maintained by the tree. In-memory until Commit().
   uint64_t row_count() const { return row_count_; }
   Status SetRowCount(uint64_t n);
 
@@ -49,25 +79,46 @@ class Pager {
   uint64_t FileBytes() const {
     return static_cast<uint64_t>(page_count_) * kPageSize;
   }
+  // Epoch of the last durable commit (0 for a fresh file).
+  uint64_t epoch() const { return epoch_; }
 
   Status Sync();
+  // Publishes the current in-memory state: sync data, write the next
+  // header slot, sync again. See the commit protocol above. A no-op when
+  // nothing changed since the last commit (read-only sessions stay
+  // write-free).
+  Status Commit();
+
+  // Pages currently reusable or pending-free (for verification).
+  std::vector<PageId> FreePages() const;
 
  private:
   explicit Pager(std::unique_ptr<RandomAccessFile> file);
 
-  Status WriteHeader();
-  Status ReadHeader();
+  Status WriteHeaderSlot(uint64_t epoch);
+  Status ReadHeaders(const std::string& path, uint64_t file_size);
 
   std::unique_ptr<RandomAccessFile> file_;
-  uint32_t page_count_ = 1;  // Header page always exists.
-  PageId freelist_head_ = kInvalidPageId;
+  uint64_t epoch_ = 0;
+  uint32_t page_count_ = kFirstDataPage;  // Header slots always exist.
   PageId root_page_ = kInvalidPageId;
   uint64_t row_count_ = 0;
+  // Free pages reusable now (freed before the last Commit, or never
+  // committed at all).
+  std::vector<PageId> free_;
+  // Committed pages freed since the last Commit; promoted to free_ at the
+  // next Commit.
+  std::vector<PageId> pending_free_;
+  // Pages allocated since the last Commit (safe to modify in place).
+  std::unordered_set<PageId> shadowed_;
+  // True when state changed since the last durable commit.
+  bool dirty_ = false;
   // storage.pager.* metrics (physical page I/O, including header writes).
   obs::Counter* m_page_reads_;
   obs::Counter* m_page_writes_;
   obs::Counter* m_bytes_read_;
   obs::Counter* m_bytes_written_;
+  obs::Counter* m_commits_;
 };
 
 }  // namespace trex

@@ -73,6 +73,13 @@ class Summary {
   // Total elements summarized.
   uint64_t total_extent_size() const { return total_extent_size_; }
 
+  // Overwrites a node's extent size, keeping total_extent_size() in step.
+  // Recovery uses this to restore counts after undoing a torn update.
+  void SetExtentSize(Sid sid, uint64_t n) {
+    total_extent_size_ += n - nodes_[sid].extent_size;
+    nodes_[sid].extent_size = n;
+  }
+
   // Number of (ancestor, descendant) element pairs observed sharing a
   // sid during building (0 means the summary is ancestor-disjoint, as
   // the paper requires for retrieval use).

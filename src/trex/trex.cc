@@ -41,6 +41,33 @@ Result<std::unique_ptr<TReX>> TReX::Open(const std::string& dir,
       new TReX(std::move(index).value(), std::move(options)));
 }
 
+Result<std::unique_ptr<TReX>> TReX::Open(const std::string& dir,
+                                         TrexOptions options,
+                                         RecoveryMode mode,
+                                         RecoveryReport* report) {
+  if (report != nullptr) *report = RecoveryReport{};
+  if (mode == RecoveryMode::kOff) return Open(dir, std::move(options));
+
+  // Fast path: a cleanly shut-down index opens and verifies untouched.
+  {
+    auto index = Index::Open(dir, options.index.cache_pages);
+    if (index.ok() && index.value()->DeepVerify().ok()) {
+      return std::unique_ptr<TReX>(
+          new TReX(std::move(index).value(), std::move(options)));
+    }
+  }
+
+  // Repair path: roll back to the manifest's commit point, quarantine
+  // corrupt derived tables, then the index must open and verify cleanly.
+  TREX_RETURN_IF_ERROR(
+      RecoverIndex(dir, report, options.index.cache_pages));
+  auto index = Index::Open(dir, options.index.cache_pages);
+  if (!index.ok()) return index.status();
+  TREX_RETURN_IF_ERROR(index.value()->DeepVerify());
+  return std::unique_ptr<TReX>(
+      new TReX(std::move(index).value(), std::move(options)));
+}
+
 Result<QueryAnswer> TReX::RunQuery(const std::string& nexi, size_t k,
                                    const RetrievalMethod* forced) {
   QueryAnswer answer;

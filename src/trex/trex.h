@@ -23,6 +23,7 @@
 #include "corpus/corpus.h"
 #include "index/index.h"
 #include "index/index_builder.h"
+#include "index/recovery.h"
 #include "nexi/translator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -62,6 +63,15 @@ class TReX {
   // Opens an existing index.
   static Result<std::unique_ptr<TReX>> Open(const std::string& dir,
                                             TrexOptions options = {});
+  // Opens an existing index with crash recovery: in RecoveryMode::kRepair
+  // a failed open or failed deep verification triggers RecoverIndex
+  // (rolling every table back to the manifest's commit point and
+  // quarantining corrupt derived tables) followed by a re-open and
+  // re-verification. `report` (optional) receives what was repaired.
+  static Result<std::unique_ptr<TReX>> Open(const std::string& dir,
+                                            TrexOptions options,
+                                            RecoveryMode mode,
+                                            RecoveryReport* report = nullptr);
 
   // Evaluates a NEXI query; k == 0 returns all answers. The method is
   // chosen by the strategy selector unless `force` is set.

@@ -183,7 +183,8 @@ TEST(Greedy, PrefersHigherGainCostRatio) {
 class SelfManagerTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/trex_advisor_selfmgr";
+    dir_ = ::testing::TempDir() + "/trex_advisor_selfmgr_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
     IndexOptions options;

@@ -1,0 +1,583 @@
+// Crash-safety test suite (ctest label: fault).
+//
+// Three layers of coverage:
+//  * FaultInjectingEnv unit behavior — each fault kind fires exactly as
+//    planned, counters/metrics/op-log record it.
+//  * Durability protocols — atomic whole-file replacement keeps the old
+//    contents across an injected crash, and the pager's commit publishes
+//    the header only after the data pages are synced (asserted on the
+//    real op order, not on implementation trust).
+//  * Crash-point matrices — an index build and an incremental update are
+//    killed at a stride of write counts; after every "reboot" the index
+//    either fails to open with a clean error (nothing was ever
+//    committed) or recovers to exactly the pre- or post-operation state.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "corpus/ieee_generator.h"
+#include "gtest/gtest.h"
+#include "index/recovery.h"
+#include "obs/metrics.h"
+#include "retrieval/materializer.h"
+#include "storage/bptree.h"
+#include "storage/fault_env.h"
+#include "storage/page.h"
+#include "trex/trex.h"
+
+namespace trex {
+namespace {
+
+std::string TestDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/trex_crash_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void CopyDir(const std::string& from, const std::string& to) {
+  std::filesystem::remove_all(to);
+  std::filesystem::copy(from, to,
+                        std::filesystem::copy_options::recursive);
+}
+
+TrexOptions IeeeOptions() {
+  TrexOptions options;
+  options.index.aliases = IeeeAliasMap();
+  return options;
+}
+
+IeeeGenerator SmallCorpus() {
+  IeeeGeneratorOptions gen_options;
+  gen_options.num_documents = 6;
+  gen_options.size_factor = 0.3;
+  return IeeeGenerator(gen_options);
+}
+
+// Canonical rendering of a ranked result, for exact state comparison.
+std::string Signature(const RetrievalResult& result) {
+  std::string sig;
+  char buf[96];
+  for (const ScoredElement& e : result.elements) {
+    std::snprintf(buf, sizeof(buf), "%u:%u:%llu:%.6e\n", e.element.sid,
+                  e.element.docid,
+                  static_cast<unsigned long long>(e.element.endpos), e.score);
+    sig += buf;
+  }
+  return sig;
+}
+
+// ERA-only answer for `query` over the index in `dir`. ERA reads only the
+// base tables, so this is a pure function of the committed index state —
+// independent of which redundant lists survived a crash.
+std::string EraSignature(const std::string& dir, const std::string& query) {
+  auto trex = TReX::Open(dir, IeeeOptions());
+  TREX_CHECK_OK(trex.status());
+  auto answer = trex.value()->QueryWith(RetrievalMethod::kEra, query, 0);
+  TREX_CHECK_OK(answer.status());
+  return Signature(answer.value().result);
+}
+
+const char kQuery[] = "//article//sec[about(., ontologies case study)]";
+
+// ---------------------------------------------------------------------------
+// FaultInjectingEnv unit behavior.
+
+TEST(FaultEnvTest, FailedWriteReturnsIOError) {
+  std::string dir = TestDir("fail_write");
+  FaultInjectingEnv fenv;
+  fenv.plan().fail_write_at = 1;
+
+  auto before = obs::Default().Snapshot();
+  auto file = fenv.NewFile(dir + "/f");
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE(file.value()->Write(0, "aaaa", 4).ok());
+  Status s = file.value()->Write(4, "bbbb", 4);  // Write #1 fails.
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(file.value()->Write(4, "bbbb", 4).ok());  // #2 is fine again.
+  EXPECT_FALSE(fenv.crashed());
+  EXPECT_EQ(fenv.writes(), 3u);
+
+  auto after = obs::Default().Snapshot();
+  EXPECT_EQ(after.counter("storage.fault.injected_write_failures"),
+            before.counter("storage.fault.injected_write_failures") + 1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FaultEnvTest, TornWritePersistsPrefixAndCutsPower) {
+  std::string dir = TestDir("torn_write");
+  FaultInjectingEnv fenv;
+  fenv.plan().torn_write_at = 0;
+  fenv.plan().torn_bytes = 3;
+
+  auto file = fenv.NewFile(dir + "/f");
+  ASSERT_TRUE(file.ok());
+  // The torn write itself reports success: the machine is already off.
+  EXPECT_TRUE(file.value()->Write(0, "ABCDEFGH", 8).ok());
+  EXPECT_TRUE(fenv.crashed());
+  // Later mutations are silently dropped.
+  EXPECT_TRUE(file.value()->Write(8, "IJKL", 4).ok());
+  EXPECT_TRUE(file.value()->Sync().ok());
+  EXPECT_TRUE(fenv.Remove(dir + "/f").ok());
+
+  // Only the 3-byte prefix ever reached disk; the file still exists.
+  auto contents = Env::ReadFileToString(dir + "/f");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "ABC");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FaultEnvTest, FlippedReadBitIsSilentCorruption) {
+  std::string dir = TestDir("flip_read");
+  FaultInjectingEnv fenv;
+  fenv.plan().flip_read_bit_at = 0;
+
+  auto file = fenv.NewFile(dir + "/f");
+  ASSERT_TRUE(file.ok());
+  const std::string payload = "0123456789abcdef";
+  ASSERT_TRUE(file.value()->Write(0, payload.data(), payload.size()).ok());
+
+  char scratch[16];
+  ASSERT_TRUE(file.value()->Read(0, sizeof(scratch), scratch).ok());
+  std::string got(scratch, sizeof(scratch));
+  EXPECT_NE(got, payload);
+  // Exactly one bit differs.
+  int diff_bits = 0;
+  for (size_t i = 0; i < payload.size(); ++i) {
+    diff_bits += __builtin_popcount(
+        static_cast<unsigned char>(got[i] ^ payload[i]));
+  }
+  EXPECT_EQ(diff_bits, 1);
+
+  // The next read is clean.
+  ASSERT_TRUE(file.value()->Read(0, sizeof(scratch), scratch).ok());
+  EXPECT_EQ(std::string(scratch, sizeof(scratch)), payload);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FaultEnvTest, CrashAfterWritesDropsLaterOpsAndLogsThem) {
+  std::string dir = TestDir("crash_after");
+  FaultInjectingEnv fenv;
+  fenv.plan().crash_after_writes = 2;
+  fenv.set_keep_log(true);
+
+  auto before = obs::Default().Snapshot();
+  auto file = fenv.NewFile(dir + "/f");
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE(file.value()->Write(0, "aa", 2).ok());   // persisted
+  EXPECT_TRUE(file.value()->Write(2, "bb", 2).ok());   // persisted
+  EXPECT_TRUE(file.value()->Write(4, "cc", 2).ok());   // dropped
+  EXPECT_TRUE(fenv.crashed());
+  EXPECT_TRUE(file.value()->Sync().ok());              // dropped
+  EXPECT_TRUE(fenv.Rename(dir + "/f", dir + "/g").ok());  // dropped
+  EXPECT_TRUE(fenv.Remove(dir + "/f").ok());           // dropped
+
+  auto contents = Env::ReadFileToString(dir + "/f");
+  ASSERT_TRUE(contents.ok());  // Never renamed, never removed.
+  EXPECT_EQ(contents.value(), "aabb");
+
+  ASSERT_EQ(fenv.log().size(), 6u);
+  EXPECT_FALSE(fenv.log()[0].dropped);
+  EXPECT_FALSE(fenv.log()[1].dropped);
+  for (size_t i = 2; i < fenv.log().size(); ++i) {
+    EXPECT_TRUE(fenv.log()[i].dropped) << "op #" << i;
+  }
+  EXPECT_EQ(fenv.log()[3].kind, FaultOp::Kind::kSync);
+  EXPECT_EQ(fenv.log()[4].kind, FaultOp::Kind::kRename);
+  EXPECT_EQ(fenv.log()[5].kind, FaultOp::Kind::kRemove);
+
+  auto after = obs::Default().Snapshot();
+  EXPECT_EQ(after.counter("storage.fault.dropped_ops"),
+            before.counter("storage.fault.dropped_ops") + 4);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FaultEnvTest, FailedSyncReturnsIOError) {
+  std::string dir = TestDir("fail_sync");
+  FaultInjectingEnv fenv;
+  fenv.plan().fail_sync_at = 0;
+
+  auto file = fenv.NewFile(dir + "/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->Write(0, "x", 1).ok());
+  EXPECT_FALSE(file.value()->Sync().ok());
+  EXPECT_TRUE(file.value()->Sync().ok());
+  EXPECT_EQ(fenv.syncs(), 2u);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Atomic whole-file replacement (manifests, summary, corpus docs).
+
+TEST(AtomicWriteTest, CrashMidReplaceKeepsOldContents) {
+  std::string dir = TestDir("atomic_crash");
+  const std::string path = dir + "/manifest.txt";
+  TREX_CHECK_OK(Env::WriteStringToFile(path, "old contents"));
+
+  FaultInjectingEnv fenv;
+  fenv.plan().torn_write_at = 0;  // Tear the .tmp write, then power off.
+  fenv.plan().torn_bytes = 3;
+  Env::Swap(&fenv);
+  // The caller cannot tell — the power is off, the rename was dropped.
+  Status s = Env::WriteStringToFile(path, "NEW CONTENTS THAT MUST NOT LAND");
+  Env::Swap(nullptr);
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(fenv.crashed());
+
+  // Reboot: the destination still holds the complete old contents (the
+  // torn garbage only ever existed in the .tmp file).
+  auto contents = Env::ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "old contents");
+
+  // And a later, healthy replacement goes through over the stale .tmp.
+  TREX_CHECK_OK(Env::WriteStringToFile(path, "second try"));
+  EXPECT_EQ(Env::ReadFileToString(path).value(), "second try");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AtomicWriteTest, FailedTmpWriteReportsErrorAndKeepsOldContents) {
+  std::string dir = TestDir("atomic_fail");
+  const std::string path = dir + "/manifest.txt";
+  TREX_CHECK_OK(Env::WriteStringToFile(path, "old contents"));
+
+  FaultInjectingEnv fenv;
+  fenv.plan().fail_write_at = 0;
+  Env::Swap(&fenv);
+  Status s = Env::WriteStringToFile(path, "replacement");
+  Env::Swap(nullptr);
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(fenv.crashed());
+  EXPECT_EQ(Env::ReadFileToString(path).value(), "old contents");
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Commit protocol: data pages must be durable before the header publishes.
+
+TEST(CommitProtocolTest, DataIsSyncedBeforeHeaderPublish) {
+  std::string dir = TestDir("commit_order");
+  FaultInjectingEnv fenv;
+  fenv.set_keep_log(true);
+  Env::Swap(&fenv);
+  {
+    auto tree = BPTree::Open(dir + "/t", /*cache_pages=*/64);
+    TREX_CHECK_OK(tree.status());
+    for (int i = 0; i < 300; ++i) {
+      TREX_CHECK_OK(tree.value()->Put("key-" + std::to_string(i),
+                                      "value-" + std::to_string(i)));
+    }
+    TREX_CHECK_OK(tree.value()->Flush());
+  }
+  Env::Swap(nullptr);
+
+  const std::vector<FaultOp>& log = fenv.log();
+  // Locate the last data-page write of the flush...
+  ptrdiff_t last_data = -1;
+  for (size_t i = 0; i < log.size(); ++i) {
+    if (log[i].kind == FaultOp::Kind::kWrite &&
+        log[i].offset >= 2 * kPageSize) {
+      last_data = static_cast<ptrdiff_t>(i);
+    }
+  }
+  ASSERT_GE(last_data, 0) << "flush wrote no data pages";
+  // ...then the header-slot publish that committed it.
+  ptrdiff_t header = -1;
+  for (size_t i = last_data + 1; i < log.size(); ++i) {
+    if (log[i].kind == FaultOp::Kind::kWrite &&
+        log[i].offset < 2 * kPageSize) {
+      header = static_cast<ptrdiff_t>(i);
+      break;
+    }
+  }
+  ASSERT_GE(header, 0) << "no header publish after the data writes";
+  // The ordering that makes the commit atomic: a sync strictly between
+  // the data writes and the header publish, and a sync after the publish.
+  bool sync_before = false;
+  for (ptrdiff_t i = last_data + 1; i < header; ++i) {
+    if (log[i].kind == FaultOp::Kind::kSync) sync_before = true;
+  }
+  EXPECT_TRUE(sync_before) << "header published before data was synced";
+  bool sync_after = false;
+  for (size_t i = header + 1; i < log.size(); ++i) {
+    if (log[i].kind == FaultOp::Kind::kSync) sync_after = true;
+  }
+  EXPECT_TRUE(sync_after) << "header publish never synced";
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-point matrices.
+
+// Killing a fresh build after K writes must never leave a silently-wrong
+// index: the reboot either refuses to open (nothing was committed — the
+// manifest is written last) or serves exactly the full corpus.
+TEST(CrashMatrixTest, BuildInterruptedAtWriteStride) {
+  std::string base = TestDir("build_matrix");
+  IeeeGenerator gen = SmallCorpus();
+
+  // Golden: a clean build of the same corpus.
+  const std::string golden_dir = base + "/golden";
+  { TREX_CHECK_OK(TReX::Build(golden_dir, gen, IeeeOptions()).status()); }
+  const std::string golden_sig = EraSignature(golden_dir, kQuery);
+  ASSERT_FALSE(golden_sig.empty());
+
+  // Count the writes of a full build.
+  FaultInjectingEnv fenv;
+  Env::Swap(&fenv);
+  auto counted = TReX::Build(base + "/counted", gen, IeeeOptions());
+  Env::Swap(nullptr);
+  TREX_CHECK_OK(counted.status());
+  counted.value().reset();
+  const uint64_t total = fenv.writes();
+  ASSERT_GT(total, 10u);
+
+  const uint64_t stride = std::max<uint64_t>(1, total / 8);
+  int recovered = 0, refused = 0;
+  for (uint64_t k = 0; k < total; k += stride) {
+    const std::string dir = base + "/crash_" + std::to_string(k);
+    fenv.Reset();
+    fenv.plan() = FaultPlan{};
+    fenv.plan().crash_after_writes = static_cast<int64_t>(k);
+    Env::Swap(&fenv);
+    {
+      // The build may "succeed" (the power is off, writes vanish) or
+      // fail; either way the process is gone. Destroy it pre-reboot so
+      // its destructor flushes are dropped like everything else.
+      auto doomed = TReX::Build(dir, gen, IeeeOptions());
+      if (doomed.ok()) doomed.value().reset();
+    }
+    Env::Swap(nullptr);
+
+    RecoveryReport report;
+    auto reopened = TReX::Open(dir, IeeeOptions(), RecoveryMode::kRepair,
+                               &report);
+    if (!reopened.ok()) {
+      // Acceptable only as a *clean* refusal: nothing was committed.
+      ++refused;
+      continue;
+    }
+    ++recovered;
+    auto answer =
+        reopened.value()->QueryWith(RetrievalMethod::kEra, kQuery, 0);
+    ASSERT_TRUE(answer.ok()) << "k=" << k << ": " << answer.status().ToString();
+    EXPECT_EQ(Signature(answer.value().result), golden_sig) << "k=" << k;
+  }
+  // The matrix must exercise both outcomes: early crashes refuse, and a
+  // crash after the final commit point recovers everything.
+  EXPECT_GT(refused, 0);
+  std::filesystem::remove_all(base);
+}
+
+// Killing an incremental update after K writes: the index was committed
+// once already, so every reboot MUST recover, and the answers must equal
+// either the pre-update or the post-update state — never a torn mix.
+TEST(CrashMatrixTest, UpdateInterruptedAtWriteStride) {
+  std::string base = TestDir("update_matrix");
+  IeeeGenerator gen = SmallCorpus();
+  const std::string new_doc = gen.Generate(6);
+
+  // Pre-update golden, with redundant lists materialized so the update's
+  // list invalidation is part of the crash surface.
+  const std::string pre_dir = base + "/pre";
+  {
+    auto trex = TReX::Build(pre_dir, gen, IeeeOptions());
+    TREX_CHECK_OK(trex.status());
+    MaterializeStats stats;
+    TREX_CHECK_OK(trex.value()->MaterializeFor(kQuery, true, true, &stats));
+    TREX_CHECK_OK(trex.value()->index()->Flush());
+  }
+  const std::string pre_sig = EraSignature(pre_dir, kQuery);
+
+  // Post-update golden.
+  const std::string post_dir = base + "/post";
+  CopyDir(pre_dir, post_dir);
+  {
+    auto trex = TReX::Open(post_dir, IeeeOptions());
+    TREX_CHECK_OK(trex.status());
+    TREX_CHECK_OK(trex.value()->AddDocument(new_doc).status());
+  }
+  const std::string post_sig = EraSignature(post_dir, kQuery);
+  ASSERT_NE(pre_sig, post_sig);  // The update must be visible in kQuery.
+
+  // Count the writes of a clean update.
+  FaultInjectingEnv fenv;
+  const std::string counted_dir = base + "/counted";
+  CopyDir(pre_dir, counted_dir);
+  Env::Swap(&fenv);
+  {
+    auto trex = TReX::Open(counted_dir, IeeeOptions());
+    TREX_CHECK_OK(trex.status());
+    TREX_CHECK_OK(trex.value()->AddDocument(new_doc).status());
+  }
+  Env::Swap(nullptr);
+  const uint64_t total = fenv.writes();
+  ASSERT_GT(total, 4u);
+
+  const uint64_t stride = std::max<uint64_t>(1, total / 8);
+  int pre_count = 0, post_count = 0;
+  for (uint64_t k = 0; k < total; k += stride) {
+    const std::string dir = base + "/crash_" + std::to_string(k);
+    CopyDir(pre_dir, dir);
+    fenv.Reset();
+    fenv.plan() = FaultPlan{};
+    fenv.plan().crash_after_writes = static_cast<int64_t>(k);
+    Env::Swap(&fenv);
+    {
+      auto doomed = TReX::Open(dir, IeeeOptions());
+      if (doomed.ok()) doomed.value()->AddDocument(new_doc).status();
+    }
+    Env::Swap(nullptr);
+
+    RecoveryReport report;
+    auto reopened = TReX::Open(dir, IeeeOptions(), RecoveryMode::kRepair,
+                               &report);
+    ASSERT_TRUE(reopened.ok())
+        << "k=" << k << ": " << reopened.status().ToString()
+        << "\n" << report.ToString();
+    auto answer =
+        reopened.value()->QueryWith(RetrievalMethod::kEra, kQuery, 0);
+    ASSERT_TRUE(answer.ok()) << "k=" << k << ": " << answer.status().ToString();
+    const std::string sig = Signature(answer.value().result);
+    if (sig == pre_sig) {
+      ++pre_count;
+    } else if (sig == post_sig) {
+      ++post_count;
+    } else {
+      FAIL() << "k=" << k << ": torn state — neither pre nor post answers\n"
+             << report.ToString();
+    }
+    // The recovered index also serves strategy-chosen queries.
+    EXPECT_TRUE(reopened.value()->Query(kQuery, 5).ok()) << "k=" << k;
+  }
+  // Early crash points roll back, late ones commit.
+  EXPECT_GT(pre_count, 0);
+  std::filesystem::remove_all(base);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation: a corrupt RPL mid-query costs speed, not answers.
+
+TEST(DegradedQueryTest, CorruptRplFallsBackToEra) {
+  std::string base = TestDir("degrade");
+  const std::string dir = base + "/idx";
+  const std::string query = "//article[about(., xml query evaluation)]";
+  {
+    IeeeGeneratorOptions gen_options;
+    gen_options.num_documents = 30;
+    gen_options.size_factor = 0.5;
+    IeeeGenerator gen(gen_options);
+    auto trex = TReX::Build(dir, gen, IeeeOptions());
+    TREX_CHECK_OK(trex.status());
+    MaterializeStats stats;
+    TREX_CHECK_OK(trex.value()->MaterializeFor(query, true, true, &stats));
+    TREX_CHECK_OK(trex.value()->index()->Flush());
+  }
+
+  // Flip one byte in every data page of the RPL table (the header slots
+  // stay intact, so the table still opens).
+  {
+    const std::string path = dir + "/RPLs.tbl";
+    uint64_t size = std::filesystem::file_size(path);
+    ASSERT_GT(size, 2 * kPageSize) << "no RPL pages were materialized";
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    for (uint64_t page = kFirstDataPage; page * kPageSize < size; ++page) {
+      uint64_t at = page * kPageSize + 1000;
+      f.seekg(static_cast<std::streamoff>(at));
+      char c;
+      f.read(&c, 1);
+      c = static_cast<char>(c ^ 0x40);
+      f.seekp(static_cast<std::streamoff>(at));
+      f.write(&c, 1);
+    }
+  }
+
+  auto trex = TReX::Open(dir, IeeeOptions());
+  TREX_CHECK_OK(trex.status());
+  auto before = obs::Default().Snapshot();
+  // Force TA: it must hit the corrupt pages, degrade, and still answer.
+  auto degraded = trex.value()->QueryWith(RetrievalMethod::kTa, query, 10);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  auto after = obs::Default().Snapshot();
+  EXPECT_EQ(after.counter("retrieval.degraded_fallbacks"),
+            before.counter("retrieval.degraded_fallbacks") + 1);
+
+  // The degraded answer is exactly the ERA answer.
+  auto era = trex.value()->QueryWith(RetrievalMethod::kEra, query, 10);
+  ASSERT_TRUE(era.ok());
+  ASSERT_GT(era.value().result.elements.size(), 0u);
+  EXPECT_EQ(Signature(degraded.value().result),
+            Signature(era.value().result));
+
+  // ERA itself must never degrade-fallback (there is nothing below it).
+  auto after2 = obs::Default().Snapshot();
+  EXPECT_EQ(after2.counter("retrieval.degraded_fallbacks"),
+            after.counter("retrieval.degraded_fallbacks"));
+  std::filesystem::remove_all(base);
+}
+
+// Repair quarantines the corrupt RPL table; afterwards TA is simply
+// unavailable (no lists) and queries run undegraded.
+TEST(DegradedQueryTest, RepairQuarantinesCorruptRpl) {
+  std::string base = TestDir("quarantine");
+  const std::string dir = base + "/idx";
+  const std::string query = "//article[about(., xml query evaluation)]";
+  {
+    IeeeGeneratorOptions gen_options;
+    gen_options.num_documents = 30;
+    gen_options.size_factor = 0.5;
+    IeeeGenerator gen(gen_options);
+    auto trex = TReX::Build(dir, gen, IeeeOptions());
+    TREX_CHECK_OK(trex.status());
+    MaterializeStats stats;
+    TREX_CHECK_OK(trex.value()->MaterializeFor(query, true, true, &stats));
+    TREX_CHECK_OK(trex.value()->index()->Flush());
+  }
+  const std::string clean_sig = EraSignature(dir, query);
+
+  {
+    const std::string path = dir + "/RPLs.tbl";
+    uint64_t size = std::filesystem::file_size(path);
+    ASSERT_GT(size, 2 * kPageSize);
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    for (uint64_t page = kFirstDataPage; page * kPageSize < size; ++page) {
+      uint64_t at = page * kPageSize + 1000;
+      f.seekg(static_cast<std::streamoff>(at));
+      char c;
+      f.read(&c, 1);
+      c = static_cast<char>(c ^ 0x40);
+      f.seekp(static_cast<std::streamoff>(at));
+      f.write(&c, 1);
+    }
+  }
+
+  RecoveryReport report;
+  auto trex = TReX::Open(dir, IeeeOptions(), RecoveryMode::kRepair, &report);
+  ASSERT_TRUE(trex.ok()) << trex.status().ToString();
+  EXPECT_TRUE(report.ran);
+  EXPECT_GT(report.pages_quarantined, 0u);
+  EXPECT_TRUE(Env::FileExists(dir + "/RPLs.tbl.quarantined"));
+
+  // The base tables were untouched: full ERA answers are unchanged.
+  auto era = trex.value()->QueryWith(RetrievalMethod::kEra, query, 0);
+  ASSERT_TRUE(era.ok());
+  EXPECT_EQ(Signature(era.value().result), clean_sig);
+
+  // Strategy-chosen queries work and do not degrade (the bad lists are
+  // gone from the catalog, so nothing corrupt is ever consulted).
+  auto before = obs::Default().Snapshot();
+  auto answer = trex.value()->Query(query, 10);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  auto after = obs::Default().Snapshot();
+  EXPECT_EQ(after.counter("retrieval.degraded_fallbacks"),
+            before.counter("retrieval.degraded_fallbacks"));
+  std::filesystem::remove_all(base);
+}
+
+}  // namespace
+}  // namespace trex

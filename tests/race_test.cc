@@ -15,7 +15,8 @@ namespace {
 class RaceTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/trex_race";
+    dir_ = ::testing::TempDir() + "/trex_race_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(dir_);
     IndexOptions options;
     options.aliases = IeeeAliasMap();

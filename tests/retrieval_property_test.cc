@@ -30,7 +30,14 @@ class CrossMethodTest : public ::testing::TestWithParam<CorpusParam> {
  protected:
   void SetUp() override {
     const CorpusParam& p = GetParam();
-    dir_ = ::testing::TempDir() + "/trex_xmethod_" + p.name;
+    // Two TEST_P cases share each param; key the directory by test name
+    // too so concurrent ctest processes stay isolated ('/' → '_').
+    std::string test_name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    for (char& c : test_name) {
+      if (c == '/') c = '_';
+    }
+    dir_ = ::testing::TempDir() + "/trex_xmethod_" + test_name + "_" + p.name;
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
 

@@ -90,6 +90,9 @@ TEST_F(StorageTest, PagerPersistsAcrossReopen) {
     buf[0] = 'Z';
     ASSERT_TRUE(pager.value()->WritePage(id, buf.data()).ok());
     ASSERT_TRUE(pager.value()->SetRootPage(id).ok());
+    // Nothing is published until Commit(): the header slots still
+    // describe the empty file.
+    ASSERT_TRUE(pager.value()->Commit().ok());
   }
   auto pager = Pager::Open(Path("p"));
   ASSERT_TRUE(pager.ok());
@@ -122,6 +125,7 @@ TEST_F(StorageTest, PagerDetectsCorruptPage) {
     id = pager.value()->AllocatePage().value();
     std::vector<char> buf(kPageSize, 0);
     ASSERT_TRUE(pager.value()->WritePage(id, buf.data()).ok());
+    ASSERT_TRUE(pager.value()->Commit().ok());
   }
   // Flip one byte in the middle of the page on disk.
   {
@@ -135,6 +139,145 @@ TEST_F(StorageTest, PagerDetectsCorruptPage) {
   ASSERT_TRUE(pager.ok());
   std::vector<char> got(kPageSize);
   Status s = pager.value()->ReadPage(id, got.data());
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST_F(StorageTest, PagerUncommittedStateInvisibleAfterReopen) {
+  {
+    auto pager = Pager::Open(Path("p"));
+    ASSERT_TRUE(pager.ok());
+    PageId id = pager.value()->AllocatePage().value();
+    std::vector<char> buf(kPageSize, 0);
+    ASSERT_TRUE(pager.value()->WritePage(id, buf.data()).ok());
+    ASSERT_TRUE(pager.value()->SetRootPage(id).ok());
+    // No Commit: the mutations must not survive the "crash".
+  }
+  auto pager = Pager::Open(Path("p"));
+  ASSERT_TRUE(pager.ok());
+  EXPECT_EQ(pager.value()->root_page(), kInvalidPageId);
+  EXPECT_EQ(pager.value()->page_count(), kFirstDataPage);
+  EXPECT_EQ(pager.value()->epoch(), 0u);
+}
+
+TEST_F(StorageTest, PagerSurvivesTornHeaderPublish) {
+  PageId id;
+  {
+    auto pager = Pager::Open(Path("p"));
+    ASSERT_TRUE(pager.ok());
+    id = pager.value()->AllocatePage().value();
+    std::vector<char> buf(kPageSize, 0);
+    ASSERT_TRUE(pager.value()->WritePage(id, buf.data()).ok());
+    ASSERT_TRUE(pager.value()->SetRootPage(id).ok());
+    ASSERT_TRUE(pager.value()->Commit().ok());  // Epoch 1 -> slot 1.
+    EXPECT_EQ(pager.value()->epoch(), 1u);
+  }
+  // Tear the just-published header slot (slot 1). Open must fall back to
+  // the older slot and present the pre-commit (empty) state rather than
+  // failing.
+  {
+    auto file = Env::OpenFile(Path("p"));
+    ASSERT_TRUE(file.ok());
+    char evil = 0x5a;
+    ASSERT_TRUE(file.value()->Write(1 * kPageSize + 100, &evil, 1).ok());
+  }
+  auto pager = Pager::Open(Path("p"));
+  ASSERT_TRUE(pager.ok());
+  EXPECT_EQ(pager.value()->epoch(), 0u);
+  EXPECT_EQ(pager.value()->root_page(), kInvalidPageId);
+}
+
+TEST_F(StorageTest, PagerAlternatesHeaderSlotsAcrossCommits) {
+  PageId first_root, second_root;
+  {
+    auto pager = Pager::Open(Path("p"));
+    ASSERT_TRUE(pager.ok());
+    std::vector<char> buf(kPageSize, 0);
+    first_root = pager.value()->AllocatePage().value();
+    ASSERT_TRUE(pager.value()->WritePage(first_root, buf.data()).ok());
+    ASSERT_TRUE(pager.value()->SetRootPage(first_root).ok());
+    ASSERT_TRUE(pager.value()->Commit().ok());  // Epoch 1 -> slot 1.
+    second_root = pager.value()->AllocatePage().value();
+    ASSERT_TRUE(pager.value()->WritePage(second_root, buf.data()).ok());
+    ASSERT_TRUE(pager.value()->SetRootPage(second_root).ok());
+    ASSERT_TRUE(pager.value()->Commit().ok());  // Epoch 2 -> slot 0.
+    EXPECT_EQ(pager.value()->epoch(), 2u);
+  }
+  {
+    auto pager = Pager::Open(Path("p"));
+    ASSERT_TRUE(pager.ok());
+    EXPECT_EQ(pager.value()->epoch(), 2u);
+    EXPECT_EQ(pager.value()->root_page(), second_root);
+  }
+  // Destroying the newest header (slot 0, epoch 2) rolls back exactly one
+  // commit: the epoch-1 state in slot 1 takes over.
+  {
+    auto file = Env::OpenFile(Path("p"));
+    ASSERT_TRUE(file.ok());
+    char evil = 0x5a;
+    ASSERT_TRUE(file.value()->Write(0 * kPageSize + 100, &evil, 1).ok());
+  }
+  auto pager = Pager::Open(Path("p"));
+  ASSERT_TRUE(pager.ok());
+  EXPECT_EQ(pager.value()->epoch(), 1u);
+  EXPECT_EQ(pager.value()->root_page(), first_root);
+}
+
+TEST_F(StorageTest, PagerRejectsFileWithBothHeadersCorrupt) {
+  {
+    auto pager = Pager::Open(Path("p"));
+    ASSERT_TRUE(pager.ok());
+    ASSERT_TRUE(pager.value()->Commit().ok());
+  }
+  {
+    auto file = Env::OpenFile(Path("p"));
+    ASSERT_TRUE(file.ok());
+    char evil = 0x5a;
+    ASSERT_TRUE(file.value()->Write(0 * kPageSize + 100, &evil, 1).ok());
+    ASSERT_TRUE(file.value()->Write(1 * kPageSize + 100, &evil, 1).ok());
+  }
+  auto pager = Pager::Open(Path("p"));
+  EXPECT_FALSE(pager.ok());
+  EXPECT_TRUE(pager.status().IsCorruption()) << pager.status().ToString();
+}
+
+TEST_F(StorageTest, BPTreeDeepVerifyPassesOnHealthyTree) {
+  auto tree = BPTree::Open(Path("t"));
+  ASSERT_TRUE(tree.ok());
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(
+        tree.value()->Put("key" + std::to_string(i), "value").ok());
+  }
+  // A few deletes so the free list is non-trivial.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree.value()->Delete("key" + std::to_string(i * 7)).ok());
+  }
+  ASSERT_TRUE(tree.value()->Flush().ok());
+  BPTree::DeepVerifyStats stats;
+  Status s = tree.value()->DeepVerify(&stats);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GT(stats.pages_visited, 1u);
+}
+
+TEST_F(StorageTest, BPTreeDeepVerifyDetectsBitRot) {
+  {
+    auto tree = BPTree::Open(Path("t"));
+    ASSERT_TRUE(tree.ok());
+    for (int i = 0; i < 3000; ++i) {
+      ASSERT_TRUE(
+          tree.value()->Put("key" + std::to_string(i), "value").ok());
+    }
+    ASSERT_TRUE(tree.value()->Flush().ok());
+  }
+  {
+    auto file = Env::OpenFile(Path("t"));
+    ASSERT_TRUE(file.ok());
+    char evil = 0x13;
+    ASSERT_TRUE(file.value()->Write(3 * kPageSize + 777, &evil, 1).ok());
+  }
+  // Fresh open, tiny cache: DeepVerify must reach the rotten page on disk.
+  auto tree = BPTree::Open(Path("t"), /*cache_pages=*/4);
+  ASSERT_TRUE(tree.ok());
+  Status s = tree.value()->DeepVerify();
   EXPECT_TRUE(s.IsCorruption()) << s.ToString();
 }
 
@@ -157,7 +300,7 @@ TEST_F(StorageTest, BufferPoolCachesPages) {
   PageId id = h.value().id();
   h.value().MutableData()[0] = 'Q';
   h.value().Release();
-  ASSERT_TRUE(pool.Flush().ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
 
   pool.ResetCounters();
   for (int i = 0; i < 5; ++i) {
@@ -182,7 +325,8 @@ TEST_F(StorageTest, BufferPoolCountsColdMissesAndWarmHits) {
       h.value().MutableData()[0] = static_cast<char>('a' + i);
       ids.push_back(h.value().id());
     }
-    ASSERT_TRUE(pool.Flush().ok());
+    ASSERT_TRUE(pool.FlushAll().ok());
+    ASSERT_TRUE(pager_or.value()->Commit().ok());
   }
 
   // A fresh pool reading a cold workload must report one miss per page...
@@ -518,7 +662,7 @@ TEST_F(StorageTest, BufferPoolStressManyPinsAndEvictions) {
     EXPECT_EQ(ha.value().data()[0], static_cast<char>(a));
     EXPECT_EQ(hb.value().data()[0], static_cast<char>(b));
   }
-  ASSERT_TRUE(pool.Flush().ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
 }
 
 TEST_F(StorageTest, BPTreeDetectsOnDiskCorruption) {

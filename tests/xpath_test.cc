@@ -3,6 +3,8 @@
 // selected through the structural summary (sid extents in the Elements
 // table) must be exactly the elements selected by evaluating the path
 // directly on the documents.
+#include <unistd.h>
+
 #include <filesystem>
 #include <set>
 
@@ -74,7 +76,10 @@ TEST(XPathEval, DomOffsetsMatchIndexSemantics) {
 class SummaryVsXPathTest : public ::testing::TestWithParam<const char*> {
  protected:
   static void SetUpTestSuite() {
-    dir_ = new std::string(::testing::TempDir() + "/trex_xpath_cross");
+    // ctest runs each parameterized case as its own process; key the suite
+    // directory by pid so concurrent cases cannot clobber each other.
+    dir_ = new std::string(::testing::TempDir() + "/trex_xpath_cross_" +
+                           std::to_string(::getpid()));
     std::filesystem::remove_all(*dir_);
     IeeeGeneratorOptions gen_options;
     gen_options.num_documents = 25;
