@@ -1,0 +1,141 @@
+// Concurrent read-path throughput: qps vs thread count over one shared
+// read-only TReX handle (OpenMode::kReadShared) on the synthetic
+// Wikipedia collection. A fixed query stream is pushed through the
+// thread-pool QueryExecutor at 1, 2, 4 and 8 workers; every top-k list
+// is checked byte-identical against the single-threaded baseline, so
+// the speedup numbers only count if concurrency changed nothing about
+// the answers.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/clock.h"
+#include "trex/query_executor.h"
+
+namespace trex {
+namespace bench {
+namespace {
+
+// Serializes a top-k list exactly (scores as raw float bits, not
+// formatted decimals) so "byte-identical" means just that.
+std::string AnswerBytes(const QueryAnswer& answer) {
+  std::string bytes;
+  for (const ScoredElement& e : answer.result.elements) {
+    uint32_t score_bits;
+    static_assert(sizeof(score_bits) == sizeof(e.score), "float width");
+    std::memcpy(&score_bits, &e.score, sizeof(score_bits));
+    bytes += std::to_string(e.element.sid) + "/" +
+             std::to_string(e.element.docid) + "/" +
+             std::to_string(e.element.endpos) + "/" +
+             std::to_string(e.element.length) + "/" +
+             std::to_string(score_bits) + ";";
+  }
+  return bytes;
+}
+
+int Run() {
+  // Ensure the Wiki index exists, then reopen it read-shared: the
+  // handle under test is the one N threads are allowed to share.
+  OpenBenchIndex("Wiki").reset();
+  TrexOptions options;
+  options.index.aliases = WikiAliasMap();
+  auto opened =
+      TReX::Open(BenchDataDir() + "/Wiki", options, OpenMode::kReadShared);
+  TREX_CHECK_OK(opened.status());
+  std::unique_ptr<TReX> trex = std::move(opened).value();
+
+  std::vector<const BenchQuery*> wiki_queries;
+  for (const BenchQuery& q : Table1Queries()) {
+    if (std::string(q.collection) == "Wiki") wiki_queries.push_back(&q);
+  }
+  const size_t k = 10;
+  const size_t total_jobs = BenchScaleDocs("TREX_BENCH_THROUGHPUT_JOBS", 96);
+
+  // Warm the buffer pool once so every configuration measures the same
+  // (cached) read path rather than first-touch disk I/O.
+  for (const BenchQuery* q : wiki_queries) {
+    TREX_CHECK_OK(trex->Query(q->nexi, k).status());
+  }
+
+  unsigned cores = std::thread::hardware_concurrency();
+  std::printf("Throughput: qps vs threads, shared read-only handle (Wiki)\n");
+  std::printf("%zu jobs over %zu distinct queries, k = %zu, %u core(s)\n\n",
+              total_jobs, wiki_queries.size(), k, cores);
+  if (cores < 2) {
+    std::printf("note: single-core host — speedup is bounded at ~1x; the "
+                "interesting signal here is that concurrency costs nothing "
+                "and answers stay byte-identical\n\n");
+  }
+  std::printf("%8s %10s %10s %10s %12s\n", "threads", "wall(s)", "qps",
+              "speedup", "answers");
+
+  std::vector<std::string> baseline;  // Per-job bytes at threads = 1.
+  double qps1 = 0.0, qps4 = 0.0;
+  for (size_t threads : {1, 2, 4, 8}) {
+    std::vector<std::string> answers(total_jobs);
+    size_t answer_elements = 0;
+    double wall = TimeRuns([&]() {
+      QueryExecutor executor(trex.get(), threads);
+      std::vector<std::future<Result<QueryAnswer>>> futures;
+      futures.reserve(total_jobs);
+      Stopwatch watch;
+      for (size_t i = 0; i < total_jobs; ++i) {
+        futures.push_back(
+            executor.Submit(wiki_queries[i % wiki_queries.size()]->nexi, k));
+      }
+      answer_elements = 0;
+      for (size_t i = 0; i < total_jobs; ++i) {
+        Result<QueryAnswer> answer = futures[i].get();
+        TREX_CHECK_OK(answer.status());
+        answers[i] = AnswerBytes(answer.value());
+        answer_elements += answer.value().result.elements.size();
+      }
+      return watch.ElapsedSeconds();
+    });
+
+    if (baseline.empty()) {
+      baseline = answers;
+    } else {
+      for (size_t i = 0; i < total_jobs; ++i) {
+        if (answers[i] != baseline[i]) {
+          std::fprintf(stderr,
+                       "FATAL: job %zu at %zu threads diverged from the "
+                       "single-threaded baseline\n",
+                       i, threads);
+          return 1;
+        }
+      }
+    }
+
+    double qps = static_cast<double>(total_jobs) / wall;
+    if (threads == 1) qps1 = qps;
+    if (threads == 4) qps4 = qps;
+    std::printf("%8zu %10.3f %10.1f %9.2fx %12zu\n", threads, wall, qps,
+                qps1 > 0 ? qps / qps1 : 0.0, answer_elements);
+    obs::Default()
+        .GetGauge("bench.throughput.qps_x100.t" + std::to_string(threads))
+        ->Set(static_cast<int64_t>(qps * 100));
+  }
+
+  double scaling = qps1 > 0 ? qps4 / qps1 : 0.0;
+  std::printf("\n1 -> 4 thread scaling: %.2fx (all top-k lists "
+              "byte-identical across thread counts)\n",
+              scaling);
+  obs::Default()
+      .GetGauge("bench.throughput.scaling_1_to_4_x100")
+      ->Set(static_cast<int64_t>(scaling * 100));
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trex
+
+int main() {
+  int rc = trex::bench::Run();
+  trex::bench::WriteBenchMetrics("bench_throughput");
+  return rc;
+}

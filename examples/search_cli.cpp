@@ -7,19 +7,23 @@
 //   # Or index your own directory of .xml files:
 //   ./examples/search_cli /path/to/xml-dir workdir "//sec[about(., x)]"
 //
-//   # Append --explain to print the per-query trace (EXPLAIN) as JSON:
+//   # Append --explain to print the per-query trace (EXPLAIN) as JSON;
+//   # --threads N answers through an N-worker QueryExecutor over a
+//   # shared read-only handle:
 //   ./examples/search_cli --demo workdir "//article[about(., xml)]" 10 \
-//       --explain
+//       --explain --threads 4
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <future>
 #include <string>
 #include <vector>
 
 #include "corpus/corpus.h"
 #include "corpus/ieee_generator.h"
 #include "index/index_builder.h"
+#include "trex/query_executor.h"
 #include "trex/trex.h"
 
 namespace {
@@ -41,10 +45,14 @@ std::string Snippet(const std::string& doc, const trex::ElementInfo& e) {
 
 int main(int argc, char** argv) {
   bool explain = false;
+  size_t threads = 1;
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--explain") == 0) {
       explain = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<size_t>(std::atoll(argv[++i]));
+      if (threads == 0) threads = 1;
     } else {
       args.push_back(argv[i]);
     }
@@ -52,7 +60,7 @@ int main(int argc, char** argv) {
   if (args.size() < 3) {
     std::fprintf(stderr,
                  "usage: %s (--demo | <xml-dir>) <workdir> <nexi-query> "
-                 "[k] [--explain]\n",
+                 "[k] [--explain] [--threads N]\n",
                  argv[0]);
     return 2;
   }
@@ -125,7 +133,35 @@ int main(int argc, char** argv) {
     trex = std::move(opened).value();
   }
 
-  auto answer = trex->Query(query, k);
+  trex::Result<trex::QueryAnswer> answer = trex::Status::Aborted("unset");
+  if (threads > 1) {
+    // Serve through an N-worker pool over a shared read-only handle —
+    // the same query runs once per worker and all copies must agree.
+    trex.reset();
+    auto shared = trex::TReX::Open(index_dir, options,
+                                   trex::OpenMode::kReadShared);
+    TREX_CHECK_OK(shared.status());
+    trex = std::move(shared).value();
+    trex::QueryExecutor executor(trex.get(), threads);
+    std::vector<std::future<trex::Result<trex::QueryAnswer>>> futures;
+    for (size_t i = 0; i < threads; ++i) {
+      futures.push_back(executor.Submit(query, k));
+    }
+    answer = futures[0].get();
+    for (size_t i = 1; i < threads; ++i) {
+      auto copy = futures[i].get();
+      if (answer.ok() && copy.ok() &&
+          copy.value().result.elements.size() !=
+              answer.value().result.elements.size()) {
+        std::fprintf(stderr, "thread %zu disagreed with thread 0\n", i);
+        return 1;
+      }
+    }
+    std::printf("[%zu worker threads, QueryExecutor, read-shared handle]\n",
+                threads);
+  } else {
+    answer = trex->Query(query, k);
+  }
   if (!answer.ok()) {
     std::fprintf(stderr, "query error: %s\n",
                  answer.status().ToString().c_str());

@@ -1,13 +1,24 @@
 #!/usr/bin/env bash
 # Tier-1 verification under sanitizers: configure, build and run the
-# full test suite with ASan + UBSan in a separate build tree.
+# full test suite with ASan + UBSan, then the concurrency suite under
+# ThreadSanitizer in its own build tree (TSan and ASan cannot share
+# one binary, so the script maintains one tree per sanitizer mix).
 #
-#   scripts/check.sh              # build-check/ next to the sources
-#   BUILD_DIR=/tmp/chk scripts/check.sh
+#   scripts/check.sh              # build-check/ + build-check-tsan/
+#   scripts/check.sh --stress     # + fault & concurrency labels 20x
+#   BUILD_DIR=/tmp/chk TSAN_BUILD_DIR=/tmp/chk-tsan scripts/check.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build-check}"
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-check-tsan}"
+STRESS=0
+for arg in "$@"; do
+  case "$arg" in
+    --stress) STRESS=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -19,3 +30,25 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # Run the crash/corruption suite once more on its own so a fault-injection
 # regression is reported as such even when the full run above is skimmed.
 ctest --test-dir "$BUILD_DIR" -L fault --output-on-failure -j "$(nproc)"
+
+# Concurrency suite under TSan: the latched buffer pool, shared TReX
+# handle, query executor and race cancellation tests with real thread
+# interleavings checked for data races.
+cmake -B "$TSAN_BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTREX_ENABLE_TSAN=ON
+cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)"
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir "$TSAN_BUILD_DIR" -L concurrency \
+        --output-on-failure -j "$(nproc)"
+
+# Deflake guard: hammer the nondeterministic suites. Each repetition is a
+# fresh process; fixtures key their temp dirs by test name + pid, so the
+# repeats cannot collide with each other or with parallel workers.
+if [ "$STRESS" -eq 1 ]; then
+  ctest --test-dir "$BUILD_DIR" -L 'fault|concurrency' \
+        --repeat until-fail:20 --output-on-failure -j "$(nproc)"
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir "$TSAN_BUILD_DIR" -L concurrency \
+          --repeat until-fail:20 --output-on-failure -j "$(nproc)"
+fi

@@ -1,0 +1,90 @@
+// SingleFlightGroup: per-key mutual exclusion for idempotent fill work.
+//
+// Concurrent callers that want to produce the same derived artifact (a
+// materialized RPL/ERPL, say) first Acquire() the artifact's keys. All
+// keys are claimed atomically — a caller either holds every key it asked
+// for or is asleep — so two callers can never hold overlapping subsets,
+// which would deadlock a key-at-a-time scheme. The caller that wins does
+// the work; the one that waited re-checks for the artifact after waking
+// (it usually exists by then) and skips the duplicate fill.
+#ifndef TREX_COMMON_SINGLE_FLIGHT_H_
+#define TREX_COMMON_SINGLE_FLIGHT_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace trex {
+
+class SingleFlightGroup {
+ public:
+  // RAII claim on a set of keys; releasing wakes blocked acquirers.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& o) noexcept { *this = std::move(o); }
+    Lease& operator=(Lease&& o) noexcept {
+      if (this != &o) {
+        Release();
+        group_ = o.group_;
+        keys_ = std::move(o.keys_);
+        o.group_ = nullptr;
+        o.keys_.clear();
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { Release(); }
+
+    void Release() {
+      if (group_ != nullptr) {
+        group_->ReleaseKeys(keys_);
+        group_ = nullptr;
+        keys_.clear();
+      }
+    }
+
+   private:
+    friend class SingleFlightGroup;
+    Lease(SingleFlightGroup* group, std::vector<std::string> keys)
+        : group_(group), keys_(std::move(keys)) {}
+
+    SingleFlightGroup* group_ = nullptr;
+    std::vector<std::string> keys_;
+  };
+
+  // Blocks until no other lease holds any of `keys`, then claims them all
+  // atomically. Duplicate keys in the input are fine.
+  Lease Acquire(std::vector<std::string> keys) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      for (const std::string& k : keys) {
+        if (inflight_.count(k) > 0) return false;
+      }
+      return true;
+    });
+    for (const std::string& k : keys) inflight_.insert(k);
+    return Lease(this, std::move(keys));
+  }
+
+ private:
+  void ReleaseKeys(const std::vector<std::string>& keys) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const std::string& k : keys) inflight_.erase(k);
+    }
+    cv_.notify_all();
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::set<std::string> inflight_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_COMMON_SINGLE_FLIGHT_H_

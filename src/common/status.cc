@@ -24,6 +24,8 @@ const char* CodeName(StatusCode code) {
       return "AlreadyExists";
     case StatusCode::kOutOfRange:
       return "OutOfRange";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

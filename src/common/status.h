@@ -23,6 +23,7 @@ enum class StatusCode {
   kNotSupported,
   kAlreadyExists,
   kOutOfRange,
+  kAborted,
 };
 
 // Value-semantic error descriptor. Cheap to copy in the OK case.
@@ -52,6 +53,12 @@ class Status {
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
+  // Cooperative cancellation (e.g. the losing side of a TA-vs-Merge race
+  // observing its cancel token). Not an error in the I/O sense: the data
+  // was fine, the caller just no longer wants the answer.
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -61,6 +68,8 @@ class Status {
   }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }

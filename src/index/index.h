@@ -8,8 +8,10 @@
 #define TREX_INDEX_INDEX_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 
+#include "common/single_flight.h"
 #include "common/status.h"
 #include "index/element_index.h"
 #include "index/erpl.h"
@@ -47,6 +49,27 @@ class Index {
 
   // Largest docid ever ingested (builder or incremental updates).
   DocId max_docid() const { return max_docid_; }
+
+  // Snapshot lock: the primary reader/writer exclusion for sharing one
+  // Index across threads. Readers (queries, Verify) hold the shared side
+  // for the duration of a whole multi-operation read — their iterators
+  // then observe one committed tree state. Writers (AddDocument,
+  // materialization, Flush) hold the exclusive side: the B+-tree mutates
+  // its in-memory roots and shadowed pages in place, so a writer must not
+  // overlap any reader. Acquired ABOVE every storage-level latch (pool
+  // partition, pager header) — see DESIGN.md "Concurrency model".
+  std::shared_lock<std::shared_mutex> ReaderLock() const {
+    return std::shared_lock<std::shared_mutex>(snapshot_mu_);
+  }
+  std::unique_lock<std::shared_mutex> WriterLock() const {
+    return std::unique_lock<std::shared_mutex>(snapshot_mu_);
+  }
+
+  // Single-flight registry for materialize-on-demand: concurrent misses
+  // on the same ListUnit collapse into one fill (see
+  // retrieval/materializer.cc, which claims the units' keys here before
+  // checking the catalog and writing lists).
+  SingleFlightGroup* materialize_flight() { return &materialize_flight_; }
 
   // Verifies the index's structural invariants by scanning every table:
   //  * Elements keys are well-formed, strictly ascending, use valid sids,
@@ -90,6 +113,8 @@ class Index {
   std::unique_ptr<RplStore> rpls_;
   std::unique_ptr<ErplStore> erpls_;
   std::unique_ptr<IndexCatalog> catalog_;
+  mutable std::shared_mutex snapshot_mu_;
+  SingleFlightGroup materialize_flight_;
 };
 
 }  // namespace trex

@@ -2,6 +2,7 @@
 #ifndef TREX_RETRIEVAL_COMMON_H_
 #define TREX_RETRIEVAL_COMMON_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -9,6 +10,25 @@
 #include "index/types.h"
 
 namespace trex {
+
+// Cooperative cancellation flag shared between the two sides of a
+// TA-vs-Merge race (and any other caller that wants to abandon an
+// in-flight evaluation). The evaluator polls cancelled() inside its main
+// loop and returns Status::Aborted without performing further page reads.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
 
 struct ScoredElement {
   ElementInfo element;

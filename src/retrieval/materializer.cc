@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.h"
 #include "retrieval/era.h"
 
 namespace trex {
@@ -20,48 +21,78 @@ std::vector<ListUnit> UnitsForClause(const TranslatedClause& clause,
   return units;
 }
 
+namespace {
+// Single-flight key for a unit (the catalog key would do, but keeping the
+// materializer self-contained avoids depending on its encoding).
+std::string UnitKey(const ListUnit& u) {
+  return std::string(u.kind == ListKind::kRpl ? "R/" : "E/") + u.term + "/" +
+         std::to_string(u.sid);
+}
+}  // namespace
+
 Status MaterializeUnits(Index* index, const std::vector<ListUnit>& units,
                         MaterializeStats* stats) {
   *stats = MaterializeStats{};
-  // Filter out lists that already exist.
+  // Single-flight: claim every requested unit before looking at the
+  // catalog. A concurrent caller materializing any overlapping unit holds
+  // its key, so we sleep until its fill is registered; the catalog check
+  // below then observes the finished list and skips it. Concurrent misses
+  // on the same ListUnit therefore collapse into exactly one fill.
+  std::vector<std::string> keys;
+  keys.reserve(units.size());
+  for (const ListUnit& u : units) keys.push_back(UnitKey(u));
+  SingleFlightGroup::Lease lease =
+      index->materialize_flight()->Acquire(std::move(keys));
+
+  // Read phase under the shared snapshot lock: catalog probes and the ERA
+  // pass that computes the lists' contents.
   std::vector<ListUnit> todo;
-  for (const ListUnit& u : units) {
-    if (index->catalog()->Has(u.kind, u.term, u.sid)) {
-      ++stats->lists_skipped;
-    } else {
-      todo.push_back(u);
-    }
-  }
-  if (todo.empty()) return Status::OK();
-
-  // Union of sids and terms for one ERA pass.
-  std::set<Sid> sid_set;
-  std::set<std::string> term_set;
-  for (const ListUnit& u : todo) {
-    sid_set.insert(u.sid);
-    term_set.insert(u.term);
-  }
-  std::vector<Sid> sids(sid_set.begin(), sid_set.end());
-  std::vector<std::string> terms(term_set.begin(), term_set.end());
-
-  Era era(index);
   std::vector<Era::TfEntry> entries;
-  RetrievalMetrics metrics;
-  TREX_RETURN_IF_ERROR(
-      era.ComputeTermFrequencies(sids, terms, &entries, &metrics));
+  std::vector<Sid> sids;
+  std::vector<std::string> terms;
+  std::vector<uint64_t> doc_freq;
+  {
+    auto read_lock = index->ReaderLock();
+    // Filter out lists that already exist.
+    for (const ListUnit& u : units) {
+      if (index->catalog()->Has(u.kind, u.term, u.sid)) {
+        ++stats->lists_skipped;
+      } else {
+        todo.push_back(u);
+      }
+    }
+    if (todo.empty()) return Status::OK();
 
-  // Doc frequencies for scoring.
-  Bm25Scorer scorer = index->scorer();
-  std::vector<uint64_t> doc_freq(terms.size(), 0);
-  for (size_t j = 0; j < terms.size(); ++j) {
-    TermStats ts;
-    Status s = index->postings()->GetTermStats(terms[j], &ts);
-    if (s.ok()) {
-      doc_freq[j] = ts.doc_freq;
-    } else if (!s.IsNotFound()) {
-      return s;
+    obs::Default().GetCounter("retrieval.materializer.fills")->Add();
+
+    // Union of sids and terms for one ERA pass.
+    std::set<Sid> sid_set;
+    std::set<std::string> term_set;
+    for (const ListUnit& u : todo) {
+      sid_set.insert(u.sid);
+      term_set.insert(u.term);
+    }
+    sids.assign(sid_set.begin(), sid_set.end());
+    terms.assign(term_set.begin(), term_set.end());
+
+    Era era(index);
+    RetrievalMetrics metrics;
+    TREX_RETURN_IF_ERROR(
+        era.ComputeTermFrequencies(sids, terms, &entries, &metrics));
+
+    // Doc frequencies for scoring.
+    doc_freq.assign(terms.size(), 0);
+    for (size_t j = 0; j < terms.size(); ++j) {
+      TermStats ts;
+      Status s = index->postings()->GetTermStats(terms[j], &ts);
+      if (s.ok()) {
+        doc_freq[j] = ts.doc_freq;
+      } else if (!s.IsNotFound()) {
+        return s;
+      }
     }
   }
+  Bm25Scorer scorer = index->scorer();
 
   // Bucket scored entries per (term index, sid).
   std::map<std::pair<size_t, Sid>, std::vector<ScoredEntry>> buckets;
@@ -81,6 +112,9 @@ Status MaterializeUnits(Index* index, const std::vector<ListUnit>& units,
   std::map<std::string, size_t> term_index;
   for (size_t j = 0; j < terms.size(); ++j) term_index[terms[j]] = j;
 
+  // Write phase under the exclusive snapshot lock: no reader traverses
+  // the RPL/ERPL/catalog trees while their pages mutate.
+  auto write_lock = index->WriterLock();
   for (const ListUnit& u : todo) {
     auto it = buckets.find({term_index[u.term], u.sid});
     std::vector<ScoredEntry> list =
@@ -111,6 +145,14 @@ Status MaterializeForClause(Index* index, const TranslatedClause& clause,
 }
 
 Status DropUnits(Index* index, const std::vector<ListUnit>& units) {
+  // Claim the units (no fill may be mid-flight while we delete) and
+  // exclude readers while the trees mutate.
+  std::vector<std::string> keys;
+  keys.reserve(units.size());
+  for (const ListUnit& u : units) keys.push_back(UnitKey(u));
+  SingleFlightGroup::Lease lease =
+      index->materialize_flight()->Acquire(std::move(keys));
+  auto write_lock = index->WriterLock();
   for (const ListUnit& u : units) {
     if (u.kind == ListKind::kRpl) {
       TREX_RETURN_IF_ERROR(index->rpls()->DeleteList(u.term, u.sid));

@@ -129,6 +129,9 @@ bool Merge::CanEvaluate(Index* index, const TranslatedClause& clause) {
 Status Merge::Evaluate(const TranslatedClause& clause, RetrievalResult* out) {
   out->elements.clear();
   out->metrics = RetrievalMetrics{};
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    return Status::Aborted("Merge cancelled before any list access");
+  }
   const size_t n = clause.terms.size();
   if (n == 0 || clause.sids.empty()) return Status::OK();
   if (!CanEvaluate(index_, clause)) {
@@ -147,6 +150,14 @@ Status Merge::Evaluate(const TranslatedClause& clause, RetrievalResult* out) {
 
   // Lines 6-21: merge by minimal position.
   while (true) {
+    // Cooperative cancellation: the race's loser stops here, before the
+    // next positional advance, so it performs no further page reads. The
+    // partial metrics (wall time, accesses so far) still report.
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      out->metrics.wall_seconds = watch.ElapsedSeconds();
+      out->metrics.ideal_seconds = out->metrics.wall_seconds;
+      return Status::Aborted("Merge cancelled");
+    }
     // Line 7: minimal end position among the iterators' current entries.
     bool any = false;
     Position min_pos = kMaxPosition;

@@ -24,11 +24,17 @@ class Merge {
   // True iff every (term, sid) ERPL needed by the clause is materialized.
   static bool CanEvaluate(Index* index, const TranslatedClause& clause);
 
+  // Optional cooperative cancellation: polled in the merge loop; once the
+  // token fires, Evaluate returns Status::Aborted without further list
+  // reads. Used by the losing side of the TA-vs-Merge race.
+  void set_cancel_token(const CancelToken* cancel) { cancel_ = cancel; }
+
   // Computes all answers ranked by descending score (truncate for top-k).
   Status Evaluate(const TranslatedClause& clause, RetrievalResult* out);
 
  private:
   Index* index_;
+  const CancelToken* cancel_ = nullptr;
 };
 
 // The paper's QuickSort (exposed for unit tests): sorts by

@@ -11,55 +11,82 @@ namespace trex {
 
 Result<std::unique_ptr<RaceEvaluator>> RaceEvaluator::Open(
     const std::string& dir, size_t cache_pages) {
-  auto ta_view = Index::Open(dir, cache_pages);
-  if (!ta_view.ok()) return ta_view.status();
-  auto merge_view = Index::Open(dir, cache_pages);
-  if (!merge_view.ok()) return merge_view.status();
-  return std::unique_ptr<RaceEvaluator>(new RaceEvaluator(
-      std::move(ta_view).value(), std::move(merge_view).value()));
+  auto view = Index::Open(dir, cache_pages);
+  if (!view.ok()) return view.status();
+  auto race = std::make_unique<RaceEvaluator>(view.value().get());
+  race->owned_ = std::move(view).value();
+  return race;
 }
 
 Status RaceEvaluator::Evaluate(const TranslatedClause& clause, size_t k,
                                RaceOutcome* outcome) {
-  if (!Ta::CanEvaluate(ta_view_.get(), clause)) {
+  // Shared snapshot lock for the whole race: both contestant threads
+  // read under the one acquisition made here (the lock is held, not
+  // re-acquired, by the spawned threads).
+  auto read_lock = index_->ReaderLock();
+
+  if (!Ta::CanEvaluate(index_, clause)) {
     return Status::NotFound("race requires RPLs for the clause");
   }
-  if (!Merge::CanEvaluate(merge_view_.get(), clause)) {
+  if (!Merge::CanEvaluate(index_, clause)) {
     return Status::NotFound("race requires ERPLs for the clause");
   }
 
   RetrievalResult ta_result, merge_result;
   Status ta_status, merge_status;
+  CancelToken ta_cancel, merge_cancel;
   std::atomic<int> finish_order{0};
   int ta_place = 0, merge_place = 0;
+  double ta_seconds = 0.0, merge_seconds = 0.0;
 
   std::thread ta_thread([&]() {
-    Ta ta(ta_view_.get());
+    // Time the contestant here (not via its own metrics): a cancelled
+    // loser still spent real race time before it noticed the token.
+    Stopwatch watch;
+    Ta ta(index_);
+    ta.set_cancel_token(&ta_cancel);
     ta_status = ta.Evaluate(clause, k, &ta_result);
+    ta_seconds = watch.ElapsedSeconds();
     ta_place = ++finish_order;
+    // Only a successful finish settles the race; a failed contestant
+    // leaves its rival running so the race can still answer.
+    if (ta_status.ok()) merge_cancel.Cancel();
   });
   std::thread merge_thread([&]() {
-    Merge merge(merge_view_.get());
+    Stopwatch watch;
+    Merge merge(index_);
+    merge.set_cancel_token(&merge_cancel);
     merge_status = merge.Evaluate(clause, &merge_result);
     if (merge_status.ok() && k > 0 && merge_result.elements.size() > k) {
       merge_result.elements.resize(k);
     }
+    merge_seconds = watch.ElapsedSeconds();
     merge_place = ++finish_order;
+    if (merge_status.ok()) ta_cancel.Cancel();
   });
   ta_thread.join();
   merge_thread.join();
 
-  TREX_RETURN_IF_ERROR(ta_status);
-  TREX_RETURN_IF_ERROR(merge_status);
+  outcome->ta_seconds = ta_seconds;
+  outcome->merge_seconds = merge_seconds;
+  outcome->ta_metrics = ta_result.metrics;
+  outcome->merge_metrics = merge_result.metrics;
 
-  outcome->ta_seconds = ta_result.metrics.wall_seconds;
-  outcome->merge_seconds = merge_result.metrics.wall_seconds;
-  if (ta_place < merge_place) {
+  const bool ta_ok = ta_status.ok();
+  const bool merge_ok = merge_status.ok();
+  if (!ta_ok && !merge_ok) {
+    // Prefer reporting a real failure over a (self-inflicted) abort.
+    return ta_status.IsAborted() ? merge_status : ta_status;
+  }
+  bool ta_wins = ta_ok && (!merge_ok || ta_place < merge_place);
+  if (ta_wins) {
     outcome->winner = RetrievalMethod::kTa;
     outcome->result = std::move(ta_result);
+    outcome->loser_aborted = merge_status.IsAborted();
   } else {
     outcome->winner = RetrievalMethod::kMerge;
     outcome->result = std::move(merge_result);
+    outcome->loser_aborted = ta_status.IsAborted();
   }
   return Status::OK();
 }

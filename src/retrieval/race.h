@@ -5,12 +5,18 @@
 // parallel, the system can return the answer from the computation that
 // finishes first." This implements that mode.
 //
-// The storage engine is single-threaded by design (like the paper's
-// harness), so the race opens a SECOND read-only view of the index
-// directory — each method runs against its own pager/buffer pool and the
-// two threads never share mutable state. Both threads run to completion
-// (there is no cancellation in the storage layer); the reported result
-// and method are the first finisher's, and both wall times are exposed.
+// Both contestants run over ONE shared Index handle: the storage read
+// path (latched buffer pool, header epoch latch, per-query iterator
+// state) is thread-safe, so the race no longer opens a second
+// pager/buffer pool per view — the two threads share the cache, which is
+// exactly what makes the mode cheap (the lists they read are disjoint:
+// TA reads RPLs, Merge reads ERPLs).
+//
+// The first contestant to finish successfully fires the other's cancel
+// token; the loser observes it in its main loop and returns
+// Status::Aborted without performing further page reads. A contestant
+// that *fails* (e.g. mid-list corruption) does not cancel its rival, so
+// the race still answers if either side can.
 #ifndef TREX_RETRIEVAL_RACE_H_
 #define TREX_RETRIEVAL_RACE_H_
 
@@ -27,28 +33,38 @@ namespace trex {
 struct RaceOutcome {
   RetrievalMethod winner = RetrievalMethod::kTa;
   RetrievalResult result;       // The winner's result.
-  double ta_seconds = 0.0;      // Full TA wall time.
-  double merge_seconds = 0.0;   // Full Merge wall time.
+  // Wall time of each side. The loser's is partial when it was cancelled
+  // (it stopped at the first cancel check after the winner finished).
+  double ta_seconds = 0.0;
+  double merge_seconds = 0.0;
+  // True when the losing side observed the cancel token and aborted
+  // early rather than running to completion.
+  bool loser_aborted = false;
+  // Each side's instrumentation (the loser's reflects work done until it
+  // finished or was cancelled).
+  RetrievalMetrics ta_metrics;
+  RetrievalMetrics merge_metrics;
 };
 
 class RaceEvaluator {
  public:
-  // `dir` is the index directory; two independent read views are opened.
+  // Races over an already-open shared index handle (not owned).
+  explicit RaceEvaluator(Index* index) : index_(index) {}
+
+  // Convenience for tools/tests that have no open handle yet: opens one
+  // read view of `dir` and owns it. Both contestants still share it.
   static Result<std::unique_ptr<RaceEvaluator>> Open(const std::string& dir,
                                                      size_t cache_pages =
                                                          2048);
 
-  // Requires both RPLs and ERPLs materialized for the clause.
+  // Requires both RPLs and ERPLs materialized for the clause. Takes the
+  // index's shared snapshot lock for the duration of the race.
   Status Evaluate(const TranslatedClause& clause, size_t k,
                   RaceOutcome* outcome);
 
  private:
-  RaceEvaluator(std::unique_ptr<Index> ta_view,
-                std::unique_ptr<Index> merge_view)
-      : ta_view_(std::move(ta_view)), merge_view_(std::move(merge_view)) {}
-
-  std::unique_ptr<Index> ta_view_;
-  std::unique_ptr<Index> merge_view_;
+  std::unique_ptr<Index> owned_;  // Only set by Open().
+  Index* index_;
 };
 
 }  // namespace trex

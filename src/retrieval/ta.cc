@@ -100,6 +100,9 @@ Status Ta::Evaluate(const TranslatedClause& clause, size_t k,
                     RetrievalResult* out) {
   out->elements.clear();
   out->metrics = RetrievalMetrics{};
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    return Status::Aborted("TA cancelled before any sorted access");
+  }
   const size_t n = clause.terms.size();
   if (n == 0 || clause.sids.empty() || k == 0) return Status::OK();
   if (n > 32) {
@@ -188,6 +191,18 @@ Status Ta::Evaluate(const TranslatedClause& clause, size_t k,
   int rounds_since_check = 0;
   bool done = false;
   while (!done) {
+    // Cooperative cancellation: the race's loser stops here, before the
+    // round's sorted accesses, so it performs no further page reads. The
+    // partial metrics (wall time, sorted accesses so far) still report.
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      timer.Stop();
+      out->metrics.wall_seconds =
+          static_cast<double>(timer.WallNanos()) * 1e-9;
+      out->metrics.ideal_seconds =
+          static_cast<double>(timer.ActiveNanos()) * 1e-9;
+      out->metrics.heap_operations = topk.operations();
+      return Status::Aborted("TA cancelled");
+    }
     bool any_alive = false;
     for (size_t j = 0; j < n; ++j) {
       if (!iters[j].Valid()) {

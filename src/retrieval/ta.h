@@ -33,6 +33,11 @@ class Ta {
   // True iff every (term, sid) RPL needed by the clause is materialized.
   static bool CanEvaluate(Index* index, const TranslatedClause& clause);
 
+  // Optional cooperative cancellation: polled once per sorted-access
+  // round; once the token fires, Evaluate returns Status::Aborted without
+  // further list reads. Used by the losing side of the TA-vs-Merge race.
+  void set_cancel_token(const CancelToken* cancel) { cancel_ = cancel; }
+
   // Top-k evaluation. Fails with NotFound if a required RPL is missing.
   // When the algorithm terminates early (threshold reached before the
   // lists are exhausted), the returned set is a correct top-k set but
@@ -43,6 +48,7 @@ class Ta {
 
  private:
   Index* index_;
+  const CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace trex

@@ -378,6 +378,9 @@ Status BPTree::ShadowPath(const Slice& key) {
 }
 
 Status BPTree::FindLeaf(const Slice& target, PageHandle* leaf) {
+  // Pin the committed header epoch for the whole descent; a concurrent
+  // Commit() publishes under the exclusive side of this latch.
+  auto header_latch = pager_->ReadLatch();
   PageId node = pager_->root_page();
   if (node == kInvalidPageId) {
     return Status::NotFound("empty tree");
@@ -746,6 +749,7 @@ Status BPTree::Iterator::AdvanceLeaf() {
 }
 
 Status BPTree::Iterator::SeekToFirst() {
+  auto header_latch = tree_->pager_->ReadLatch();
   valid_ = false;
   path_.clear();
   PageId node = tree_->pager_->root_page();
@@ -755,6 +759,7 @@ Status BPTree::Iterator::SeekToFirst() {
 }
 
 Status BPTree::Iterator::Seek(const Slice& target) {
+  auto header_latch = tree_->pager_->ReadLatch();
   valid_ = false;
   path_.clear();
   PageId node = tree_->pager_->root_page();
@@ -782,6 +787,7 @@ Status BPTree::Iterator::Seek(const Slice& target) {
 }
 
 Status BPTree::Iterator::Next() {
+  auto header_latch = tree_->pager_->ReadLatch();
   assert(valid_);
   ++slot_;
   return LoadCell();

@@ -14,13 +14,21 @@
 //     stream without going through the insert path (used by the index
 //     builder, which emits sorted runs anyway).
 //
-// Concurrency: single-threaded, like the paper's evaluation harness.
+// Concurrency: many readers XOR one writer. Read operations (Get,
+// Iterator) are safe to run from any number of threads concurrently —
+// they share the latched buffer pool and take the pager's header read
+// latch per descent. Mutations (Put/Delete/BulkLoader/Flush) require
+// external exclusion from readers AND from each other: the tree mutates
+// its in-memory root and shadowed pages in place, so the Index layer
+// holds its snapshot lock exclusively around them (see DESIGN.md
+// "Concurrency model"). Each Iterator instance is confined to one thread.
 // Deletes do not rebalance (pages may underflow); this trades space for
 // simplicity and does not affect read-path complexity guarantees needed
 // by the experiments, which never delete.
 #ifndef TREX_STORAGE_BPTREE_H_
 #define TREX_STORAGE_BPTREE_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -60,7 +68,9 @@ class BPTree {
   // Fails with NotFound if absent.
   Status Delete(const Slice& key);
 
-  uint64_t row_count() const { return row_count_; }
+  uint64_t row_count() const {
+    return row_count_.load(std::memory_order_relaxed);
+  }
   uint64_t SizeBytes() const { return pager_->FileBytes(); }
 
   // Structural statistics gathered by a full tree walk (index_doctor and
@@ -182,7 +192,9 @@ class BPTree {
 
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<BufferPool> pool_;
-  uint64_t row_count_ = 0;
+  // Atomic only so stat probes may read it while the single writer
+  // updates it; writers never race each other.
+  std::atomic<uint64_t> row_count_{0};
   // storage.bptree.* metrics (splits and root-to-leaf descents).
   obs::Counter* m_node_splits_;
   obs::Counter* m_seeks_;

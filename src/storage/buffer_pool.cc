@@ -2,8 +2,26 @@
 
 #include <cassert>
 #include <cstring>
+#include <mutex>
 
 namespace trex {
+
+namespace {
+// Partitions only pay off when each shard still holds a useful number of
+// frames; tiny pools (unit tests, tools) collapse to a single partition so
+// their eviction behavior matches a plain LRU-sized cache.
+constexpr size_t kMaxPartitions = 16;
+constexpr size_t kMinFramesPerPartition = 16;
+
+size_t PartitionCountFor(size_t capacity) {
+  size_t n = 1;
+  while (n * 2 <= kMaxPartitions &&
+         capacity / (n * 2) >= kMinFramesPerPartition) {
+    n *= 2;
+  }
+  return n;
+}
+}  // namespace
 
 PageHandle& PageHandle::operator=(PageHandle&& o) noexcept {
   if (this != &o) {
@@ -13,6 +31,7 @@ PageHandle& PageHandle::operator=(PageHandle&& o) noexcept {
     id_ = o.id_;
     data_ = o.data_;
     o.pool_ = nullptr;
+    o.frame_ = nullptr;
     o.data_ = nullptr;
   }
   return *this;
@@ -20,22 +39,36 @@ PageHandle& PageHandle::operator=(PageHandle&& o) noexcept {
 
 char* PageHandle::MutableData() {
   assert(valid());
-  pool_->MarkDirty(frame_);
+  BufferPool::MarkDirty(frame_);
   return data_;
 }
 
 void PageHandle::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(frame_);
+    BufferPool::Unpin(frame_);
     pool_ = nullptr;
+    frame_ = nullptr;
     data_ = nullptr;
   }
 }
 
 BufferPool::BufferPool(Pager* pager, size_t capacity) : pager_(pager) {
   assert(capacity > 0);
-  frames_.resize(capacity);
-  for (auto& f : frames_) f.data.resize(kPageSize);
+  const size_t nparts = PartitionCountFor(capacity);
+  part_mask_ = nparts - 1;
+  parts_.reserve(nparts);
+  for (size_t p = 0; p < nparts; ++p) {
+    auto part = std::make_unique<Partition>();
+    // Spread the capacity across partitions, remainder to the low shards.
+    size_t n = capacity / nparts + (p < capacity % nparts ? 1 : 0);
+    part->frames.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      auto f = std::make_unique<Frame>();
+      f->data.resize(kPageSize);
+      part->frames.push_back(std::move(f));
+    }
+    parts_.push_back(std::move(part));
+  }
   obs::MetricsRegistry& reg = obs::Default();
   m_hits_ = reg.GetCounter("storage.bufpool.hits");
   m_misses_ = reg.GetCounter("storage.bufpool.misses");
@@ -48,126 +81,139 @@ BufferPool::~BufferPool() {
   FlushAll().ok();
 }
 
-void BufferPool::TouchLru(size_t frame) {
-  auto it = lru_pos_.find(frame);
-  if (it != lru_pos_.end()) lru_.erase(it->second);
-  lru_.push_front(frame);
-  lru_pos_[frame] = lru_.begin();
-}
-
 Result<PageHandle> BufferPool::Fetch(PageId id) {
-  ++page_accesses_;
-  auto it = page_to_frame_.find(id);
-  if (it != page_to_frame_.end()) {
-    size_t frame = it->second;
-    ++frames_[frame].pins;
-    TouchLru(frame);
-    m_hits_->Add();
-    return PageHandle(this, frame, id, frames_[frame].data.data());
+  page_accesses_.fetch_add(1, std::memory_order_relaxed);
+  Partition& part = PartitionFor(id);
+  {
+    // Fast path: resident page. Shared latch only; no map or clock-state
+    // mutation, just the pin count and the reference bit. The pin is
+    // taken while the shared latch is held, so an evictor (which holds
+    // the latch exclusively) either runs before the pin and we miss, or
+    // after and it sees pins > 0.
+    std::shared_lock<std::shared_mutex> lock(part.mu);
+    auto it = part.map.find(id);
+    if (it != part.map.end()) {
+      Frame* f = it->second;
+      f->pins.fetch_add(1, std::memory_order_acq_rel);
+      f->ref.store(true, std::memory_order_relaxed);
+      m_hits_->Add();
+      return PageHandle(this, f, id, f->data.data());
+    }
   }
-  auto frame_or = GrabFrame();
+  // Miss: exclusive latch, re-check (another thread may have loaded the
+  // page between our two lock acquisitions), then bring the page in.
+  std::unique_lock<std::shared_mutex> lock(part.mu);
+  auto it = part.map.find(id);
+  if (it != part.map.end()) {
+    Frame* f = it->second;
+    f->pins.fetch_add(1, std::memory_order_acq_rel);
+    f->ref.store(true, std::memory_order_relaxed);
+    m_hits_->Add();
+    return PageHandle(this, f, id, f->data.data());
+  }
+  auto frame_or = GrabFrame(part);
   if (!frame_or.ok()) return frame_or.status();
-  size_t frame = frame_or.value();
-  Frame& f = frames_[frame];
-  TREX_RETURN_IF_ERROR(pager_->ReadPage(id, f.data.data()));
-  ++page_reads_;
+  Frame* f = frame_or.value();
+  TREX_RETURN_IF_ERROR(pager_->ReadPage(id, f->data.data()));
+  page_reads_.fetch_add(1, std::memory_order_relaxed);
   m_misses_->Add();
-  f.id = id;
-  f.pins = 1;
-  f.dirty = false;
-  f.in_use = true;
-  page_to_frame_[id] = frame;
-  TouchLru(frame);
-  return PageHandle(this, frame, id, f.data.data());
+  f->id = id;
+  f->pins.store(1, std::memory_order_relaxed);
+  f->ref.store(true, std::memory_order_relaxed);
+  f->dirty.store(false, std::memory_order_relaxed);
+  f->in_use = true;
+  part.map[id] = f;
+  return PageHandle(this, f, id, f->data.data());
 }
 
 Result<PageHandle> BufferPool::Allocate() {
   auto id_or = pager_->AllocatePage();
   if (!id_or.ok()) return id_or.status();
   PageId id = id_or.value();
-  auto frame_or = GrabFrame();
+  Partition& part = PartitionFor(id);
+  std::unique_lock<std::shared_mutex> lock(part.mu);
+  auto frame_or = GrabFrame(part);
   if (!frame_or.ok()) return frame_or.status();
-  size_t frame = frame_or.value();
-  Frame& f = frames_[frame];
-  std::memset(f.data.data(), 0, kPageSize);
-  f.id = id;
-  f.pins = 1;
-  f.dirty = true;
-  f.in_use = true;
-  page_to_frame_[id] = frame;
-  TouchLru(frame);
-  return PageHandle(this, frame, id, f.data.data());
+  Frame* f = frame_or.value();
+  std::memset(f->data.data(), 0, kPageSize);
+  f->id = id;
+  f->pins.store(1, std::memory_order_relaxed);
+  f->ref.store(true, std::memory_order_relaxed);
+  f->dirty.store(true, std::memory_order_relaxed);
+  f->in_use = true;
+  part.map[id] = f;
+  return PageHandle(this, f, id, f->data.data());
 }
 
-Result<size_t> BufferPool::GrabFrame() {
+Result<BufferPool::Frame*> BufferPool::GrabFrame(Partition& part) {
   // Prefer a frame that has never been used.
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    if (!frames_[i].in_use) return i;
+  for (auto& f : part.frames) {
+    if (!f->in_use) return f.get();
   }
-  // Evict the least recently used unpinned frame.
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-    size_t frame = *it;
-    if (frames_[frame].pins == 0) {
-      TREX_RETURN_IF_ERROR(EvictFrame(frame));
-      return frame;
-    }
+  // Second-chance clock over the partition's frames: skip pinned frames,
+  // clear the reference bit on the first pass, evict on the second.
+  const size_t n = part.frames.size();
+  for (size_t step = 0; step < 2 * n; ++step) {
+    Frame* f = part.frames[part.clock_hand].get();
+    part.clock_hand = (part.clock_hand + 1) % n;
+    // Acquire pairs with the release decrement in Unpin: once we observe
+    // pins == 0 here (under the exclusive latch, so no new pin can race
+    // in), the last reader's accesses happened-before this point.
+    if (f->pins.load(std::memory_order_acquire) > 0) continue;
+    if (f->ref.exchange(false, std::memory_order_relaxed)) continue;
+    TREX_RETURN_IF_ERROR(EvictFrame(part, f));
+    return f;
   }
   return Status::IOError("buffer pool exhausted: all frames pinned");
 }
 
-Status BufferPool::EvictFrame(size_t frame) {
-  Frame& f = frames_[frame];
-  ++evictions_;
+Status BufferPool::EvictFrame(Partition& part, Frame* frame) {
+  evictions_.fetch_add(1, std::memory_order_relaxed);
   m_evictions_->Add();
-  if (f.dirty) {
-    TREX_RETURN_IF_ERROR(pager_->WritePage(f.id, f.data.data()));
-    ++dirty_writebacks_;
+  if (frame->dirty.load(std::memory_order_relaxed)) {
+    TREX_RETURN_IF_ERROR(pager_->WritePage(frame->id, frame->data.data()));
+    dirty_writebacks_.fetch_add(1, std::memory_order_relaxed);
     m_writebacks_->Add();
   }
-  page_to_frame_.erase(f.id);
-  auto it = lru_pos_.find(frame);
-  if (it != lru_pos_.end()) {
-    lru_.erase(it->second);
-    lru_pos_.erase(it);
-  }
-  f.in_use = false;
-  f.dirty = false;
-  f.id = kInvalidPageId;
+  part.map.erase(frame->id);
+  frame->in_use = false;
+  frame->dirty.store(false, std::memory_order_relaxed);
+  frame->id = kInvalidPageId;
   return Status::OK();
 }
 
-void BufferPool::Unpin(size_t frame) {
-  assert(frames_[frame].pins > 0);
-  --frames_[frame].pins;
+void BufferPool::Unpin(Frame* frame) {
+  int prev = frame->pins.fetch_sub(1, std::memory_order_release);
+  assert(prev > 0);
+  (void)prev;
 }
 
 Status BufferPool::FlushAll() {
-  for (auto& f : frames_) {
-    if (f.in_use && f.dirty) {
-      TREX_RETURN_IF_ERROR(pager_->WritePage(f.id, f.data.data()));
-      f.dirty = false;
-      ++dirty_writebacks_;
-      m_writebacks_->Add();
+  for (auto& part : parts_) {
+    std::unique_lock<std::shared_mutex> lock(part->mu);
+    for (auto& f : part->frames) {
+      if (f->in_use && f->dirty.load(std::memory_order_relaxed)) {
+        TREX_RETURN_IF_ERROR(pager_->WritePage(f->id, f->data.data()));
+        f->dirty.store(false, std::memory_order_relaxed);
+        dirty_writebacks_.fetch_add(1, std::memory_order_relaxed);
+        m_writebacks_->Add();
+      }
     }
   }
   return Status::OK();
 }
 
 void BufferPool::Discard(PageId id) {
-  auto it = page_to_frame_.find(id);
-  if (it == page_to_frame_.end()) return;
-  size_t frame = it->second;
-  assert(frames_[frame].pins == 0);
-  Frame& f = frames_[frame];
-  page_to_frame_.erase(it);
-  auto lit = lru_pos_.find(frame);
-  if (lit != lru_pos_.end()) {
-    lru_.erase(lit->second);
-    lru_pos_.erase(lit);
-  }
-  f.in_use = false;
-  f.dirty = false;
-  f.id = kInvalidPageId;
+  Partition& part = PartitionFor(id);
+  std::unique_lock<std::shared_mutex> lock(part.mu);
+  auto it = part.map.find(id);
+  if (it == part.map.end()) return;
+  Frame* f = it->second;
+  assert(f->pins.load(std::memory_order_acquire) == 0);
+  part.map.erase(it);
+  f->in_use = false;
+  f->dirty.store(false, std::memory_order_relaxed);
+  f->id = kInvalidPageId;
 }
 
 }  // namespace trex

@@ -1,15 +1,34 @@
-// BufferPool: an LRU page cache with pin counts over a Pager.
+// BufferPool: a latched, sharded page cache with pin counts over a Pager.
 //
-// The B+-tree acquires PageHandles; a pinned frame is never evicted.
-// Dirty frames are written back on eviction and on FlushAll(). The pool also
-// counts logical page reads ("page accesses"), which the retrieval layer
-// reports as an I/O proxy next to wall-clock times.
+// The pool is split into partitions (page id -> partition by low bits);
+// each partition owns a slice of the frames, a shared_mutex latch and a
+// second-chance clock hand. The hot path — fetching a page that is already
+// resident — takes only the partition latch in *shared* mode and touches
+// nothing but per-frame atomics (pin count, reference bit), so concurrent
+// readers of resident pages never serialize on an exclusive lock and never
+// mutate shared LRU state. Misses, allocation, eviction and flush take the
+// partition latch exclusively.
+//
+// Invariants:
+//   - a frame with pins > 0 is never evicted and never recycled;
+//   - pin counts never go negative (checked in debug builds);
+//   - dirty frames are written back on eviction and on FlushAll().
+//
+// Latch ordering (see DESIGN.md "Concurrency model"): a thread holding a
+// partition latch may call into the Pager (which has its own internal
+// mutex) but never acquires another partition latch, except for the
+// whole-pool sweeps FlushAll()/destructor which take partitions one at a
+// time in index order.
+//
+// The pool also counts logical page reads ("page accesses"), which the
+// retrieval layer reports as an I/O proxy next to wall-clock times.
 #ifndef TREX_STORAGE_BUFFER_POOL_H_
 #define TREX_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -21,11 +40,28 @@ namespace trex {
 
 class BufferPool;
 
-// RAII pin on a cached page. Movable, not copyable.
+namespace internal {
+// One cached page. The pin count and the clock/dirty bits are atomics so
+// the shared-latch fast path (and Unpin, which holds no latch at all) can
+// update them concurrently; `id`, `in_use` and the buffer identity are
+// only changed under the owning partition's exclusive latch.
+struct Frame {
+  std::atomic<int> pins{0};
+  std::atomic<bool> ref{false};    // Second-chance clock reference bit.
+  std::atomic<bool> dirty{false};
+  PageId id = kInvalidPageId;
+  bool in_use = false;
+  std::vector<char> data;
+};
+}  // namespace internal
+
+// RAII pin on a cached page. Movable, not copyable. A handle may be
+// released from any thread; the pin decrement uses release ordering so an
+// evictor that observes pins == 0 also observes the reader's last access.
 class PageHandle {
  public:
   PageHandle() = default;
-  PageHandle(BufferPool* pool, size_t frame, PageId id, char* data)
+  PageHandle(BufferPool* pool, internal::Frame* frame, PageId id, char* data)
       : pool_(pool), frame_(frame), id_(id), data_(data) {}
   PageHandle(PageHandle&& o) noexcept { *this = std::move(o); }
   PageHandle& operator=(PageHandle&& o) noexcept;
@@ -43,7 +79,7 @@ class PageHandle {
 
  private:
   BufferPool* pool_ = nullptr;
-  size_t frame_ = 0;
+  internal::Frame* frame_ = nullptr;
   PageId id_ = kInvalidPageId;
   char* data_ = nullptr;
 };
@@ -57,6 +93,7 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   // Fetches an existing page (reading from disk on miss) and pins it.
+  // Safe to call from many threads concurrently.
   Result<PageHandle> Fetch(PageId id);
   // Allocates a fresh page and pins it (contents zeroed).
   Result<PageHandle> Allocate();
@@ -66,50 +103,71 @@ class BufferPool {
   // enforces the `flush data -> sync -> publish header -> sync` order.
   Status FlushAll();
 
-  // Drops a page from the cache (used by FreePage paths).
+  // Drops a page from the cache (used by FreePage paths). The page must
+  // not be pinned.
   void Discard(PageId id);
 
   Pager* pager() { return pager_; }
 
+  size_t partitions() const { return parts_.size(); }
+
   // Counters for the experiment harness. The same events also feed the
-  // storage.bufpool.* metrics in obs::Default().
-  uint64_t page_reads() const { return page_reads_; }     // Disk reads.
-  uint64_t page_accesses() const { return page_accesses_; }  // Fetches.
-  uint64_t hits() const { return page_accesses_ - page_reads_; }
-  uint64_t misses() const { return page_reads_; }
-  uint64_t evictions() const { return evictions_; }
-  uint64_t dirty_writebacks() const { return dirty_writebacks_; }
+  // storage.bufpool.* metrics in obs::Default(). Relaxed atomics: exact
+  // under any serial prefix, merely monotone under concurrency.
+  uint64_t page_reads() const {
+    return page_reads_.load(std::memory_order_relaxed);
+  }
+  uint64_t page_accesses() const {
+    return page_accesses_.load(std::memory_order_relaxed);
+  }
+  uint64_t hits() const { return page_accesses() - page_reads(); }
+  uint64_t misses() const { return page_reads(); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  uint64_t dirty_writebacks() const {
+    return dirty_writebacks_.load(std::memory_order_relaxed);
+  }
   void ResetCounters() {
-    page_reads_ = page_accesses_ = evictions_ = dirty_writebacks_ = 0;
+    page_reads_.store(0, std::memory_order_relaxed);
+    page_accesses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
+    dirty_writebacks_.store(0, std::memory_order_relaxed);
   }
 
  private:
   friend class PageHandle;
+  using Frame = internal::Frame;
 
-  struct Frame {
-    PageId id = kInvalidPageId;
-    int pins = 0;
-    bool dirty = false;
-    bool in_use = false;
-    std::vector<char> data;
+  // One shard of the pool. The latch protects the map, the frames'
+  // non-atomic fields, and the clock hand.
+  struct Partition {
+    mutable std::shared_mutex mu;
+    std::vector<std::unique_ptr<Frame>> frames;
+    std::unordered_map<PageId, Frame*> map;
+    size_t clock_hand = 0;
   };
 
-  void Unpin(size_t frame);
-  void MarkDirty(size_t frame) { frames_[frame].dirty = true; }
-  Result<size_t> GrabFrame();  // Finds a free or evictable frame.
-  Status EvictFrame(size_t frame);
-  void TouchLru(size_t frame);
+  Partition& PartitionFor(PageId id) {
+    return *parts_[static_cast<size_t>(id) & part_mask_];
+  }
+
+  static void Unpin(Frame* frame);
+  static void MarkDirty(Frame* frame) {
+    frame->dirty.store(true, std::memory_order_relaxed);
+  }
+  // Finds a free or evictable frame in `part`. Caller holds part.mu
+  // exclusively.
+  Result<Frame*> GrabFrame(Partition& part);
+  Status EvictFrame(Partition& part, Frame* frame);
 
   Pager* pager_;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, size_t> page_to_frame_;
-  // LRU list of frame indexes; front = most recently used.
-  std::list<size_t> lru_;
-  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
-  uint64_t page_reads_ = 0;
-  uint64_t page_accesses_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t dirty_writebacks_ = 0;
+  std::vector<std::unique_ptr<Partition>> parts_;
+  size_t part_mask_ = 0;  // parts_.size() - 1; partition count is 2^k.
+  std::atomic<uint64_t> page_reads_{0};
+  std::atomic<uint64_t> page_accesses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> dirty_writebacks_{0};
   // Process-wide metrics, fetched once per pool (pointers are stable for
   // the life of the default registry).
   obs::Counter* m_hits_;

@@ -19,7 +19,10 @@
 
 namespace trex {
 
-// Positional read/write file handle. Not thread-safe.
+// Positional read/write file handle. Implementations must support
+// concurrent Read/Write/Sync calls on one handle (the POSIX one uses
+// pread/pwrite on a single fd, which the kernel serializes per call);
+// Open-time setup and destruction are not concurrent with I/O.
 class RandomAccessFile {
  public:
   virtual ~RandomAccessFile() = default;

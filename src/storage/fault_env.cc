@@ -15,11 +15,13 @@ FaultInjectingEnv::FaultInjectingEnv(Env* base)
 }
 
 void FaultInjectingEnv::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   writes_ = reads_ = syncs_ = 0;
   crashed_ = false;
   log_.clear();
 }
 
+// Caller holds mu_.
 void FaultInjectingEnv::Record(FaultOp::Kind kind, const std::string& path,
                                uint64_t offset, size_t length, bool dropped) {
   if (dropped) m_dropped_ops_->Add();
@@ -41,6 +43,7 @@ bool FaultInjectingEnv::Exists(const std::string& path) {
 }
 
 Status FaultInjectingEnv::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (crashed_) {
     Record(FaultOp::Kind::kRemove, path, 0, 0, /*dropped=*/true);
     return Status::OK();
@@ -56,6 +59,7 @@ Status FaultInjectingEnv::MakeDirs(const std::string& path) {
 
 Status FaultInjectingEnv::Rename(const std::string& from,
                                  const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (crashed_) {
     Record(FaultOp::Kind::kRename, from + " -> " + to, 0, 0, /*dropped=*/true);
     return Status::OK();
@@ -67,6 +71,7 @@ Status FaultInjectingEnv::Rename(const std::string& from,
 Status FaultInjectingEnv::OnWrite(RandomAccessFile* base,
                                   const std::string& path, uint64_t offset,
                                   const char* data, size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
   const int64_t idx = static_cast<int64_t>(writes_++);
   if (crashed_) {
     Record(FaultOp::Kind::kWrite, path, offset, n, /*dropped=*/true);
@@ -102,6 +107,7 @@ Status FaultInjectingEnv::OnWrite(RandomAccessFile* base,
 Status FaultInjectingEnv::OnRead(RandomAccessFile* base,
                                  const std::string& path, uint64_t offset,
                                  size_t n, char* scratch) {
+  std::lock_guard<std::mutex> lock(mu_);
   const int64_t idx = static_cast<int64_t>(reads_++);
   Record(FaultOp::Kind::kRead, path, offset, n, /*dropped=*/false);
   TREX_RETURN_IF_ERROR(base->Read(offset, n, scratch));
@@ -114,6 +120,7 @@ Status FaultInjectingEnv::OnRead(RandomAccessFile* base,
 
 Status FaultInjectingEnv::OnSync(RandomAccessFile* base,
                                  const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   const int64_t idx = static_cast<int64_t>(syncs_++);
   if (crashed_) {
     Record(FaultOp::Kind::kSync, path, 0, 0, /*dropped=*/true);

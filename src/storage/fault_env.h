@@ -33,6 +33,7 @@
 #define TREX_STORAGE_FAULT_ENV_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -78,15 +79,35 @@ class FaultInjectingEnv : public Env {
   FaultPlan& plan() { return plan_; }
   const FaultPlan& plan() const { return plan_; }
 
-  uint64_t writes() const { return writes_; }
-  uint64_t reads() const { return reads_; }
-  uint64_t syncs() const { return syncs_; }
+  uint64_t writes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return writes_;
+  }
+  uint64_t reads() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reads_;
+  }
+  uint64_t syncs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return syncs_;
+  }
   // True once a torn write or crash point has "cut the power".
-  bool crashed() const { return crashed_; }
+  bool crashed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return crashed_;
+  }
 
-  const std::vector<FaultOp>& log() const { return log_; }
+  // Snapshot of the op log. (A copy: concurrent I/O may still be
+  // appending; tests that inspect the log usually quiesce first anyway.)
+  std::vector<FaultOp> log() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return log_;
+  }
   // When false (default), operations are counted but not logged.
-  void set_keep_log(bool keep) { keep_log_ = keep; }
+  void set_keep_log(bool keep) {
+    std::lock_guard<std::mutex> lock(mu_);
+    keep_log_ = keep;
+  }
 
   // Clears counters, the op log and the crashed flag (plan unchanged).
   void Reset();
@@ -106,6 +127,9 @@ class FaultInjectingEnv : public Env {
 
   Env* base_;
   FaultPlan plan_;
+  // Serializes the fault hooks: op indexes stay globally ordered and the
+  // log/counters are safe to use from concurrent reader threads.
+  mutable std::mutex mu_;
   uint64_t writes_ = 0;
   uint64_t reads_ = 0;
   uint64_t syncs_ = 0;

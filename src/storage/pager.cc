@@ -47,13 +47,16 @@ Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path) {
 }
 
 Status Pager::WriteHeaderSlot(uint64_t epoch) {
+  const uint32_t page_count = page_count_.load(std::memory_order_acquire);
+  const PageId root_page = root_page_.load(std::memory_order_acquire);
+  const uint64_t row_count = row_count_.load(std::memory_order_acquire);
   std::vector<char> buf(kPageSize, 0);
   std::memcpy(buf.data() + kHeaderMagicOff, &kMagic, 4);
   std::memcpy(buf.data() + kHeaderVersionOff, &kFormatVersion, 4);
   std::memcpy(buf.data() + kHeaderEpochOff, &epoch, 8);
-  std::memcpy(buf.data() + kHeaderPageCountOff, &page_count_, 4);
-  std::memcpy(buf.data() + kHeaderRootOff, &root_page_, 4);
-  std::memcpy(buf.data() + kHeaderRowCountOff, &row_count_, 8);
+  std::memcpy(buf.data() + kHeaderPageCountOff, &page_count, 4);
+  std::memcpy(buf.data() + kHeaderRootOff, &root_page, 4);
+  std::memcpy(buf.data() + kHeaderRowCountOff, &row_count, 8);
   StampPageChecksum(buf.data());
   m_page_writes_->Add();
   m_bytes_written_->Add(kPageSize);
@@ -89,12 +92,17 @@ Status Pager::ReadHeaders(const std::string& path, uint64_t file_size) {
         static_cast<uint64_t>(page_count) * kPageSize > file_size) {
       continue;
     }
-    if (found && epoch <= epoch_) continue;
+    if (found && epoch <= epoch_.load(std::memory_order_relaxed)) continue;
     found = true;
-    epoch_ = epoch;
-    page_count_ = page_count;
-    std::memcpy(&root_page_, buf.data() + kHeaderRootOff, 4);
-    std::memcpy(&row_count_, buf.data() + kHeaderRowCountOff, 8);
+    PageId root_page;
+    uint64_t row_count;
+    std::memcpy(&root_page, buf.data() + kHeaderRootOff, 4);
+    std::memcpy(&row_count, buf.data() + kHeaderRowCountOff, 8);
+    // Open() runs before the pager is shared; relaxed stores suffice.
+    epoch_.store(epoch, std::memory_order_relaxed);
+    page_count_.store(page_count, std::memory_order_relaxed);
+    root_page_.store(root_page, std::memory_order_relaxed);
+    row_count_.store(row_count, std::memory_order_relaxed);
   }
   if (!found) {
     return Status::Corruption(path +
@@ -105,7 +113,7 @@ Status Pager::ReadHeaders(const std::string& path, uint64_t file_size) {
 }
 
 Status Pager::ReadPage(PageId id, char* buf) {
-  if (id < kFirstDataPage || id >= page_count_) {
+  if (id < kFirstDataPage || id >= page_count()) {
     return Status::InvalidArgument("ReadPage: page id " + std::to_string(id) +
                                    " out of range");
   }
@@ -121,39 +129,44 @@ Status Pager::ReadPage(PageId id, char* buf) {
 }
 
 Status Pager::WritePage(PageId id, char* buf) {
-  if (id < kFirstDataPage || id >= page_count_) {
+  if (id < kFirstDataPage || id >= page_count()) {
     return Status::InvalidArgument("WritePage: page id " + std::to_string(id) +
                                    " out of range");
   }
   StampPageChecksum(buf);
   m_page_writes_->Add();
   m_bytes_written_->Add(kPageSize);
-  dirty_ = true;
+  dirty_.store(true, std::memory_order_release);
   return file_->Write(static_cast<uint64_t>(id) * kPageSize, buf, kPageSize);
 }
 
 Result<PageId> Pager::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
   PageId id;
   if (!free_.empty()) {
     id = free_.back();
     free_.pop_back();
   } else {
-    id = page_count_;
-    ++page_count_;
+    id = page_count_.load(std::memory_order_relaxed);
     std::vector<char> zero(kPageSize, 0);
     StampPageChecksum(zero.data());
     TREX_RETURN_IF_ERROR(file_->Write(static_cast<uint64_t>(id) * kPageSize,
                                       zero.data(), kPageSize));
+    // Publish the grown bound only after the page exists on disk, so a
+    // concurrent reader's bounds check never admits a page the file does
+    // not contain.
+    page_count_.store(id + 1, std::memory_order_release);
   }
   shadowed_.insert(id);
-  dirty_ = true;
+  dirty_.store(true, std::memory_order_release);
   return id;
 }
 
 Status Pager::FreePage(PageId id) {
-  if (id < kFirstDataPage || id >= page_count_) {
+  if (id < kFirstDataPage || id >= page_count()) {
     return Status::InvalidArgument("FreePage: page id out of range");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = shadowed_.find(id);
   if (it != shadowed_.end()) {
     // Never committed: reusable right away.
@@ -164,46 +177,57 @@ Status Pager::FreePage(PageId id) {
     // Commit() so a crash can still roll back to that state.
     pending_free_.push_back(id);
   }
-  dirty_ = true;
+  dirty_.store(true, std::memory_order_release);
   return Status::OK();
 }
 
 Status Pager::SetRootPage(PageId id) {
-  if (id != root_page_) dirty_ = true;
-  root_page_ = id;
+  if (id != root_page_.load(std::memory_order_relaxed)) {
+    dirty_.store(true, std::memory_order_release);
+  }
+  root_page_.store(id, std::memory_order_release);
   return Status::OK();
 }
 
 Status Pager::SetRowCount(uint64_t n) {
-  if (n != row_count_) dirty_ = true;
-  row_count_ = n;
+  if (n != row_count_.load(std::memory_order_relaxed)) {
+    dirty_.store(true, std::memory_order_release);
+  }
+  row_count_.store(n, std::memory_order_release);
   return Status::OK();
 }
 
 Status Pager::Sync() { return file_->Sync(); }
 
 Status Pager::Commit() {
-  if (!dirty_) return Status::OK();
+  if (!dirty_.load(std::memory_order_acquire)) return Status::OK();
+  // Exclusive header latch: readers holding ReadLatch() in shared mode
+  // never observe the epoch mid-publish.
+  std::unique_lock<std::shared_mutex> header_lock(header_mu_);
   // 1. Data pages durable before any header points at them.
   TREX_RETURN_IF_ERROR(file_->Sync());
   // 2. Publish into the slot the committed header does NOT occupy, so a
   //    torn header write can only damage the slot being replaced. The
   //    epoch advances only after the publish is durable; a failed attempt
   //    retries into the same (non-live) slot.
-  const uint64_t next_epoch = epoch_ + 1;
+  const uint64_t next_epoch = epoch_.load(std::memory_order_relaxed) + 1;
   TREX_RETURN_IF_ERROR(WriteHeaderSlot(next_epoch));
   // 3. Header durable.
   TREX_RETURN_IF_ERROR(file_->Sync());
-  epoch_ = next_epoch;
-  free_.insert(free_.end(), pending_free_.begin(), pending_free_.end());
-  pending_free_.clear();
-  shadowed_.clear();
-  dirty_ = false;
+  epoch_.store(next_epoch, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.insert(free_.end(), pending_free_.begin(), pending_free_.end());
+    pending_free_.clear();
+    shadowed_.clear();
+  }
+  dirty_.store(false, std::memory_order_release);
   m_commits_->Add();
   return Status::OK();
 }
 
 std::vector<PageId> Pager::FreePages() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<PageId> out = free_;
   out.insert(out.end(), pending_free_.begin(), pending_free_.end());
   return out;

@@ -23,11 +23,24 @@
 // unreachable); this trades a bounded space leak for not having to make
 // the on-disk freelist chain itself crash-safe.
 //
+// Thread safety. Page reads and writes go through pread/pwrite on one fd
+// and may run concurrently. Allocation/free-list state is guarded by an
+// internal mutex; the header fields readers consult (page_count, root,
+// row_count, epoch) are atomics. Commit() additionally takes the header
+// latch exclusively — readers that need a consistent committed snapshot
+// across several operations hold ReadLatch() in shared mode (see
+// DESIGN.md "Concurrency model"). There is still at most one writer; the
+// mutex makes reads safe *against* that writer, not writers against each
+// other.
+//
 // The pager itself is unbuffered; BufferPool (buffer_pool.h) sits on top.
 #ifndef TREX_STORAGE_PAGER_H_
 #define TREX_STORAGE_PAGER_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -64,23 +77,38 @@ class Pager {
   // True while `id` is not referenced by the committed header, i.e. it
   // was allocated (or COW-relocated onto) since the last Commit().
   bool IsShadowed(PageId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return shadowed_.find(id) != shadowed_.end();
   }
 
   // The B+-tree root (kInvalidPageId if empty). In-memory until Commit().
-  PageId root_page() const { return root_page_; }
+  PageId root_page() const {
+    return root_page_.load(std::memory_order_acquire);
+  }
   Status SetRootPage(PageId id);
 
   // Entry count, maintained by the tree. In-memory until Commit().
-  uint64_t row_count() const { return row_count_; }
+  uint64_t row_count() const {
+    return row_count_.load(std::memory_order_acquire);
+  }
   Status SetRowCount(uint64_t n);
 
-  uint32_t page_count() const { return page_count_; }
+  uint32_t page_count() const {
+    return page_count_.load(std::memory_order_acquire);
+  }
   uint64_t FileBytes() const {
-    return static_cast<uint64_t>(page_count_) * kPageSize;
+    return static_cast<uint64_t>(page_count()) * kPageSize;
   }
   // Epoch of the last durable commit (0 for a fresh file).
-  uint64_t epoch() const { return epoch_; }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  // Shared latch on the header epoch: a reader holding it observes one
+  // committed snapshot boundary — Commit() publishes the next header
+  // under the exclusive side. Cheap (uncontended shared_mutex) and held
+  // for the duration of one tree operation, not one query.
+  std::shared_lock<std::shared_mutex> ReadLatch() const {
+    return std::shared_lock<std::shared_mutex>(header_mu_);
+  }
 
   Status Sync();
   // Publishes the current in-memory state: sync data, write the next
@@ -99,10 +127,14 @@ class Pager {
   Status ReadHeaders(const std::string& path, uint64_t file_size);
 
   std::unique_ptr<RandomAccessFile> file_;
-  uint64_t epoch_ = 0;
-  uint32_t page_count_ = kFirstDataPage;  // Header slots always exist.
-  PageId root_page_ = kInvalidPageId;
-  uint64_t row_count_ = 0;
+  // Header fields readers consult without taking mu_.
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint32_t> page_count_{kFirstDataPage};  // Headers always exist.
+  std::atomic<PageId> root_page_{kInvalidPageId};
+  std::atomic<uint64_t> row_count_{0};
+  // Guards the allocation state below (free lists, shadow set). Mutable
+  // so const probes (IsShadowed, FreePages) can lock it.
+  mutable std::mutex mu_;
   // Free pages reusable now (freed before the last Commit, or never
   // committed at all).
   std::vector<PageId> free_;
@@ -111,8 +143,11 @@ class Pager {
   std::vector<PageId> pending_free_;
   // Pages allocated since the last Commit (safe to modify in place).
   std::unordered_set<PageId> shadowed_;
+  // Readers hold this shared across one tree operation; Commit() holds it
+  // exclusively while publishing the next header epoch.
+  mutable std::shared_mutex header_mu_;
   // True when state changed since the last durable commit.
-  bool dirty_ = false;
+  std::atomic<bool> dirty_{false};
   // storage.pager.* metrics (physical page I/O, including header writes).
   obs::Counter* m_page_reads_;
   obs::Counter* m_page_writes_;

@@ -1,0 +1,84 @@
+#include "trex/query_executor.h"
+
+#include "common/clock.h"
+
+namespace trex {
+
+QueryExecutor::QueryExecutor(TReX* trex, size_t num_threads) : trex_(trex) {
+  if (num_threads == 0) num_threads = 1;
+  obs::MetricsRegistry& reg = obs::Default();
+  m_submitted_ = reg.GetCounter("trex.executor.submitted");
+  m_completed_ = reg.GetCounter("trex.executor.completed");
+  m_failed_ = reg.GetCounter("trex.executor.failed");
+  m_in_flight_ = reg.GetGauge("trex.executor.in_flight");
+  m_queue_nanos_ = reg.GetHistogram("trex.executor.queue_nanos");
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryExecutor::~QueryExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<Result<QueryAnswer>> QueryExecutor::Submit(std::string nexi,
+                                                       size_t k) {
+  Job job;
+  job.nexi = std::move(nexi);
+  job.k = k;
+  return Enqueue(std::move(job));
+}
+
+std::future<Result<QueryAnswer>> QueryExecutor::SubmitWith(
+    RetrievalMethod method, std::string nexi, size_t k) {
+  Job job;
+  job.nexi = std::move(nexi);
+  job.k = k;
+  job.forced = method;
+  return Enqueue(std::move(job));
+}
+
+std::future<Result<QueryAnswer>> QueryExecutor::Enqueue(Job job) {
+  job.enqueued_nanos = static_cast<uint64_t>(NowNanos());
+  std::future<Result<QueryAnswer>> future = job.promise.get_future();
+  m_submitted_->Add();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void QueryExecutor::WorkerLoop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain pending jobs even when stopping: a Submit()ed future must
+      // always resolve.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    m_queue_nanos_->Record(static_cast<uint64_t>(NowNanos()) -
+                           job.enqueued_nanos);
+    m_in_flight_->Add(1);
+    Result<QueryAnswer> answer =
+        job.forced.has_value()
+            ? trex_->QueryWith(*job.forced, job.nexi, job.k)
+            : trex_->Query(job.nexi, job.k);
+    m_in_flight_->Add(-1);
+    (answer.ok() ? m_completed_ : m_failed_)->Add();
+    job.promise.set_value(std::move(answer));
+  }
+}
+
+}  // namespace trex

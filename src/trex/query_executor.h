@@ -1,0 +1,81 @@
+// QueryExecutor: a fixed-size thread pool serving NEXI queries from one
+// shared TReX handle.
+//
+// The pool owns N worker threads; Submit() enqueues a query and returns
+// a future for its answer. Each query runs TReX::Query (or QueryWith /
+// QueryStrict) on a worker thread, so it gets its own obs::Trace with
+// the usual per-phase spans (translate, strategy, evaluate:<method>,
+// shape) in QueryAnswer::trace. The executor itself contributes
+// trex.executor.* metrics: submitted/completed/failed counters, a queue
+// wait-time histogram and an in-flight gauge.
+//
+// The handle is typically opened with OpenMode::kReadShared; the
+// executor never mutates the index. One executor per handle is the
+// expected shape, but nothing prevents several (they would just share
+// the same snapshot lock).
+#ifndef TREX_TREX_QUERY_EXECUTOR_H_
+#define TREX_TREX_QUERY_EXECUTOR_H_
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "trex/trex.h"
+
+namespace trex {
+
+class QueryExecutor {
+ public:
+  // Spawns `num_threads` workers (clamped to >= 1) over `trex`, which
+  // must outlive the executor.
+  QueryExecutor(TReX* trex, size_t num_threads);
+  // Drains the queue (pending queries still run) and joins the workers.
+  ~QueryExecutor();
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  // Enqueues a query; the future resolves with the answer (or the error
+  // status) once a worker has run it. Thread-safe.
+  std::future<Result<QueryAnswer>> Submit(std::string nexi, size_t k);
+  // As Submit, but forces the retrieval method (TReX::QueryWith).
+  std::future<Result<QueryAnswer>> SubmitWith(RetrievalMethod method,
+                                              std::string nexi, size_t k);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  struct Job {
+    std::string nexi;
+    size_t k = 0;
+    std::optional<RetrievalMethod> forced;
+    uint64_t enqueued_nanos = 0;
+    std::promise<Result<QueryAnswer>> promise;
+  };
+
+  std::future<Result<QueryAnswer>> Enqueue(Job job);
+  void WorkerLoop();
+
+  TReX* trex_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  // trex.executor.* metrics.
+  obs::Counter* m_submitted_;
+  obs::Counter* m_completed_;
+  obs::Counter* m_failed_;
+  obs::Gauge* m_in_flight_;
+  obs::Histogram* m_queue_nanos_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_TREX_QUERY_EXECUTOR_H_

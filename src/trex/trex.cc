@@ -35,10 +35,24 @@ Result<std::unique_ptr<TReX>> TReX::BuildFromDocuments(
 
 Result<std::unique_ptr<TReX>> TReX::Open(const std::string& dir,
                                          TrexOptions options) {
+  return Open(dir, std::move(options), OpenMode::kReadWrite);
+}
+
+Result<std::unique_ptr<TReX>> TReX::Open(const std::string& dir,
+                                         TrexOptions options, OpenMode mode) {
   auto index = Index::Open(dir, options.index.cache_pages);
   if (!index.ok()) return index.status();
   return std::unique_ptr<TReX>(
-      new TReX(std::move(index).value(), std::move(options)));
+      new TReX(std::move(index).value(), std::move(options), mode));
+}
+
+Status TReX::CheckWritable(const char* op) const {
+  if (mode_ == OpenMode::kReadShared) {
+    return Status::NotSupported(std::string(op) +
+                                " on a handle opened with "
+                                "OpenMode::kReadShared (read-only)");
+  }
+  return Status::OK();
 }
 
 Result<std::unique_ptr<TReX>> TReX::Open(const std::string& dir,
@@ -70,6 +84,10 @@ Result<std::unique_ptr<TReX>> TReX::Open(const std::string& dir,
 
 Result<QueryAnswer> TReX::RunQuery(const std::string& nexi, size_t k,
                                    const RetrievalMethod* forced) {
+  // One shared snapshot acquisition for the whole query: translation
+  // reads the summary (which an updater replaces) and evaluation walks
+  // the tables with multi-operation iterators.
+  auto read_lock = index_->ReaderLock();
   QueryAnswer answer;
   answer.trace = std::make_shared<obs::Trace>("query");
   obs::Trace* trace = answer.trace.get();
@@ -126,6 +144,7 @@ Result<QueryAnswer> TReX::Query(const std::string& nexi, size_t k) {
 }
 
 Result<QueryAnswer> TReX::QueryStrict(const std::string& nexi, size_t k) {
+  auto read_lock = index_->ReaderLock();
   QueryAnswer answer;
   answer.trace = std::make_shared<obs::Trace>("query");
   obs::Trace* trace = answer.trace.get();
@@ -158,11 +177,19 @@ Result<QueryAnswer> TReX::QueryWith(RetrievalMethod method,
 Status TReX::SelfManage(const Workload& workload,
                         const SelfManagerOptions& options,
                         SelfManagerReport* report) {
+  TREX_RETURN_IF_ERROR(CheckWritable("SelfManage"));
+  // No snapshot lock here: the materializer takes the exclusive side
+  // itself around each burst of list writes, so concurrent queries slot
+  // in between the advisor's steps.
   SelfManager manager(index_.get(), options);
   return manager.Run(workload, report);
 }
 
 Result<DocId> TReX::AddDocument(const std::string& xml) {
+  TREX_RETURN_IF_ERROR(CheckWritable("AddDocument"));
+  // Exclusive snapshot lock: readers observe the index either entirely
+  // before or entirely after this document (commit included).
+  auto write_lock = index_->WriterLock();
   DocId docid = index_->max_docid() + 1;
   IndexUpdater updater(index_.get());
   TREX_RETURN_IF_ERROR(updater.AddDocument(docid, xml));
@@ -171,11 +198,17 @@ Result<DocId> TReX::AddDocument(const std::string& xml) {
 
 Status TReX::MaterializeFor(const std::string& nexi, bool rpls, bool erpls,
                             MaterializeStats* stats) {
-  auto translated = TranslateNexi(nexi, index_->summary(),
-                                  &index_->aliases(), index_->tokenizer());
-  if (!translated.ok()) return translated.status();
-  return MaterializeForClause(index_.get(), translated.value().flattened,
-                              rpls, erpls, stats);
+  TREX_RETURN_IF_ERROR(CheckWritable("MaterializeFor"));
+  TranslatedClause clause;
+  {
+    auto read_lock = index_->ReaderLock();
+    auto translated = TranslateNexi(nexi, index_->summary(),
+                                    &index_->aliases(), index_->tokenizer());
+    if (!translated.ok()) return translated.status();
+    clause = std::move(translated).value().flattened;
+  }
+  // MaterializeForClause manages its own read/write locking.
+  return MaterializeForClause(index_.get(), clause, rpls, erpls, stats);
 }
 
 }  // namespace trex

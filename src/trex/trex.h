@@ -40,6 +40,19 @@ struct TrexOptions {
   bool restrict_to_target_sids = false;
 };
 
+// How an opened handle may be used across threads.
+enum class OpenMode {
+  // Queries may run from any number of threads; mutations (AddDocument,
+  // SelfManage, MaterializeFor) are allowed but must come from one
+  // logical updater at a time. Readers and the updater synchronize via
+  // the index's snapshot lock.
+  kReadWrite,
+  // A read-only handle safe to share across N query threads with no
+  // updater: every mutating API fails with NotSupported. This is the
+  // mode the thread-pool QueryExecutor and the throughput bench use.
+  kReadShared,
+};
+
 struct QueryAnswer {
   RetrievalResult result;
   RetrievalMethod method = RetrievalMethod::kEra;
@@ -63,6 +76,12 @@ class TReX {
   // Opens an existing index.
   static Result<std::unique_ptr<TReX>> Open(const std::string& dir,
                                             TrexOptions options = {});
+  // Opens an existing index in an explicit concurrency mode. With
+  // OpenMode::kReadShared the returned handle is usable from N threads
+  // concurrently (Query/QueryWith/QueryStrict) and rejects mutations.
+  static Result<std::unique_ptr<TReX>> Open(const std::string& dir,
+                                            TrexOptions options,
+                                            OpenMode mode);
   // Opens an existing index with crash recovery: in RecoveryMode::kRepair
   // a failed open or failed deep verification triggers RecoverIndex
   // (rolling every table back to the manifest's commit point and
@@ -102,16 +121,22 @@ class TReX {
   obs::MetricsSnapshot Metrics() const { return obs::Default().Snapshot(); }
 
   Index* index() { return index_.get(); }
+  OpenMode mode() const { return mode_; }
 
  private:
-  TReX(std::unique_ptr<Index> index, TrexOptions options)
-      : index_(std::move(index)), options_(std::move(options)) {}
+  TReX(std::unique_ptr<Index> index, TrexOptions options,
+       OpenMode mode = OpenMode::kReadWrite)
+      : index_(std::move(index)),
+        options_(std::move(options)),
+        mode_(mode) {}
 
   Result<QueryAnswer> RunQuery(const std::string& nexi, size_t k,
                                const RetrievalMethod* forced);
+  Status CheckWritable(const char* op) const;
 
   std::unique_ptr<Index> index_;
   TrexOptions options_;
+  OpenMode mode_ = OpenMode::kReadWrite;
 };
 
 }  // namespace trex

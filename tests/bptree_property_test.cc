@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "gtest/gtest.h"
 #include "storage/bptree.h"
+#include "testutil.h"
 
 namespace trex {
 namespace {
@@ -26,9 +27,7 @@ struct ProfileParam {
 class BPTreeVsMapTest : public ::testing::TestWithParam<ProfileParam> {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/trex_btprop_" + GetParam().name;
-    std::filesystem::remove_all(dir_);
-    std::filesystem::create_directories(dir_);
+    dir_ = test::UniqueTestDir("trex_btprop");
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
   std::string dir_;
@@ -124,9 +123,7 @@ INSTANTIATE_TEST_SUITE_P(
 // Reopen durability under a random workload: state after Flush + reopen
 // equals the reference.
 TEST(BPTreeDurability, SurvivesReopenMidWorkload) {
-  std::string dir = ::testing::TempDir() + "/trex_btprop_reopen";
-  std::filesystem::remove_all(dir);
-  std::filesystem::create_directories(dir);
+  std::string dir = test::UniqueTestDir("trex_btprop");
   Rng rng(999);
   std::map<std::string, std::string> ref;
 
@@ -161,9 +158,7 @@ TEST(BPTreeDurability, SurvivesReopenMidWorkload) {
 // would resurrect superseded pages and disagree with point lookups. Scans
 // must see exactly the rows Get sees, across deletes and reopens.
 TEST(BPTreeDurability, ScansAgreeWithLookupsAfterReopenAndDelete) {
-  std::string dir = ::testing::TempDir() + "/trex_btprop_scan_cow";
-  std::filesystem::remove_all(dir);
-  std::filesystem::create_directories(dir);
+  std::string dir = test::UniqueTestDir("trex_btprop");
   std::map<std::string, std::string> ref;
   {
     auto tree = BPTree::Open(dir + "/t", 64);
@@ -231,9 +226,7 @@ TEST(BPTreeDurability, ScansAgreeWithLookupsAfterReopenAndDelete) {
 // crash, hang, or silently wrong answer that a checksum should have
 // caught. (Page checksums make any flipped byte detectable.)
 TEST(BPTreeCorruption, RandomBitFlipsSurfaceAsCorruptionNeverCrash) {
-  std::string dir = ::testing::TempDir() + "/trex_btprop_bitrot";
-  std::filesystem::remove_all(dir);
-  std::filesystem::create_directories(dir);
+  std::string dir = test::UniqueTestDir("trex_btprop");
 
   // One healthy tree, reused as the template for every corruption case.
   const std::string golden = dir + "/golden";

@@ -1,0 +1,223 @@
+// Concurrency property tests for the latched buffer pool (ctest label:
+// concurrency). Random concurrent pin/unpin/evict traffic is checked
+// against a model: every page was filled with a content pattern that is
+// a pure function of its id, so any eviction of a pinned frame, frame
+// recycling race, or torn read shows up as a payload mismatch. Failures
+// are counted atomically and asserted on the main thread (gtest
+// assertions are not reliable from worker threads), so the checks fire
+// in release builds too — they do not hide behind NDEBUG asserts.
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "storage/buffer_pool.h"
+#include "storage/env.h"
+#include "storage/pager.h"
+#include "testutil.h"
+
+namespace trex {
+namespace {
+
+class BufPoolConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = test::UniqueTestDir("trex_bufpool_conc");
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  // The reference model: page `id` holds this byte at every payload
+  // offset. The 4-byte checksum trailer past kPageUsableSize belongs to
+  // the pager (stamped on writeback), so the tests never inspect it.
+  static char ExpectedByte(PageId id) {
+    return static_cast<char>('A' + (id % 23));
+  }
+
+  // Writes `num_pages` pages of patterned content through the pool.
+  std::vector<PageId> FillPages(BufferPool* pool, size_t num_pages) {
+    std::vector<PageId> ids;
+    for (size_t i = 0; i < num_pages; ++i) {
+      auto page = pool->Allocate();
+      TREX_CHECK_OK(page.status());
+      PageId id = page.value().id();
+      std::memset(page.value().MutableData(), ExpectedByte(id),
+                  kPageUsableSize);
+      ids.push_back(id);
+    }
+    TREX_CHECK_OK(pool->FlushAll());
+    return ids;
+  }
+
+  std::string dir_;
+};
+
+// Many threads fetch random pages from a pool far smaller than the page
+// set (every fetch may evict), hold the pin while re-verifying content,
+// and unpin. If a pinned frame were ever evicted/recycled, the second
+// verification would observe another page's pattern.
+TEST_F(BufPoolConcurrencyTest, ConcurrentFetchesMatchReferenceModel) {
+  auto pager_or = Pager::Open(dir_ + "/p");
+  ASSERT_TRUE(pager_or.ok());
+  Pager* pager = pager_or.value().get();
+  constexpr size_t kPages = 96;
+  constexpr size_t kCapacity = 16;  // Heavy eviction traffic.
+  BufferPool pool(pager, kCapacity);
+  std::vector<PageId> ids = FillPages(&pool, kPages);
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      Rng rng(0x9e3779b9u + t);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        PageId id = ids[rng.Uniform(ids.size())];
+        auto page = pool.Fetch(id);
+        if (!page.ok()) {
+          ++errors;
+          continue;
+        }
+        const char* data = page.value().data();
+        const char want = ExpectedByte(id);
+        // Sample a few offsets, spin a little, then check again while
+        // still pinned: an eviction under the pin would swap the bytes.
+        for (size_t off : {size_t{0}, kPageSize / 2, kPageUsableSize - 1}) {
+          if (data[off] != want) ++mismatches;
+        }
+        for (int spin = 0; spin < 50; ++spin) {
+          std::atomic_signal_fence(std::memory_order_seq_cst);
+        }
+        for (size_t off : {size_t{1}, kPageSize / 3, kPageUsableSize - 2}) {
+          if (data[off] != want) ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(errors.load(), 0u);
+  // The pool really was under eviction pressure, or the test proves
+  // nothing about pinned-frame stability.
+  EXPECT_GT(pool.evictions(), 0u);
+  // Allocate() is not a logical page access, so the count is exactly the
+  // fetch traffic — the relaxed counters lose nothing under concurrency.
+  EXPECT_EQ(pool.page_accesses(),
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+}
+
+// Mixed traffic: four writer threads each own a disjoint page (so page
+// bytes have exactly one mutator — cross-thread byte-level exclusion on
+// one page is the snapshot lock's job, one layer up) and rewrite it to
+// successive patterned generations; reader threads hammer the remaining
+// pages. Evictions interleave dirty writebacks with reads under a tiny
+// capacity; the model says read-only pages never change and the durable
+// state afterwards is each writer page's last generation.
+TEST_F(BufPoolConcurrencyTest, DirtyWritebacksKeepContentsConsistent) {
+  auto pager_or = Pager::Open(dir_ + "/p");
+  ASSERT_TRUE(pager_or.ok());
+  Pager* pager = pager_or.value().get();
+  constexpr size_t kPages = 24;
+  constexpr size_t kWriterPages = 4;
+  constexpr size_t kCapacity = 8;
+  BufferPool pool(pager, kCapacity);
+  std::vector<PageId> ids = FillPages(&pool, kPages);
+
+  auto byte_for = [&](size_t slot, int g) {
+    return static_cast<char>(ExpectedByte(ids[slot]) + (g % 7));
+  };
+
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<bool> stop{false};
+
+  constexpr int kRounds = 400;
+  std::vector<std::thread> writers;
+  for (size_t slot = 0; slot < kWriterPages; ++slot) {
+    writers.emplace_back([&, slot]() {
+      for (int round = 1; round <= kRounds; ++round) {
+        auto page = pool.Fetch(ids[slot]);
+        if (!page.ok()) {
+          ++errors;
+          return;
+        }
+        // The pin must bring back the previous generation before the
+        // rewrite: a lost dirty writeback would resurface an older one.
+        if (page.value().data()[0] != byte_for(slot, round - 1)) {
+          ++mismatches;
+        }
+        std::memset(page.value().MutableData(), byte_for(slot, round),
+                    kPageUsableSize);
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t]() {
+      Rng rng(0xc0ffee + t);
+      while (!stop.load(std::memory_order_acquire)) {
+        size_t slot = kWriterPages + rng.Uniform(kPages - kWriterPages);
+        auto page = pool.Fetch(ids[slot]);
+        if (!page.ok()) {
+          ++errors;
+          return;
+        }
+        // Read-only pages hold their original pattern forever, however
+        // often they get evicted to make room for dirty frames.
+        if (page.value().data()[kPageSize / 2] != ExpectedByte(ids[slot])) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& r : readers) r.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(errors.load(), 0u);
+  TREX_CHECK_OK(pool.FlushAll());
+  // After the dust settles the durable state matches the model exactly.
+  for (size_t slot = 0; slot < kPages; ++slot) {
+    std::vector<char> buf(kPageSize);
+    TREX_CHECK_OK(pager->ReadPage(ids[slot], buf.data()));
+    char want = slot < kWriterPages ? byte_for(slot, kRounds)
+                                    : ExpectedByte(ids[slot]);
+    EXPECT_EQ(buf[kPageSize / 2], want) << "page slot " << slot;
+  }
+}
+
+// A fully pinned pool refuses further fetches instead of evicting a
+// pinned frame, and recovers as soon as pins are released.
+TEST_F(BufPoolConcurrencyTest, ExhaustedPoolFailsFetchRatherThanEvictPinned) {
+  auto pager_or = Pager::Open(dir_ + "/p");
+  ASSERT_TRUE(pager_or.ok());
+  BufferPool pool(pager_or.value().get(), 4);
+  std::vector<PageId> ids = FillPages(&pool, 8);
+
+  std::vector<PageHandle> pinned;
+  for (size_t i = 0; i < 4; ++i) {
+    auto page = pool.Fetch(ids[i]);
+    ASSERT_TRUE(page.ok());
+    pinned.push_back(std::move(page.value()));
+  }
+  // Every frame is pinned: fetching an absent page must fail cleanly.
+  EXPECT_TRUE(pool.Fetch(ids[7]).status().IsIOError());
+  // Pinned frames survived the failed grab attempt.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(pinned[i].data()[0], ExpectedByte(ids[i]));
+  }
+  pinned.clear();
+  auto page = pool.Fetch(ids[7]);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page.value().data()[0], ExpectedByte(ids[7]));
+}
+
+}  // namespace
+}  // namespace trex

@@ -1,0 +1,389 @@
+// Concurrent read-path tests (ctest label: concurrency; run under TSan
+// by scripts/check.sh).
+//
+// Four properties:
+//  * N reader threads over one shared read-only TReX handle produce
+//    byte-identical answers to the single-threaded baseline, for every
+//    retrieval method;
+//  * the thread-pool QueryExecutor preserves those answers and its
+//    bookkeeping metrics balance;
+//  * a kReadShared handle rejects every mutation;
+//  * readers racing an updater only ever observe committed states — each
+//    answer matches exactly one of the index states a serial replay of
+//    the same updates produces, and each reader's view is monotone.
+//
+// Worker threads never call gtest assertions; they count violations
+// atomically and the main thread asserts, so failures are reliable and
+// survive NDEBUG builds.
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/ieee_generator.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "retrieval/materializer.h"
+#include "trex/query_executor.h"
+#include "trex/trex.h"
+
+#include "testutil.h"
+
+namespace trex {
+namespace {
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = test::UniqueTestDir("trex_conc");
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  TrexOptions IeeeOptions() {
+    TrexOptions options;
+    options.index.aliases = IeeeAliasMap();
+    return options;
+  }
+
+  std::unique_ptr<TReX> BuildIeee(size_t docs) {
+    IeeeGeneratorOptions gen_options;
+    gen_options.num_documents = docs;
+    gen_options.size_factor = 0.5;
+    IeeeGenerator gen(gen_options);
+    auto trex = TReX::Build(dir_ + "/idx", gen, IeeeOptions());
+    TREX_CHECK_OK(trex.status());
+    return std::move(trex).value();
+  }
+
+  std::string dir_;
+};
+
+// Canonical bytes of a ranked answer, scores as raw float bits.
+std::string Signature(const QueryAnswer& answer) {
+  std::string sig;
+  char buf[96];
+  for (const ScoredElement& e : answer.result.elements) {
+    uint32_t score_bits;
+    std::memcpy(&score_bits, &e.score, sizeof(score_bits));
+    std::snprintf(buf, sizeof(buf), "%u:%u:%llu:%u;", e.element.sid,
+                  e.element.docid,
+                  static_cast<unsigned long long>(e.element.endpos),
+                  score_bits);
+    sig += buf;
+  }
+  return sig;
+}
+
+const char* const kQueries[] = {
+    "//article//sec[about(., ontologies case study)]",
+    "//article[about(., xml query evaluation)]",
+    "//sec[about(., information retrieval)]",
+    "//article[about(., parallel algorithm)]",
+};
+
+TEST_F(ConcurrencyTest, NReadersByteIdenticalToBaseline) {
+  // Build, materialize one clause (so TA/Merge run too), reopen shared.
+  {
+    auto rw = BuildIeee(50);
+    MaterializeStats stats;
+    TREX_CHECK_OK(rw->MaterializeFor(kQueries[0], true, true, &stats));
+    TREX_CHECK_OK(rw->index()->Flush());
+  }
+  auto opened =
+      TReX::Open(dir_ + "/idx", IeeeOptions(), OpenMode::kReadShared);
+  TREX_CHECK_OK(opened.status());
+  std::unique_ptr<TReX> trex = std::move(opened).value();
+
+  // Single-threaded baseline, per query x method.
+  const std::vector<RetrievalMethod> methods = {
+      RetrievalMethod::kEra, RetrievalMethod::kTa, RetrievalMethod::kMerge};
+  std::vector<std::string> baseline;
+  for (const char* q : kQueries) {
+    auto answer = trex->Query(q, 10);
+    TREX_CHECK_OK(answer.status());
+    baseline.push_back(Signature(answer.value()));
+  }
+  auto ta = trex->QueryWith(RetrievalMethod::kTa, kQueries[0], 10);
+  TREX_CHECK_OK(ta.status());
+  auto merge = trex->QueryWith(RetrievalMethod::kMerge, kQueries[0], 10);
+  TREX_CHECK_OK(merge.status());
+  const std::string ta_baseline = Signature(ta.value());
+  const std::string merge_baseline = Signature(merge.value());
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 6;
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t qi = 0; qi < std::size(kQueries); ++qi) {
+          auto answer = trex->Query(kQueries[qi], 10);
+          if (!answer.ok()) {
+            ++errors;
+            continue;
+          }
+          if (Signature(answer.value()) != baseline[qi]) ++mismatches;
+        }
+        // Concurrently exercise the materialized RPL/ERPL read paths.
+        auto a = trex->QueryWith(RetrievalMethod::kTa, kQueries[0], 10);
+        auto b = trex->QueryWith(RetrievalMethod::kMerge, kQueries[0], 10);
+        if (!a.ok() || !b.ok()) {
+          ++errors;
+        } else {
+          if (Signature(a.value()) != ta_baseline) ++mismatches;
+          if (Signature(b.value()) != merge_baseline) ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST_F(ConcurrencyTest, QueryExecutorMatchesBaselineAndBalancesMetrics) {
+  {
+    auto rw = BuildIeee(40);
+  }
+  auto opened =
+      TReX::Open(dir_ + "/idx", IeeeOptions(), OpenMode::kReadShared);
+  TREX_CHECK_OK(opened.status());
+  std::unique_ptr<TReX> trex = std::move(opened).value();
+
+  std::vector<std::string> baseline;
+  for (const char* q : kQueries) {
+    auto answer = trex->Query(q, 10);
+    TREX_CHECK_OK(answer.status());
+    baseline.push_back(Signature(answer.value()));
+  }
+
+  obs::MetricsRegistry& reg = obs::Default();
+  const uint64_t submitted0 = reg.GetCounter("trex.executor.submitted")->value();
+  const uint64_t completed0 = reg.GetCounter("trex.executor.completed")->value();
+  const uint64_t failed0 = reg.GetCounter("trex.executor.failed")->value();
+
+  constexpr size_t kJobs = 48;
+  {
+    QueryExecutor executor(trex.get(), 4);
+    EXPECT_EQ(executor.num_threads(), 4u);
+    std::vector<std::future<Result<QueryAnswer>>> futures;
+    for (size_t i = 0; i < kJobs; ++i) {
+      futures.push_back(
+          executor.Submit(kQueries[i % std::size(kQueries)], 10));
+    }
+    for (size_t i = 0; i < kJobs; ++i) {
+      Result<QueryAnswer> answer = futures[i].get();
+      ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+      EXPECT_EQ(Signature(answer.value()),
+                baseline[i % std::size(kQueries)]);
+      // Every answer carries its own trace with the usual spans.
+      ASSERT_NE(answer.value().trace, nullptr);
+      EXPECT_NE(answer.value().trace->ToJson().find("translate"),
+                std::string::npos);
+    }
+  }  // Executor destructor drains and joins.
+
+  EXPECT_EQ(reg.GetCounter("trex.executor.submitted")->value() - submitted0,
+            kJobs);
+  EXPECT_EQ(reg.GetCounter("trex.executor.completed")->value() - completed0,
+            kJobs);
+  EXPECT_EQ(reg.GetCounter("trex.executor.failed")->value() - failed0, 0u);
+  EXPECT_EQ(reg.GetGauge("trex.executor.in_flight")->value(), 0);
+}
+
+TEST_F(ConcurrencyTest, DestructorResolvesQueuedFutures) {
+  {
+    auto rw = BuildIeee(20);
+  }
+  auto opened =
+      TReX::Open(dir_ + "/idx", IeeeOptions(), OpenMode::kReadShared);
+  TREX_CHECK_OK(opened.status());
+  std::unique_ptr<TReX> trex = std::move(opened).value();
+
+  std::vector<std::future<Result<QueryAnswer>>> futures;
+  {
+    QueryExecutor executor(trex.get(), 1);
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(executor.Submit(kQueries[0], 5));
+    }
+    // Destroy with most jobs still queued behind the single worker.
+  }
+  for (auto& f : futures) {
+    Result<QueryAnswer> answer = f.get();  // Must not hang or break.
+    EXPECT_TRUE(answer.ok()) << answer.status().ToString();
+  }
+}
+
+TEST_F(ConcurrencyTest, ReadSharedHandleRejectsMutations) {
+  {
+    auto rw = BuildIeee(20);
+  }
+  auto opened =
+      TReX::Open(dir_ + "/idx", IeeeOptions(), OpenMode::kReadShared);
+  TREX_CHECK_OK(opened.status());
+  std::unique_ptr<TReX> trex = std::move(opened).value();
+  EXPECT_EQ(trex->mode(), OpenMode::kReadShared);
+
+  EXPECT_TRUE(trex->AddDocument("<doc><p>x</p></doc>").status()
+                  .IsNotSupported());
+  MaterializeStats stats;
+  EXPECT_TRUE(
+      trex->MaterializeFor(kQueries[0], true, true, &stats).IsNotSupported());
+  Workload workload;
+  SelfManagerOptions options;
+  SelfManagerReport report;
+  EXPECT_TRUE(trex->SelfManage(workload, options, &report).IsNotSupported());
+  // Queries still work, and a default Open stays read-write.
+  TREX_CHECK_OK(trex->Query(kQueries[0], 5).status());
+  auto rw = TReX::Open(dir_ + "/idx", IeeeOptions());
+  TREX_CHECK_OK(rw.status());
+  EXPECT_EQ(rw.value()->mode(), OpenMode::kReadWrite);
+}
+
+TEST_F(ConcurrencyTest, ReadersObserveOnlyCommittedStates) {
+  const std::string query = "//doc//sec[about(., alpha)]";
+  std::vector<std::string> base_docs = {
+      "<doc><sec><p>alpha beta</p></sec></doc>",
+      "<doc><sec><p>beta gamma</p></sec></doc>",
+  };
+  std::vector<std::string> updates;
+  for (int i = 0; i < 8; ++i) {
+    // Each update adds one more matching element, so every commit moves
+    // the answer to a distinct, recognizable state.
+    updates.push_back("<doc><sec><p>alpha extra" + std::to_string(i) +
+                      "</p></sec></doc>");
+  }
+
+  // Serial replay: the exact sequence of committed states.
+  std::vector<std::string> committed;
+  {
+    auto replay =
+        TReX::BuildFromDocuments(dir_ + "/replay", base_docs, TrexOptions{});
+    TREX_CHECK_OK(replay.status());
+    auto state = [&]() {
+      auto a = replay.value()->QueryWith(RetrievalMethod::kEra, query, 0);
+      TREX_CHECK_OK(a.status());
+      return Signature(a.value());
+    };
+    committed.push_back(state());
+    for (const std::string& doc : updates) {
+      TREX_CHECK_OK(replay.value()->AddDocument(doc).status());
+      committed.push_back(state());
+    }
+    for (size_t i = 1; i < committed.size(); ++i) {
+      ASSERT_NE(committed[i - 1], committed[i]) << "states must be distinct";
+    }
+  }
+
+  // Live run: readers race the updater on a second identical index.
+  auto built =
+      TReX::BuildFromDocuments(dir_ + "/live", base_docs, TrexOptions{});
+  TREX_CHECK_OK(built.status());
+  std::unique_ptr<TReX> trex = std::move(built).value();
+
+  constexpr int kReaders = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> uncommitted_states{0};
+  std::atomic<uint64_t> time_travel{0};
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&]() {
+      size_t last_pos = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        auto answer = trex->QueryWith(RetrievalMethod::kEra, query, 0);
+        if (!answer.ok()) {
+          ++errors;
+          return;
+        }
+        std::string sig = Signature(answer.value());
+        size_t pos = committed.size();
+        for (size_t i = 0; i < committed.size(); ++i) {
+          if (committed[i] == sig) {
+            pos = i;
+            break;
+          }
+        }
+        if (pos == committed.size()) {
+          // Not any committed state: a torn / mid-update view.
+          ++uncommitted_states;
+        } else if (pos < last_pos) {
+          // Snapshots must advance monotonically for one reader.
+          ++time_travel;
+        } else {
+          last_pos = pos;
+        }
+      }
+    });
+  }
+
+  for (const std::string& doc : updates) {
+    TREX_CHECK_OK(trex->AddDocument(doc).status());
+  }
+  // Let the readers observe the final state before stopping.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true, std::memory_order_release);
+  for (std::thread& r : readers) r.join();
+
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(uncommitted_states.load(), 0u);
+  EXPECT_EQ(time_travel.load(), 0u);
+  // And the live index ended at exactly the replay's final state.
+  auto final_answer = trex->QueryWith(RetrievalMethod::kEra, query, 0);
+  TREX_CHECK_OK(final_answer.status());
+  EXPECT_EQ(Signature(final_answer.value()), committed.back());
+}
+
+TEST_F(ConcurrencyTest, ConcurrentMaterializationIsSingleFlight) {
+  auto trex = BuildIeee(40);
+  Index* index = trex->index();
+  auto translated =
+      TranslateNexi(kQueries[1], index->summary(), &index->aliases(),
+                    index->tokenizer());
+  TREX_CHECK_OK(translated.status());
+  const TranslatedClause clause = translated.value().flattened;
+
+  const uint64_t fills0 =
+      obs::Default().GetCounter("retrieval.materializer.fills")->value();
+
+  constexpr int kThreads = 4;
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> lists_written{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      MaterializeStats stats;
+      Status s = MaterializeForClause(index, clause, true, true, &stats);
+      if (!s.ok()) ++errors;
+      lists_written.fetch_add(stats.lists_written);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(errors.load(), 0u);
+  // Exactly one thread performed the fill; the rest saw the registered
+  // lists and skipped. The single-flight lease makes the misses collapse
+  // instead of racing to write the same (term, sid) lists.
+  EXPECT_EQ(
+      obs::Default().GetCounter("retrieval.materializer.fills")->value() -
+          fills0,
+      1u);
+  MaterializeStats again;
+  TREX_CHECK_OK(MaterializeForClause(index, clause, true, true, &again));
+  EXPECT_EQ(again.lists_written, 0u);
+  EXPECT_EQ(lists_written.load(), again.lists_skipped);
+
+  // The materialized lists are complete enough to serve TA and Merge.
+  TREX_CHECK_OK(
+      trex->QueryWith(RetrievalMethod::kTa, kQueries[1], 10).status());
+  TREX_CHECK_OK(
+      trex->QueryWith(RetrievalMethod::kMerge, kQueries[1], 10).status());
+}
+
+}  // namespace
+}  // namespace trex

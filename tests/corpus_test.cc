@@ -9,6 +9,7 @@
 #include "summary/builder.h"
 #include "text/tokenizer.h"
 #include "xml/node.h"
+#include "testutil.h"
 
 namespace trex {
 namespace {
@@ -128,8 +129,7 @@ TEST(WikiGenerator, PlantedTermsAppearAtExpectedRates) {
 }
 
 TEST(CorpusStore, WriteAndReadBack) {
-  std::string dir = ::testing::TempDir() + "/trex_corpus_store";
-  std::filesystem::remove_all(dir);
+  std::string dir = test::UniqueTestDir("trex_corpus");
   IeeeGeneratorOptions options;
   options.num_documents = 4;
   options.size_factor = 0.3;

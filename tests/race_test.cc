@@ -7,7 +7,11 @@
 #include "index/index_builder.h"
 #include "retrieval/era.h"
 #include "retrieval/materializer.h"
+#include "retrieval/merge.h"
 #include "retrieval/race.h"
+#include "retrieval/ta.h"
+#include "storage/fault_env.h"
+#include "testutil.h"
 
 namespace trex {
 namespace {
@@ -15,9 +19,7 @@ namespace {
 class RaceTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/trex_race_" +
-           ::testing::UnitTest::GetInstance()->current_test_info()->name();
-    std::filesystem::remove_all(dir_);
+    dir_ = test::UniqueTestDir("trex_race");
     IndexOptions options;
     options.aliases = IeeeAliasMap();
     IeeeGeneratorOptions gen_options;
@@ -117,6 +119,96 @@ TEST_F(RaceTest, AllAnswersModeMatchesMergeExactly) {
   for (size_t i = 0; i < exact.elements.size(); ++i) {
     EXPECT_EQ(outcome.result.elements[i].element, exact.elements[i].element);
     EXPECT_EQ(outcome.result.elements[i].score, exact.elements[i].score);
+  }
+}
+
+// A contestant whose cancel token is already set must abort before it
+// touches a single page: the token check precedes catalog probes and
+// iterator setup. Asserted on the fault env's real read count, not on
+// implementation trust — this is the op-log form of "the loser performs
+// no further page reads once the winner has finished".
+TEST_F(RaceTest, PreCancelledContestantPerformsNoPageReads) {
+  MaterializeStats stats;
+  TREX_CHECK_OK(
+      MaterializeForClause(index_.get(), clause_, true, true, &stats));
+  TREX_CHECK_OK(index_->Flush());
+
+  FaultInjectingEnv fenv;
+  Env::Swap(&fenv);
+  {
+    auto index = Index::Open(dir_ + "/idx");
+    TREX_CHECK_OK(index.status());
+    const uint64_t reads_after_open = fenv.reads();
+
+    CancelToken cancel;
+    cancel.Cancel();
+    RetrievalResult result;
+    Ta ta(index.value().get());
+    ta.set_cancel_token(&cancel);
+    EXPECT_TRUE(ta.Evaluate(clause_, 5, &result).IsAborted());
+    Merge merge(index.value().get());
+    merge.set_cancel_token(&cancel);
+    EXPECT_TRUE(merge.Evaluate(clause_, &result).IsAborted());
+
+    EXPECT_EQ(fenv.reads(), reads_after_open);
+  }
+  Env::Swap(nullptr);
+}
+
+// A token cancelled mid-run stops the contestant at the next loop head
+// with Status::Aborted (never a wrong answer), and a token cancelled
+// after a clean finish changes nothing.
+TEST_F(RaceTest, CancelAfterFinishDoesNotDisturbResult) {
+  MaterializeStats stats;
+  TREX_CHECK_OK(
+      MaterializeForClause(index_.get(), clause_, true, true, &stats));
+  TREX_CHECK_OK(index_->Flush());
+
+  CancelToken cancel;
+  RetrievalResult result;
+  Ta ta(index_.get());
+  ta.set_cancel_token(&cancel);
+  TREX_CHECK_OK(ta.Evaluate(clause_, 5, &result));
+  ASSERT_EQ(result.elements.size(), 5u);
+  cancel.Cancel();  // Too late: the result above stays valid.
+  EXPECT_EQ(result.elements.size(), 5u);
+  // A fresh evaluation under the now-cancelled token aborts instead.
+  RetrievalResult aborted;
+  EXPECT_TRUE(ta.Evaluate(clause_, 5, &aborted).IsAborted());
+}
+
+// The race over one shared Index handle is repeatable and safe to run
+// from several RaceEvaluator uses in a row; when the loser was cancelled
+// the outcome says so, and the winner's answer is unaffected either way.
+TEST_F(RaceTest, RepeatedRacesReportLoserAbort) {
+  MaterializeStats stats;
+  TREX_CHECK_OK(
+      MaterializeForClause(index_.get(), clause_, true, true, &stats));
+  TREX_CHECK_OK(index_->Flush());
+
+  RaceEvaluator race(index_.get());
+  RaceOutcome first;
+  TREX_CHECK_OK(race.Evaluate(clause_, 5, &first));
+  ASSERT_EQ(first.result.elements.size(), 5u);
+  for (int round = 0; round < 10; ++round) {
+    RaceOutcome outcome;
+    TREX_CHECK_OK(race.Evaluate(clause_, 5, &outcome));
+    EXPECT_GT(outcome.ta_seconds, 0.0);
+    EXPECT_GT(outcome.merge_seconds, 0.0);
+    ASSERT_EQ(outcome.result.elements.size(), 5u);
+    if (outcome.loser_aborted) {
+      // A cancelled loser must not have been declared the winner.
+      EXPECT_TRUE(outcome.winner == RetrievalMethod::kTa ||
+                  outcome.winner == RetrievalMethod::kMerge);
+    }
+    // Same snapshot, same top-5 set regardless of which method won.
+    for (const auto& e : outcome.result.elements) {
+      bool found = false;
+      for (const auto& f : first.result.elements) {
+        if (f.element == e.element) found = true;
+      }
+      EXPECT_TRUE(found);
+    }
   }
 }
 

@@ -11,6 +11,7 @@
 #include "index/index_builder.h"
 #include "retrieval/strict.h"
 #include "trex/trex.h"
+#include "testutil.h"
 
 namespace trex {
 namespace {
@@ -114,8 +115,7 @@ TEST_F(StrictTest, NoMatchesIsEmptyNotError) {
 // element, and its document also appears among the vague answers (the
 // strict semantics only tightens the vague one).
 TEST(StrictProperty, StrictAnswersAreVagueAnswersDocuments) {
-  std::string dir = ::testing::TempDir() + "/trex_strict_prop";
-  std::filesystem::remove_all(dir);
+  std::string dir = test::UniqueTestDir("trex_strict");
   IeeeGeneratorOptions gen_options;
   gen_options.num_documents = 40;
   gen_options.size_factor = 0.5;

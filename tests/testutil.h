@@ -1,0 +1,40 @@
+// Shared helpers for the test suite.
+#ifndef TREX_TESTS_TESTUTIL_H_
+#define TREX_TESTS_TESTUTIL_H_
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace trex {
+namespace test {
+
+// A fresh scratch directory unique to (test case, process): the name
+// folds in the suite name, the test name (with parameterization
+// suffixes) and the pid, so parallel ctest workers and repeated stress
+// runs (`scripts/check.sh --stress`) can never collide on a fixed path.
+// The directory is wiped and recreated; callers remove it in TearDown.
+inline std::string UniqueTestDir(const std::string& prefix) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string name =
+      info != nullptr
+          ? std::string(info->test_suite_name()) + "_" + info->name()
+          : std::string("global");
+  for (char& c : name) {
+    if (c == '/') c = '_';
+  }
+  std::string dir = ::testing::TempDir() + "/" + prefix + "_" + name + "_" +
+                    std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace test
+}  // namespace trex
+
+#endif  // TREX_TESTS_TESTUTIL_H_
