@@ -1,0 +1,412 @@
+// bench_suite: the unified regression-harness driver.
+//
+// One binary runs the whole workload matrix — retrieval method (ERA,
+// TA, Merge, race) × result shaping (vague, strict) × executor thread
+// count — over the cached IEEE bench collection and emits a single
+// schema-versioned JSON document (BENCH_<name>.json) with, per
+// workload: wall time, qps, exact p50/p95/p99 per-query latency (from
+// each query's trace root, so queue wait is excluded), rusage, and the
+// summed per-query resource vectors (pages, bytes, sorted/random
+// accesses, ...). scripts/bench_compare.py diffs two such documents
+// and fails on regression past a threshold; scripts/check.sh
+// --bench-smoke runs this binary on a tiny corpus and validates the
+// output against the schema.
+//
+// Knobs (environment, all optional):
+//   TREX_BENCH_DATA              index/cache directory
+//   TREX_BENCH_IEEE_DOCS         corpus size at first build
+//   TREX_BENCH_SUITE_JOBS        queries per workload        (default 32)
+//   TREX_BENCH_SUITE_MAX_THREADS cap on the thread ladder    (default 8)
+//   TREX_BENCH_RUNS              timing protocol run count   (default 1)
+// Flags:
+//   --out=PATH        output JSON (default BENCH_suite.json)
+//   --snapshots=PATH  also run a MetricsSnapshotter appending per-250ms
+//                     registry deltas to PATH while the suite runs
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/clock.h"
+#include "nexi/translator.h"
+#include "obs/metrics.h"
+#include "obs/resource.h"
+#include "obs/snapshotter.h"
+#include "retrieval/race.h"
+#include "trex/query_executor.h"
+
+namespace trex {
+namespace bench {
+namespace {
+
+constexpr int kSchemaVersion = 1;
+constexpr size_t kTopK = 10;
+
+struct WorkloadResult {
+  std::string name;
+  std::string method;   // "era" | "ta" | "merge" | "race".
+  std::string shaping;  // "vague" | "strict".
+  size_t threads = 0;
+  size_t jobs = 0;
+  BenchRunStats run;              // Wall + rusage, protocol-reduced.
+  double qps = 0.0;
+  uint64_t p50 = 0, p95 = 0, p99 = 0;  // Per-query latency, nanos.
+  obs::ResourceUsage totals;           // Summed over the jobs.
+};
+
+void AccumulateUsage(const obs::ResourceUsage& u, obs::ResourceUsage* into) {
+  into->pages_fetched += u.pages_fetched;
+  into->pages_faulted += u.pages_faulted;
+  into->bytes_read += u.bytes_read;
+  into->bytes_decoded += u.bytes_decoded;
+  into->list_fragments += u.list_fragments;
+  into->postings_scanned += u.postings_scanned;
+  into->sorted_accesses += u.sorted_accesses;
+  into->random_accesses += u.random_accesses;
+  into->elements_scanned += u.elements_scanned;
+  into->heap_operations += u.heap_operations;
+}
+
+void FillPercentiles(std::vector<uint64_t> latencies, WorkloadResult* w) {
+  std::sort(latencies.begin(), latencies.end());
+  w->p50 = static_cast<uint64_t>(obs::ExactQuantile(latencies, 0.50));
+  w->p95 = static_cast<uint64_t>(obs::ExactQuantile(latencies, 0.95));
+  w->p99 = static_cast<uint64_t>(obs::ExactQuantile(latencies, 0.99));
+}
+
+// One executor-driven workload: `jobs` queries cycled over the query
+// set, forced to `method`, on `threads` workers over `handle`.
+WorkloadResult RunExecutorWorkload(TReX* handle, RetrievalMethod method,
+                                   const char* method_name,
+                                   const char* shaping,
+                                   const std::vector<const BenchQuery*>& qs,
+                                   size_t threads, size_t jobs) {
+  WorkloadResult w;
+  w.method = method_name;
+  w.shaping = shaping;
+  w.threads = threads;
+  w.jobs = jobs;
+  w.name = std::string(method_name) + "." + shaping + ".t" +
+           std::to_string(threads);
+  std::vector<uint64_t> latencies;
+  w.run = TimeRunsDetailed(
+      [&]() {
+        latencies.clear();
+        latencies.reserve(jobs);
+        w.totals = obs::ResourceUsage{};
+        QueryExecutor executor(handle, threads);
+        std::vector<std::future<Result<QueryAnswer>>> futures;
+        futures.reserve(jobs);
+        for (size_t i = 0; i < jobs; ++i) {
+          futures.push_back(executor.SubmitWith(
+              method, qs[i % qs.size()]->nexi, kTopK));
+        }
+        for (auto& f : futures) {
+          Result<QueryAnswer> answer = f.get();
+          TREX_CHECK_OK(answer.status());
+          const QueryAnswer& a = answer.value();
+          latencies.push_back(static_cast<uint64_t>(
+              a.trace->root()->duration_nanos));
+          AccumulateUsage(a.resources, &w.totals);
+        }
+      },
+      /*default_runs=*/1);
+  w.qps = static_cast<double>(jobs) / w.run.seconds;
+  FillPercentiles(std::move(latencies), &w);
+  return w;
+}
+
+// The race has no facade path (it is its own evaluator), so this
+// workload drives RaceEvaluator directly: `threads` bench threads each
+// run their share of the jobs inline, with strict shaping applied by
+// hand the way TReX::RunQuery shapes (filter to target sids).
+WorkloadResult RunRaceWorkload(TReX* handle, const char* shaping,
+                               bool restrict_to_targets,
+                               const std::vector<const BenchQuery*>& qs,
+                               size_t threads, size_t jobs) {
+  WorkloadResult w;
+  w.method = "race";
+  w.shaping = shaping;
+  w.threads = threads;
+  w.jobs = jobs;
+  w.name = std::string("race.") + shaping + ".t" + std::to_string(threads);
+
+  // Translate once per distinct query (the race path has no per-query
+  // translation cost worth benchmarking here — the contest is the
+  // point).
+  std::vector<TranslatedQuery> translated;
+  translated.reserve(qs.size());
+  for (const BenchQuery* q : qs) {
+    auto t = TranslateNexi(q->nexi, handle->index()->summary(),
+                           &handle->index()->aliases(),
+                           handle->index()->tokenizer());
+    TREX_CHECK_OK(t.status());
+    translated.push_back(std::move(t).value());
+  }
+
+  std::vector<uint64_t> latencies;
+  w.run = TimeRunsDetailed(
+      [&]() {
+        latencies.assign(jobs, 0);
+        obs::ResourceAccounting accounting;
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (size_t t = 0; t < threads; ++t) {
+          pool.emplace_back([&, t]() {
+            obs::ResourceScope scope(&accounting);
+            RaceEvaluator race(handle->index());
+            for (size_t i = t; i < jobs; i += threads) {
+              const TranslatedQuery& q = translated[i % qs.size()];
+              Stopwatch watch;
+              RaceOutcome outcome;
+              // Strict shaping needs the unrestricted result first (and
+              // TA treats k as a hard stop, so "all" is SIZE_MAX, as in
+              // Evaluator::RunMethod).
+              TREX_CHECK_OK(race.Evaluate(
+                  q.flattened, restrict_to_targets ? SIZE_MAX : kTopK,
+                  &outcome));
+              if (restrict_to_targets) {
+                auto& elems = outcome.result.elements;
+                elems.erase(
+                    std::remove_if(elems.begin(), elems.end(),
+                                   [&](const ScoredElement& e) {
+                                     return !std::binary_search(
+                                         q.target_sids.begin(),
+                                         q.target_sids.end(),
+                                         e.element.sid);
+                                   }),
+                    elems.end());
+                if (elems.size() > kTopK) elems.resize(kTopK);
+              }
+              latencies[i] = static_cast<uint64_t>(watch.ElapsedNanos());
+            }
+          });
+        }
+        for (std::thread& t : pool) t.join();
+        w.totals = accounting.Usage();
+      },
+      /*default_runs=*/1);
+  w.qps = static_cast<double>(jobs) / w.run.seconds;
+  FillPercentiles(std::move(latencies), &w);
+  return w;
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  out->append(buf);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendRusage(std::string* out, const BenchRunStats& run) {
+  out->append("{\"user_s\":");
+  AppendDouble(out, run.user_seconds);
+  out->append(",\"sys_s\":");
+  AppendDouble(out, run.sys_seconds);
+  out->append(",\"max_rss_kb\":");
+  AppendU64(out, run.max_rss_kb);
+  out->push_back('}');
+}
+
+void AppendWorkload(std::string* out, const WorkloadResult& w) {
+  out->append("{\"name\":\"");
+  out->append(w.name);
+  out->append("\",\"method\":\"");
+  out->append(w.method);
+  out->append("\",\"shaping\":\"");
+  out->append(w.shaping);
+  out->append("\",\"threads\":");
+  AppendU64(out, w.threads);
+  out->append(",\"jobs\":");
+  AppendU64(out, w.jobs);
+  out->append(",\"wall_s\":");
+  AppendDouble(out, w.run.seconds);
+  out->append(",\"qps\":");
+  AppendDouble(out, w.qps);
+  out->append(",\"latency_ns\":{\"p50\":");
+  AppendU64(out, w.p50);
+  out->append(",\"p95\":");
+  AppendU64(out, w.p95);
+  out->append(",\"p99\":");
+  AppendU64(out, w.p99);
+  out->append("},\"rusage\":");
+  AppendRusage(out, w.run);
+  out->append(",\"resources\":");
+  w.totals.AppendJson(out);
+  out->push_back('}');
+}
+
+int Run(const std::string& out_path, const std::string& snapshots_path) {
+  const size_t jobs = BenchScaleDocs("TREX_BENCH_SUITE_JOBS", 32);
+  const size_t max_threads =
+      BenchScaleDocs("TREX_BENCH_SUITE_MAX_THREADS", 8);
+  std::vector<size_t> thread_ladder;
+  for (size_t t : {1, 2, 4, 8}) {
+    if (t <= max_threads) thread_ladder.push_back(t);
+  }
+
+  // Optional metrics time series alongside the run.
+  std::unique_ptr<obs::MetricsSnapshotter> snapshotter;
+  if (!snapshots_path.empty()) {
+    obs::MetricsSnapshotter::Options snap_options;
+    snap_options.period_millis = 250;
+    snap_options.jsonl_path = snapshots_path;
+    snapshotter =
+        std::make_unique<obs::MetricsSnapshotter>(std::move(snap_options));
+    if (!snapshotter->Start()) {
+      std::fprintf(stderr, "[bench_suite] cannot open %s\n",
+                   snapshots_path.c_str());
+      return 1;
+    }
+  }
+
+  // Setup: build/open the IEEE index, materialize RPLs + ERPLs for the
+  // query set (TA, Merge and the race require them), then reopen
+  // read-shared for the executor workloads.
+  std::vector<const BenchQuery*> queries;
+  for (const BenchQuery& q : Table1Queries()) {
+    if (std::string(q.collection) == "IEEE") queries.push_back(&q);
+  }
+  {
+    std::unique_ptr<TReX> rw = OpenBenchIndex("IEEE");
+    for (const BenchQuery* q : queries) {
+      MaterializeStats stats;
+      TREX_CHECK_OK(rw->MaterializeFor(q->nexi, /*rpls=*/true,
+                                       /*erpls=*/true, &stats));
+    }
+    TREX_CHECK_OK(rw->index()->Flush());
+  }
+  const uint64_t materializer_fills =
+      obs::Default().Snapshot().counter("retrieval.materializer.fills");
+
+  auto open_shared = [&](bool restrict_to_targets) {
+    TrexOptions options;
+    options.index.aliases = IeeeAliasMap();
+    options.restrict_to_target_sids = restrict_to_targets;
+    auto opened = TReX::Open(BenchDataDir() + "/IEEE", options,
+                             OpenMode::kReadShared);
+    TREX_CHECK_OK(opened.status());
+    return std::move(opened).value();
+  };
+  std::unique_ptr<TReX> vague = open_shared(false);
+  std::unique_ptr<TReX> strict = open_shared(true);
+
+  // Warm both handles' caches so the matrix measures the steady state.
+  for (const BenchQuery* q : queries) {
+    TREX_CHECK_OK(vague->Query(q->nexi, kTopK).status());
+    TREX_CHECK_OK(strict->Query(q->nexi, kTopK).status());
+  }
+
+  struct MethodSpec {
+    RetrievalMethod method;
+    const char* name;
+  };
+  const MethodSpec methods[] = {{RetrievalMethod::kEra, "era"},
+                                {RetrievalMethod::kTa, "ta"},
+                                {RetrievalMethod::kMerge, "merge"}};
+  struct ShapeSpec {
+    TReX* handle;
+    const char* name;
+    bool restrict_to_targets;
+  };
+  const ShapeSpec shapes[] = {{vague.get(), "vague", false},
+                              {strict.get(), "strict", true}};
+
+  Stopwatch suite_watch;
+  std::vector<WorkloadResult> results;
+  for (const MethodSpec& m : methods) {
+    for (const ShapeSpec& s : shapes) {
+      for (size_t threads : thread_ladder) {
+        results.push_back(RunExecutorWorkload(s.handle, m.method, m.name,
+                                              s.name, queries, threads,
+                                              jobs));
+        const WorkloadResult& w = results.back();
+        std::printf("%-18s %8.3fs %8.1f qps  p50 %8.3fms  p99 %8.3fms\n",
+                    w.name.c_str(), w.run.seconds, w.qps,
+                    static_cast<double>(w.p50) * 1e-6,
+                    static_cast<double>(w.p99) * 1e-6);
+      }
+    }
+  }
+  for (const ShapeSpec& s : shapes) {
+    for (size_t threads : thread_ladder) {
+      // The race spawns two contestant threads per query; keep the
+      // outer fan-out to the ladder's lower rungs.
+      if (threads > 2) continue;
+      results.push_back(RunRaceWorkload(vague.get(), s.name,
+                                        s.restrict_to_targets, queries,
+                                        threads, jobs));
+      const WorkloadResult& w = results.back();
+      std::printf("%-18s %8.3fs %8.1f qps  p50 %8.3fms  p99 %8.3fms\n",
+                  w.name.c_str(), w.run.seconds, w.qps,
+                  static_cast<double>(w.p50) * 1e-6,
+                  static_cast<double>(w.p99) * 1e-6);
+    }
+  }
+  const double suite_seconds = suite_watch.ElapsedSeconds();
+
+  if (snapshotter != nullptr) snapshotter->Stop();
+
+  std::string json = "{\"schema_version\":";
+  AppendU64(&json, kSchemaVersion);
+  json.append(",\"bench\":\"suite\",\"git_sha\":\"");
+  json.append(BenchGitSha());
+  json.append("\",\"collection\":\"IEEE\",\"k\":");
+  AppendU64(&json, kTopK);
+  json.append(",\"runs\":");
+  AppendU64(&json, static_cast<uint64_t>(BenchRunCount(1)));
+  json.append(",\"jobs_per_workload\":");
+  AppendU64(&json, jobs);
+  json.append(",\"suite_wall_s\":");
+  AppendDouble(&json, suite_seconds);
+  json.append(",\"materializer_fills\":");
+  AppendU64(&json, materializer_fills);
+  json.append(",\"workloads\":[");
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) json.push_back(',');
+    AppendWorkload(&json, results[i]);
+  }
+  json.append("]}\n");
+
+  Status s = Env::WriteStringToFile(out_path, json);
+  if (!s.ok()) {
+    std::fprintf(stderr, "[bench_suite] cannot write %s: %s\n",
+                 out_path.c_str(), s.ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%zu workloads in %.1fs -> %s\n", results.size(),
+              suite_seconds, out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trex
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_suite.json";
+  std::string snapshots_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+    } else if (std::strncmp(arg, "--snapshots=", 12) == 0) {
+      snapshots_path = arg + 12;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_suite [--out=PATH] [--snapshots=PATH]\n");
+      return 2;
+    }
+  }
+  int rc = trex::bench::Run(out_path, snapshots_path);
+  trex::bench::WriteBenchMetrics("bench_suite");
+  return rc;
+}

@@ -18,6 +18,11 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "common/clock.h"
 #include "corpus/ieee_generator.h"
 #include "corpus/wiki_generator.h"
 #include "obs/metrics.h"
@@ -106,22 +111,103 @@ inline std::unique_ptr<TReX> OpenBenchIndex(const std::string& collection) {
   return trex;
 }
 
+// Applies the paper's protocol to a vector of per-run measurements:
+// drop best and worst and average the rest at >= 5 runs, median below.
+inline double ReduceRuns(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const size_t runs = values.size();
+  if (runs >= 5) {
+    double sum = 0;
+    for (size_t i = 1; i < runs - 1; ++i) sum += values[i];
+    return sum / static_cast<double>(runs - 2);
+  }
+  return values[runs / 2];
+}
+
+inline int BenchRunCount(int default_runs) {
+  const char* env = std::getenv("TREX_BENCH_RUNS");
+  int runs = env != nullptr ? std::atoi(env) : default_runs;
+  return runs < 1 ? 1 : runs;
+}
+
 // Paper timing protocol. Returns seconds.
 inline double TimeRuns(const std::function<double()>& run_once) {
-  const char* env = std::getenv("TREX_BENCH_RUNS");
-  int runs = env != nullptr ? std::atoi(env) : 3;
-  if (runs < 1) runs = 1;
+  const int runs = BenchRunCount(3);
   std::vector<double> times;
   times.reserve(runs);
   for (int i = 0; i < runs; ++i) times.push_back(run_once());
-  std::sort(times.begin(), times.end());
-  if (runs >= 5) {
-    // Drop best and worst, average the rest (the paper's protocol).
-    double sum = 0;
-    for (int i = 1; i < runs - 1; ++i) sum += times[i];
-    return sum / (runs - 2);
+  return ReduceRuns(std::move(times));
+}
+
+// One timed measurement with the clocks the old TimeRuns lacked: the
+// harness' own steady-clock wall time (run_once no longer self-reports,
+// so every bench measures with the same monotonic clock) plus the
+// process' rusage deltas — user/system CPU seconds and peak RSS.
+struct BenchRunStats {
+  double seconds = 0.0;       // Steady-clock wall, protocol-reduced.
+  double user_seconds = 0.0;  // rusage user CPU, protocol-reduced.
+  double sys_seconds = 0.0;   // rusage system CPU, protocol-reduced.
+  uint64_t max_rss_kb = 0;    // Peak RSS after the runs (monotone).
+};
+
+inline BenchRunStats TimeRunsDetailed(const std::function<void()>& run_once,
+                                      int default_runs = 3) {
+  const int runs = BenchRunCount(default_runs);
+  std::vector<double> wall, user, sys;
+  wall.reserve(runs);
+  user.reserve(runs);
+  sys.reserve(runs);
+  BenchRunStats stats;
+  for (int i = 0; i < runs; ++i) {
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage before {};
+    getrusage(RUSAGE_SELF, &before);
+#endif
+    Stopwatch watch;
+    run_once();
+    wall.push_back(watch.ElapsedSeconds());
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage after {};
+    getrusage(RUSAGE_SELF, &after);
+    auto tv_seconds = [](const timeval& a, const timeval& b) {
+      return static_cast<double>(b.tv_sec - a.tv_sec) +
+             static_cast<double>(b.tv_usec - a.tv_usec) * 1e-6;
+    };
+    user.push_back(tv_seconds(before.ru_utime, after.ru_utime));
+    sys.push_back(tv_seconds(before.ru_stime, after.ru_stime));
+    stats.max_rss_kb = static_cast<uint64_t>(after.ru_maxrss);
+#else
+    user.push_back(0.0);
+    sys.push_back(0.0);
+#endif
   }
-  return times[times.size() / 2];  // Median.
+  stats.seconds = ReduceRuns(std::move(wall));
+  stats.user_seconds = ReduceRuns(std::move(user));
+  stats.sys_seconds = ReduceRuns(std::move(sys));
+  return stats;
+}
+
+// Best-effort current commit id for stamping bench artifacts:
+// TREX_GIT_SHA wins (CI sets it), else .git/HEAD is followed one level.
+inline std::string BenchGitSha() {
+  const char* env = std::getenv("TREX_GIT_SHA");
+  if (env != nullptr && env[0] != '\0') return env;
+  auto trim = [](std::string s) {
+    while (!s.empty() && (s.back() == '\n' || s.back() == '\r' ||
+                          s.back() == ' ')) {
+      s.pop_back();
+    }
+    return s;
+  };
+  auto head = Env::ReadFileToString(".git/HEAD");
+  if (!head.ok()) return "unknown";
+  std::string contents = trim(std::move(head).value());
+  if (contents.rfind("ref: ", 0) == 0) {
+    auto ref = Env::ReadFileToString(".git/" + contents.substr(5));
+    if (!ref.ok()) return "unknown";
+    return trim(std::move(ref).value());
+  }
+  return contents.empty() ? "unknown" : contents;
 }
 
 // Dumps the cumulative metrics registry to <bench>_metrics.json in the

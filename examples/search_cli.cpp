@@ -9,9 +9,18 @@
 //
 //   # Append --explain to print the per-query trace (EXPLAIN) as JSON;
 //   # --threads N answers through an N-worker QueryExecutor over a
-//   # shared read-only handle:
+//   # shared read-only handle (with --explain this also prints the
+//   # per-worker trex.executor.* metrics and an aggregate footer):
 //   ./examples/search_cli --demo workdir "//article[about(., xml)]" 10 \
 //       --explain --threads 4
+//
+//   # Performance plumbing:
+//   #   --trace-out=x.json   write the query trace(s) in Chrome
+//   #                        trace_event format (chrome://tracing)
+//   #   --budget-pages=N     fail the query with ResourceExhausted
+//   #                        after N buffer-pool page accesses
+//   #   --slow-log=PATH      append queries over the --slow-ms
+//   #                        threshold (default 50) to PATH as JSONL
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -23,6 +32,8 @@
 #include "corpus/corpus.h"
 #include "corpus/ieee_generator.h"
 #include "index/index_builder.h"
+#include "obs/chrome_trace.h"
+#include "obs/slow_query_log.h"
 #include "trex/query_executor.h"
 #include "trex/trex.h"
 
@@ -46,6 +57,10 @@ std::string Snippet(const std::string& doc, const trex::ElementInfo& e) {
 int main(int argc, char** argv) {
   bool explain = false;
   size_t threads = 1;
+  std::string trace_out;
+  std::string slow_log_path;
+  double slow_ms = 50.0;
+  uint64_t budget_pages = 0;
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--explain") == 0) {
@@ -53,6 +68,14 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<size_t>(std::atoll(argv[++i]));
       if (threads == 0) threads = 1;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--slow-log=", 11) == 0) {
+      slow_log_path = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--slow-ms=", 10) == 0) {
+      slow_ms = std::atof(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--budget-pages=", 15) == 0) {
+      budget_pages = static_cast<uint64_t>(std::atoll(argv[i] + 15));
     } else {
       args.push_back(argv[i]);
     }
@@ -60,7 +83,8 @@ int main(int argc, char** argv) {
   if (args.size() < 3) {
     std::fprintf(stderr,
                  "usage: %s (--demo | <xml-dir>) <workdir> <nexi-query> "
-                 "[k] [--explain] [--threads N]\n",
+                 "[k] [--explain] [--threads N] [--trace-out=PATH] "
+                 "[--budget-pages=N] [--slow-log=PATH] [--slow-ms=MS]\n",
                  argv[0]);
     return 2;
   }
@@ -133,7 +157,25 @@ int main(int argc, char** argv) {
     trex = std::move(opened).value();
   }
 
+  trex::QueryOptions query_options;
+  query_options.budget.max_pages = budget_pages;
+
+  std::unique_ptr<trex::obs::SlowQueryLog> slow_log;
+  if (!slow_log_path.empty()) {
+    trex::obs::SlowQueryLog::Options log_options;
+    log_options.jsonl_path = slow_log_path;
+    log_options.threshold_nanos = static_cast<int64_t>(slow_ms * 1e6);
+    slow_log =
+        std::make_unique<trex::obs::SlowQueryLog>(std::move(log_options));
+    if (slow_log->sink_failed()) {
+      std::fprintf(stderr, "cannot open slow log %s\n",
+                   slow_log_path.c_str());
+      return 1;
+    }
+  }
+
   trex::Result<trex::QueryAnswer> answer = trex::Status::Aborted("unset");
+  std::vector<trex::QueryAnswer> all_answers;  // One per worker thread.
   if (threads > 1) {
     // Serve through an N-worker pool over a shared read-only handle —
     // the same query runs once per worker and all copies must agree.
@@ -143,11 +185,13 @@ int main(int argc, char** argv) {
     TREX_CHECK_OK(shared.status());
     trex = std::move(shared).value();
     trex::QueryExecutor executor(trex.get(), threads);
+    executor.set_slow_query_log(slow_log.get());
     std::vector<std::future<trex::Result<trex::QueryAnswer>>> futures;
     for (size_t i = 0; i < threads; ++i) {
-      futures.push_back(executor.Submit(query, k));
+      futures.push_back(executor.Submit(query, k, query_options));
     }
     answer = futures[0].get();
+    if (answer.ok()) all_answers.push_back(answer.value());
     for (size_t i = 1; i < threads; ++i) {
       auto copy = futures[i].get();
       if (answer.ok() && copy.ok() &&
@@ -156,15 +200,39 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "thread %zu disagreed with thread 0\n", i);
         return 1;
       }
+      if (copy.ok()) all_answers.push_back(std::move(copy).value());
     }
     std::printf("[%zu worker threads, QueryExecutor, read-shared handle]\n",
                 threads);
   } else {
-    answer = trex->Query(query, k);
+    answer = trex->Query(query, k, query_options);
+    if (answer.ok()) {
+      all_answers.push_back(answer.value());
+      if (slow_log != nullptr) {
+        const trex::QueryAnswer& a = answer.value();
+        trex::obs::SlowQueryRecord record;
+        record.query = query;
+        record.method = trex::RetrievalMethodName(a.method);
+        record.duration_nanos = a.trace->root()->duration_nanos;
+        record.resources = a.resources;
+        record.trace_json = a.trace->ToJson();
+        slow_log->Observe(std::move(record));
+      }
+    }
   }
   if (!answer.ok()) {
-    std::fprintf(stderr, "query error: %s\n",
-                 answer.status().ToString().c_str());
+    if (answer.status().IsResourceExhausted()) {
+      std::fprintf(stderr,
+                   "query aborted by resource budget: %s\n"
+                   "(retrieval.budget.exceeded = %llu)\n",
+                   answer.status().ToString().c_str(),
+                   static_cast<unsigned long long>(
+                       trex::obs::Default().Snapshot().counter(
+                           "retrieval.budget.exceeded")));
+    } else {
+      std::fprintf(stderr, "query error: %s\n",
+                   answer.status().ToString().c_str());
+    }
     return 1;
   }
   std::printf("query: %s\nstrategy: %s; %zu sids, %zu terms; %.4f s\n\n",
@@ -187,6 +255,75 @@ int main(int argc, char** argv) {
   }
   if (explain && answer.value().trace != nullptr) {
     std::printf("\nexplain: %s\n", answer.value().trace->ToJson().c_str());
+  }
+  if (explain) {
+    // Per-worker executor metrics (cumulative registry values; with one
+    // executor run per process they read as this run's numbers), then
+    // an aggregate footer over every answer produced.
+    trex::obs::MetricsSnapshot snap = trex::obs::Default().Snapshot();
+    if (threads > 1) {
+      std::printf("\nexecutor: submitted=%llu completed=%llu failed=%llu\n",
+                  static_cast<unsigned long long>(
+                      snap.counter("trex.executor.submitted")),
+                  static_cast<unsigned long long>(
+                      snap.counter("trex.executor.completed")),
+                  static_cast<unsigned long long>(
+                      snap.counter("trex.executor.failed")));
+      for (size_t i = 0; i < threads; ++i) {
+        std::string prefix =
+            "trex.executor.worker." + std::to_string(i);
+        std::printf(
+            "  worker %zu: completed=%llu failed=%llu busy=%.3fms\n", i,
+            static_cast<unsigned long long>(
+                snap.counter(prefix + ".completed")),
+            static_cast<unsigned long long>(
+                snap.counter(prefix + ".failed")),
+            static_cast<double>(snap.counter(prefix + ".busy_nanos")) *
+                1e-6);
+      }
+    }
+    trex::obs::ResourceUsage total;
+    int64_t total_nanos = 0;
+    for (const trex::QueryAnswer& a : all_answers) {
+      const trex::obs::ResourceUsage& u = a.resources;
+      total.pages_fetched += u.pages_fetched;
+      total.pages_faulted += u.pages_faulted;
+      total.bytes_read += u.bytes_read;
+      total.bytes_decoded += u.bytes_decoded;
+      total.list_fragments += u.list_fragments;
+      total.postings_scanned += u.postings_scanned;
+      total.sorted_accesses += u.sorted_accesses;
+      total.random_accesses += u.random_accesses;
+      total.elements_scanned += u.elements_scanned;
+      total.heap_operations += u.heap_operations;
+      if (a.trace != nullptr) total_nanos += a.trace->root()->duration_nanos;
+    }
+    std::printf("aggregate over %zu answer(s): %.3fms evaluated, "
+                "resources %s\n",
+                all_answers.size(), static_cast<double>(total_nanos) * 1e-6,
+                total.ToJson().c_str());
+  }
+  if (!trace_out.empty()) {
+    // One lane per worker answer: lay the traces side by side on a
+    // shared timeline (each trace's spans are relative to its own
+    // start, so without real start offsets the lanes simply align).
+    trex::obs::ChromeTraceWriter writer;
+    for (size_t i = 0; i < all_answers.size(); ++i) {
+      if (all_answers[i].trace != nullptr) {
+        writer.AddTrace(*all_answers[i].trace, /*pid=*/1,
+                        /*tid=*/static_cast<uint64_t>(i + 1));
+      }
+    }
+    TREX_CHECK_OK(trex::Env::WriteStringToFile(trace_out, writer.Json()));
+    std::printf("\ntrace (%zu events) written to %s — load in "
+                "chrome://tracing or https://ui.perfetto.dev\n",
+                writer.event_count(), trace_out.c_str());
+  }
+  if (slow_log != nullptr) {
+    std::printf("slow-log: %llu of %llu queries over %.1fms -> %s\n",
+                static_cast<unsigned long long>(slow_log->recorded()),
+                static_cast<unsigned long long>(slow_log->observed()),
+                slow_ms, slow_log_path.c_str());
   }
   return 0;
 }

@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""Compare two bench_suite JSON documents and fail on regression.
+
+Usage:
+  bench_compare.py --validate FILE
+      Schema-check one BENCH_*.json document (exit 0 iff valid).
+
+  bench_compare.py BASELINE CURRENT [--max-regress PCT]
+                   [--inject-slowdown PCT]
+      Compare CURRENT against BASELINE workload-by-workload (matched by
+      name). A workload regresses when its p50 latency grew by more
+      than PCT percent AND its qps dropped by more than PCT percent
+      (both, so one noisy dimension cannot fail the gate alone; default
+      PCT = 25). Exits 1 listing every regression, 0 otherwise.
+
+      --inject-slowdown PCT scales CURRENT's latencies up and qps down
+      by PCT percent before comparing — the self-test hook check.sh
+      uses to prove the gate actually fails on a slow build.
+
+Timing fields are compared only between documents produced on the same
+machine (the harness makes no cross-host promises); schema validation
+is machine-independent.
+
+Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+# Required (key, type) pairs. bool is excluded from the int check
+# explicitly (bool is a subclass of int in Python).
+TOP_LEVEL = [
+    ("schema_version", int),
+    ("bench", str),
+    ("git_sha", str),
+    ("collection", str),
+    ("k", int),
+    ("runs", int),
+    ("jobs_per_workload", int),
+    ("suite_wall_s", float),
+    ("materializer_fills", int),
+    ("workloads", list),
+]
+
+WORKLOAD = [
+    ("name", str),
+    ("method", str),
+    ("shaping", str),
+    ("threads", int),
+    ("jobs", int),
+    ("wall_s", float),
+    ("qps", float),
+    ("latency_ns", dict),
+    ("rusage", dict),
+    ("resources", dict),
+]
+
+LATENCY_KEYS = ["p50", "p95", "p99"]
+RUSAGE_KEYS = ["user_s", "sys_s", "max_rss_kb"]
+RESOURCE_KEYS = [
+    "pages_fetched",
+    "pages_faulted",
+    "bytes_read",
+    "bytes_decoded",
+    "list_fragments",
+    "postings_scanned",
+    "sorted_accesses",
+    "random_accesses",
+    "elements_scanned",
+    "heap_operations",
+]
+
+METHODS = {"era", "ta", "merge", "race"}
+SHAPINGS = {"vague", "strict"}
+
+
+def _check_fields(obj, fields, where, errors):
+    for key, typ in fields:
+        if key not in obj:
+            errors.append(f"{where}: missing key '{key}'")
+            continue
+        value = obj[key]
+        if typ is float:
+            ok = isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            )
+        elif typ is int:
+            ok = isinstance(value, int) and not isinstance(value, bool)
+        else:
+            ok = isinstance(value, typ)
+        if not ok:
+            errors.append(
+                f"{where}: '{key}' should be {typ.__name__}, "
+                f"got {type(value).__name__}"
+            )
+
+
+def validate(doc):
+    """Returns a list of schema errors (empty iff valid)."""
+    errors = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    _check_fields(doc, TOP_LEVEL, "top-level", errors)
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        errors.append(
+            f"schema_version {doc.get('schema_version')!r} != "
+            f"{SCHEMA_VERSION}"
+        )
+    workloads = doc.get("workloads")
+    if not isinstance(workloads, list):
+        return errors
+    if not workloads:
+        errors.append("workloads: empty")
+    seen = set()
+    for i, w in enumerate(workloads):
+        where = f"workloads[{i}]"
+        if not isinstance(w, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        _check_fields(w, WORKLOAD, where, errors)
+        name = w.get("name")
+        if name in seen:
+            errors.append(f"{where}: duplicate name '{name}'")
+        seen.add(name)
+        if w.get("method") not in METHODS:
+            errors.append(f"{where}: unknown method {w.get('method')!r}")
+        if w.get("shaping") not in SHAPINGS:
+            errors.append(f"{where}: unknown shaping {w.get('shaping')!r}")
+        for sub, keys in (
+            ("latency_ns", LATENCY_KEYS),
+            ("rusage", RUSAGE_KEYS),
+            ("resources", RESOURCE_KEYS),
+        ):
+            obj = w.get(sub)
+            if not isinstance(obj, dict):
+                continue
+            for key in keys:
+                value = obj.get(key)
+                if not isinstance(value, (int, float)) or isinstance(
+                    value, bool
+                ):
+                    errors.append(f"{where}.{sub}: missing/bad '{key}'")
+        lat = w.get("latency_ns")
+        if isinstance(lat, dict) and all(
+            isinstance(lat.get(k), (int, float)) for k in LATENCY_KEYS
+        ):
+            if not lat["p50"] <= lat["p95"] <= lat["p99"]:
+                errors.append(f"{where}: percentiles not monotone: {lat}")
+    return errors
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"bench_compare: cannot load {path}: {exc}")
+
+
+def compare(baseline, current, max_regress_pct):
+    """Returns (regressions, notes) as lists of strings."""
+    base_by_name = {w["name"]: w for w in baseline["workloads"]}
+    regressions = []
+    notes = []
+    factor = 1.0 + max_regress_pct / 100.0
+    for w in current["workloads"]:
+        base = base_by_name.pop(w["name"], None)
+        if base is None:
+            notes.append(f"new workload (not in baseline): {w['name']}")
+            continue
+        p50_now = w["latency_ns"]["p50"]
+        p50_base = base["latency_ns"]["p50"]
+        qps_now = w["qps"]
+        qps_base = base["qps"]
+        lat_regressed = p50_base > 0 and p50_now > p50_base * factor
+        qps_regressed = qps_base > 0 and qps_now * factor < qps_base
+        if lat_regressed and qps_regressed:
+            regressions.append(
+                f"{w['name']}: p50 {p50_base} -> {p50_now} ns "
+                f"({100.0 * (p50_now / p50_base - 1):+.1f}%), "
+                f"qps {qps_base:.1f} -> {qps_now:.1f} "
+                f"({100.0 * (qps_now / qps_base - 1):+.1f}%) "
+                f"[gate: {max_regress_pct:.0f}%]"
+            )
+    for name in base_by_name:
+        notes.append(f"workload dropped from current run: {name}")
+    return regressions, notes
+
+
+def inject_slowdown(doc, pct):
+    factor = 1.0 + pct / 100.0
+    for w in doc["workloads"]:
+        for key in LATENCY_KEYS:
+            w["latency_ns"][key] = int(w["latency_ns"][key] * factor)
+        w["qps"] = w["qps"] / factor
+        w["wall_s"] = w["wall_s"] * factor
+    return doc
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="bench_compare.py", description=__doc__
+    )
+    parser.add_argument("--validate", metavar="FILE")
+    parser.add_argument("files", nargs="*", metavar="BASELINE CURRENT")
+    parser.add_argument("--max-regress", type=float, default=25.0)
+    parser.add_argument("--inject-slowdown", type=float, default=0.0)
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        doc = load(args.validate)
+        errors = validate(doc)
+        if errors:
+            for e in errors:
+                print(f"SCHEMA ERROR: {e}", file=sys.stderr)
+            return 1
+        print(
+            f"{args.validate}: valid "
+            f"(schema v{doc['schema_version']}, "
+            f"{len(doc['workloads'])} workloads)"
+        )
+        return 0
+
+    if len(args.files) != 2:
+        parser.error("expected BASELINE and CURRENT (or --validate FILE)")
+    baseline = load(args.files[0])
+    current = load(args.files[1])
+    for path, doc in ((args.files[0], baseline), (args.files[1], current)):
+        errors = validate(doc)
+        if errors:
+            for e in errors:
+                print(f"SCHEMA ERROR in {path}: {e}", file=sys.stderr)
+            return 1
+
+    if args.inject_slowdown:
+        current = inject_slowdown(current, args.inject_slowdown)
+
+    regressions, notes = compare(baseline, current, args.max_regress)
+    for note in notes:
+        print(f"note: {note}")
+    if regressions:
+        print(
+            f"REGRESSION: {len(regressions)} workload(s) past the "
+            f"{args.max_regress:.0f}% gate",
+            file=sys.stderr,
+        )
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print(
+        f"ok: {len(current['workloads'])} workloads within "
+        f"{args.max_regress:.0f}% of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -6,6 +6,11 @@
 #
 #   scripts/check.sh              # build-check/ + build-check-tsan/
 #   scripts/check.sh --stress     # + fault & concurrency labels 20x
+#   scripts/check.sh --bench-smoke # + bench_suite on a tiny corpus:
+#                                  #   schema validation, comparator
+#                                  #   self-test (must fail on an
+#                                  #   injected 50% slowdown), and a
+#                                  #   1-thread pass under TSan
 #   BUILD_DIR=/tmp/chk TSAN_BUILD_DIR=/tmp/chk-tsan scripts/check.sh
 set -euo pipefail
 
@@ -13,9 +18,11 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build-check}"
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-check-tsan}"
 STRESS=0
+BENCH_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --stress) STRESS=1 ;;
+    --bench-smoke) BENCH_SMOKE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -51,4 +58,56 @@ if [ "$STRESS" -eq 1 ]; then
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "$TSAN_BUILD_DIR" -L concurrency \
           --repeat until-fail:20 --output-on-failure -j "$(nproc)"
+fi
+
+# Bench smoke: run the regression-harness driver end-to-end on a tiny
+# corpus, validate its JSON against the schema, and self-test the
+# comparator gate. Timing is only compared current-vs-current (always
+# within gate) and current-vs-injected-slowdown (must trip the gate),
+# so the smoke run never fails on a slow machine — only on a broken
+# harness. The committed baseline is schema-validated too. Finally the
+# same driver runs single-threaded under TSan so the accounting spine
+# (thread-local scopes adopted across race/executor threads) is
+# race-checked on real workloads.
+if [ "$BENCH_SMOKE" -eq 1 ]; then
+  SMOKE_DIR="$(mktemp -d "${TMPDIR:-/tmp}/trex_bench_smoke.XXXXXX")"
+  trap 'rm -rf "$SMOKE_DIR"' EXIT
+  smoke_env() {
+    env TREX_BENCH_DATA="$SMOKE_DIR/data" \
+        TREX_BENCH_IEEE_DOCS=150 \
+        TREX_BENCH_SUITE_JOBS=6 \
+        TREX_BENCH_SUITE_MAX_THREADS=2 \
+        TREX_BENCH_RUNS=1 \
+        "$@"
+  }
+  smoke_env "$BUILD_DIR/bench/bench_suite" \
+    --out="$SMOKE_DIR/BENCH_smoke.json" \
+    --snapshots="$SMOKE_DIR/snapshots.jsonl"
+  python3 scripts/bench_compare.py --validate "$SMOKE_DIR/BENCH_smoke.json"
+  python3 scripts/bench_compare.py --validate bench/BENCH_baseline.json
+  python3 scripts/bench_compare.py \
+    "$SMOKE_DIR/BENCH_smoke.json" "$SMOKE_DIR/BENCH_smoke.json" \
+    --max-regress 20
+  if python3 scripts/bench_compare.py \
+       "$SMOKE_DIR/BENCH_smoke.json" "$SMOKE_DIR/BENCH_smoke.json" \
+       --max-regress 20 --inject-slowdown 50; then
+    echo "bench-smoke: comparator failed to flag an injected 50% slowdown" >&2
+    exit 1
+  fi
+  # The snapshotter must have produced at least one valid JSONL tick.
+  python3 - "$SMOKE_DIR/snapshots.jsonl" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "snapshotter wrote no ticks"
+for l in lines:
+    tick = json.loads(l)
+    assert {"tick", "elapsed_ns", "counters", "gauges"} <= tick.keys()
+print(f"snapshotter: {len(lines)} tick(s) ok")
+EOF
+  rm -rf "$SMOKE_DIR/data"
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" smoke_env \
+    env TREX_BENCH_SUITE_MAX_THREADS=1 \
+    "$TSAN_BUILD_DIR/bench/bench_suite" --out="$SMOKE_DIR/BENCH_tsan.json"
+  python3 scripts/bench_compare.py --validate "$SMOKE_DIR/BENCH_tsan.json"
+  echo "bench-smoke: ok"
 fi

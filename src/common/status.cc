@@ -26,6 +26,8 @@ const char* CodeName(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kAborted:
       return "Aborted";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -24,6 +24,7 @@ enum class StatusCode {
   kAlreadyExists,
   kOutOfRange,
   kAborted,
+  kResourceExhausted,
 };
 
 // Value-semantic error descriptor. Cheap to copy in the OK case.
@@ -59,6 +60,12 @@ class Status {
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
   }
+  // A per-query resource budget (pages, bytes) was exceeded. Like
+  // Aborted, not an I/O error: the data is fine, the caller asked to be
+  // stopped once the query cost more than it was willing to pay.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -70,6 +77,9 @@ class Status {
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }

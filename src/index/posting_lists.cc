@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/coding.h"
+#include "obs/resource.h"
 
 namespace trex {
 
@@ -85,6 +86,9 @@ Status PostingLists::DecodeFragment(Slice key, Slice value,
 
 Status PostingLists::GetTermStats(const std::string& term, TermStats* stats) {
   m_stat_lookups_->Add();
+  if (auto* acct = obs::ResourceAccounting::Current()) {
+    acct->ChargeRandomAccess();
+  }
   std::string key;
   TREX_RETURN_IF_ERROR(AppendTokenComponent(&key, term));
   std::string value;
@@ -234,6 +238,9 @@ Status PostingLists::PositionIterator::LoadFragment() {
   TREX_RETURN_IF_ERROR(AppendTokenComponent(&prefix, term_));
   if (!initialized_) {
     initialized_ = true;
+    if (auto* acct = obs::ResourceAccounting::Current()) {
+      acct->ChargeRandomAccess();
+    }
     TREX_RETURN_IF_ERROR(it_.Seek(prefix));
   }
   if (!it_.Valid() || !it_.key().StartsWith(prefix)) {
@@ -242,6 +249,9 @@ Status PostingLists::PositionIterator::LoadFragment() {
   }
   TREX_RETURN_IF_ERROR(DecodeFragment(it_.key(), it_.value(), &fragment_));
   lists_->m_fragments_read_->Add();
+  if (auto* acct = obs::ResourceAccounting::Current()) {
+    acct->ChargeDecodedBlock(it_.value().size());
+  }
   next_in_fragment_ = 0;
   TREX_RETURN_IF_ERROR(it_.Next());
   return Status::OK();
@@ -258,6 +268,9 @@ Result<Position> PostingLists::PositionIterator::NextPosition() {
   }
   Position p = fragment_[next_in_fragment_++];
   lists_->m_positions_read_->Add();
+  if (auto* acct = obs::ResourceAccounting::Current()) {
+    acct->ChargePostings(1);
+  }
   if (p == kMaxPosition) at_end_ = true;
   return p;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/coding.h"
+#include "obs/resource.h"
 
 namespace trex {
 
@@ -131,11 +132,18 @@ Status RplStore::Iterator::LoadBlock() {
   }
   TREX_RETURN_IF_ERROR(DecodeScoredBlock(it_.value(), &block_));
   store_->m_blocks_read_->Add();
+  if (auto* acct = obs::ResourceAccounting::Current()) {
+    acct->ChargeDecodedBlock(it_.value().size());
+  }
   next_in_block_ = 0;
   return it_.Next();
 }
 
 Status RplStore::Iterator::Init() {
+  // A fresh list seek is the query's "random access" into this RPL.
+  if (auto* acct = obs::ResourceAccounting::Current()) {
+    acct->ChargeRandomAccess();
+  }
   TREX_RETURN_IF_ERROR(it_.Seek(prefix_));
   TREX_RETURN_IF_ERROR(LoadBlock());
   return Next();
@@ -153,6 +161,9 @@ Status RplStore::Iterator::Next() {
   valid_ = true;
   ++entries_read_;
   store_->m_entries_read_->Add();
+  if (auto* acct = obs::ResourceAccounting::Current()) {
+    acct->ChargeSortedAccesses(1);
+  }
   return Status::OK();
 }
 

@@ -1,0 +1,91 @@
+#include "obs/chrome_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace trex {
+namespace obs {
+
+namespace {
+
+// Microseconds with three decimals: trace_event's ts/dur unit is µs,
+// and the fraction keeps the tree's nanosecond resolution.
+void AppendMicros(int64_t nanos, std::string* out) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(nanos) / 1000.0);
+  out->append(buf);
+}
+
+void AppendEvent(const TraceNode& node, uint64_t pid, uint64_t tid,
+                 int64_t ts_offset_nanos, std::string* out,
+                 size_t* event_count) {
+  if (*event_count > 0) out->push_back(',');
+  ++*event_count;
+  out->append("{\"name\":\"");
+  JsonEscape(node.name, out);
+  out->append("\",\"ph\":\"X\",\"ts\":");
+  AppendMicros(ts_offset_nanos + node.start_nanos, out);
+  out->append(",\"dur\":");
+  AppendMicros(node.duration_nanos, out);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf),
+                ",\"pid\":%" PRIu64 ",\"tid\":%" PRIu64, pid, tid);
+  out->append(buf);
+  if (!node.attrs.empty()) {
+    out->append(",\"args\":{");
+    for (size_t i = 0; i < node.attrs.size(); ++i) {
+      const TraceAttr& a = node.attrs[i];
+      if (i > 0) out->push_back(',');
+      out->push_back('"');
+      JsonEscape(a.key, out);
+      out->append("\":");
+      switch (a.kind) {
+        case TraceAttr::Kind::kUint:
+          std::snprintf(buf, sizeof(buf), "%" PRIu64, a.u);
+          out->append(buf);
+          break;
+        case TraceAttr::Kind::kDouble:
+          std::snprintf(buf, sizeof(buf), "%.9g", a.d);
+          out->append(buf);
+          break;
+        case TraceAttr::Kind::kString:
+          out->push_back('"');
+          JsonEscape(a.s, out);
+          out->push_back('"');
+          break;
+      }
+    }
+    out->push_back('}');
+  }
+  out->push_back('}');
+  for (const auto& child : node.children) {
+    AppendEvent(*child, pid, tid, ts_offset_nanos, out, event_count);
+  }
+}
+
+}  // namespace
+
+void ChromeTraceWriter::AddTrace(const Trace& trace, uint64_t pid,
+                                 uint64_t tid, int64_t ts_offset_nanos) {
+  AppendEvent(trace.root(), pid, tid, ts_offset_nanos, &events_,
+              &event_count_);
+}
+
+std::string ChromeTraceWriter::Json() const {
+  std::string out = "{\"traceEvents\":[";
+  out.append(events_);
+  out.append("],\"displayTimeUnit\":\"ns\"}");
+  return out;
+}
+
+std::string ChromeTraceJson(const Trace& trace, uint64_t pid, uint64_t tid) {
+  ChromeTraceWriter writer;
+  writer.AddTrace(trace, pid, tid);
+  return writer.Json();
+}
+
+}  // namespace obs
+}  // namespace trex

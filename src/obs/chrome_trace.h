@@ -1,0 +1,54 @@
+// Observability: Chrome trace_event export of span trees.
+//
+// QueryAnswer::trace serializes to this repo's own span-tree JSON; this
+// module re-serializes the same tree into the Trace Event Format that
+// chrome://tracing and Perfetto load directly, so a query's EXPLAIN can
+// be inspected on a real timeline (`search_cli --trace-out=x.json`).
+//
+// Every span becomes one "X" (complete) event: ts/dur in microseconds
+// (fractional, so nanosecond precision survives), pid/tid for lane
+// placement, and the span's typed attributes under "args". A writer
+// collects events from any number of traces — one lane per executor
+// thread, say — and renders the standard envelope
+//   {"traceEvents":[...],"displayTimeUnit":"ns"}.
+#ifndef TREX_OBS_CHROME_TRACE_H_
+#define TREX_OBS_CHROME_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace trex {
+namespace obs {
+
+// Accumulates trace_event entries from one or more Traces.
+class ChromeTraceWriter {
+ public:
+  // Appends every span of `trace` as a complete event in lane
+  // (pid, tid). `ts_offset_nanos` shifts the trace's epoch on the
+  // shared timeline — traces record spans relative to their own start,
+  // so concurrent queries are laid side by side by offsetting each
+  // trace by its start time relative to the run's origin.
+  void AddTrace(const Trace& trace, uint64_t pid = 1, uint64_t tid = 1,
+                int64_t ts_offset_nanos = 0);
+
+  // {"traceEvents":[...],"displayTimeUnit":"ns"} — valid with zero
+  // traces added (an empty event array).
+  std::string Json() const;
+
+  size_t event_count() const { return event_count_; }
+
+ private:
+  std::string events_;  // Comma-joined serialized events.
+  size_t event_count_ = 0;
+};
+
+// Convenience: one trace, one lane, standalone JSON document.
+std::string ChromeTraceJson(const Trace& trace, uint64_t pid = 1,
+                            uint64_t tid = 1);
+
+}  // namespace obs
+}  // namespace trex
+
+#endif  // TREX_OBS_CHROME_TRACE_H_

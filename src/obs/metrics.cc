@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -107,37 +108,59 @@ HistogramSummary Histogram::Summary() const {
   s.sum = sum_.load(std::memory_order_relaxed);
   s.min = min_.load(std::memory_order_relaxed);
   s.max = max_.load(std::memory_order_relaxed);
-
-  auto percentile = [&](double q) -> uint64_t {
-    // Rank of the q-quantile sample, 1-based.
-    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(s.count));
-    if (rank < 1) rank = 1;
-    if (rank > s.count) rank = s.count;
-    uint64_t cum = 0;
-    for (int b = 0; b < kBuckets; ++b) {
-      if (counts[b] == 0) continue;
-      if (cum + counts[b] >= rank) {
-        uint64_t lo, hi;
-        BucketRange(b, &lo, &hi);
-        // Linear interpolation across the bucket's value range.
-        double frac = static_cast<double>(rank - cum) /
-                      static_cast<double>(counts[b]);
-        uint64_t span = hi - lo;
-        uint64_t v = lo + static_cast<uint64_t>(frac *
-                                                static_cast<double>(span));
-        // Clamp into the recorded range for tight single-bucket data.
-        if (v < s.min) v = s.min;
-        if (v > s.max) v = s.max;
-        return v;
-      }
-      cum += counts[b];
-    }
-    return s.max;
-  };
-  s.p50 = percentile(0.50);
-  s.p95 = percentile(0.95);
-  s.p99 = percentile(0.99);
+  s.p50 = QuantileFromLogBuckets(counts, s.count, s.min, s.max, 0.50);
+  s.p95 = QuantileFromLogBuckets(counts, s.count, s.min, s.max, 0.95);
+  s.p99 = QuantileFromLogBuckets(counts, s.count, s.min, s.max, 0.99);
   return s;
+}
+
+double ExactQuantile(const std::vector<uint64_t>& sorted_samples, double q) {
+  if (sorted_samples.empty()) return 0.0;
+  if (q <= 0.0) return static_cast<double>(sorted_samples.front());
+  if (q >= 1.0) return static_cast<double>(sorted_samples.back());
+  // Fractional index h = q * (n - 1); interpolate between floor and
+  // ceil order statistics (numpy's default "linear"/type-7 estimator).
+  double h = q * static_cast<double>(sorted_samples.size() - 1);
+  size_t lo = static_cast<size_t>(h);
+  double frac = h - static_cast<double>(lo);
+  double a = static_cast<double>(sorted_samples[lo]);
+  if (frac == 0.0) return a;
+  double b = static_cast<double>(sorted_samples[lo + 1]);
+  return a + frac * (b - a);
+}
+
+uint64_t QuantileFromLogBuckets(const uint64_t (&counts)[65], uint64_t total,
+                                uint64_t min_value, uint64_t max_value,
+                                double q) {
+  if (total == 0) return 0;
+  // 1-based nearest rank: the smallest sample with at least a q
+  // fraction of the distribution at or below it. (Truncating here —
+  // the old behavior — picked the rank *below* the quantile whenever
+  // q * total was fractional, biasing p95/p99 low on small counts.)
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t cum = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    if (cum + counts[b] >= rank) {
+      uint64_t lo, hi;
+      BucketRange(b, &lo, &hi);
+      // Linear interpolation across the bucket's value range.
+      double frac =
+          static_cast<double>(rank - cum) / static_cast<double>(counts[b]);
+      uint64_t span = hi - lo;
+      uint64_t v =
+          lo + static_cast<uint64_t>(frac * static_cast<double>(span));
+      // Clamp into the recorded range for tight single-bucket data.
+      if (v < min_value) v = min_value;
+      if (v > max_value) v = max_value;
+      return v;
+    }
+    cum += counts[b];
+  }
+  return max_value;
 }
 
 // ---------------------------------------------------------------------------

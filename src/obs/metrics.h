@@ -34,6 +34,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace trex {
 namespace obs {
@@ -176,6 +177,23 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
+
+// Exact q-quantile (0 <= q <= 1) of an ascending-sorted sample, by
+// linear interpolation between the two closest order statistics (the
+// "type 7" estimator numpy.percentile defaults to). This is the
+// reference the histogram's bucketed estimate is tested against, and
+// what the bench suite uses for its latency percentiles (it keeps the
+// raw samples, so it owes the exact answer).
+double ExactQuantile(const std::vector<uint64_t>& sorted_samples, double q);
+
+// q-quantile estimate from log2 bucket counts (the Histogram layout:
+// bucket 0 holds exact zeros, bucket b >= 1 covers [2^(b-1), 2^b - 1]).
+// Selects the nearest-rank bucket (rank = ceil(q * total)), then
+// interpolates linearly across its value range, clamped to
+// [min_value, max_value]. `total` must equal the sum of `counts`.
+uint64_t QuantileFromLogBuckets(const uint64_t (&counts)[65], uint64_t total,
+                                uint64_t min_value, uint64_t max_value,
+                                double q);
 
 // The process-wide default registry every component reports into.
 // Honors TREX_OBS_DISABLED=1 at first use.

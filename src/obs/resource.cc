@@ -1,0 +1,74 @@
+#include "obs/resource.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace trex {
+namespace obs {
+
+namespace {
+
+thread_local ResourceAccounting* tls_current = nullptr;
+
+void AppendField(std::string* out, const char* name, uint64_t v,
+                 bool* first) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  out->push_back('"');
+  out->append(name);
+  out->append("\":");
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+}  // namespace
+
+void ResourceUsage::AppendJson(std::string* out) const {
+  out->push_back('{');
+  bool first = true;
+  AppendField(out, "pages_fetched", pages_fetched, &first);
+  AppendField(out, "pages_faulted", pages_faulted, &first);
+  AppendField(out, "bytes_read", bytes_read, &first);
+  AppendField(out, "bytes_decoded", bytes_decoded, &first);
+  AppendField(out, "list_fragments", list_fragments, &first);
+  AppendField(out, "postings_scanned", postings_scanned, &first);
+  AppendField(out, "sorted_accesses", sorted_accesses, &first);
+  AppendField(out, "random_accesses", random_accesses, &first);
+  AppendField(out, "elements_scanned", elements_scanned, &first);
+  AppendField(out, "heap_operations", heap_operations, &first);
+  out->push_back('}');
+}
+
+std::string ResourceUsage::ToJson() const {
+  std::string out;
+  AppendJson(&out);
+  return out;
+}
+
+ResourceAccounting* ResourceAccounting::Current() { return tls_current; }
+
+ResourceUsage ResourceAccounting::Usage() const {
+  ResourceUsage u;
+  u.pages_fetched = pages_fetched_.load(std::memory_order_relaxed);
+  u.pages_faulted = pages_faulted_.load(std::memory_order_relaxed);
+  u.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  u.bytes_decoded = bytes_decoded_.load(std::memory_order_relaxed);
+  u.list_fragments = list_fragments_.load(std::memory_order_relaxed);
+  u.postings_scanned = postings_scanned_.load(std::memory_order_relaxed);
+  u.sorted_accesses = sorted_accesses_.load(std::memory_order_relaxed);
+  u.random_accesses = random_accesses_.load(std::memory_order_relaxed);
+  u.elements_scanned = elements_scanned_.load(std::memory_order_relaxed);
+  u.heap_operations = heap_operations_.load(std::memory_order_relaxed);
+  return u;
+}
+
+ResourceScope::ResourceScope(ResourceAccounting* acct)
+    : previous_(tls_current) {
+  tls_current = acct;
+}
+
+ResourceScope::~ResourceScope() { tls_current = previous_; }
+
+}  // namespace obs
+}  // namespace trex

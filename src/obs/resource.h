@@ -1,0 +1,163 @@
+// Observability: per-query resource accounting (the cost side of §5).
+//
+// The paper measures retrieval cost in work units — sorted accesses,
+// posting positions, page reads — not just seconds. ResourceAccounting
+// makes that per-query: TReX installs an accounting scope around each
+// evaluation and every layer below charges into it through a
+// thread-local pointer, so call sites need no extra parameters:
+//
+//   * storage  — BufferPool::Fetch charges one page access per call and
+//                a page fault (+ page bytes) per cache miss;
+//   * index    — the RPL/ERPL iterators charge sorted accesses, list
+//                fragments and decoded bytes; the posting-list iterator
+//                charges scanned positions; fresh iterator seeks and
+//                term-stat probes count as random accesses;
+//   * retrieval— TA charges its heap operations, ERA its extent
+//                advances.
+//
+// The counters are relaxed atomics so a TA-vs-Merge race can adopt the
+// parent query's accounting on both contestant threads (see
+// ResourceScope's adopting semantics); a query without a scope pays one
+// thread-local load + branch per charge site.
+//
+// An accounting can carry a ResourceBudget. Budgets are enforced at the
+// buffer pool: the first page access past the limit fails with
+// Status::ResourceExhausted, which propagates out of the evaluator like
+// any other storage error — the query dies cleanly, the index does not.
+#ifndef TREX_OBS_RESOURCE_H_
+#define TREX_OBS_RESOURCE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace trex {
+namespace obs {
+
+// Point-in-time copy of one query's resource vector. Field order is the
+// canonical reporting order (QueryAnswer, EXPLAIN attrs, BENCH_*.json).
+struct ResourceUsage {
+  uint64_t pages_fetched = 0;    // Buffer-pool page accesses.
+  uint64_t pages_faulted = 0;    // Accesses that missed and hit disk.
+  uint64_t bytes_read = 0;       // Bytes brought in by faults.
+  uint64_t bytes_decoded = 0;    // Encoded list bytes decoded.
+  uint64_t list_fragments = 0;   // RPL/ERPL blocks + posting fragments.
+  uint64_t postings_scanned = 0; // Posting-list positions consumed.
+  uint64_t sorted_accesses = 0;  // RPL/ERPL entries read in score order.
+  uint64_t random_accesses = 0;  // Fresh list seeks + term-stat probes.
+  uint64_t elements_scanned = 0; // Extent-iterator advances (ERA).
+  uint64_t heap_operations = 0;  // Top-k heap pushes/pops (TA).
+
+  // {"pages_fetched":...,...} in canonical field order.
+  void AppendJson(std::string* out) const;
+  std::string ToJson() const;
+};
+
+// Per-query work limits; 0 means unlimited. Enforced by the charge
+// sites named in the field comments.
+struct ResourceBudget {
+  uint64_t max_pages = 0;  // Buffer-pool page accesses (ChargePageAccess).
+  uint64_t max_bytes = 0;  // Fault bytes read from disk (ChargePageFault).
+
+  bool unlimited() const { return max_pages == 0 && max_bytes == 0; }
+};
+
+// One query's accumulator. All charge methods are thread-safe (relaxed
+// atomics): a race installs the same accounting on both contestant
+// threads and the totals stay exact.
+class ResourceAccounting {
+ public:
+  explicit ResourceAccounting(ResourceBudget budget = {})
+      : budget_(budget) {}
+  ResourceAccounting(const ResourceAccounting&) = delete;
+  ResourceAccounting& operator=(const ResourceAccounting&) = delete;
+
+  // The accounting installed on this thread, or nullptr outside any
+  // query scope. Charge sites must tolerate nullptr.
+  static ResourceAccounting* Current();
+
+  // One buffer-pool access; fails once the page budget is exceeded.
+  Status ChargePageAccess() {
+    uint64_t n = pages_fetched_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (budget_.max_pages != 0 && n > budget_.max_pages) {
+      return Status::ResourceExhausted(
+          "page budget exceeded: " + std::to_string(n) + " accesses > " +
+          std::to_string(budget_.max_pages) + " budgeted");
+    }
+    return Status::OK();
+  }
+  // A miss serviced from disk; fails once the byte budget is exceeded.
+  Status ChargePageFault(uint64_t bytes) {
+    pages_faulted_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t total =
+        bytes_read_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (budget_.max_bytes != 0 && total > budget_.max_bytes) {
+      return Status::ResourceExhausted(
+          "byte budget exceeded: " + std::to_string(total) +
+          " bytes read > " + std::to_string(budget_.max_bytes) +
+          " budgeted");
+    }
+    return Status::OK();
+  }
+  void ChargeDecodedBlock(uint64_t encoded_bytes) {
+    bytes_decoded_.fetch_add(encoded_bytes, std::memory_order_relaxed);
+    list_fragments_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void ChargePostings(uint64_t n) {
+    postings_scanned_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void ChargeSortedAccesses(uint64_t n) {
+    sorted_accesses_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void ChargeRandomAccess() {
+    random_accesses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void ChargeElementsScanned(uint64_t n) {
+    elements_scanned_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void ChargeHeapOperations(uint64_t n) {
+    heap_operations_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  ResourceUsage Usage() const;
+  const ResourceBudget& budget() const { return budget_; }
+
+ private:
+  friend class ResourceScope;
+
+  ResourceBudget budget_;
+  std::atomic<uint64_t> pages_fetched_{0};
+  std::atomic<uint64_t> pages_faulted_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_decoded_{0};
+  std::atomic<uint64_t> list_fragments_{0};
+  std::atomic<uint64_t> postings_scanned_{0};
+  std::atomic<uint64_t> sorted_accesses_{0};
+  std::atomic<uint64_t> random_accesses_{0};
+  std::atomic<uint64_t> elements_scanned_{0};
+  std::atomic<uint64_t> heap_operations_{0};
+};
+
+// RAII installer: makes `acct` the thread's current accounting for the
+// scope's lifetime, restoring the previous one on exit (scopes nest; an
+// inner scope shadows the outer one, it does not merge into it). Does
+// not own the accounting — the race evaluator installs the parent
+// query's accounting on each contestant thread this way.
+class ResourceScope {
+ public:
+  explicit ResourceScope(ResourceAccounting* acct);
+  ~ResourceScope();
+
+  ResourceScope(const ResourceScope&) = delete;
+  ResourceScope& operator=(const ResourceScope&) = delete;
+
+ private:
+  ResourceAccounting* previous_;
+};
+
+}  // namespace obs
+}  // namespace trex
+
+#endif  // TREX_OBS_RESOURCE_H_

@@ -1,0 +1,102 @@
+#include "obs/slow_query_log.h"
+
+#include <cinttypes>
+
+#include "obs/metrics.h"
+
+namespace trex {
+namespace obs {
+
+std::string SlowQueryRecord::ToJson() const {
+  std::string out = "{\"seq\":";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, sequence);
+  out.append(buf);
+  out.append(",\"query\":\"");
+  JsonEscape(query, &out);
+  out.append("\",\"method\":\"");
+  JsonEscape(method, &out);
+  out.append("\",\"duration_ns\":");
+  std::snprintf(buf, sizeof(buf), "%" PRId64, duration_nanos);
+  out.append(buf);
+  out.append(",\"resources\":");
+  resources.AppendJson(&out);
+  out.append(",\"trace\":");
+  // Already-serialized span tree; an absent trace degrades to null.
+  out.append(trace_json.empty() ? "null" : trace_json);
+  out.push_back('}');
+  return out;
+}
+
+SlowQueryLog::SlowQueryLog(Options options) : options_(std::move(options)) {
+  if (!options_.jsonl_path.empty()) {
+    sink_ = std::fopen(options_.jsonl_path.c_str(), "a");
+    sink_failed_ = sink_ == nullptr;
+  }
+}
+
+SlowQueryLog::~SlowQueryLog() {
+  if (sink_ != nullptr) std::fclose(sink_);
+}
+
+bool SlowQueryLog::Observe(SlowQueryRecord record) {
+  static Counter* m_observed = Default().GetCounter("obs.slowlog.observed");
+  static Counter* m_recorded = Default().GetCounter("obs.slowlog.recorded");
+  m_observed->Add();
+  const bool slow =
+      record.duration_nanos >= options_.threshold_nanos ||
+      (options_.threshold_pages != 0 &&
+       record.resources.pages_fetched >= options_.threshold_pages);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++observed_;
+  if (!slow) return false;
+  m_recorded->Add();
+  ++recorded_;
+  record.sequence = next_sequence_++;
+  if (sink_ != nullptr) {
+    std::string line = record.ToJson();
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), sink_);
+    std::fflush(sink_);
+  }
+  if (options_.ring_capacity > 0) {
+    if (ring_.size() < options_.ring_capacity) {
+      ring_.push_back(std::move(record));
+      ring_next_ = ring_.size() % options_.ring_capacity;
+    } else {
+      ring_[ring_next_] = std::move(record);
+      ring_next_ = (ring_next_ + 1) % options_.ring_capacity;
+    }
+  }
+  return true;
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SlowQueryRecord> out;
+  out.reserve(ring_.size());
+  // Oldest first: from the insertion cursor when the ring has wrapped.
+  const size_t n = ring_.size();
+  const size_t start =
+      n < options_.ring_capacity ? 0 : ring_next_;
+  for (size_t i = 0; i < n; ++i) out.push_back(ring_[(start + i) % n]);
+  return out;
+}
+
+uint64_t SlowQueryLog::observed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observed_;
+}
+
+uint64_t SlowQueryLog::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+bool SlowQueryLog::sink_failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sink_failed_;
+}
+
+}  // namespace obs
+}  // namespace trex

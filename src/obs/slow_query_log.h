@@ -1,0 +1,94 @@
+// Observability: the slow-query log.
+//
+// A query that blows past a latency or page-read threshold is exactly
+// the query whose EXPLAIN you want after the fact — so this module
+// keeps it. Each offending query's full record (NEXI text, method,
+// duration, resource vector, complete span tree) lands in
+//
+//   * a bounded in-memory ring (Recent() — for tests, the CLI, and
+//     post-hoc inspection without touching disk), and
+//   * optionally a JSONL file, one self-contained object per line,
+//     flushed per record so a crash loses at most the line in flight.
+//
+// The log is owned by whoever runs queries (QueryExecutor wires one in;
+// search_cli installs one behind --slow-log). It deliberately lives
+// below the facade: it takes a plain SlowQueryRecord, not a
+// QueryAnswer, so obs stays dependency-free. Thread-safe.
+#ifndef TREX_OBS_SLOW_QUERY_LOG_H_
+#define TREX_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/resource.h"
+
+namespace trex {
+namespace obs {
+
+// Everything worth keeping about one slow query. `trace_json` is the
+// span tree as emitted by Trace::ToJson() (already JSON; embedded raw).
+struct SlowQueryRecord {
+  uint64_t sequence = 0;  // Assigned by the log, monotonically.
+  std::string query;      // NEXI text (or a caller-chosen label).
+  std::string method;     // "era", "ta", "merge", "race", "strict".
+  int64_t duration_nanos = 0;
+  ResourceUsage resources;
+  std::string trace_json;
+
+  // One self-contained JSON object (one JSONL line, no newline).
+  std::string ToJson() const;
+};
+
+class SlowQueryLog {
+ public:
+  struct Options {
+    // A query is slow when duration >= threshold_nanos, or (if
+    // threshold_pages > 0) when it fetched >= threshold_pages pages.
+    int64_t threshold_nanos = 50'000'000;  // 50 ms.
+    uint64_t threshold_pages = 0;          // 0 = latency criterion only.
+    size_t ring_capacity = 128;
+    // Empty = in-memory ring only. Otherwise records append to this
+    // JSONL file (created if missing), flushed per record.
+    std::string jsonl_path;
+  };
+
+  explicit SlowQueryLog(Options options);
+  ~SlowQueryLog();
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  // Records `record` if it crosses a threshold; returns whether it did.
+  // The sequence field is assigned here (the caller's value is
+  // ignored). Ticks obs.slowlog.observed / obs.slowlog.recorded.
+  bool Observe(SlowQueryRecord record);
+
+  // Ring contents, oldest first. Copies — safe to use while other
+  // threads keep observing.
+  std::vector<SlowQueryRecord> Recent() const;
+
+  uint64_t observed() const;
+  uint64_t recorded() const;
+  const Options& options() const { return options_; }
+  // True if the JSONL sink was requested but could not be opened.
+  bool sink_failed() const;
+
+ private:
+  const Options options_;
+  mutable std::mutex mu_;
+  std::FILE* sink_ = nullptr;  // nullptr when no path / open failed.
+  bool sink_failed_ = false;
+  uint64_t observed_ = 0;
+  uint64_t recorded_ = 0;
+  uint64_t next_sequence_ = 1;
+  std::vector<SlowQueryRecord> ring_;  // Circular, size <= ring_capacity.
+  size_t ring_next_ = 0;               // Insertion cursor.
+};
+
+}  // namespace obs
+}  // namespace trex
+
+#endif  // TREX_OBS_SLOW_QUERY_LOG_H_

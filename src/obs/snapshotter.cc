@@ -1,0 +1,156 @@
+#include "obs/snapshotter.h"
+
+#include <chrono>
+#include <cinttypes>
+
+#include "common/clock.h"
+
+namespace trex {
+namespace obs {
+
+namespace {
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out->append(buf);
+}
+
+void AppendKey(std::string* out, const std::string& name, bool* first) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  out->push_back('"');
+  JsonEscape(name, out);
+  out->append("\":");
+}
+
+}  // namespace
+
+std::string MetricsSnapshotter::DeltaJson(const MetricsSnapshot& prev,
+                                          const MetricsSnapshot& cur,
+                                          uint64_t tick,
+                                          int64_t elapsed_nanos) {
+  std::string out = "{\"tick\":";
+  AppendU64(&out, tick);
+  out.append(",\"elapsed_ns\":");
+  AppendI64(&out, elapsed_nanos);
+  out.append(",\"counters\":{");
+  bool first = true;
+  for (const auto& [name, value] : cur.counters) {
+    // A counter absent from `prev` was created this period: its whole
+    // value is the delta. Counters never decrease (Reset() between
+    // ticks would show as a spurious 0 — acceptable for reporting).
+    uint64_t before = prev.counter(name);
+    uint64_t delta = value >= before ? value - before : 0;
+    AppendKey(&out, name, &first);
+    AppendU64(&out, delta);
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, value] : cur.gauges) {
+    AppendKey(&out, name, &first);
+    AppendI64(&out, value);
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, h] : cur.histograms) {
+    uint64_t prev_count = 0, prev_sum = 0;
+    auto it = prev.histograms.find(name);
+    if (it != prev.histograms.end()) {
+      prev_count = it->second.count;
+      prev_sum = it->second.sum;
+    }
+    AppendKey(&out, name, &first);
+    out.append("{\"count\":");
+    AppendU64(&out, h.count >= prev_count ? h.count - prev_count : 0);
+    out.append(",\"sum\":");
+    AppendU64(&out, h.sum >= prev_sum ? h.sum - prev_sum : 0);
+    // Percentiles are over the cumulative distribution (the buckets
+    // are not differenced) — absolute, like gauges.
+    out.append(",\"p50\":");
+    AppendU64(&out, h.p50);
+    out.append(",\"p95\":");
+    AppendU64(&out, h.p95);
+    out.append(",\"p99\":");
+    AppendU64(&out, h.p99);
+    out.push_back('}');
+  }
+  out.append("}}");
+  return out;
+}
+
+MetricsSnapshotter::MetricsSnapshotter(Options options)
+    : options_(std::move(options)),
+      registry_(options_.registry != nullptr ? options_.registry
+                                             : &Default()) {}
+
+MetricsSnapshotter::~MetricsSnapshotter() { Stop(); }
+
+bool MetricsSnapshotter::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return true;
+  if (options_.jsonl_path.empty()) return false;
+  sink_ = std::fopen(options_.jsonl_path.c_str(), "a");
+  if (sink_ == nullptr) return false;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Run(); });
+  return true;
+}
+
+void MetricsSnapshotter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+  if (sink_ != nullptr) {
+    std::fclose(sink_);
+    sink_ = nullptr;
+  }
+}
+
+uint64_t MetricsSnapshotter::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticks_;
+}
+
+void MetricsSnapshotter::Run() {
+  MetricsSnapshot prev = registry_->Snapshot();
+  int64_t prev_nanos = NowNanos();
+  uint64_t tick = 0;
+  bool done = false;
+  while (!done) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done = cv_.wait_for(lock, std::chrono::milliseconds(
+                                    options_.period_millis),
+                          [this] { return stop_; });
+    }
+    // On shutdown this writes one final (short) tick, so even a run
+    // briefer than the period yields a line.
+    MetricsSnapshot cur = registry_->Snapshot();
+    int64_t now = NowNanos();
+    std::string line = DeltaJson(prev, cur, ++tick, now - prev_nanos);
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), sink_);
+    std::fflush(sink_);
+    prev = std::move(cur);
+    prev_nanos = now;
+    std::lock_guard<std::mutex> lock(mu_);
+    ticks_ = tick;
+  }
+}
+
+}  // namespace obs
+}  // namespace trex

@@ -1,0 +1,78 @@
+// Observability: periodic metrics snapshots as a JSONL time series.
+//
+// The registry's counters are cumulative since process start; what a
+// performance investigation wants is rates — what happened in *this*
+// second. MetricsSnapshotter runs a background thread that samples the
+// registry every period and appends one JSON line per tick to a file:
+// counter and histogram count/sum fields as deltas against the
+// previous tick, gauges and histogram percentiles as absolute values.
+// Pointing a plotting script (or just jq) at the file gives the
+// paper-§5 style time series without any scrape infrastructure.
+//
+// The delta math is exposed as a pure function (DeltaJson) so tests
+// exercise it without threads or files.
+#ifndef TREX_OBS_SNAPSHOTTER_H_
+#define TREX_OBS_SNAPSHOTTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace trex {
+namespace obs {
+
+class MetricsSnapshotter {
+ public:
+  struct Options {
+    int64_t period_millis = 1000;
+    std::string jsonl_path;  // Required; appended to, flushed per tick.
+    MetricsRegistry* registry = nullptr;  // nullptr = Default().
+  };
+
+  explicit MetricsSnapshotter(Options options);
+  ~MetricsSnapshotter();  // Stops the thread if still running.
+
+  MetricsSnapshotter(const MetricsSnapshotter&) = delete;
+  MetricsSnapshotter& operator=(const MetricsSnapshotter&) = delete;
+
+  // Starts the sampling thread. Returns false if the sink could not be
+  // opened (the snapshotter then stays inert).
+  bool Start();
+  // Stops promptly (does not wait out the period) and writes one final
+  // tick so short runs still produce a complete series.
+  void Stop();
+
+  uint64_t ticks() const;
+
+  // One JSONL line (no trailing newline) for the delta from `prev` to
+  // `cur`: {"tick":T,"elapsed_ns":N,"counters":{deltas},
+  // "gauges":{absolutes},"histograms":{name:{count,sum deltas +
+  // absolute p50/p95/p99}}}. Pure — the unit-testable core.
+  static std::string DeltaJson(const MetricsSnapshot& prev,
+                               const MetricsSnapshot& cur, uint64_t tick,
+                               int64_t elapsed_nanos);
+
+ private:
+  void Run();
+
+  const Options options_;
+  MetricsRegistry* registry_;
+  std::FILE* sink_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  uint64_t ticks_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace trex
+
+#endif  // TREX_OBS_SNAPSHOTTER_H_

@@ -94,6 +94,22 @@ void Trace::Finish() {
   stack_.clear();
 }
 
+void Trace::AddRootAttr(std::string_view key, uint64_t value) {
+  TraceAttr a;
+  a.key.assign(key.data(), key.size());
+  a.kind = TraceAttr::Kind::kUint;
+  a.u = value;
+  root_.attrs.push_back(std::move(a));
+}
+
+void Trace::AddRootAttr(std::string_view key, std::string_view value) {
+  TraceAttr a;
+  a.key.assign(key.data(), key.size());
+  a.kind = TraceAttr::Kind::kString;
+  a.s.assign(value.data(), value.size());
+  root_.attrs.push_back(std::move(a));
+}
+
 std::string Trace::ToJson() const {
   std::string out;
   AppendNode(root_, &out);

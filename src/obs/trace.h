@@ -61,6 +61,12 @@ class Trace {
   TraceNode* root() { return &root_; }
   const TraceNode& root() const { return root_; }
 
+  // Attaches a typed attribute to the root span — query-level rollups
+  // (the resource vector, the chosen method) that belong to the whole
+  // query rather than any one phase. Usable before or after Finish().
+  void AddRootAttr(std::string_view key, uint64_t value);
+  void AddRootAttr(std::string_view key, std::string_view value);
+
   // {"name":..., "start_ns":..., "duration_ns":..., "attrs":{...},
   //  "children":[...]} — recursively.
   std::string ToJson() const;

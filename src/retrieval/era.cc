@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/clock.h"
+#include "obs/resource.h"
 
 namespace trex {
 
@@ -167,6 +168,11 @@ Status Era::Evaluate(const TranslatedClause& clause, RetrievalResult* out) {
             ScoredElementGreater);
   out->metrics.wall_seconds = watch.ElapsedSeconds();
   out->metrics.ideal_seconds = out->metrics.wall_seconds;
+  // Positions are charged at the posting iterator; extent advances are
+  // only counted here, so charge them to the query's accounting now.
+  if (auto* acct = obs::ResourceAccounting::Current()) {
+    acct->ChargeElementsScanned(out->metrics.elements_scanned);
+  }
   return Status::OK();
 }
 

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "obs/resource.h"
 #include "retrieval/merge.h"
 #include "retrieval/ta.h"
 
@@ -39,7 +40,14 @@ Status RaceEvaluator::Evaluate(const TranslatedClause& clause, size_t k,
   int ta_place = 0, merge_place = 0;
   double ta_seconds = 0.0, merge_seconds = 0.0;
 
+  // Resource accounting is thread-local; hand the caller's accounting
+  // (if any) to both contestant threads so the race's combined work —
+  // winner and cancelled loser alike — lands on the one query that asked
+  // for it. Budgets are therefore shared across the two contestants.
+  obs::ResourceAccounting* acct = obs::ResourceAccounting::Current();
+
   std::thread ta_thread([&]() {
+    obs::ResourceScope scope(acct);
     // Time the contestant here (not via its own metrics): a cancelled
     // loser still spent real race time before it noticed the token.
     Stopwatch watch;
@@ -53,6 +61,7 @@ Status RaceEvaluator::Evaluate(const TranslatedClause& clause, size_t k,
     if (ta_status.ok()) merge_cancel.Cancel();
   });
   std::thread merge_thread([&]() {
+    obs::ResourceScope scope(acct);
     Stopwatch watch;
     Merge merge(index_);
     merge.set_cancel_token(&merge_cancel);

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/clock.h"
+#include "obs/resource.h"
 #include "retrieval/heap.h"
 
 namespace trex {
@@ -201,6 +202,9 @@ Status Ta::Evaluate(const TranslatedClause& clause, size_t k,
       out->metrics.ideal_seconds =
           static_cast<double>(timer.ActiveNanos()) * 1e-9;
       out->metrics.heap_operations = topk.operations();
+      if (auto* acct = obs::ResourceAccounting::Current()) {
+        acct->ChargeHeapOperations(topk.operations());
+      }
       return Status::Aborted("TA cancelled");
     }
     bool any_alive = false;
@@ -280,6 +284,11 @@ Status Ta::Evaluate(const TranslatedClause& clause, size_t k,
   out->metrics.ideal_seconds =
       static_cast<double>(timer.ActiveNanos()) * 1e-9;
   out->metrics.heap_operations = topk.operations();
+  // Sorted accesses are charged at the RPL iterator; the heap work is
+  // only counted here.
+  if (auto* acct = obs::ResourceAccounting::Current()) {
+    acct->ChargeHeapOperations(topk.operations());
+  }
   return Status::OK();
 }
 

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "obs/resource.h"
+
 namespace trex {
 
 namespace {
@@ -83,6 +85,13 @@ BufferPool::~BufferPool() {
 
 Result<PageHandle> BufferPool::Fetch(PageId id) {
   page_accesses_.fetch_add(1, std::memory_order_relaxed);
+  // Per-query accounting and budget enforcement. Charging before the
+  // fetch means the access past the budget fails without touching the
+  // cache, so an exhausted query stops issuing I/O immediately.
+  obs::ResourceAccounting* acct = obs::ResourceAccounting::Current();
+  if (acct != nullptr) {
+    TREX_RETURN_IF_ERROR(acct->ChargePageAccess());
+  }
   Partition& part = PartitionFor(id);
   {
     // Fast path: resident page. Shared latch only; no map or clock-state
@@ -117,6 +126,11 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
   TREX_RETURN_IF_ERROR(pager_->ReadPage(id, f->data.data()));
   page_reads_.fetch_add(1, std::memory_order_relaxed);
   m_misses_->Add();
+  if (acct != nullptr) {
+    // The page is already resident; a byte-budget failure here aborts
+    // the query but wastes no further I/O.
+    TREX_RETURN_IF_ERROR(acct->ChargePageFault(kPageSize));
+  }
   f->id = id;
   f->pins.store(1, std::memory_order_relaxed);
   f->ref.store(true, std::memory_order_relaxed);

@@ -1,6 +1,7 @@
 #include "trex/query_executor.h"
 
 #include "common/clock.h"
+#include "retrieval/strategy.h"
 
 namespace trex {
 
@@ -14,7 +15,7 @@ QueryExecutor::QueryExecutor(TReX* trex, size_t num_threads) : trex_(trex) {
   m_queue_nanos_ = reg.GetHistogram("trex.executor.queue_nanos");
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -27,20 +28,23 @@ QueryExecutor::~QueryExecutor() {
   for (std::thread& w : workers_) w.join();
 }
 
-std::future<Result<QueryAnswer>> QueryExecutor::Submit(std::string nexi,
-                                                       size_t k) {
+std::future<Result<QueryAnswer>> QueryExecutor::Submit(
+    std::string nexi, size_t k, QueryOptions query_options) {
   Job job;
   job.nexi = std::move(nexi);
   job.k = k;
+  job.query_options = query_options;
   return Enqueue(std::move(job));
 }
 
 std::future<Result<QueryAnswer>> QueryExecutor::SubmitWith(
-    RetrievalMethod method, std::string nexi, size_t k) {
+    RetrievalMethod method, std::string nexi, size_t k,
+    QueryOptions query_options) {
   Job job;
   job.nexi = std::move(nexi);
   job.k = k;
   job.forced = method;
+  job.query_options = query_options;
   return Enqueue(std::move(job));
 }
 
@@ -56,7 +60,14 @@ std::future<Result<QueryAnswer>> QueryExecutor::Enqueue(Job job) {
   return future;
 }
 
-void QueryExecutor::WorkerLoop() {
+void QueryExecutor::WorkerLoop(size_t worker_index) {
+  // Per-worker instruments, interned once per worker lifetime.
+  obs::MetricsRegistry& reg = obs::Default();
+  const std::string prefix =
+      "trex.executor.worker." + std::to_string(worker_index);
+  obs::Counter* w_completed = reg.GetCounter(prefix + ".completed");
+  obs::Counter* w_failed = reg.GetCounter(prefix + ".failed");
+  obs::Counter* w_busy_nanos = reg.GetCounter(prefix + ".busy_nanos");
   while (true) {
     Job job;
     {
@@ -71,12 +82,27 @@ void QueryExecutor::WorkerLoop() {
     m_queue_nanos_->Record(static_cast<uint64_t>(NowNanos()) -
                            job.enqueued_nanos);
     m_in_flight_->Add(1);
+    Stopwatch watch;
     Result<QueryAnswer> answer =
         job.forced.has_value()
-            ? trex_->QueryWith(*job.forced, job.nexi, job.k)
-            : trex_->Query(job.nexi, job.k);
+            ? trex_->QueryWith(*job.forced, job.nexi, job.k,
+                               job.query_options)
+            : trex_->Query(job.nexi, job.k, job.query_options);
+    const int64_t elapsed = watch.ElapsedNanos();
     m_in_flight_->Add(-1);
     (answer.ok() ? m_completed_ : m_failed_)->Add();
+    (answer.ok() ? w_completed : w_failed)->Add();
+    w_busy_nanos->Add(static_cast<uint64_t>(elapsed));
+    if (slow_log_ != nullptr && answer.ok()) {
+      const QueryAnswer& a = answer.value();
+      obs::SlowQueryRecord record;
+      record.query = job.nexi;
+      record.method = RetrievalMethodName(a.method);
+      record.duration_nanos = elapsed;
+      record.resources = a.resources;
+      if (a.trace != nullptr) record.trace_json = a.trace->ToJson();
+      slow_log_->Observe(std::move(record));
+    }
     job.promise.set_value(std::move(answer));
   }
 }

@@ -7,7 +7,13 @@
 // the usual per-phase spans (translate, strategy, evaluate:<method>,
 // shape) in QueryAnswer::trace. The executor itself contributes
 // trex.executor.* metrics: submitted/completed/failed counters, a queue
-// wait-time histogram and an in-flight gauge.
+// wait-time histogram, an in-flight gauge, and per-worker
+// trex.executor.worker.<i>.{completed,failed,busy_nanos} so a skewed
+// pool shows up in `search_cli --threads N --explain`.
+//
+// An optional SlowQueryLog observes every finished query with its
+// duration, resource vector and full span tree; queries over the log's
+// threshold are retained (ring + JSONL).
 //
 // The handle is typically opened with OpenMode::kReadShared; the
 // executor never mutates the index. One executor per handle is the
@@ -26,6 +32,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/slow_query_log.h"
 #include "trex/trex.h"
 
 namespace trex {
@@ -42,11 +49,20 @@ class QueryExecutor {
   QueryExecutor& operator=(const QueryExecutor&) = delete;
 
   // Enqueues a query; the future resolves with the answer (or the error
-  // status) once a worker has run it. Thread-safe.
-  std::future<Result<QueryAnswer>> Submit(std::string nexi, size_t k);
+  // status) once a worker has run it. Thread-safe. `query_options`
+  // rides along to TReX::Query — per-query budgets work through the
+  // pool exactly as they do on the direct path.
+  std::future<Result<QueryAnswer>> Submit(std::string nexi, size_t k,
+                                          QueryOptions query_options = {});
   // As Submit, but forces the retrieval method (TReX::QueryWith).
   std::future<Result<QueryAnswer>> SubmitWith(RetrievalMethod method,
-                                              std::string nexi, size_t k);
+                                              std::string nexi, size_t k,
+                                              QueryOptions query_options = {});
+
+  // Attaches a slow-query log (nullptr detaches). Not owned; must
+  // outlive the executor or be detached first. Call before submitting —
+  // the pointer is read by worker threads without synchronization.
+  void set_slow_query_log(obs::SlowQueryLog* log) { slow_log_ = log; }
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -55,14 +71,16 @@ class QueryExecutor {
     std::string nexi;
     size_t k = 0;
     std::optional<RetrievalMethod> forced;
+    QueryOptions query_options;
     uint64_t enqueued_nanos = 0;
     std::promise<Result<QueryAnswer>> promise;
   };
 
   std::future<Result<QueryAnswer>> Enqueue(Job job);
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   TReX* trex_;
+  obs::SlowQueryLog* slow_log_ = nullptr;
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_;

@@ -7,6 +7,42 @@
 
 namespace trex {
 
+namespace {
+
+// Folds a finished query's accounting into its answer: the resource
+// vector lands on QueryAnswer::resources and, as root-span attributes,
+// in the EXPLAIN trace. A failed query only ticks the budget counter
+// (when that is what killed it).
+void FoldAccounting(const obs::ResourceAccounting& accounting,
+                    Result<QueryAnswer>* answer) {
+  if (!answer->ok()) {
+    if (answer->status().IsResourceExhausted()) {
+      static obs::Counter* exceeded =
+          obs::Default().GetCounter("retrieval.budget.exceeded");
+      exceeded->Add();
+    }
+    return;
+  }
+  QueryAnswer& a = answer->value();
+  a.resources = accounting.Usage();
+  if (a.trace != nullptr) {
+    const obs::ResourceUsage& u = a.resources;
+    obs::Trace* t = a.trace.get();
+    t->AddRootAttr("pages_fetched", u.pages_fetched);
+    t->AddRootAttr("pages_faulted", u.pages_faulted);
+    t->AddRootAttr("bytes_read", u.bytes_read);
+    t->AddRootAttr("bytes_decoded", u.bytes_decoded);
+    t->AddRootAttr("list_fragments", u.list_fragments);
+    t->AddRootAttr("postings_scanned", u.postings_scanned);
+    t->AddRootAttr("sorted_accesses", u.sorted_accesses);
+    t->AddRootAttr("random_accesses", u.random_accesses);
+    t->AddRootAttr("elements_scanned", u.elements_scanned);
+    t->AddRootAttr("heap_operations", u.heap_operations);
+  }
+}
+
+}  // namespace
+
 Result<std::unique_ptr<TReX>> TReX::Build(const std::string& dir,
                                           const DocumentGenerator& documents,
                                           TrexOptions options) {
@@ -83,7 +119,20 @@ Result<std::unique_ptr<TReX>> TReX::Open(const std::string& dir,
 }
 
 Result<QueryAnswer> TReX::RunQuery(const std::string& nexi, size_t k,
-                                   const RetrievalMethod* forced) {
+                                   const RetrievalMethod* forced,
+                                   const QueryOptions& query_options) {
+  // Accounting wraps the whole evaluation (snapshot lock included):
+  // every layer below charges into it via the thread-local scope, and
+  // the budget — if any — is enforced at the buffer pool.
+  obs::ResourceAccounting accounting(query_options.budget);
+  obs::ResourceScope scope(&accounting);
+  Result<QueryAnswer> answer = RunQueryLocked(nexi, k, forced);
+  FoldAccounting(accounting, &answer);
+  return answer;
+}
+
+Result<QueryAnswer> TReX::RunQueryLocked(const std::string& nexi, size_t k,
+                                         const RetrievalMethod* forced) {
   // One shared snapshot acquisition for the whole query: translation
   // reads the summary (which an updater replaces) and evaluation walks
   // the tables with multi-operation iterators.
@@ -139,39 +188,49 @@ Result<QueryAnswer> TReX::RunQuery(const std::string& nexi, size_t k,
   return answer;
 }
 
-Result<QueryAnswer> TReX::Query(const std::string& nexi, size_t k) {
-  return RunQuery(nexi, k, nullptr);
+Result<QueryAnswer> TReX::Query(const std::string& nexi, size_t k,
+                                const QueryOptions& query_options) {
+  return RunQuery(nexi, k, nullptr, query_options);
 }
 
-Result<QueryAnswer> TReX::QueryStrict(const std::string& nexi, size_t k) {
-  auto read_lock = index_->ReaderLock();
-  QueryAnswer answer;
-  answer.trace = std::make_shared<obs::Trace>("query");
-  obs::Trace* trace = answer.trace.get();
-  {
-    obs::TraceSpan span(trace, "translate");
-    auto translated = TranslateNexi(nexi, index_->summary(),
-                                    &index_->aliases(), index_->tokenizer());
-    if (!translated.ok()) return translated.status();
-    answer.translation = std::move(translated).value();
-  }
-  answer.method = RetrievalMethod::kEra;  // Per-clause methods vary.
-  StrictEvaluator strict(index_.get());
-  strict.set_trace(trace);
-  {
-    obs::TraceSpan span(trace, "evaluate:strict");
-    TREX_RETURN_IF_ERROR(strict.Evaluate(answer.translation, k,
-                                         &answer.result));
-    span.AddAttr("results",
-                 static_cast<uint64_t>(answer.result.elements.size()));
-  }
-  answer.trace->Finish();
-  return answer;
+Result<QueryAnswer> TReX::QueryStrict(const std::string& nexi, size_t k,
+                                      const QueryOptions& query_options) {
+  obs::ResourceAccounting accounting(query_options.budget);
+  obs::ResourceScope scope(&accounting);
+  Result<QueryAnswer> result = [&]() -> Result<QueryAnswer> {
+    auto read_lock = index_->ReaderLock();
+    QueryAnswer answer;
+    answer.trace = std::make_shared<obs::Trace>("query");
+    obs::Trace* trace = answer.trace.get();
+    {
+      obs::TraceSpan span(trace, "translate");
+      auto translated = TranslateNexi(nexi, index_->summary(),
+                                      &index_->aliases(),
+                                      index_->tokenizer());
+      if (!translated.ok()) return translated.status();
+      answer.translation = std::move(translated).value();
+    }
+    answer.method = RetrievalMethod::kEra;  // Per-clause methods vary.
+    StrictEvaluator strict(index_.get());
+    strict.set_trace(trace);
+    {
+      obs::TraceSpan span(trace, "evaluate:strict");
+      TREX_RETURN_IF_ERROR(strict.Evaluate(answer.translation, k,
+                                           &answer.result));
+      span.AddAttr("results",
+                   static_cast<uint64_t>(answer.result.elements.size()));
+    }
+    answer.trace->Finish();
+    return answer;
+  }();
+  FoldAccounting(accounting, &result);
+  return result;
 }
 
 Result<QueryAnswer> TReX::QueryWith(RetrievalMethod method,
-                                    const std::string& nexi, size_t k) {
-  return RunQuery(nexi, k, &method);
+                                    const std::string& nexi, size_t k,
+                                    const QueryOptions& query_options) {
+  return RunQuery(nexi, k, &method, query_options);
 }
 
 Status TReX::SelfManage(const Workload& workload,

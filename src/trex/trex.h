@@ -26,6 +26,7 @@
 #include "index/recovery.h"
 #include "nexi/translator.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 #include "retrieval/strategy.h"
 
@@ -53,6 +54,14 @@ enum class OpenMode {
   kReadShared,
 };
 
+// Per-query knobs, orthogonal to the handle-level TrexOptions.
+struct QueryOptions {
+  // Work limits for this one query; the zero default is unlimited. A
+  // query that exceeds its budget fails with Status::ResourceExhausted
+  // (and `retrieval.budget.exceeded` ticks) instead of running on.
+  obs::ResourceBudget budget;
+};
+
 struct QueryAnswer {
   RetrievalResult result;
   RetrievalMethod method = RetrievalMethod::kEra;
@@ -61,6 +70,10 @@ struct QueryAnswer {
   // evaluate:<method>, shape), serializable with trace->ToJson().
   // shared_ptr keeps QueryAnswer copyable (Trace itself is move-only).
   std::shared_ptr<obs::Trace> trace;
+  // What the query cost, in the paper's work units: pages, bytes,
+  // sorted/random accesses, postings, heap operations. Also folded into
+  // the trace root's attributes (and thus EXPLAIN / the slow-query log).
+  obs::ResourceUsage resources;
 };
 
 class TReX {
@@ -94,13 +107,16 @@ class TReX {
 
   // Evaluates a NEXI query; k == 0 returns all answers. The method is
   // chosen by the strategy selector unless `force` is set.
-  Result<QueryAnswer> Query(const std::string& nexi, size_t k);
+  Result<QueryAnswer> Query(const std::string& nexi, size_t k,
+                            const QueryOptions& query_options = {});
   Result<QueryAnswer> QueryWith(RetrievalMethod method,
-                                const std::string& nexi, size_t k);
+                                const std::string& nexi, size_t k,
+                                const QueryOptions& query_options = {});
   // Strict-interpretation evaluation (§1): structural constraints are
   // satisfied precisely via per-clause evaluation and a containment join
   // (see retrieval/strict.h).
-  Result<QueryAnswer> QueryStrict(const std::string& nexi, size_t k);
+  Result<QueryAnswer> QueryStrict(const std::string& nexi, size_t k,
+                                  const QueryOptions& query_options = {});
 
   // Runs the §4 self-manager over a workload.
   Status SelfManage(const Workload& workload,
@@ -131,7 +147,10 @@ class TReX {
         mode_(mode) {}
 
   Result<QueryAnswer> RunQuery(const std::string& nexi, size_t k,
-                               const RetrievalMethod* forced);
+                               const RetrievalMethod* forced,
+                               const QueryOptions& query_options);
+  Result<QueryAnswer> RunQueryLocked(const std::string& nexi, size_t k,
+                                     const RetrievalMethod* forced);
   Status CheckWritable(const char* op) const;
 
   std::unique_ptr<Index> index_;

@@ -1,0 +1,297 @@
+// Per-query resource accounting: the thread-local scope spine, budget
+// enforcement through the storage layer, and the facade surfacing the
+// vector in QueryAnswer / trace root attrs — end to end on a real
+// index, plus through the QueryExecutor pool.
+#include <filesystem>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/ieee_generator.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/resource.h"
+#include "testjson.h"
+#include "trex/query_executor.h"
+#include "trex/trex.h"
+
+namespace trex {
+namespace {
+
+constexpr char kQuery[] =
+    "//article//sec[about(., ontologies case study)]";
+
+// ---------------------------------------------------------------------
+// ResourceAccounting / ResourceScope unit semantics.
+
+TEST(ResourceScopeTest, NoCurrentOutsideAnyScope) {
+  EXPECT_EQ(obs::ResourceAccounting::Current(), nullptr);
+}
+
+TEST(ResourceScopeTest, InstallsAndRestores) {
+  obs::ResourceAccounting acct;
+  {
+    obs::ResourceScope scope(&acct);
+    EXPECT_EQ(obs::ResourceAccounting::Current(), &acct);
+  }
+  EXPECT_EQ(obs::ResourceAccounting::Current(), nullptr);
+}
+
+TEST(ResourceScopeTest, InnerScopeShadowsOuterAndDoesNotMerge) {
+  obs::ResourceAccounting outer;
+  obs::ResourceAccounting inner;
+  obs::ResourceScope outer_scope(&outer);
+  obs::ResourceAccounting::Current()->ChargePostings(3);
+  {
+    obs::ResourceScope inner_scope(&inner);
+    EXPECT_EQ(obs::ResourceAccounting::Current(), &inner);
+    obs::ResourceAccounting::Current()->ChargePostings(5);
+  }
+  EXPECT_EQ(obs::ResourceAccounting::Current(), &outer);
+  EXPECT_EQ(outer.Usage().postings_scanned, 3u);
+  EXPECT_EQ(inner.Usage().postings_scanned, 5u);
+}
+
+TEST(ResourceScopeTest, NullScopeIsTolerated) {
+  obs::ResourceAccounting acct;
+  obs::ResourceScope outer(&acct);
+  {
+    // Installing nullptr means "no accounting here" — charge sites all
+    // guard on Current() != nullptr.
+    obs::ResourceScope inner(nullptr);
+    EXPECT_EQ(obs::ResourceAccounting::Current(), nullptr);
+  }
+  EXPECT_EQ(obs::ResourceAccounting::Current(), &acct);
+}
+
+TEST(ResourceAccountingTest, ChargesAccumulateIntoUsage) {
+  obs::ResourceAccounting acct;
+  EXPECT_TRUE(acct.ChargePageAccess().ok());
+  EXPECT_TRUE(acct.ChargePageFault(4096).ok());
+  acct.ChargeDecodedBlock(128);
+  acct.ChargePostings(7);
+  acct.ChargeSortedAccesses(11);
+  acct.ChargeRandomAccess();
+  acct.ChargeElementsScanned(13);
+  acct.ChargeHeapOperations(17);
+  obs::ResourceUsage u = acct.Usage();
+  EXPECT_EQ(u.pages_fetched, 1u);
+  EXPECT_EQ(u.pages_faulted, 1u);
+  EXPECT_EQ(u.bytes_read, 4096u);
+  EXPECT_EQ(u.bytes_decoded, 128u);
+  EXPECT_EQ(u.list_fragments, 1u);
+  EXPECT_EQ(u.postings_scanned, 7u);
+  EXPECT_EQ(u.sorted_accesses, 11u);
+  EXPECT_EQ(u.random_accesses, 1u);
+  EXPECT_EQ(u.elements_scanned, 13u);
+  EXPECT_EQ(u.heap_operations, 17u);
+}
+
+TEST(ResourceAccountingTest, PageBudgetTripsOnTheFirstAccessPast) {
+  obs::ResourceBudget budget;
+  budget.max_pages = 3;
+  obs::ResourceAccounting acct(budget);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(acct.ChargePageAccess().ok());
+  }
+  Status s = acct.ChargePageAccess();
+  EXPECT_TRUE(s.IsResourceExhausted()) << s.ToString();
+  // The over-budget access is still counted — the vector reports what
+  // actually happened, not what was allowed.
+  EXPECT_EQ(acct.Usage().pages_fetched, 4u);
+}
+
+TEST(ResourceAccountingTest, ByteBudgetTripsOnFaultBytes) {
+  obs::ResourceBudget budget;
+  budget.max_bytes = 100;
+  obs::ResourceAccounting acct(budget);
+  EXPECT_TRUE(acct.ChargePageFault(60).ok());
+  Status s = acct.ChargePageFault(60);
+  EXPECT_TRUE(s.IsResourceExhausted()) << s.ToString();
+}
+
+TEST(ResourceAccountingTest, ConcurrentChargesStayExact) {
+  // The race evaluator installs one accounting on both contestant
+  // threads; totals must not lose increments.
+  obs::ResourceAccounting acct;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&acct] {
+      obs::ResourceScope scope(&acct);
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::ResourceAccounting::Current()->ChargeSortedAccesses(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(acct.Usage().sorted_accesses,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ResourceUsageTest, JsonHasCanonicalFieldOrder) {
+  obs::ResourceUsage u;
+  u.pages_fetched = 1;
+  u.heap_operations = 2;
+  std::string json = u.ToJson();
+  test::JsonParser parser(json);
+  test::JsonValue v = parser.Parse();
+  ASSERT_TRUE(parser.ok()) << parser.error() << " in " << json;
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("pages_fetched").number, 1.0);
+  EXPECT_EQ(v.at("heap_operations").number, 2.0);
+  // All ten canonical fields present.
+  for (const char* key :
+       {"pages_fetched", "pages_faulted", "bytes_read", "bytes_decoded",
+        "list_fragments", "postings_scanned", "sorted_accesses",
+        "random_accesses", "elements_scanned", "heap_operations"}) {
+    EXPECT_TRUE(v.has(key)) << "missing " << key << " in " << json;
+  }
+  // pages_fetched serializes before heap_operations (canonical order).
+  EXPECT_LT(json.find("pages_fetched"), json.find("heap_operations"));
+}
+
+// ---------------------------------------------------------------------
+// End to end through the TReX facade.
+
+class AccountingE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/trex_acct_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<TReX> BuildIeee(size_t docs) {
+    IeeeGeneratorOptions gen_options;
+    gen_options.num_documents = docs;
+    gen_options.size_factor = 0.5;
+    IeeeGenerator gen(gen_options);
+    TrexOptions options;
+    options.index.aliases = IeeeAliasMap();
+    auto trex = TReX::Build(dir_ + "/idx", gen, options);
+    TREX_CHECK_OK(trex.status());
+    return std::move(trex).value();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(AccountingE2eTest, QueryAnswerCarriesNonZeroResourceVector) {
+  auto trex = BuildIeee(40);
+  auto answer = trex->Query(kQuery, 10);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  const obs::ResourceUsage& r = answer.value().resources;
+  EXPECT_GT(r.pages_fetched, 0u);
+  EXPECT_GT(r.postings_scanned, 0u);
+  EXPECT_GT(r.list_fragments, 0u);
+  // ERA walks extents.
+  EXPECT_GT(r.elements_scanned, 0u);
+}
+
+TEST_F(AccountingE2eTest, ResourceVectorLandsInTraceRootAttrs) {
+  auto trex = BuildIeee(40);
+  auto answer = trex->Query(kQuery, 10);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  ASSERT_NE(answer.value().trace, nullptr);
+  std::string json = answer.value().trace->ToJson();
+  test::JsonParser parser(json);
+  test::JsonValue v = parser.Parse();
+  ASSERT_TRUE(parser.ok()) << parser.error();
+  const test::JsonValue& attrs = v.at("attrs");
+  ASSERT_TRUE(attrs.is_object()) << json;
+  EXPECT_TRUE(attrs.has("pages_fetched"));
+  EXPECT_TRUE(attrs.has("postings_scanned"));
+  EXPECT_EQ(attrs.at("pages_fetched").number,
+            static_cast<double>(answer.value().resources.pages_fetched));
+}
+
+TEST_F(AccountingE2eTest, PageBudgetAbortsQueryWithResourceExhausted) {
+  auto trex = BuildIeee(40);
+  obs::MetricsRegistry& reg = obs::Default();
+  const uint64_t exceeded_before =
+      reg.Snapshot().counter("retrieval.budget.exceeded");
+
+  QueryOptions query_options;
+  query_options.budget.max_pages = 2;  // Far below any real query.
+  auto answer = trex->Query(kQuery, 10, query_options);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_TRUE(answer.status().IsResourceExhausted())
+      << answer.status().ToString();
+  EXPECT_EQ(reg.Snapshot().counter("retrieval.budget.exceeded"),
+            exceeded_before + 1);
+
+  // The handle survives the abort: the same query without a budget
+  // succeeds afterwards.
+  auto retry = trex->Query(kQuery, 10);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_GT(retry.value().result.elements.size(), 0u);
+}
+
+TEST_F(AccountingE2eTest, GenerousBudgetDoesNotTrip) {
+  auto trex = BuildIeee(30);
+  QueryOptions query_options;
+  query_options.budget.max_pages = 10'000'000;
+  query_options.budget.max_bytes = 1ull << 40;
+  auto answer = trex->Query(kQuery, 10, query_options);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_GT(answer.value().resources.pages_fetched, 0u);
+}
+
+TEST_F(AccountingE2eTest, StrictQueryAccountsAndEnforcesBudget) {
+  auto trex = BuildIeee(40);
+  auto ok_answer = trex->QueryStrict(kQuery, 10);
+  ASSERT_TRUE(ok_answer.ok()) << ok_answer.status().ToString();
+  EXPECT_GT(ok_answer.value().resources.pages_fetched, 0u);
+
+  QueryOptions query_options;
+  query_options.budget.max_pages = 2;
+  auto answer = trex->QueryStrict(kQuery, 10, query_options);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_TRUE(answer.status().IsResourceExhausted())
+      << answer.status().ToString();
+}
+
+TEST_F(AccountingE2eTest, BudgetRidesThroughTheExecutor) {
+  auto trex = BuildIeee(40);
+  QueryExecutor executor(trex.get(), 2);
+
+  QueryOptions tiny;
+  tiny.budget.max_pages = 2;
+  std::future<Result<QueryAnswer>> capped =
+      executor.Submit(kQuery, 10, tiny);
+  std::future<Result<QueryAnswer>> free = executor.Submit(kQuery, 10);
+
+  Result<QueryAnswer> capped_answer = capped.get();
+  ASSERT_FALSE(capped_answer.ok());
+  EXPECT_TRUE(capped_answer.status().IsResourceExhausted())
+      << capped_answer.status().ToString();
+
+  Result<QueryAnswer> free_answer = free.get();
+  ASSERT_TRUE(free_answer.ok()) << free_answer.status().ToString();
+  EXPECT_GT(free_answer.value().resources.pages_fetched, 0u);
+}
+
+TEST_F(AccountingE2eTest, EachQueryGetsItsOwnVector) {
+  // Accounting must reset per query — a second query's vector reflects
+  // only its own work (warm caches make it cheaper, not cumulative).
+  auto trex = BuildIeee(40);
+  auto first = trex->Query(kQuery, 10);
+  ASSERT_TRUE(first.ok());
+  auto second = trex->Query(kQuery, 10);
+  ASSERT_TRUE(second.ok());
+  // Cumulative accounting would make the second vector strictly larger;
+  // per-query accounting makes it at most the first (warm cache).
+  EXPECT_LE(second.value().resources.pages_faulted,
+            first.value().resources.pages_fetched);
+  EXPECT_GT(second.value().resources.pages_fetched, 0u);
+  EXPECT_LE(second.value().resources.pages_fetched,
+            2 * first.value().resources.pages_fetched);
+}
+
+}  // namespace
+}  // namespace trex

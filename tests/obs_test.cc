@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -208,6 +209,87 @@ TEST(TraceTest, FinishClosesLeakedSpansAndIsIdempotent) {
   EXPECT_GE(trace.root()->duration_nanos, 0);
   ASSERT_EQ(trace.root()->children.size(), 1u);
   EXPECT_GE(trace.root()->children[0]->duration_nanos, 0);
+}
+
+// ---------------------------------------------------------------------
+// Quantile helpers: ExactQuantile is the reference (numpy's default
+// "type 7" linear interpolation); QuantileFromLogBuckets is the
+// histogram's bucketed estimate and must stay within one power of two
+// of the truth by construction.
+
+TEST(QuantileTest, ExactQuantileSingleSample) {
+  std::vector<uint64_t> s = {42};
+  EXPECT_EQ(ExactQuantile(s, 0.0), 42.0);
+  EXPECT_EQ(ExactQuantile(s, 0.5), 42.0);
+  EXPECT_EQ(ExactQuantile(s, 1.0), 42.0);
+}
+
+TEST(QuantileTest, ExactQuantileInterpolatesBetweenOrderStatistics) {
+  std::vector<uint64_t> s = {10, 20, 30, 40};
+  EXPECT_EQ(ExactQuantile(s, 0.0), 10.0);
+  EXPECT_EQ(ExactQuantile(s, 1.0), 40.0);
+  // h = 0.5 * 3 = 1.5 -> halfway between 20 and 30.
+  EXPECT_DOUBLE_EQ(ExactQuantile(s, 0.5), 25.0);
+  // h = 0.25 * 3 = 0.75 -> 10 + 0.75 * (20 - 10).
+  EXPECT_DOUBLE_EQ(ExactQuantile(s, 0.25), 17.5);
+}
+
+TEST(QuantileTest, ExactQuantileMatchesNumpyOnOneToHundred) {
+  std::vector<uint64_t> s(100);
+  for (uint64_t i = 0; i < 100; ++i) s[i] = i + 1;
+  // numpy.percentile([1..100], q, interpolation='linear').
+  EXPECT_DOUBLE_EQ(ExactQuantile(s, 0.50), 50.5);
+  EXPECT_DOUBLE_EQ(ExactQuantile(s, 0.95), 95.05);
+  EXPECT_DOUBLE_EQ(ExactQuantile(s, 0.99), 99.01);
+}
+
+TEST(QuantileTest, LogBucketsConstantDistributionIsExact) {
+  // Every sample identical: min == max clamps the estimate to the
+  // exact value regardless of bucket width.
+  uint64_t counts[65] = {};
+  counts[7] = 1000;  // 100 lands in bucket ceil(log2)=7: [64, 127].
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_EQ(QuantileFromLogBuckets(counts, 1000, 100, 100, q), 100u);
+  }
+}
+
+TEST(QuantileTest, LogBucketsUsesCeilRankNotTruncation) {
+  // 100 samples: 95 small (value 1, bucket 1) and 5 large (value 1000,
+  // bucket 10). p95 must pick rank ceil(0.95*100)=95 — the last small
+  // sample — while p96 crosses into the large bucket. The old
+  // truncating rank under-reported exactly this boundary.
+  uint64_t counts[65] = {};
+  counts[1] = 95;
+  counts[10] = 5;
+  EXPECT_LE(QuantileFromLogBuckets(counts, 100, 1, 1000, 0.95), 2u);
+  EXPECT_GE(QuantileFromLogBuckets(counts, 100, 1, 1000, 0.96), 512u);
+}
+
+TEST(QuantileTest, LogBucketsWithinFactorTwoOfExactOnUniform) {
+  // Uniform 1..4096 through real Histogram buckets: the log2-bucket
+  // estimate is allowed to be off by at most the bucket width (2x).
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("q.uniform");
+  std::vector<uint64_t> samples;
+  for (uint64_t v = 1; v <= 4096; ++v) {
+    h->Record(v);
+    samples.push_back(v);
+  }
+  HistogramSummary summary = h->Summary();
+  for (auto [est, q] : {std::pair<uint64_t, double>{summary.p50, 0.50},
+                        {summary.p95, 0.95},
+                        {summary.p99, 0.99}}) {
+    const double exact = ExactQuantile(samples, q);
+    EXPECT_GE(static_cast<double>(est), exact / 2.0) << "q=" << q;
+    EXPECT_LE(static_cast<double>(est), exact * 2.0) << "q=" << q;
+  }
+  EXPECT_LE(summary.p50, summary.p95);
+  EXPECT_LE(summary.p95, summary.p99);
+}
+
+TEST(QuantileTest, LogBucketsEmptyTotalIsZero) {
+  uint64_t counts[65] = {};
+  EXPECT_EQ(QuantileFromLogBuckets(counts, 0, 0, 0, 0.5), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,424 @@
+// Exportable profiles: Chrome trace_event round-trip, the slow-query
+// log (threshold, ring, JSONL sink, executor wiring), and the metrics
+// snapshotter's delta math — each asserted by parsing the emitted JSON
+// back (tests/testjson.h), not by eyeballing substrings.
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/ieee_generator.h"
+#include "gtest/gtest.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/snapshotter.h"
+#include "obs/trace.h"
+#include "testjson.h"
+#include "testutil.h"
+#include "trex/query_executor.h"
+#include "trex/trex.h"
+
+namespace trex {
+namespace {
+
+test::JsonValue ParseOrFail(const std::string& text) {
+  test::JsonParser parser(text);
+  test::JsonValue v = parser.Parse();
+  EXPECT_TRUE(parser.ok()) << parser.error() << " in: " << text;
+  return v;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+// A three-span tree with attributes on every level, closed in LIFO
+// order — the same shape the retrieval stack produces.
+std::unique_ptr<obs::Trace> MakeSampleTrace() {
+  auto trace = std::make_unique<obs::Trace>("query");
+  {
+    obs::TraceSpan translate(trace.get(), "translate");
+    translate.AddAttr("terms", uint64_t{3});
+  }
+  {
+    obs::TraceSpan evaluate(trace.get(), "evaluate:era");
+    evaluate.AddAttr("lists", uint64_t{2});
+    {
+      obs::TraceSpan fetch(trace.get(), "fetch");
+      fetch.AddAttr("note", "warm");
+    }
+  }
+  trace->AddRootAttr("pages_fetched", uint64_t{42});
+  trace->Finish();
+  return trace;
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace_event export.
+
+TEST(ChromeTraceTest, EmptyWriterEmitsValidEnvelope) {
+  obs::ChromeTraceWriter writer;
+  test::JsonValue v = ParseOrFail(writer.Json());
+  ASSERT_TRUE(v.is_object());
+  EXPECT_TRUE(v.at("traceEvents").is_array());
+  EXPECT_TRUE(v.at("traceEvents").array.empty());
+  EXPECT_EQ(v.at("displayTimeUnit").str, "ns");
+}
+
+TEST(ChromeTraceTest, SpanTreeRoundTripsAsCompleteEvents) {
+  auto trace = MakeSampleTrace();
+  std::string json = obs::ChromeTraceJson(*trace, /*pid=*/7, /*tid=*/3);
+  test::JsonValue v = ParseOrFail(json);
+  const auto& events = v.at("traceEvents").array;
+  // Root + translate + evaluate:era + fetch.
+  ASSERT_EQ(events.size(), 4u);
+  for (const test::JsonValue& e : events) {
+    EXPECT_EQ(e.at("ph").str, "X");
+    EXPECT_EQ(e.at("pid").number, 7.0);
+    EXPECT_EQ(e.at("tid").number, 3.0);
+    EXPECT_TRUE(e.at("ts").is_number());
+    EXPECT_TRUE(e.at("dur").is_number());
+  }
+  EXPECT_EQ(events[0].at("name").str, "query");
+  EXPECT_EQ(events[1].at("name").str, "translate");
+  EXPECT_EQ(events[2].at("name").str, "evaluate:era");
+  EXPECT_EQ(events[3].at("name").str, "fetch");
+  // Typed attrs survive as args.
+  EXPECT_EQ(events[0].at("args").at("pages_fetched").number, 42.0);
+  EXPECT_EQ(events[1].at("args").at("terms").number, 3.0);
+  EXPECT_EQ(events[3].at("args").at("note").str, "warm");
+}
+
+TEST(ChromeTraceTest, ChildEventsNestInsideParents) {
+  auto trace = MakeSampleTrace();
+  test::JsonValue v = ParseOrFail(obs::ChromeTraceJson(*trace));
+  const auto& events = v.at("traceEvents").array;
+  ASSERT_EQ(events.size(), 4u);
+  // trace_event nesting is positional: a child's [ts, ts+dur] interval
+  // lies within its parent's. fetch (3) is inside evaluate:era (2),
+  // which is inside the root (0).
+  auto begin = [&](size_t i) { return events[i].at("ts").number; };
+  auto end = [&](size_t i) {
+    return events[i].at("ts").number + events[i].at("dur").number;
+  };
+  EXPECT_GE(begin(3), begin(2));
+  EXPECT_LE(end(3), end(2) + 0.001);  // 1 ns slack for µs rounding.
+  EXPECT_GE(begin(2), begin(0));
+  EXPECT_LE(end(2), end(0) + 0.001);
+}
+
+TEST(ChromeTraceTest, WriterLaysTracesOutInSeparateLanes) {
+  auto a = MakeSampleTrace();
+  auto b = MakeSampleTrace();
+  obs::ChromeTraceWriter writer;
+  writer.AddTrace(*a, /*pid=*/1, /*tid=*/1);
+  writer.AddTrace(*b, /*pid=*/1, /*tid=*/2, /*ts_offset_nanos=*/5000);
+  EXPECT_EQ(writer.event_count(), 8u);
+  test::JsonValue v = ParseOrFail(writer.Json());
+  const auto& events = v.at("traceEvents").array;
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(events[0].at("tid").number, 1.0);
+  EXPECT_EQ(events[4].at("tid").number, 2.0);
+  // The offset shifts the second trace's epoch on the shared timeline
+  // (5000 ns = 5 µs in trace_event units).
+  EXPECT_GE(events[4].at("ts").number, 5.0);
+}
+
+// ---------------------------------------------------------------------
+// Slow-query log.
+
+obs::SlowQueryRecord MakeRecord(const std::string& query,
+                                int64_t duration_nanos,
+                                uint64_t pages = 0) {
+  obs::SlowQueryRecord r;
+  r.query = query;
+  r.method = "ERA";
+  r.duration_nanos = duration_nanos;
+  r.resources.pages_fetched = pages;
+  return r;
+}
+
+TEST(SlowQueryLogTest, LatencyThresholdFilters) {
+  obs::SlowQueryLog::Options options;
+  options.threshold_nanos = 1'000'000;  // 1 ms.
+  obs::SlowQueryLog log(options);
+  EXPECT_FALSE(log.Observe(MakeRecord("fast", 999'999)));
+  EXPECT_TRUE(log.Observe(MakeRecord("slow", 1'000'000)));
+  EXPECT_EQ(log.observed(), 2u);
+  EXPECT_EQ(log.recorded(), 1u);
+  auto recent = log.Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].query, "slow");
+  EXPECT_EQ(recent[0].sequence, 1u);
+}
+
+TEST(SlowQueryLogTest, PageThresholdCatchesFastButExpensiveQueries) {
+  obs::SlowQueryLog::Options options;
+  options.threshold_nanos = 1'000'000'000;  // Never by latency here.
+  options.threshold_pages = 100;
+  obs::SlowQueryLog log(options);
+  EXPECT_FALSE(log.Observe(MakeRecord("cheap", 10, /*pages=*/99)));
+  EXPECT_TRUE(log.Observe(MakeRecord("expensive", 10, /*pages=*/100)));
+}
+
+TEST(SlowQueryLogTest, RingWrapsKeepingNewestOldestFirst) {
+  obs::SlowQueryLog::Options options;
+  options.threshold_nanos = 0;  // Record everything.
+  options.ring_capacity = 4;
+  obs::SlowQueryLog log(options);
+  for (int i = 1; i <= 6; ++i) {
+    EXPECT_TRUE(log.Observe(MakeRecord("q" + std::to_string(i), i)));
+  }
+  auto recent = log.Recent();
+  ASSERT_EQ(recent.size(), 4u);
+  // Sequences 3..6 survive, oldest first.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(recent[i].sequence, i + 3) << "slot " << i;
+    EXPECT_EQ(recent[i].query, "q" + std::to_string(i + 3));
+  }
+  EXPECT_EQ(log.recorded(), 6u);
+}
+
+TEST(SlowQueryLogTest, JsonlSinkWritesOneParsableObjectPerRecord) {
+  std::string dir = test::UniqueTestDir("slowlog");
+  std::string path = dir + "/slow.jsonl";
+  {
+    obs::SlowQueryLog::Options options;
+    options.threshold_nanos = 0;
+    options.jsonl_path = path;
+    obs::SlowQueryLog log(options);
+    ASSERT_FALSE(log.sink_failed());
+    obs::SlowQueryRecord r = MakeRecord("//article[about(., \"xml\")]", 7);
+    r.resources.pages_fetched = 11;
+    auto trace = MakeSampleTrace();
+    r.trace_json = trace->ToJson();
+    EXPECT_TRUE(log.Observe(std::move(r)));
+    EXPECT_TRUE(log.Observe(MakeRecord("plain", 9)));
+  }
+  auto lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  test::JsonValue first = ParseOrFail(lines[0]);
+  EXPECT_EQ(first.at("seq").number, 1.0);
+  EXPECT_EQ(first.at("query").str, "//article[about(., \"xml\")]");
+  EXPECT_EQ(first.at("method").str, "ERA");
+  EXPECT_EQ(first.at("duration_ns").number, 7.0);
+  EXPECT_EQ(first.at("resources").at("pages_fetched").number, 11.0);
+  // The full span tree is embedded, not stringified.
+  const test::JsonValue& tree = first.at("trace");
+  ASSERT_TRUE(tree.is_object());
+  EXPECT_EQ(tree.at("name").str, "query");
+  ASSERT_EQ(tree.at("children").array.size(), 2u);
+  EXPECT_EQ(tree.at("children").array[1].at("name").str, "evaluate:era");
+  // A record without a trace degrades to null.
+  test::JsonValue second = ParseOrFail(lines[1]);
+  EXPECT_TRUE(second.at("trace").is_null());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SlowQueryLogTest, SinkFailureIsReportedNotFatal) {
+  obs::SlowQueryLog::Options options;
+  options.threshold_nanos = 0;
+  options.jsonl_path = "/nonexistent-dir-for-trex-test/slow.jsonl";
+  obs::SlowQueryLog log(options);
+  EXPECT_TRUE(log.sink_failed());
+  // The ring still works.
+  EXPECT_TRUE(log.Observe(MakeRecord("q", 1)));
+  EXPECT_EQ(log.Recent().size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Snapshotter delta math (pure) and the background thread.
+
+TEST(SnapshotterTest, DeltaJsonComputesCounterDeltasAndAbsoluteGauges) {
+  obs::MetricsSnapshot prev;
+  prev.counters["a.count"] = 10;
+  prev.gauges["g.depth"] = 5;
+  obs::MetricsSnapshot cur;
+  cur.counters["a.count"] = 25;
+  cur.counters["b.fresh"] = 3;  // Appears between ticks.
+  cur.gauges["g.depth"] = 2;
+
+  std::string line =
+      obs::MetricsSnapshotter::DeltaJson(prev, cur, /*tick=*/4,
+                                         /*elapsed_nanos=*/1'000'000);
+  test::JsonValue v = ParseOrFail(line);
+  EXPECT_EQ(v.at("tick").number, 4.0);
+  EXPECT_EQ(v.at("elapsed_ns").number, 1'000'000.0);
+  EXPECT_EQ(v.at("counters").at("a.count").number, 15.0);
+  EXPECT_EQ(v.at("counters").at("b.fresh").number, 3.0);
+  EXPECT_EQ(v.at("gauges").at("g.depth").number, 2.0);
+}
+
+TEST(SnapshotterTest, DeltaJsonHistogramsMixDeltaAndAbsolute) {
+  obs::HistogramSummary before;
+  before.count = 100;
+  before.sum = 1000;
+  obs::HistogramSummary after;
+  after.count = 160;
+  after.sum = 2500;
+  after.p50 = 12;
+  after.p95 = 40;
+  after.p99 = 90;
+  obs::MetricsSnapshot prev;
+  prev.histograms["h.lat"] = before;
+  obs::MetricsSnapshot cur;
+  cur.histograms["h.lat"] = after;
+
+  test::JsonValue v = ParseOrFail(
+      obs::MetricsSnapshotter::DeltaJson(prev, cur, 1, 1));
+  const test::JsonValue& h = v.at("histograms").at("h.lat");
+  ASSERT_TRUE(h.is_object());
+  // count/sum are deltas; percentiles are absolute (current shape).
+  EXPECT_EQ(h.at("count").number, 60.0);
+  EXPECT_EQ(h.at("sum").number, 1500.0);
+  EXPECT_EQ(h.at("p50").number, 12.0);
+  EXPECT_EQ(h.at("p95").number, 40.0);
+  EXPECT_EQ(h.at("p99").number, 90.0);
+}
+
+TEST(SnapshotterTest, DeltasConsistentUnderConcurrentWriters) {
+  // Writers hammer a counter while snapshots are taken. Each tick's
+  // delta must be non-negative and the deltas must telescope: their sum
+  // equals last - first (no lost or double-counted increments).
+  obs::MetricsRegistry reg;
+  obs::Counter* c = reg.GetCounter("w.count");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([c, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) c->Add();
+    });
+  }
+  std::vector<obs::MetricsSnapshot> snaps;
+  for (int i = 0; i < 50; ++i) snaps.push_back(reg.Snapshot());
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+
+  uint64_t telescoped = 0;
+  for (size_t i = 1; i < snaps.size(); ++i) {
+    const uint64_t prev = snaps[i - 1].counter("w.count");
+    const uint64_t cur = snaps[i].counter("w.count");
+    ASSERT_GE(cur, prev) << "counter went backwards at snapshot " << i;
+    test::JsonValue v = ParseOrFail(
+        obs::MetricsSnapshotter::DeltaJson(snaps[i - 1], snaps[i], i, 1));
+    const double delta = v.at("counters").at("w.count").number;
+    EXPECT_EQ(delta, static_cast<double>(cur - prev));
+    telescoped += cur - prev;
+  }
+  EXPECT_EQ(telescoped, snaps.back().counter("w.count") -
+                            snaps.front().counter("w.count"));
+}
+
+TEST(SnapshotterTest, BackgroundThreadWritesParsableTicks) {
+  std::string dir = test::UniqueTestDir("snapshotter");
+  std::string path = dir + "/snapshots.jsonl";
+  obs::MetricsRegistry reg;
+  obs::MetricsSnapshotter::Options options;
+  options.period_millis = 10;
+  options.jsonl_path = path;
+  options.registry = &reg;
+  obs::MetricsSnapshotter snapshotter(options);
+  ASSERT_TRUE(snapshotter.Start());
+  // Wait out the first tick before touching the counter: ticks() >= 1
+  // means the tick-1 snapshot is taken, so every increment below lands
+  // strictly after it and must show up in later deltas (the final one
+  // written by Stop() at the latest).
+  while (snapshotter.ticks() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  obs::Counter* c = reg.GetCounter("bg.count");
+  for (int i = 0; i < 100; ++i) {
+    c->Add();
+    if (i % 10 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  snapshotter.Stop();
+  EXPECT_GE(snapshotter.ticks(), 1u);
+  auto lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), snapshotter.ticks());
+  uint64_t total = 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    test::JsonValue v = ParseOrFail(lines[i]);
+    EXPECT_EQ(v.at("tick").number, static_cast<double>(i + 1));
+    EXPECT_GT(v.at("elapsed_ns").number, 0.0);
+    ASSERT_TRUE(v.at("counters").is_object());
+    total += static_cast<uint64_t>(v.at("counters").at("bg.count").number);
+  }
+  // Stop() writes a final tick, so the series covers every increment.
+  EXPECT_EQ(total, 100u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SnapshotterTest, StartFailsCleanlyOnBadSink) {
+  obs::MetricsRegistry reg;
+  obs::MetricsSnapshotter::Options options;
+  options.jsonl_path = "/nonexistent-dir-for-trex-test/snap.jsonl";
+  options.registry = &reg;
+  obs::MetricsSnapshotter snapshotter(options);
+  EXPECT_FALSE(snapshotter.Start());
+  snapshotter.Stop();  // No-op; must not hang or crash.
+  EXPECT_EQ(snapshotter.ticks(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Executor wiring: every finished query is observed with its method,
+// resource vector and span tree.
+
+TEST(SlowQueryLogTest, ExecutorFeedsLogWithFullRecords) {
+  std::string dir = test::UniqueTestDir("slowlog_exec");
+  IeeeGeneratorOptions gen_options;
+  gen_options.num_documents = 40;
+  gen_options.size_factor = 0.5;
+  IeeeGenerator gen(gen_options);
+  TrexOptions trex_options;
+  trex_options.index.aliases = IeeeAliasMap();
+  auto built = TReX::Build(dir + "/idx", gen, trex_options);
+  TREX_CHECK_OK(built.status());
+  std::unique_ptr<TReX> trex = std::move(built).value();
+
+  obs::SlowQueryLog::Options log_options;
+  log_options.threshold_nanos = 0;  // Every query is "slow".
+  obs::SlowQueryLog log(log_options);
+
+  constexpr char kQuery[] =
+      "//article//sec[about(., ontologies case study)]";
+  {
+    QueryExecutor executor(trex.get(), 2);
+    executor.set_slow_query_log(&log);
+    std::vector<std::future<Result<QueryAnswer>>> futures;
+    for (int i = 0; i < 4; ++i) futures.push_back(executor.Submit(kQuery, 5));
+    for (auto& f : futures) {
+      auto answer = f.get();
+      ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    }
+  }
+  EXPECT_EQ(log.observed(), 4u);
+  EXPECT_EQ(log.recorded(), 4u);
+  for (const obs::SlowQueryRecord& r : log.Recent()) {
+    EXPECT_EQ(r.query, kQuery);
+    EXPECT_EQ(r.method, "ERA");  // No redundant lists: strategy's fallback.
+    EXPECT_GT(r.duration_nanos, 0);
+    EXPECT_GT(r.resources.pages_fetched, 0u);
+    // The record's trace embeds the usual per-phase spans.
+    test::JsonValue tree = ParseOrFail(r.trace_json);
+    ASSERT_TRUE(tree.at("children").is_array());
+    EXPECT_FALSE(tree.at("children").array.empty());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace trex

@@ -1,0 +1,249 @@
+// A deliberately small recursive-descent JSON parser for tests that
+// assert on serialized output (trace trees, Chrome trace_event export,
+// slow-query JSONL, snapshotter ticks). Test-only: it accepts strict
+// JSON, keeps numbers as doubles (plenty for the magnitudes asserted
+// here), and fails loudly via ok()/error() rather than exceptions so a
+// malformed document turns into a readable gtest failure, not a crash.
+#ifndef TREX_TESTS_TESTJSON_H_
+#define TREX_TESTS_TESTJSON_H_
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace trex {
+namespace test {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_null() const { return kind == Kind::kNull; }
+
+  bool has(const std::string& key) const {
+    return kind == Kind::kObject && object.count(key) > 0;
+  }
+  // Missing keys return a null value so chained lookups in EXPECTs
+  // degrade to a failed kind check instead of an abort.
+  const JsonValue& at(const std::string& key) const {
+    static const JsonValue kNullValue;
+    auto it = object.find(key);
+    return it == object.end() ? kNullValue : it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  // Parses the whole input as one document. On failure `ok()` is false
+  // and `error()` describes where parsing stopped.
+  JsonValue Parse() {
+    pos_ = 0;
+    ok_ = true;
+    error_.clear();
+    JsonValue v = ParseValue();
+    SkipSpace();
+    if (ok_ && pos_ != text_.size()) Fail("trailing characters");
+    return v;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  void Fail(const std::string& what) {
+    if (!ok_) return;
+    ok_ = false;
+    error_ = what + " at offset " + std::to_string(pos_);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* lit) {
+    size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue ParseValue() {
+    SkipSpace();
+    JsonValue v;
+    if (!ok_ || pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return v;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        v.kind = JsonValue::Kind::kString;
+        v.str = ParseString();
+        return v;
+      case 't':
+        if (ConsumeLiteral("true")) {
+          v.kind = JsonValue::Kind::kBool;
+          v.b = true;
+        } else {
+          Fail("bad literal");
+        }
+        return v;
+      case 'f':
+        if (ConsumeLiteral("false")) {
+          v.kind = JsonValue::Kind::kBool;
+          v.b = false;
+        } else {
+          Fail("bad literal");
+        }
+        return v;
+      case 'n':
+        if (!ConsumeLiteral("null")) Fail("bad literal");
+        return v;  // kNull.
+      default:
+        return ParseNumber();
+    }
+  }
+
+  JsonValue ParseObject() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Consume('}')) return v;
+    while (ok_) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        Fail("expected object key");
+        return v;
+      }
+      std::string key = ParseString();
+      if (!Consume(':')) {
+        Fail("expected ':'");
+        return v;
+      }
+      v.object[key] = ParseValue();
+      if (Consume(',')) continue;
+      if (Consume('}')) return v;
+      Fail("expected ',' or '}'");
+    }
+    return v;
+  }
+
+  JsonValue ParseArray() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (Consume(']')) return v;
+    while (ok_) {
+      v.array.push_back(ParseValue());
+      if (Consume(',')) continue;
+      if (Consume(']')) return v;
+      Fail("expected ',' or ']'");
+    }
+    return v;
+  }
+
+  std::string ParseString() {
+    std::string out;
+    ++pos_;  // opening '"'
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // Tests only emit ASCII escapes; decode the BMP code point
+          // to a single char when it fits, '?' otherwise.
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+            return out;
+          }
+          unsigned long cp =
+              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          out.push_back(cp < 0x80 ? static_cast<char>(cp) : '?');
+          break;
+        }
+        default:
+          Fail("bad escape");
+          return out;
+      }
+    }
+    Fail("unterminated string");
+    return out;
+  }
+
+  JsonValue ParseNumber() {
+    JsonValue v;
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+            text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      Fail("expected value");
+      return v;
+    }
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  const std::string text_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace test
+}  // namespace trex
+
+#endif  // TREX_TESTS_TESTJSON_H_
