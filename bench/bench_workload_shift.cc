@@ -1,0 +1,293 @@
+// bench_workload_shift: how fast does the self-managing loop chase a
+// moving workload?
+//
+// The bench serves two disjoint query sets against one index with the
+// online advisor enabled (manual ticks, so the phases are
+// deterministic):
+//
+//   a_cold     workload A on the bare index (ERA everywhere);
+//   a_adapted  workload A again after one advisor tick;
+//   b_cold     workload B right after the shift — the catalog still
+//              holds A's lists, so B pays cold-path prices;
+//   b_adapted  workload B after two more ticks (hysteresis may defer
+//              the drop of A's now-cold lists to the second one).
+//
+// Per phase it reports wall time, qps and the summed per-query
+// resource vector; per tick the advisor's own report (lists added and
+// dropped, catalog bytes vs budget). The JSON document
+// (BENCH_workload_shift.json, schema workload_shift/v1) is consumed by
+// scripts/bench_compare.py --shift-report, which renders it as a
+// NON-GATING report: adaptation speed is workload- and machine-
+// dependent, so this bench informs rather than fails CI.
+//
+// Knobs (environment, all optional):
+//   TREX_BENCH_DATA        index/cache directory
+//   TREX_BENCH_SHIFT_DOCS  corpus size at first build     (default 400)
+//   TREX_BENCH_SHIFT_REPS  serves per query per phase     (default 8)
+// Flags:
+//   --out=PATH   output JSON (default BENCH_workload_shift.json)
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/clock.h"
+#include "obs/resource.h"
+#include "retrieval/materializer.h"
+
+namespace trex {
+namespace bench {
+namespace {
+
+constexpr int kSchemaVersion = 1;
+constexpr size_t kTopK = 10;
+
+// Two disjoint IEEE workloads (Table 1 queries the shift alternates
+// between).
+const std::vector<const char*>& WorkloadA() {
+  static const std::vector<const char*> kQueries = {
+      "//article[about(., ontologies)]//sec[about(., ontologies case "
+      "study)]",
+      "//article//sec[about(., introduction information retrieval)]",
+  };
+  return kQueries;
+}
+
+const std::vector<const char*>& WorkloadB() {
+  static const std::vector<const char*> kQueries = {
+      "//sec[about(., code signing verification)]",
+      "//article[about(.//bdy, synthesizers) and about(.//bdy, music)]",
+  };
+  return kQueries;
+}
+
+struct PhaseResult {
+  std::string name;       // "a_cold" | "a_adapted" | "b_cold" | ...
+  size_t queries = 0;     // Serves in the phase.
+  double wall_s = 0.0;
+  double qps = 0.0;
+  obs::ResourceUsage totals;
+};
+
+struct TickResult {
+  std::string after_phase;
+  AdvisorTickReport report;
+};
+
+// Serves every query in `workload` `reps` times through the recording
+// facade path and sums the per-answer resource vectors.
+PhaseResult ServePhase(TReX* trex, const char* name,
+                       const std::vector<const char*>& workload,
+                       size_t reps) {
+  PhaseResult phase;
+  phase.name = name;
+  Stopwatch watch;
+  for (size_t r = 0; r < reps; ++r) {
+    for (const char* nexi : workload) {
+      auto answer = trex->Query(nexi, kTopK);
+      TREX_CHECK_OK(answer.status());
+      const obs::ResourceUsage& u = answer.value().resources;
+      phase.totals.pages_fetched += u.pages_fetched;
+      phase.totals.pages_faulted += u.pages_faulted;
+      phase.totals.bytes_read += u.bytes_read;
+      phase.totals.bytes_decoded += u.bytes_decoded;
+      phase.totals.list_fragments += u.list_fragments;
+      phase.totals.postings_scanned += u.postings_scanned;
+      phase.totals.sorted_accesses += u.sorted_accesses;
+      phase.totals.random_accesses += u.random_accesses;
+      phase.totals.elements_scanned += u.elements_scanned;
+      phase.totals.heap_operations += u.heap_operations;
+      ++phase.queries;
+    }
+  }
+  phase.wall_s = watch.ElapsedSeconds();
+  phase.qps = static_cast<double>(phase.queries) / phase.wall_s;
+  std::printf("%-10s %4zu queries %8.3fs %8.1f qps  %8" PRIu64 " pages\n",
+              phase.name.c_str(), phase.queries, phase.wall_s, phase.qps,
+              phase.totals.pages_fetched);
+  return phase;
+}
+
+TickResult Tick(TReX* trex, const char* after_phase) {
+  TickResult tick;
+  tick.after_phase = after_phase;
+  TREX_CHECK_OK(trex->advisor_loop()->TickNow(&tick.report));
+  std::printf("  tick %" PRIu64 ": +%zu/-%zu lists (%zu deferred), "
+              "%" PRIu64 "/%" PRIu64 " bytes\n",
+              tick.report.tick, tick.report.lists_materialized,
+              tick.report.lists_dropped, tick.report.drops_deferred,
+              tick.report.bytes_materialized, tick.report.bytes_budget);
+  return tick;
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  out->append(buf);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendPhase(std::string* out, const PhaseResult& p) {
+  out->append("{\"name\":\"");
+  out->append(p.name);
+  out->append("\",\"queries\":");
+  AppendU64(out, p.queries);
+  out->append(",\"wall_s\":");
+  AppendDouble(out, p.wall_s);
+  out->append(",\"qps\":");
+  AppendDouble(out, p.qps);
+  out->append(",\"resources\":");
+  p.totals.AppendJson(out);
+  out->push_back('}');
+}
+
+void AppendTick(std::string* out, const TickResult& t) {
+  out->append("{\"after_phase\":\"");
+  out->append(t.after_phase);
+  out->append("\",\"tick\":");
+  AppendU64(out, t.report.tick);
+  out->append(",\"planned\":");
+  out->append(t.report.planned ? "true" : "false");
+  out->append(",\"applied\":");
+  out->append(t.report.applied ? "true" : "false");
+  out->append(",\"workload_queries\":");
+  AppendU64(out, t.report.workload_queries);
+  out->append(",\"lists_materialized\":");
+  AppendU64(out, t.report.lists_materialized);
+  out->append(",\"lists_dropped\":");
+  AppendU64(out, t.report.lists_dropped);
+  out->append(",\"drops_deferred\":");
+  AppendU64(out, t.report.drops_deferred);
+  out->append(",\"bytes_materialized\":");
+  AppendU64(out, t.report.bytes_materialized);
+  out->append(",\"bytes_budget\":");
+  AppendU64(out, t.report.bytes_budget);
+  out->append(",\"planned_saving_s\":");
+  AppendDouble(out, t.report.planned_saving);
+  out->push_back('}');
+}
+
+int Run(const std::string& out_path) {
+  const size_t reps = BenchScaleDocs("TREX_BENCH_SHIFT_REPS", 8);
+
+  // A dedicated (small) index: the shift bench mutates its catalog, so
+  // it must not share the suite's read-mostly IEEE cache.
+  std::string dir = BenchDataDir() + "/ShiftIEEE";
+  TrexOptions options;
+  options.index.aliases = IeeeAliasMap();
+  std::unique_ptr<TReX> trex;
+  if (Env::FileExists(dir + "/manifest.txt")) {
+    auto opened = TReX::Open(dir, options);
+    TREX_CHECK_OK(opened.status());
+    trex = std::move(opened).value();
+  } else {
+    std::fprintf(stderr, "[bench] building ShiftIEEE index in %s ...\n",
+                 dir.c_str());
+    IeeeGeneratorOptions gen_options;
+    gen_options.num_documents = BenchScaleDocs("TREX_BENCH_SHIFT_DOCS", 400);
+    IeeeGenerator gen(gen_options);
+    auto built = TReX::Build(dir, gen, options);
+    TREX_CHECK_OK(built.status());
+    trex = std::move(built).value();
+    TREX_CHECK_OK(trex->index()->Flush());
+  }
+
+  // Start every run from a bare catalog so reruns over a cached index
+  // measure the same adaptation path.
+  {
+    std::vector<ListUnit> all_units;
+    {
+      auto snapshot = trex->index()->ReaderLock();
+      auto entries = trex->index()->catalog()->List();
+      TREX_CHECK_OK(entries.status());
+      for (const CatalogEntry& e : entries.value()) {
+        all_units.push_back(ListUnit{e.kind, e.term, e.sid});
+      }
+    }
+    if (!all_units.empty()) {
+      TREX_CHECK_OK(DropUnits(trex->index(), all_units));
+      TREX_CHECK_OK(trex->index()->Flush());
+    }
+  }
+
+  // Manual ticks; one-tick hysteresis so the b_adapted phase shows the
+  // drop of A's lists within the advertised two ticks.
+  TReX::SelfManagementOptions sm;
+  sm.loop.min_list_age_ticks = 1;
+  sm.start_background = false;
+  sm.load_persisted = false;
+  TREX_CHECK_OK(trex->EnableSelfManagement(std::move(sm)));
+
+  std::vector<PhaseResult> phases;
+  std::vector<TickResult> ticks;
+
+  phases.push_back(ServePhase(trex.get(), "a_cold", WorkloadA(), reps));
+  ticks.push_back(Tick(trex.get(), "a_cold"));
+  phases.push_back(ServePhase(trex.get(), "a_adapted", WorkloadA(), reps));
+
+  // The shift: drown A's sketch weight under B before re-planning.
+  trex->workload_recorder()->Clear();
+  phases.push_back(ServePhase(trex.get(), "b_cold", WorkloadB(), reps));
+  ticks.push_back(Tick(trex.get(), "b_cold"));
+  ticks.push_back(Tick(trex.get(), "b_cold"));
+  phases.push_back(ServePhase(trex.get(), "b_adapted", WorkloadB(), reps));
+
+  TREX_CHECK_OK(trex->DisableSelfManagement());
+
+  std::string json = "{\"schema_version\":";
+  AppendU64(&json, kSchemaVersion);
+  json.append(",\"bench\":\"workload_shift\",\"git_sha\":\"");
+  json.append(BenchGitSha());
+  json.append("\",\"collection\":\"IEEE\",\"k\":");
+  AppendU64(&json, kTopK);
+  json.append(",\"reps_per_query\":");
+  AppendU64(&json, reps);
+  json.append(",\"phases\":[");
+  for (size_t i = 0; i < phases.size(); ++i) {
+    if (i > 0) json.push_back(',');
+    AppendPhase(&json, phases[i]);
+  }
+  json.append("],\"ticks\":[");
+  for (size_t i = 0; i < ticks.size(); ++i) {
+    if (i > 0) json.push_back(',');
+    AppendTick(&json, ticks[i]);
+  }
+  json.append("]}\n");
+
+  Status s = Env::WriteStringToFile(out_path, json);
+  if (!s.ok()) {
+    std::fprintf(stderr, "[bench_workload_shift] cannot write %s: %s\n",
+                 out_path.c_str(), s.ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%zu phases, %zu ticks -> %s\n", phases.size(),
+              ticks.size(), out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trex
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_workload_shift.json";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+    } else {
+      std::fprintf(stderr, "usage: bench_workload_shift [--out=PATH]\n");
+      return 2;
+    }
+  }
+  int rc = trex::bench::Run(out_path);
+  trex::bench::WriteBenchMetrics("bench_workload_shift");
+  return rc;
+}

@@ -21,6 +21,13 @@
 //   #                        after N buffer-pool page accesses
 //   #   --slow-log=PATH      append queries over the --slow-ms
 //   #                        threshold (default 50) to PATH as JSONL
+//
+//   # Online self-management: record the served queries into the
+//   # workload sketch, run an advisor tick, and show the query being
+//   # re-served from the freshly materialized lists (the background
+//   # loop keeps ticking every --advisor-interval=MS, default 2000):
+//   ./examples/search_cli --demo workdir "//article[about(., xml)]" 10
+//       --self-manage
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -56,6 +63,8 @@ std::string Snippet(const std::string& doc, const trex::ElementInfo& e) {
 
 int main(int argc, char** argv) {
   bool explain = false;
+  bool self_manage = false;
+  int64_t advisor_interval_ms = 2000;
   size_t threads = 1;
   std::string trace_out;
   std::string slow_log_path;
@@ -76,6 +85,11 @@ int main(int argc, char** argv) {
       slow_ms = std::atof(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--budget-pages=", 15) == 0) {
       budget_pages = static_cast<uint64_t>(std::atoll(argv[i] + 15));
+    } else if (std::strcmp(argv[i], "--self-manage") == 0) {
+      self_manage = true;
+    } else if (std::strncmp(argv[i], "--advisor-interval=", 19) == 0) {
+      advisor_interval_ms = std::atoll(argv[i] + 19);
+      if (advisor_interval_ms <= 0) advisor_interval_ms = 2000;
     } else {
       args.push_back(argv[i]);
     }
@@ -84,7 +98,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s (--demo | <xml-dir>) <workdir> <nexi-query> "
                  "[k] [--explain] [--threads N] [--trace-out=PATH] "
-                 "[--budget-pages=N] [--slow-log=PATH] [--slow-ms=MS]\n",
+                 "[--budget-pages=N] [--slow-log=PATH] [--slow-ms=MS] "
+                 "[--self-manage] [--advisor-interval=MS]\n",
                  argv[0]);
     return 2;
   }
@@ -155,6 +170,20 @@ int main(int argc, char** argv) {
     auto opened = trex::TReX::Open(index_dir, options);
     TREX_CHECK_OK(opened.status());
     trex = std::move(opened).value();
+  }
+
+  if (self_manage && threads > 1) {
+    std::fprintf(stderr,
+                 "--self-manage needs a writable handle; it cannot be "
+                 "combined with --threads (read-shared serving)\n");
+    return 1;
+  }
+  if (self_manage) {
+    // Record every served query into the persisted workload sketch and
+    // let the background advisor adapt the materialized lists.
+    trex::TReX::SelfManagementOptions sm;
+    sm.loop.interval_millis = advisor_interval_ms;
+    TREX_CHECK_OK(trex->EnableSelfManagement(std::move(sm)));
   }
 
   trex::QueryOptions query_options;
@@ -324,6 +353,35 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(slow_log->recorded()),
                 static_cast<unsigned long long>(slow_log->observed()),
                 slow_ms, slow_log_path.c_str());
+  }
+  if (self_manage) {
+    // Show the loop closing: re-serve the (now recorded) query a few
+    // more times so its sketch weight dominates, force one advisor tick
+    // instead of waiting out --advisor-interval, then serve once more
+    // from whatever the tick materialized.
+    for (int i = 0; i < 9; ++i) {
+      TREX_CHECK_OK(trex->Query(query, k, query_options).status());
+    }
+    trex::AdvisorTickReport report;
+    TREX_CHECK_OK(trex->advisor_loop()->TickNow(&report));
+    auto adapted = trex->Query(query, k, query_options);
+    TREX_CHECK_OK(adapted.status());
+    std::printf(
+        "\nself-manage: tick %llu planned=%d applied=%d "
+        "workload=%zu +%zu/-%zu lists, %llu/%llu bytes\n"
+        "self-manage: %s (%llu pages) -> %s (%llu pages)\n",
+        static_cast<unsigned long long>(report.tick), report.planned ? 1 : 0,
+        report.applied ? 1 : 0, report.workload_queries,
+        report.lists_materialized, report.lists_dropped,
+        static_cast<unsigned long long>(report.bytes_materialized),
+        static_cast<unsigned long long>(report.bytes_budget),
+        trex::RetrievalMethodName(answer.value().method),
+        static_cast<unsigned long long>(
+            answer.value().resources.pages_fetched),
+        trex::RetrievalMethodName(adapted.value().method),
+        static_cast<unsigned long long>(
+            adapted.value().resources.pages_fetched));
+    TREX_CHECK_OK(trex->DisableSelfManagement());
   }
   return 0;
 }

@@ -5,6 +5,14 @@ Usage:
   bench_compare.py --validate FILE
       Schema-check one BENCH_*.json document (exit 0 iff valid).
 
+  bench_compare.py --shift-report FILE
+      Render a bench_workload_shift document (schema workload_shift/v1)
+      as a human-readable adaptation report: per-phase qps/pages, the
+      cold->adapted ratios for each workload, and the advisor tick log.
+      NON-GATING: always exits 0 (except on unreadable/malformed input)
+      — adaptation speed is workload- and machine-dependent, so this
+      mode informs rather than fails CI.
+
   bench_compare.py BASELINE CURRENT [--max-regress PCT]
                    [--inject-slowdown PCT]
       Compare CURRENT against BASELINE workload-by-workload (matched by
@@ -200,15 +208,71 @@ def inject_slowdown(doc, pct):
     return doc
 
 
+def shift_report(doc):
+    """Prints the workload-shift adaptation report. Returns 0 unless the
+    document is structurally unusable (non-gating by design)."""
+    if doc.get("bench") != "workload_shift" or not isinstance(
+        doc.get("phases"), list
+    ):
+        print(
+            "shift-report: not a workload_shift document "
+            f"(bench={doc.get('bench')!r})",
+            file=sys.stderr,
+        )
+        return 1
+    phases = {p.get("name"): p for p in doc["phases"]}
+    print(
+        f"workload-shift report (git {doc.get('git_sha', '?')[:12]}, "
+        f"{doc.get('reps_per_query', '?')} reps/query)"
+    )
+    for p in doc["phases"]:
+        res = p.get("resources", {})
+        print(
+            f"  {p.get('name', '?'):<10} {p.get('queries', 0):4} queries"
+            f"  {p.get('qps', 0.0):10.1f} qps"
+            f"  {res.get('pages_fetched', 0):8} pages"
+            f"  {res.get('bytes_read', 0):12} bytes"
+        )
+    for workload in ("a", "b"):
+        cold = phases.get(f"{workload}_cold")
+        adapted = phases.get(f"{workload}_adapted")
+        if not cold or not adapted:
+            continue
+        cold_pages = cold.get("resources", {}).get("pages_fetched", 0)
+        warm_pages = adapted.get("resources", {}).get("pages_fetched", 0)
+        if cold_pages > 0:
+            ratio = warm_pages / cold_pages
+            print(
+                f"  workload {workload.upper()}: pages "
+                f"{cold_pages} -> {warm_pages} "
+                f"({ratio:.2f}x of cold)"
+                + ("" if ratio <= 1.0 else "  [did not adapt]")
+            )
+    for t in doc.get("ticks", []):
+        print(
+            f"  tick {t.get('tick', '?')} (after {t.get('after_phase', '?')}):"
+            f" +{t.get('lists_materialized', 0)}"
+            f"/-{t.get('lists_dropped', 0)} lists"
+            f" ({t.get('drops_deferred', 0)} deferred),"
+            f" {t.get('bytes_materialized', 0)}"
+            f"/{t.get('bytes_budget', 0)} bytes"
+        )
+    return 0
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         prog="bench_compare.py", description=__doc__
     )
     parser.add_argument("--validate", metavar="FILE")
+    parser.add_argument("--shift-report", metavar="FILE")
     parser.add_argument("files", nargs="*", metavar="BASELINE CURRENT")
     parser.add_argument("--max-regress", type=float, default=25.0)
     parser.add_argument("--inject-slowdown", type=float, default=0.0)
     args = parser.parse_args(argv)
+
+    if args.shift_report:
+        return shift_report(load(args.shift_report))
 
     if args.validate:
         doc = load(args.validate)

@@ -11,6 +11,12 @@
 #                                  #   self-test (must fail on an
 #                                  #   injected 50% slowdown), and a
 #                                  #   1-thread pass under TSan
+#   scripts/check.sh --advisor    # + the self-managing-loop suite on
+#                                 #   its own (ctest -L advisor under
+#                                 #   ASan/UBSan and again under TSan)
+#                                 #   plus bench_workload_shift on a
+#                                 #   tiny corpus with its non-gating
+#                                 #   adaptation report
 #   BUILD_DIR=/tmp/chk TSAN_BUILD_DIR=/tmp/chk-tsan scripts/check.sh
 set -euo pipefail
 
@@ -19,10 +25,12 @@ BUILD_DIR="${BUILD_DIR:-build-check}"
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-check-tsan}"
 STRESS=0
 BENCH_SMOKE=0
+ADVISOR=0
 for arg in "$@"; do
   case "$arg" in
     --stress) STRESS=1 ;;
     --bench-smoke) BENCH_SMOKE=1 ;;
+    --advisor) ADVISOR=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -110,4 +118,30 @@ EOF
     "$TSAN_BUILD_DIR/bench/bench_suite" --out="$SMOKE_DIR/BENCH_tsan.json"
   python3 scripts/bench_compare.py --validate "$SMOKE_DIR/BENCH_tsan.json"
   echo "bench-smoke: ok"
+fi
+
+# Advisor stage: the self-managing-loop suite on its own — the
+# workload-recorder/advisor-loop tests (including the crash-mid-apply
+# fault case) under ASan/UBSan, the same label under TSan so the
+# background tick thread is race-checked against concurrent queries,
+# and the workload-shift bench on a tiny corpus. The bench report is
+# NON-GATING (adaptation speed is machine-dependent): the bench binary
+# must run and its JSON must render, but the numbers never fail CI.
+if [ "$ADVISOR" -eq 1 ]; then
+  ctest --test-dir "$BUILD_DIR" -L advisor --output-on-failure -j "$(nproc)"
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir "$TSAN_BUILD_DIR" -L advisor \
+          --output-on-failure -j "$(nproc)"
+  SHIFT_DIR="$(mktemp -d "${TMPDIR:-/tmp}/trex_shift.XXXXXX")"
+  # ${SMOKE_DIR:-} so this trap keeps cleaning the bench-smoke dir when
+  # both stages run (a later trap replaces the earlier one wholesale).
+  trap 'rm -rf "$SHIFT_DIR" ${SMOKE_DIR:+"$SMOKE_DIR"}' EXIT
+  env TREX_BENCH_DATA="$SHIFT_DIR/data" \
+      TREX_BENCH_SHIFT_DOCS=80 \
+      TREX_BENCH_SHIFT_REPS=4 \
+      "$BUILD_DIR/bench/bench_workload_shift" \
+      --out="$SHIFT_DIR/BENCH_workload_shift.json"
+  python3 scripts/bench_compare.py \
+    --shift-report "$SHIFT_DIR/BENCH_workload_shift.json"
+  echo "advisor: ok"
 fi

@@ -64,14 +64,10 @@ Status SelfManager::Plan(const Workload& workload,
   return Status::OK();
 }
 
-Status SelfManager::Run(const Workload& workload, SelfManagerReport* report) {
-  SelectionInstance instance;
-  SelectionResult result;
-  TREX_RETURN_IF_ERROR(Plan(workload, &instance, &result));
-
-  // Materialize the chosen units.
+std::vector<ListUnit> ChosenUnits(const SelectionInstance& instance,
+                                  const SelectionResult& result) {
   std::set<ListUnit> wanted;
-  for (size_t i = 0; i < workload.size(); ++i) {
+  for (size_t i = 0; i < instance.queries.size(); ++i) {
     const SelectionQuery& sq = instance.queries[i];
     if (result.choice[i] == IndexChoice::kErpl) {
       wanted.insert(sq.erpl_units.begin(), sq.erpl_units.end());
@@ -79,9 +75,19 @@ Status SelfManager::Run(const Workload& workload, SelfManagerReport* report) {
       wanted.insert(sq.rpl_units.begin(), sq.rpl_units.end());
     }
   }
+  return std::vector<ListUnit>(wanted.begin(), wanted.end());
+}
+
+Status SelfManager::Run(const Workload& workload, SelfManagerReport* report) {
+  SelectionInstance instance;
+  SelectionResult result;
+  TREX_RETURN_IF_ERROR(Plan(workload, &instance, &result));
+
+  // Materialize the chosen units.
+  std::vector<ListUnit> wanted_units = ChosenUnits(instance, result);
+  std::set<ListUnit> wanted(wanted_units.begin(), wanted_units.end());
   MaterializeStats mat;
-  TREX_RETURN_IF_ERROR(MaterializeUnits(
-      index_, std::vector<ListUnit>(wanted.begin(), wanted.end()), &mat));
+  TREX_RETURN_IF_ERROR(MaterializeUnits(index_, wanted_units, &mat));
 
   if (options_.drop_unchosen) {
     auto existing = index_->catalog()->List();

@@ -65,6 +65,13 @@ class SelfManager {
   SelfManagerOptions options_;
 };
 
+// The deduplicated union of list units a solved plan wants materialized
+// (ERPL units of queries assigned Merge, RPL units of queries assigned
+// TA). Shared by SelfManager::Run and the online advisor loop's
+// incremental apply.
+std::vector<ListUnit> ChosenUnits(const SelectionInstance& instance,
+                                  const SelectionResult& result);
+
 }  // namespace trex
 
 #endif  // TREX_ADVISOR_ADVISOR_H_

@@ -1,0 +1,459 @@
+#include "advisor/advisor_loop.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <sstream>
+
+#include "common/clock.h"
+#include "nexi/translator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "retrieval/materializer.h"
+#include "storage/env.h"
+
+namespace trex {
+
+namespace {
+
+struct LoopMetrics {
+  obs::Counter* ticks;
+  obs::Counter* plans;
+  obs::Counter* plans_applied;
+  obs::Counter* plans_gated;  // Hysteresis kept the current set.
+  obs::Counter* lists_materialized;
+  obs::Counter* lists_dropped;
+  obs::Counter* drops_deferred;
+  obs::Counter* budget_trims;
+  obs::Counter* budget_aborts;
+  obs::Counter* errors;
+  obs::Counter* recovered_units;
+  obs::Gauge* bytes_materialized;
+  obs::Histogram* tick_nanos;
+};
+
+LoopMetrics& Metrics() {
+  static LoopMetrics m = {
+      obs::Default().GetCounter("advisor.loop.ticks"),
+      obs::Default().GetCounter("advisor.loop.plans"),
+      obs::Default().GetCounter("advisor.loop.plans_applied"),
+      obs::Default().GetCounter("advisor.loop.plans_gated"),
+      obs::Default().GetCounter("advisor.loop.lists_materialized"),
+      obs::Default().GetCounter("advisor.loop.lists_dropped"),
+      obs::Default().GetCounter("advisor.loop.drops_deferred"),
+      obs::Default().GetCounter("advisor.loop.budget_trims"),
+      obs::Default().GetCounter("advisor.loop.budget_aborts"),
+      obs::Default().GetCounter("advisor.loop.errors"),
+      obs::Default().GetCounter("advisor.loop.recovered_units"),
+      obs::Default().GetGauge("advisor.loop.bytes_materialized"),
+      obs::Default().GetHistogram("advisor.loop.tick_nanos"),
+  };
+  return m;
+}
+
+const char* KindTag(ListKind kind) {
+  return kind == ListKind::kRpl ? "R" : "E";
+}
+
+}  // namespace
+
+AdvisorLoop::AdvisorLoop(Index* index, WorkloadRecorder* recorder,
+                         AdvisorLoopOptions options)
+    : index_(index), recorder_(recorder), options_(std::move(options)) {}
+
+AdvisorLoop::~AdvisorLoop() { Stop(); }
+
+std::string AdvisorLoop::ApplyJournalPath(const std::string& index_dir) {
+  return index_dir + "/advisor_apply.txt";
+}
+
+Status AdvisorLoop::RecoverPendingApply(Index* index,
+                                        size_t* recovered_units) {
+  if (recovered_units != nullptr) *recovered_units = 0;
+  const std::string path = ApplyJournalPath(index->dir());
+  if (!Env::Default()->Exists(path)) return Status::OK();
+  auto contents = Env::Default()->ReadToString(path);
+  if (!contents.ok()) return contents.status();
+
+  // Quarantine: every unit the interrupted apply touched (or meant to
+  // touch) is dropped if present. RPL/ERPLs are rebuildable caches, so
+  // rollback is always safe; the next tick re-materializes whatever the
+  // then-current plan wants.
+  std::vector<ListUnit> units;
+  std::istringstream in(contents.value());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string op, kind;
+    Sid sid = kInvalidSid;
+    std::string term;
+    if (!(fields >> op >> kind >> sid >> term)) continue;
+    if (op != "add" && op != "drop") continue;
+    units.push_back(ListUnit{kind == "R" ? ListKind::kRpl : ListKind::kErpl,
+                             term, sid});
+  }
+  std::vector<ListUnit> present;
+  {
+    auto read_lock = index->ReaderLock();
+    for (const ListUnit& u : units) {
+      if (index->catalog()->Has(u.kind, u.term, u.sid)) present.push_back(u);
+    }
+  }
+  TREX_RETURN_IF_ERROR(DropUnits(index, present));
+  TREX_RETURN_IF_ERROR(index->Flush());
+  TREX_RETURN_IF_ERROR(Env::Default()->Remove(path));
+  Metrics().recovered_units->Add(present.size());
+  if (recovered_units != nullptr) *recovered_units = present.size();
+  return Status::OK();
+}
+
+Status AdvisorLoop::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return Status::OK();
+  }
+  TREX_RETURN_IF_ERROR(RecoverPendingApply(index_));
+  std::lock_guard<std::mutex> lock(mu_);
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread(&AdvisorLoop::ThreadMain, this);
+  return Status::OK();
+}
+
+void AdvisorLoop::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool AdvisorLoop::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void AdvisorLoop::ThreadMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_millis),
+                 [&] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    Status s = TickNow();
+    (void)s;  // Already counted in advisor.loop.errors.
+    lock.lock();
+  }
+}
+
+uint64_t AdvisorLoop::ticks() const {
+  std::lock_guard<std::mutex> lock(tick_mu_);
+  return ticks_;
+}
+
+AdvisorTickReport AdvisorLoop::last_report() const {
+  std::lock_guard<std::mutex> lock(tick_mu_);
+  return last_report_;
+}
+
+double AdvisorLoop::SavingOfCurrentCatalog(const SelectionInstance& instance) {
+  auto supported = [&](const std::vector<ListUnit>& units) {
+    if (units.empty()) return false;
+    for (const ListUnit& u : units) {
+      if (!index_->catalog()->Has(u.kind, u.term, u.sid)) return false;
+    }
+    return true;
+  };
+  double saving = 0.0;
+  auto read_lock = index_->ReaderLock();
+  for (const SelectionQuery& q : instance.queries) {
+    double best = 0.0;
+    if (supported(q.erpl_units)) {
+      best = std::max(best, q.frequency * q.merge_saving);
+    }
+    if (supported(q.rpl_units)) {
+      best = std::max(best, q.frequency * q.ta_saving);
+    }
+    saving += best;
+  }
+  return saving;
+}
+
+Status AdvisorLoop::TickNow(AdvisorTickReport* report) {
+  std::lock_guard<std::mutex> tick_lock(tick_mu_);
+  Stopwatch watch;
+  AdvisorTickReport tick;
+  tick.tick = ++ticks_;
+  tick.bytes_budget = options_.manager.disk_budget_bytes;
+  Metrics().ticks->Add();
+
+  obs::ResourceAccounting accounting(options_.tick_budget);
+  Status s;
+  {
+    // The whole tick is one synthetic "advisor" query: every page the
+    // planner or the materializer touches is charged here, and the
+    // tick budget (if any) aborts runaway applies at the buffer pool.
+    obs::ResourceScope scope(&accounting);
+    s = RunTick(&tick);
+  }
+  tick.resources = accounting.Usage();
+  if (!s.ok()) {
+    Metrics().errors->Add();
+    if (s.IsResourceExhausted()) Metrics().budget_aborts->Add();
+    // A failed apply may leave the journal behind with some units
+    // half-materialized. Roll it back now, outside the tick's budget
+    // scope, so the catalog never carries half-applied bytes.
+    Status recover = RecoverPendingApply(index_);
+    (void)recover;  // Best-effort; Start() retries it too.
+  }
+  if (options_.persist_recorder) {
+    Status persisted = recorder_->Save();
+    if (!persisted.ok() && !persisted.IsInvalidArgument()) {
+      Metrics().errors->Add();
+    }
+  }
+  Metrics().tick_nanos->Record(static_cast<uint64_t>(watch.ElapsedNanos()));
+  last_report_ = tick;
+  if (report != nullptr) *report = tick;
+  return s;
+}
+
+Status AdvisorLoop::RunTick(AdvisorTickReport* tick) {
+  obs::Trace trace("advisor.tick");
+
+  // No new traffic since the last successfully applied plan and no
+  // drops waiting out their minimum age: the plan cannot change, so
+  // skip the planning work entirely (matters at short intervals).
+  const uint64_t version = recorder_->version();
+  if (version == last_planned_version_ && last_report_.applied &&
+      last_report_.drops_deferred == 0) {
+    tick->applied = last_report_.applied;
+    tick->bytes_materialized = last_report_.bytes_materialized;
+    trace.Finish();
+    tick->trace_json = trace.ToJson();
+    return Status::OK();
+  }
+
+  // Phase 1 (shared snapshot lock): sketch snapshot and translation.
+  Workload workload;
+  {
+    obs::TraceSpan span(&trace, "snapshot");
+    auto read_lock = index_->ReaderLock();
+    Workload snap = recorder_->Snapshot(options_.max_workload_queries);
+    span.AddAttr("distinct", static_cast<uint64_t>(snap.size()));
+    if (snap.size() < options_.min_queries) {
+      trace.Finish();
+      tick->trace_json = trace.ToJson();
+      return Status::OK();  // Not enough signal yet; planned stays false.
+    }
+    // Keep only queries that still translate against the live summary
+    // (a recorded query can stop matching after alias/summary changes),
+    // renormalizing frequencies over the survivors.
+    std::vector<const WorkloadQuery*> kept;
+    double total = 0.0;
+    for (const WorkloadQuery& q : snap.queries()) {
+      auto translated = TranslateNexi(q.nexi, index_->summary(),
+                                      &index_->aliases(),
+                                      index_->tokenizer());
+      if (!translated.ok()) continue;
+      kept.push_back(&q);
+      total += q.frequency;
+    }
+    if (kept.size() < options_.min_queries || total <= 0.0) {
+      trace.Finish();
+      tick->trace_json = trace.ToJson();
+      return Status::OK();
+    }
+    for (const WorkloadQuery* q : kept) {
+      workload.Add(q->nexi, q->frequency / total, q->k);
+    }
+    TREX_RETURN_IF_ERROR(workload.Validate());
+    TREX_RETURN_IF_ERROR(workload.Prepare(index_));
+  }
+  tick->planned = true;
+  tick->workload_queries = workload.size();
+  last_planned_version_ = version;
+  Metrics().plans->Add();
+
+  // Phase 2: plan. With estimated costs this is read-only stat probing
+  // and runs under the shared lock; with measured costs SelfManager
+  // materializes/drops temporary lists itself (taking the exclusive
+  // lock internally), so it must run unlocked at this level.
+  SelfManager manager(index_, options_.manager);
+  SelectionInstance instance;
+  SelectionResult result;
+  {
+    obs::TraceSpan span(&trace, "plan");
+    if (options_.manager.costs == SelfManagerOptions::Costs::kEstimated) {
+      auto read_lock = index_->ReaderLock();
+      TREX_RETURN_IF_ERROR(manager.Plan(workload, &instance, &result));
+    } else {
+      TREX_RETURN_IF_ERROR(manager.Plan(workload, &instance, &result));
+    }
+    span.AddAttr("queries", static_cast<uint64_t>(workload.size()));
+    span.AddAttr("planned_saving", result.total_saving);
+  }
+  tick->planned_saving = result.total_saving;
+
+  // Phase 3: diff the plan against the live catalog.
+  std::vector<ListUnit> wanted_units = ChosenUnits(instance, result);
+  std::set<ListUnit> wanted(wanted_units.begin(), wanted_units.end());
+  std::vector<ListUnit> to_add;
+  std::vector<ListUnit> unwanted;
+  uint64_t current_bytes = 0;
+  {
+    auto read_lock = index_->ReaderLock();
+    for (const ListUnit& u : wanted_units) {
+      if (!index_->catalog()->Has(u.kind, u.term, u.sid)) to_add.push_back(u);
+    }
+    auto existing = index_->catalog()->List();
+    if (!existing.ok()) return existing.status();
+    for (const CatalogEntry& e : existing.value()) {
+      ListUnit u{e.kind, e.term, e.sid};
+      current_bytes += e.size_bytes;
+      // Age bookkeeping: units that predate the loop are first observed
+      // now and start aging from this tick.
+      created_tick_.emplace(u, tick->tick);
+      if (wanted.find(u) == wanted.end()) unwanted.push_back(u);
+    }
+  }
+  tick->current_saving = SavingOfCurrentCatalog(instance);
+
+  const uint64_t budget = options_.manager.disk_budget_bytes;
+  const bool over_budget = current_bytes > budget;
+  const double gain = tick->planned_saving - tick->current_saving;
+
+  // Anti-thrash gate on ADDS: materialize new lists only when the plan
+  // is genuinely better than what is already on disk (or the catalog
+  // has outgrown the budget and must change regardless). Drops are
+  // governed separately by the min-age gate below — a gated plan must
+  // not pin matured, unwanted lists forever.
+  bool gated = false;
+  if (!to_add.empty() && gain <= options_.min_saving_delta && !over_budget) {
+    gated = true;
+    to_add.clear();
+    Metrics().plans_gated->Add();
+  }
+
+  // Min-age hysteresis on drops (waived when over budget: staying
+  // within d is a hard constraint, freshness is not).
+  std::vector<ListUnit> to_drop;
+  for (const ListUnit& u : unwanted) {
+    auto it = created_tick_.find(u);
+    uint64_t age = it == created_tick_.end()
+                       ? options_.min_list_age_ticks
+                       : tick->tick - it->second;
+    if (over_budget || age >= options_.min_list_age_ticks) {
+      to_drop.push_back(u);
+    } else {
+      ++tick->drops_deferred;
+    }
+  }
+  Metrics().drops_deferred->Add(tick->drops_deferred);
+
+  if (to_add.empty() && to_drop.empty()) {
+    // Nothing to do this tick: converged unless changes were merely
+    // gated or deferred.
+    tick->applied = !gated && tick->drops_deferred == 0;
+    tick->bytes_materialized = current_bytes;
+    Metrics().bytes_materialized->Set(static_cast<int64_t>(current_bytes));
+    trace.Finish();
+    tick->trace_json = trace.ToJson();
+    return Status::OK();
+  }
+
+  // Phase 4: apply, guarded by the crash journal. Journal first (atomic
+  // write), mutate, flush durably, then retire the journal — a crash at
+  // any point leaves either a consistent catalog or a journal that
+  // RecoverPendingApply rolls back.
+  {
+    obs::TraceSpan span(&trace, "apply");
+    std::string journal = "# trex advisor apply journal v1\n";
+    for (const ListUnit& u : to_add) {
+      journal += std::string("add ") + KindTag(u.kind) + " " +
+                 std::to_string(u.sid) + " " + u.term + "\n";
+    }
+    for (const ListUnit& u : to_drop) {
+      journal += std::string("drop ") + KindTag(u.kind) + " " +
+                 std::to_string(u.sid) + " " + u.term + "\n";
+    }
+    TREX_RETURN_IF_ERROR(Env::Default()->WriteAtomically(
+        ApplyJournalPath(index_->dir()), journal));
+
+    MaterializeStats mat;
+    TREX_RETURN_IF_ERROR(MaterializeUnits(index_, to_add, &mat));
+    tick->lists_materialized = mat.lists_written;
+    TREX_RETURN_IF_ERROR(DropUnits(index_, to_drop));
+    tick->lists_dropped = to_drop.size();
+
+    // The plan kept the *estimated* sizes within d; the bytes actually
+    // written are authoritative. If they overshoot, trim unwanted
+    // stragglers first, then the cheapest-loss chosen units, until the
+    // catalog fits again.
+    auto total = index_->catalog()->TotalSizeBytes();
+    if (!total.ok()) return total.status();
+    uint64_t bytes = total.value();
+    if (bytes > budget) {
+      Metrics().budget_trims->Add();
+      auto entries = index_->catalog()->List();
+      if (!entries.ok()) return entries.status();
+      // Deterministic trim order: non-wanted entries first, then wanted
+      // ones largest-first (shedding the fewest lists to get under d).
+      std::vector<CatalogEntry> trim = entries.value();
+      std::stable_sort(trim.begin(), trim.end(),
+                       [&](const CatalogEntry& a, const CatalogEntry& b) {
+                         bool wa = wanted.count(ListUnit{a.kind, a.term,
+                                                         a.sid}) != 0;
+                         bool wb = wanted.count(ListUnit{b.kind, b.term,
+                                                         b.sid}) != 0;
+                         if (wa != wb) return !wa;
+                         return a.size_bytes > b.size_bytes;
+                       });
+      for (const CatalogEntry& e : trim) {
+        if (bytes <= budget) break;
+        TREX_RETURN_IF_ERROR(
+            DropUnits(index_, {ListUnit{e.kind, e.term, e.sid}}));
+        bytes -= e.size_bytes;
+        ++tick->lists_dropped;
+      }
+    }
+    tick->bytes_materialized = bytes;
+
+    TREX_RETURN_IF_ERROR(index_->Flush());
+    TREX_RETURN_IF_ERROR(
+        Env::Default()->Remove(ApplyJournalPath(index_->dir())));
+    span.AddAttr("materialized", static_cast<uint64_t>(
+                                     tick->lists_materialized));
+    span.AddAttr("dropped", static_cast<uint64_t>(tick->lists_dropped));
+    span.AddAttr("bytes", tick->bytes_materialized);
+  }
+  tick->applied = true;
+  Metrics().plans_applied->Add();
+  Metrics().lists_materialized->Add(tick->lists_materialized);
+  Metrics().lists_dropped->Add(tick->lists_dropped);
+  Metrics().bytes_materialized->Set(
+      static_cast<int64_t>(tick->bytes_materialized));
+
+  // Refresh age bookkeeping to the post-apply catalog.
+  for (const ListUnit& u : to_add) created_tick_[u] = tick->tick;
+  for (auto it = created_tick_.begin(); it != created_tick_.end();) {
+    bool alive;
+    {
+      auto read_lock = index_->ReaderLock();
+      alive = index_->catalog()->Has(it->first.kind, it->first.term,
+                                     it->first.sid);
+    }
+    it = alive ? std::next(it) : created_tick_.erase(it);
+  }
+
+  trace.Finish();
+  tick->trace_json = trace.ToJson();
+  return Status::OK();
+}
+
+}  // namespace trex

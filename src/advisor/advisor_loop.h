@@ -1,0 +1,169 @@
+// AdvisorLoop: the online half of the §4 self-manager.
+//
+// SelfManager::Run is a one-shot offline pass over a hand-prepared
+// workload. The loop turns it into the paper's actual contribution — a
+// *self managing* index: a background thread periodically snapshots the
+// serving path's WorkloadRecorder, plans with SelfManager::Plan
+// (estimated costs by default; measured on demand), and applies the
+// plan incrementally against the live catalog:
+//
+//   * newly chosen lists are materialized (resource-accounted as a
+//     synthetic "advisor" query, so their cost shows up in the same
+//     work units as real queries);
+//   * lists the plan no longer wants are dropped — but only with
+//     hysteresis: a list younger than `min_list_age_ticks` is kept
+//     (deferred), and a changed plan is applied at all only when its
+//     estimated saving beats what the currently materialized set
+//     already provides by `min_saving_delta` seconds. Plans therefore
+//     converge instead of thrashing when the workload oscillates.
+//
+// Crash-apply protocol: before touching the catalog the loop writes an
+// apply journal (`advisor_apply.txt` in the index dir, via
+// Env::WriteAtomically) naming every unit it is about to add or drop,
+// flushes the index after applying, and only then removes the journal.
+// A journal found at startup means a previous apply may be half done:
+// RecoverPendingApply quarantines it by dropping every journaled unit
+// still in the catalog (RPL/ERPLs are rebuildable caches — the next
+// tick re-materializes whatever the then-current plan wants), so no
+// half-applied bytes are ever counted against the budget.
+//
+// Locking: the snapshot/translate phase holds the index's shared
+// snapshot lock; planning with estimated costs holds it too (stat
+// probes only). Apply runs unlocked at this level — MaterializeUnits /
+// DropUnits take the single-flight leases and the exclusive snapshot
+// lock themselves, so concurrent queries slot in between steps exactly
+// as they do around the offline self-manager.
+#ifndef TREX_ADVISOR_ADVISOR_LOOP_H_
+#define TREX_ADVISOR_ADVISOR_LOOP_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "advisor/workload_recorder.h"
+#include "obs/resource.h"
+
+namespace trex {
+
+struct AdvisorLoopOptions {
+  AdvisorLoopOptions() {
+    // Online default: cheap analytic estimates. Measured costs run real
+    // evaluations per tick — set it back explicitly for workloads small
+    // enough to afford that.
+    manager.costs = SelfManagerOptions::Costs::kEstimated;
+  }
+
+  SelfManagerOptions manager;    // Solver, costs, disk budget.
+  int64_t interval_millis = 2000;
+  // Don't plan until the snapshot has at least this many distinct
+  // queries (a near-empty sketch plans noise).
+  size_t min_queries = 1;
+  // Cap on snapshot size handed to the planner (heaviest first).
+  size_t max_workload_queries = 64;
+  // Hysteresis: a list materialized at tick T may not be dropped before
+  // tick T + min_list_age_ticks ...
+  uint64_t min_list_age_ticks = 2;
+  // ... and a plan that changes the materialized set is applied only if
+  // its estimated weighted saving exceeds the saving the current set
+  // already achieves by this many seconds.
+  double min_saving_delta = 0.0;
+  // Work limit for one tick (the synthetic advisor query's budget);
+  // exceeding it aborts the tick cleanly with ResourceExhausted.
+  obs::ResourceBudget tick_budget;
+  // Persist the recorder sketch (recorder->Save()) after each tick.
+  bool persist_recorder = true;
+};
+
+// What one tick did; last_report() returns the most recent one.
+struct AdvisorTickReport {
+  uint64_t tick = 0;
+  bool planned = false;  // Snapshot was big enough to run the planner.
+  bool applied = false;  // The catalog was changed (or re-confirmed).
+  size_t workload_queries = 0;
+  size_t lists_materialized = 0;
+  size_t lists_dropped = 0;
+  size_t drops_deferred = 0;  // Hysteresis kept them this tick.
+  uint64_t bytes_materialized = 0;  // Catalog total after the tick.
+  uint64_t bytes_budget = 0;
+  double planned_saving = 0.0;  // Plan's weighted saving, seconds.
+  double current_saving = 0.0;  // Saving of the pre-tick catalog.
+  obs::ResourceUsage resources;  // The tick's own (advisor) work.
+  std::string trace_json;        // advisor.tick span tree.
+};
+
+class AdvisorLoop {
+ public:
+  // `index` and `recorder` must outlive the loop.
+  AdvisorLoop(Index* index, WorkloadRecorder* recorder,
+              AdvisorLoopOptions options);
+  ~AdvisorLoop();  // Stop()s.
+
+  AdvisorLoop(const AdvisorLoop&) = delete;
+  AdvisorLoop& operator=(const AdvisorLoop&) = delete;
+
+  // Recovers any half-applied plan, then starts the background thread.
+  // Idempotent while running.
+  Status Start();
+  // Stops and joins the thread (no-op when not running). A tick in
+  // progress finishes first.
+  void Stop();
+  bool running() const;
+
+  // Runs exactly one tick synchronously on the caller's thread (the
+  // test and CLI entry point; the background thread calls it too).
+  // Returns the tick's status; the report (optional) is also retained
+  // as last_report().
+  Status TickNow(AdvisorTickReport* report = nullptr);
+
+  uint64_t ticks() const;
+  AdvisorTickReport last_report() const;
+
+  // If an apply journal exists in the index dir, drops every journaled
+  // unit still present in the catalog (quarantining the half-applied
+  // plan), flushes, and removes the journal. `recovered_units`
+  // (optional) counts the units dropped. Safe to call when no journal
+  // exists. Also run by Start().
+  static Status RecoverPendingApply(Index* index,
+                                    size_t* recovered_units = nullptr);
+
+  // The journal path used by the crash-apply protocol.
+  static std::string ApplyJournalPath(const std::string& index_dir);
+
+ private:
+  void ThreadMain();
+  Status RunTick(AdvisorTickReport* report);
+  // The weighted saving the currently materialized catalog already
+  // yields for `instance` (each query scored with the best method its
+  // lists fully support).
+  double SavingOfCurrentCatalog(const SelectionInstance& instance);
+
+  Index* const index_;
+  WorkloadRecorder* const recorder_;
+  const AdvisorLoopOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+
+  // Tick state (guarded by tick_mu_: one tick at a time, whether from
+  // the thread or TickNow).
+  mutable std::mutex tick_mu_;
+  uint64_t ticks_ = 0;
+  uint64_t last_planned_version_ = 0;
+  AdvisorTickReport last_report_;
+  // Hysteresis bookkeeping: the tick at which each unit entered the
+  // catalog (in-memory only; after a restart ages restart from the
+  // tick the unit is first observed).
+  std::map<ListUnit, uint64_t> created_tick_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_ADVISOR_ADVISOR_LOOP_H_

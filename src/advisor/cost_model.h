@@ -32,12 +32,24 @@ struct QueryCosts {
   double ta_saving() const { return std::max(t_era - t_ta, 0.0); }
 };
 
+struct MeasureOptions {
+  // Timed repetitions per method; the reported time is the minimum (the
+  // run least disturbed by scheduling noise).
+  int runs = 3;
+  // One untimed pass per method first, so the buffer pool's cold-start
+  // faults land in the warmup instead of skewing the first timed run —
+  // without it T_e (measured first) absorbs all the faults and the
+  // savings Delta = T_e - T_m/T_ta are systematically inflated.
+  bool warmup = true;
+};
+
 class CostModel {
  public:
   // Measures by running all three methods (materializing missing lists
   // temporarily; lists that already existed are left untouched).
   static Result<QueryCosts> Measure(Index* index,
-                                    const TranslatedClause& clause, size_t k);
+                                    const TranslatedClause& clause, size_t k,
+                                    const MeasureOptions& options = {});
 
   // Analytic estimate from term statistics; no I/O beyond stat lookups.
   static Result<QueryCosts> Estimate(Index* index,

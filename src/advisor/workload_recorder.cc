@@ -1,0 +1,208 @@
+#include "advisor/workload_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "storage/env.h"
+
+namespace trex {
+
+WorkloadRecorder::WorkloadRecorder(WorkloadRecorderOptions options)
+    : options_(std::move(options)) {}
+
+void WorkloadRecorder::Record(const std::string& nexi, size_t k) {
+  if (k == 0 || nexi.empty()) return;
+  static obs::Counter* const recorded =
+      obs::Default().GetCounter("advisor.recorder.recorded");
+  std::lock_guard<std::mutex> lock(mu_);
+  ++observed_;
+  ++version_;
+  if (options_.decay_every != 0 && ++since_decay_ >= options_.decay_every) {
+    since_decay_ = 0;
+    DecayLocked();
+  }
+  Key key{nexi, k};
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second += 1.0;
+  } else if (entries_.size() < options_.capacity) {
+    entries_.emplace(std::move(key), 1.0);
+  } else {
+    // Space-saving eviction: replace the lightest entry (ties broken by
+    // the map's key order, so eviction is deterministic) and let the
+    // newcomer inherit its weight — heavy hitters can be displaced only
+    // by sustained new traffic, not by one stray query.
+    auto lightest = entries_.begin();
+    for (auto e = entries_.begin(); e != entries_.end(); ++e) {
+      if (e->second < lightest->second) lightest = e;
+    }
+    double inherited = lightest->second;
+    entries_.erase(lightest);
+    entries_.emplace(std::move(key), inherited + 1.0);
+    ++evictions_;
+    obs::Default().GetCounter("advisor.recorder.evictions")->Add();
+  }
+  recorded->Add();
+}
+
+void WorkloadRecorder::DecayLocked() {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    it->second *= options_.decay;
+    if (it->second < options_.min_weight) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Workload WorkloadRecorder::Snapshot(size_t max_queries) const {
+  std::vector<std::pair<Key, double>> picked;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    picked.assign(entries_.begin(), entries_.end());
+  }
+  // Heaviest first; ties by (nexi, k) so the snapshot is a pure
+  // function of the sketch contents.
+  std::stable_sort(picked.begin(), picked.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.second != b.second) return a.second > b.second;
+                     return a.first < b.first;
+                   });
+  if (max_queries != 0 && picked.size() > max_queries) {
+    picked.resize(max_queries);
+  }
+  double total = 0.0;
+  for (const auto& [key, weight] : picked) total += weight;
+  Workload workload;
+  if (total <= 0.0) return workload;
+  for (auto& [key, weight] : picked) {
+    workload.Add(key.nexi, weight / total, key.k);
+  }
+  return workload;
+}
+
+uint64_t WorkloadRecorder::observed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observed_;
+}
+
+size_t WorkloadRecorder::distinct() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+uint64_t WorkloadRecorder::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+uint64_t WorkloadRecorder::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+std::string WorkloadRecorder::SerializeToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "# trex workload sketch v1\n";
+  out += "observed " + std::to_string(observed_) + "\n";
+  for (const auto& [key, weight] : entries_) {
+    // %.17g round-trips every double exactly, so a save/load cycle
+    // reproduces the sketch (and thus the plan) bit for bit.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g %zu ", weight, key.k);
+    out += buf;
+    out += key.nexi;
+    out += '\n';
+  }
+  return out;
+}
+
+Status WorkloadRecorder::ParseFromText(const std::string& text) {
+  std::map<Key, double> parsed;
+  uint64_t observed = 0;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') {
+      if (line.find("trex workload sketch v1") != std::string::npos) {
+        saw_header = true;
+      }
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    if (line.rfind("observed", first) == first) {
+      fields >> tag >> observed;
+      continue;
+    }
+    double weight = 0.0;
+    size_t k = 0;
+    if (!(fields >> weight >> k) || weight <= 0.0 || k == 0) {
+      return Status::InvalidArgument(
+          "workload sketch line " + std::to_string(lineno) +
+          ": expected '<weight> <k> <nexi>'");
+    }
+    std::string nexi;
+    std::getline(fields, nexi);
+    size_t start = nexi.find_first_not_of(" \t");
+    if (start == std::string::npos) {
+      return Status::InvalidArgument("workload sketch line " +
+                                     std::to_string(lineno) +
+                                     ": missing NEXI expression");
+    }
+    parsed[Key{nexi.substr(start), k}] = weight;
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("not a trex workload sketch (no header)");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_ = std::move(parsed);
+  observed_ = observed;
+  since_decay_ = 0;
+  ++version_;
+  return Status::OK();
+}
+
+Status WorkloadRecorder::Save() const {
+  if (options_.persist_path.empty()) {
+    return Status::InvalidArgument("recorder has no persist_path");
+  }
+  return SaveTo(options_.persist_path);
+}
+
+Status WorkloadRecorder::SaveTo(const std::string& path) const {
+  return Env::Default()->WriteAtomically(path, SerializeToText());
+}
+
+Status WorkloadRecorder::Load() {
+  if (options_.persist_path.empty()) {
+    return Status::InvalidArgument("recorder has no persist_path");
+  }
+  return LoadFrom(options_.persist_path);
+}
+
+Status WorkloadRecorder::LoadFrom(const std::string& path) {
+  if (!Env::Default()->Exists(path)) return Status::OK();  // First boot.
+  auto contents = Env::Default()->ReadToString(path);
+  if (!contents.ok()) return contents.status();
+  return ParseFromText(contents.value());
+}
+
+void WorkloadRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  observed_ = 0;
+  since_decay_ = 0;
+  ++version_;
+}
+
+}  // namespace trex

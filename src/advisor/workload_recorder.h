@@ -1,0 +1,111 @@
+// WorkloadRecorder: live capture of the serving-path query stream.
+//
+// The paper's self-manager (§4) consumes a Workload — queries with
+// frequencies summing to 1 — but says nothing about where it comes from.
+// This recorder closes that gap: TReX::Query feeds every successfully
+// translated query into a bounded, thread-safe sketch, and the advisor
+// loop periodically snapshots it back into a Definition 4.1 workload.
+//
+// The sketch is a space-saving-style top-k summary with exponential
+// decay:
+//   * at most `capacity` distinct (nexi, k) entries are tracked; when a
+//     new query arrives at capacity, the lightest entry is evicted and
+//     the newcomer inherits its weight + 1 (the classic space-saving
+//     overestimate, which keeps heavy hitters in the sketch);
+//   * every `decay_every` observations all weights are multiplied by
+//     `decay`, so a workload shift drains stale entries instead of
+//     letting history pin yesterday's hot queries forever;
+//   * entries whose decayed weight falls below `min_weight` are dropped.
+//
+// Persistence is crash-safe: SerializeToText() is a deterministic text
+// format (sorted, round-trippable doubles) written with
+// Env::WriteAtomically, so the file always holds a complete sketch —
+// never a torn one — and a reloaded sketch yields byte-identical
+// snapshots (the workload-replay determinism test depends on this).
+#ifndef TREX_ADVISOR_WORKLOAD_RECORDER_H_
+#define TREX_ADVISOR_WORKLOAD_RECORDER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "advisor/workload.h"
+#include "common/status.h"
+
+namespace trex {
+
+struct WorkloadRecorderOptions {
+  size_t capacity = 256;       // Max distinct (nexi, k) entries tracked.
+  double decay = 0.5;          // Weight multiplier per decay sweep.
+  uint64_t decay_every = 1024; // Observations between sweeps (0 = never).
+  double min_weight = 0.01;    // Entries below this are dropped on sweep.
+  // Sketch file for Save()/Load(); empty disables persistence.
+  std::string persist_path;
+};
+
+class WorkloadRecorder {
+ public:
+  explicit WorkloadRecorder(WorkloadRecorderOptions options = {});
+
+  // Records one served query. Thread-safe; queries with k == 0 ("all
+  // answers") are ignored — Definition 4.1 requires a positive k.
+  void Record(const std::string& nexi, size_t k);
+
+  // The sketch as a Definition 4.1 workload: the heaviest entries
+  // (all of them, or the `max_queries` heaviest when non-zero), with
+  // frequencies normalized to sum 1. Deterministic: ties order by
+  // (nexi, k). The result still needs Prepare() before planning.
+  Workload Snapshot(size_t max_queries = 0) const;
+
+  uint64_t observed() const;  // Total Record() calls accepted.
+  size_t distinct() const;    // Entries currently in the sketch.
+  uint64_t evictions() const;
+  // Bumps on every accepted Record(); the advisor loop uses it to skip
+  // ticks when no new traffic arrived.
+  uint64_t version() const;
+
+  // Deterministic text format:
+  //   # trex workload sketch v1
+  //   observed <n>
+  //   <weight> <k> <nexi to end of line>     (sorted by (nexi, k))
+  std::string SerializeToText() const;
+  Status ParseFromText(const std::string& text);  // Replaces the sketch.
+
+  // Crash-safe persistence via Env::WriteAtomically. Save() / Load()
+  // use options.persist_path; Load() of a missing file is OK (empty
+  // sketch) so first boot needs no special case.
+  Status Save() const;
+  Status SaveTo(const std::string& path) const;
+  Status Load();
+  Status LoadFrom(const std::string& path);
+
+  void Clear();
+
+  const WorkloadRecorderOptions& options() const { return options_; }
+
+ private:
+  struct Key {
+    std::string nexi;
+    size_t k = 0;
+    friend bool operator<(const Key& a, const Key& b) {
+      if (a.nexi != b.nexi) return a.nexi < b.nexi;
+      return a.k < b.k;
+    }
+  };
+
+  void DecayLocked();
+
+  const WorkloadRecorderOptions options_;
+  mutable std::mutex mu_;
+  std::map<Key, double> entries_;
+  uint64_t observed_ = 0;
+  uint64_t since_decay_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t version_ = 0;
+};
+
+}  // namespace trex
+
+#endif  // TREX_ADVISOR_WORKLOAD_RECORDER_H_

@@ -128,6 +128,15 @@ Result<QueryAnswer> TReX::RunQuery(const std::string& nexi, size_t k,
   obs::ResourceScope scope(&accounting);
   Result<QueryAnswer> answer = RunQueryLocked(nexi, k, forced);
   FoldAccounting(accounting, &answer);
+  // Feed the self-management sketch. The acquire load pairs with the
+  // release store in EnableSelfManagement; a null hook (the common
+  // case) costs one load + branch.
+  if (answer.ok()) {
+    if (WorkloadRecorder* rec =
+            recorder_hook_.load(std::memory_order_acquire)) {
+      rec->Record(nexi, k);
+    }
+  }
   return answer;
 }
 
@@ -224,6 +233,12 @@ Result<QueryAnswer> TReX::QueryStrict(const std::string& nexi, size_t k,
     return answer;
   }();
   FoldAccounting(accounting, &result);
+  if (result.ok()) {
+    if (WorkloadRecorder* rec =
+            recorder_hook_.load(std::memory_order_acquire)) {
+      rec->Record(nexi, k);
+    }
+  }
   return result;
 }
 
@@ -242,6 +257,48 @@ Status TReX::SelfManage(const Workload& workload,
   // in between the advisor's steps.
   SelfManager manager(index_.get(), options);
   return manager.Run(workload, report);
+}
+
+Status TReX::EnableSelfManagement(SelfManagementOptions options) {
+  TREX_RETURN_IF_ERROR(CheckWritable("EnableSelfManagement"));
+  if (advisor_loop_ != nullptr) {
+    return Status::InvalidArgument("self-management is already enabled");
+  }
+  if (options.recorder.persist_path.empty()) {
+    options.recorder.persist_path = index_->dir() + "/workload_sketch.txt";
+  }
+  // Re-enabling: queries in flight during the previous Disable may
+  // still hold the old recorder, so it is parked, not freed.
+  if (recorder_ != nullptr) {
+    retired_recorders_.push_back(std::move(recorder_));
+  }
+  recorder_ = std::make_unique<WorkloadRecorder>(options.recorder);
+  if (options.load_persisted) {
+    TREX_RETURN_IF_ERROR(recorder_->Load());
+  }
+  advisor_loop_ = std::make_unique<AdvisorLoop>(index_.get(),
+                                                recorder_.get(),
+                                                options.loop);
+  if (options.start_background) {
+    TREX_RETURN_IF_ERROR(advisor_loop_->Start());
+  } else {
+    // No background thread, but a half-applied plan from a previous
+    // run must still be quarantined before the first manual tick.
+    TREX_RETURN_IF_ERROR(AdvisorLoop::RecoverPendingApply(index_.get()));
+  }
+  recorder_hook_.store(recorder_.get(), std::memory_order_release);
+  return Status::OK();
+}
+
+Status TReX::DisableSelfManagement() {
+  if (advisor_loop_ == nullptr) return Status::OK();
+  recorder_hook_.store(nullptr, std::memory_order_release);
+  advisor_loop_->Stop();
+  advisor_loop_.reset();
+  if (!recorder_->options().persist_path.empty()) {
+    TREX_RETURN_IF_ERROR(recorder_->Save());
+  }
+  return Status::OK();
 }
 
 Result<DocId> TReX::AddDocument(const std::string& xml) {

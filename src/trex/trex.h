@@ -15,11 +15,14 @@
 #ifndef TREX_TREX_TREX_H_
 #define TREX_TREX_TREX_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "advisor/advisor.h"
+#include "advisor/advisor_loop.h"
+#include "advisor/workload_recorder.h"
 #include "corpus/corpus.h"
 #include "index/index.h"
 #include "index/index_builder.h"
@@ -123,6 +126,39 @@ class TReX {
                     const SelfManagerOptions& options,
                     SelfManagerReport* report);
 
+  // Online self-management: every served query is recorded into a
+  // bounded workload sketch, and an AdvisorLoop re-plans against it.
+  struct SelfManagementOptions {
+    WorkloadRecorderOptions recorder;  // persist_path defaults to
+                                       // <dir>/workload_sketch.txt.
+    AdvisorLoopOptions loop;
+    // Reload a previously persisted sketch before serving (warm
+    // restart: the first tick plans from yesterday's traffic).
+    bool load_persisted = true;
+    // Start the background tick thread. With false the loop only runs
+    // when the caller invokes advisor_loop()->TickNow() — the mode the
+    // deterministic tests use.
+    bool start_background = true;
+  };
+
+  // Attaches the recorder to the serving path (Query/QueryWith/
+  // QueryStrict record their NEXI + k on success), recovers any
+  // half-applied plan from a previous run, and — unless
+  // start_background is false — starts the advisor thread. Fails on a
+  // kReadShared handle and when already enabled.
+  Status EnableSelfManagement(SelfManagementOptions options);
+  Status EnableSelfManagement() {
+    return EnableSelfManagement(SelfManagementOptions{});
+  }
+  // Stops the loop and detaches the recorder (persisting its sketch
+  // first when it has a persist path). In-flight queries may still be
+  // holding the recorder; it stays alive until the handle is destroyed
+  // or self-management is re-enabled.
+  Status DisableSelfManagement();
+  // Null unless self-management is enabled.
+  WorkloadRecorder* workload_recorder() { return recorder_.get(); }
+  AdvisorLoop* advisor_loop() { return advisor_loop_.get(); }
+
   // Materializes RPLs and/or ERPLs for one query (manual tuning path).
   Status MaterializeFor(const std::string& nexi, bool rpls, bool erpls,
                         MaterializeStats* stats);
@@ -156,6 +192,16 @@ class TReX {
   std::unique_ptr<Index> index_;
   TrexOptions options_;
   OpenMode mode_ = OpenMode::kReadWrite;
+
+  // Online self-management state. The serving path reads only
+  // recorder_hook_ (an acquire load per query): null means recording is
+  // off. Disable parks the old recorder in retired_recorders_ instead
+  // of freeing it so queries that loaded the hook just before it was
+  // cleared never dangle.
+  std::unique_ptr<WorkloadRecorder> recorder_;
+  std::unique_ptr<AdvisorLoop> advisor_loop_;
+  std::vector<std::unique_ptr<WorkloadRecorder>> retired_recorders_;
+  std::atomic<WorkloadRecorder*> recorder_hook_{nullptr};
 };
 
 }  // namespace trex

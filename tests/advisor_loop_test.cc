@@ -1,0 +1,431 @@
+// The online self-managing loop: workload capture in the serving path,
+// advisor ticks against the live catalog, replay determinism, crash
+// recovery of half-applied plans, and behavior under concurrent queries
+// (this binary also runs under TSan via the `concurrency` label).
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "advisor/advisor_loop.h"
+#include "advisor/workload_recorder.h"
+#include "corpus/ieee_generator.h"
+#include "gtest/gtest.h"
+#include "storage/env.h"
+#include "storage/fault_env.h"
+#include "testutil.h"
+#include "trex/trex.h"
+
+namespace trex {
+namespace {
+
+constexpr const char* kHotQuery = "//article//sec[about(., ontologies)]";
+constexpr const char* kColdQuery =
+    "//article[about(., information retrieval)]";
+
+class AdvisorLoopTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = test::UniqueTestDir("trex_advisor_loop"); }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<TReX> BuildTrex(const std::string& subdir,
+                                  size_t num_documents = 40) {
+    TrexOptions options;
+    options.index.aliases = IeeeAliasMap();
+    IeeeGeneratorOptions gen_options;
+    gen_options.num_documents = num_documents;
+    gen_options.size_factor = 0.5;
+    IeeeGenerator gen(gen_options);
+    auto trex = TReX::Build(dir_ + "/" + subdir, gen, options);
+    TREX_CHECK_OK(trex.status());
+    return std::move(trex).value();
+  }
+
+  // Self-management in manual-tick mode with deterministic defaults.
+  static TReX::SelfManagementOptions ManualTickOptions() {
+    TReX::SelfManagementOptions sm;
+    sm.start_background = false;
+    sm.loop.min_list_age_ticks = 0;
+    return sm;
+  }
+
+  std::string dir_;
+};
+
+// --------------------------------------------------------------------
+// WorkloadRecorder.
+
+TEST(WorkloadRecorder, SpaceSavingEvictionKeepsHeavyHitters) {
+  WorkloadRecorderOptions options;
+  options.capacity = 2;
+  WorkloadRecorder recorder(options);
+  for (int i = 0; i < 3; ++i) recorder.Record("//a[about(., x)]", 10);
+  for (int i = 0; i < 2; ++i) recorder.Record("//b[about(., y)]", 10);
+  EXPECT_EQ(recorder.distinct(), 2u);
+  EXPECT_EQ(recorder.evictions(), 0u);
+
+  // At capacity the newcomer evicts the lightest entry and inherits its
+  // weight + 1; the heavy hitter survives.
+  recorder.Record("//c[about(., z)]", 10);
+  EXPECT_EQ(recorder.distinct(), 2u);
+  EXPECT_EQ(recorder.evictions(), 1u);
+  Workload snapshot = recorder.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot.queries()[0].nexi, "//a[about(., x)]");
+  double sum = 0.0;
+  for (const WorkloadQuery& q : snapshot.queries()) sum += q.frequency;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  TREX_CHECK_OK(snapshot.Validate());
+
+  // k == 0 ("all answers") is not a Definition 4.1 query; ignored.
+  uint64_t before = recorder.observed();
+  recorder.Record("//d[about(., w)]", 0);
+  EXPECT_EQ(recorder.observed(), before);
+}
+
+TEST(WorkloadRecorder, DecaySweepDrainsStaleEntries) {
+  WorkloadRecorderOptions options;
+  options.decay = 0.25;
+  options.decay_every = 4;
+  options.min_weight = 0.3;
+  WorkloadRecorder recorder(options);
+  recorder.Record("//old[about(., x)]", 10);
+  // Three more observations trigger the sweep on the 4th: the old
+  // entry's weight 1*0.25 falls below min_weight and is dropped.
+  for (int i = 0; i < 3; ++i) recorder.Record("//new[about(., y)]", 10);
+  Workload snapshot = recorder.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot.queries()[0].nexi, "//new[about(., y)]");
+}
+
+TEST(WorkloadRecorder, SnapshotCapsAndNormalizes) {
+  WorkloadRecorder recorder;
+  for (int q = 0; q < 8; ++q) {
+    std::string nexi = "//q" + std::to_string(q) + "[about(., t)]";
+    for (int i = 0; i <= q; ++i) recorder.Record(nexi, 10);
+  }
+  Workload top3 = recorder.Snapshot(3);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3.queries()[0].nexi, "//q7[about(., t)]");  // Heaviest.
+  double sum = 0.0;
+  for (const WorkloadQuery& q : top3.queries()) sum += q.frequency;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+// Record -> persist -> reload must reproduce the sketch bit for bit
+// (and therefore the downstream plan).
+TEST_F(AdvisorLoopTest, ReplayDeterminism) {
+  WorkloadRecorderOptions options;
+  options.persist_path = dir_ + "/sketch.txt";
+  WorkloadRecorder recorder(options);
+  for (int i = 0; i < 30; ++i) recorder.Record(kHotQuery, 10);
+  for (int i = 0; i < 10; ++i) recorder.Record(kColdQuery, 20);
+  TREX_CHECK_OK(recorder.Save());
+
+  WorkloadRecorder replayed;
+  TREX_CHECK_OK(replayed.LoadFrom(dir_ + "/sketch.txt"));
+  EXPECT_EQ(replayed.SerializeToText(), recorder.SerializeToText());
+  EXPECT_EQ(replayed.observed(), recorder.observed());
+
+  // Identical sketches must yield identical plans.
+  auto trex = BuildTrex("idx");
+  Workload a = recorder.Snapshot();
+  Workload b = replayed.Snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  TREX_CHECK_OK(a.Prepare(trex->index()));
+  TREX_CHECK_OK(b.Prepare(trex->index()));
+  SelfManagerOptions manager_options;
+  manager_options.costs = SelfManagerOptions::Costs::kEstimated;
+  SelfManager manager(trex->index(), manager_options);
+  SelectionInstance ia, ib;
+  SelectionResult ra, rb;
+  TREX_CHECK_OK(manager.Plan(a, &ia, &ra));
+  TREX_CHECK_OK(manager.Plan(b, &ib, &rb));
+  EXPECT_EQ(ra.choice, rb.choice);
+  EXPECT_EQ(ra.total_saving, rb.total_saving);
+  EXPECT_EQ(ChosenUnits(ia, ra), ChosenUnits(ib, rb));
+}
+
+// --------------------------------------------------------------------
+// End-to-end adaptation.
+
+// A skewed stream must cause the loop to materialize the hot query's
+// lists within two ticks: the served method leaves ERA and the per-query
+// page count drops, while the catalog stays within budget.
+TEST_F(AdvisorLoopTest, AdaptsToSkewedStreamWithinTwoTicks) {
+  auto trex = BuildTrex("idx");
+  TREX_CHECK_OK(trex->EnableSelfManagement(ManualTickOptions()));
+
+  auto before = trex->Query(kHotQuery, 10);
+  TREX_CHECK_OK(before.status());
+  EXPECT_EQ(before.value().method, RetrievalMethod::kEra);
+
+  // The skewed stream: the hot query dominates.
+  for (int i = 0; i < 19; ++i) {
+    TREX_CHECK_OK(trex->Query(kHotQuery, 10).status());
+  }
+  TREX_CHECK_OK(trex->Query(kColdQuery, 10).status());
+
+  AdvisorTickReport report;
+  TREX_CHECK_OK(trex->advisor_loop()->TickNow(&report));
+  TREX_CHECK_OK(trex->advisor_loop()->TickNow(&report));
+  EXPECT_TRUE(report.applied);
+  EXPECT_LE(report.bytes_materialized, report.bytes_budget);
+
+  auto after = trex->Query(kHotQuery, 10);
+  TREX_CHECK_OK(after.status());
+  EXPECT_NE(after.value().method, RetrievalMethod::kEra)
+      << "hot query still evaluated by ERA after two advisor ticks";
+  EXPECT_LT(after.value().resources.pages_fetched,
+            before.value().resources.pages_fetched);
+  // Same answers, cheaper plan.
+  ASSERT_EQ(after.value().result.elements.size(),
+            before.value().result.elements.size());
+
+  auto total = trex->index()->catalog()->TotalSizeBytes();
+  TREX_CHECK_OK(total.status());
+  EXPECT_LE(total.value(), report.bytes_budget);
+  TREX_CHECK_OK(trex->DisableSelfManagement());
+}
+
+// The loop persists its sketch; a reopened handle resumes from it and
+// the first tick plans yesterday's traffic (warm restart).
+TEST_F(AdvisorLoopTest, SketchSurvivesReopen) {
+  {
+    auto trex = BuildTrex("idx");
+    TREX_CHECK_OK(trex->EnableSelfManagement(ManualTickOptions()));
+    for (int i = 0; i < 8; ++i) {
+      TREX_CHECK_OK(trex->Query(kHotQuery, 10).status());
+    }
+    TREX_CHECK_OK(trex->DisableSelfManagement());
+  }
+  TrexOptions options;
+  options.index.aliases = IeeeAliasMap();
+  auto reopened = TReX::Open(dir_ + "/idx", options);
+  TREX_CHECK_OK(reopened.status());
+  TREX_CHECK_OK(reopened.value()->EnableSelfManagement(ManualTickOptions()));
+  EXPECT_EQ(reopened.value()->workload_recorder()->observed(), 8u);
+  AdvisorTickReport report;
+  TREX_CHECK_OK(reopened.value()->advisor_loop()->TickNow(&report));
+  EXPECT_TRUE(report.planned);
+  EXPECT_EQ(report.workload_queries, 1u);
+}
+
+// --------------------------------------------------------------------
+// Hysteresis.
+
+TEST_F(AdvisorLoopTest, MinAgeDefersDropsUntilListsMature) {
+  auto trex = BuildTrex("idx");
+  TReX::SelfManagementOptions sm = ManualTickOptions();
+  sm.loop.min_list_age_ticks = 3;
+  TREX_CHECK_OK(trex->EnableSelfManagement(sm));
+
+  for (int i = 0; i < 10; ++i) {
+    TREX_CHECK_OK(trex->Query(kHotQuery, 10).status());
+  }
+  AdvisorTickReport report;
+  TREX_CHECK_OK(trex->advisor_loop()->TickNow(&report));  // Tick 1.
+  ASSERT_TRUE(report.applied);
+  ASSERT_GT(report.lists_materialized, 0u);
+
+  // Workload shift: only the cold query from now on.
+  trex->workload_recorder()->Clear();
+  for (int i = 0; i < 10; ++i) {
+    TREX_CHECK_OK(trex->Query(kColdQuery, 10).status());
+  }
+  TREX_CHECK_OK(trex->advisor_loop()->TickNow(&report));  // Tick 2.
+  EXPECT_TRUE(report.applied);
+  EXPECT_GT(report.drops_deferred, 0u)
+      << "hot lists (age 1 < 3) must be kept, not dropped";
+  EXPECT_EQ(report.lists_dropped, 0u);
+
+  TREX_CHECK_OK(trex->advisor_loop()->TickNow(&report));  // Tick 3: age 2.
+  EXPECT_EQ(report.lists_dropped, 0u);
+  TREX_CHECK_OK(trex->advisor_loop()->TickNow(&report));  // Tick 4: age 3.
+  EXPECT_GT(report.lists_dropped, 0u)
+      << "matured unwanted lists must be dropped";
+  EXPECT_EQ(report.drops_deferred, 0u);
+  TREX_CHECK_OK(trex->DisableSelfManagement());
+}
+
+TEST_F(AdvisorLoopTest, SavingGateKeepsCatalogWhenPlanIsNotBetter) {
+  auto trex = BuildTrex("idx");
+  TReX::SelfManagementOptions sm = ManualTickOptions();
+  // An impossible improvement threshold: no plan change ever clears it.
+  sm.loop.min_saving_delta = 1e9;
+  TREX_CHECK_OK(trex->EnableSelfManagement(sm));
+  for (int i = 0; i < 10; ++i) {
+    TREX_CHECK_OK(trex->Query(kHotQuery, 10).status());
+  }
+  AdvisorTickReport report;
+  TREX_CHECK_OK(trex->advisor_loop()->TickNow(&report));
+  EXPECT_TRUE(report.planned);
+  EXPECT_FALSE(report.applied);
+  EXPECT_EQ(report.lists_materialized, 0u);
+  auto total = trex->index()->catalog()->TotalSizeBytes();
+  TREX_CHECK_OK(total.status());
+  EXPECT_EQ(total.value(), 0u);
+  TREX_CHECK_OK(trex->DisableSelfManagement());
+}
+
+// --------------------------------------------------------------------
+// Tick resource budget.
+
+TEST_F(AdvisorLoopTest, TickBudgetAbortsCleanly) {
+  auto trex = BuildTrex("idx");
+  TReX::SelfManagementOptions sm = ManualTickOptions();
+  sm.loop.tick_budget.max_pages = 1;  // Starve the tick.
+  TREX_CHECK_OK(trex->EnableSelfManagement(sm));
+  for (int i = 0; i < 10; ++i) {
+    TREX_CHECK_OK(trex->Query(kHotQuery, 10).status());
+  }
+  AdvisorTickReport report;
+  Status s = trex->advisor_loop()->TickNow(&report);
+  EXPECT_TRUE(s.IsResourceExhausted()) << s.ToString();
+  // The abort left no debris: no journal, no half-applied lists.
+  EXPECT_FALSE(Env::Default()->Exists(
+      AdvisorLoop::ApplyJournalPath(trex->index()->dir())));
+  auto total = trex->index()->catalog()->TotalSizeBytes();
+  TREX_CHECK_OK(total.status());
+  EXPECT_EQ(total.value(), 0u);
+  // Queries are unaffected.
+  TREX_CHECK_OK(trex->Query(kHotQuery, 10).status());
+  TREX_CHECK_OK(trex->DisableSelfManagement());
+}
+
+// --------------------------------------------------------------------
+// Crash mid-apply.
+
+// Power loss halfway through an advisor apply: after reboot + recovery
+// the journal is quarantined, the catalog byte-consistent, and the next
+// tick re-converges — no orphaned bytes, no failed queries.
+TEST_F(AdvisorLoopTest, CrashMidApplyRecoversToConsistentCatalog) {
+  // Phase 1: learn how many writes a clean tick performs (the corpus
+  // and the plan are deterministic, so a second identical index ticks
+  // identically). The whole handle lives under the counting env: table
+  // file handles are created at open time, so an env swapped in later
+  // would never see their page writes.
+  TrexOptions options;
+  options.index.aliases = IeeeAliasMap();
+  uint64_t pre_tick_writes = 0;
+  uint64_t clean_tick_writes = 0;
+  BuildTrex("learn");
+  {
+    FaultInjectingEnv fenv;
+    Env* prev = Env::Swap(&fenv);
+    auto trex = TReX::Open(dir_ + "/learn", options);
+    TREX_CHECK_OK(trex.status());
+    TREX_CHECK_OK(trex.value()->EnableSelfManagement(ManualTickOptions()));
+    for (int i = 0; i < 10; ++i) {
+      TREX_CHECK_OK(trex.value()->Query(kHotQuery, 10).status());
+    }
+    pre_tick_writes = fenv.writes();
+    AdvisorTickReport report;
+    TREX_CHECK_OK(trex.value()->advisor_loop()->TickNow(&report));
+    clean_tick_writes = fenv.writes() - pre_tick_writes;
+    TREX_CHECK_OK(trex.value()->DisableSelfManagement());
+    trex.value().reset();
+    Env::Swap(prev);
+    ASSERT_TRUE(report.applied);
+    ASSERT_GT(report.lists_materialized, 0u);
+    ASSERT_GT(clean_tick_writes, 2u);
+  }
+
+  // Phase 2: identical index, but the power dies halfway through the
+  // apply (journal persisted, list writes partially dropped).
+  const std::string index_dir = dir_ + "/crash";
+  BuildTrex("crash");
+  {
+    FaultInjectingEnv fenv;
+    fenv.plan().crash_after_writes =
+        static_cast<int64_t>(pre_tick_writes + clean_tick_writes / 2);
+    Env* prev = Env::Swap(&fenv);
+    auto trex = TReX::Open(index_dir, options);
+    TREX_CHECK_OK(trex.status());
+    TREX_CHECK_OK(trex.value()->EnableSelfManagement(ManualTickOptions()));
+    for (int i = 0; i < 10; ++i) {
+      TREX_CHECK_OK(trex.value()->Query(kHotQuery, 10).status());
+    }
+    AdvisorTickReport report;
+    // The tick may "succeed" in memory — the dead disk swallows writes
+    // silently — or fail; either way the machine is now off.
+    (void)trex.value()->advisor_loop()->TickNow(&report);
+    (void)trex.value()->DisableSelfManagement();
+    trex.value().reset();
+    Env::Swap(prev);
+    EXPECT_TRUE(fenv.crashed());
+  }
+
+  // Reboot: storage-level recovery, then the advisor's journal
+  // quarantine (run by EnableSelfManagement).
+  ASSERT_TRUE(Env::Default()->Exists(AdvisorLoop::ApplyJournalPath(index_dir)))
+      << "crash was expected to strand the apply journal";
+  RecoveryReport recovery;
+  auto reopened =
+      TReX::Open(index_dir, options, RecoveryMode::kRepair, &recovery);
+  TREX_CHECK_OK(reopened.status());
+  TREX_CHECK_OK(reopened.value()->EnableSelfManagement(ManualTickOptions()));
+
+  // The journal is gone and the catalog verifies byte-for-byte.
+  EXPECT_FALSE(
+      Env::Default()->Exists(AdvisorLoop::ApplyJournalPath(index_dir)));
+  TREX_CHECK_OK(reopened.value()->index()->DeepVerify());
+
+  // No orphaned bytes: everything the catalog counts is droppable and
+  // re-materializable, and queries still work.
+  TREX_CHECK_OK(reopened.value()->Query(kHotQuery, 10).status());
+  for (int i = 0; i < 10; ++i) {
+    TREX_CHECK_OK(reopened.value()->Query(kHotQuery, 10).status());
+  }
+  AdvisorTickReport report;
+  TREX_CHECK_OK(reopened.value()->advisor_loop()->TickNow(&report));
+  EXPECT_TRUE(report.applied);
+  EXPECT_LE(report.bytes_materialized, report.bytes_budget);
+  auto after = reopened.value()->Query(kHotQuery, 10);
+  TREX_CHECK_OK(after.status());
+  EXPECT_NE(after.value().method, RetrievalMethod::kEra);
+  TREX_CHECK_OK(reopened.value()->DisableSelfManagement());
+}
+
+// --------------------------------------------------------------------
+// Concurrency (runs under TSan via the `concurrency` ctest label).
+
+TEST_F(AdvisorLoopTest, BackgroundLoopCoexistsWithConcurrentQueries) {
+  auto trex = BuildTrex("idx", /*num_documents=*/20);
+  TReX::SelfManagementOptions sm;
+  sm.loop.interval_millis = 5;  // Tick aggressively while queries run.
+  sm.loop.min_list_age_ticks = 0;
+  TREX_CHECK_OK(trex->EnableSelfManagement(sm));
+
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const char* nexi = (t % 2 == 0) ? kHotQuery : kColdQuery;
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        auto answer = trex->Query(nexi, 10);
+        if (!answer.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Let the loop take at least one tick over the recorded stream.
+  for (int i = 0; i < 200 && trex->advisor_loop()->ticks() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const uint64_t ticks = trex->advisor_loop()->ticks();
+  TREX_CHECK_OK(trex->DisableSelfManagement());
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(ticks, uint64_t{1});
+  EXPECT_EQ(trex->workload_recorder()->observed(),
+            static_cast<uint64_t>(kThreads * kQueriesPerThread));
+  // The index is still sane after loop + queries raced.
+  TREX_CHECK_OK(trex->index()->DeepVerify());
+}
+
+}  // namespace
+}  // namespace trex
