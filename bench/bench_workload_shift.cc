@@ -29,9 +29,13 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "advisor/decision_log.h"
 #include "bench/harness.h"
 #include "common/clock.h"
 #include "obs/resource.h"
@@ -216,6 +220,9 @@ int Run(const std::string& out_path) {
       TREX_CHECK_OK(trex->index()->Flush());
     }
   }
+  // Fresh decision audit for this run, so the replay self-check below
+  // folds exactly this run's applies over the (now empty) catalog.
+  std::remove(AuditLogPath(trex->index()->dir()).c_str());
 
   // Manual ticks; one-tick hysteresis so the b_adapted phase shows the
   // drop of A's lists within the advertised two ticks.
@@ -238,6 +245,35 @@ int Run(const std::string& out_path) {
   ticks.push_back(Tick(trex.get(), "b_cold"));
   ticks.push_back(Tick(trex.get(), "b_cold"));
   phases.push_back(ServePhase(trex.get(), "b_adapted", WorkloadB(), reps));
+
+  // Audit self-check: every advisor apply this run must be
+  // reconstructible from the decision log alone — folding its records
+  // over the empty starting catalog has to reproduce the live catalog.
+  {
+    std::ifstream in(AuditLogPath(trex->index()->dir()));
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto replay = ReplayAuditLog(text.str());
+    TREX_CHECK_OK(replay.status());
+    std::set<ListUnit> live;
+    {
+      auto snapshot = trex->index()->ReaderLock();
+      auto entries = trex->index()->catalog()->List();
+      TREX_CHECK_OK(entries.status());
+      for (const CatalogEntry& e : entries.value()) {
+        live.insert(ListUnit{e.kind, e.term, e.sid});
+      }
+    }
+    if (replay.value().catalog != live) {
+      std::fprintf(stderr,
+                   "[bench_workload_shift] advisor_decisions.jsonl replay "
+                   "diverges from the live catalog (%zu vs %zu lists)\n",
+                   replay.value().catalog.size(), live.size());
+      return 1;
+    }
+    std::printf("  audit: %zu applies replayed, %zu lists match\n",
+                replay.value().applies, live.size());
+  }
 
   TREX_CHECK_OK(trex->DisableSelfManagement());
 

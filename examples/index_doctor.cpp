@@ -4,6 +4,7 @@
 //   ./examples/index_doctor <index-dir>            # Stats + logical Verify().
 //   ./examples/index_doctor <index-dir> --verify   # + page-level DeepVerify.
 //   ./examples/index_doctor <index-dir> --repair   # RecoverIndex + reverify.
+//   ./examples/index_doctor <index-dir> --events   # + flight-recorder dump.
 //   ./examples/index_doctor --demo <workdir>       # Build a demo index first.
 //
 // --inject <spec> installs a deterministic fault-injecting Env before
@@ -23,6 +24,7 @@
 
 #include "corpus/ieee_generator.h"
 #include "index/recovery.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "retrieval/materializer.h"
 #include "storage/fault_env.h"
@@ -69,6 +71,7 @@ int main(int argc, char** argv) {
   bool demo = false;
   bool deep = false;
   bool repair = false;
+  bool events = false;
   trex::FaultPlan plan;
   bool inject = false;
   for (int i = 1; i < argc; ++i) {
@@ -79,6 +82,8 @@ int main(int argc, char** argv) {
       deep = true;
     } else if (arg == "--repair") {
       repair = true;
+    } else if (arg == "--events") {
+      events = true;
     } else if (arg == "--inject") {
       if (++i >= argc || !ParseFaultSpec(argv[i], &plan)) {
         std::fprintf(stderr, "--inject needs a spec like crash=150,torn=40\n");
@@ -94,7 +99,7 @@ int main(int argc, char** argv) {
   }
   if (dir.empty()) {
     std::fprintf(stderr,
-                 "usage: %s [--inject spec] "
+                 "usage: %s [--inject spec] [--events] "
                  "(<index-dir> [--verify|--repair] | --demo <workdir>)\n",
                  argv[0]);
     return 2;
@@ -205,6 +210,15 @@ int main(int argc, char** argv) {
   // an undersized buffer pool).
   std::printf("\nmetrics: %s\n",
               trex::obs::Default().Snapshot().ToJson().c_str());
+
+  if (events) {
+    // Everything this process recorded: repairs, catalog changes from the
+    // demo build, degradations. One JSON object per line, oldest first.
+    std::printf("\nflight events (%llu recorded):\n%s",
+                static_cast<unsigned long long>(
+                    trex::obs::FlightRecorder::Default().recorded()),
+                trex::obs::FlightRecorder::Default().DumpJsonl().c_str());
+  }
   trex::Env::Swap(nullptr);
   return s.ok() ? 0 : 1;
 }

@@ -28,6 +28,17 @@
 //   # loop keeps ticking every --advisor-interval=MS, default 2000):
 //   ./examples/search_cli --demo workdir "//article[about(., xml)]" 10
 //       --self-manage
+//
+//   # Observability plumbing:
+//   #   --explain-advisor    print the advisor's decision audit and the
+//   #                        cost-model calibration metrics (implies
+//   #                        --self-manage)
+//   #   --stats-prom=PATH    keep a Prometheus text exposition rewritten
+//   #                        periodically (and once at exit)
+//   #   --post-mortem=PATH   install fatal-signal handlers that append
+//   #                        the flight-recorder ring to PATH as JSONL
+//   #   --repeat=N           re-serve the query N times (load for the
+//   #                        crash-dump and contention smoke tests)
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -36,11 +47,15 @@
 #include <string>
 #include <vector>
 
+#include "advisor/decision_log.h"
 #include "corpus/corpus.h"
 #include "corpus/ieee_generator.h"
 #include "index/index_builder.h"
 #include "obs/chrome_trace.h"
+#include "obs/flight_recorder.h"
+#include "obs/prom.h"
 #include "obs/slow_query_log.h"
+#include "obs/snapshotter.h"
 #include "trex/query_executor.h"
 #include "trex/trex.h"
 
@@ -63,17 +78,30 @@ std::string Snippet(const std::string& doc, const trex::ElementInfo& e) {
 
 int main(int argc, char** argv) {
   bool explain = false;
+  bool explain_advisor = false;
   bool self_manage = false;
   int64_t advisor_interval_ms = 2000;
   size_t threads = 1;
   std::string trace_out;
   std::string slow_log_path;
+  std::string prom_path;
+  std::string post_mortem_path;
+  uint64_t repeat = 1;
   double slow_ms = 50.0;
   uint64_t budget_pages = 0;
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--explain") == 0) {
       explain = true;
+    } else if (std::strcmp(argv[i], "--explain-advisor") == 0) {
+      explain_advisor = true;
+    } else if (std::strncmp(argv[i], "--stats-prom=", 13) == 0) {
+      prom_path = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--post-mortem=", 14) == 0) {
+      post_mortem_path = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
+      repeat = static_cast<uint64_t>(std::atoll(argv[i] + 9));
+      if (repeat == 0) repeat = 1;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<size_t>(std::atoll(argv[++i]));
       if (threads == 0) threads = 1;
@@ -97,11 +125,31 @@ int main(int argc, char** argv) {
   if (args.size() < 3) {
     std::fprintf(stderr,
                  "usage: %s (--demo | <xml-dir>) <workdir> <nexi-query> "
-                 "[k] [--explain] [--threads N] [--trace-out=PATH] "
-                 "[--budget-pages=N] [--slow-log=PATH] [--slow-ms=MS] "
-                 "[--self-manage] [--advisor-interval=MS]\n",
+                 "[k] [--explain] [--explain-advisor] [--threads N] "
+                 "[--trace-out=PATH] [--budget-pages=N] [--slow-log=PATH] "
+                 "[--slow-ms=MS] [--self-manage] [--advisor-interval=MS] "
+                 "[--stats-prom=PATH] [--post-mortem=PATH] [--repeat=N]\n",
                  argv[0]);
     return 2;
+  }
+  if (explain_advisor) self_manage = true;
+  if (!post_mortem_path.empty() &&
+      !trex::obs::InstallPostMortemDump(post_mortem_path)) {
+    std::fprintf(stderr, "cannot install post-mortem dump to %s\n",
+                 post_mortem_path.c_str());
+    return 1;
+  }
+  std::unique_ptr<trex::obs::MetricsSnapshotter> snapshotter;
+  if (!prom_path.empty()) {
+    trex::obs::MetricsSnapshotter::Options snap_options;
+    snap_options.prom_path = prom_path;
+    snap_options.period_millis = 250;
+    snapshotter =
+        std::make_unique<trex::obs::MetricsSnapshotter>(snap_options);
+    if (!snapshotter->Start()) {
+      std::fprintf(stderr, "cannot start metrics snapshotter\n");
+      return 1;
+    }
   }
   std::string source = args[0];
   std::string workdir = args[1];
@@ -249,6 +297,13 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // --repeat: keep re-serving the same query on the same handle — load
+  // generation for the crash-dump and contention smoke tests.
+  for (uint64_t r = 1; r < repeat && answer.ok(); ++r) {
+    trex::Result<trex::QueryAnswer> again =
+        trex->Query(query, k, query_options);
+    if (!again.ok()) answer = std::move(again);
+  }
   if (!answer.ok()) {
     if (answer.status().IsResourceExhausted()) {
       std::fprintf(stderr,
@@ -331,6 +386,11 @@ int main(int argc, char** argv) {
                 "resources %s\n",
                 all_answers.size(), static_cast<double>(total_nanos) * 1e-6,
                 total.ToJson().c_str());
+    // Derived hit-ratio gauges (the same values the Prometheus
+    // exposition carries, see obs/prom.h).
+    for (const trex::obs::DerivedGauge& g : trex::obs::DerivedGauges(snap)) {
+      std::printf("%s = %.3f\n", g.name.c_str(), g.value);
+    }
   }
   if (!trace_out.empty()) {
     // One lane per worker answer: lay the traces side by side on a
@@ -382,6 +442,71 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(
             adapted.value().resources.pages_fetched));
     TREX_CHECK_OK(trex->DisableSelfManagement());
+  }
+  if (explain_advisor) {
+    trex::obs::MetricsSnapshot snap = trex::obs::Default().Snapshot();
+    std::printf(
+        "\nadvisor: ticks=%llu plans=%llu applied=%llu gated=%llu "
+        "materialized=%llu dropped=%llu\n",
+        static_cast<unsigned long long>(snap.counter("advisor.loop.ticks")),
+        static_cast<unsigned long long>(snap.counter("advisor.loop.plans")),
+        static_cast<unsigned long long>(
+            snap.counter("advisor.loop.plans_applied")),
+        static_cast<unsigned long long>(
+            snap.counter("advisor.loop.plans_gated")),
+        static_cast<unsigned long long>(
+            snap.counter("advisor.loop.lists_materialized")),
+        static_cast<unsigned long long>(
+            snap.counter("advisor.loop.lists_dropped")));
+    long long drift = 0;
+    auto drift_it = snap.gauges.find("advisor.calibration.mean_abs_drift_pct");
+    if (drift_it != snap.gauges.end()) drift = drift_it->second;
+    unsigned long long ratio_p50 = 0;
+    auto ratio_it = snap.histograms.find("advisor.calibration.ratio_pct");
+    if (ratio_it != snap.histograms.end()) ratio_p50 = ratio_it->second.p50;
+    std::printf(
+        "advisor: calibration samples=%llu overestimates=%llu "
+        "underestimates=%llu mean_abs_drift=%lld%% ratio_p50=%llu%%\n",
+        static_cast<unsigned long long>(
+            snap.counter("advisor.calibration.samples")),
+        static_cast<unsigned long long>(
+            snap.counter("advisor.calibration.overestimates")),
+        static_cast<unsigned long long>(
+            snap.counter("advisor.calibration.underestimates")),
+        drift, ratio_p50);
+    const std::string audit_path = trex::AuditLogPath(index_dir);
+    auto audit_text = trex::Env::ReadFileToString(audit_path);
+    if (audit_text.ok()) {
+      auto replay = trex::ReplayAuditLog(audit_text.value());
+      std::vector<std::string> lines;
+      size_t start = 0;
+      const std::string& text = audit_text.value();
+      while (start < text.size()) {
+        size_t end = text.find('\n', start);
+        if (end == std::string::npos) end = text.size();
+        if (end > start) lines.push_back(text.substr(start, end - start));
+        start = end + 1;
+      }
+      if (replay.ok()) {
+        std::printf(
+            "advisor: decision audit %s (%zu records; replay: %zu applies, "
+            "%zu rollbacks, %zu units live)\n",
+            audit_path.c_str(), lines.size(), replay.value().applies,
+            replay.value().rollbacks, replay.value().catalog.size());
+      }
+      const size_t tail = lines.size() > 5 ? lines.size() - 5 : 0;
+      for (size_t i = tail; i < lines.size(); ++i) {
+        std::printf("  %s\n", lines[i].c_str());
+      }
+    } else {
+      std::printf("advisor: no decision audit at %s\n", audit_path.c_str());
+    }
+  }
+  if (snapshotter != nullptr) {
+    snapshotter->Stop();  // Writes one final exposition.
+    std::printf("stats-prom: %llu tick(s) -> %s\n",
+                static_cast<unsigned long long>(snapshotter->ticks()),
+                prom_path.c_str());
   }
   return 0;
 }

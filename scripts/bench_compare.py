@@ -183,6 +183,17 @@ def compare(baseline, current, max_regress_pct):
         p50_base = base["latency_ns"]["p50"]
         qps_now = w["qps"]
         qps_base = base["qps"]
+        # Tail latency is too noisy to gate on (one GC pause or page fault
+        # moves p99 by multiples), but a consistent drift is worth a human
+        # glance, so report it as a non-gating note.
+        p99_now = w["latency_ns"]["p99"]
+        p99_base = base["latency_ns"]["p99"]
+        if p99_base > 0 and p99_now > p99_base * factor:
+            notes.append(
+                f"{w['name']}: p99 {p99_base} -> {p99_now} ns "
+                f"({100.0 * (p99_now / p99_base - 1):+.1f}%, "
+                f"non-gating tail drift)"
+            )
         lat_regressed = p50_base > 0 and p50_now > p50_base * factor
         qps_regressed = qps_base > 0 and qps_now * factor < qps_base
         if lat_regressed and qps_regressed:

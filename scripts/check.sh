@@ -17,6 +17,12 @@
 #                                 #   plus bench_workload_shift on a
 #                                 #   tiny corpus with its non-gating
 #                                 #   adaptation report
+#   scripts/check.sh --obs        # + the observability suite (ctest
+#                                 #   -L obs), a Prometheus exposition
+#                                 #   smoke (required metric families
+#                                 #   present), and a crash-dump smoke
+#                                 #   (SIGTERM a busy search_cli, the
+#                                 #   post-mortem JSONL must parse)
 #   BUILD_DIR=/tmp/chk TSAN_BUILD_DIR=/tmp/chk-tsan scripts/check.sh
 set -euo pipefail
 
@@ -26,11 +32,13 @@ TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-check-tsan}"
 STRESS=0
 BENCH_SMOKE=0
 ADVISOR=0
+OBS=0
 for arg in "$@"; do
   case "$arg" in
     --stress) STRESS=1 ;;
     --bench-smoke) BENCH_SMOKE=1 ;;
     --advisor) ADVISOR=1 ;;
+    --obs) OBS=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -144,4 +152,55 @@ if [ "$ADVISOR" -eq 1 ]; then
   python3 scripts/bench_compare.py \
     --shift-report "$SHIFT_DIR/BENCH_workload_shift.json"
   echo "advisor: ok"
+fi
+
+# Observability stage: the obs-labeled suite (flight recorder, advisor
+# audit replay, prom export, chrome-trace concurrency) under ASan/UBSan,
+# then two end-to-end smokes against the real search_cli binary:
+#  1. exposition smoke — a self-managed query must leave a trex_stats.prom
+#     containing every metric family the runbook documents;
+#  2. crash-dump smoke — SIGTERM a busy self-managing process and require
+#     that the post-mortem flight dump is well-formed JSONL that includes
+#     the fatal-signal header (what an operator would attach to a ticket).
+if [ "$OBS" -eq 1 ]; then
+  ctest --test-dir "$BUILD_DIR" -L obs --output-on-failure -j "$(nproc)"
+  OBS_DIR="$(mktemp -d "${TMPDIR:-/tmp}/trex_obs.XXXXXX")"
+  trap 'rm -rf "$OBS_DIR" ${SHIFT_DIR:+"$SHIFT_DIR"} ${SMOKE_DIR:+"$SMOKE_DIR"}' EXIT
+  "$BUILD_DIR/examples/search_cli" --demo "$OBS_DIR/prom_work" \
+      "//article[about(., ontologies)]" 10 --self-manage \
+      --stats-prom="$OBS_DIR/trex_stats.prom" > "$OBS_DIR/prom_smoke.out"
+  for family in \
+      trex_storage_bufpool_hits \
+      trex_storage_bufpool_latch_wait_nanos \
+      trex_index_snapshot_read_wait_nanos \
+      trex_retrieval_materializer_wait_nanos \
+      trex_advisor_loop_ticks \
+      trex_advisor_calibration_samples \
+      trex_derived_bufpool_hit_rate; do
+    if ! grep -q "^$family" "$OBS_DIR/trex_stats.prom"; then
+      echo "obs: metric family $family missing from trex_stats.prom" >&2
+      exit 1
+    fi
+  done
+  "$BUILD_DIR/examples/search_cli" --demo "$OBS_DIR/crash_work" \
+      "//article[about(., ontologies)]" 10 --self-manage \
+      --repeat=100000000 --post-mortem="$OBS_DIR/post_mortem.jsonl" \
+      > /dev/null 2>&1 &
+  CRASH_PID=$!
+  sleep 5
+  kill -TERM "$CRASH_PID"
+  wait "$CRASH_PID" || true
+  python3 - "$OBS_DIR/post_mortem.jsonl" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "post-mortem dump is empty"
+kinds = set()
+for l in lines:
+    event = json.loads(l)
+    assert {"seq", "kind", "event"} <= event.keys(), f"bad event: {event}"
+    kinds.add(event["kind"])
+assert "signal" in kinds, f"no fatal-signal header, kinds={kinds}"
+print(f"post-mortem: {len(lines)} event(s) ok, kinds={sorted(kinds)}")
+EOF
+  echo "obs: ok"
 fi

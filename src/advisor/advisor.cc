@@ -23,6 +23,7 @@ Status SelfManager::BuildInstance(const Workload& workload,
       if (!estimated.ok()) return estimated.status();
       costs = estimated.value();
     }
+    sq.costs = costs;
     sq.merge_saving = costs.merge_saving();
     sq.ta_saving = costs.ta_saving();
     sq.s_erpl = costs.s_erpl;

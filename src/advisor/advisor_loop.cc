@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <set>
 #include <sstream>
 
 #include "common/clock.h"
 #include "nexi/translator.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "retrieval/materializer.h"
+#include "retrieval/strategy.h"
 #include "storage/env.h"
 
 namespace trex {
@@ -55,11 +58,34 @@ const char* KindTag(ListKind kind) {
   return kind == ListKind::kRpl ? "R" : "E";
 }
 
+// Shortest round-trippable rendering for audit records.
+std::string Dbl(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+const char* ChoiceName(IndexChoice choice) {
+  switch (choice) {
+    case IndexChoice::kErpl:
+      return "erpl";
+    case IndexChoice::kRpl:
+      return "rpl";
+    case IndexChoice::kNone:
+      return "none";
+  }
+  return "?";
+}
+
 }  // namespace
 
 AdvisorLoop::AdvisorLoop(Index* index, WorkloadRecorder* recorder,
                          AdvisorLoopOptions options)
-    : index_(index), recorder_(recorder), options_(std::move(options)) {}
+    : index_(index), recorder_(recorder), options_(std::move(options)) {
+  if (options_.audit) {
+    audit_ = std::make_unique<AdvisorAuditLog>(AuditLogPath(index_->dir()));
+  }
+}
 
 AdvisorLoop::~AdvisorLoop() { Stop(); }
 
@@ -67,9 +93,10 @@ std::string AdvisorLoop::ApplyJournalPath(const std::string& index_dir) {
   return index_dir + "/advisor_apply.txt";
 }
 
-Status AdvisorLoop::RecoverPendingApply(Index* index,
-                                        size_t* recovered_units) {
+Status AdvisorLoop::RecoverPendingApply(Index* index, size_t* recovered_units,
+                                        std::vector<ListUnit>* recovered) {
   if (recovered_units != nullptr) *recovered_units = 0;
+  if (recovered != nullptr) recovered->clear();
   const std::string path = ApplyJournalPath(index->dir());
   if (!Env::Default()->Exists(path)) return Status::OK();
   auto contents = Env::Default()->ReadToString(path);
@@ -105,6 +132,22 @@ Status AdvisorLoop::RecoverPendingApply(Index* index,
   TREX_RETURN_IF_ERROR(Env::Default()->Remove(path));
   Metrics().recovered_units->Add(present.size());
   if (recovered_units != nullptr) *recovered_units = present.size();
+  if (recovered != nullptr) *recovered = std::move(present);
+  return Status::OK();
+}
+
+Status AdvisorLoop::RecoverPending() {
+  std::vector<ListUnit> dropped;
+  TREX_RETURN_IF_ERROR(RecoverPendingApply(index_, nullptr, &dropped));
+  if (!dropped.empty()) {
+    if (audit_ != nullptr) {
+      audit_->Append("{\"type\":\"rollback\",\"dropped\":[" +
+                     JoinUnitTokens(dropped) + "]}");
+    }
+    obs::FlightRecorder::Default().Record(
+        obs::FlightKind::kAdvisor, "rollback",
+        "\"units\":" + std::to_string(dropped.size()));
+  }
   return Status::OK();
 }
 
@@ -113,7 +156,7 @@ Status AdvisorLoop::Start() {
     std::lock_guard<std::mutex> lock(mu_);
     if (running_) return Status::OK();
   }
-  TREX_RETURN_IF_ERROR(RecoverPendingApply(index_));
+  TREX_RETURN_IF_ERROR(RecoverPending());
   std::lock_guard<std::mutex> lock(mu_);
   stop_ = false;
   running_ = true;
@@ -208,7 +251,7 @@ Status AdvisorLoop::TickNow(AdvisorTickReport* report) {
     // A failed apply may leave the journal behind with some units
     // half-materialized. Roll it back now, outside the tick's budget
     // scope, so the catalog never carries half-applied bytes.
-    Status recover = RecoverPendingApply(index_);
+    Status recover = RecoverPending();
     (void)recover;  // Best-effort; Start() retries it too.
   }
   if (options_.persist_recorder) {
@@ -300,6 +343,38 @@ Status AdvisorLoop::RunTick(AdvisorTickReport* tick) {
   }
   tick->planned_saving = result.total_saving;
 
+  // Audit: one decision record per candidate query, carrying the raw
+  // costs the plan was built from — enough to re-derive (and later
+  // calibrate) every choice without re-running the planner.
+  if (audit_ != nullptr) {
+    const auto& wqs = workload.queries();
+    for (size_t i = 0; i < instance.queries.size() && i < wqs.size() &&
+                       i < result.choice.size();
+         ++i) {
+      const SelectionQuery& sq = instance.queries[i];
+      const IndexChoice choice = result.choice[i];
+      double weighted = 0.0;
+      if (choice == IndexChoice::kErpl) {
+        weighted = sq.frequency * sq.merge_saving;
+      } else if (choice == IndexChoice::kRpl) {
+        weighted = sq.frequency * sq.ta_saving;
+      }
+      std::string rec = "{\"type\":\"decision\",\"tick\":" +
+                        std::to_string(tick->tick) + ",\"query\":\"";
+      obs::JsonEscape(wqs[i].nexi, &rec);
+      rec += "\",\"f\":" + Dbl(sq.frequency) +
+             ",\"k\":" + std::to_string(wqs[i].k) + ",\"choice\":\"" +
+             ChoiceName(choice) +
+             "\",\"est\":{\"t_era\":" + Dbl(sq.costs.t_era) +
+             ",\"t_merge\":" + Dbl(sq.costs.t_merge) +
+             ",\"t_ta\":" + Dbl(sq.costs.t_ta) +
+             ",\"s_rpl\":" + std::to_string(sq.costs.s_rpl) +
+             ",\"s_erpl\":" + std::to_string(sq.costs.s_erpl) +
+             "},\"weighted_saving\":" + Dbl(weighted) + "}";
+      audit_->Append(rec);
+    }
+  }
+
   // Phase 3: diff the plan against the live catalog.
   std::vector<ListUnit> wanted_units = ChosenUnits(instance, result);
   std::set<ListUnit> wanted(wanted_units.begin(), wanted_units.end());
@@ -343,6 +418,7 @@ Status AdvisorLoop::RunTick(AdvisorTickReport* tick) {
   // Min-age hysteresis on drops (waived when over budget: staying
   // within d is a hard constraint, freshness is not).
   std::vector<ListUnit> to_drop;
+  std::vector<ListUnit> deferred;
   for (const ListUnit& u : unwanted) {
     auto it = created_tick_.find(u);
     uint64_t age = it == created_tick_.end()
@@ -351,10 +427,33 @@ Status AdvisorLoop::RunTick(AdvisorTickReport* tick) {
     if (over_budget || age >= options_.min_list_age_ticks) {
       to_drop.push_back(u);
     } else {
+      deferred.push_back(u);
       ++tick->drops_deferred;
     }
   }
   Metrics().drops_deferred->Add(tick->drops_deferred);
+
+  // Audit + flight event: what this tick's plan amounted to, and why it
+  // will (or will not) change the catalog.
+  if (audit_ != nullptr) {
+    audit_->Append(
+        "{\"type\":\"plan\",\"tick\":" + std::to_string(tick->tick) +
+        ",\"queries\":" + std::to_string(tick->workload_queries) +
+        ",\"planned_saving\":" + Dbl(tick->planned_saving) +
+        ",\"current_saving\":" + Dbl(tick->current_saving) +
+        ",\"gain\":" + Dbl(gain) +
+        ",\"gated\":" + (gated ? "true" : "false") +
+        ",\"over_budget\":" + (over_budget ? "true" : "false") +
+        ",\"to_add\":" + std::to_string(to_add.size()) +
+        ",\"to_drop\":" + std::to_string(to_drop.size()) +
+        ",\"deferred\":[" + JoinUnitTokens(deferred) + "]}");
+  }
+  obs::FlightRecorder::Default().Record(
+      obs::FlightKind::kAdvisor, "plan",
+      "\"tick\":" + std::to_string(tick->tick) +
+          ",\"gated\":" + (gated ? "true" : "false") +
+          ",\"to_add\":" + std::to_string(to_add.size()) +
+          ",\"to_drop\":" + std::to_string(to_drop.size()));
 
   if (to_add.empty() && to_drop.empty()) {
     // Nothing to do this tick: converged unless changes were merely
@@ -371,6 +470,7 @@ Status AdvisorLoop::RunTick(AdvisorTickReport* tick) {
   // write), mutate, flush durably, then retire the journal — a crash at
   // any point leaves either a consistent catalog or a journal that
   // RecoverPendingApply rolls back.
+  std::vector<ListUnit> trimmed;
   {
     obs::TraceSpan span(&trace, "apply");
     std::string journal = "# trex advisor apply journal v1\n";
@@ -418,6 +518,7 @@ Status AdvisorLoop::RunTick(AdvisorTickReport* tick) {
         if (bytes <= budget) break;
         TREX_RETURN_IF_ERROR(
             DropUnits(index_, {ListUnit{e.kind, e.term, e.sid}}));
+        trimmed.push_back(ListUnit{e.kind, e.term, e.sid});
         bytes -= e.size_bytes;
         ++tick->lists_dropped;
       }
@@ -439,6 +540,26 @@ Status AdvisorLoop::RunTick(AdvisorTickReport* tick) {
   Metrics().bytes_materialized->Set(
       static_cast<int64_t>(tick->bytes_materialized));
 
+  // Audit: the apply record is written only after the journal retired,
+  // so the log never claims a change a crash rolled back (recovery
+  // appends a rollback record instead). Folding apply/rollback records
+  // over the starting catalog must reconstruct the live catalog — the
+  // invariant ReplayAuditLog and bench_workload_shift check.
+  if (audit_ != nullptr) {
+    audit_->Append(
+        "{\"type\":\"apply\",\"tick\":" + std::to_string(tick->tick) +
+        ",\"add\":[" + JoinUnitTokens(to_add) + "],\"drop\":[" +
+        JoinUnitTokens(to_drop) + "],\"trimmed\":[" +
+        JoinUnitTokens(trimmed) + "],\"bytes\":" +
+        std::to_string(tick->bytes_materialized) + "}");
+  }
+  obs::FlightRecorder::Default().Record(
+      obs::FlightKind::kAdvisor, "apply",
+      "\"tick\":" + std::to_string(tick->tick) +
+          ",\"added\":" + std::to_string(tick->lists_materialized) +
+          ",\"dropped\":" + std::to_string(tick->lists_dropped) +
+          ",\"bytes\":" + std::to_string(tick->bytes_materialized));
+
   // Refresh age bookkeeping to the post-apply catalog.
   for (const ListUnit& u : to_add) created_tick_[u] = tick->tick;
   for (auto it = created_tick_.begin(); it != created_tick_.end();) {
@@ -449,6 +570,52 @@ Status AdvisorLoop::RunTick(AdvisorTickReport* tick) {
                                      it->first.sid);
     }
     it = alive ? std::next(it) : created_tick_.erase(it);
+  }
+
+  // Calibration: re-run a few of the tick's chosen queries with the
+  // method the plan picked and compare wall-clock seconds against the
+  // estimates the plan was built from. Runs inside the tick's budget
+  // scope; exhausting the budget stops sampling but must not fail a
+  // tick whose apply already succeeded.
+  if (options_.max_calibration_queries > 0) {
+    obs::TraceSpan span(&trace, "calibrate");
+    Evaluator evaluator(index_);
+    const auto& wqs = workload.queries();
+    auto read_lock = index_->ReaderLock();
+    for (size_t i = 0; i < instance.queries.size() && i < wqs.size() &&
+                       i < result.choice.size() &&
+                       tick->calibration_samples <
+                           options_.max_calibration_queries;
+         ++i) {
+      const IndexChoice choice = result.choice[i];
+      if (choice == IndexChoice::kNone) continue;
+      const bool merge = choice == IndexChoice::kErpl;
+      const double est = merge ? instance.queries[i].costs.t_merge
+                               : instance.queries[i].costs.t_ta;
+      if (est <= 0.0) continue;
+      RetrievalResult out;
+      Stopwatch query_watch;
+      Status s = evaluator.EvaluateWith(
+          merge ? RetrievalMethod::kMerge : RetrievalMethod::kTa,
+          wqs[i].clause, wqs[i].k, &out);
+      if (s.IsResourceExhausted()) break;  // Tick budget spent.
+      if (!s.ok()) continue;  // E.g. the unit was trimmed away again.
+      const double measured =
+          static_cast<double>(query_watch.ElapsedNanos()) * 1e-9;
+      calibration_.Observe(est, measured);
+      if (audit_ != nullptr) {
+        std::string rec = "{\"type\":\"calibration\",\"tick\":" +
+                          std::to_string(tick->tick) + ",\"query\":\"";
+        obs::JsonEscape(wqs[i].nexi, &rec);
+        rec += std::string("\",\"method\":\"") + (merge ? "Merge" : "TA") +
+               "\",\"est_s\":" + Dbl(est) + ",\"meas_s\":" + Dbl(measured) +
+               "}";
+        audit_->Append(rec);
+      }
+      ++tick->calibration_samples;
+    }
+    span.AddAttr("samples",
+                 static_cast<uint64_t>(tick->calibration_samples));
   }
 
   trace.Finish();

@@ -39,12 +39,15 @@
 #include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "advisor/advisor.h"
+#include "advisor/calibration.h"
+#include "advisor/decision_log.h"
 #include "advisor/workload_recorder.h"
 #include "obs/resource.h"
 
@@ -77,6 +80,13 @@ struct AdvisorLoopOptions {
   obs::ResourceBudget tick_budget;
   // Persist the recorder sketch (recorder->Save()) after each tick.
   bool persist_recorder = true;
+  // Decision audit: append decision / plan / apply / rollback records
+  // to advisor_decisions.jsonl in the index dir (advisor/decision_log.h).
+  bool audit = true;
+  // Cost-model calibration: after an applied tick, re-run up to this
+  // many of the tick's chosen queries with the planned method and feed
+  // estimate-vs-measured samples to advisor.calibration.*. 0 disables.
+  size_t max_calibration_queries = 4;
 };
 
 // What one tick did; last_report() returns the most recent one.
@@ -92,6 +102,7 @@ struct AdvisorTickReport {
   uint64_t bytes_budget = 0;
   double planned_saving = 0.0;  // Plan's weighted saving, seconds.
   double current_saving = 0.0;  // Saving of the pre-tick catalog.
+  size_t calibration_samples = 0;  // Estimate-vs-measured pairs taken.
   obs::ResourceUsage resources;  // The tick's own (advisor) work.
   std::string trace_json;        // advisor.tick span tree.
 };
@@ -126,10 +137,19 @@ class AdvisorLoop {
   // If an apply journal exists in the index dir, drops every journaled
   // unit still present in the catalog (quarantining the half-applied
   // plan), flushes, and removes the journal. `recovered_units`
-  // (optional) counts the units dropped. Safe to call when no journal
-  // exists. Also run by Start().
+  // (optional) counts the units dropped; `recovered` (optional) lists
+  // them. Safe to call when no journal exists. Also run by Start().
   static Status RecoverPendingApply(Index* index,
-                                    size_t* recovered_units = nullptr);
+                                    size_t* recovered_units = nullptr,
+                                    std::vector<ListUnit>* recovered =
+                                        nullptr);
+
+  // The instance-level recovery entry point: RecoverPendingApply plus a
+  // rollback record in the decision audit log and a flight-recorder
+  // event when anything was quarantined. Run by Start(); hosts doing
+  // manual ticks (start_background=false) should call this instead of
+  // the static method so recoveries stay auditable.
+  Status RecoverPending();
 
   // The journal path used by the crash-apply protocol.
   static std::string ApplyJournalPath(const std::string& index_dir);
@@ -145,6 +165,10 @@ class AdvisorLoop {
   Index* const index_;
   WorkloadRecorder* const recorder_;
   const AdvisorLoopOptions options_;
+  // Opened at construction (when options_.audit) so every record of the
+  // loop's lifetime — including Start()'s recovery — lands in one file.
+  std::unique_ptr<AdvisorAuditLog> audit_;
+  CalibrationTracker calibration_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

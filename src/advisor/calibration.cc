@@ -1,0 +1,50 @@
+#include "advisor/calibration.h"
+
+#include <cmath>
+
+namespace trex {
+
+CalibrationTracker::CalibrationTracker(obs::MetricsRegistry* registry)
+    : samples_((registry != nullptr ? registry : &obs::Default())
+                   ->GetCounter("advisor.calibration.samples")),
+      overestimates_((registry != nullptr ? registry : &obs::Default())
+                         ->GetCounter("advisor.calibration.overestimates")),
+      underestimates_((registry != nullptr ? registry : &obs::Default())
+                          ->GetCounter("advisor.calibration.underestimates")),
+      ratio_pct_((registry != nullptr ? registry : &obs::Default())
+                     ->GetHistogram("advisor.calibration.ratio_pct")),
+      mean_abs_drift_pct_gauge_(
+          (registry != nullptr ? registry : &obs::Default())
+              ->GetGauge("advisor.calibration.mean_abs_drift_pct")) {}
+
+void CalibrationTracker::Observe(double estimated_seconds,
+                                 double measured_seconds) {
+  if (!(estimated_seconds > 0.0) || measured_seconds < 0.0) return;
+  const double ratio_pct = 100.0 * measured_seconds / estimated_seconds;
+  samples_->Add();
+  if (ratio_pct < 100.0) {
+    overestimates_->Add();
+  } else if (ratio_pct > 100.0) {
+    underestimates_->Add();
+  }
+  ratio_pct_->Record(static_cast<uint64_t>(std::llround(ratio_pct)));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++count_;
+  abs_drift_sum_pct_ += std::fabs(ratio_pct - 100.0);
+  mean_abs_drift_pct_gauge_->Set(static_cast<int64_t>(
+      std::llround(abs_drift_sum_pct_ / static_cast<double>(count_))));
+}
+
+uint64_t CalibrationTracker::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double CalibrationTracker::mean_abs_drift_pct() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0
+                     : abs_drift_sum_pct_ / static_cast<double>(count_);
+}
+
+}  // namespace trex

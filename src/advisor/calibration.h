@@ -1,0 +1,64 @@
+// Cost-model calibration: estimated vs measured query times.
+//
+// The online advisor plans with CostModel::Estimate — cheap analytic
+// numbers derived from term statistics. Whether those numbers can be
+// trusted is an empirical question, and the paper answers it by
+// experiment ("the actual time savings ... should be measured
+// experimentally"). CalibrationTracker closes that loop in production:
+// after an applied tick the AdvisorLoop re-runs a few of the tick's
+// queries with the method the plan chose, and feeds (estimated seconds,
+// measured seconds) pairs here. The tracker exposes the drift as
+// metrics —
+//
+//   advisor.calibration.samples          counter
+//   advisor.calibration.overestimates    counter (measured < estimated)
+//   advisor.calibration.underestimates   counter (measured > estimated)
+//   advisor.calibration.ratio_pct        histogram of 100*measured/est
+//   advisor.calibration.mean_abs_drift_pct  gauge, running mean |ratio-100|
+//
+// — so `search_cli --explain-advisor` and the Prometheus exposition can
+// say not just what the advisor decided but how honest its cost model
+// currently is.
+#ifndef TREX_ADVISOR_CALIBRATION_H_
+#define TREX_ADVISOR_CALIBRATION_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace trex {
+
+class CalibrationTracker {
+ public:
+  // Instruments are registered in `registry` (nullptr = the default
+  // registry) at construction, so the metric families exist even before
+  // the first sample.
+  explicit CalibrationTracker(obs::MetricsRegistry* registry = nullptr);
+
+  CalibrationTracker(const CalibrationTracker&) = delete;
+  CalibrationTracker& operator=(const CalibrationTracker&) = delete;
+
+  // One estimate-vs-measurement pair, both in seconds. Samples with a
+  // non-positive estimate are ignored (no ratio to take).
+  void Observe(double estimated_seconds, double measured_seconds);
+
+  uint64_t samples() const;
+  // Running mean of |100*measured/estimated - 100| over all samples.
+  double mean_abs_drift_pct() const;
+
+ private:
+  obs::Counter* const samples_;
+  obs::Counter* const overestimates_;
+  obs::Counter* const underestimates_;
+  obs::Histogram* const ratio_pct_;
+  obs::Gauge* const mean_abs_drift_pct_gauge_;
+
+  mutable std::mutex mu_;
+  uint64_t count_ = 0;
+  double abs_drift_sum_pct_ = 0.0;
+};
+
+}  // namespace trex
+
+#endif  // TREX_ADVISOR_CALIBRATION_H_

@@ -1,0 +1,181 @@
+#include "advisor/decision_log.h"
+
+#include <cinttypes>
+#include <cstdlib>
+
+namespace trex {
+
+namespace {
+
+// Extracts the quoted-string elements of `"key":[...]` from one JSONL
+// record. Works because unit tokens never contain quotes or escapes
+// (terms are tokenizer output). Returns false when the key is absent.
+bool ExtractTokenArray(std::string_view line, std::string_view key,
+                       std::vector<std::string>* out) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":[";
+  size_t pos = line.find(needle);
+  if (pos == std::string_view::npos) return false;
+  pos += needle.size();
+  while (pos < line.size() && line[pos] != ']') {
+    if (line[pos] == '"') {
+      size_t end = line.find('"', pos + 1);
+      if (end == std::string_view::npos) return false;
+      out->emplace_back(line.substr(pos + 1, end - pos - 1));
+      pos = end + 1;
+    } else {
+      ++pos;
+    }
+  }
+  return pos < line.size();
+}
+
+// The string value of `"key":"..."`, or empty when absent.
+std::string_view ExtractString(std::string_view line, std::string_view key) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":\"";
+  size_t pos = line.find(needle);
+  if (pos == std::string_view::npos) return {};
+  pos += needle.size();
+  size_t end = line.find('"', pos);
+  if (end == std::string_view::npos) return {};
+  return line.substr(pos, end - pos);
+}
+
+uint64_t ExtractU64(std::string_view line, std::string_view key) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":";
+  size_t pos = line.find(needle);
+  if (pos == std::string_view::npos) return 0;
+  pos += needle.size();
+  uint64_t value = 0;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    value = value * 10 + static_cast<uint64_t>(line[pos] - '0');
+    ++pos;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string AuditLogPath(const std::string& index_dir) {
+  return index_dir + "/advisor_decisions.jsonl";
+}
+
+std::string FormatUnitToken(const ListUnit& unit) {
+  std::string out = unit.kind == ListKind::kRpl ? "R:" : "E:";
+  out += std::to_string(unit.sid);
+  out.push_back(':');
+  out += unit.term;
+  return out;
+}
+
+Result<ListUnit> ParseUnitToken(std::string_view token) {
+  if (token.size() < 4 || (token[0] != 'R' && token[0] != 'E') ||
+      token[1] != ':') {
+    return Status::Corruption("bad unit token: " + std::string(token));
+  }
+  size_t colon = token.find(':', 2);
+  if (colon == std::string_view::npos || colon == 2 ||
+      colon + 1 >= token.size()) {
+    return Status::Corruption("bad unit token: " + std::string(token));
+  }
+  uint64_t sid = 0;
+  for (size_t i = 2; i < colon; ++i) {
+    if (token[i] < '0' || token[i] > '9') {
+      return Status::Corruption("bad unit token sid: " + std::string(token));
+    }
+    sid = sid * 10 + static_cast<uint64_t>(token[i] - '0');
+  }
+  ListUnit unit;
+  unit.kind = token[0] == 'R' ? ListKind::kRpl : ListKind::kErpl;
+  unit.sid = static_cast<Sid>(sid);
+  unit.term = std::string(token.substr(colon + 1));
+  return unit;
+}
+
+std::string JoinUnitTokens(const std::vector<ListUnit>& units) {
+  std::string out;
+  for (const ListUnit& u : units) {
+    if (!out.empty()) out.push_back(',');
+    out.push_back('"');
+    out += FormatUnitToken(u);
+    out.push_back('"');
+  }
+  return out;
+}
+
+AdvisorAuditLog::AdvisorAuditLog(const std::string& path) {
+  sink_ = std::fopen(path.c_str(), "a");
+}
+
+AdvisorAuditLog::~AdvisorAuditLog() {
+  if (sink_ != nullptr) std::fclose(sink_);
+}
+
+uint64_t AdvisorAuditLog::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+void AdvisorAuditLog::Append(const std::string& json_line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++records_;
+  if (sink_ == nullptr) return;
+  std::fwrite(json_line.data(), 1, json_line.size(), sink_);
+  std::fputc('\n', sink_);
+  std::fflush(sink_);
+}
+
+Result<AuditReplay> ReplayAuditLog(const std::string& text,
+                                   std::set<ListUnit> initial) {
+  AuditReplay replay;
+  replay.catalog = std::move(initial);
+
+  auto fold = [&replay](const std::vector<std::string>& tokens,
+                        bool insert) -> Status {
+    for (const std::string& token : tokens) {
+      auto unit = ParseUnitToken(token);
+      if (!unit.ok()) return unit.status();
+      if (insert) {
+        replay.catalog.insert(std::move(unit).value());
+      } else {
+        replay.catalog.erase(unit.value());
+      }
+    }
+    return Status::OK();
+  };
+
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string_view line(text.data() + start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    std::string_view type = ExtractString(line, "type");
+    replay.last_tick = std::max(replay.last_tick, ExtractU64(line, "tick"));
+    if (type == "apply") {
+      ++replay.applies;
+      std::vector<std::string> add, drop, trimmed;
+      ExtractTokenArray(line, "add", &add);
+      ExtractTokenArray(line, "drop", &drop);
+      ExtractTokenArray(line, "trimmed", &trimmed);
+      TREX_RETURN_IF_ERROR(fold(add, /*insert=*/true));
+      TREX_RETURN_IF_ERROR(fold(drop, /*insert=*/false));
+      TREX_RETURN_IF_ERROR(fold(trimmed, /*insert=*/false));
+    } else if (type == "rollback") {
+      ++replay.rollbacks;
+      std::vector<std::string> dropped;
+      ExtractTokenArray(line, "dropped", &dropped);
+      TREX_RETURN_IF_ERROR(fold(dropped, /*insert=*/false));
+    }
+    // decision / plan / calibration records carry no catalog deltas.
+  }
+  return replay;
+}
+
+}  // namespace trex

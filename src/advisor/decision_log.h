@@ -1,0 +1,101 @@
+// The advisor's decision audit log (observability for §4's self-manager).
+//
+// Every tick the AdvisorLoop takes decisions an operator may later have
+// to explain: which queries drove the plan, which candidate got which
+// index (or none), why a plan was gated, what was actually applied and
+// what a crash rolled back. The audit log records them as JSONL, one
+// object per record, appended to `advisor_decisions.jsonl` next to the
+// apply journal. Record types:
+//
+//   decision     one per workload query per planned tick: frequency, k,
+//                the chosen index (erpl/rpl/none), the raw estimated
+//                costs (t_era/t_merge/t_ta/s_rpl/s_erpl) and the
+//                weighted saving the choice contributes.
+//   plan         one per planned tick: aggregate saving/gain, whether
+//                the anti-thrash gate fired, over-budget flag, and the
+//                drops deferred by min-age hysteresis.
+//   apply        one per catalog change: units added / dropped /
+//                trimmed, plus the resulting catalog bytes.
+//   rollback     written by crash recovery: the units quarantined.
+//   calibration  estimate-vs-measured sample (see advisor/calibration.h).
+//
+// The log is an append-only plain-stdio file on purpose: audit writes
+// must not flow through trex::Env, whose fault-injection wrapper counts
+// writes to schedule crashes — telemetry must never perturb the fault
+// schedule it exists to explain.
+//
+// ReplayAuditLog folds apply/rollback records over an initial catalog
+// set and returns the reconstructed catalog — the invariant (enforced
+// by tests and bench_workload_shift) is that the replayed set equals
+// the live catalog, i.e. every advisor action is reconstructible from
+// the audit log alone. Units cross the log as compact tokens
+// ("R:<sid>:<term>", see FormatUnitToken) so replay needs no JSON
+// parser: terms are tokenizer output and never contain quotes, colons
+// or backslashes.
+#ifndef TREX_ADVISOR_DECISION_LOG_H_
+#define TREX_ADVISOR_DECISION_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "retrieval/materializer.h"
+
+namespace trex {
+
+// `<index_dir>/advisor_decisions.jsonl`.
+std::string AuditLogPath(const std::string& index_dir);
+
+// "R:4:xml" / "E:7:ontologies" — kind tag, summary id, term.
+std::string FormatUnitToken(const ListUnit& unit);
+Result<ListUnit> ParseUnitToken(std::string_view token);
+// `"R:1:a","E:2:b"` — ready to splice into a JSON array.
+std::string JoinUnitTokens(const std::vector<ListUnit>& units);
+
+// Append-only JSONL sink. Thread-safe; each Append writes one line and
+// flushes, so records survive the process dying right after the apply
+// they describe.
+class AdvisorAuditLog {
+ public:
+  explicit AdvisorAuditLog(const std::string& path);
+  ~AdvisorAuditLog();
+
+  AdvisorAuditLog(const AdvisorAuditLog&) = delete;
+  AdvisorAuditLog& operator=(const AdvisorAuditLog&) = delete;
+
+  bool ok() const { return sink_ != nullptr; }
+  uint64_t records() const;
+
+  // `json_line` is one complete JSON object without the trailing
+  // newline. No-op (but counted as a drop) when the sink failed to open.
+  void Append(const std::string& json_line);
+
+ private:
+  std::FILE* sink_ = nullptr;
+  mutable std::mutex mu_;
+  uint64_t records_ = 0;
+};
+
+// The catalog state reconstructed by folding the audit log.
+struct AuditReplay {
+  size_t applies = 0;
+  size_t rollbacks = 0;
+  uint64_t last_tick = 0;  // Highest "tick" seen on any record.
+  std::set<ListUnit> catalog;
+};
+
+// Folds every apply ("add" minus "drop"/"trimmed") and rollback
+// ("dropped") record in `text` over `initial`. Unknown record types are
+// skipped (the log is designed to grow new types); a malformed unit
+// token is a Corruption error.
+Result<AuditReplay> ReplayAuditLog(const std::string& text,
+                                   std::set<ListUnit> initial = {});
+
+}  // namespace trex
+
+#endif  // TREX_ADVISOR_DECISION_LOG_H_

@@ -17,6 +17,7 @@
 #include <map>
 #include <vector>
 
+#include "advisor/cost_model.h"
 #include "retrieval/materializer.h"
 
 namespace trex {
@@ -38,6 +39,9 @@ struct SelectionQuery {
   // greedy and by materialization).
   std::vector<ListUnit> erpl_units;
   std::vector<ListUnit> rpl_units;
+  // The raw per-method costs the savings were derived from (kept for
+  // the advisor's decision audit and cost-model calibration).
+  QueryCosts costs;
 };
 
 struct SelectionInstance {

@@ -11,8 +11,10 @@
 #include <shared_mutex>
 #include <string>
 
+#include "common/clock.h"
 #include "common/single_flight.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "index/element_index.h"
 #include "index/erpl.h"
 #include "index/index_catalog.h"
@@ -58,11 +60,32 @@ class Index {
   // its in-memory roots and shadowed pages in place, so a writer must not
   // overlap any reader. Acquired ABOVE every storage-level latch (pool
   // partition, pager header) — see DESIGN.md "Concurrency model".
+  //
+  // Contention telemetry: the uncontended case takes the try-lock fast
+  // path and costs nothing extra; only an acquisition that actually
+  // blocks pays a Stopwatch and records how long it waited
+  // (index.snapshot.{read,write}_wait_nanos / _contended).
   std::shared_lock<std::shared_mutex> ReaderLock() const {
-    return std::shared_lock<std::shared_mutex>(snapshot_mu_);
+    std::shared_lock<std::shared_mutex> lock(snapshot_mu_, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      Stopwatch wait;
+      lock.lock();
+      snapshot_read_contended_->Add();
+      snapshot_read_wait_nanos_->Record(
+          static_cast<uint64_t>(wait.ElapsedNanos()));
+    }
+    return lock;
   }
   std::unique_lock<std::shared_mutex> WriterLock() const {
-    return std::unique_lock<std::shared_mutex>(snapshot_mu_);
+    std::unique_lock<std::shared_mutex> lock(snapshot_mu_, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      Stopwatch wait;
+      lock.lock();
+      snapshot_write_contended_->Add();
+      snapshot_write_wait_nanos_->Record(
+          static_cast<uint64_t>(wait.ElapsedNanos()));
+    }
+    return lock;
   }
 
   // Single-flight registry for materialize-on-demand: concurrent misses
@@ -115,6 +138,17 @@ class Index {
   std::unique_ptr<IndexCatalog> catalog_;
   mutable std::shared_mutex snapshot_mu_;
   SingleFlightGroup materialize_flight_;
+  // Snapshot-lock contention instruments (registry pointers are valid
+  // for the process lifetime; fetching them here keeps the lock methods
+  // allocation-free).
+  obs::Counter* const snapshot_read_contended_ =
+      obs::Default().GetCounter("index.snapshot.read_contended");
+  obs::Counter* const snapshot_write_contended_ =
+      obs::Default().GetCounter("index.snapshot.write_contended");
+  obs::Histogram* const snapshot_read_wait_nanos_ =
+      obs::Default().GetHistogram("index.snapshot.read_wait_nanos");
+  obs::Histogram* const snapshot_write_wait_nanos_ =
+      obs::Default().GetHistogram("index.snapshot.write_wait_nanos");
 };
 
 }  // namespace trex

@@ -11,6 +11,7 @@
 #include "index/index_catalog.h"
 #include "index/posting_lists.h"
 #include "index/rpl.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "storage/env.h"
 #include "storage/page.h"
@@ -381,6 +382,15 @@ Status RecoverIndex(const std::string& dir, RecoveryReport* report,
   reg.GetCounter("recovery.pages_quarantined")->Add(report->pages_quarantined);
   reg.GetCounter("recovery.elements_removed")->Add(report->elements_removed);
   reg.GetCounter("recovery.terms_truncated")->Add(report->terms_truncated);
+  if (report->repaired_anything()) {
+    obs::FlightRecorder::Default().Record(
+        obs::FlightKind::kRecovery, "repair",
+        "\"elements_removed\":" + std::to_string(report->elements_removed) +
+            ",\"terms_truncated\":" +
+            std::to_string(report->terms_truncated) +
+            ",\"quarantined_tables\":" +
+            std::to_string(report->quarantined_tables.size()));
+  }
   return Status::OK();
 }
 

@@ -1,0 +1,248 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/clock.h"
+
+namespace trex {
+namespace obs {
+
+const char* FlightKindName(FlightKind kind) {
+  switch (kind) {
+    case FlightKind::kAdvisor:
+      return "advisor";
+    case FlightKind::kCatalog:
+      return "catalog";
+    case FlightKind::kBufferPool:
+      return "bufpool";
+    case FlightKind::kRetrieval:
+      return "retrieval";
+    case FlightKind::kBudget:
+      return "budget";
+    case FlightKind::kRecovery:
+      return "recovery";
+    case FlightKind::kSignal:
+      return "signal";
+    case FlightKind::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(size_t capacity) {
+  size_t per_shard = std::max<size_t>(1, capacity / kShards);
+  capacity_ = per_shard * kShards;
+  for (Shard& shard : shards_) {
+    shard.slots = std::make_unique<Slot[]>(per_shard);
+    shard.count = per_shard;
+  }
+}
+
+void FlightRecorder::Record(FlightKind kind, std::string_view event,
+                            std::string_view detail) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  // Format the whole line up front into a stack buffer; the slot only
+  // ever holds a complete line, which is what makes the signal-handler
+  // dump a plain write().
+  char line[kLineBytes];
+  const size_t event_len = std::min<size_t>(event.size(), 48);
+  // Fixed skeleton (~80 bytes worst case) + event; a detail that cannot
+  // fit is dropped whole, never cut mid-token.
+  std::string_view d = detail;
+  if (96 + event_len + d.size() > kLineBytes) d = std::string_view();
+  int n = std::snprintf(
+      line, sizeof(line),
+      "{\"seq\":%" PRIu64 ",\"t_ns\":%" PRId64
+      ",\"kind\":\"%s\",\"event\":\"%.*s\"%s%.*s}",
+      seq, NowNanos(), FlightKindName(kind), static_cast<int>(event_len),
+      event.data(), d.empty() ? "" : ",", static_cast<int>(d.size()),
+      d.empty() ? "" : d.data());
+  if (n <= 0) return;
+  const uint32_t len = std::min<uint32_t>(static_cast<uint32_t>(n),
+                                          kLineBytes - 1);
+
+  // Shard by sequence number: a single hot thread still spreads over
+  // every shard (so the ring keeps the newest `capacity_` events
+  // globally), and concurrent writers rarely meet on one mutex.
+  Shard& shard = shards_[seq % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Slot& slot = shard.slots[shard.next];
+  shard.next = (shard.next + 1) % shard.count;
+  const uint64_t v = slot.version.load(std::memory_order_relaxed);
+  slot.version.store(v + 1, std::memory_order_release);  // Odd: mid-write.
+  std::memcpy(slot.line, line, len);
+  slot.len.store(len, std::memory_order_relaxed);
+  slot.seq.store(seq, std::memory_order_relaxed);
+  slot.version.store(v + 2, std::memory_order_release);
+}
+
+std::string FlightRecorder::DumpJsonl() const {
+  struct Entry {
+    uint64_t seq;
+    std::string line;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(capacity_);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t i = 0; i < shard.count; ++i) {
+      const Slot& slot = shard.slots[i];
+      const uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+      if (seq == 0) continue;
+      const uint32_t len = slot.len.load(std::memory_order_relaxed);
+      entries.push_back(Entry{seq, std::string(slot.line, len)});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+  std::string out;
+  for (const Entry& e : entries) {
+    out += e.line;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+bool FlightRecorder::WriteDump(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string dump = DumpJsonl();
+  const bool ok = std::fwrite(dump.data(), 1, dump.size(), f) == dump.size();
+  std::fclose(f);
+  return ok;
+}
+
+void FlightRecorder::Reset() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t i = 0; i < shard.count; ++i) {
+      shard.slots[i].seq.store(0, std::memory_order_relaxed);
+      shard.slots[i].len.store(0, std::memory_order_relaxed);
+    }
+    shard.next = 0;
+  }
+}
+
+int FlightRecorder::DumpToFd(int fd) const {
+  int written = 0;
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < shard.count; ++i) {
+      const Slot& slot = shard.slots[i];
+      const uint64_t v1 = slot.version.load(std::memory_order_acquire);
+      if (v1 == 0 || (v1 & 1) != 0) continue;  // Empty or mid-write.
+      if (slot.seq.load(std::memory_order_relaxed) == 0) continue;
+      char buf[kLineBytes + 1];
+      const uint32_t len =
+          std::min<uint32_t>(slot.len.load(std::memory_order_relaxed),
+                             kLineBytes);
+      std::memcpy(buf, slot.line, len);
+      if (slot.version.load(std::memory_order_acquire) != v1) continue;
+      buf[len] = '\n';
+      ssize_t n = ::write(fd, buf, len + 1);
+      if (n != static_cast<ssize_t>(len) + 1) return written;
+      ++written;
+    }
+  }
+  return written;
+}
+
+FlightRecorder& FlightRecorder::Default() {
+  static FlightRecorder* recorder = [] {
+    size_t capacity = kDefaultCapacity;
+    if (const char* env = std::getenv("TREX_FLIGHT_EVENTS")) {
+      long parsed = std::atol(env);
+      if (parsed > 0) capacity = static_cast<size_t>(parsed);
+    }
+    auto* r = new FlightRecorder(capacity);  // Leaked by design.
+    if (const char* env = std::getenv("TREX_OBS_DISABLED")) {
+      if (env[0] == '1' && env[1] == '\0') r->set_enabled(false);
+    }
+    return r;
+  }();
+  return *recorder;
+}
+
+namespace {
+
+// State for the post-mortem handler: everything it needs is prepared at
+// install time so the handler itself is async-signal-safe (open, write,
+// close, re-raise; no allocation, no formatting beyond integers).
+char g_postmortem_path[512];
+std::atomic<bool> g_postmortem_armed{false};
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGABRT, SIGBUS,
+                                 SIGFPE,  SIGILL,  SIGTERM};
+
+// Hand-rolled decimal append (snprintf is not on the async-signal-safe
+// list; this is).
+size_t AppendDecimal(char* buf, size_t cap, size_t pos, long long v) {
+  char digits[24];
+  size_t n = 0;
+  if (v < 0) {
+    if (pos < cap) buf[pos++] = '-';
+    v = -v;
+  }
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v > 0 && n < sizeof(digits));
+  while (n > 0 && pos < cap) buf[pos++] = digits[--n];
+  return pos;
+}
+
+size_t AppendLiteral(char* buf, size_t cap, size_t pos, const char* s) {
+  while (*s != '\0' && pos < cap) buf[pos++] = *s++;
+  return pos;
+}
+
+void PostMortemHandler(int signo) {
+  // Restore default dispositions first: if anything below faults, the
+  // process dies instead of looping through the handler.
+  for (int s : kFatalSignals) ::signal(s, SIG_DFL);
+  if (g_postmortem_armed.load(std::memory_order_acquire)) {
+    int fd = ::open(g_postmortem_path, O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd >= 0) {
+      char header[96];
+      size_t pos = 0;
+      pos = AppendLiteral(header, sizeof(header), pos,
+                          "{\"seq\":0,\"t_ns\":0,\"kind\":\"signal\","
+                          "\"event\":\"fatal_signal\",\"signo\":");
+      pos = AppendDecimal(header, sizeof(header), pos, signo);
+      pos = AppendLiteral(header, sizeof(header), pos, "}\n");
+      (void)!::write(fd, header, pos);
+      FlightRecorder::Default().DumpToFd(fd);
+      ::close(fd);
+    }
+  }
+  ::raise(signo);
+}
+
+}  // namespace
+
+bool InstallPostMortemDump(const std::string& path) {
+  if (path.size() + 1 > sizeof(g_postmortem_path)) return false;
+  std::memcpy(g_postmortem_path, path.c_str(), path.size() + 1);
+  g_postmortem_armed.store(true, std::memory_order_release);
+  // Force the recorder into existence now: Default()'s first-use
+  // initialization allocates, which the handler must never do.
+  FlightRecorder::Default();
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = PostMortemHandler;
+  sigemptyset(&action.sa_mask);
+  for (int s : kFatalSignals) ::sigaction(s, &action, nullptr);
+  return true;
+}
+
+}  // namespace obs
+}  // namespace trex

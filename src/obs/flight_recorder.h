@@ -1,0 +1,141 @@
+// Observability: the flight recorder — an always-on, fixed-size ring of
+// structured system events.
+//
+// Metrics answer "how much"; the flight recorder answers "what happened
+// just now": advisor plans/applies/rollbacks, catalog adds and drops,
+// buffer-pool evictions, degradation fallbacks, budget aborts and
+// recovery actions are recorded as preformatted JSONL lines in a
+// sharded ring. The ring can be dumped on demand (index_doctor
+// --events, tests) and — crucially — from a fatal-signal handler: each
+// Record() call fully formats its line into a fixed-size slot up front,
+// so the post-mortem path only has to write() stable bytes and needs no
+// allocation, no locks and no formatting while the process is dying.
+//
+// Costs: one snprintf + one shard mutex per event. Events are emitted
+// at operational decision points (an eviction, an advisor apply), not
+// per posting, so the recorder stays within the bench suite's noise.
+//
+// Concurrency: Record() takes one of kShards mutexes (chosen by
+// sequence number, so writers spread out); every slot additionally
+// carries a seqlock version so the signal-handler dump can skip slots
+// that are mid-write without taking any lock. DumpJsonl()/WriteDump()
+// take the shard mutexes and are safe against concurrent recorders;
+// DumpToFd() is the async-signal-safe variant and tolerates (skips)
+// torn slots instead of blocking.
+#ifndef TREX_OBS_FLIGHT_RECORDER_H_
+#define TREX_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace trex {
+namespace obs {
+
+// Event source, serialized as the "kind" field of every line.
+enum class FlightKind : int {
+  kAdvisor = 0,    // Plan / apply / rollback decisions.
+  kCatalog,        // Redundant-list adds and drops.
+  kBufferPool,     // Evictions and writebacks.
+  kRetrieval,      // Degradation fallbacks.
+  kBudget,         // Resource-budget aborts.
+  kRecovery,       // Crash-recovery repairs and quarantines.
+  kSignal,         // Post-mortem header (written by the handler).
+  kOther,
+};
+
+const char* FlightKindName(FlightKind kind);
+
+class FlightRecorder {
+ public:
+  // Every event is one fully formatted JSONL line of at most this many
+  // bytes (longer details are dropped, never truncated mid-token).
+  static constexpr size_t kLineBytes = 256;
+  static constexpr size_t kShards = 8;
+  static constexpr size_t kDefaultCapacity = 2048;
+
+  // `capacity` is the total slot count, spread across the shards (at
+  // least one slot per shard).
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Appends one event. `event` is a short fixed name ("evict",
+  // "apply"); `detail` is a comma-joined list of extra JSON members
+  // (e.g. "\"sid\":4,\"bytes\":123") that is spliced into the line
+  // object verbatim — callers must pre-escape string values (see
+  // JsonEscape in obs/metrics.h). A detail too large for the slot is
+  // dropped (the event itself is still recorded).
+  void Record(FlightKind kind, std::string_view event,
+              std::string_view detail = {});
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Total events ever recorded (not just those still in the ring).
+  uint64_t recorded() const { return seq_.load(std::memory_order_relaxed); }
+  size_t capacity() const { return capacity_; }
+
+  // Every live event, oldest first, one JSON object per line (trailing
+  // newline included when non-empty). Takes the shard mutexes.
+  std::string DumpJsonl() const;
+  // DumpJsonl() to a file (truncating). Returns false if the file
+  // cannot be written.
+  bool WriteDump(const std::string& path) const;
+  // Forgets all events (the sequence counter keeps counting up).
+  void Reset();
+
+  // Async-signal-safe dump: writes each stable slot's line to `fd`
+  // with plain write(), skipping slots that are concurrently being
+  // overwritten. Lines come out in shard order, not sequence order —
+  // post-mortem consumers sort by "seq". Returns the number of events
+  // written (best effort; short writes abort the dump).
+  int DumpToFd(int fd) const;
+
+  // The process-wide recorder every component reports into. Honors
+  // TREX_OBS_DISABLED=1 and TREX_FLIGHT_EVENTS=<capacity> at first use.
+  // Leaked, so pointers and references never dangle.
+  static FlightRecorder& Default();
+
+ private:
+  struct Slot {
+    // Seqlock: odd while a writer is copying into `line`. A reader
+    // (the signal-handler dump) that sees an odd or changing version
+    // skips the slot.
+    std::atomic<uint64_t> version{0};
+    std::atomic<uint32_t> len{0};
+    std::atomic<uint64_t> seq{0};
+    char line[kLineBytes];
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unique_ptr<Slot[]> slots;
+    size_t count = 0;
+    size_t next = 0;
+  };
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> seq_{0};
+  size_t capacity_ = 0;
+  Shard shards_[kShards];
+};
+
+// Installs fatal-signal handlers (SIGSEGV, SIGABRT, SIGBUS, SIGFPE,
+// SIGILL, SIGTERM) that append a post-mortem header line plus
+// FlightRecorder::Default()'s ring to `path` as JSONL, then re-raise
+// with the default disposition so the process still dies with the
+// expected signal. Returns false if `path` does not fit the handler's
+// static buffer. Installing twice just updates the path.
+bool InstallPostMortemDump(const std::string& path);
+
+}  // namespace obs
+}  // namespace trex
+
+#endif  // TREX_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,148 @@
+#include "obs/prom.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace trex {
+namespace obs {
+
+namespace {
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out->append(buf);
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out->append(buf);
+}
+
+void AppendHeader(std::string* out, const std::string& prom_name,
+                  const char* type) {
+  out->append("# TYPE ");
+  out->append(prom_name);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string PromName(const std::string& name) {
+  std::string out = "trex_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::vector<DerivedGauge> DerivedGauges(const MetricsSnapshot& snapshot) {
+  std::vector<DerivedGauge> out;
+  const uint64_t hits = snapshot.counter("storage.bufpool.hits");
+  const uint64_t misses = snapshot.counter("storage.bufpool.misses");
+  if (hits + misses > 0) {
+    out.push_back(DerivedGauge{
+        "derived.bufpool.hit_rate",
+        static_cast<double>(hits) / static_cast<double>(hits + misses)});
+  }
+  const uint64_t requested =
+      snapshot.counter("retrieval.materializer.units_requested");
+  const uint64_t reused =
+      snapshot.counter("retrieval.materializer.units_reused");
+  if (requested > 0) {
+    out.push_back(DerivedGauge{
+        "derived.materializer.reuse_rate",
+        static_cast<double>(reused) / static_cast<double>(requested)});
+  }
+  return out;
+}
+
+std::string PromText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PromName(name);
+    AppendHeader(&out, prom, "counter");
+    out.append(prom);
+    out.push_back(' ');
+    AppendU64(&out, value);
+    out.push_back('\n');
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PromName(name);
+    AppendHeader(&out, prom, "gauge");
+    out.append(prom);
+    out.push_back(' ');
+    AppendI64(&out, value);
+    out.push_back('\n');
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string prom = PromName(name);
+    AppendHeader(&out, prom, "summary");
+    const struct {
+      const char* label;
+      uint64_t value;
+    } quantiles[] = {{"0.5", h.p50}, {"0.95", h.p95}, {"0.99", h.p99}};
+    for (const auto& q : quantiles) {
+      out.append(prom);
+      out.append("{quantile=\"");
+      out.append(q.label);
+      out.append("\"} ");
+      AppendU64(&out, q.value);
+      out.push_back('\n');
+    }
+    out.append(prom);
+    out.append("_sum ");
+    AppendU64(&out, h.sum);
+    out.push_back('\n');
+    out.append(prom);
+    out.append("_count ");
+    AppendU64(&out, h.count);
+    out.push_back('\n');
+  }
+  for (const DerivedGauge& g : DerivedGauges(snapshot)) {
+    const std::string prom = PromName(g.name);
+    AppendHeader(&out, prom, "gauge");
+    out.append(prom);
+    out.push_back(' ');
+    AppendDouble(&out, g.value);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+bool WritePromFile(const MetricsSnapshot& snapshot, const std::string& path) {
+  // tmp + rename: a scraper reading `path` sees either the previous or
+  // the new exposition, never a torn one. Plain stdio on purpose — obs
+  // sits below the storage layer and cannot use trex::Env.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = PromText(snapshot);
+  const bool wrote = std::fwrite(text.data(), 1, text.size(), f) ==
+                     text.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace trex

@@ -1,0 +1,57 @@
+// Observability: Prometheus-style text exposition of a MetricsSnapshot.
+//
+// The snapshotter's JSONL time series is built for offline analysis;
+// operators scraping a live process want the de-facto standard text
+// format instead. PromText renders one snapshot as exposition text:
+// counters and gauges become their namesake types, histograms become
+// summaries (p50/p95/p99 quantile samples plus _sum/_count), and a
+// small set of derived ratio gauges (buffer-pool hit rate,
+// materializer reuse rate) is computed from the raw counters so
+// dashboards do not have to divide by hand. Names are prefixed with
+// "trex_" and dots become underscores ("storage.bufpool.hits" ->
+// "trex_storage_bufpool_hits").
+//
+// WritePromFile writes the rendering atomically (tmp file + rename) so
+// a scraper never reads a half-written exposition;
+// MetricsSnapshotter::Options::prom_path wires it into the periodic
+// snapshot loop, producing the live `trex_stats.prom` file.
+#ifndef TREX_OBS_PROM_H_
+#define TREX_OBS_PROM_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace trex {
+namespace obs {
+
+// A ratio computed from raw counters at snapshot time. The name uses
+// the registry's dotted scheme under "derived." and the value is in
+// [0, 1].
+struct DerivedGauge {
+  std::string name;
+  double value = 0.0;
+};
+
+// The derived ratios the snapshot supports (one entry per ratio whose
+// denominator is non-zero):
+//   derived.bufpool.hit_rate        hits / (hits + misses)
+//   derived.materializer.reuse_rate units_reused / units_requested
+std::vector<DerivedGauge> DerivedGauges(const MetricsSnapshot& snapshot);
+
+// The full exposition document (pure; unit-testable without files).
+std::string PromText(const MetricsSnapshot& snapshot);
+
+// "storage.bufpool.hits" -> "trex_storage_bufpool_hits". Characters
+// outside [a-zA-Z0-9_] become '_'.
+std::string PromName(const std::string& name);
+
+// PromText to `path` via tmp + rename (atomic on POSIX). Returns false
+// if the file cannot be written.
+bool WritePromFile(const MetricsSnapshot& snapshot, const std::string& path);
+
+}  // namespace obs
+}  // namespace trex
+
+#endif  // TREX_OBS_PROM_H_

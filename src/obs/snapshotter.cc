@@ -4,6 +4,7 @@
 #include <cinttypes>
 
 #include "common/clock.h"
+#include "obs/prom.h"
 
 namespace trex {
 namespace obs {
@@ -95,9 +96,11 @@ MetricsSnapshotter::~MetricsSnapshotter() { Stop(); }
 bool MetricsSnapshotter::Start() {
   std::lock_guard<std::mutex> lock(mu_);
   if (running_) return true;
-  if (options_.jsonl_path.empty()) return false;
-  sink_ = std::fopen(options_.jsonl_path.c_str(), "a");
-  if (sink_ == nullptr) return false;
+  if (options_.jsonl_path.empty() && options_.prom_path.empty()) return false;
+  if (!options_.jsonl_path.empty()) {
+    sink_ = std::fopen(options_.jsonl_path.c_str(), "a");
+    if (sink_ == nullptr) return false;
+  }
   stop_ = false;
   running_ = true;
   thread_ = std::thread([this] { Run(); });
@@ -141,10 +144,17 @@ void MetricsSnapshotter::Run() {
     // briefer than the period yields a line.
     MetricsSnapshot cur = registry_->Snapshot();
     int64_t now = NowNanos();
-    std::string line = DeltaJson(prev, cur, ++tick, now - prev_nanos);
-    line.push_back('\n');
-    std::fwrite(line.data(), 1, line.size(), sink_);
-    std::fflush(sink_);
+    if (sink_ != nullptr) {
+      std::string line = DeltaJson(prev, cur, ++tick, now - prev_nanos);
+      line.push_back('\n');
+      std::fwrite(line.data(), 1, line.size(), sink_);
+      std::fflush(sink_);
+    } else {
+      ++tick;
+    }
+    if (!options_.prom_path.empty()) {
+      WritePromFile(cur, options_.prom_path);  // Best effort per tick.
+    }
     prev = std::move(cur);
     prev_nanos = now;
     std::lock_guard<std::mutex> lock(mu_);

@@ -11,6 +11,11 @@
 //
 // The delta math is exposed as a pure function (DeltaJson) so tests
 // exercise it without threads or files.
+//
+// With Options::prom_path set the snapshotter additionally rewrites a
+// Prometheus-style text exposition file (see obs/prom.h) on every tick
+// — the live `trex_stats.prom` external tooling scrapes. Either sink
+// may be used alone.
 #ifndef TREX_OBS_SNAPSHOTTER_H_
 #define TREX_OBS_SNAPSHOTTER_H_
 
@@ -30,7 +35,11 @@ class MetricsSnapshotter {
  public:
   struct Options {
     int64_t period_millis = 1000;
-    std::string jsonl_path;  // Required; appended to, flushed per tick.
+    std::string jsonl_path;  // Appended to, flushed per tick.
+    // Prometheus text exposition, atomically rewritten per tick
+    // (absolute values, not deltas). At least one of jsonl_path /
+    // prom_path must be set.
+    std::string prom_path;
     MetricsRegistry* registry = nullptr;  // nullptr = Default().
   };
 

@@ -4,10 +4,33 @@
 #include <map>
 #include <set>
 
+#include "common/clock.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "retrieval/era.h"
 
 namespace trex {
+
+namespace {
+
+struct MaterializerMetrics {
+  obs::Counter* units_requested;
+  obs::Counter* units_reused;  // Already in the catalog when requested.
+  obs::Counter* units_filled;
+  obs::Histogram* wait_nanos;  // Single-flight lease acquisition.
+};
+
+MaterializerMetrics& Metrics() {
+  static MaterializerMetrics m = {
+      obs::Default().GetCounter("retrieval.materializer.units_requested"),
+      obs::Default().GetCounter("retrieval.materializer.units_reused"),
+      obs::Default().GetCounter("retrieval.materializer.units_filled"),
+      obs::Default().GetHistogram("retrieval.materializer.wait_nanos"),
+  };
+  return m;
+}
+
+}  // namespace
 
 std::vector<ListUnit> UnitsForClause(const TranslatedClause& clause,
                                      bool rpls, bool erpls) {
@@ -41,8 +64,12 @@ Status MaterializeUnits(Index* index, const std::vector<ListUnit>& units,
   std::vector<std::string> keys;
   keys.reserve(units.size());
   for (const ListUnit& u : units) keys.push_back(UnitKey(u));
+  Metrics().units_requested->Add(units.size());
+  Stopwatch acquire_watch;
   SingleFlightGroup::Lease lease =
       index->materialize_flight()->Acquire(std::move(keys));
+  Metrics().wait_nanos->Record(
+      static_cast<uint64_t>(acquire_watch.ElapsedNanos()));
 
   // Read phase under the shared snapshot lock: catalog probes and the ERA
   // pass that computes the lists' contents.
@@ -61,6 +88,7 @@ Status MaterializeUnits(Index* index, const std::vector<ListUnit>& units,
         todo.push_back(u);
       }
     }
+    Metrics().units_reused->Add(stats->lists_skipped);
     if (todo.empty()) return Status::OK();
 
     obs::Default().GetCounter("retrieval.materializer.fills")->Add();
@@ -135,6 +163,10 @@ Status MaterializeUnits(Index* index, const std::vector<ListUnit>& units,
         index->catalog()->Register(u.kind, u.term, u.sid, bytes));
     stats->bytes_written += bytes;
     ++stats->lists_written;
+    Metrics().units_filled->Add();
+    obs::FlightRecorder::Default().Record(
+        obs::FlightKind::kCatalog, "add",
+        "\"unit\":\"" + UnitKey(u) + "\",\"bytes\":" + std::to_string(bytes));
   }
   return Status::OK();
 }
@@ -150,8 +182,11 @@ Status DropUnits(Index* index, const std::vector<ListUnit>& units) {
   std::vector<std::string> keys;
   keys.reserve(units.size());
   for (const ListUnit& u : units) keys.push_back(UnitKey(u));
+  Stopwatch acquire_watch;
   SingleFlightGroup::Lease lease =
       index->materialize_flight()->Acquire(std::move(keys));
+  Metrics().wait_nanos->Record(
+      static_cast<uint64_t>(acquire_watch.ElapsedNanos()));
   auto write_lock = index->WriterLock();
   for (const ListUnit& u : units) {
     if (u.kind == ListKind::kRpl) {
@@ -160,6 +195,8 @@ Status DropUnits(Index* index, const std::vector<ListUnit>& units) {
       TREX_RETURN_IF_ERROR(index->erpls()->DeleteList(u.term, u.sid));
     }
     TREX_RETURN_IF_ERROR(index->catalog()->Unregister(u.kind, u.term, u.sid));
+    obs::FlightRecorder::Default().Record(obs::FlightKind::kCatalog, "drop",
+                                          "\"unit\":\"" + UnitKey(u) + "\"");
   }
   return Status::OK();
 }

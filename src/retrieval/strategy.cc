@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "retrieval/era.h"
 #include "retrieval/merge.h"
@@ -79,6 +80,9 @@ Status Evaluator::EvaluateWith(RetrievalMethod method,
       span.AddAttr("degraded_from", RetrievalMethodName(method));
       span.AddAttr("reason", s.message());
     }
+    obs::FlightRecorder::Default().Record(
+        obs::FlightKind::kRetrieval, "degrade",
+        std::string("\"from\":\"") + RetrievalMethodName(method) + "\"");
     *out = RetrievalResult{};
     return RunMethod(RetrievalMethod::kEra, clause, k, out);
   }

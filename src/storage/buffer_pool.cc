@@ -4,6 +4,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "common/clock.h"
+#include "obs/flight_recorder.h"
 #include "obs/resource.h"
 
 namespace trex {
@@ -76,6 +78,8 @@ BufferPool::BufferPool(Pager* pager, size_t capacity) : pager_(pager) {
   m_misses_ = reg.GetCounter("storage.bufpool.misses");
   m_evictions_ = reg.GetCounter("storage.bufpool.evictions");
   m_writebacks_ = reg.GetCounter("storage.bufpool.dirty_writebacks");
+  m_latch_contended_ = reg.GetCounter("storage.bufpool.latch_contended");
+  m_latch_wait_nanos_ = reg.GetHistogram("storage.bufpool.latch_wait_nanos");
 }
 
 BufferPool::~BufferPool() {
@@ -99,7 +103,13 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
     // taken while the shared latch is held, so an evictor (which holds
     // the latch exclusively) either runs before the pin and we miss, or
     // after and it sees pins > 0.
-    std::shared_lock<std::shared_mutex> lock(part.mu);
+    std::shared_lock<std::shared_mutex> lock(part.mu, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      Stopwatch wait;
+      lock.lock();
+      m_latch_contended_->Add();
+      m_latch_wait_nanos_->Record(static_cast<uint64_t>(wait.ElapsedNanos()));
+    }
     auto it = part.map.find(id);
     if (it != part.map.end()) {
       Frame* f = it->second;
@@ -111,7 +121,13 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
   }
   // Miss: exclusive latch, re-check (another thread may have loaded the
   // page between our two lock acquisitions), then bring the page in.
-  std::unique_lock<std::shared_mutex> lock(part.mu);
+  std::unique_lock<std::shared_mutex> lock(part.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    Stopwatch wait;
+    lock.lock();
+    m_latch_contended_->Add();
+    m_latch_wait_nanos_->Record(static_cast<uint64_t>(wait.ElapsedNanos()));
+  }
   auto it = part.map.find(id);
   if (it != part.map.end()) {
     Frame* f = it->second;
@@ -145,7 +161,13 @@ Result<PageHandle> BufferPool::Allocate() {
   if (!id_or.ok()) return id_or.status();
   PageId id = id_or.value();
   Partition& part = PartitionFor(id);
-  std::unique_lock<std::shared_mutex> lock(part.mu);
+  std::unique_lock<std::shared_mutex> lock(part.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    Stopwatch wait;
+    lock.lock();
+    m_latch_contended_->Add();
+    m_latch_wait_nanos_->Record(static_cast<uint64_t>(wait.ElapsedNanos()));
+  }
   auto frame_or = GrabFrame(part);
   if (!frame_or.ok()) return frame_or.status();
   Frame* f = frame_or.value();
@@ -184,7 +206,12 @@ Result<BufferPool::Frame*> BufferPool::GrabFrame(Partition& part) {
 Status BufferPool::EvictFrame(Partition& part, Frame* frame) {
   evictions_.fetch_add(1, std::memory_order_relaxed);
   m_evictions_->Add();
-  if (frame->dirty.load(std::memory_order_relaxed)) {
+  const bool dirty = frame->dirty.load(std::memory_order_relaxed);
+  obs::FlightRecorder::Default().Record(
+      obs::FlightKind::kBufferPool, "evict",
+      "\"page\":" + std::to_string(frame->id) +
+          ",\"dirty\":" + (dirty ? "true" : "false"));
+  if (dirty) {
     TREX_RETURN_IF_ERROR(pager_->WritePage(frame->id, frame->data.data()));
     dirty_writebacks_.fetch_add(1, std::memory_order_relaxed);
     m_writebacks_->Add();

@@ -174,6 +174,11 @@ class BufferPool {
   obs::Counter* m_misses_;
   obs::Counter* m_evictions_;
   obs::Counter* m_writebacks_;
+  // Latch contention: counted (and its wait timed) only when a latch
+  // acquisition actually blocks — the uncontended try-lock fast path
+  // records nothing.
+  obs::Counter* m_latch_contended_;
+  obs::Histogram* m_latch_wait_nanos_;
 };
 
 }  // namespace trex

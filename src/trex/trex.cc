@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "index/updater.h"
+#include "obs/flight_recorder.h"
 #include "retrieval/strict.h"
 
 namespace trex {
@@ -20,6 +21,11 @@ void FoldAccounting(const obs::ResourceAccounting& accounting,
       static obs::Counter* exceeded =
           obs::Default().GetCounter("retrieval.budget.exceeded");
       exceeded->Add();
+      const obs::ResourceUsage usage = accounting.Usage();
+      obs::FlightRecorder::Default().Record(
+          obs::FlightKind::kBudget, "query_abort",
+          "\"pages\":" + std::to_string(usage.pages_fetched) +
+              ",\"bytes\":" + std::to_string(usage.bytes_read));
     }
     return;
   }
@@ -284,7 +290,8 @@ Status TReX::EnableSelfManagement(SelfManagementOptions options) {
   } else {
     // No background thread, but a half-applied plan from a previous
     // run must still be quarantined before the first manual tick.
-    TREX_RETURN_IF_ERROR(AdvisorLoop::RecoverPendingApply(index_.get()));
+    // The instance entry point also writes the rollback audit record.
+    TREX_RETURN_IF_ERROR(advisor_loop_->RecoverPending());
   }
   recorder_hook_.store(recorder_.get(), std::memory_order_release);
   return Status::OK();

@@ -1,0 +1,261 @@
+// The advisor decision audit log: unit-token round trips, synthetic
+// replay folding, and the end-to-end invariant that every applied plan
+// is reconstructible from `advisor_decisions.jsonl` alone.
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "advisor/advisor_loop.h"
+#include "advisor/calibration.h"
+#include "advisor/decision_log.h"
+#include "corpus/ieee_generator.h"
+#include "gtest/gtest.h"
+#include "testutil.h"
+#include "trex/trex.h"
+
+namespace trex {
+namespace {
+
+constexpr const char* kHotQuery = "//article//sec[about(., ontologies)]";
+constexpr const char* kColdQuery =
+    "//article[about(., information retrieval)]";
+
+TEST(UnitTokenTest, FormatParseRoundTrip) {
+  for (const ListUnit& unit :
+       {ListUnit{ListKind::kRpl, "xml", 4}, ListUnit{ListKind::kErpl, "a", 0},
+        ListUnit{ListKind::kRpl, "ontolog", 4294967295u}}) {
+    std::string token = FormatUnitToken(unit);
+    auto parsed = ParseUnitToken(token);
+    TREX_CHECK_OK(parsed.status());
+    EXPECT_TRUE(parsed.value() == unit) << token;
+  }
+  EXPECT_EQ(FormatUnitToken(ListUnit{ListKind::kErpl, "xml", 7}), "E:7:xml");
+}
+
+TEST(UnitTokenTest, ParseRejectsMalformedTokens) {
+  for (const char* bad : {"", "R", "R:", "R:4", "X:4:xml", "R:notanum:xml",
+                          "R::xml", "4:R:xml"}) {
+    EXPECT_TRUE(ParseUnitToken(bad).status().IsCorruption()) << bad;
+  }
+}
+
+TEST(UnitTokenTest, JoinProducesJsonArrayBody) {
+  std::vector<ListUnit> units = {ListUnit{ListKind::kRpl, "a", 1},
+                                 ListUnit{ListKind::kErpl, "b", 2}};
+  EXPECT_EQ(JoinUnitTokens(units), "\"R:1:a\",\"E:2:b\"");
+  EXPECT_EQ(JoinUnitTokens({}), "");
+}
+
+TEST(ReplayTest, FoldsAppliesRollbacksAndTrims) {
+  const std::string log =
+      "{\"type\":\"decision\",\"tick\":1,\"query\":\"//a\",\"choice\":"
+      "\"erpl\"}\n"
+      "{\"type\":\"plan\",\"tick\":1,\"gated\":false}\n"
+      "{\"type\":\"apply\",\"tick\":1,\"add\":[\"R:1:a\",\"E:1:a\","
+      "\"R:2:b\"],\"drop\":[],\"trimmed\":[\"R:2:b\"],\"bytes\":10}\n"
+      "{\"type\":\"apply\",\"tick\":2,\"add\":[\"E:3:c\"],\"drop\":"
+      "[\"R:1:a\"],\"trimmed\":[],\"bytes\":12}\n"
+      "{\"type\":\"rollback\",\"dropped\":[\"E:3:c\"]}\n"
+      "{\"type\":\"future_record\",\"tick\":9}\n";
+  auto replay = ReplayAuditLog(log);
+  TREX_CHECK_OK(replay.status());
+  EXPECT_EQ(replay.value().applies, 2u);
+  EXPECT_EQ(replay.value().rollbacks, 1u);
+  EXPECT_EQ(replay.value().last_tick, 9u);
+  // add{R:1:a, E:1:a, R:2:b} - trim{R:2:b} + add{E:3:c} - drop{R:1:a}
+  // - rollback{E:3:c} = {E:1:a}.
+  std::set<ListUnit> expect = {ListUnit{ListKind::kErpl, "a", 1}};
+  EXPECT_EQ(replay.value().catalog, expect);
+}
+
+TEST(ReplayTest, StartsFromTheInitialCatalog) {
+  std::set<ListUnit> initial = {ListUnit{ListKind::kRpl, "x", 5},
+                                ListUnit{ListKind::kRpl, "y", 6}};
+  auto replay = ReplayAuditLog(
+      "{\"type\":\"apply\",\"tick\":1,\"add\":[],\"drop\":[\"R:5:x\"],"
+      "\"trimmed\":[],\"bytes\":0}\n",
+      initial);
+  TREX_CHECK_OK(replay.status());
+  std::set<ListUnit> expect = {ListUnit{ListKind::kRpl, "y", 6}};
+  EXPECT_EQ(replay.value().catalog, expect);
+}
+
+TEST(ReplayTest, MalformedUnitTokenIsCorruption) {
+  auto replay = ReplayAuditLog(
+      "{\"type\":\"apply\",\"tick\":1,\"add\":[\"Z:9:q\"],\"drop\":[],"
+      "\"trimmed\":[],\"bytes\":0}\n");
+  EXPECT_TRUE(replay.status().IsCorruption());
+}
+
+TEST(CalibrationTrackerTest, TracksDriftAndDirection) {
+  obs::MetricsRegistry reg;
+  CalibrationTracker tracker(&reg);
+  tracker.Observe(/*estimated_seconds=*/0.010, /*measured_seconds=*/0.005);
+  tracker.Observe(/*estimated_seconds=*/0.010, /*measured_seconds=*/0.020);
+  tracker.Observe(/*estimated_seconds=*/-1.0, /*measured_seconds=*/1.0);
+  EXPECT_EQ(tracker.samples(), 2u);
+  // |50 - 100| and |200 - 100| percent -> mean 75.
+  EXPECT_DOUBLE_EQ(tracker.mean_abs_drift_pct(), 75.0);
+  obs::MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counter("advisor.calibration.samples"), 2u);
+  EXPECT_EQ(snap.counter("advisor.calibration.overestimates"), 1u);
+  EXPECT_EQ(snap.counter("advisor.calibration.underestimates"), 1u);
+  EXPECT_EQ(snap.histograms.at("advisor.calibration.ratio_pct").count, 2u);
+}
+
+// --------------------------------------------------------------------
+// End to end against a real index.
+
+class AdvisorAuditTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = test::UniqueTestDir("trex_advisor_audit"); }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<TReX> BuildTrex(const std::string& subdir) {
+    TrexOptions options;
+    options.index.aliases = IeeeAliasMap();
+    IeeeGeneratorOptions gen_options;
+    gen_options.num_documents = 40;
+    gen_options.size_factor = 0.5;
+    IeeeGenerator gen(gen_options);
+    auto trex = TReX::Build(dir_ + "/" + subdir, gen, options);
+    TREX_CHECK_OK(trex.status());
+    return std::move(trex).value();
+  }
+
+  static TReX::SelfManagementOptions ManualTickOptions() {
+    TReX::SelfManagementOptions sm;
+    sm.start_background = false;
+    sm.loop.min_list_age_ticks = 0;
+    return sm;
+  }
+
+  static std::string ReadAll(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  }
+
+  static std::set<ListUnit> LiveCatalog(TReX* trex) {
+    auto entries = trex->index()->catalog()->List();
+    TREX_CHECK_OK(entries.status());
+    std::set<ListUnit> out;
+    for (const CatalogEntry& e : entries.value()) {
+      out.insert(ListUnit{e.kind, e.term, e.sid});
+    }
+    return out;
+  }
+
+  std::string dir_;
+};
+
+// The acceptance invariant: after a workload shift with several applied
+// ticks, folding the audit log over the (empty) initial catalog yields
+// exactly the live catalog — every advisor action is reconstructible
+// from the log alone.
+TEST_F(AdvisorAuditTest, AuditReplayMatchesAppliedPlan) {
+  auto trex = BuildTrex("idx");
+  ASSERT_TRUE(LiveCatalog(trex.get()).empty());
+  TREX_CHECK_OK(trex->EnableSelfManagement(ManualTickOptions()));
+
+  // Phase A: hot query dominates; the advisor materializes its lists.
+  for (int i = 0; i < 10; ++i) {
+    TREX_CHECK_OK(trex->Query(kHotQuery, 10).status());
+  }
+  AdvisorTickReport report;
+  TREX_CHECK_OK(trex->advisor_loop()->TickNow(&report));
+  TREX_CHECK_OK(trex->advisor_loop()->TickNow(&report));
+
+  // Phase B: the workload shifts; the advisor re-plans, dropping phase
+  // A's lists in favor of the new traffic.
+  trex->workload_recorder()->Clear();
+  for (int i = 0; i < 10; ++i) {
+    TREX_CHECK_OK(trex->Query(kColdQuery, 10).status());
+  }
+  TREX_CHECK_OK(trex->advisor_loop()->TickNow(&report));
+  TREX_CHECK_OK(trex->advisor_loop()->TickNow(&report));
+
+  const std::string log = ReadAll(AuditLogPath(trex->index()->dir()));
+  ASSERT_FALSE(log.empty());
+  auto replay = ReplayAuditLog(log);
+  TREX_CHECK_OK(replay.status());
+  EXPECT_GE(replay.value().applies, 1u);
+  EXPECT_EQ(replay.value().catalog, LiveCatalog(trex.get()))
+      << "audit log does not reconstruct the live catalog";
+  TREX_CHECK_OK(trex->DisableSelfManagement());
+}
+
+// Every planned tick leaves decision records carrying the estimated
+// costs, a plan record, and (when applied) an apply + calibration trail.
+TEST_F(AdvisorAuditTest, RecordsCarryDecisionsAndCalibration) {
+  auto trex = BuildTrex("idx");
+  TREX_CHECK_OK(trex->EnableSelfManagement(ManualTickOptions()));
+  for (int i = 0; i < 10; ++i) {
+    TREX_CHECK_OK(trex->Query(kHotQuery, 10).status());
+  }
+  AdvisorTickReport report;
+  TREX_CHECK_OK(trex->advisor_loop()->TickNow(&report));
+  ASSERT_TRUE(report.applied);
+  EXPECT_GT(report.calibration_samples, 0u);
+
+  const std::string log = ReadAll(AuditLogPath(trex->index()->dir()));
+  std::istringstream in(log);
+  std::string line;
+  bool saw_decision = false, saw_plan = false, saw_apply = false,
+       saw_calibration = false;
+  while (std::getline(in, line)) {
+    if (line.find("\"type\":\"decision\"") != std::string::npos) {
+      saw_decision = true;
+      EXPECT_NE(line.find("\"query\":"), std::string::npos);
+      EXPECT_NE(line.find("\"choice\":"), std::string::npos);
+      EXPECT_NE(line.find("\"est\":{\"t_era\":"), std::string::npos);
+      EXPECT_NE(line.find("\"weighted_saving\":"), std::string::npos);
+    } else if (line.find("\"type\":\"plan\"") != std::string::npos) {
+      saw_plan = true;
+      EXPECT_NE(line.find("\"gated\":"), std::string::npos);
+      EXPECT_NE(line.find("\"deferred\":"), std::string::npos);
+    } else if (line.find("\"type\":\"apply\"") != std::string::npos) {
+      saw_apply = true;
+      EXPECT_NE(line.find("\"add\":["), std::string::npos);
+      EXPECT_NE(line.find("\"bytes\":"), std::string::npos);
+    } else if (line.find("\"type\":\"calibration\"") != std::string::npos) {
+      saw_calibration = true;
+      EXPECT_NE(line.find("\"est_s\":"), std::string::npos);
+      EXPECT_NE(line.find("\"meas_s\":"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_decision);
+  EXPECT_TRUE(saw_plan);
+  EXPECT_TRUE(saw_apply);
+  EXPECT_TRUE(saw_calibration);
+  // The calibration tracker fed the registry the same samples.
+  obs::MetricsSnapshot snap = obs::Default().Snapshot();
+  EXPECT_GE(snap.counter("advisor.calibration.samples"),
+            report.calibration_samples);
+  TREX_CHECK_OK(trex->DisableSelfManagement());
+}
+
+// Disabling the audit leaves no log behind — hosts that cannot afford
+// the (tiny) append cost can opt out.
+TEST_F(AdvisorAuditTest, AuditCanBeDisabled) {
+  auto trex = BuildTrex("idx");
+  TReX::SelfManagementOptions sm = ManualTickOptions();
+  sm.loop.audit = false;
+  TREX_CHECK_OK(trex->EnableSelfManagement(sm));
+  for (int i = 0; i < 10; ++i) {
+    TREX_CHECK_OK(trex->Query(kHotQuery, 10).status());
+  }
+  AdvisorTickReport report;
+  TREX_CHECK_OK(trex->advisor_loop()->TickNow(&report));
+  ASSERT_TRUE(report.applied);
+  EXPECT_FALSE(
+      std::filesystem::exists(AuditLogPath(trex->index()->dir())));
+  TREX_CHECK_OK(trex->DisableSelfManagement());
+}
+
+}  // namespace
+}  // namespace trex

@@ -1,0 +1,190 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace trex {
+namespace obs {
+namespace {
+
+std::vector<std::string> Lines(const std::string& jsonl) {
+  std::vector<std::string> out;
+  std::istringstream in(jsonl);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) out.push_back(line);
+  }
+  return out;
+}
+
+uint64_t SeqOf(const std::string& line) {
+  // Every line starts with {"seq":N — no JSON parser needed.
+  EXPECT_EQ(line.rfind("{\"seq\":", 0), 0u) << line;
+  return std::strtoull(line.c_str() + 7, nullptr, 10);
+}
+
+TEST(FlightRecorderTest, RecordsStructuredLines) {
+  FlightRecorder rec(16);
+  rec.Record(FlightKind::kCatalog, "add", "\"unit\":\"R/xml/4\",\"bytes\":12");
+  rec.Record(FlightKind::kBufferPool, "evict");
+  EXPECT_EQ(rec.recorded(), 2u);
+  std::vector<std::string> lines = Lines(rec.DumpJsonl());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"kind\":\"catalog\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"event\":\"add\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"unit\":\"R/xml/4\",\"bytes\":12"),
+            std::string::npos);
+  EXPECT_NE(lines[0].find("\"t_ns\":"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"kind\":\"bufpool\""), std::string::npos);
+  // Each line is one complete JSON object.
+  for (const std::string& l : lines) {
+    EXPECT_EQ(l.front(), '{');
+    EXPECT_EQ(l.back(), '}');
+  }
+}
+
+TEST(FlightRecorderTest, DumpIsOldestFirstBySequence) {
+  FlightRecorder rec(32);
+  for (int i = 0; i < 20; ++i) rec.Record(FlightKind::kOther, "e");
+  std::vector<std::string> lines = Lines(rec.DumpJsonl());
+  ASSERT_EQ(lines.size(), 20u);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(SeqOf(lines[i]), i + 1);
+  }
+}
+
+TEST(FlightRecorderTest, RingKeepsTheNewestEventsWhenFull) {
+  FlightRecorder rec(16);
+  for (int i = 0; i < 100; ++i) rec.Record(FlightKind::kOther, "e");
+  EXPECT_EQ(rec.recorded(), 100u);
+  std::vector<std::string> lines = Lines(rec.DumpJsonl());
+  ASSERT_EQ(lines.size(), rec.capacity());
+  // Sharding by sequence number keeps exactly the last `capacity`
+  // events, whatever thread produced them.
+  for (size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(SeqOf(lines[i]), 100 - rec.capacity() + i + 1);
+  }
+}
+
+TEST(FlightRecorderTest, DisabledRecorderDropsEvents) {
+  FlightRecorder rec(16);
+  rec.set_enabled(false);
+  rec.Record(FlightKind::kOther, "e");
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_TRUE(rec.DumpJsonl().empty());
+  rec.set_enabled(true);
+  rec.Record(FlightKind::kOther, "e");
+  EXPECT_EQ(Lines(rec.DumpJsonl()).size(), 1u);
+}
+
+TEST(FlightRecorderTest, OversizeDetailIsDroppedWholeEventKept) {
+  FlightRecorder rec(16);
+  std::string huge = "\"blob\":\"" + std::string(500, 'x') + "\"";
+  rec.Record(FlightKind::kOther, "big", huge);
+  std::vector<std::string> lines = Lines(rec.DumpJsonl());
+  ASSERT_EQ(lines.size(), 1u);
+  // The detail is gone but the line is still complete JSON.
+  EXPECT_EQ(lines[0].find("blob"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"event\":\"big\""), std::string::npos);
+  EXPECT_EQ(lines[0].back(), '}');
+  EXPECT_LE(lines[0].size(), FlightRecorder::kLineBytes);
+}
+
+TEST(FlightRecorderTest, ResetForgetsEventsButKeepsCounting) {
+  FlightRecorder rec(16);
+  rec.Record(FlightKind::kOther, "e");
+  rec.Reset();
+  EXPECT_TRUE(rec.DumpJsonl().empty());
+  rec.Record(FlightKind::kOther, "e");
+  std::vector<std::string> lines = Lines(rec.DumpJsonl());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(SeqOf(lines[0]), 2u);  // Sequence numbers never restart.
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordersLoseNothing) {
+  FlightRecorder rec(4096);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        rec.Record(FlightKind::kOther, "e",
+                   "\"thread\":" + std::to_string(t));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::vector<std::string> lines = Lines(rec.DumpJsonl());
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kThreads) * kPerThread);
+  std::set<uint64_t> seqs;
+  for (const std::string& l : lines) seqs.insert(SeqOf(l));
+  EXPECT_EQ(seqs.size(), lines.size());  // All distinct, none torn.
+}
+
+TEST(FlightRecorderTest, WriteDumpAndDumpToFdAgree) {
+  FlightRecorder rec(16);
+  rec.Record(FlightKind::kAdvisor, "plan", "\"tick\":1");
+  rec.Record(FlightKind::kAdvisor, "apply", "\"tick\":1");
+  std::string dir = ::testing::TempDir();
+  std::string path = dir + "/flight_dump_" + std::to_string(::getpid());
+
+  ASSERT_TRUE(rec.WriteDump(path));
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(text, rec.DumpJsonl());
+
+  std::string fd_path = path + ".fd";
+  int fd = ::open(fd_path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(rec.DumpToFd(fd), 2);
+  ::close(fd);
+  std::ifstream fd_in(fd_path);
+  std::string fd_text((std::istreambuf_iterator<char>(fd_in)),
+                      std::istreambuf_iterator<char>());
+  // DumpToFd writes in shard order; with <= one event per shard here
+  // the sets of lines must match exactly.
+  std::vector<std::string> a = Lines(text);
+  std::vector<std::string> b = Lines(fd_text);
+  EXPECT_EQ(std::set<std::string>(a.begin(), a.end()),
+            std::set<std::string>(b.begin(), b.end()));
+  std::remove(path.c_str());
+  std::remove(fd_path.c_str());
+}
+
+TEST(FlightRecorderTest, DefaultIsSingletonAndRecordsKinds) {
+  FlightRecorder& rec = FlightRecorder::Default();
+  EXPECT_EQ(&rec, &FlightRecorder::Default());
+  // Exercise every kind name once (the dump is shared process state, so
+  // only look for what we just wrote).
+  uint64_t before = rec.recorded();
+  for (FlightKind k :
+       {FlightKind::kAdvisor, FlightKind::kCatalog, FlightKind::kBufferPool,
+        FlightKind::kRetrieval, FlightKind::kBudget, FlightKind::kRecovery,
+        FlightKind::kSignal, FlightKind::kOther}) {
+    rec.Record(k, "kind_probe");
+  }
+  EXPECT_EQ(rec.recorded(), before + 8);
+  std::string dump = rec.DumpJsonl();
+  for (const char* name : {"advisor", "catalog", "bufpool", "retrieval",
+                           "budget", "recovery", "signal", "other"}) {
+    EXPECT_NE(dump.find(std::string("\"kind\":\"") + name + "\""),
+              std::string::npos)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace trex

@@ -1,4 +1,8 @@
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -6,6 +10,7 @@
 
 #include "gtest/gtest.h"
 #include "obs/metrics.h"
+#include "obs/prom.h"
 #include "obs/trace.h"
 
 namespace trex {
@@ -290,6 +295,71 @@ TEST(QuantileTest, LogBucketsWithinFactorTwoOfExactOnUniform) {
 TEST(QuantileTest, LogBucketsEmptyTotalIsZero) {
   uint64_t counts[65] = {};
   EXPECT_EQ(QuantileFromLogBuckets(counts, 0, 0, 0, 0.5), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Prometheus exposition.
+
+TEST(PromTest, NamePrefixesAndSanitizes) {
+  EXPECT_EQ(PromName("storage.bufpool.hits"), "trex_storage_bufpool_hits");
+  EXPECT_EQ(PromName("a-b c/d"), "trex_a_b_c_d");
+  EXPECT_EQ(PromName("already_ok_9"), "trex_already_ok_9");
+}
+
+TEST(PromTest, TextRendersCounterGaugeAndSummary) {
+  MetricsRegistry reg;
+  reg.GetCounter("test.count")->Add(7);
+  reg.GetGauge("test.level")->Set(-3);
+  Histogram* h = reg.GetHistogram("test.lat");
+  h->Record(100);
+  h->Record(100);
+  std::string text = PromText(reg.Snapshot());
+  EXPECT_NE(text.find("# TYPE trex_test_count counter"), std::string::npos);
+  EXPECT_NE(text.find("trex_test_count 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE trex_test_level gauge"), std::string::npos);
+  EXPECT_NE(text.find("trex_test_level -3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE trex_test_lat summary"), std::string::npos);
+  EXPECT_NE(text.find("trex_test_lat{quantile=\"0.5\"} 100"),
+            std::string::npos);
+  EXPECT_NE(text.find("trex_test_lat_sum 200"), std::string::npos);
+  EXPECT_NE(text.find("trex_test_lat_count 2"), std::string::npos);
+}
+
+TEST(PromTest, DerivedGaugesComputeRatios) {
+  MetricsRegistry reg;
+  reg.GetCounter("storage.bufpool.hits")->Add(90);
+  reg.GetCounter("storage.bufpool.misses")->Add(10);
+  reg.GetCounter("retrieval.materializer.units_requested")->Add(8);
+  reg.GetCounter("retrieval.materializer.units_reused")->Add(6);
+  std::vector<DerivedGauge> derived = DerivedGauges(reg.Snapshot());
+  ASSERT_EQ(derived.size(), 2u);
+  EXPECT_EQ(derived[0].name, "derived.bufpool.hit_rate");
+  EXPECT_DOUBLE_EQ(derived[0].value, 0.9);
+  EXPECT_EQ(derived[1].name, "derived.materializer.reuse_rate");
+  EXPECT_DOUBLE_EQ(derived[1].value, 0.75);
+}
+
+TEST(PromTest, DerivedGaugesSkipZeroDenominators) {
+  MetricsRegistry reg;
+  reg.GetCounter("storage.bufpool.hits");  // 0 hits, no misses counter.
+  EXPECT_TRUE(DerivedGauges(reg.Snapshot()).empty());
+  // The exposition must stay silent too, not emit a 0/0.
+  EXPECT_EQ(PromText(reg.Snapshot()).find("derived"), std::string::npos);
+}
+
+TEST(PromTest, WritePromFileRoundTrips) {
+  MetricsRegistry reg;
+  reg.GetCounter("test.count")->Add(1);
+  std::string path = ::testing::TempDir() + "/prom_test_" +
+                     std::to_string(::getpid()) + ".prom";
+  ASSERT_TRUE(WritePromFile(reg.Snapshot(), path));
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(text, PromText(reg.Snapshot()));
+  EXPECT_FALSE(
+      WritePromFile(reg.Snapshot(), "/nonexistent-dir/x/y.prom"));
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -416,6 +417,78 @@ TEST(SlowQueryLogTest, ExecutorFeedsLogWithFullRecords) {
     test::JsonValue tree = ParseOrFail(r.trace_json);
     ASSERT_TRUE(tree.at("children").is_array());
     EXPECT_FALSE(tree.at("children").array.empty());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// Concurrent export: traces produced on executor worker threads are
+// aggregated into one chrome trace with a separate lane per query. The
+// whole path — per-worker span production, shared_ptr hand-off through
+// the future, writer aggregation — runs under TSan via the
+// `concurrency` label.
+TEST(ChromeTraceTest, ConcurrentExecutorTracesExportToSeparateLanes) {
+  std::string dir = test::UniqueTestDir("chrome_exec");
+  IeeeGeneratorOptions gen_options;
+  gen_options.num_documents = 40;
+  gen_options.size_factor = 0.5;
+  IeeeGenerator gen(gen_options);
+  TrexOptions trex_options;
+  trex_options.index.aliases = IeeeAliasMap();
+  auto built = TReX::Build(dir + "/idx", gen, trex_options);
+  TREX_CHECK_OK(built.status());
+  std::unique_ptr<TReX> trex = std::move(built).value();
+
+  constexpr size_t kQueries = 8;
+  std::vector<QueryAnswer> answers;
+  {
+    QueryExecutor executor(trex.get(), 4);
+    std::vector<std::future<Result<QueryAnswer>>> futures;
+    for (size_t i = 0; i < kQueries; ++i) {
+      futures.push_back(executor.Submit(
+          "//article//sec[about(., ontologies case study)]", 5));
+    }
+    for (auto& f : futures) {
+      auto answer = f.get();
+      ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+      answers.push_back(std::move(answer).value());
+    }
+  }
+
+  obs::ChromeTraceWriter writer;
+  for (size_t i = 0; i < answers.size(); ++i) {
+    ASSERT_NE(answers[i].trace, nullptr);
+    writer.AddTrace(*answers[i].trace, /*pid=*/1,
+                    /*tid=*/static_cast<uint64_t>(i + 1));
+  }
+  test::JsonValue v = ParseOrFail(writer.Json());
+  const auto& events = v.at("traceEvents").array;
+  ASSERT_GE(events.size(), kQueries * 2);  // Root + phases per query.
+
+  // One lane per query, every lane non-empty, every event well-formed,
+  // and each lane's phase events nest inside its own root span.
+  std::map<double, std::vector<const test::JsonValue*>> lanes;
+  for (const test::JsonValue& e : events) {
+    EXPECT_EQ(e.at("ph").str, "X");
+    EXPECT_TRUE(e.at("ts").is_number());
+    EXPECT_TRUE(e.at("dur").is_number());
+    lanes[e.at("tid").number].push_back(&e);
+  }
+  ASSERT_EQ(lanes.size(), kQueries);
+  for (const auto& [tid, lane] : lanes) {
+    ASSERT_GE(lane.size(), 2u) << "lane " << tid;
+    const test::JsonValue& root = *lane[0];
+    EXPECT_EQ(root.at("name").str, "query");
+    const double root_begin = root.at("ts").number;
+    const double root_end = root_begin + root.at("dur").number;
+    bool saw_evaluate = false;
+    for (size_t i = 1; i < lane.size(); ++i) {
+      const test::JsonValue& e = *lane[i];
+      EXPECT_GE(e.at("ts").number, root_begin);
+      EXPECT_LE(e.at("ts").number + e.at("dur").number,
+                root_end + 0.001);  // 1 ns slack for µs rounding.
+      if (e.at("name").str.rfind("evaluate:", 0) == 0) saw_evaluate = true;
+    }
+    EXPECT_TRUE(saw_evaluate) << "lane " << tid;
   }
   std::filesystem::remove_all(dir);
 }
