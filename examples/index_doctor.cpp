@@ -5,6 +5,7 @@
 //   ./examples/index_doctor <index-dir> --verify   # + page-level DeepVerify.
 //   ./examples/index_doctor <index-dir> --repair   # RecoverIndex + reverify.
 //   ./examples/index_doctor <index-dir> --events   # + flight-recorder dump.
+//   ./examples/index_doctor <index-dir> --events --kind=retry  # One kind.
 //   ./examples/index_doctor --demo <workdir>       # Build a demo index first.
 //
 // --inject <spec> installs a deterministic fault-injecting Env before
@@ -72,6 +73,7 @@ int main(int argc, char** argv) {
   bool deep = false;
   bool repair = false;
   bool events = false;
+  std::string events_kind;
   trex::FaultPlan plan;
   bool inject = false;
   for (int i = 1; i < argc; ++i) {
@@ -84,6 +86,8 @@ int main(int argc, char** argv) {
       repair = true;
     } else if (arg == "--events") {
       events = true;
+    } else if (arg.rfind("--kind=", 0) == 0) {
+      events_kind = arg.substr(7);
     } else if (arg == "--inject") {
       if (++i >= argc || !ParseFaultSpec(argv[i], &plan)) {
         std::fprintf(stderr, "--inject needs a spec like crash=150,torn=40\n");
@@ -99,7 +103,7 @@ int main(int argc, char** argv) {
   }
   if (dir.empty()) {
     std::fprintf(stderr,
-                 "usage: %s [--inject spec] [--events] "
+                 "usage: %s [--inject spec] [--events [--kind=<k>]] "
                  "(<index-dir> [--verify|--repair] | --demo <workdir>)\n",
                  argv[0]);
     return 2;
@@ -213,11 +217,28 @@ int main(int argc, char** argv) {
 
   if (events) {
     // Everything this process recorded: repairs, catalog changes from the
-    // demo build, degradations. One JSON object per line, oldest first.
-    std::printf("\nflight events (%llu recorded):\n%s",
+    // demo build, degradations, retries, sheds. One JSON object per line,
+    // oldest first; --kind=<k> keeps only one event kind.
+    std::string dump = trex::obs::FlightRecorder::Default().DumpJsonl();
+    if (!events_kind.empty()) {
+      const std::string needle = "\"kind\":\"" + events_kind + "\"";
+      std::string filtered;
+      size_t pos = 0;
+      while (pos < dump.size()) {
+        size_t eol = dump.find('\n', pos);
+        if (eol == std::string::npos) eol = dump.size();
+        std::string line = dump.substr(pos, eol - pos);
+        if (line.find(needle) != std::string::npos) filtered += line + "\n";
+        pos = eol + 1;
+      }
+      dump = std::move(filtered);
+    }
+    const std::string label =
+        events_kind.empty() ? "" : ", kind=" + events_kind;
+    std::printf("\nflight events (%llu recorded%s):\n%s",
                 static_cast<unsigned long long>(
                     trex::obs::FlightRecorder::Default().recorded()),
-                trex::obs::FlightRecorder::Default().DumpJsonl().c_str());
+                label.c_str(), dump.c_str());
   }
   trex::Env::Swap(nullptr);
   return s.ok() ? 0 : 1;

@@ -17,6 +17,12 @@
 #                                 #   plus bench_workload_shift on a
 #                                 #   tiny corpus with its non-gating
 #                                 #   adaptation report
+#   scripts/check.sh --chaos      # + the overload/chaos suite (ctest
+#                                 #   -L robustness: deadlines, shed,
+#                                 #   transient retry, randomized fault
+#                                 #   schedules) under ASan/UBSan and
+#                                 #   again under TSan; with --stress
+#                                 #   the suite repeats 10x per tree
 #   scripts/check.sh --obs        # + the observability suite (ctest
 #                                 #   -L obs), a Prometheus exposition
 #                                 #   smoke (required metric families
@@ -33,12 +39,14 @@ STRESS=0
 BENCH_SMOKE=0
 ADVISOR=0
 OBS=0
+CHAOS=0
 for arg in "$@"; do
   case "$arg" in
     --stress) STRESS=1 ;;
     --bench-smoke) BENCH_SMOKE=1 ;;
     --advisor) ADVISOR=1 ;;
     --obs) OBS=1 ;;
+    --chaos) CHAOS=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -74,6 +82,30 @@ if [ "$STRESS" -eq 1 ]; then
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "$TSAN_BUILD_DIR" -L concurrency \
           --repeat until-fail:20 --output-on-failure -j "$(nproc)"
+fi
+
+# Chaos stage: the robustness suite — deadline enforcement under slow
+# I/O, admission-control shedding, transient-read retry, and the
+# randomized fault+load schedule whose invariant is that every query
+# resolves with one of {OK, ResourceExhausted, DeadlineExceeded,
+# Overloaded} and the index verifies clean afterward. Runs under
+# ASan/UBSan and again under TSan (the schedule races submitter
+# threads, pool workers and the fault env); --stress repeats it 10x
+# per tree to shake out rare interleavings.
+if [ "$CHAOS" -eq 1 ]; then
+  ctest --test-dir "$BUILD_DIR" -L robustness \
+        --output-on-failure -j "$(nproc)"
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir "$TSAN_BUILD_DIR" -L robustness \
+          --output-on-failure -j "$(nproc)"
+  if [ "$STRESS" -eq 1 ]; then
+    ctest --test-dir "$BUILD_DIR" -L robustness \
+          --repeat until-fail:10 --output-on-failure -j "$(nproc)"
+    TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+      ctest --test-dir "$TSAN_BUILD_DIR" -L robustness \
+            --repeat until-fail:10 --output-on-failure -j "$(nproc)"
+  fi
+  echo "chaos: ok"
 fi
 
 # Bench smoke: run the regression-harness driver end-to-end on a tiny

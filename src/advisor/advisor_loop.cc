@@ -31,6 +31,7 @@ struct LoopMetrics {
   obs::Counter* budget_aborts;
   obs::Counter* errors;
   obs::Counter* recovered_units;
+  obs::Counter* ticks_skipped_overload;
   obs::Gauge* bytes_materialized;
   obs::Histogram* tick_nanos;
 };
@@ -48,6 +49,7 @@ LoopMetrics& Metrics() {
       obs::Default().GetCounter("advisor.loop.budget_aborts"),
       obs::Default().GetCounter("advisor.loop.errors"),
       obs::Default().GetCounter("advisor.loop.recovered_units"),
+      obs::Default().GetCounter("advisor.loop.ticks_skipped_overload"),
       obs::Default().GetGauge("advisor.loop.bytes_materialized"),
       obs::Default().GetHistogram("advisor.loop.tick_nanos"),
   };
@@ -188,8 +190,18 @@ void AdvisorLoop::ThreadMain() {
                  [&] { return stop_; });
     if (stop_) break;
     lock.unlock();
-    Status s = TickNow();
-    (void)s;  // Already counted in advisor.loop.errors.
+    // Overload yield: while the serving side is saturated (the probe is
+    // typically QueryExecutor::saturated()), background re-planning only
+    // adds I/O to the storm — skip the tick and re-probe next interval.
+    if (options_.load_probe && options_.load_probe()) {
+      Metrics().ticks_skipped_overload->Add();
+      obs::FlightRecorder::Default().Record(
+          obs::FlightKind::kShed, "advisor_tick_skipped",
+          "\"reason\":\"executor_saturated\"");
+    } else {
+      Status s = TickNow();
+      (void)s;  // Already counted in advisor.loop.errors.
+    }
     lock.lock();
   }
 }

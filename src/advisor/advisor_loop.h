@@ -38,6 +38,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -87,6 +88,12 @@ struct AdvisorLoopOptions {
   // many of the tick's chosen queries with the planned method and feed
   // estimate-vs-measured samples to advisor.calibration.*. 0 disables.
   size_t max_calibration_queries = 4;
+  // Overload probe: when set and returning true at a tick boundary, the
+  // background thread skips that tick (advisor.loop.ticks_skipped_overload
+  // ticks, a `shed` flight event records it) so self-management yields
+  // to saturated serving. Wire it to QueryExecutor::saturated(). An
+  // explicit TickNow() always runs regardless — the caller asked.
+  std::function<bool()> load_probe;
 };
 
 // What one tick did; last_report() returns the most recent one.

@@ -20,6 +20,37 @@ inline int64_t NowNanos() {
       .count();
 }
 
+// An absolute wall-clock (steady) point in time by which a query must
+// finish. Default-constructed deadlines are unset and cost one branch to
+// check; a set deadline costs one NowNanos() per Expired() probe. The
+// deadline rides on the query's obs::ResourceAccounting, so the buffer
+// pool, TA and Merge all see it through the thread-local scope — race
+// contestants included.
+class Deadline {
+ public:
+  Deadline() = default;  // Unset: never expires.
+
+  // A deadline `millis` from now (<= 0 means already expired).
+  static Deadline After(int64_t millis) {
+    return AfterNanos(millis * 1000000);
+  }
+  static Deadline AfterNanos(int64_t nanos) {
+    Deadline d;
+    d.at_nanos_ = NowNanos() + nanos;
+    return d;
+  }
+
+  bool set() const { return at_nanos_ != kUnset; }
+  bool Expired() const { return set() && NowNanos() >= at_nanos_; }
+  // Nanos left (negative when past due). Meaningless when !set().
+  int64_t RemainingNanos() const { return at_nanos_ - NowNanos(); }
+  int64_t at_nanos() const { return at_nanos_; }
+
+ private:
+  static constexpr int64_t kUnset = INT64_MAX;
+  int64_t at_nanos_ = kUnset;
+};
+
 class Stopwatch {
  public:
   Stopwatch() : start_(NowNanos()) {}

@@ -25,6 +25,9 @@ enum class StatusCode {
   kOutOfRange,
   kAborted,
   kResourceExhausted,
+  kDeadlineExceeded,
+  kUnavailable,
+  kOverloaded,
 };
 
 // Value-semantic error descriptor. Cheap to copy in the OK case.
@@ -66,6 +69,23 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  // The query's wall-clock deadline passed before it finished. Like
+  // ResourceExhausted, a clean per-query abort: the data is fine, the
+  // caller just bounded how long it was willing to wait.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  // A transient environment fault (e.g. an I/O error the storage layer
+  // expects to clear on its own). Retryable — unlike IOError (permanent)
+  // and Corruption (the degrade/quarantine path).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  // Load shed: the executor refused to even queue the work because it is
+  // over its admission limits. The caller may retry later or elsewhere.
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -80,6 +100,11 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -31,6 +31,12 @@ const char* FlightKindName(FlightKind kind) {
       return "recovery";
     case FlightKind::kSignal:
       return "signal";
+    case FlightKind::kShed:
+      return "shed";
+    case FlightKind::kDeadline:
+      return "deadline";
+    case FlightKind::kRetry:
+      return "retry";
     case FlightKind::kOther:
       return "other";
   }

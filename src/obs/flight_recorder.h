@@ -45,6 +45,9 @@ enum class FlightKind : int {
   kBudget,         // Resource-budget aborts.
   kRecovery,       // Crash-recovery repairs and quarantines.
   kSignal,         // Post-mortem header (written by the handler).
+  kShed,           // Admission-control load shedding (executor, advisor).
+  kDeadline,       // Per-query deadline aborts.
+  kRetry,          // Transient-fault retries in the storage layer.
   kOther,
 };
 

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/clock.h"
 #include "common/status.h"
 
 namespace trex {
@@ -69,8 +70,9 @@ struct ResourceBudget {
 // threads and the totals stay exact.
 class ResourceAccounting {
  public:
-  explicit ResourceAccounting(ResourceBudget budget = {})
-      : budget_(budget) {}
+  explicit ResourceAccounting(ResourceBudget budget = {},
+                              Deadline deadline = {})
+      : budget_(budget), deadline_(deadline) {}
   ResourceAccounting(const ResourceAccounting&) = delete;
   ResourceAccounting& operator=(const ResourceAccounting&) = delete;
 
@@ -121,13 +123,28 @@ class ResourceAccounting {
     heap_operations_.fetch_add(n, std::memory_order_relaxed);
   }
 
+  // Deadline enforcement, mirroring the budget path: checked where a
+  // query can stall (buffer-pool page faults, pager retry backoff) and
+  // at the TA/Merge cancellation checkpoints. An unset deadline costs
+  // one branch; past it the query aborts with Status::DeadlineExceeded
+  // and its partial work stays accounted.
+  Status CheckDeadline() const {
+    if (!deadline_.Expired()) return Status::OK();
+    return Status::DeadlineExceeded(
+        "query deadline exceeded (" +
+        std::to_string(-deadline_.RemainingNanos() / 1000000) +
+        " ms past due)");
+  }
+
   ResourceUsage Usage() const;
   const ResourceBudget& budget() const { return budget_; }
+  const Deadline& deadline() const { return deadline_; }
 
  private:
   friend class ResourceScope;
 
   ResourceBudget budget_;
+  Deadline deadline_;
   std::atomic<uint64_t> pages_fetched_{0};
   std::atomic<uint64_t> pages_faulted_{0};
   std::atomic<uint64_t> bytes_read_{0};

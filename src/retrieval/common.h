@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "index/types.h"
+#include "obs/resource.h"
 
 namespace trex {
 
@@ -29,6 +30,20 @@ class CancelToken {
  private:
   std::atomic<bool> cancelled_{false};
 };
+
+// Deadline checkpoint for the retrieval loops, colocated with the
+// CancelToken polls: TA checks once per sorted-access round, Merge every
+// kDeadlineCheckInterval iterations. Queries without a scope (or without
+// a deadline) pay one thread-local load + branch.
+inline Status CheckQueryDeadline() {
+  obs::ResourceAccounting* acct = obs::ResourceAccounting::Current();
+  return acct != nullptr ? acct->CheckDeadline() : Status::OK();
+}
+
+// How many cheap loop iterations may pass between deadline probes; one
+// probe is a NowNanos() call, so checking every iteration of a
+// nanoseconds-scale loop body would dominate it.
+constexpr int kDeadlineCheckInterval = 64;
 
 struct ScoredElement {
   ElementInfo element;

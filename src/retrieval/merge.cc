@@ -149,6 +149,7 @@ Status Merge::Evaluate(const TranslatedClause& clause, RetrievalResult* out) {
   }
 
   // Lines 6-21: merge by minimal position.
+  int iters_since_deadline_check = 0;
   while (true) {
     // Cooperative cancellation: the race's loser stops here, before the
     // next positional advance, so it performs no further page reads. The
@@ -157,6 +158,18 @@ Status Merge::Evaluate(const TranslatedClause& clause, RetrievalResult* out) {
       out->metrics.wall_seconds = watch.ElapsedSeconds();
       out->metrics.ideal_seconds = out->metrics.wall_seconds;
       return Status::Aborted("Merge cancelled");
+    }
+    // Deadline checkpoint, interval-gated: one merge step is
+    // nanoseconds-scale, so probing the clock every iteration would
+    // dominate the loop.
+    if (++iters_since_deadline_check >= kDeadlineCheckInterval) {
+      iters_since_deadline_check = 0;
+      Status deadline = CheckQueryDeadline();
+      if (!deadline.ok()) {
+        out->metrics.wall_seconds = watch.ElapsedSeconds();
+        out->metrics.ideal_seconds = out->metrics.wall_seconds;
+        return deadline;
+      }
     }
     // Line 7: minimal end position among the iterators' current entries.
     bool any = false;

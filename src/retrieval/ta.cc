@@ -187,25 +187,40 @@ Status Ta::Evaluate(const TranslatedClause& clause, size_t k,
     return t;
   };
 
+  // Folds the partial work (wall time, sorted accesses, heap ops so
+  // far) into the metrics before an early abort, so cancelled and
+  // past-deadline runs still account for what they consumed.
+  auto abort_with = [&](Status status) {
+    timer.Stop();
+    out->metrics.wall_seconds = static_cast<double>(timer.WallNanos()) * 1e-9;
+    out->metrics.ideal_seconds =
+        static_cast<double>(timer.ActiveNanos()) * 1e-9;
+    out->metrics.heap_operations = topk.operations();
+    if (auto* acct = obs::ResourceAccounting::Current()) {
+      acct->ChargeHeapOperations(topk.operations());
+    }
+    return status;
+  };
+
   // Round-robin sorted access, stop checks at intervals.
   constexpr int kStopCheckInterval = 64;
   int rounds_since_check = 0;
+  int rounds_since_deadline_check = 0;
   bool done = false;
   while (!done) {
     // Cooperative cancellation: the race's loser stops here, before the
-    // round's sorted accesses, so it performs no further page reads. The
-    // partial metrics (wall time, sorted accesses so far) still report.
+    // round's sorted accesses, so it performs no further page reads.
+    // The per-round probe is one atomic load; the deadline (a clock
+    // read) is only polled every kStopCheckInterval rounds — the
+    // buffer-pool miss path checks it before every page fault anyway,
+    // so I/O-bound rounds cannot overshoot by more than one read.
     if (cancel_ != nullptr && cancel_->cancelled()) {
-      timer.Stop();
-      out->metrics.wall_seconds =
-          static_cast<double>(timer.WallNanos()) * 1e-9;
-      out->metrics.ideal_seconds =
-          static_cast<double>(timer.ActiveNanos()) * 1e-9;
-      out->metrics.heap_operations = topk.operations();
-      if (auto* acct = obs::ResourceAccounting::Current()) {
-        acct->ChargeHeapOperations(topk.operations());
-      }
-      return Status::Aborted("TA cancelled");
+      return abort_with(Status::Aborted("TA cancelled"));
+    }
+    if (++rounds_since_deadline_check >= kStopCheckInterval) {
+      rounds_since_deadline_check = 0;
+      Status deadline = CheckQueryDeadline();
+      if (!deadline.ok()) return abort_with(std::move(deadline));
     }
     bool any_alive = false;
     for (size_t j = 0; j < n; ++j) {

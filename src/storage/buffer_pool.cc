@@ -139,6 +139,12 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
   auto frame_or = GrabFrame(part);
   if (!frame_or.ok()) return frame_or.status();
   Frame* f = frame_or.value();
+  if (acct != nullptr) {
+    // Deadline checkpoint at the page-fault site (mirroring the budget
+    // checks): a query already past its deadline aborts here before
+    // issuing the disk read it no longer has time for.
+    TREX_RETURN_IF_ERROR(acct->CheckDeadline());
+  }
   TREX_RETURN_IF_ERROR(pager_->ReadPage(id, f->data.data()));
   page_reads_.fetch_add(1, std::memory_order_relaxed);
   m_misses_->Add();

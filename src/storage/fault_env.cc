@@ -1,6 +1,8 @@
 #include "storage/fault_env.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 namespace trex {
 
@@ -12,6 +14,9 @@ FaultInjectingEnv::FaultInjectingEnv(Env* base)
   m_bit_flips_ = reg.GetCounter("storage.fault.bit_flips");
   m_sync_failures_ = reg.GetCounter("storage.fault.sync_failures");
   m_dropped_ops_ = reg.GetCounter("storage.fault.dropped_ops");
+  m_transient_failures_ =
+      reg.GetCounter("storage.fault.transient_read_failures");
+  m_slow_reads_ = reg.GetCounter("storage.fault.slow_reads");
 }
 
 void FaultInjectingEnv::Reset() {
@@ -19,6 +24,7 @@ void FaultInjectingEnv::Reset() {
   writes_ = reads_ = syncs_ = 0;
   crashed_ = false;
   log_.clear();
+  transient_failed_.clear();
 }
 
 // Caller holds mu_.
@@ -109,6 +115,39 @@ Status FaultInjectingEnv::OnRead(RandomAccessFile* base,
                                  size_t n, char* scratch) {
   std::lock_guard<std::mutex> lock(mu_);
   const int64_t idx = static_cast<int64_t>(reads_++);
+  // Slow I/O: stall while holding mu_ — the whole env behaves like one
+  // saturated device, which is exactly the failure the deadline layer
+  // must survive.
+  if (plan_.slow_read_every != FaultPlan::kNever &&
+      plan_.slow_read_every > 0 && idx % plan_.slow_read_every == 0 &&
+      plan_.slow_read_micros > 0) {
+    m_slow_reads_->Add();
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(plan_.slow_read_micros));
+  }
+  // Deterministic transient window: reads [at, at+count) fail.
+  if (plan_.transient_read_at != FaultPlan::kNever &&
+      idx >= plan_.transient_read_at &&
+      idx < plan_.transient_read_at + plan_.transient_read_count) {
+    m_transient_failures_->Add();
+    Record(FaultOp::Kind::kRead, path, offset, n, /*dropped=*/true);
+    return Status::Unavailable("injected transient read failure at read #" +
+                               std::to_string(idx) + " (" + path + ")");
+  }
+  // Chaos mode: every Nth read fails, but any one location at most once,
+  // so a retry of the same (path, offset) always clears.
+  if (plan_.transient_read_every != FaultPlan::kNever &&
+      plan_.transient_read_every > 0 &&
+      idx % plan_.transient_read_every == 0) {
+    std::string loc = path + ":" + std::to_string(offset);
+    if (transient_failed_.insert(std::move(loc)).second) {
+      m_transient_failures_->Add();
+      Record(FaultOp::Kind::kRead, path, offset, n, /*dropped=*/true);
+      return Status::Unavailable(
+          "injected transient read failure at read #" + std::to_string(idx) +
+          " (" + path + ")");
+    }
+  }
   Record(FaultOp::Kind::kRead, path, offset, n, /*dropped=*/false);
   TREX_RETURN_IF_ERROR(base->Read(offset, n, scratch));
   if (idx == plan_.flip_read_bit_at && n > 0) {

@@ -21,6 +21,20 @@
 //                          which models a process that keeps running on a
 //                          dead disk until the test "reboots" by swapping
 //                          the real env back in.
+//   * transient_read_at/_count — reads with global index in
+//                          [at, at+count) fail with Status::Unavailable
+//                          (a transient fault the pager retries); the
+//                          data is untouched. `count` longer than the
+//                          pager's retry cap exercises retry exhaustion.
+//   * transient_read_every — every read whose global index is a multiple
+//                          of N fails with Unavailable, but each distinct
+//                          (file, offset) location fails at most once: a
+//                          retry of the same read always succeeds. This
+//                          is the chaos-schedule mode — with retry
+//                          enabled, no query ever surfaces Unavailable.
+//   * slow_read_every/_micros — every Nth read additionally stalls for
+//                          `slow_read_micros` (a degraded device; drives
+//                          the deadline-enforcement tests).
 //
 // Typical use (tests, index_doctor --inject):
 //   FaultInjectingEnv fenv;               // wraps PosixEnv()
@@ -35,6 +49,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -51,6 +66,13 @@ struct FaultPlan {
   int64_t flip_read_bit_at = kNever;    // 0-based global read index.
   int64_t fail_sync_at = kNever;        // 0-based global sync index.
   int64_t crash_after_writes = kNever;  // Writes persisted before power loss.
+  // Transient read faults (Status::Unavailable; the pager retries).
+  int64_t transient_read_at = kNever;   // First failing global read index.
+  int64_t transient_read_count = 1;     // Consecutive failures from there.
+  int64_t transient_read_every = kNever;  // Every Nth read, once per location.
+  // Slow I/O: every Nth read stalls for `slow_read_micros`.
+  int64_t slow_read_every = kNever;
+  int64_t slow_read_micros = 0;
 };
 
 // One intercepted operation, in global order. Tests use the log to assert
@@ -136,12 +158,17 @@ class FaultInjectingEnv : public Env {
   bool crashed_ = false;
   bool keep_log_ = false;
   std::vector<FaultOp> log_;
+  // Locations ("path:offset") that already served a transient failure;
+  // transient_read_every never fails the same location twice.
+  std::unordered_set<std::string> transient_failed_;
   // storage.fault.* metrics.
   obs::Counter* m_write_failures_;
   obs::Counter* m_torn_writes_;
   obs::Counter* m_bit_flips_;
   obs::Counter* m_sync_failures_;
   obs::Counter* m_dropped_ops_;
+  obs::Counter* m_transient_failures_;
+  obs::Counter* m_slow_reads_;
 };
 
 // File handle that routes every operation through its owning env's fault

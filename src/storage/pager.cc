@@ -1,10 +1,15 @@
 #include "storage/pager.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/coding.h"
+#include "obs/flight_recorder.h"
+#include "obs/resource.h"
 
 namespace trex {
 
@@ -17,6 +22,28 @@ constexpr size_t kHeaderEpochOff = 8;
 constexpr size_t kHeaderPageCountOff = 16;
 constexpr size_t kHeaderRootOff = 20;
 constexpr size_t kHeaderRowCountOff = 24;
+
+// Transient-read retry policy: up to kMaxReadAttempts tries with capped
+// exponential backoff and +-50% jitter, so a burst of concurrent retries
+// against a briefly unavailable device spreads out instead of stampeding.
+constexpr int kMaxReadAttempts = 4;
+constexpr int64_t kRetryBaseMicros = 100;
+constexpr int64_t kRetryMaxMicros = 2000;
+
+int64_t RetryBackoffMicros(int attempt) {
+  int64_t delay = kRetryBaseMicros << attempt;
+  if (delay > kRetryMaxMicros) delay = kRetryMaxMicros;
+  // Cheap thread-local xorshift for the jitter: no shared state, no
+  // <random> machinery on what is already a failure path.
+  thread_local uint64_t state =
+      static_cast<uint64_t>(NowNanos()) ^
+      (std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1);
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  // Uniform in [delay/2, 3*delay/2].
+  return delay / 2 + static_cast<int64_t>(state % static_cast<uint64_t>(delay));
+}
 }  // namespace
 
 Pager::Pager(std::unique_ptr<RandomAccessFile> file)
@@ -27,6 +54,9 @@ Pager::Pager(std::unique_ptr<RandomAccessFile> file)
   m_bytes_read_ = reg.GetCounter("storage.pager.bytes_read");
   m_bytes_written_ = reg.GetCounter("storage.pager.bytes_written");
   m_commits_ = reg.GetCounter("storage.pager.commits");
+  m_retry_attempts_ = reg.GetCounter("storage.retry.attempts");
+  m_retry_successes_ = reg.GetCounter("storage.retry.successes");
+  m_retry_exhausted_ = reg.GetCounter("storage.retry.exhausted");
 }
 
 Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path) {
@@ -117,8 +147,37 @@ Status Pager::ReadPage(PageId id, char* buf) {
     return Status::InvalidArgument("ReadPage: page id " + std::to_string(id) +
                                    " out of range");
   }
-  TREX_RETURN_IF_ERROR(
-      file_->Read(static_cast<uint64_t>(id) * kPageSize, kPageSize, buf));
+  Status read;
+  for (int attempt = 0;; ++attempt) {
+    read = file_->Read(static_cast<uint64_t>(id) * kPageSize, kPageSize, buf);
+    if (!read.IsUnavailable()) {
+      // The fast path falls through here on attempt 0 with no retry
+      // bookkeeping at all; IOError and other permanent failures
+      // propagate unretried.
+      if (attempt > 0 && read.ok()) m_retry_successes_->Add();
+      break;
+    }
+    m_retry_attempts_->Add();
+    obs::FlightRecorder::Default().Record(
+        obs::FlightKind::kRetry, "read_retry",
+        "\"page\":" + std::to_string(id) +
+            ",\"attempt\":" + std::to_string(attempt + 1));
+    if (attempt + 1 >= kMaxReadAttempts) {
+      m_retry_exhausted_->Add();
+      obs::FlightRecorder::Default().Record(
+          obs::FlightKind::kRetry, "read_retry_exhausted",
+          "\"page\":" + std::to_string(id));
+      break;
+    }
+    // Never burn backoff time a deadlined query no longer has: abort
+    // with DeadlineExceeded instead of sleeping past it.
+    if (obs::ResourceAccounting* acct = obs::ResourceAccounting::Current()) {
+      TREX_RETURN_IF_ERROR(acct->CheckDeadline());
+    }
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(RetryBackoffMicros(attempt)));
+  }
+  TREX_RETURN_IF_ERROR(read);
   m_page_reads_->Add();
   m_bytes_read_->Add(kPageSize);
   if (!VerifyPageChecksum(buf)) {

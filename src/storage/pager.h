@@ -61,6 +61,11 @@ class Pager {
   Pager& operator=(const Pager&) = delete;
 
   // Reads page `id` into `buf` (kPageSize bytes) and verifies its checksum.
+  // Transient faults (Status::Unavailable from the env) are retried with
+  // capped exponential backoff + jitter (storage.retry.* metrics); a
+  // checksum mismatch is permanent Corruption and takes the caller's
+  // degrade/quarantine path instead. The retry loop respects the current
+  // query's deadline: it never sleeps past it.
   Status ReadPage(PageId id, char* buf);
   // Stamps the checksum into `buf` and writes it to disk.
   Status WritePage(PageId id, char* buf);
@@ -154,6 +159,10 @@ class Pager {
   obs::Counter* m_bytes_read_;
   obs::Counter* m_bytes_written_;
   obs::Counter* m_commits_;
+  // storage.retry.* metrics (transient-fault retries on page reads).
+  obs::Counter* m_retry_attempts_;
+  obs::Counter* m_retry_successes_;
+  obs::Counter* m_retry_exhausted_;
 };
 
 }  // namespace trex

@@ -1,16 +1,25 @@
 #include "trex/query_executor.h"
 
+#include <algorithm>
+
 #include "common/clock.h"
+#include "obs/flight_recorder.h"
 #include "retrieval/strategy.h"
 
 namespace trex {
 
-QueryExecutor::QueryExecutor(TReX* trex, size_t num_threads) : trex_(trex) {
+QueryExecutor::QueryExecutor(TReX* trex, size_t num_threads)
+    : QueryExecutor(trex, num_threads, QueryExecutorOptions{}) {}
+
+QueryExecutor::QueryExecutor(TReX* trex, size_t num_threads,
+                             QueryExecutorOptions options)
+    : trex_(trex), options_(options) {
   if (num_threads == 0) num_threads = 1;
   obs::MetricsRegistry& reg = obs::Default();
   m_submitted_ = reg.GetCounter("trex.executor.submitted");
   m_completed_ = reg.GetCounter("trex.executor.completed");
   m_failed_ = reg.GetCounter("trex.executor.failed");
+  m_shed_ = reg.GetCounter("trex.executor.shed");
   m_in_flight_ = reg.GetGauge("trex.executor.in_flight");
   m_queue_nanos_ = reg.GetHistogram("trex.executor.queue_nanos");
   workers_.reserve(num_threads);
@@ -26,6 +35,19 @@ QueryExecutor::~QueryExecutor() {
   }
   cv_.notify_all();
   for (std::thread& w : workers_) w.join();
+}
+
+bool QueryExecutor::saturated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_queue_depth > 0 &&
+      QueuedLocked() >= options_.max_queue_depth) {
+    return true;
+  }
+  if (options_.max_in_flight_cost > 0 &&
+      in_flight_cost_ >= options_.max_in_flight_cost) {
+    return true;
+  }
+  return false;
 }
 
 std::future<Result<QueryAnswer>> QueryExecutor::Submit(
@@ -50,14 +72,53 @@ std::future<Result<QueryAnswer>> QueryExecutor::SubmitWith(
 
 std::future<Result<QueryAnswer>> QueryExecutor::Enqueue(Job job) {
   job.enqueued_nanos = static_cast<uint64_t>(NowNanos());
+  job.cost = std::max<uint64_t>(1, job.query_options.admission_cost);
   std::future<Result<QueryAnswer>> future = job.promise.get_future();
   m_submitted_->Add();
+  bool shed = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(job));
+    // Admission control, all under the one queue lock so the decision is
+    // consistent with what the workers see. Submitting into a stopping
+    // executor also sheds: the destructor's drain guarantee covers jobs
+    // accepted before shutdown, and a shed future still resolves.
+    if (stopping_) {
+      shed = true;
+    } else if (options_.max_queue_depth > 0 &&
+               QueuedLocked() >= options_.max_queue_depth) {
+      shed = true;
+    } else if (options_.max_in_flight_cost > 0 &&
+               in_flight_cost_ + job.cost > options_.max_in_flight_cost) {
+      shed = true;
+    }
+    if (!shed) {
+      in_flight_cost_ += job.cost;
+      if (job.query_options.priority == QueryPriority::kBackground) {
+        background_.push_back(std::move(job));
+      } else {
+        interactive_.push_back(std::move(job));
+      }
+    }
+  }
+  if (shed) {
+    m_shed_->Add();
+    obs::FlightRecorder::Default().Record(
+        obs::FlightKind::kShed, "query_shed",
+        "\"k\":" + std::to_string(job.k) +
+            ",\"cost\":" + std::to_string(job.cost));
+    job.promise.set_value(
+        Status::Overloaded("query shed: executor at admission limit"));
+    return future;
   }
   cv_.notify_one();
   return future;
+}
+
+QueryExecutor::Job QueryExecutor::PopLocked() {
+  std::deque<Job>& lane = interactive_.empty() ? background_ : interactive_;
+  Job job = std::move(lane.front());
+  lane.pop_front();
+  return job;
 }
 
 void QueryExecutor::WorkerLoop(size_t worker_index) {
@@ -72,12 +133,11 @@ void QueryExecutor::WorkerLoop(size_t worker_index) {
     Job job;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      cv_.wait(lock, [this] { return stopping_ || QueuedLocked() > 0; });
       // Drain pending jobs even when stopping: a Submit()ed future must
       // always resolve.
-      if (queue_.empty()) return;
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      if (QueuedLocked() == 0) return;
+      job = PopLocked();
     }
     m_queue_nanos_->Record(static_cast<uint64_t>(NowNanos()) -
                            job.enqueued_nanos);
@@ -90,6 +150,13 @@ void QueryExecutor::WorkerLoop(size_t worker_index) {
             : trex_->Query(job.nexi, job.k, job.query_options);
     const int64_t elapsed = watch.ElapsedNanos();
     m_in_flight_->Add(-1);
+    {
+      // Release the admission weight only now: a running query holds its
+      // cost, so max_in_flight_cost bounds work actually in the system,
+      // not just queue length.
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_cost_ -= job.cost;
+    }
     (answer.ok() ? m_completed_ : m_failed_)->Add();
     (answer.ok() ? w_completed : w_failed)->Add();
     w_busy_nanos->Add(static_cast<uint64_t>(elapsed));

@@ -15,6 +15,16 @@
 // duration, resource vector and full span tree; queries over the log's
 // threshold are retained (ring + JSONL).
 //
+// Overload behavior. With QueryExecutorOptions bounds set, Submit()
+// applies admission control: a query that would push the queue past
+// max_queue_depth or the summed admission cost past max_in_flight_cost
+// is shed — its future resolves immediately with Status::Overloaded
+// (`trex.executor.shed` ticks, a `shed` flight event records it). Shed
+// or run, every Submit()ed future resolves exactly once; Submit() after
+// (or during) destruction-triggered shutdown sheds rather than hangs.
+// Two lanes order the queue: QueryPriority::kInteractive jobs always
+// dispatch before kBackground ones.
+//
 // The handle is typically opened with OpenMode::kReadShared; the
 // executor never mutates the index. One executor per handle is the
 // expected shape, but nothing prevents several (they would just share
@@ -37,11 +47,26 @@
 
 namespace trex {
 
+// Admission-control bounds for a QueryExecutor. Zero means unbounded —
+// the executor behaves exactly as it did without admission control.
+struct QueryExecutorOptions {
+  // Maximum queries waiting (both lanes together). A Submit() that would
+  // push past this resolves immediately with Status::Overloaded.
+  size_t max_queue_depth = 0;
+  // Maximum summed QueryOptions::admission_cost across queued + running
+  // queries. A Submit() whose cost would push past this is shed the same
+  // way. Cost is held until the query finishes, so a slow query keeps
+  // its weight reserved for its whole lifetime.
+  uint64_t max_in_flight_cost = 0;
+};
+
 class QueryExecutor {
  public:
   // Spawns `num_threads` workers (clamped to >= 1) over `trex`, which
   // must outlive the executor.
   QueryExecutor(TReX* trex, size_t num_threads);
+  QueryExecutor(TReX* trex, size_t num_threads,
+                QueryExecutorOptions options);
   // Drains the queue (pending queries still run) and joins the workers.
   ~QueryExecutor();
 
@@ -49,9 +74,12 @@ class QueryExecutor {
   QueryExecutor& operator=(const QueryExecutor&) = delete;
 
   // Enqueues a query; the future resolves with the answer (or the error
-  // status) once a worker has run it. Thread-safe. `query_options`
-  // rides along to TReX::Query — per-query budgets work through the
-  // pool exactly as they do on the direct path.
+  // status) once a worker has run it — or immediately with
+  // Status::Overloaded when admission control sheds it. Thread-safe.
+  // `query_options` rides along to TReX::Query — per-query budgets and
+  // deadlines work through the pool exactly as they do on the direct
+  // path; its priority and admission_cost drive the executor's lanes
+  // and bounds.
   std::future<Result<QueryAnswer>> Submit(std::string nexi, size_t k,
                                           QueryOptions query_options = {});
   // As Submit, but forces the retrieval method (TReX::QueryWith).
@@ -66,6 +94,11 @@ class QueryExecutor {
 
   size_t num_threads() const { return workers_.size(); }
 
+  // True while an admission bound is at (or past) its limit — the probe
+  // the advisor's background loop uses to skip ticks under load. Always
+  // false for an unbounded executor.
+  bool saturated() const;
+
  private:
   struct Job {
     std::string nexi;
@@ -73,23 +106,37 @@ class QueryExecutor {
     std::optional<RetrievalMethod> forced;
     QueryOptions query_options;
     uint64_t enqueued_nanos = 0;
+    uint64_t cost = 1;  // Clamped admission weight, held until done.
     std::promise<Result<QueryAnswer>> promise;
   };
 
   std::future<Result<QueryAnswer>> Enqueue(Job job);
   void WorkerLoop(size_t worker_index);
+  // Pops the next job, interactive lane first. Pre: a lane is non-empty.
+  Job PopLocked();
+  size_t QueuedLocked() const {
+    return interactive_.size() + background_.size();
+  }
 
   TReX* trex_;
   obs::SlowQueryLog* slow_log_ = nullptr;
+  QueryExecutorOptions options_;
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Job> queue_;
+  // Two-lane priority queue: workers drain interactive_ before
+  // background_, so advisor ticks and batch work never delay a user
+  // query that is already waiting.
+  std::deque<Job> interactive_;
+  std::deque<Job> background_;
+  // Summed cost of queued + running jobs; guarded by mu_.
+  uint64_t in_flight_cost_ = 0;
   bool stopping_ = false;
   // trex.executor.* metrics.
   obs::Counter* m_submitted_;
   obs::Counter* m_completed_;
   obs::Counter* m_failed_;
+  obs::Counter* m_shed_;
   obs::Gauge* m_in_flight_;
   obs::Histogram* m_queue_nanos_;
 };

@@ -26,6 +26,15 @@ void FoldAccounting(const obs::ResourceAccounting& accounting,
           obs::FlightKind::kBudget, "query_abort",
           "\"pages\":" + std::to_string(usage.pages_fetched) +
               ",\"bytes\":" + std::to_string(usage.bytes_read));
+    } else if (answer->status().IsDeadlineExceeded()) {
+      static obs::Counter* exceeded =
+          obs::Default().GetCounter("retrieval.deadline.exceeded");
+      exceeded->Add();
+      const obs::ResourceUsage usage = accounting.Usage();
+      obs::FlightRecorder::Default().Record(
+          obs::FlightKind::kDeadline, "query_abort",
+          "\"pages\":" + std::to_string(usage.pages_fetched) +
+              ",\"bytes\":" + std::to_string(usage.bytes_read));
     }
     return;
   }
@@ -128,9 +137,11 @@ Result<QueryAnswer> TReX::RunQuery(const std::string& nexi, size_t k,
                                    const RetrievalMethod* forced,
                                    const QueryOptions& query_options) {
   // Accounting wraps the whole evaluation (snapshot lock included):
-  // every layer below charges into it via the thread-local scope, and
-  // the budget — if any — is enforced at the buffer pool.
-  obs::ResourceAccounting accounting(query_options.budget);
+  // every layer below charges into it via the thread-local scope; the
+  // budget — if any — is enforced at the buffer pool, and the deadline
+  // at the cancellation checkpoints and page-fault sites.
+  obs::ResourceAccounting accounting(query_options.budget,
+                                     query_options.deadline);
   obs::ResourceScope scope(&accounting);
   Result<QueryAnswer> answer = RunQueryLocked(nexi, k, forced);
   FoldAccounting(accounting, &answer);
@@ -210,7 +221,8 @@ Result<QueryAnswer> TReX::Query(const std::string& nexi, size_t k,
 
 Result<QueryAnswer> TReX::QueryStrict(const std::string& nexi, size_t k,
                                       const QueryOptions& query_options) {
-  obs::ResourceAccounting accounting(query_options.budget);
+  obs::ResourceAccounting accounting(query_options.budget,
+                                     query_options.deadline);
   obs::ResourceScope scope(&accounting);
   Result<QueryAnswer> result = [&]() -> Result<QueryAnswer> {
     auto read_lock = index_->ReaderLock();

@@ -57,12 +57,30 @@ enum class OpenMode {
   kReadShared,
 };
 
+// Scheduling class for queries submitted through the QueryExecutor.
+// Interactive queries are dispatched before background work (advisor
+// ticks, batch re-scoring) whenever both lanes have entries waiting.
+enum class QueryPriority {
+  kInteractive,
+  kBackground,
+};
+
 // Per-query knobs, orthogonal to the handle-level TrexOptions.
 struct QueryOptions {
   // Work limits for this one query; the zero default is unlimited. A
   // query that exceeds its budget fails with Status::ResourceExhausted
   // (and `retrieval.budget.exceeded` ticks) instead of running on.
   obs::ResourceBudget budget;
+  // Wall-clock deadline for this one query; the default never expires.
+  // The evaluator polls it at the same checkpoints as cancellation (TA
+  // round heads, Merge iterations, buffer-pool page faults) and a query
+  // past it fails with Status::DeadlineExceeded, partial work accounted.
+  Deadline deadline;
+  // Scheduling lane when the query goes through a QueryExecutor.
+  QueryPriority priority = QueryPriority::kInteractive;
+  // Abstract admission weight when the executor bounds in-flight cost;
+  // heavier analytical queries should declare a larger cost.
+  uint64_t admission_cost = 1;
 };
 
 struct QueryAnswer {

@@ -1,0 +1,341 @@
+// Overload and fault chaos harness (ctest label: robustness; run under
+// ASan/UBSan and TSan by scripts/check.sh --chaos).
+//
+// The invariant everything here defends: under transient read failures,
+// slow I/O, tight deadlines and queue saturation — alone or combined —
+// no query ever hangs or crashes the process, and every submitted query
+// resolves with exactly one of {OK, ResourceExhausted, DeadlineExceeded,
+// Overloaded}. Afterwards the index still opens and deep-verifies clean.
+//
+// Deterministic pieces first (retry absorbs a bounded transient window;
+// retry exhaustion surfaces Unavailable; a 50 ms deadline aborts within
+// one checkpoint interval of expiry; a bounded executor sheds), then the
+// randomized schedule that combines them.
+//
+// Worker threads never call gtest assertions; they count outcomes
+// atomically and the main thread asserts.
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <future>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "corpus/ieee_generator.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "retrieval/materializer.h"
+#include "storage/fault_env.h"
+#include "trex/query_executor.h"
+#include "trex/trex.h"
+
+#include "testutil.h"
+
+namespace trex {
+namespace {
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = test::UniqueTestDir("trex_chaos"); }
+  void TearDown() override {
+    Env::Swap(nullptr);  // Never leak a fault env into the next test.
+    std::filesystem::remove_all(dir_);
+  }
+
+  TrexOptions IeeeOptions() {
+    TrexOptions options;
+    options.index.aliases = IeeeAliasMap();
+    return options;
+  }
+
+  // Builds the index with the clean env and leaves it on disk; tests
+  // reopen it through a FaultInjectingEnv afterwards.
+  void BuildIeee(size_t docs) {
+    IeeeGeneratorOptions gen_options;
+    gen_options.num_documents = docs;
+    gen_options.size_factor = 0.5;
+    IeeeGenerator gen(gen_options);
+    auto trex = TReX::Build(dir_ + "/idx", gen, IeeeOptions());
+    TREX_CHECK_OK(trex.status());
+    MaterializeStats stats;
+    TREX_CHECK_OK(trex.value()->MaterializeFor(
+        "//article[about(., xml query evaluation)]", true, true, &stats));
+    TREX_CHECK_OK(trex.value()->index()->Flush());
+  }
+
+  std::string dir_;
+};
+
+const char* const kQueries[] = {
+    "//article//sec[about(., ontologies case study)]",
+    "//article[about(., xml query evaluation)]",
+    "//sec[about(., information retrieval)]",
+    "//article[about(., parallel algorithm)]",
+};
+
+uint64_t CounterValue(const char* name) {
+  return obs::Default().GetCounter(name)->value();
+}
+
+// A bounded window of transient read failures is absorbed by the pager's
+// retry loop: the query succeeds and only the retry metrics notice.
+TEST_F(ChaosTest, TransientReadWindowIsRetriedAway) {
+  BuildIeee(30);
+  FaultInjectingEnv fenv;
+  Env::Swap(&fenv);
+  auto opened = TReX::Open(dir_ + "/idx", IeeeOptions());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<TReX> trex = std::move(opened).value();
+
+  // Arm after open: the very next read fails, and so does the read after
+  // it — which is the retry itself (global indexes at and at+1). The
+  // second retry (at+2) succeeds, all inside one ReadPage call.
+  const uint64_t attempts_before = CounterValue("storage.retry.attempts");
+  const uint64_t successes_before = CounterValue("storage.retry.successes");
+  const uint64_t exhausted_before = CounterValue("storage.retry.exhausted");
+  fenv.plan().transient_read_at = static_cast<int64_t>(fenv.reads());
+  fenv.plan().transient_read_count = 2;
+
+  auto answer = trex->Query(kQueries[1], 10);
+  EXPECT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_GE(CounterValue("storage.retry.attempts") - attempts_before, 2u);
+  EXPECT_GE(CounterValue("storage.retry.successes") - successes_before, 1u);
+  EXPECT_EQ(CounterValue("storage.retry.exhausted") - exhausted_before, 0u);
+}
+
+// A transient outage longer than the retry cap surfaces Unavailable —
+// not Corruption, not a crash — and the exhaustion metric ticks.
+TEST_F(ChaosTest, RetryExhaustionSurfacesUnavailable) {
+  BuildIeee(30);
+  FaultInjectingEnv fenv;
+  Env::Swap(&fenv);
+  auto opened = TReX::Open(dir_ + "/idx", IeeeOptions());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<TReX> trex = std::move(opened).value();
+
+  const uint64_t exhausted_before = CounterValue("storage.retry.exhausted");
+  fenv.plan().transient_read_at = static_cast<int64_t>(fenv.reads());
+  fenv.plan().transient_read_count = 64;  // Outlasts every retry.
+
+  auto answer = trex->Query(kQueries[1], 10);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_TRUE(answer.status().IsUnavailable())
+      << answer.status().ToString();
+  EXPECT_GE(CounterValue("storage.retry.exhausted") - exhausted_before, 1u);
+
+  // The outage ends; the same handle serves again without reopening.
+  fenv.plan().transient_read_at = FaultPlan::kNever;
+  auto recovered = trex->Query(kQueries[1], 10);
+  EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
+}
+
+// Acceptance criterion: with every page read stalled 20 ms, a 50 ms
+// deadline aborts within deadline + one checkpoint interval (one slow
+// read), not after running the query to completion.
+TEST_F(ChaosTest, DeadlineAbortsWithinOneCheckpointOfExpiry) {
+  BuildIeee(200);  // Big enough that a cold query faults dozens of pages.
+  constexpr int64_t kSlowReadMicros = 20000;  // 20 ms per page read.
+
+  // A deliberately wide query: every term is another set of posting
+  // lists to fault in, so the cold evaluation reads many pages.
+  const char* kWideQuery =
+      "//article[about(., parallel algorithm information retrieval xml "
+      "query evaluation ontologies case study)]";
+
+  // Baseline: a cold, un-deadlined query under slow I/O. Its read count
+  // is what the deadlined run must undercut.
+  uint64_t baseline_reads = 0;
+  {
+    FaultInjectingEnv fenv;
+    Env::Swap(&fenv);
+    auto opened = TReX::Open(dir_ + "/idx", IeeeOptions());
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    std::unique_ptr<TReX> trex = std::move(opened).value();
+    fenv.plan().slow_read_every = 1;
+    fenv.plan().slow_read_micros = kSlowReadMicros;
+    const uint64_t before = fenv.reads();
+    auto answer = trex->Query(kWideQuery, 10);
+    EXPECT_TRUE(answer.ok()) << answer.status().ToString();
+    baseline_reads = fenv.reads() - before;
+    trex.reset();
+    Env::Swap(nullptr);
+  }
+  // The baseline must be long enough that a deadline abort is
+  // distinguishable from normal completion: > 20 reads = > 400 ms.
+  ASSERT_GT(baseline_reads, 20u);
+
+  // Deadlined run, same cold-open conditions.
+  FaultInjectingEnv fenv;
+  Env::Swap(&fenv);
+  auto opened = TReX::Open(dir_ + "/idx", IeeeOptions());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<TReX> trex = std::move(opened).value();
+  fenv.plan().slow_read_every = 1;
+  fenv.plan().slow_read_micros = kSlowReadMicros;
+
+  const uint64_t deadline_hits_before =
+      CounterValue("retrieval.deadline.exceeded");
+  const uint64_t before = fenv.reads();
+  QueryOptions qo;
+  qo.deadline = Deadline::After(50);
+  Stopwatch watch;
+  auto answer = trex->Query(kWideQuery, 10, qo);
+  const double elapsed_ms =
+      static_cast<double>(watch.ElapsedNanos()) / 1e6;
+  const uint64_t deadline_reads = fenv.reads() - before;
+
+  ASSERT_FALSE(answer.ok());
+  EXPECT_TRUE(answer.status().IsDeadlineExceeded())
+      << answer.status().ToString();
+  EXPECT_EQ(CounterValue("retrieval.deadline.exceeded") -
+                deadline_hits_before,
+            1u);
+  // At 20 ms per read, at most ~3 reads fit under the 50 ms deadline;
+  // the checkpoint at the next page fault catches the expiry, so the
+  // abort costs at most a handful of reads — far below the baseline.
+  EXPECT_LE(deadline_reads, 10u);
+  EXPECT_LT(deadline_reads, baseline_reads);
+  // Wall clock: deadline + one checkpoint interval (one 20 ms read),
+  // with generous scheduling/sanitizer slack — still a small fraction
+  // of what the full query costs (baseline_reads * 20 ms > 400 ms).
+  EXPECT_LT(elapsed_ms, 50.0 + 20.0 + 430.0);
+}
+
+// Admission control sheds deterministically once the in-flight cost
+// line is crossed, and shed futures resolve immediately.
+TEST_F(ChaosTest, BoundedExecutorShedsOverAdmissionLimit) {
+  BuildIeee(20);
+  auto opened =
+      TReX::Open(dir_ + "/idx", IeeeOptions(), OpenMode::kReadShared);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<TReX> trex = std::move(opened).value();
+
+  QueryExecutorOptions bounds;
+  bounds.max_in_flight_cost = 1;
+  QueryExecutor executor(trex.get(), 1, bounds);
+  // The first submit takes the whole cost budget until its query
+  // finishes; the burst behind it must shed (the worker cannot have
+  // finished job 0 in the nanoseconds between the submits).
+  std::vector<std::future<Result<QueryAnswer>>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(executor.Submit(kQueries[0], 10));
+  }
+  size_t ok = 0, shed = 0, other = 0;
+  for (auto& f : futures) {
+    Result<QueryAnswer> r = f.get();
+    if (r.ok()) {
+      ++ok;
+    } else if (r.status().IsOverloaded()) {
+      ++shed;
+    } else {
+      ++other;
+    }
+  }
+  EXPECT_EQ(other, 0u);
+  EXPECT_GE(ok, 1u);   // The admitted head of the burst ran.
+  EXPECT_GE(shed, 1u);  // And the tail was turned away, not queued.
+  EXPECT_GE(CounterValue("trex.executor.shed"), shed);
+}
+
+// The randomized schedule: submitter threads race a bounded executor
+// over an index whose env injects transient failures and slow reads,
+// with random deadlines, budgets, priorities and admission costs.
+TEST_F(ChaosTest, RandomizedFaultAndLoadSchedules) {
+  BuildIeee(40);
+  FaultInjectingEnv fenv;
+  Env::Swap(&fenv);
+  auto opened =
+      TReX::Open(dir_ + "/idx", IeeeOptions(), OpenMode::kReadShared);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<TReX> trex = std::move(opened).value();
+
+  // Chaos plan, armed after open. transient_read_every fails each
+  // (file, offset) at most once, so the pager's retry always absorbs it
+  // — Unavailable must never reach a query.
+  fenv.plan().transient_read_every = 7;
+  fenv.plan().slow_read_every = 13;
+  fenv.plan().slow_read_micros = 200;
+
+  constexpr int kSubmitters = 4;
+  constexpr int kPerThread = 40;
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> deadline{0};
+  std::atomic<uint64_t> budget{0};
+  std::atomic<uint64_t> bad_status{0};
+  {
+    QueryExecutorOptions bounds;
+    bounds.max_queue_depth = 12;
+    bounds.max_in_flight_cost = 16;
+    QueryExecutor executor(trex.get(), 4, bounds);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kSubmitters; ++t) {
+      threads.emplace_back([&, t] {
+        std::mt19937 rng(0x5eed + static_cast<unsigned>(t));
+        std::vector<std::future<Result<QueryAnswer>>> futures;
+        futures.reserve(kPerThread);
+        for (int i = 0; i < kPerThread; ++i) {
+          QueryOptions qo;
+          switch (rng() % 3) {
+            case 0:
+              break;  // No deadline.
+            case 1:
+              qo.deadline = Deadline::After(5);
+              break;
+            default:
+              qo.deadline = Deadline::After(20);
+          }
+          if (rng() % 4 == 0) qo.budget.max_pages = 8;
+          qo.priority = rng() % 4 == 0 ? QueryPriority::kBackground
+                                       : QueryPriority::kInteractive;
+          qo.admission_cost = 1 + rng() % 3;
+          futures.push_back(
+              executor.Submit(kQueries[rng() % 4], 10, qo));
+        }
+        for (auto& f : futures) {
+          const Status s = f.get().status();
+          if (s.ok()) {
+            ++ok;
+          } else if (s.IsOverloaded()) {
+            ++shed;
+          } else if (s.IsDeadlineExceeded()) {
+            ++deadline;
+          } else if (s.IsResourceExhausted()) {
+            ++budget;
+          } else {
+            ++bad_status;
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    // Executor destructor: drains admitted jobs, joins workers.
+  }
+
+  const uint64_t resolved = ok + shed + deadline + budget + bad_status;
+  EXPECT_EQ(resolved,
+            static_cast<uint64_t>(kSubmitters) * kPerThread);
+  // The invariant: only the four sanctioned outcomes, and real progress.
+  EXPECT_EQ(bad_status.load(), 0u);
+  EXPECT_GT(ok.load(), 0u);
+
+  // Afterward the index is untouched: disarm chaos, reopen with repair
+  // allowed — the fast path must find nothing to repair — and deep
+  // verification must pass.
+  trex.reset();
+  fenv.plan() = FaultPlan{};
+  Env::Swap(nullptr);
+  RecoveryReport report;
+  auto reopened =
+      TReX::Open(dir_ + "/idx", IeeeOptions(), RecoveryMode::kRepair,
+                 &report);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_FALSE(report.ran) << report.ToString();
+  EXPECT_TRUE(reopened.value()->index()->DeepVerify().ok());
+}
+
+}  // namespace
+}  // namespace trex

@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <future>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -217,6 +218,61 @@ TEST_F(ConcurrencyTest, DestructorResolvesQueuedFutures) {
     Result<QueryAnswer> answer = f.get();  // Must not hang or break.
     EXPECT_TRUE(answer.ok()) << answer.status().ToString();
   }
+}
+
+TEST_F(ConcurrencyTest, ShutdownWhileSheddingResolvesEveryFuture) {
+  {
+    auto rw = BuildIeee(20);
+  }
+  auto opened =
+      TReX::Open(dir_ + "/idx", IeeeOptions(), OpenMode::kReadShared);
+  TREX_CHECK_OK(opened.status());
+  std::unique_ptr<TReX> trex = std::move(opened).value();
+
+  // A tiny queue behind one worker: a concurrent submit storm mostly
+  // sheds, and the executor is destroyed while admitted jobs are still
+  // queued. Every future — shed or admitted — must resolve.
+  constexpr int kSubmitters = 4;
+  constexpr int kPerThread = 25;
+  std::vector<std::future<Result<QueryAnswer>>> futures;
+  std::mutex futures_mu;
+  {
+    QueryExecutorOptions bounds;
+    bounds.max_queue_depth = 2;
+    QueryExecutor executor(trex.get(), 1, bounds);
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&]() {
+        std::vector<std::future<Result<QueryAnswer>>> local;
+        local.reserve(kPerThread);
+        for (int i = 0; i < kPerThread; ++i) {
+          local.push_back(
+              executor.Submit(kQueries[i % std::size(kQueries)], 5));
+        }
+        std::lock_guard<std::mutex> lock(futures_mu);
+        for (auto& f : local) futures.push_back(std::move(f));
+      });
+    }
+    for (std::thread& t : submitters) t.join();
+    // Destroy with jobs still queued; the drain guarantee resolves them.
+  }
+  size_t ok = 0, shed = 0, other = 0;
+  for (auto& f : futures) {
+    Result<QueryAnswer> answer = f.get();  // Must not hang.
+    if (answer.ok()) {
+      ++ok;
+    } else if (answer.status().IsOverloaded()) {
+      ++shed;
+    } else {
+      ++other;
+    }
+  }
+  EXPECT_EQ(futures.size(),
+            static_cast<size_t>(kSubmitters) * kPerThread);
+  EXPECT_EQ(other, 0u);
+  EXPECT_GE(ok, 1u);    // Admitted head of the storm ran to completion.
+  EXPECT_GE(shed, 1u);  // The burst overran a depth-2 queue.
+  EXPECT_EQ(ok + shed, futures.size());
 }
 
 TEST_F(ConcurrencyTest, ReadSharedHandleRejectsMutations) {

@@ -172,13 +172,15 @@ TEST(FlightRecorderTest, DefaultIsSingletonAndRecordsKinds) {
   for (FlightKind k :
        {FlightKind::kAdvisor, FlightKind::kCatalog, FlightKind::kBufferPool,
         FlightKind::kRetrieval, FlightKind::kBudget, FlightKind::kRecovery,
-        FlightKind::kSignal, FlightKind::kOther}) {
+        FlightKind::kSignal, FlightKind::kShed, FlightKind::kDeadline,
+        FlightKind::kRetry, FlightKind::kOther}) {
     rec.Record(k, "kind_probe");
   }
-  EXPECT_EQ(rec.recorded(), before + 8);
+  EXPECT_EQ(rec.recorded(), before + 11);
   std::string dump = rec.DumpJsonl();
   for (const char* name : {"advisor", "catalog", "bufpool", "retrieval",
-                           "budget", "recovery", "signal", "other"}) {
+                           "budget", "recovery", "signal", "shed",
+                           "deadline", "retry", "other"}) {
     EXPECT_NE(dump.find(std::string("\"kind\":\"") + name + "\""),
               std::string::npos)
         << name;

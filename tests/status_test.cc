@@ -23,6 +23,25 @@ TEST(Status, CodesAndMessages) {
   EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
 }
 
+TEST(Status, OverloadCodesRoundTrip) {
+  Status deadline = Status::DeadlineExceeded("50 ms up");
+  EXPECT_FALSE(deadline.ok());
+  EXPECT_TRUE(deadline.IsDeadlineExceeded());
+  EXPECT_FALSE(deadline.IsResourceExhausted());
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: 50 ms up");
+
+  Status transient = Status::Unavailable("read blip");
+  EXPECT_TRUE(transient.IsUnavailable());
+  EXPECT_FALSE(transient.IsIOError());
+  EXPECT_FALSE(transient.IsCorruption());
+  EXPECT_EQ(transient.ToString(), "Unavailable: read blip");
+
+  Status shed = Status::Overloaded("queue full");
+  EXPECT_TRUE(shed.IsOverloaded());
+  EXPECT_FALSE(shed.IsResourceExhausted());
+  EXPECT_EQ(shed.ToString(), "Overloaded: queue full");
+}
+
 Status FailsEarly() {
   TREX_RETURN_IF_ERROR(Status::IOError("disk on fire"));
   ADD_FAILURE() << "should not reach here";
