@@ -12,14 +12,28 @@
 // --bench-smoke runs this binary on a tiny corpus and validates the
 // output against the schema.
 //
+// Scenario mode (--scenario=NAME) swaps the IEEE matrix for one entry
+// of the corpus/workload zoo (src/corpus/workload_zoo.h): the scenario's
+// adversarial corpus is built/cached under scenario_<name>, its query
+// stream drawn once into a fixed job sequence (so hot-key skew and
+// topic shifts survive into the measured workload), and the sequence is
+// served strategy-selected ("auto") across a small thread ladder. The
+// emitted document is the same schema with an extra "scenario" key;
+// committed per-scenario baselines live in bench/BENCH_baseline_<name>
+// .json and are gated by scripts/bench_compare.py --scenarios.
+//
 // Knobs (environment, all optional):
 //   TREX_BENCH_DATA              index/cache directory
 //   TREX_BENCH_IEEE_DOCS         corpus size at first build
+//   TREX_BENCH_SCENARIO_DOCS     scenario corpus size (0 = zoo default)
 //   TREX_BENCH_SUITE_JOBS        queries per workload        (default 32)
 //   TREX_BENCH_SUITE_MAX_THREADS cap on the thread ladder    (default 8)
 //   TREX_BENCH_RUNS              timing protocol run count   (default 1)
 // Flags:
-//   --out=PATH        output JSON (default BENCH_suite.json)
+//   --out=PATH        output JSON (default BENCH_suite.json, or
+//                     BENCH_scenario_<name>.json in scenario mode)
+//   --scenario=NAME   run one zoo scenario instead of the IEEE matrix
+//                     (--scenario=list prints the table)
 //   --snapshots=PATH  also run a MetricsSnapshotter appending per-250ms
 //                     registry deltas to PATH while the suite runs
 #include <cinttypes>
@@ -31,6 +45,7 @@
 
 #include "bench/harness.h"
 #include "common/clock.h"
+#include "corpus/workload_zoo.h"
 #include "nexi/translator.h"
 #include "obs/metrics.h"
 #include "obs/resource.h"
@@ -244,6 +259,194 @@ void AppendWorkload(std::string* out, const WorkloadResult& w) {
   out->push_back('}');
 }
 
+// One scenario workload: the stream-ordered job sequence served
+// strategy-selected through the executor (per-query k from the stream).
+WorkloadResult RunScenarioWorkload(TReX* handle,
+                                   const std::vector<ZooQuery>& sequence,
+                                   size_t threads) {
+  WorkloadResult w;
+  w.method = "auto";
+  w.shaping = "vague";
+  w.threads = threads;
+  w.jobs = sequence.size();
+  w.name = std::string("auto.vague.t") + std::to_string(threads);
+  std::vector<uint64_t> latencies;
+  w.run = TimeRunsDetailed(
+      [&]() {
+        latencies.clear();
+        latencies.reserve(sequence.size());
+        w.totals = obs::ResourceUsage{};
+        QueryExecutor executor(handle, threads);
+        std::vector<std::future<Result<QueryAnswer>>> futures;
+        futures.reserve(sequence.size());
+        for (const ZooQuery& q : sequence) {
+          futures.push_back(executor.Submit(q.nexi, q.k));
+        }
+        for (auto& f : futures) {
+          Result<QueryAnswer> answer = f.get();
+          TREX_CHECK_OK(answer.status());
+          const QueryAnswer& a = answer.value();
+          latencies.push_back(static_cast<uint64_t>(
+              a.trace->root()->duration_nanos));
+          AccumulateUsage(a.resources, &w.totals);
+        }
+      },
+      /*default_runs=*/1);
+  w.qps = static_cast<double>(w.jobs) / w.run.seconds;
+  FillPercentiles(std::move(latencies), &w);
+  return w;
+}
+
+int RunScenario(const std::string& scenario_name, std::string out_path,
+                const std::string& snapshots_path) {
+  const ScenarioSpec* spec = FindScenario(scenario_name);
+  if (spec == nullptr) {
+    // `list` is machine-readable (scripts/check.sh --zoo iterates the
+    // first column on stdout); the unknown-name error goes to stderr.
+    std::FILE* out = scenario_name == "list" ? stdout : stderr;
+    std::fprintf(out, "%s", scenario_name == "list"
+                                ? ""
+                                : "available scenarios:\n");
+    for (const ScenarioSpec& s : ScenarioTable()) {
+      std::fprintf(out, "  %-18s %s x %s\n", s.name.c_str(),
+                   s.corpus.c_str(), s.stream.c_str());
+    }
+    if (scenario_name == "list") return 0;
+    std::fprintf(stderr, "unknown scenario '%s'\n", scenario_name.c_str());
+    return 2;
+  }
+  if (out_path.empty()) {
+    out_path = "BENCH_scenario_" + spec->name + ".json";
+  }
+  const size_t jobs = BenchScaleDocs("TREX_BENCH_SUITE_JOBS", 32);
+  const size_t max_threads =
+      BenchScaleDocs("TREX_BENCH_SUITE_MAX_THREADS", 8);
+  std::vector<size_t> thread_ladder;
+  for (size_t t : {1, 2, 4}) {
+    if (t <= max_threads) thread_ladder.push_back(t);
+  }
+
+  std::unique_ptr<obs::MetricsSnapshotter> snapshotter;
+  if (!snapshots_path.empty()) {
+    obs::MetricsSnapshotter::Options snap_options;
+    snap_options.period_millis = 250;
+    snap_options.jsonl_path = snapshots_path;
+    snapshotter =
+        std::make_unique<obs::MetricsSnapshotter>(std::move(snap_options));
+    if (!snapshotter->Start()) {
+      std::fprintf(stderr, "[bench_suite] cannot open %s\n",
+                   snapshots_path.c_str());
+      return 1;
+    }
+  }
+
+  // Build (or reopen) the scenario's corpus index. No alias map: the
+  // adversarial corpora have no synonymous tags.
+  const std::string dir = BenchDataDir() + "/scenario_" + spec->name;
+  TrexOptions options;
+  if (!Env::FileExists(dir + "/manifest.txt")) {
+    std::fprintf(stderr, "[bench] building %s corpus in %s ...\n",
+                 spec->corpus.c_str(), dir.c_str());
+    std::unique_ptr<DocumentGenerator> gen = spec->make_corpus(
+        BenchScaleDocs("TREX_BENCH_SCENARIO_DOCS", 0));
+    auto built = TReX::Build(dir, *gen, options);
+    TREX_CHECK_OK(built.status());
+    TREX_CHECK_OK(built.value()->index()->Flush());
+  }
+
+  // The job sequence: drawn once (fixed seed), so the measured workload
+  // carries the stream's shape — repeats, skew, the topic changepoint.
+  std::unique_ptr<QueryStream> stream = spec->make_stream(/*seed=*/777);
+  const std::vector<ZooQuery> sequence = stream->Take(jobs);
+  std::vector<const ZooQuery*> distinct;
+  for (const ZooQuery& q : sequence) {
+    bool seen = false;
+    for (const ZooQuery* d : distinct) seen = seen || d->nexi == q.nexi;
+    if (!seen) distinct.push_back(&q);
+  }
+  // Materialize RPLs + ERPLs for (a cap of) the distinct queries, as
+  // the IEEE matrix does for Table 1; the cap bounds setup cost on the
+  // all-distinct streams and is reported so nobody mistakes a partially
+  // warmed scenario for full coverage.
+  constexpr size_t kMaterializeCap = 16;
+  const size_t to_materialize = std::min(distinct.size(), kMaterializeCap);
+  if (to_materialize < distinct.size()) {
+    std::fprintf(stderr,
+                 "[bench] materializing %zu of %zu distinct queries "
+                 "(cap %zu); the rest run from base lists\n",
+                 to_materialize, distinct.size(), kMaterializeCap);
+  }
+  {
+    auto rw = TReX::Open(dir, options);
+    TREX_CHECK_OK(rw.status());
+    for (size_t i = 0; i < to_materialize; ++i) {
+      MaterializeStats stats;
+      TREX_CHECK_OK(rw.value()->MaterializeFor(distinct[i]->nexi,
+                                               /*rpls=*/true,
+                                               /*erpls=*/true, &stats));
+    }
+    TREX_CHECK_OK(rw.value()->index()->Flush());
+  }
+  const uint64_t materializer_fills =
+      obs::Default().Snapshot().counter("retrieval.materializer.fills");
+
+  auto opened = TReX::Open(dir, options, OpenMode::kReadShared);
+  TREX_CHECK_OK(opened.status());
+  std::unique_ptr<TReX> handle = std::move(opened).value();
+  for (const ZooQuery* q : distinct) {
+    TREX_CHECK_OK(handle->Query(q->nexi, q->k).status());
+  }
+
+  Stopwatch suite_watch;
+  std::vector<WorkloadResult> results;
+  for (size_t threads : thread_ladder) {
+    results.push_back(
+        RunScenarioWorkload(handle.get(), sequence, threads));
+    const WorkloadResult& w = results.back();
+    std::printf("%-18s %8.3fs %8.1f qps  p50 %8.3fms  p99 %8.3fms\n",
+                w.name.c_str(), w.run.seconds, w.qps,
+                static_cast<double>(w.p50) * 1e-6,
+                static_cast<double>(w.p99) * 1e-6);
+  }
+  const double suite_seconds = suite_watch.ElapsedSeconds();
+  if (snapshotter != nullptr) snapshotter->Stop();
+
+  std::string json = "{\"schema_version\":";
+  AppendU64(&json, kSchemaVersion);
+  json.append(",\"bench\":\"suite\",\"scenario\":\"");
+  json.append(spec->name);
+  json.append("\",\"git_sha\":\"");
+  json.append(BenchGitSha());
+  json.append("\",\"collection\":\"");
+  json.append(spec->corpus);
+  json.append("\",\"k\":");
+  AppendU64(&json, kTopK);
+  json.append(",\"runs\":");
+  AppendU64(&json, static_cast<uint64_t>(BenchRunCount(1)));
+  json.append(",\"jobs_per_workload\":");
+  AppendU64(&json, jobs);
+  json.append(",\"suite_wall_s\":");
+  AppendDouble(&json, suite_seconds);
+  json.append(",\"materializer_fills\":");
+  AppendU64(&json, materializer_fills);
+  json.append(",\"workloads\":[");
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) json.push_back(',');
+    AppendWorkload(&json, results[i]);
+  }
+  json.append("]}\n");
+
+  Status s = Env::WriteStringToFile(out_path, json);
+  if (!s.ok()) {
+    std::fprintf(stderr, "[bench_suite] cannot write %s: %s\n",
+                 out_path.c_str(), s.ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%s: %zu workloads in %.1fs -> %s\n", spec->name.c_str(),
+              results.size(), suite_seconds, out_path.c_str());
+  return 0;
+}
+
 int Run(const std::string& out_path, const std::string& snapshots_path) {
   const size_t jobs = BenchScaleDocs("TREX_BENCH_SUITE_JOBS", 32);
   const size_t max_threads =
@@ -392,21 +595,35 @@ int Run(const std::string& out_path, const std::string& snapshots_path) {
 }  // namespace trex
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_suite.json";
+  std::string out_path;
   std::string snapshots_path;
+  std::string scenario;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--out=", 6) == 0) {
       out_path = arg + 6;
+    } else if (std::strncmp(arg, "--scenario=", 11) == 0) {
+      scenario = arg + 11;
     } else if (std::strncmp(arg, "--snapshots=", 12) == 0) {
       snapshots_path = arg + 12;
     } else {
       std::fprintf(stderr,
-                   "usage: bench_suite [--out=PATH] [--snapshots=PATH]\n");
+                   "usage: bench_suite [--out=PATH] [--scenario=NAME] "
+                   "[--snapshots=PATH]\n");
       return 2;
     }
   }
-  int rc = trex::bench::Run(out_path, snapshots_path);
-  trex::bench::WriteBenchMetrics("bench_suite");
+  int rc;
+  if (scenario == "list") {
+    return trex::bench::RunScenario(scenario, out_path, snapshots_path);
+  }
+  if (!scenario.empty()) {
+    rc = trex::bench::RunScenario(scenario, out_path, snapshots_path);
+    trex::bench::WriteBenchMetrics("bench_suite_" + scenario);
+  } else {
+    if (out_path.empty()) out_path = "BENCH_suite.json";
+    rc = trex::bench::Run(out_path, snapshots_path);
+    trex::bench::WriteBenchMetrics("bench_suite");
+  }
   return rc;
 }

@@ -20,12 +20,21 @@
 // NON-GATING report: adaptation speed is workload- and machine-
 // dependent, so this bench informs rather than fails CI.
 //
+// With --scenario=NAME (a shifting_topic entry of the workload zoo,
+// e.g. skew_shift or neardup_shift) the bench swaps the IEEE pair for
+// the scenario's corpus and topic pools: workload A is the stream's
+// pre-changepoint pool, workload B its post-changepoint pool, so the
+// measured shift is exactly the one the zoo stream would serve.
+//
 // Knobs (environment, all optional):
 //   TREX_BENCH_DATA        index/cache directory
-//   TREX_BENCH_SHIFT_DOCS  corpus size at first build     (default 400)
+//   TREX_BENCH_SHIFT_DOCS  corpus size at first build     (default 400;
+//                          0 = zoo default in scenario mode)
 //   TREX_BENCH_SHIFT_REPS  serves per query per phase     (default 8)
 // Flags:
-//   --out=PATH   output JSON (default BENCH_workload_shift.json)
+//   --out=PATH       output JSON (default BENCH_workload_shift.json, or
+//                    BENCH_workload_shift_<name>.json in scenario mode)
+//   --scenario=NAME  drive a zoo shifting-topic scenario instead
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -38,6 +47,7 @@
 #include "advisor/decision_log.h"
 #include "bench/harness.h"
 #include "common/clock.h"
+#include "corpus/workload_zoo.h"
 #include "obs/resource.h"
 #include "retrieval/materializer.h"
 
@@ -49,22 +59,24 @@ constexpr int kSchemaVersion = 1;
 constexpr size_t kTopK = 10;
 
 // Two disjoint IEEE workloads (Table 1 queries the shift alternates
-// between).
-const std::vector<const char*>& WorkloadA() {
-  static const std::vector<const char*> kQueries = {
-      "//article[about(., ontologies)]//sec[about(., ontologies case "
-      "study)]",
-      "//article//sec[about(., introduction information retrieval)]",
+// between). Scenario mode replaces these with a zoo stream's topic
+// pools.
+std::vector<ZooQuery> WorkloadA() {
+  return {
+      {"//article[about(., ontologies)]//sec[about(., ontologies case "
+       "study)]",
+       kTopK},
+      {"//article//sec[about(., introduction information retrieval)]",
+       kTopK},
   };
-  return kQueries;
 }
 
-const std::vector<const char*>& WorkloadB() {
-  static const std::vector<const char*> kQueries = {
-      "//sec[about(., code signing verification)]",
-      "//article[about(.//bdy, synthesizers) and about(.//bdy, music)]",
+std::vector<ZooQuery> WorkloadB() {
+  return {
+      {"//sec[about(., code signing verification)]", kTopK},
+      {"//article[about(.//bdy, synthesizers) and about(.//bdy, music)]",
+       kTopK},
   };
-  return kQueries;
 }
 
 struct PhaseResult {
@@ -83,14 +95,13 @@ struct TickResult {
 // Serves every query in `workload` `reps` times through the recording
 // facade path and sums the per-answer resource vectors.
 PhaseResult ServePhase(TReX* trex, const char* name,
-                       const std::vector<const char*>& workload,
-                       size_t reps) {
+                       const std::vector<ZooQuery>& workload, size_t reps) {
   PhaseResult phase;
   phase.name = name;
   Stopwatch watch;
   for (size_t r = 0; r < reps; ++r) {
-    for (const char* nexi : workload) {
-      auto answer = trex->Query(nexi, kTopK);
+    for (const ZooQuery& q : workload) {
+      auto answer = trex->Query(q.nexi, q.k);
       TREX_CHECK_OK(answer.status());
       const obs::ResourceUsage& u = answer.value().resources;
       phase.totals.pages_fetched += u.pages_fetched;
@@ -178,26 +189,71 @@ void AppendTick(std::string* out, const TickResult& t) {
   out->push_back('}');
 }
 
-int Run(const std::string& out_path) {
+int Run(std::string out_path, const std::string& scenario_name) {
   const size_t reps = BenchScaleDocs("TREX_BENCH_SHIFT_REPS", 8);
 
+  // Resolve the workload pair: Table 1 by default, a zoo shifting-topic
+  // scenario's pre-/post-changepoint pools with --scenario.
+  const ScenarioSpec* spec = nullptr;
+  std::vector<ZooQuery> workload_a = WorkloadA();
+  std::vector<ZooQuery> workload_b = WorkloadB();
+  std::string collection = "IEEE";
+  if (!scenario_name.empty()) {
+    spec = FindScenario(scenario_name);
+    if (spec == nullptr || spec->stream != "shifting_topic") {
+      std::fprintf(stderr,
+                   "--scenario wants a shifting_topic zoo entry; have:\n");
+      for (const ScenarioSpec& s : ScenarioTable()) {
+        if (s.stream == "shifting_topic") {
+          std::fprintf(stderr, "  %s\n", s.name.c_str());
+        }
+      }
+      return 2;
+    }
+    std::unique_ptr<QueryStream> stream = spec->make_stream(/*seed=*/777);
+    auto* shift = dynamic_cast<ShiftingTopicStream*>(stream.get());
+    if (shift == nullptr) {
+      std::fprintf(stderr, "scenario %s stream is not a ShiftingTopicStream\n",
+                   spec->name.c_str());
+      return 2;
+    }
+    workload_a = shift->topic_a();
+    workload_b = shift->topic_b();
+    collection = spec->corpus;
+  }
+  if (out_path.empty()) {
+    out_path = scenario_name.empty()
+                   ? "BENCH_workload_shift.json"
+                   : "BENCH_workload_shift_" + scenario_name + ".json";
+  }
+
   // A dedicated (small) index: the shift bench mutates its catalog, so
-  // it must not share the suite's read-mostly IEEE cache.
-  std::string dir = BenchDataDir() + "/ShiftIEEE";
+  // it must not share the suite's read-mostly caches.
+  std::string dir = BenchDataDir() + (spec == nullptr
+                                          ? std::string("/ShiftIEEE")
+                                          : "/shift_" + spec->name);
   TrexOptions options;
-  options.index.aliases = IeeeAliasMap();
+  if (spec == nullptr) options.index.aliases = IeeeAliasMap();
   std::unique_ptr<TReX> trex;
   if (Env::FileExists(dir + "/manifest.txt")) {
     auto opened = TReX::Open(dir, options);
     TREX_CHECK_OK(opened.status());
     trex = std::move(opened).value();
   } else {
-    std::fprintf(stderr, "[bench] building ShiftIEEE index in %s ...\n",
+    std::fprintf(stderr, "[bench] building shift index in %s ...\n",
                  dir.c_str());
-    IeeeGeneratorOptions gen_options;
-    gen_options.num_documents = BenchScaleDocs("TREX_BENCH_SHIFT_DOCS", 400);
-    IeeeGenerator gen(gen_options);
-    auto built = TReX::Build(dir, gen, options);
+    auto built = [&]() -> Result<std::unique_ptr<TReX>> {
+      if (spec == nullptr) {
+        IeeeGeneratorOptions gen_options;
+        gen_options.num_documents =
+            BenchScaleDocs("TREX_BENCH_SHIFT_DOCS", 400);
+        IeeeGenerator gen(gen_options);
+        return TReX::Build(dir, gen, options);
+      }
+      std::unique_ptr<DocumentGenerator> gen = spec->make_corpus(
+          BenchScaleDocs("TREX_BENCH_SHIFT_DOCS", 0));
+      return TReX::Build(dir, *gen, options);
+    }();
     TREX_CHECK_OK(built.status());
     trex = std::move(built).value();
     TREX_CHECK_OK(trex->index()->Flush());
@@ -235,16 +291,16 @@ int Run(const std::string& out_path) {
   std::vector<PhaseResult> phases;
   std::vector<TickResult> ticks;
 
-  phases.push_back(ServePhase(trex.get(), "a_cold", WorkloadA(), reps));
+  phases.push_back(ServePhase(trex.get(), "a_cold", workload_a, reps));
   ticks.push_back(Tick(trex.get(), "a_cold"));
-  phases.push_back(ServePhase(trex.get(), "a_adapted", WorkloadA(), reps));
+  phases.push_back(ServePhase(trex.get(), "a_adapted", workload_a, reps));
 
   // The shift: drown A's sketch weight under B before re-planning.
   trex->workload_recorder()->Clear();
-  phases.push_back(ServePhase(trex.get(), "b_cold", WorkloadB(), reps));
+  phases.push_back(ServePhase(trex.get(), "b_cold", workload_b, reps));
   ticks.push_back(Tick(trex.get(), "b_cold"));
   ticks.push_back(Tick(trex.get(), "b_cold"));
-  phases.push_back(ServePhase(trex.get(), "b_adapted", WorkloadB(), reps));
+  phases.push_back(ServePhase(trex.get(), "b_adapted", workload_b, reps));
 
   // Audit self-check: every advisor apply this run must be
   // reconstructible from the decision log alone — folding its records
@@ -279,9 +335,17 @@ int Run(const std::string& out_path) {
 
   std::string json = "{\"schema_version\":";
   AppendU64(&json, kSchemaVersion);
-  json.append(",\"bench\":\"workload_shift\",\"git_sha\":\"");
+  json.append(",\"bench\":\"workload_shift\",");
+  if (spec != nullptr) {
+    json.append("\"scenario\":\"");
+    json.append(spec->name);
+    json.append("\",");
+  }
+  json.append("\"git_sha\":\"");
   json.append(BenchGitSha());
-  json.append("\",\"collection\":\"IEEE\",\"k\":");
+  json.append("\",\"collection\":\"");
+  json.append(collection);
+  json.append("\",\"k\":");
   AppendU64(&json, kTopK);
   json.append(",\"reps_per_query\":");
   AppendU64(&json, reps);
@@ -313,17 +377,24 @@ int Run(const std::string& out_path) {
 }  // namespace trex
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_workload_shift.json";
+  std::string out_path;
+  std::string scenario;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--out=", 6) == 0) {
       out_path = arg + 6;
+    } else if (std::strncmp(arg, "--scenario=", 11) == 0) {
+      scenario = arg + 11;
     } else {
-      std::fprintf(stderr, "usage: bench_workload_shift [--out=PATH]\n");
+      std::fprintf(stderr,
+                   "usage: bench_workload_shift [--out=PATH] "
+                   "[--scenario=NAME]\n");
       return 2;
     }
   }
-  int rc = trex::bench::Run(out_path);
-  trex::bench::WriteBenchMetrics("bench_workload_shift");
+  int rc = trex::bench::Run(out_path, scenario);
+  trex::bench::WriteBenchMetrics(scenario.empty()
+                                     ? "bench_workload_shift"
+                                     : "bench_workload_shift_" + scenario);
   return rc;
 }

@@ -13,6 +13,16 @@ Usage:
       — adaptation speed is workload- and machine-dependent, so this
       mode informs rather than fails CI.
 
+  bench_compare.py --scenarios BASELINE_DIR CURRENT_DIR
+                   [--max-regress PCT] [--inject-slowdown PCT]
+      Gate every zoo scenario at once: for each
+      BASELINE_DIR/BENCH_baseline_<name>.json, compare
+      CURRENT_DIR/BENCH_scenario_<name>.json against it. Unlike the
+      two-file mode, nothing short-circuits: an unreadable, invalid or
+      regressed scenario is recorded (prefixed with its scenario name)
+      and the remaining scenarios are still checked, so one run reports
+      ALL failing scenarios. Exits 1 iff any scenario failed.
+
   bench_compare.py BASELINE CURRENT [--max-regress PCT]
                    [--inject-slowdown PCT]
       Compare CURRENT against BASELINE workload-by-workload (matched by
@@ -34,6 +44,7 @@ Stdlib only.
 
 import argparse
 import json
+import os
 import sys
 
 SCHEMA_VERSION = 1
@@ -81,7 +92,8 @@ RESOURCE_KEYS = [
     "heap_operations",
 ]
 
-METHODS = {"era", "ta", "merge", "race"}
+# "auto" is the strategy-selected executor path scenario documents use.
+METHODS = {"era", "ta", "merge", "race", "auto"}
 SHAPINGS = {"vague", "strict"}
 
 
@@ -160,12 +172,20 @@ def validate(doc):
     return errors
 
 
-def load(path):
+def try_load(path):
+    """Returns (doc, None) or (None, error string). Never exits."""
     try:
         with open(path, "r", encoding="utf-8") as f:
-            return json.load(f)
+            return json.load(f), None
     except (OSError, json.JSONDecodeError) as exc:
-        sys.exit(f"bench_compare: cannot load {path}: {exc}")
+        return None, f"cannot load {path}: {exc}"
+
+
+def load(path):
+    doc, err = try_load(path)
+    if err:
+        sys.exit(f"bench_compare: {err}")
+    return doc
 
 
 def compare(baseline, current, max_regress_pct):
@@ -271,12 +291,84 @@ def shift_report(doc):
     return 0
 
 
+BASELINE_PREFIX = "BENCH_baseline_"
+
+
+def compare_scenarios(baseline_dir, current_dir, max_regress_pct, slowdown):
+    """Compares every per-scenario baseline against its current run.
+
+    Failures never short-circuit: each scenario's problems (missing or
+    malformed files, schema errors, regressions) are collected with the
+    scenario's name and every scenario is still visited, so one run
+    lists everything that is wrong. Returns the process exit code.
+    """
+    baselines = sorted(
+        f
+        for f in os.listdir(baseline_dir)
+        if f.startswith(BASELINE_PREFIX) and f.endswith(".json")
+    )
+    if not baselines:
+        print(
+            f"scenarios: no {BASELINE_PREFIX}*.json in {baseline_dir}",
+            file=sys.stderr,
+        )
+        return 1
+    failures = []  # (scenario, message) pairs, across all scenarios.
+    compared = 0
+    for fname in baselines:
+        scenario = fname[len(BASELINE_PREFIX) : -len(".json")]
+        base_path = os.path.join(baseline_dir, fname)
+        cur_path = os.path.join(
+            current_dir, f"BENCH_scenario_{scenario}.json"
+        )
+        pair = []
+        broken = False
+        for path in (base_path, cur_path):
+            doc, err = try_load(path)
+            if err:
+                failures.append((scenario, err))
+                broken = True
+                continue
+            for e in validate(doc):
+                failures.append((scenario, f"{path}: {e}"))
+                broken = True
+            pair.append(doc)
+        if broken:
+            continue
+        baseline, current = pair
+        if slowdown:
+            current = inject_slowdown(current, slowdown)
+        regressions, notes = compare(baseline, current, max_regress_pct)
+        for note in notes:
+            print(f"note: [{scenario}] {note}")
+        for r in regressions:
+            failures.append((scenario, r))
+        compared += 1
+        if not regressions:
+            print(
+                f"ok: [{scenario}] {len(current['workloads'])} workloads "
+                f"within {max_regress_pct:.0f}% of baseline"
+            )
+    if failures:
+        print(
+            f"REGRESSION: {len(failures)} failure(s) across "
+            f"{len(baselines)} scenario(s) [gate: {max_regress_pct:.0f}%]",
+            file=sys.stderr,
+        )
+        for scenario, message in failures:
+            print(f"  [{scenario}] {message}", file=sys.stderr)
+        return 1
+    print(f"ok: all {compared} scenarios within {max_regress_pct:.0f}%")
+    return 0
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         prog="bench_compare.py", description=__doc__
     )
     parser.add_argument("--validate", metavar="FILE")
     parser.add_argument("--shift-report", metavar="FILE")
+    parser.add_argument("--scenarios", action="store_true")
     parser.add_argument("files", nargs="*", metavar="BASELINE CURRENT")
     parser.add_argument("--max-regress", type=float, default=25.0)
     parser.add_argument("--inject-slowdown", type=float, default=0.0)
@@ -284,6 +376,16 @@ def main(argv):
 
     if args.shift_report:
         return shift_report(load(args.shift_report))
+
+    if args.scenarios:
+        if len(args.files) != 2:
+            parser.error("--scenarios expects BASELINE_DIR and CURRENT_DIR")
+        return compare_scenarios(
+            args.files[0],
+            args.files[1],
+            args.max_regress,
+            args.inject_slowdown,
+        )
 
     if args.validate:
         doc = load(args.validate)

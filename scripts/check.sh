@@ -29,6 +29,15 @@
 #                                 #   present), and a crash-dump smoke
 #                                 #   (SIGTERM a busy search_cli, the
 #                                 #   post-mortem JSONL must parse)
+#   scripts/check.sh --zoo        # + the scenario-zoo suite (ctest -L
+#                                 #   zoo under ASan/UBSan), a 10k-
+#                                 #   iteration NEXI fuzz pass, every
+#                                 #   named scenario through bench_suite
+#                                 #   on a tiny corpus gated by
+#                                 #   bench_compare.py --scenarios (plus
+#                                 #   an injected-slowdown self-test),
+#                                 #   and the shifting-topic scenario
+#                                 #   through bench_workload_shift
 #   BUILD_DIR=/tmp/chk TSAN_BUILD_DIR=/tmp/chk-tsan scripts/check.sh
 set -euo pipefail
 
@@ -40,6 +49,7 @@ BENCH_SMOKE=0
 ADVISOR=0
 OBS=0
 CHAOS=0
+ZOO=0
 for arg in "$@"; do
   case "$arg" in
     --stress) STRESS=1 ;;
@@ -47,6 +57,7 @@ for arg in "$@"; do
     --advisor) ADVISOR=1 ;;
     --obs) OBS=1 ;;
     --chaos) CHAOS=1 ;;
+    --zoo) ZOO=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -235,4 +246,57 @@ assert "signal" in kinds, f"no fatal-signal header, kinds={kinds}"
 print(f"post-mortem: {len(lines)} event(s) ok, kinds={sorted(kinds)}")
 EOF
   echo "obs: ok"
+fi
+
+# Scenario-zoo stage: the zoo-labeled suite (adversarial corpus
+# properties, workload stream properties, the deep-recursion chaos run,
+# NEXI fuzzing) under ASan/UBSan; the NEXI fuzzer again at 10k
+# iterations per test; then every named scenario end-to-end on a tiny
+# corpus. Like --bench-smoke, timing is only compared current-vs-current
+# (always within gate) and current-vs-injected-slowdown (must trip and
+# must name every scenario), so the stage fails on a broken harness,
+# never on a slow machine. The committed per-scenario baselines are
+# schema-validated, and the shifting-topic scenario runs through
+# bench_workload_shift with its non-gating adaptation report.
+if [ "$ZOO" -eq 1 ]; then
+  ctest --test-dir "$BUILD_DIR" -L zoo --output-on-failure -j "$(nproc)"
+  TREX_NEXI_FUZZ_ITERS=10000 "$BUILD_DIR/tests/nexi_fuzz_test"
+
+  ZOO_DIR="$(mktemp -d "${TMPDIR:-/tmp}/trex_zoo.XXXXXX")"
+  trap 'rm -rf "$ZOO_DIR" ${OBS_DIR:+"$OBS_DIR"} ${SHIFT_DIR:+"$SHIFT_DIR"} ${SMOKE_DIR:+"$SMOKE_DIR"}' EXIT
+  mkdir -p "$ZOO_DIR/current" "$ZOO_DIR/baseline"
+  SCENARIOS="$("$BUILD_DIR/bench/bench_suite" --scenario=list | awk '{print $1}')"
+  [ -n "$SCENARIOS" ] || { echo "zoo: bench_suite lists no scenarios" >&2; exit 1; }
+  for scenario in $SCENARIOS; do
+    python3 scripts/bench_compare.py --validate \
+      "bench/BENCH_baseline_$scenario.json"
+    env TREX_BENCH_DATA="$ZOO_DIR/data" \
+        TREX_BENCH_SCENARIO_DOCS=20 \
+        TREX_BENCH_SUITE_JOBS=6 \
+        TREX_BENCH_SUITE_MAX_THREADS=2 \
+        TREX_BENCH_RUNS=1 \
+        "$BUILD_DIR/bench/bench_suite" --scenario="$scenario" \
+        --out="$ZOO_DIR/current/BENCH_scenario_$scenario.json"
+    python3 scripts/bench_compare.py --validate \
+      "$ZOO_DIR/current/BENCH_scenario_$scenario.json"
+    cp "$ZOO_DIR/current/BENCH_scenario_$scenario.json" \
+       "$ZOO_DIR/baseline/BENCH_baseline_$scenario.json"
+  done
+  python3 scripts/bench_compare.py \
+    --scenarios "$ZOO_DIR/baseline" "$ZOO_DIR/current" --max-regress 20
+  if python3 scripts/bench_compare.py \
+       --scenarios "$ZOO_DIR/baseline" "$ZOO_DIR/current" \
+       --max-regress 20 --inject-slowdown 50; then
+    echo "zoo: comparator failed to flag an injected 50% slowdown" >&2
+    exit 1
+  fi
+
+  env TREX_BENCH_DATA="$ZOO_DIR/data" \
+      TREX_BENCH_SHIFT_DOCS=40 \
+      TREX_BENCH_SHIFT_REPS=4 \
+      "$BUILD_DIR/bench/bench_workload_shift" --scenario=skew_shift \
+      --out="$ZOO_DIR/BENCH_workload_shift_skew_shift.json"
+  python3 scripts/bench_compare.py \
+    --shift-report "$ZOO_DIR/BENCH_workload_shift_skew_shift.json"
+  echo "zoo: ok"
 fi

@@ -1,0 +1,249 @@
+#include "corpus/adversarial.h"
+
+#include <algorithm>
+
+#include "xml/writer.h"
+
+namespace trex {
+
+// ---------------------------------------------------------------------
+// Deep recursion.
+
+std::vector<PlantedTerm> DefaultDeepPlantedTerms() {
+  // "spire" rides most documents so deep towers of extents all contain
+  // it; "bedrock" is rare, forcing conjunctions to walk the tower.
+  return {
+      {"spire", 0.80, 0.05},
+      {"ladder", 0.30, 0.03},
+      {"bedrock", 0.04, 0.04},
+  };
+}
+
+DeepRecursionGenerator::DeepRecursionGenerator(DeepRecursionOptions options)
+    : options_(std::move(options)),
+      vocab_(options_.vocabulary_size, options_.zipf_theta) {
+  if (options_.planted.empty()) {
+    options_.planted = DefaultDeepPlantedTerms();
+  }
+  if (options_.min_depth < 1) options_.min_depth = 1;
+  if (options_.max_depth < options_.min_depth) {
+    options_.max_depth = options_.min_depth;
+  }
+  if (options_.tag_cycle < 1) options_.tag_cycle = 1;
+}
+
+std::string DeepRecursionGenerator::Generate(DocId docid) const {
+  Rng rng = DocumentRng(options_.seed, kDeepStreamTag, docid);
+  std::vector<const PlantedTerm*> topics;
+  for (const PlantedTerm& t : options_.planted) {
+    if (rng.Bernoulli(t.doc_probability)) topics.push_back(&t);
+  }
+  const size_t depth = static_cast<size_t>(
+      rng.UniformRange(options_.min_depth, options_.max_depth));
+
+  XmlWriter w;
+  w.StartElement("doc");
+  w.Attribute("id", "d" + std::to_string(docid));
+  // The spine: r0/r1/../r{c-1}/r0/.. — every level is a new label path
+  // (new incoming-summary sid) even though only tag_cycle distinct tags
+  // exist. Text at every level means every ancestor extent scores.
+  for (size_t level = 0; level < depth; ++level) {
+    w.StartElement("r" + std::to_string(level % options_.tag_cycle));
+    w.Text(GenerateText(vocab_, topics, options_.tokens_per_level, &rng));
+  }
+  // A leaf marker at the bottom of the tower (queries can target it).
+  w.StartElement("leaf");
+  w.Text(GenerateText(vocab_, topics,
+                      std::max<size_t>(options_.tokens_per_level, 8), &rng));
+  w.EndElement();
+  for (size_t level = 0; level < depth; ++level) w.EndElement();
+  w.EndElement();  // doc
+  return w.Finish();
+}
+
+// ---------------------------------------------------------------------
+// Huge fan-out.
+
+std::vector<PlantedTerm> DefaultFanoutPlantedTerms() {
+  // "ribbon" appears in many items of many documents: the (ribbon,
+  // item-sid) ERPL carries thousands of positions per document.
+  return {
+      {"ribbon", 0.70, 0.08},
+      {"spoke", 0.40, 0.05},
+      {"cotter", 0.05, 0.05},
+  };
+}
+
+WideFanoutGenerator::WideFanoutGenerator(WideFanoutOptions options)
+    : options_(std::move(options)),
+      vocab_(options_.vocabulary_size, options_.zipf_theta) {
+  if (options_.planted.empty()) {
+    options_.planted = DefaultFanoutPlantedTerms();
+  }
+  if (options_.min_children < 1) options_.min_children = 1;
+  if (options_.max_children < options_.min_children) {
+    options_.max_children = options_.min_children;
+  }
+}
+
+std::string WideFanoutGenerator::Generate(DocId docid) const {
+  Rng rng = DocumentRng(options_.seed, kFanoutStreamTag, docid);
+  std::vector<const PlantedTerm*> topics;
+  for (const PlantedTerm& t : options_.planted) {
+    if (rng.Bernoulli(t.doc_probability)) topics.push_back(&t);
+  }
+  const size_t children = static_cast<size_t>(
+      rng.UniformRange(options_.min_children, options_.max_children));
+
+  XmlWriter w;
+  w.StartElement("doc");
+  w.Attribute("id", "f" + std::to_string(docid));
+  w.StartElement("title");
+  w.Text(GenerateText(vocab_, topics, 4, &rng));
+  w.EndElement();
+  // One flat list: every <item> shares the same label path, i.e. one
+  // sid owns `children` sibling extents per document.
+  w.StartElement("list");
+  for (size_t c = 0; c < children; ++c) {
+    w.StartElement("item");
+    w.Text(GenerateText(vocab_, topics, options_.tokens_per_item, &rng));
+    w.EndElement();
+  }
+  w.EndElement();  // list
+  w.EndElement();  // doc
+  return w.Finish();
+}
+
+// ---------------------------------------------------------------------
+// Skewed tag/term Zipf.
+
+std::vector<PlantedTerm> DefaultSkewPlantedTerms() {
+  return {
+      {"magma", 0.90, 0.06},   // Hot: nearly every document, huge list.
+      {"basalt", 0.85, 0.04},  // Hot.
+      {"geyser", 0.25, 0.03},  // Warm.
+      {"fumarole", 0.02, 0.05} // Cold: conjunction partner for TA.
+  };
+}
+
+ZipfSkewGenerator::ZipfSkewGenerator(ZipfSkewOptions options)
+    : options_(std::move(options)),
+      vocab_(options_.vocabulary_size, options_.term_theta),
+      tag_sampler_(std::max<size_t>(options_.tag_alphabet, 1),
+                   options_.term_theta) {
+  if (options_.planted.empty()) {
+    options_.planted = DefaultSkewPlantedTerms();
+  }
+  if (options_.min_sections < 1) options_.min_sections = 1;
+  if (options_.max_sections < options_.min_sections) {
+    options_.max_sections = options_.min_sections;
+  }
+}
+
+std::string ZipfSkewGenerator::Generate(DocId docid) const {
+  Rng rng = DocumentRng(options_.seed, kSkewStreamTag, docid);
+  std::vector<const PlantedTerm*> topics;
+  for (const PlantedTerm& t : options_.planted) {
+    if (rng.Bernoulli(t.doc_probability)) topics.push_back(&t);
+  }
+  const size_t sections = static_cast<size_t>(
+      rng.UniformRange(options_.min_sections, options_.max_sections));
+
+  XmlWriter w;
+  w.StartElement("doc");
+  w.Attribute("id", "s" + std::to_string(docid));
+  w.StartElement("head");
+  w.Text(GenerateText(vocab_, topics, 5, &rng));
+  w.EndElement();
+  for (size_t s = 0; s < sections; ++s) {
+    // Zipf-ranked tag: t0 owns most extents, the tail almost none.
+    const std::string tag = "t" + std::to_string(tag_sampler_.Sample(&rng));
+    w.StartElement(tag);
+    const size_t tokens = static_cast<size_t>(rng.UniformRange(
+        options_.tokens_per_section_min, options_.tokens_per_section_max));
+    w.Text(GenerateText(vocab_, topics, tokens, &rng));
+    w.EndElement();
+  }
+  w.EndElement();  // doc
+  return w.Finish();
+}
+
+// ---------------------------------------------------------------------
+// Near-duplicate documents.
+
+std::vector<PlantedTerm> DefaultNearDupPlantedTerms() {
+  return {
+      {"stencil", 0.60, 0.04},
+      {"carbon", 0.40, 0.04},
+      {"vellum", 0.08, 0.04},
+  };
+}
+
+NearDuplicateGenerator::NearDuplicateGenerator(NearDuplicateOptions options)
+    : options_(std::move(options)),
+      vocab_(options_.vocabulary_size, options_.zipf_theta) {
+  if (options_.planted.empty()) {
+    options_.planted = DefaultNearDupPlantedTerms();
+  }
+  if (options_.num_prototypes < 1) options_.num_prototypes = 1;
+  if (options_.sections_per_doc < 1) options_.sections_per_doc = 1;
+}
+
+std::vector<std::string> NearDuplicateGenerator::PrototypeTokens(
+    size_t prototype, size_t section) const {
+  // The prototype stream is its own RNG lineage, keyed by (prototype,
+  // section) rather than docid, so every clone regenerates the exact
+  // same base text without storing it.
+  Rng rng = DocumentRng(options_.seed, kNearDupStreamTag + 1,
+                        static_cast<DocId>(prototype * 1000 + section));
+  std::vector<const PlantedTerm*> topics;
+  for (const PlantedTerm& t : options_.planted) {
+    if (rng.Bernoulli(t.doc_probability)) topics.push_back(&t);
+  }
+  std::vector<std::string> tokens;
+  tokens.reserve(options_.tokens_per_section);
+  for (size_t i = 0; i < options_.tokens_per_section; ++i) {
+    const std::string* word = nullptr;
+    for (const PlantedTerm* t : topics) {
+      if (rng.Bernoulli(t->token_probability)) {
+        word = &t->word;
+        break;
+      }
+    }
+    if (word == nullptr) word = &vocab_.SampleWord(&rng);
+    tokens.push_back(*word);
+  }
+  return tokens;
+}
+
+std::string NearDuplicateGenerator::Generate(DocId docid) const {
+  const size_t prototype = PrototypeFor(docid);
+  // The clone's own stream only drives mutations, so two clones of one
+  // prototype differ from it (and from each other) in ~mutation_rate of
+  // their tokens and nothing else.
+  Rng rng = DocumentRng(options_.seed, kNearDupStreamTag, docid);
+
+  XmlWriter w;
+  w.StartElement("doc");
+  w.Attribute("id", "n" + std::to_string(docid));
+  w.Attribute("proto", "p" + std::to_string(prototype));
+  for (size_t s = 0; s < options_.sections_per_doc; ++s) {
+    w.StartElement("sec");
+    std::vector<std::string> tokens = PrototypeTokens(prototype, s);
+    std::string text;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (i > 0) text.push_back(' ');
+      if (rng.Bernoulli(options_.mutation_rate)) {
+        text += vocab_.SampleWord(&rng);
+      } else {
+        text += tokens[i];
+      }
+    }
+    w.Text(text);
+    w.EndElement();
+  }
+  w.EndElement();  // doc
+  return w.Finish();
+}
+
+}  // namespace trex

@@ -1,0 +1,202 @@
+// Adversarial corpus generators (ROADMAP item 5).
+//
+// The IEEE-/Wiki-like generators are *friendly*: moderate nesting,
+// modest fan-out, mild Zipf tails, and essentially no duplication. Each
+// generator here isolates one hostile axis production XML corpora hit:
+//
+//  * DeepRecursionGenerator — pathological element nesting. Every
+//    nesting level is a distinct label path, so the incoming summary
+//    grows linearly with depth and every query answer sits under a
+//    tower of ancestor extents (containment scoring, ERA scans and the
+//    strict containment join all pay per level).
+//  * WideFanoutGenerator — huge sibling lists. Thousands of same-tag
+//    siblings share a single sid, so one (term, sid) ERPL packs
+//    thousands of positions per document — the position-intersection
+//    stress case for Merge and for block skipping later.
+//  * ZipfSkewGenerator — heavily skewed tag/term distributions. A steep
+//    Zipf theta plus always-on hot terms produce a few enormous posting
+//    lists next to a dust of tiny ones: TA's threshold convergence and
+//    the advisor's per-unit cost estimates both live or die on this
+//    shape.
+//  * NearDuplicateGenerator — clusters of near-identical documents. A
+//    small set of prototypes is re-emitted with a low token mutation
+//    rate; structure is shared exactly (summary dedup) and text almost
+//    exactly (score ties, cache-ability of results).
+//
+// All four are deterministic from (options, docid) via DocumentRng —
+// same contract as the friendly generators, asserted byte-for-byte in
+// corpus_test/adversarial_corpus_test.
+#ifndef TREX_CORPUS_ADVERSARIAL_H_
+#define TREX_CORPUS_ADVERSARIAL_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "corpus/vocabulary.h"
+
+namespace trex {
+
+// ---------------------------------------------------------------------
+// Deep recursion.
+
+struct DeepRecursionOptions {
+  uint64_t seed = 101;
+  size_t num_documents = 120;
+  // Nesting depth of the spine, drawn uniformly per document. Depths
+  // are capped well below thread stack limits: ingestion is iterative,
+  // but DOM teardown (unique_ptr chains) and the strict containment
+  // join recurse per level.
+  size_t min_depth = 48;
+  size_t max_depth = 192;
+  // The spine cycles through this many distinct tags (r0..r{n-1}), so
+  // each depth level is a unique label path (one incoming-summary sid
+  // per level) while tags repeat enough to defeat label-only pruning.
+  size_t tag_cycle = 4;
+  // Tokens of text emitted at every spine level.
+  size_t tokens_per_level = 4;
+  size_t vocabulary_size = 2000;
+  double zipf_theta = 1.0;
+  std::vector<PlantedTerm> planted;  // Empty -> defaults below.
+};
+
+// Hot terms planted along the spine so every level's extent scores.
+std::vector<PlantedTerm> DefaultDeepPlantedTerms();
+
+constexpr uint64_t kDeepStreamTag = 0xdee9;
+
+class DeepRecursionGenerator : public DocumentGenerator {
+ public:
+  explicit DeepRecursionGenerator(DeepRecursionOptions options);
+
+  std::string Generate(DocId docid) const override;
+  size_t num_documents() const override { return options_.num_documents; }
+  const DeepRecursionOptions& options() const { return options_; }
+
+ private:
+  DeepRecursionOptions options_;
+  Vocabulary vocab_;
+};
+
+// ---------------------------------------------------------------------
+// Huge fan-out.
+
+struct WideFanoutOptions {
+  uint64_t seed = 102;
+  size_t num_documents = 60;
+  // Sibling <item> count per document, drawn uniformly.
+  size_t min_children = 400;
+  size_t max_children = 1200;
+  // Tokens per item (short, so the list length dominates).
+  size_t tokens_per_item = 6;
+  size_t vocabulary_size = 3000;
+  double zipf_theta = 1.0;
+  std::vector<PlantedTerm> planted;  // Empty -> defaults below.
+};
+
+std::vector<PlantedTerm> DefaultFanoutPlantedTerms();
+
+constexpr uint64_t kFanoutStreamTag = 0xfa40;
+
+class WideFanoutGenerator : public DocumentGenerator {
+ public:
+  explicit WideFanoutGenerator(WideFanoutOptions options);
+
+  std::string Generate(DocId docid) const override;
+  size_t num_documents() const override { return options_.num_documents; }
+  const WideFanoutOptions& options() const { return options_; }
+
+ private:
+  WideFanoutOptions options_;
+  Vocabulary vocab_;
+};
+
+// ---------------------------------------------------------------------
+// Skewed tag/term Zipf.
+
+struct ZipfSkewOptions {
+  uint64_t seed = 103;
+  size_t num_documents = 300;
+  // Background term skew. theta ~1.0 is natural text; 1.4 concentrates
+  // roughly half of all tokens on a handful of head words.
+  double term_theta = 1.4;
+  // Section tags are drawn from a Zipf over this many labels with the
+  // same theta: a couple of tags own nearly all extents.
+  size_t tag_alphabet = 24;
+  size_t min_sections = 4;
+  size_t max_sections = 12;
+  size_t tokens_per_section_min = 20;
+  size_t tokens_per_section_max = 60;
+  size_t vocabulary_size = 4000;
+  std::vector<PlantedTerm> planted;  // Empty -> defaults below.
+};
+
+// Hot terms with near-1.0 document probability (every list is huge)
+// next to deliberately rare ones (TA threshold stress: a rare term in
+// conjunction with a hot one).
+std::vector<PlantedTerm> DefaultSkewPlantedTerms();
+
+constexpr uint64_t kSkewStreamTag = 0x5e3f;
+
+class ZipfSkewGenerator : public DocumentGenerator {
+ public:
+  explicit ZipfSkewGenerator(ZipfSkewOptions options);
+
+  std::string Generate(DocId docid) const override;
+  size_t num_documents() const override { return options_.num_documents; }
+  const ZipfSkewOptions& options() const { return options_; }
+
+ private:
+  ZipfSkewOptions options_;
+  Vocabulary vocab_;
+  ZipfSampler tag_sampler_;
+};
+
+// ---------------------------------------------------------------------
+// Near-duplicate documents.
+
+struct NearDuplicateOptions {
+  uint64_t seed = 104;
+  size_t num_documents = 200;
+  // Distinct prototype documents; docid d clones prototype d % n.
+  size_t num_prototypes = 8;
+  // Per-token probability that a clone replaces a prototype token with
+  // a fresh background word. 0 would make clones byte-identical.
+  double mutation_rate = 0.02;
+  size_t sections_per_doc = 5;
+  size_t tokens_per_section = 40;
+  size_t vocabulary_size = 3000;
+  double zipf_theta = 1.0;
+  std::vector<PlantedTerm> planted;  // Empty -> defaults below.
+};
+
+std::vector<PlantedTerm> DefaultNearDupPlantedTerms();
+
+constexpr uint64_t kNearDupStreamTag = 0xd09e;
+
+class NearDuplicateGenerator : public DocumentGenerator {
+ public:
+  explicit NearDuplicateGenerator(NearDuplicateOptions options);
+
+  std::string Generate(DocId docid) const override;
+  size_t num_documents() const override { return options_.num_documents; }
+  const NearDuplicateOptions& options() const { return options_; }
+
+  // The prototype a docid clones (exposed so tests can measure
+  // clone-vs-prototype token overlap).
+  size_t PrototypeFor(DocId docid) const {
+    return static_cast<size_t>(docid) % options_.num_prototypes;
+  }
+
+ private:
+  // The prototype's token stream, regenerated deterministically.
+  std::vector<std::string> PrototypeTokens(size_t prototype,
+                                           size_t section) const;
+
+  NearDuplicateOptions options_;
+  Vocabulary vocab_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_CORPUS_ADVERSARIAL_H_

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "index/types.h"
 
@@ -19,6 +20,21 @@ class DocumentGenerator {
   virtual std::string Generate(DocId docid) const = 0;
   virtual size_t num_documents() const = 0;
 };
+
+// The one seed → per-document RNG derivation every generator uses.
+// `stream_tag` separates generator families so two different generators
+// with the same seed never replay each other's document streams; the
+// splitmix64-style finalizer decorrelates adjacent docids. Purely
+// integer arithmetic, so identical (seed, tag, docid) produce identical
+// streams on every platform — the byte-for-byte reproducibility the
+// corpus regression test asserts.
+inline Rng DocumentRng(uint64_t seed, uint64_t stream_tag, DocId docid) {
+  uint64_t z = seed * 0x9e3779b97f4a7c15ULL + stream_tag;
+  z ^= docid + 0x9e3779b97f4a7c15ULL + (z << 6) + (z >> 2);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return Rng(z ^ (z >> 31));
+}
 
 // Writes a generator's documents into `dir` as doc<id>.xml files plus a
 // corpus.txt manifest (used by the search-CLI example; benchmarks feed

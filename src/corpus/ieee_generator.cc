@@ -44,8 +44,10 @@ IeeeGenerator::IeeeGenerator(IeeeGeneratorOptions options)
 }
 
 std::string IeeeGenerator::Generate(DocId docid) const {
-  // Independent deterministic stream per document.
-  Rng rng(options_.seed * 0x9e3779b97f4a7c15ULL + docid + 1);
+  // Independent deterministic stream per document (common derivation in
+  // corpus.h; the stream tag keeps IEEE disjoint from the other
+  // generator families at equal seeds).
+  Rng rng = DocumentRng(options_.seed, kIeeeStreamTag, docid);
 
   // Document-level topics.
   std::vector<const PlantedTerm*> doc_topics;

@@ -35,6 +35,9 @@ struct IeeeGeneratorOptions {
 
 std::vector<PlantedTerm> DefaultIeeePlantedTerms();
 
+// DocumentRng stream tag for the IEEE family (see corpus.h).
+constexpr uint64_t kIeeeStreamTag = 0x1ee3;
+
 class IeeeGenerator : public DocumentGenerator {
  public:
   explicit IeeeGenerator(IeeeGeneratorOptions options);

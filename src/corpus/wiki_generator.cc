@@ -71,7 +71,7 @@ void WikiGenerator::GenerateSection(
 }
 
 std::string WikiGenerator::Generate(DocId docid) const {
-  Rng rng(options_.seed * 0xbf58476d1ce4e5b9ULL + docid + 1);
+  Rng rng = DocumentRng(options_.seed, kWikiStreamTag, docid);
   std::vector<const PlantedTerm*> doc_topics;
   for (const PlantedTerm& t : options_.planted) {
     if (rng.Bernoulli(t.doc_probability)) doc_topics.push_back(&t);

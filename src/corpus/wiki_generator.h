@@ -27,6 +27,9 @@ struct WikiGeneratorOptions {
 
 std::vector<PlantedTerm> DefaultWikiPlantedTerms();
 
+// DocumentRng stream tag for the Wikipedia family (see corpus.h).
+constexpr uint64_t kWikiStreamTag = 0x71c1;
+
 class WikiGenerator : public DocumentGenerator {
  public:
   explicit WikiGenerator(WikiGeneratorOptions options);

@@ -1,0 +1,277 @@
+#include "corpus/workload_zoo.h"
+
+#include <cassert>
+#include <utility>
+
+#include "corpus/adversarial.h"
+#include "corpus/vocabulary.h"
+
+namespace trex {
+
+namespace {
+
+// Zoo streams derive their RNG from the same mixer as the generators,
+// with their own tag space so corpus and workload draws never alias.
+constexpr uint64_t kZooStreamTag = 0x200;
+
+std::string Quote(const std::string& s) { return "\"" + s + "\""; }
+
+const std::string& Pick(const std::vector<std::string>& v, Rng* rng) {
+  assert(!v.empty());
+  return v[rng->Uniform(v.size())];
+}
+
+std::string Background(const StreamProfile& profile, Rng* rng) {
+  return Vocabulary::WordForRank(rng->Uniform(profile.background_ranks));
+}
+
+// One non-phrase keyword: hot term half the time, background otherwise.
+std::string SimpleTerm(const StreamProfile& profile, Rng* rng) {
+  if (!profile.hot_terms.empty() && rng->Bernoulli(0.5)) {
+    return Pick(profile.hot_terms, rng);
+  }
+  return Background(profile, rng);
+}
+
+size_t SampleK(Rng* rng) {
+  static const size_t kChoices[] = {5, 10, 20};
+  return kChoices[rng->Uniform(3)];
+}
+
+// "//tag[about(., <terms>)]", optionally under a leading //doc step so
+// some queries exercise multi-step paths.
+std::string AboutQuery(const StreamProfile& profile, const std::string& terms,
+                       Rng* rng) {
+  std::string q;
+  if (rng->Bernoulli(0.3)) q += "//doc";
+  q += "//" + Pick(profile.tags, rng) + "[about(., " + terms + ")]";
+  return q;
+}
+
+}  // namespace
+
+StreamProfile DeepRecursionProfile() {
+  StreamProfile p;
+  p.tags = {"r0", "r1", "leaf"};
+  p.hot_terms = {"spire", "ladder"};
+  p.cold_terms = {"bedrock"};
+  return p;
+}
+
+StreamProfile WideFanoutProfile() {
+  StreamProfile p;
+  p.tags = {"item", "title"};
+  p.hot_terms = {"ribbon", "spoke"};
+  p.cold_terms = {"cotter"};
+  return p;
+}
+
+StreamProfile ZipfSkewProfile() {
+  StreamProfile p;
+  p.tags = {"t0", "t1", "head"};
+  p.hot_terms = {"magma", "basalt"};
+  p.cold_terms = {"geyser", "fumarole"};
+  return p;
+}
+
+StreamProfile NearDuplicateProfile() {
+  StreamProfile p;
+  p.tags = {"sec", "doc"};
+  p.hot_terms = {"stencil", "carbon"};
+  p.cold_terms = {"vellum"};
+  return p;
+}
+
+// ---------------------------------------------------------------------
+// Phrase-heavy.
+
+PhraseHeavyStream::PhraseHeavyStream(StreamProfile profile, uint64_t seed,
+                                     PhraseHeavyOptions options)
+    : profile_(std::move(profile)),
+      options_(options),
+      rng_(DocumentRng(seed, kZooStreamTag + 1, 0)) {
+  assert(!profile_.tags.empty());
+  if (options_.min_terms < 1) options_.min_terms = 1;
+  if (options_.max_terms < options_.min_terms) {
+    options_.max_terms = options_.min_terms;
+  }
+}
+
+ZooQuery PhraseHeavyStream::Next() {
+  const size_t terms =
+      rng_.UniformRange(options_.min_terms, options_.max_terms);
+  std::string body;
+  for (size_t i = 0; i < terms; ++i) {
+    if (i > 0) body.push_back(' ');
+    if (rng_.Bernoulli(options_.phrase_fraction)) {
+      // 2-3 word phrase anchored on a hot or background word; phrase
+      // decomposition turns each into a multi-term conjunction.
+      const size_t len = rng_.UniformRange(2, 3);
+      std::string phrase = SimpleTerm(profile_, &rng_);
+      for (size_t w = 1; w < len; ++w) {
+        phrase += " " + Background(profile_, &rng_);
+      }
+      body += Quote(phrase);
+    } else {
+      body += SimpleTerm(profile_, &rng_);
+    }
+  }
+  return {AboutQuery(profile_, body, &rng_), SampleK(&rng_)};
+}
+
+// ---------------------------------------------------------------------
+// Negation-heavy.
+
+NegationHeavyStream::NegationHeavyStream(StreamProfile profile, uint64_t seed,
+                                         NegationHeavyOptions options)
+    : profile_(std::move(profile)),
+      options_(options),
+      rng_(DocumentRng(seed, kZooStreamTag + 2, 0)) {
+  assert(!profile_.tags.empty());
+  if (options_.min_negated < 1) options_.min_negated = 1;
+  if (options_.max_negated < options_.min_negated) {
+    options_.max_negated = options_.min_negated;
+  }
+}
+
+ZooQuery NegationHeavyStream::Next() {
+  // One positive (often hot, so the candidate set is big) and several
+  // '-' terms — the Q292 shape: big lists, few surviving answers.
+  std::string body = "+" + SimpleTerm(profile_, &rng_);
+  const size_t negated =
+      rng_.UniformRange(options_.min_negated, options_.max_negated);
+  for (size_t i = 0; i < negated; ++i) {
+    body += " -" + Background(profile_, &rng_);
+  }
+  return {AboutQuery(profile_, body, &rng_), SampleK(&rng_)};
+}
+
+// ---------------------------------------------------------------------
+// Hot-key.
+
+HotKeyStream::HotKeyStream(StreamProfile profile, uint64_t seed,
+                           HotKeyOptions options)
+    : profile_(std::move(profile)),
+      sampler_(options.pool_size < 1 ? 1 : options.pool_size, options.theta),
+      rng_(DocumentRng(seed, kZooStreamTag + 3, 0)) {
+  assert(!profile_.tags.empty());
+  const size_t pool_size = options.pool_size < 1 ? 1 : options.pool_size;
+  pool_.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    std::string body = SimpleTerm(profile_, &rng_);
+    if (rng_.Bernoulli(0.5)) body += " " + Background(profile_, &rng_);
+    pool_.push_back({AboutQuery(profile_, body, &rng_), SampleK(&rng_)});
+  }
+}
+
+ZooQuery HotKeyStream::Next() {
+  // Zipf over a fixed pool: rank 0 dominates, so the stream repeats a
+  // handful of (nexi, k) keys — the cacheable workload.
+  return pool_[sampler_.Sample(&rng_)];
+}
+
+// ---------------------------------------------------------------------
+// Shifting-topic.
+
+ShiftingTopicStream::ShiftingTopicStream(StreamProfile profile, uint64_t seed,
+                                         ShiftingTopicOptions options)
+    : profile_(std::move(profile)),
+      options_(options),
+      rng_(DocumentRng(seed, kZooStreamTag + 4, 0)) {
+  assert(!profile_.tags.empty());
+  if (options_.pool_per_topic < 1) options_.pool_per_topic = 1;
+  // Topic pools draw from disjoint term sets (hot vs cold planted
+  // terms), so the flip retargets different (term, sid) lists.
+  auto build = [&](const std::vector<std::string>& terms,
+                   std::vector<ZooQuery>* pool) {
+    for (size_t i = 0; i < options_.pool_per_topic; ++i) {
+      std::string body = terms.empty() ? Background(profile_, &rng_)
+                                       : terms[i % terms.size()];
+      if (rng_.Bernoulli(0.5)) body += " " + Background(profile_, &rng_);
+      pool->push_back({AboutQuery(profile_, body, &rng_), SampleK(&rng_)});
+    }
+  };
+  build(profile_.hot_terms, &topic_a_);
+  build(profile_.cold_terms, &topic_b_);
+}
+
+ZooQuery ShiftingTopicStream::Next() {
+  const std::vector<ZooQuery>& pool =
+      position_ < options_.changepoint ? topic_a_ : topic_b_;
+  ++position_;
+  return pool[rng_.Uniform(pool.size())];
+}
+
+// ---------------------------------------------------------------------
+// Scenario table.
+
+namespace {
+
+template <typename Generator, typename Options>
+std::function<std::unique_ptr<DocumentGenerator>(size_t)> CorpusFactory() {
+  return [](size_t num_documents) -> std::unique_ptr<DocumentGenerator> {
+    Options o;
+    if (num_documents > 0) o.num_documents = num_documents;
+    return std::make_unique<Generator>(std::move(o));
+  };
+}
+
+template <typename Stream>
+std::function<std::unique_ptr<QueryStream>(uint64_t)> StreamFactory(
+    StreamProfile (*profile)()) {
+  return [profile](uint64_t seed) -> std::unique_ptr<QueryStream> {
+    return std::make_unique<Stream>(profile(), seed);
+  };
+}
+
+std::vector<ScenarioSpec> BuildScenarioTable() {
+  std::vector<ScenarioSpec> t;
+  auto add = [&](const char* name, const char* corpus, const char* stream,
+                 std::function<std::unique_ptr<DocumentGenerator>(size_t)> mc,
+                 std::function<std::unique_ptr<QueryStream>(uint64_t)> ms) {
+    t.push_back({name, corpus, stream, std::move(mc), std::move(ms)});
+  };
+  auto deep = CorpusFactory<DeepRecursionGenerator, DeepRecursionOptions>();
+  auto fanout = CorpusFactory<WideFanoutGenerator, WideFanoutOptions>();
+  auto skew = CorpusFactory<ZipfSkewGenerator, ZipfSkewOptions>();
+  auto neardup = CorpusFactory<NearDuplicateGenerator, NearDuplicateOptions>();
+
+  // Each corpus twice, each stream twice: the pairings put each stream
+  // where it bites hardest (hot_key on the skewed-list corpus, phrases
+  // on deep towers and wide sibling runs, negation where candidate sets
+  // are big, shifting topics where the advisor has lists worth moving).
+  add("deep_phrase", "deep_recursion", "phrase_heavy", deep,
+      StreamFactory<PhraseHeavyStream>(&DeepRecursionProfile));
+  add("deep_negation", "deep_recursion", "negation_heavy", deep,
+      StreamFactory<NegationHeavyStream>(&DeepRecursionProfile));
+  add("fanout_phrase", "wide_fanout", "phrase_heavy", fanout,
+      StreamFactory<PhraseHeavyStream>(&WideFanoutProfile));
+  add("fanout_hotkey", "wide_fanout", "hot_key", fanout,
+      StreamFactory<HotKeyStream>(&WideFanoutProfile));
+  add("skew_hotkey", "zipf_skew", "hot_key", skew,
+      StreamFactory<HotKeyStream>(&ZipfSkewProfile));
+  add("skew_shift", "zipf_skew", "shifting_topic", skew,
+      StreamFactory<ShiftingTopicStream>(&ZipfSkewProfile));
+  add("neardup_negation", "near_duplicate", "negation_heavy", neardup,
+      StreamFactory<NegationHeavyStream>(&NearDuplicateProfile));
+  add("neardup_shift", "near_duplicate", "shifting_topic", neardup,
+      StreamFactory<ShiftingTopicStream>(&NearDuplicateProfile));
+  return t;
+}
+
+}  // namespace
+
+const std::vector<ScenarioSpec>& ScenarioTable() {
+  static const std::vector<ScenarioSpec>* table =
+      new std::vector<ScenarioSpec>(BuildScenarioTable());
+  return *table;
+}
+
+const ScenarioSpec* FindScenario(const std::string& name) {
+  for (const ScenarioSpec& s : ScenarioTable()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace trex

@@ -1,0 +1,194 @@
+// Query-workload zoo (ROADMAP item 5): named, seedable NEXI query
+// streams paired with corpora into benchmark scenarios.
+//
+// Every future optimization is validated across this zoo rather than
+// one friendly distribution: a stream is a deterministic sequence of
+// (nexi, k) pairs whose *shape* stresses one subsystem —
+//
+//   phrase_heavy    mostly quoted phrases (multi-term conjunctions
+//                   after phrase decomposition; wide TA frontiers);
+//   negation_heavy  one positive term plus several '-' excluded terms
+//                   (negative weights, Q292-style "few answers under
+//                   big lists");
+//   hot_key         a small query pool sampled with Zipf skew — the
+//                   cacheable stream (hot (nexi, k) repeats dominate;
+//                   the workload sketch and any result cache to come
+//                   should converge on the head);
+//   shifting_topic  topic A's pool before a changepoint, topic B's
+//                   after — the adaptation stream bench_workload_shift
+//                   drives the advisor with.
+//
+// A ScenarioSpec binds one adversarial corpus generator to one stream
+// under a stable name ("skew_hotkey", ...); ScenarioTable() is the
+// source of truth bench_suite --scenario=<name>, the committed
+// bench/BENCH_baseline_<name>.json files and scripts/check.sh --zoo all
+// key off. See DESIGN.md §13 for the naming scheme and how to add one.
+#ifndef TREX_CORPUS_WORKLOAD_ZOO_H_
+#define TREX_CORPUS_WORKLOAD_ZOO_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "corpus/corpus.h"
+
+namespace trex {
+
+struct ZooQuery {
+  std::string nexi;
+  size_t k = 10;
+
+  friend bool operator==(const ZooQuery& a, const ZooQuery& b) {
+    return a.nexi == b.nexi && a.k == b.k;
+  }
+};
+
+// A deterministic stream of queries: same (options, seed) -> same
+// sequence, independent of how many are drawn.
+class QueryStream {
+ public:
+  virtual ~QueryStream() = default;
+  virtual ZooQuery Next() = 0;
+  virtual const char* name() const = 0;
+
+  // Convenience: the next n queries.
+  std::vector<ZooQuery> Take(size_t n) {
+    std::vector<ZooQuery> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) out.push_back(Next());
+    return out;
+  }
+};
+
+// What a stream needs to know about the corpus it runs against: which
+// tags exist and which planted terms are hot/cold. Background words are
+// Vocabulary ranks (shared with the generators, so they really occur).
+struct StreamProfile {
+  std::vector<std::string> tags;        // Tag tests to target.
+  std::vector<std::string> hot_terms;   // Frequent planted terms.
+  std::vector<std::string> cold_terms;  // Rare planted terms.
+  // Background words are WordForRank(r) for r in [0, background_ranks).
+  size_t background_ranks = 40;
+};
+
+// Profiles matching the four adversarial generators' default options.
+StreamProfile DeepRecursionProfile();
+StreamProfile WideFanoutProfile();
+StreamProfile ZipfSkewProfile();
+StreamProfile NearDuplicateProfile();
+
+// ---------------------------------------------------------------------
+// Streams.
+
+struct PhraseHeavyOptions {
+  double phrase_fraction = 0.8;  // P(term is a quoted phrase).
+  size_t min_terms = 1, max_terms = 3;
+};
+
+class PhraseHeavyStream : public QueryStream {
+ public:
+  PhraseHeavyStream(StreamProfile profile, uint64_t seed,
+                    PhraseHeavyOptions options = {});
+  ZooQuery Next() override;
+  const char* name() const override { return "phrase_heavy"; }
+
+ private:
+  StreamProfile profile_;
+  PhraseHeavyOptions options_;
+  Rng rng_;
+};
+
+struct NegationHeavyOptions {
+  size_t min_negated = 2, max_negated = 4;
+};
+
+class NegationHeavyStream : public QueryStream {
+ public:
+  NegationHeavyStream(StreamProfile profile, uint64_t seed,
+                      NegationHeavyOptions options = {});
+  ZooQuery Next() override;
+  const char* name() const override { return "negation_heavy"; }
+
+ private:
+  StreamProfile profile_;
+  NegationHeavyOptions options_;
+  Rng rng_;
+};
+
+struct HotKeyOptions {
+  size_t pool_size = 12;  // Distinct (nexi, k) pairs.
+  double theta = 1.2;     // Zipf skew over the pool.
+};
+
+class HotKeyStream : public QueryStream {
+ public:
+  HotKeyStream(StreamProfile profile, uint64_t seed,
+               HotKeyOptions options = {});
+  ZooQuery Next() override;
+  const char* name() const override { return "hot_key"; }
+
+  // The fixed pool, rank 0 hottest (tests assert the observed top-1
+  // frequency matches the Zipf head).
+  const std::vector<ZooQuery>& pool() const { return pool_; }
+
+ private:
+  StreamProfile profile_;
+  std::vector<ZooQuery> pool_;
+  ZipfSampler sampler_;
+  Rng rng_;
+};
+
+struct ShiftingTopicOptions {
+  size_t changepoint = 64;   // Queries before the topic flips.
+  size_t pool_per_topic = 4; // Distinct queries per topic.
+};
+
+class ShiftingTopicStream : public QueryStream {
+ public:
+  // Topic A draws from the profile's hot terms, topic B from its cold
+  // terms, so the shift moves the workload onto different posting
+  // lists (what the advisor has to chase).
+  ShiftingTopicStream(StreamProfile profile, uint64_t seed,
+                      ShiftingTopicOptions options = {});
+  ZooQuery Next() override;
+  const char* name() const override { return "shifting_topic"; }
+
+  size_t changepoint() const { return options_.changepoint; }
+  size_t position() const { return position_; }
+  const std::vector<ZooQuery>& topic_a() const { return topic_a_; }
+  const std::vector<ZooQuery>& topic_b() const { return topic_b_; }
+
+ private:
+  StreamProfile profile_;
+  ShiftingTopicOptions options_;
+  std::vector<ZooQuery> topic_a_, topic_b_;
+  Rng rng_;
+  size_t position_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Scenario table.
+
+struct ScenarioSpec {
+  std::string name;    // "deep_phrase", "skew_hotkey", ...
+  std::string corpus;  // Generator family name.
+  std::string stream;  // Stream family name.
+  // Builds the corpus generator (seed fixed by the scenario; docs
+  // scales the corpus the way bench knobs do).
+  std::function<std::unique_ptr<DocumentGenerator>(size_t num_documents)>
+      make_corpus;
+  std::function<std::unique_ptr<QueryStream>(uint64_t seed)> make_stream;
+};
+
+// All eight named scenarios: each adversarial corpus appears twice,
+// each stream appears twice.
+const std::vector<ScenarioSpec>& ScenarioTable();
+
+// Null when `name` is not in the table.
+const ScenarioSpec* FindScenario(const std::string& name);
+
+}  // namespace trex
+
+#endif  // TREX_CORPUS_WORKLOAD_ZOO_H_

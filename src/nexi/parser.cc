@@ -6,6 +6,11 @@ namespace trex {
 
 namespace {
 
+// Predicate parens are the grammar's only unbounded recursion (and the
+// parsed tree is torn down recursively too); a hostile "((((..." query
+// must become InvalidArgument, not a stack overflow.
+constexpr int kMaxPredicateDepth = 64;
+
 class Parser {
  public:
   explicit Parser(std::vector<NexiToken> tokens)
@@ -137,7 +142,12 @@ class Parser {
 
   Result<std::unique_ptr<PredicateExpr>> ParsePrimary() {
     if (Accept(NexiTokenType::kLParen)) {
+      if (++depth_ > kMaxPredicateDepth) {
+        return Error("predicate nesting exceeds " +
+                     std::to_string(kMaxPredicateDepth) + " levels");
+      }
       auto inner = ParseOrExpr();
+      --depth_;
       if (!inner.ok()) return inner.status();
       TREX_RETURN_IF_ERROR(Expect(NexiTokenType::kRParen));
       return inner;
@@ -188,6 +198,7 @@ class Parser {
 
   std::vector<NexiToken> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;  // Open predicate parens.
 };
 
 }  // namespace

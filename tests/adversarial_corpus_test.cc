@@ -1,0 +1,251 @@
+// Property tests for the adversarial corpus generators (ctest label:
+// zoo): each generator's hostile axis — depth, fan-out, skew,
+// duplication — is measured on generated documents and checked against
+// the bounds its options declare, and every generator is deterministic
+// from (options, docid).
+#include <map>
+#include <string>
+#include <vector>
+
+#include "corpus/adversarial.h"
+#include "gtest/gtest.h"
+#include "xml/node.h"
+#include "xml/reader.h"
+
+namespace trex {
+namespace {
+
+// Splits the concatenated <sec>/spine text of a document into tokens.
+std::vector<std::string> TextTokens(const XmlNode& node) {
+  std::vector<std::string> tokens;
+  std::string text = node.TextContent();
+  std::string cur;
+  for (char c : text) {
+    if (c == ' ' || c == '\n' || c == '\t') {
+      if (!cur.empty()) tokens.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  return tokens;
+}
+
+// ---------------------------------------------------------------------
+// Deep recursion.
+
+// Walks the r*/leaf spine and returns the number of r-levels.
+size_t SpineDepth(const XmlNode& doc) {
+  const XmlNode* node = &doc;
+  size_t depth = 0;
+  while (true) {
+    const XmlNode* next = nullptr;
+    for (const auto& c : node->children()) {
+      if (c->is_element() && !c->tag().empty() && c->tag()[0] == 'r') {
+        next = c.get();
+        break;
+      }
+    }
+    if (next == nullptr) break;
+    ++depth;
+    node = next;
+  }
+  return depth;
+}
+
+TEST(DeepRecursionGenerator, DepthStaysWithinDeclaredBounds) {
+  DeepRecursionOptions options;
+  options.num_documents = 30;
+  options.min_depth = 20;
+  options.max_depth = 90;
+  DeepRecursionGenerator gen(options);
+  size_t max_seen = 0, min_seen = SIZE_MAX;
+  for (DocId d = 0; d < 30; ++d) {
+    auto doc = ParseXmlDocument(gen.Generate(d));
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    EXPECT_EQ(doc.value()->tag(), "doc");
+    const size_t depth = SpineDepth(*doc.value());
+    EXPECT_GE(depth, options.min_depth);
+    EXPECT_LE(depth, options.max_depth);
+    min_seen = std::min(min_seen, depth);
+    max_seen = std::max(max_seen, depth);
+  }
+  // The uniform draw actually uses the range, not one fixed depth.
+  EXPECT_GT(max_seen, min_seen + 10);
+}
+
+TEST(DeepRecursionGenerator, DeterministicAndSeedSensitive) {
+  DeepRecursionOptions options;
+  options.num_documents = 4;
+  DeepRecursionGenerator a(options), b(options);
+  for (DocId d = 0; d < 4; ++d) EXPECT_EQ(a.Generate(d), b.Generate(d));
+  EXPECT_NE(a.Generate(0), a.Generate(1));
+  options.seed = 999;
+  DeepRecursionGenerator c(options);
+  EXPECT_NE(a.Generate(0), c.Generate(0));
+}
+
+TEST(DeepRecursionGenerator, PlantsHotTermAtDeclaredDocRate) {
+  DeepRecursionOptions options;
+  options.num_documents = 100;
+  DeepRecursionGenerator gen(options);
+  size_t with_spire = 0, with_bedrock = 0;
+  for (DocId d = 0; d < 100; ++d) {
+    const std::string doc = gen.Generate(d);
+    if (doc.find("spire") != std::string::npos) ++with_spire;
+    if (doc.find("bedrock") != std::string::npos) ++with_bedrock;
+  }
+  // doc probabilities: spire 0.80, bedrock 0.04 (loose binomial bands).
+  EXPECT_GT(with_spire, 60u);
+  EXPECT_LT(with_bedrock, 20u);
+  EXPECT_GT(with_spire, with_bedrock * 3);
+}
+
+// ---------------------------------------------------------------------
+// Huge fan-out.
+
+TEST(WideFanoutGenerator, SiblingCountStaysWithinDeclaredBounds) {
+  WideFanoutOptions options;
+  options.num_documents = 10;
+  options.min_children = 50;
+  options.max_children = 150;
+  WideFanoutGenerator gen(options);
+  size_t max_seen = 0, min_seen = SIZE_MAX;
+  for (DocId d = 0; d < 10; ++d) {
+    auto doc = ParseXmlDocument(gen.Generate(d));
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    const XmlNode* list = doc.value()->FindChild("list");
+    ASSERT_NE(list, nullptr);
+    size_t items = 0;
+    for (const auto& c : list->children()) {
+      if (c->is_element()) {
+        EXPECT_EQ(c->tag(), "item");
+        ++items;
+      }
+    }
+    EXPECT_GE(items, options.min_children);
+    EXPECT_LE(items, options.max_children);
+    min_seen = std::min(min_seen, items);
+    max_seen = std::max(max_seen, items);
+  }
+  EXPECT_GT(max_seen, min_seen);
+}
+
+TEST(WideFanoutGenerator, DeterministicAndSeedSensitive) {
+  WideFanoutOptions options;
+  options.num_documents = 3;
+  options.min_children = 20;
+  options.max_children = 40;
+  WideFanoutGenerator a(options), b(options);
+  for (DocId d = 0; d < 3; ++d) EXPECT_EQ(a.Generate(d), b.Generate(d));
+  options.seed = 999;
+  WideFanoutGenerator c(options);
+  EXPECT_NE(a.Generate(0), c.Generate(0));
+}
+
+// ---------------------------------------------------------------------
+// Skewed tag/term Zipf.
+
+TEST(ZipfSkewGenerator, TagAndTermDistributionsAreSkewed) {
+  ZipfSkewOptions options;
+  options.num_documents = 80;
+  ZipfSkewGenerator gen(options);
+  std::map<std::string, size_t> tag_counts;
+  size_t with_magma = 0, with_fumarole = 0;
+  for (DocId d = 0; d < 80; ++d) {
+    const std::string raw = gen.Generate(d);
+    auto doc = ParseXmlDocument(raw);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    for (const auto& c : doc.value()->children()) {
+      if (c->is_element()) ++tag_counts[c->tag()];
+    }
+    if (raw.find("magma") != std::string::npos) ++with_magma;
+    if (raw.find("fumarole") != std::string::npos) ++with_fumarole;
+  }
+  // Zipf over tags: t0 owns several times the extents of the tail.
+  EXPECT_GT(tag_counts["t0"], 0u);
+  EXPECT_GT(tag_counts["t0"], tag_counts["t5"] * 3);
+  // Hot term in ~90% of documents, cold term in ~2%.
+  EXPECT_GT(with_magma, 56u);
+  EXPECT_LT(with_fumarole, 16u);
+  EXPECT_GT(with_magma, with_fumarole * 3);
+}
+
+TEST(ZipfSkewGenerator, DeterministicAndSeedSensitive) {
+  ZipfSkewOptions options;
+  options.num_documents = 3;
+  ZipfSkewGenerator a(options), b(options);
+  for (DocId d = 0; d < 3; ++d) EXPECT_EQ(a.Generate(d), b.Generate(d));
+  options.seed = 999;
+  ZipfSkewGenerator c(options);
+  EXPECT_NE(a.Generate(0), c.Generate(0));
+}
+
+// ---------------------------------------------------------------------
+// Near-duplicate documents.
+
+// Fraction of positions where the two token vectors agree.
+double TokenOverlap(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  size_t same = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] == b[i]) ++same;
+  }
+  return static_cast<double>(same) / static_cast<double>(n);
+}
+
+TEST(NearDuplicateGenerator, ClonesOfOnePrototypeNearlyCoincide) {
+  NearDuplicateOptions options;
+  options.num_documents = 30;
+  options.num_prototypes = 6;
+  NearDuplicateGenerator gen(options);
+  for (DocId d = 0; d < 6; ++d) {
+    ASSERT_EQ(gen.PrototypeFor(d), gen.PrototypeFor(d + 6));
+    auto doc_a = ParseXmlDocument(gen.Generate(d));
+    auto doc_b = ParseXmlDocument(gen.Generate(d + 6));
+    ASSERT_TRUE(doc_a.ok());
+    ASSERT_TRUE(doc_b.ok());
+    const double same_proto =
+        TokenOverlap(TextTokens(*doc_a.value()), TextTokens(*doc_b.value()));
+    // Both clones mutate ~2% of tokens independently: >= ~96% overlap
+    // expected; 0.90 leaves room for unlucky draws.
+    EXPECT_GT(same_proto, 0.90) << "docids " << d << " vs " << d + 6;
+
+    auto doc_c = ParseXmlDocument(gen.Generate(d + 1));  // Other prototype.
+    ASSERT_TRUE(doc_c.ok());
+    const double cross_proto =
+        TokenOverlap(TextTokens(*doc_a.value()), TextTokens(*doc_c.value()));
+    EXPECT_LT(cross_proto, 0.60) << "docids " << d << " vs " << d + 1;
+    EXPECT_GT(same_proto, cross_proto);
+  }
+}
+
+TEST(NearDuplicateGenerator, DeterministicAndSeedSensitive) {
+  NearDuplicateOptions options;
+  options.num_documents = 4;
+  NearDuplicateGenerator a(options), b(options);
+  for (DocId d = 0; d < 4; ++d) EXPECT_EQ(a.Generate(d), b.Generate(d));
+  options.seed = 999;
+  NearDuplicateGenerator c(options);
+  EXPECT_NE(a.Generate(0), c.Generate(0));
+}
+
+TEST(NearDuplicateGenerator, MutationRateZeroMakesExactClones) {
+  NearDuplicateOptions options;
+  options.num_documents = 8;
+  options.num_prototypes = 2;
+  options.mutation_rate = 0.0;
+  NearDuplicateGenerator gen(options);
+  // Same prototype, zero mutations: text coincides exactly (ids differ).
+  auto a = ParseXmlDocument(gen.Generate(0));
+  auto b = ParseXmlDocument(gen.Generate(2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value()->TextContent(), b.value()->TextContent());
+}
+
+}  // namespace
+}  // namespace trex

@@ -24,7 +24,9 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "corpus/adversarial.h"
 #include "corpus/ieee_generator.h"
+#include "corpus/workload_zoo.h"
 #include "gtest/gtest.h"
 #include "obs/metrics.h"
 #include "retrieval/materializer.h"
@@ -332,6 +334,107 @@ TEST_F(ChaosTest, RandomizedFaultAndLoadSchedules) {
   auto reopened =
       TReX::Open(dir_ + "/idx", IeeeOptions(), RecoveryMode::kRepair,
                  &report);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_FALSE(report.ran) << report.ToString();
+  EXPECT_TRUE(reopened.value()->index()->DeepVerify().ok());
+}
+
+// The same invariant over the hostile corpus: pathologically deep
+// documents (the zoo's deep-recursion generator) served a zoo stream
+// under transient faults, slow reads, tight deadlines and page budgets.
+// Deep spines mean long extent chains and deep result paths; aborting
+// mid-descent must stay exactly as clean as on the friendly corpus.
+TEST_F(ChaosTest, DeepRecursionCorpusAbortsStayClean) {
+  DeepRecursionOptions gen_options;
+  gen_options.num_documents = 24;
+  {
+    DeepRecursionGenerator gen(gen_options);
+    auto built = TReX::Build(dir_ + "/idx", gen);
+    TREX_CHECK_OK(built.status());
+    TREX_CHECK_OK(built.value()->index()->Flush());
+  }
+
+  FaultInjectingEnv fenv;
+  Env::Swap(&fenv);
+  auto opened = TReX::Open(dir_ + "/idx", {}, OpenMode::kReadShared);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<TReX> trex = std::move(opened).value();
+  fenv.plan().transient_read_every = 7;
+  fenv.plan().slow_read_every = 13;
+  fenv.plan().slow_read_micros = 200;
+
+  // Queries from the deep-recursion zoo streams, so the workload shape
+  // matches what bench_suite's deep_* scenarios serve.
+  std::vector<ZooQuery> jobs =
+      PhraseHeavyStream(DeepRecursionProfile(), 31).Take(20);
+  {
+    auto negated = NegationHeavyStream(DeepRecursionProfile(), 32).Take(20);
+    jobs.insert(jobs.end(), negated.begin(), negated.end());
+  }
+
+  constexpr int kSubmitters = 3;
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> deadline{0};
+  std::atomic<uint64_t> budget{0};
+  std::atomic<uint64_t> bad_status{0};
+  {
+    QueryExecutorOptions bounds;
+    bounds.max_queue_depth = 12;
+    bounds.max_in_flight_cost = 16;
+    QueryExecutor executor(trex.get(), 4, bounds);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kSubmitters; ++t) {
+      threads.emplace_back([&, t] {
+        std::mt19937 rng(0xdee9 + static_cast<unsigned>(t));
+        std::vector<std::future<Result<QueryAnswer>>> futures;
+        futures.reserve(jobs.size());
+        for (size_t i = 0; i < jobs.size(); ++i) {
+          QueryOptions qo;
+          switch (rng() % 3) {
+            case 0:
+              break;  // No deadline.
+            case 1:
+              qo.deadline = Deadline::After(5);
+              break;
+            default:
+              qo.deadline = Deadline::After(20);
+          }
+          if (rng() % 4 == 0) qo.budget.max_pages = 8;
+          qo.admission_cost = 1 + rng() % 3;
+          const ZooQuery& q = jobs[rng() % jobs.size()];
+          futures.push_back(executor.Submit(q.nexi, q.k, qo));
+        }
+        for (auto& f : futures) {
+          const Status s = f.get().status();
+          if (s.ok()) {
+            ++ok;
+          } else if (s.IsOverloaded()) {
+            ++shed;
+          } else if (s.IsDeadlineExceeded()) {
+            ++deadline;
+          } else if (s.IsResourceExhausted()) {
+            ++budget;
+          } else {
+            ++bad_status;
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  const uint64_t resolved = ok + shed + deadline + budget + bad_status;
+  EXPECT_EQ(resolved, static_cast<uint64_t>(kSubmitters) * jobs.size());
+  EXPECT_EQ(bad_status.load(), 0u);
+  EXPECT_GT(ok.load(), 0u);
+
+  trex.reset();
+  fenv.plan() = FaultPlan{};
+  Env::Swap(nullptr);
+  RecoveryReport report;
+  auto reopened =
+      TReX::Open(dir_ + "/idx", {}, RecoveryMode::kRepair, &report);
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_FALSE(report.ran) << report.ToString();
   EXPECT_TRUE(reopened.value()->index()->DeepVerify().ok());

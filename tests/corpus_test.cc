@@ -146,5 +146,31 @@ TEST(CorpusStore, WriteAndReadBack) {
   std::filesystem::remove_all(dir);
 }
 
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Pins the generators' byte streams: Generate(docid) under default
+// options must stay byte-for-byte what it was when the per-document RNG
+// derivation (DocumentRng) landed. Committed bench baselines and golden
+// query answers silently shift if these hashes move — if a generator
+// change is intentional, re-pin the hashes AND regenerate the
+// bench/BENCH_baseline_*.json files in the same commit.
+TEST(CorpusGolden, DefaultByteStreamsArePinned) {
+  IeeeGenerator ieee({});
+  WikiGenerator wiki({});
+  const uint64_t ieee_hash =
+      Fnv1a(ieee.Generate(0) + ieee.Generate(1) + ieee.Generate(2));
+  const uint64_t wiki_hash =
+      Fnv1a(wiki.Generate(0) + wiki.Generate(1) + wiki.Generate(2));
+  EXPECT_EQ(ieee_hash, 7039418491686771957ull);
+  EXPECT_EQ(wiki_hash, 17833054104261713352ull);
+}
+
 }  // namespace
 }  // namespace trex

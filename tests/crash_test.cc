@@ -378,7 +378,14 @@ TEST(CrashMatrixTest, BuildInterruptedAtWriteStride) {
 TEST(CrashMatrixTest, UpdateInterruptedAtWriteStride) {
   std::string base = TestDir("update_matrix");
   IeeeGenerator gen = SmallCorpus();
-  const std::string new_doc = gen.Generate(6);
+  // A crafted update saturated with kQuery's terms: the post-update
+  // top-k MUST differ from the pre-update one no matter how the
+  // generator's byte stream evolves (corpus_test pins that stream, but
+  // this test's invariant should not depend on doc 6 ranking for
+  // kQuery by luck).
+  const std::string new_doc =
+      "<article><sec>ontologies case study ontologies case study "
+      "ontologies case study ontologies case study</sec></article>";
 
   // Pre-update golden, with redundant lists materialized so the update's
   // list invalidation is part of the crash surface.

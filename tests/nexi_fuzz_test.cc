@@ -1,0 +1,330 @@
+// NEXI fuzzing (modeled on xml_fuzz_test): every byte sequence thrown
+// at the query pipeline must come back as a clean status, never a
+// crash, hang, or sanitizer report.
+//
+//  * grammar-valid queries (drawn from a generator that walks the CO+S
+//    grammar) always parse, and printing the AST is a fixpoint:
+//    print(parse(print(parse(q)))) == print(parse(q));
+//  * byte-level mutations of valid queries and fully random byte
+//    strings parse or fail with InvalidArgument — including hostile
+//    "((((..." nesting, which the parser's depth guard must reject
+//    rather than overflow the stack on;
+//  * whatever parses is pushed on through translate -> evaluate against
+//    a small adversarial index under a per-query deadline and budget;
+//    the only acceptable outcomes are OK, InvalidArgument,
+//    ResourceExhausted and DeadlineExceeded.
+//
+// Iteration count is TREX_NEXI_FUZZ_ITERS (default 300 for ctest;
+// scripts/check.sh --zoo raises it to 10000 under ASan/UBSan).
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "corpus/adversarial.h"
+#include "gtest/gtest.h"
+#include "nexi/parser.h"
+#include "testutil.h"
+#include "trex/trex.h"
+
+namespace trex {
+namespace {
+
+size_t FuzzIters(size_t dflt) {
+  const char* v = std::getenv("TREX_NEXI_FUZZ_ITERS");
+  if (v == nullptr) return dflt;
+  const long long n = std::atoll(v);
+  return n < 1 ? dflt : static_cast<size_t>(n);
+}
+
+// ---------------------------------------------------------------------
+// Grammar-valid query generation.
+
+std::string RandomWord(Rng* rng) {
+  // Tags and terms that exist in the fuzz index, words that stem or
+  // stop away, and arbitrary identifiers.
+  static const char* kWords[] = {
+      "magma", "basalt",  "geyser", "fumarole", "head", "t0",
+      "t1",    "doc",     "the",    "of",       "and",  "or",
+      "about", "running", "xyzzy",  "q",        "a1_b",
+  };
+  if (rng->Bernoulli(0.8)) {
+    return kWords[rng->Uniform(sizeof(kWords) / sizeof(kWords[0]))];
+  }
+  std::string w;
+  const size_t len = 1 + rng->Uniform(6);
+  for (size_t i = 0; i < len; ++i) {
+    w.push_back(static_cast<char>('a' + rng->Uniform(26)));
+  }
+  return w;
+}
+
+std::string RandomTest(Rng* rng) {
+  const uint64_t pick = rng->Uniform(10);
+  if (pick == 0) return "*";
+  if (pick == 1) {
+    std::string alt = "(" + RandomWord(rng);
+    const size_t extra = 1 + rng->Uniform(2);
+    for (size_t i = 0; i < extra; ++i) alt += "|" + RandomWord(rng);
+    return alt + ")";
+  }
+  return RandomWord(rng);
+}
+
+std::string RandomAxis(Rng* rng) {
+  return rng->Bernoulli(0.7) ? "//" : "/";
+}
+
+std::string RandomAbout(Rng* rng) {
+  std::string s = "about(.";
+  const size_t rel_steps = rng->Uniform(3);
+  for (size_t i = 0; i < rel_steps; ++i) {
+    s += RandomAxis(rng) + RandomTest(rng);
+  }
+  s += ", ";
+  const size_t terms = 1 + rng->Uniform(4);
+  for (size_t i = 0; i < terms; ++i) {
+    if (i > 0) s.push_back(' ');
+    const uint64_t mod = rng->Uniform(5);
+    if (mod == 0) s.push_back('+');
+    if (mod == 1) s.push_back('-');
+    if (rng->Bernoulli(0.3)) {
+      s += "\"" + RandomWord(rng) + " " + RandomWord(rng) + "\"";
+    } else {
+      s += RandomWord(rng);
+    }
+  }
+  return s + ")";
+}
+
+std::string RandomPredicate(Rng* rng, int depth) {
+  if (depth > 3 || rng->Bernoulli(0.5)) return RandomAbout(rng);
+  const std::string lhs = RandomPredicate(rng, depth + 1);
+  const std::string rhs = RandomPredicate(rng, depth + 1);
+  const char* op = rng->Bernoulli(0.5) ? " and " : " or ";
+  std::string expr = lhs + op + rhs;
+  if (rng->Bernoulli(0.4)) return "(" + expr + ")";
+  return expr;
+}
+
+std::string RandomGrammarQuery(Rng* rng) {
+  std::string q;
+  const size_t steps = 1 + rng->Uniform(3);
+  for (size_t i = 0; i < steps; ++i) {
+    q += RandomAxis(rng) + RandomTest(rng);
+    if (rng->Bernoulli(0.7)) {
+      q += "[" + RandomPredicate(rng, 0) + "]";
+    }
+  }
+  return q;
+}
+
+// ---------------------------------------------------------------------
+// AST printer (the fixpoint side of parse-print-reparse).
+
+std::string PrintTest(const std::string& label) {
+  if (label.find('|') != std::string::npos) return "(" + label + ")";
+  return label;
+}
+
+std::string PrintPathStep(const PathStep& step) {
+  return (step.axis == Axis::kDescendant ? "//" : "/") +
+         PrintTest(step.label);
+}
+
+std::string PrintAbout(const AboutClause& about) {
+  std::string s = "about(.";
+  for (const PathStep& step : about.relative_path) {
+    s += PrintPathStep(step);
+  }
+  s += ", ";
+  for (size_t i = 0; i < about.terms.size(); ++i) {
+    if (i > 0) s.push_back(' ');
+    const QueryTerm& t = about.terms[i];
+    if (t.modifier == QueryTerm::Modifier::kRequired) s.push_back('+');
+    if (t.modifier == QueryTerm::Modifier::kExcluded) s.push_back('-');
+    if (t.is_phrase) {
+      s += "\"" + t.text + "\"";
+    } else {
+      s += t.text;
+    }
+  }
+  return s + ")";
+}
+
+// Parenthesization rule: a left operand needs parens only when its
+// precedence is lower than the parent's (an `or` under an `and`); a
+// right operand needs them whenever it is compound (the parser builds
+// left-deep trees, so a bare right-hand "b and c" would re-associate).
+// Under this rule parse(print(t)) == t, which makes print a fixpoint.
+std::string PrintExpr(const PredicateExpr& e) {
+  if (e.kind == PredicateExpr::Kind::kAbout) return PrintAbout(e.about);
+  const char* op = e.kind == PredicateExpr::Kind::kAnd ? " and " : " or ";
+  std::string lhs = PrintExpr(*e.lhs);
+  if (e.kind == PredicateExpr::Kind::kAnd &&
+      e.lhs->kind == PredicateExpr::Kind::kOr) {
+    lhs = "(" + lhs + ")";
+  }
+  std::string rhs = PrintExpr(*e.rhs);
+  if (e.rhs->kind != PredicateExpr::Kind::kAbout) {
+    rhs = "(" + rhs + ")";
+  }
+  return lhs + op + rhs;
+}
+
+std::string PrintQuery(const NexiQuery& q) {
+  std::string s;
+  for (const NexiStep& step : q.steps) {
+    s += PrintPathStep(step.path_step);
+    if (step.predicate != nullptr) {
+      s += "[" + PrintExpr(*step.predicate) + "]";
+    }
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------
+// Tests.
+
+TEST(NexiFuzz, GrammarValidQueriesParseAndPrintIsFixpoint) {
+  Rng rng(90125);
+  const size_t iters = FuzzIters(300);
+  for (size_t i = 0; i < iters; ++i) {
+    const std::string q = RandomGrammarQuery(&rng);
+    auto parsed = ParseNexi(q);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << q;
+    const std::string printed = PrintQuery(parsed.value());
+    auto reparsed = ParseNexi(printed);
+    ASSERT_TRUE(reparsed.ok())
+        << reparsed.status().ToString() << "\noriginal: " << q
+        << "\nprinted:  " << printed;
+    EXPECT_EQ(printed, PrintQuery(reparsed.value())) << "original: " << q;
+  }
+}
+
+TEST(NexiFuzz, DepthGuardRejectsHostileNesting) {
+  // Past the guard: a clean InvalidArgument, not a stack overflow.
+  std::string deep = "//a[";
+  for (int i = 0; i < 4000; ++i) deep.push_back('(');
+  deep += "about(., x)";
+  for (int i = 0; i < 4000; ++i) deep.push_back(')');
+  deep += "]";
+  auto status = ParseNexi(deep);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.status().IsInvalidArgument())
+      << status.status().ToString();
+
+  // Well under the guard still parses.
+  std::string shallow = "//a[";
+  for (int i = 0; i < 16; ++i) shallow.push_back('(');
+  shallow += "about(., x)";
+  for (int i = 0; i < 16; ++i) shallow.push_back(')');
+  shallow += "]";
+  EXPECT_TRUE(ParseNexi(shallow).ok());
+}
+
+TEST(NexiFuzz, MutatedAndRandomInputNeverCrashesParser) {
+  Rng rng(31337);
+  const size_t iters = FuzzIters(300);
+  for (size_t i = 0; i < iters; ++i) {
+    std::string q;
+    if (rng.Bernoulli(0.7)) {
+      // Byte-mutate a grammar-valid query.
+      q = RandomGrammarQuery(&rng);
+      const size_t mutations = 1 + rng.Uniform(5);
+      for (size_t m = 0; m < mutations && !q.empty(); ++m) {
+        const size_t pos = rng.Uniform(q.size());
+        switch (rng.Uniform(3)) {
+          case 0:
+            q[pos] = static_cast<char>(rng.Uniform(256));
+            break;
+          case 1:
+            q.erase(pos, 1);
+            break;
+          case 2:
+            q.insert(pos, 1, static_cast<char>(32 + rng.Uniform(95)));
+            break;
+        }
+      }
+    } else {
+      // Fully random bytes.
+      const size_t len = rng.Uniform(80);
+      for (size_t b = 0; b < len; ++b) {
+        q.push_back(static_cast<char>(rng.Uniform(256)));
+      }
+    }
+    auto parsed = ParseNexi(q);
+    if (!parsed.ok()) {
+      EXPECT_TRUE(parsed.status().IsInvalidArgument())
+          << parsed.status().ToString();
+    } else {
+      // Whatever parses must survive printing and re-parsing too.
+      auto reparsed = ParseNexi(PrintQuery(parsed.value()));
+      EXPECT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    }
+  }
+}
+
+// Full pipeline: parse -> translate -> evaluate against a live (small,
+// adversarial) index, under a deadline and a page budget.
+class NexiPipelineFuzz : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::string(test::UniqueTestDir("nexi_fuzz"));
+    ZipfSkewOptions options;
+    options.num_documents = 15;
+    ZipfSkewGenerator gen(options);
+    auto built = TReX::Build(*dir_, gen, TrexOptions());
+    TREX_CHECK_OK(built.status());
+    trex_ = built.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete trex_;
+    trex_ = nullptr;
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  static std::string* dir_;
+  static TReX* trex_;
+};
+
+std::string* NexiPipelineFuzz::dir_ = nullptr;
+TReX* NexiPipelineFuzz::trex_ = nullptr;
+
+TEST_F(NexiPipelineFuzz, EveryInputYieldsACleanStatus) {
+  Rng rng(4096);
+  const size_t iters = FuzzIters(300);
+  for (size_t i = 0; i < iters; ++i) {
+    std::string q;
+    const uint64_t mode = rng.Uniform(10);
+    if (mode < 6) {
+      q = RandomGrammarQuery(&rng);
+    } else if (mode < 9) {
+      q = RandomGrammarQuery(&rng);
+      const size_t mutations = 1 + rng.Uniform(4);
+      for (size_t m = 0; m < mutations && !q.empty(); ++m) {
+        const size_t pos = rng.Uniform(q.size());
+        q[pos] = static_cast<char>(rng.Uniform(256));
+      }
+    } else {
+      const size_t len = rng.Uniform(60);
+      for (size_t b = 0; b < len; ++b) {
+        q.push_back(static_cast<char>(rng.Uniform(256)));
+      }
+    }
+    QueryOptions options;
+    options.deadline = Deadline::After(2000);
+    options.budget.max_pages = 100000;
+    const size_t k = 1 + rng.Uniform(20);
+    auto answer = trex_->Query(q, k, options);
+    const Status& s = answer.status();
+    EXPECT_TRUE(s.ok() || s.IsInvalidArgument() ||
+                s.IsResourceExhausted() || s.IsDeadlineExceeded())
+        << s.ToString() << "\nquery: " << q;
+  }
+}
+
+}  // namespace
+}  // namespace trex

@@ -1,0 +1,170 @@
+// Property tests for the query-workload zoo (ctest label: zoo): every
+// stream is deterministic from its seed, every generated query parses,
+// the hot-key stream's observed head frequency matches its Zipf skew,
+// the shifting-topic stream flips pools exactly at its changepoint, and
+// the scenario table stays the advertised 4-corpora x 4-streams cross.
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "corpus/workload_zoo.h"
+#include "gtest/gtest.h"
+#include "nexi/parser.h"
+#include "testutil.h"
+#include "trex/trex.h"
+
+namespace trex {
+namespace {
+
+std::vector<std::string> NexiStrings(const std::vector<ZooQuery>& qs) {
+  std::vector<std::string> out;
+  out.reserve(qs.size());
+  for (const auto& q : qs) out.push_back(q.nexi);
+  return out;
+}
+
+TEST(WorkloadZoo, EveryScenarioStreamIsDeterministicFromItsSeed) {
+  for (const ScenarioSpec& spec : ScenarioTable()) {
+    auto a = spec.make_stream(42);
+    auto b = spec.make_stream(42);
+    auto c = spec.make_stream(43);
+    const auto seq_a = a->Take(30);
+    EXPECT_EQ(seq_a, b->Take(30)) << spec.name;
+    EXPECT_NE(NexiStrings(seq_a), NexiStrings(c->Take(30))) << spec.name;
+  }
+}
+
+TEST(WorkloadZoo, EveryScenarioQueryParsesAndCarriesASaneK) {
+  for (const ScenarioSpec& spec : ScenarioTable()) {
+    auto stream = spec.make_stream(7);
+    for (const ZooQuery& q : stream->Take(40)) {
+      auto parsed = ParseNexi(q.nexi);
+      EXPECT_TRUE(parsed.ok())
+          << spec.name << ": " << q.nexi << " -> "
+          << parsed.status().ToString();
+      EXPECT_GE(q.k, 1u) << spec.name;
+      EXPECT_LE(q.k, 100u) << spec.name;
+    }
+  }
+}
+
+TEST(WorkloadZoo, PhraseHeavyStreamIsMostlyPhrases) {
+  PhraseHeavyStream stream(ZipfSkewProfile(), 11);
+  size_t with_phrase = 0;
+  const size_t n = 200;
+  for (const ZooQuery& q : stream.Take(n)) {
+    if (q.nexi.find('"') != std::string::npos) ++with_phrase;
+  }
+  // phrase_fraction defaults to 0.8 per term; at least one phrase per
+  // query should appear well over half the time.
+  EXPECT_GT(with_phrase, n * 6 / 10);
+}
+
+TEST(WorkloadZoo, NegationHeavyStreamAlwaysNegates) {
+  NegationHeavyStream stream(NearDuplicateProfile(), 12);
+  for (const ZooQuery& q : stream.Take(100)) {
+    EXPECT_NE(q.nexi.find(" -"), std::string::npos) << q.nexi;
+    EXPECT_NE(q.nexi.find('+'), std::string::npos) << q.nexi;
+  }
+}
+
+TEST(WorkloadZoo, HotKeyStreamHeadFrequencyMatchesTheZipfSkew) {
+  HotKeyStream stream(ZipfSkewProfile(), 99);
+  const std::vector<ZooQuery>& pool = stream.pool();
+  ASSERT_EQ(pool.size(), HotKeyOptions().pool_size);
+  // Pool entries must be distinct or the frequency counts below merge.
+  std::set<std::string> distinct;
+  for (const ZooQuery& q : pool) {
+    distinct.insert(q.nexi + "#" + std::to_string(q.k));
+  }
+  ASSERT_EQ(distinct.size(), pool.size());
+
+  const size_t n = 3000;
+  std::map<std::string, size_t> counts;
+  for (const ZooQuery& q : stream.Take(n)) {
+    ++counts[q.nexi + "#" + std::to_string(q.k)];
+  }
+  auto count_of = [&](size_t rank) {
+    return counts[pool[rank].nexi + "#" + std::to_string(pool[rank].k)];
+  };
+  // Every draw is from the pool.
+  size_t total = 0;
+  for (size_t r = 0; r < pool.size(); ++r) total += count_of(r);
+  EXPECT_EQ(total, n);
+  // theta=1.2 over 12 keys gives the head ~40% of the mass; rank 0 must
+  // dominate and clearly beat mid-pool ranks.
+  EXPECT_GT(count_of(0), n / 5);
+  EXPECT_GT(count_of(0), 2 * count_of(5));
+}
+
+TEST(WorkloadZoo, ShiftingTopicStreamFlipsPoolsExactlyAtTheChangepoint) {
+  ShiftingTopicStream stream(DeepRecursionProfile(), 5);
+  const size_t changepoint = stream.changepoint();
+  ASSERT_GT(changepoint, 0u);
+  std::set<std::string> pool_a, pool_b;
+  for (const ZooQuery& q : stream.topic_a()) pool_a.insert(q.nexi);
+  for (const ZooQuery& q : stream.topic_b()) pool_b.insert(q.nexi);
+  // The topics target different posting lists, so their pools must not
+  // overlap (else the advisor would have nothing to chase).
+  for (const std::string& q : pool_a) {
+    EXPECT_EQ(pool_b.count(q), 0u) << q;
+  }
+
+  for (size_t i = 0; i < changepoint; ++i) {
+    EXPECT_EQ(stream.position(), i);
+    const ZooQuery q = stream.Next();
+    EXPECT_EQ(pool_a.count(q.nexi), 1u) << "position " << i << ": " << q.nexi;
+  }
+  for (size_t i = 0; i < 40; ++i) {
+    const ZooQuery q = stream.Next();
+    EXPECT_EQ(pool_b.count(q.nexi), 1u)
+        << "position " << changepoint + i << ": " << q.nexi;
+  }
+  EXPECT_EQ(stream.position(), changepoint + 40);
+}
+
+TEST(WorkloadZoo, ScenarioTableIsTheAdvertisedCross) {
+  const auto& table = ScenarioTable();
+  ASSERT_EQ(table.size(), 8u);
+  std::set<std::string> names;
+  std::map<std::string, size_t> corpus_uses, stream_uses;
+  for (const ScenarioSpec& spec : table) {
+    EXPECT_TRUE(names.insert(spec.name).second) << spec.name;
+    ++corpus_uses[spec.corpus];
+    ++stream_uses[spec.stream];
+    EXPECT_NE(spec.make_corpus, nullptr) << spec.name;
+    EXPECT_NE(spec.make_stream, nullptr) << spec.name;
+    EXPECT_EQ(FindScenario(spec.name), &spec);
+  }
+  EXPECT_EQ(corpus_uses.size(), 4u);
+  EXPECT_EQ(stream_uses.size(), 4u);
+  for (const auto& [corpus, uses] : corpus_uses) {
+    EXPECT_EQ(uses, 2u) << corpus;
+  }
+  for (const auto& [stream, uses] : stream_uses) {
+    EXPECT_EQ(uses, 2u) << stream;
+  }
+  EXPECT_EQ(FindScenario("no_such_scenario"), nullptr);
+}
+
+TEST(WorkloadZoo, EveryScenarioServesItsOwnStreamEndToEnd) {
+  for (const ScenarioSpec& spec : ScenarioTable()) {
+    const std::string dir = test::UniqueTestDir("trex_zoo_" + spec.name);
+    auto gen = spec.make_corpus(6);
+    ASSERT_NE(gen, nullptr) << spec.name;
+    auto trex = TReX::Build(dir, *gen);
+    ASSERT_TRUE(trex.ok()) << spec.name << ": " << trex.status().ToString();
+    auto stream = spec.make_stream(21);
+    for (const ZooQuery& q : stream->Take(8)) {
+      auto answer = trex.value()->Query(q.nexi, q.k);
+      EXPECT_TRUE(answer.ok())
+          << spec.name << ": " << q.nexi << " -> "
+          << answer.status().ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trex
