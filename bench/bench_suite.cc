@@ -36,6 +36,16 @@
 //                     (--scenario=list prints the table)
 //   --snapshots=PATH  also run a MetricsSnapshotter appending per-250ms
 //                     registry deltas to PATH while the suite runs
+//   --profile-out=P   sample CPU across the measured workloads and
+//                     write collapsed stacks (flamegraph.pl input) to
+//                     P; "auto" derives <out minus .json>.collapsed, so
+//                     a per-scenario profile lands next to each
+//                     BENCH_*.json for bench_compare.py --attribute
+//
+// TREX_BENCH_HOTSPIN_NS=<n> burns n nanos of thread CPU per completed
+// query inside trex_bench_hot_spin() — the deliberate regression the
+// profiler attribution self-test (scripts/check.sh --profile) must
+// name.
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -48,14 +58,38 @@
 #include "corpus/workload_zoo.h"
 #include "nexi/translator.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/resource.h"
 #include "obs/snapshotter.h"
 #include "retrieval/race.h"
 #include "trex/query_executor.h"
 
+// The attribution self-test's injected hot function. extern "C" +
+// noinline so it survives as its own frame and symbolizes to a stable,
+// unmangled name in the collapsed stacks.
+extern "C" __attribute__((noinline)) void trex_bench_hot_spin(
+    int64_t nanos) {
+  const int64_t start = trex::ThreadCpuNanos();
+  volatile uint64_t sink = 0;
+  while (trex::ThreadCpuNanos() - start < nanos) {
+    // Long inner stretch per clock check: samples should land in this
+    // function itself, not in clock_gettime, so profile attribution
+    // can name it.
+    for (uint64_t i = 0; i < 16384; ++i) sink = sink + i * 2654435761ULL;
+  }
+}
+
 namespace trex {
 namespace bench {
 namespace {
+
+int64_t HotSpinNanos() {
+  static const int64_t nanos = [] {
+    const char* v = std::getenv("TREX_BENCH_HOTSPIN_NS");
+    return v != nullptr ? std::atoll(v) : 0;
+  }();
+  return nanos;
+}
 
 constexpr int kSchemaVersion = 1;
 constexpr size_t kTopK = 10;
@@ -83,6 +117,7 @@ void AccumulateUsage(const obs::ResourceUsage& u, obs::ResourceUsage* into) {
   into->random_accesses += u.random_accesses;
   into->elements_scanned += u.elements_scanned;
   into->heap_operations += u.heap_operations;
+  into->cpu_nanos += u.cpu_nanos;
 }
 
 void FillPercentiles(std::vector<uint64_t> latencies, WorkloadResult* w) {
@@ -126,6 +161,7 @@ WorkloadResult RunExecutorWorkload(TReX* handle, RetrievalMethod method,
           latencies.push_back(static_cast<uint64_t>(
               a.trace->root()->duration_nanos));
           AccumulateUsage(a.resources, &w.totals);
+          if (HotSpinNanos() > 0) trex_bench_hot_spin(HotSpinNanos());
         }
       },
       /*default_runs=*/1);
@@ -171,6 +207,7 @@ WorkloadResult RunRaceWorkload(TReX* handle, const char* shaping,
         pool.reserve(threads);
         for (size_t t = 0; t < threads; ++t) {
           pool.emplace_back([&, t]() {
+            obs::ProfilerThreadScope profiler_scope("bench.race.driver");
             obs::ResourceScope scope(&accounting);
             RaceEvaluator race(handle->index());
             for (size_t i = t; i < jobs; i += threads) {
@@ -226,6 +263,8 @@ void AppendRusage(std::string* out, const BenchRunStats& run) {
   AppendDouble(out, run.user_seconds);
   out->append(",\"sys_s\":");
   AppendDouble(out, run.sys_seconds);
+  out->append(",\"thread_cpu_s\":");
+  AppendDouble(out, run.thread_cpu_seconds);
   out->append(",\"max_rss_kb\":");
   AppendU64(out, run.max_rss_kb);
   out->push_back('}');
@@ -289,6 +328,7 @@ WorkloadResult RunScenarioWorkload(TReX* handle,
           latencies.push_back(static_cast<uint64_t>(
               a.trace->root()->duration_nanos));
           AccumulateUsage(a.resources, &w.totals);
+          if (HotSpinNanos() > 0) trex_bench_hot_spin(HotSpinNanos());
         }
       },
       /*default_runs=*/1);
@@ -297,8 +337,50 @@ WorkloadResult RunScenarioWorkload(TReX* handle,
   return w;
 }
 
+// "auto" lands the profile next to the JSON document:
+// BENCH_scenario_x.json -> BENCH_scenario_x.collapsed.
+std::string ResolveProfilePath(const std::string& profile_out,
+                               const std::string& out_path) {
+  if (profile_out != "auto") return profile_out;
+  std::string base = out_path;
+  if (base.size() > 5 && base.compare(base.size() - 5, 5, ".json") == 0) {
+    base.resize(base.size() - 5);
+  }
+  return base + ".collapsed";
+}
+
+bool StartProfiling(const std::string& profile_path) {
+  Status s = obs::Profiler::Default().Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "[bench_suite] profiler disabled: %s\n",
+                 s.ToString().c_str());
+    return false;
+  }
+  std::fprintf(stderr, "[bench_suite] profiling -> %s\n",
+               profile_path.c_str());
+  return true;
+}
+
+void FinishProfiling(const std::string& profile_path) {
+  obs::Profiler& profiler = obs::Profiler::Default();
+  profiler.Stop();
+  const obs::ProfilerStats stats = profiler.stats();
+  Status s = profiler.WriteCollapsed(profile_path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "[bench_suite] cannot write %s: %s\n",
+                 profile_path.c_str(), s.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr,
+               "[bench_suite] profile: %" PRIu64 " samples (%" PRIu64
+               " dropped) over %" PRIu64 " threads -> %s\n",
+               stats.samples, stats.dropped, stats.threads,
+               profile_path.c_str());
+}
+
 int RunScenario(const std::string& scenario_name, std::string out_path,
-                const std::string& snapshots_path) {
+                const std::string& snapshots_path,
+                const std::string& profile_out) {
   const ScenarioSpec* spec = FindScenario(scenario_name);
   if (spec == nullptr) {
     // `list` is machine-readable (scripts/check.sh --zoo iterates the
@@ -397,6 +479,14 @@ int RunScenario(const std::string& scenario_name, std::string out_path,
     TREX_CHECK_OK(handle->Query(q->nexi, q->k).status());
   }
 
+  // Profile only the measured workloads (setup/warmup above would
+  // drown the signal). The bench main thread registers so the future-
+  // collection loop — and any injected hot spin — is sampled too.
+  obs::ProfilerThreadScope profiler_thread("bench.main");
+  const std::string profile_path = ResolveProfilePath(profile_out, out_path);
+  const bool profiling =
+      !profile_path.empty() && StartProfiling(profile_path);
+
   Stopwatch suite_watch;
   std::vector<WorkloadResult> results;
   for (size_t threads : thread_ladder) {
@@ -409,6 +499,7 @@ int RunScenario(const std::string& scenario_name, std::string out_path,
                 static_cast<double>(w.p99) * 1e-6);
   }
   const double suite_seconds = suite_watch.ElapsedSeconds();
+  if (profiling) FinishProfiling(profile_path);
   if (snapshotter != nullptr) snapshotter->Stop();
 
   std::string json = "{\"schema_version\":";
@@ -447,7 +538,8 @@ int RunScenario(const std::string& scenario_name, std::string out_path,
   return 0;
 }
 
-int Run(const std::string& out_path, const std::string& snapshots_path) {
+int Run(const std::string& out_path, const std::string& snapshots_path,
+        const std::string& profile_out) {
   const size_t jobs = BenchScaleDocs("TREX_BENCH_SUITE_JOBS", 32);
   const size_t max_threads =
       BenchScaleDocs("TREX_BENCH_SUITE_MAX_THREADS", 8);
@@ -508,6 +600,11 @@ int Run(const std::string& out_path, const std::string& snapshots_path) {
     TREX_CHECK_OK(strict->Query(q->nexi, kTopK).status());
   }
 
+  obs::ProfilerThreadScope profiler_thread("bench.main");
+  const std::string profile_path = ResolveProfilePath(profile_out, out_path);
+  const bool profiling =
+      !profile_path.empty() && StartProfiling(profile_path);
+
   struct MethodSpec {
     RetrievalMethod method;
     const char* name;
@@ -556,6 +653,7 @@ int Run(const std::string& out_path, const std::string& snapshots_path) {
   }
   const double suite_seconds = suite_watch.ElapsedSeconds();
 
+  if (profiling) FinishProfiling(profile_path);
   if (snapshotter != nullptr) snapshotter->Stop();
 
   std::string json = "{\"schema_version\":";
@@ -598,6 +696,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string snapshots_path;
   std::string scenario;
+  std::string profile_out;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--out=", 6) == 0) {
@@ -606,23 +705,27 @@ int main(int argc, char** argv) {
       scenario = arg + 11;
     } else if (std::strncmp(arg, "--snapshots=", 12) == 0) {
       snapshots_path = arg + 12;
+    } else if (std::strncmp(arg, "--profile-out=", 14) == 0) {
+      profile_out = arg + 14;
     } else {
       std::fprintf(stderr,
                    "usage: bench_suite [--out=PATH] [--scenario=NAME] "
-                   "[--snapshots=PATH]\n");
+                   "[--snapshots=PATH] [--profile-out=PATH|auto]\n");
       return 2;
     }
   }
   int rc;
   if (scenario == "list") {
-    return trex::bench::RunScenario(scenario, out_path, snapshots_path);
+    return trex::bench::RunScenario(scenario, out_path, snapshots_path,
+                                    profile_out);
   }
   if (!scenario.empty()) {
-    rc = trex::bench::RunScenario(scenario, out_path, snapshots_path);
+    rc = trex::bench::RunScenario(scenario, out_path, snapshots_path,
+                                  profile_out);
     trex::bench::WriteBenchMetrics("bench_suite_" + scenario);
   } else {
     if (out_path.empty()) out_path = "BENCH_suite.json";
-    rc = trex::bench::Run(out_path, snapshots_path);
+    rc = trex::bench::Run(out_path, snapshots_path, profile_out);
     trex::bench::WriteBenchMetrics("bench_suite");
   }
   return rc;

@@ -114,6 +114,7 @@ PhaseResult ServePhase(TReX* trex, const char* name,
       phase.totals.random_accesses += u.random_accesses;
       phase.totals.elements_scanned += u.elements_scanned;
       phase.totals.heap_operations += u.heap_operations;
+      phase.totals.cpu_nanos += u.cpu_nanos;
       ++phase.queries;
     }
   }

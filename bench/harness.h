@@ -142,30 +142,41 @@ inline double TimeRuns(const std::function<double()>& run_once) {
 // One timed measurement with the clocks the old TimeRuns lacked: the
 // harness' own steady-clock wall time (run_once no longer self-reports,
 // so every bench measures with the same monotonic clock) plus the
-// process' rusage deltas — user/system CPU seconds and peak RSS.
+// process' rusage deltas — user/system CPU seconds and peak RSS — and
+// the *calling thread's* CPU delta (CLOCK_THREAD_CPUTIME_ID). The
+// process-wide user/sys numbers over-attribute sibling-thread work on
+// a multi-bench binary (a background snapshotter or advisor tick
+// charges the scenario that happened to be timing); thread_cpu_seconds
+// is immune to that, though it equally misses work the bench fans out
+// to its own worker threads — report both, diff to taste.
 struct BenchRunStats {
-  double seconds = 0.0;       // Steady-clock wall, protocol-reduced.
-  double user_seconds = 0.0;  // rusage user CPU, protocol-reduced.
-  double sys_seconds = 0.0;   // rusage system CPU, protocol-reduced.
-  uint64_t max_rss_kb = 0;    // Peak RSS after the runs (monotone).
+  double seconds = 0.0;            // Steady-clock wall, protocol-reduced.
+  double user_seconds = 0.0;       // rusage user CPU, protocol-reduced.
+  double sys_seconds = 0.0;        // rusage system CPU, protocol-reduced.
+  double thread_cpu_seconds = 0.0; // Caller-thread CPU, protocol-reduced.
+  uint64_t max_rss_kb = 0;         // Peak RSS after the runs (monotone).
 };
 
 inline BenchRunStats TimeRunsDetailed(const std::function<void()>& run_once,
                                       int default_runs = 3) {
   const int runs = BenchRunCount(default_runs);
-  std::vector<double> wall, user, sys;
+  std::vector<double> wall, user, sys, thread_cpu;
   wall.reserve(runs);
   user.reserve(runs);
   sys.reserve(runs);
+  thread_cpu.reserve(runs);
   BenchRunStats stats;
   for (int i = 0; i < runs; ++i) {
 #if defined(__unix__) || defined(__APPLE__)
     struct rusage before {};
     getrusage(RUSAGE_SELF, &before);
 #endif
+    const int64_t thread_before = ThreadCpuNanos();
     Stopwatch watch;
     run_once();
     wall.push_back(watch.ElapsedSeconds());
+    thread_cpu.push_back(
+        static_cast<double>(ThreadCpuNanos() - thread_before) * 1e-9);
 #if defined(__unix__) || defined(__APPLE__)
     struct rusage after {};
     getrusage(RUSAGE_SELF, &after);
@@ -184,6 +195,7 @@ inline BenchRunStats TimeRunsDetailed(const std::function<void()>& run_once,
   stats.seconds = ReduceRuns(std::move(wall));
   stats.user_seconds = ReduceRuns(std::move(user));
   stats.sys_seconds = ReduceRuns(std::move(sys));
+  stats.thread_cpu_seconds = ReduceRuns(std::move(thread_cpu));
   return stats;
 }
 

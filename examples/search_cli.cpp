@@ -37,6 +37,9 @@
 //   #                        periodically (and once at exit)
 //   #   --post-mortem=PATH   install fatal-signal handlers that append
 //   #                        the flight-recorder ring to PATH as JSONL
+//   #   --profile-out=PATH   sample CPU for the whole serve, write a
+//   #                        collapsed-stack profile (flamegraph.pl
+//   #                        input) at exit
 //   #   --repeat=N           re-serve the query N times (load for the
 //   #                        crash-dump and contention smoke tests)
 #include <algorithm>
@@ -53,6 +56,7 @@
 #include "index/index_builder.h"
 #include "obs/chrome_trace.h"
 #include "obs/flight_recorder.h"
+#include "obs/profiler.h"
 #include "obs/prom.h"
 #include "obs/slow_query_log.h"
 #include "obs/snapshotter.h"
@@ -86,6 +90,7 @@ int main(int argc, char** argv) {
   std::string slow_log_path;
   std::string prom_path;
   std::string post_mortem_path;
+  std::string profile_out;
   uint64_t repeat = 1;
   double slow_ms = 50.0;
   uint64_t budget_pages = 0;
@@ -99,6 +104,8 @@ int main(int argc, char** argv) {
       prom_path = argv[i] + 13;
     } else if (std::strncmp(argv[i], "--post-mortem=", 14) == 0) {
       post_mortem_path = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--profile-out=", 14) == 0) {
+      profile_out = argv[i] + 14;
     } else if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
       repeat = static_cast<uint64_t>(std::atoll(argv[i] + 9));
       if (repeat == 0) repeat = 1;
@@ -128,11 +135,47 @@ int main(int argc, char** argv) {
                  "[k] [--explain] [--explain-advisor] [--threads N] "
                  "[--trace-out=PATH] [--budget-pages=N] [--slow-log=PATH] "
                  "[--slow-ms=MS] [--self-manage] [--advisor-interval=MS] "
-                 "[--stats-prom=PATH] [--post-mortem=PATH] [--repeat=N]\n",
+                 "[--stats-prom=PATH] [--post-mortem=PATH] "
+                 "[--profile-out=PATH] [--repeat=N]\n",
                  argv[0]);
     return 2;
   }
   if (explain_advisor) self_manage = true;
+  // --profile-out: sample this process' CPU for the whole serve and
+  // write a collapsed-stack (flamegraph-ready) profile on any exit
+  // path. The main thread registers here; executor workers, race
+  // contestants and the advisor loop register themselves.
+  trex::obs::ProfilerThreadScope profiler_thread("cli.main");
+  struct ProfileWriter {
+    std::string path;
+    ~ProfileWriter() {
+      if (path.empty()) return;
+      trex::obs::Profiler& profiler = trex::obs::Profiler::Default();
+      profiler.Stop();
+      const trex::obs::ProfilerStats stats = profiler.stats();
+      trex::Status s = profiler.WriteCollapsed(path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "cannot write profile %s: %s\n", path.c_str(),
+                     s.ToString().c_str());
+        return;
+      }
+      std::fprintf(stderr,
+                   "profile: %llu samples (%llu dropped) over %llu "
+                   "threads written to %s\n",
+                   static_cast<unsigned long long>(stats.samples),
+                   static_cast<unsigned long long>(stats.dropped),
+                   static_cast<unsigned long long>(stats.threads),
+                   path.c_str());
+    }
+  } profile_writer;
+  if (!profile_out.empty()) {
+    trex::Status s = trex::obs::Profiler::Default().Start();
+    if (s.ok()) {
+      profile_writer.path = profile_out;
+    } else {
+      std::fprintf(stderr, "profiler disabled: %s\n", s.ToString().c_str());
+    }
+  }
   if (!post_mortem_path.empty() &&
       !trex::obs::InstallPostMortemDump(post_mortem_path)) {
     std::fprintf(stderr, "cannot install post-mortem dump to %s\n",
@@ -380,6 +423,7 @@ int main(int argc, char** argv) {
       total.random_accesses += u.random_accesses;
       total.elements_scanned += u.elements_scanned;
       total.heap_operations += u.heap_operations;
+      total.cpu_nanos += u.cpu_nanos;
       if (a.trace != nullptr) total_nanos += a.trace->root()->duration_nanos;
     }
     std::printf("aggregate over %zu answer(s): %.3fms evaluated, "

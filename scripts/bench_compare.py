@@ -35,6 +35,24 @@ Usage:
       by PCT percent before comparing — the self-test hook check.sh
       uses to prove the gate actually fails on a slow build.
 
+  bench_compare.py --attribute BASELINE CURRENT [--top N]
+      Diff two collapsed-stack CPU profiles (bench_suite
+      --profile-out=..., search_cli --profile-out=...) by per-function
+      self-time share and print the top N deltas — the functions whose
+      share of CPU grew most in CURRENT, i.e. the prime suspects for a
+      regression. BASELINE/CURRENT are either two .collapsed files or
+      two directories (profiles matched by scenario name, so a
+      committed BENCH_baseline_<name>.collapsed pairs with a fresh
+      BENCH_scenario_<name>.collapsed).
+
+In --scenarios mode, a regressing scenario whose profile exists in
+both directories gets this attribution printed automatically.
+
+  --json-verdict=FILE (any mode) additionally writes a machine-readable
+      verdict: {"passed": bool, "regressions": [...], "notes": [...],
+      "attribution": {...}} — for CI steps that want structure instead
+      of scraping stdout.
+
 Timing fields are compared only between documents produced on the same
 machine (the harness makes no cross-host promises); schema validation
 is machine-independent.
@@ -78,7 +96,7 @@ WORKLOAD = [
 ]
 
 LATENCY_KEYS = ["p50", "p95", "p99"]
-RUSAGE_KEYS = ["user_s", "sys_s", "max_rss_kb"]
+RUSAGE_KEYS = ["user_s", "sys_s", "thread_cpu_s", "max_rss_kb"]
 RESOURCE_KEYS = [
     "pages_fetched",
     "pages_faulted",
@@ -90,6 +108,7 @@ RESOURCE_KEYS = [
     "random_accesses",
     "elements_scanned",
     "heap_operations",
+    "cpu_nanos",
 ]
 
 # "auto" is the strategy-selected executor path scenario documents use.
@@ -291,10 +310,144 @@ def shift_report(doc):
     return 0
 
 
+def load_collapsed(path):
+    """Parses collapsed-stack text ("frame;frame;... COUNT" per line)
+    into a {stack tuple: count} dict. Returns (stacks, None) or
+    (None, error string)."""
+    stacks = {}
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                stack, _, count = line.rpartition(" ")
+                if not stack or not count.isdigit():
+                    continue
+                frames = tuple(stack.split(";"))
+                stacks[frames] = stacks.get(frames, 0) + int(count)
+    except OSError as exc:
+        return None, f"cannot load {path}: {exc}"
+    if not stacks:
+        return None, f"{path}: no samples"
+    return stacks, None
+
+
+def self_time_shares(stacks):
+    """Per-function share of total samples attributed to the leaf
+    (self time). Returns ({function: share}, total_samples)."""
+    total = sum(stacks.values())
+    counts = {}
+    for frames, count in stacks.items():
+        leaf = frames[-1]
+        counts[leaf] = counts.get(leaf, 0) + count
+    return {f: c / total for f, c in counts.items()}, total
+
+
+def attribute_profiles(base_path, cur_path, top_n):
+    """Diffs two collapsed profiles by per-function self-time share.
+
+    Returns (rows, None) or (None, error). Rows are sorted by share
+    gained in CURRENT (percentage points, biggest gain first) — the
+    functions most likely responsible for a regression.
+    """
+    base, err = load_collapsed(base_path)
+    if err:
+        return None, err
+    cur, err = load_collapsed(cur_path)
+    if err:
+        return None, err
+    base_shares, base_total = self_time_shares(base)
+    cur_shares, cur_total = self_time_shares(cur)
+    rows = []
+    for func in set(base_shares) | set(cur_shares):
+        b = base_shares.get(func, 0.0)
+        c = cur_shares.get(func, 0.0)
+        rows.append(
+            {
+                "function": func,
+                "base_share": round(b, 4),
+                "cur_share": round(c, 4),
+                "delta_pp": round((c - b) * 100.0, 2),
+            }
+        )
+    rows.sort(key=lambda r: (-r["delta_pp"], r["function"]))
+    return rows[:top_n], {"base_samples": base_total, "cur_samples": cur_total}
+
+
+def print_attribution(rows, totals, base_path, cur_path):
+    print(
+        f"attribution: self-time share, {cur_path} "
+        f"({totals['cur_samples']} samples) vs {base_path} "
+        f"({totals['base_samples']} samples)"
+    )
+    print(f"  {'delta':>9} {'base':>7} {'current':>7}  function")
+    for r in rows:
+        print(
+            f"  {r['delta_pp']:+7.2f}pp"
+            f" {100 * r['base_share']:6.1f}%"
+            f" {100 * r['cur_share']:6.1f}%"
+            f"  {r['function']}"
+        )
+
+
+def profile_key(fname):
+    """BENCH_baseline_x.collapsed and BENCH_scenario_x.collapsed both
+    map to "x", so a committed baseline pairs with a fresh run."""
+    stem = fname[: -len(".collapsed")]
+    for prefix in ("BENCH_baseline_", "BENCH_scenario_", "BENCH_"):
+        if stem.startswith(prefix):
+            return stem[len(prefix):]
+    return stem
+
+
+def attribute_cmd(base, cur, top_n, verdict):
+    """The --attribute entry point: file pair or directory pair."""
+    if os.path.isdir(base) and os.path.isdir(cur):
+        base_by_key = {
+            profile_key(f): os.path.join(base, f)
+            for f in sorted(os.listdir(base))
+            if f.endswith(".collapsed")
+        }
+        cur_by_key = {
+            profile_key(f): os.path.join(cur, f)
+            for f in sorted(os.listdir(cur))
+            if f.endswith(".collapsed")
+        }
+        pairs = [
+            (key, base_by_key[key], cur_by_key[key])
+            for key in sorted(base_by_key)
+            if key in cur_by_key
+        ]
+        if not pairs:
+            print(
+                f"attribute: no matching *.collapsed pairs between "
+                f"{base} and {cur}",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        pairs = [("profile", base, cur)]
+    rc = 0
+    for key, base_path, cur_path in pairs:
+        # Second element is the totals dict on success, the error
+        # string when rows is None.
+        rows, info = attribute_profiles(base_path, cur_path, top_n)
+        if rows is None:
+            print(f"attribute: [{key}] {info}", file=sys.stderr)
+            rc = 1
+            continue
+        print_attribution(rows, info, base_path, cur_path)
+        verdict.setdefault("attribution", {})[key] = rows
+    return rc
+
+
 BASELINE_PREFIX = "BENCH_baseline_"
 
 
-def compare_scenarios(baseline_dir, current_dir, max_regress_pct, slowdown):
+def compare_scenarios(
+    baseline_dir, current_dir, max_regress_pct, slowdown, verdict, top_n=10
+):
     """Compares every per-scenario baseline against its current run.
 
     Failures never short-circuit: each scenario's problems (missing or
@@ -341,6 +494,7 @@ def compare_scenarios(baseline_dir, current_dir, max_regress_pct, slowdown):
         regressions, notes = compare(baseline, current, max_regress_pct)
         for note in notes:
             print(f"note: [{scenario}] {note}")
+            verdict["notes"].append(f"[{scenario}] {note}")
         for r in regressions:
             failures.append((scenario, r))
         compared += 1
@@ -349,6 +503,18 @@ def compare_scenarios(baseline_dir, current_dir, max_regress_pct, slowdown):
                 f"ok: [{scenario}] {len(current['workloads'])} workloads "
                 f"within {max_regress_pct:.0f}% of baseline"
             )
+        else:
+            # A regressed scenario with profiles on both sides gets its
+            # CPU attribution printed right next to the verdict.
+            base_prof = base_path[: -len(".json")] + ".collapsed"
+            cur_prof = cur_path[: -len(".json")] + ".collapsed"
+            if os.path.exists(base_prof) and os.path.exists(cur_prof):
+                rows, info = attribute_profiles(base_prof, cur_prof, top_n)
+                if rows is None:
+                    print(f"note: [{scenario}] attribution failed: {info}")
+                else:
+                    print_attribution(rows, info, base_prof, cur_prof)
+                    verdict.setdefault("attribution", {})[scenario] = rows
     if failures:
         print(
             f"REGRESSION: {len(failures)} failure(s) across "
@@ -357,6 +523,7 @@ def compare_scenarios(baseline_dir, current_dir, max_regress_pct, slowdown):
         )
         for scenario, message in failures:
             print(f"  [{scenario}] {message}", file=sys.stderr)
+            verdict["regressions"].append(f"[{scenario}] {message}")
         return 1
     print(f"ok: all {compared} scenarios within {max_regress_pct:.0f}%")
     return 0
@@ -369,30 +536,71 @@ def main(argv):
     parser.add_argument("--validate", metavar="FILE")
     parser.add_argument("--shift-report", metavar="FILE")
     parser.add_argument("--scenarios", action="store_true")
+    parser.add_argument("--attribute", action="store_true")
+    parser.add_argument("--top", type=int, default=10)
+    parser.add_argument("--json-verdict", metavar="FILE")
     parser.add_argument("files", nargs="*", metavar="BASELINE CURRENT")
     parser.add_argument("--max-regress", type=float, default=25.0)
     parser.add_argument("--inject-slowdown", type=float, default=0.0)
     args = parser.parse_args(argv)
 
+    verdict = {
+        "schema_version": 1,
+        "kind": "bench_verdict",
+        "mode": "compare",
+        "gate_pct": args.max_regress,
+        "passed": False,
+        "regressions": [],
+        "notes": [],
+    }
+    rc = run(args, parser, verdict)
+    verdict["passed"] = rc == 0
+    if args.json_verdict:
+        try:
+            with open(args.json_verdict, "w", encoding="utf-8") as f:
+                json.dump(verdict, f, indent=2, sort_keys=True)
+                f.write("\n")
+        except OSError as exc:
+            sys.exit(f"bench_compare: cannot write verdict: {exc}")
+        print(f"verdict written to {args.json_verdict}")
+    return rc
+
+
+def run(args, parser, verdict):
     if args.shift_report:
+        verdict["mode"] = "shift_report"
         return shift_report(load(args.shift_report))
+
+    if args.attribute:
+        if len(args.files) != 2:
+            parser.error(
+                "--attribute expects BASELINE and CURRENT "
+                "(.collapsed files or directories)"
+            )
+        verdict["mode"] = "attribute"
+        return attribute_cmd(args.files[0], args.files[1], args.top, verdict)
 
     if args.scenarios:
         if len(args.files) != 2:
             parser.error("--scenarios expects BASELINE_DIR and CURRENT_DIR")
+        verdict["mode"] = "scenarios"
         return compare_scenarios(
             args.files[0],
             args.files[1],
             args.max_regress,
             args.inject_slowdown,
+            verdict,
+            args.top,
         )
 
     if args.validate:
+        verdict["mode"] = "validate"
         doc = load(args.validate)
         errors = validate(doc)
         if errors:
             for e in errors:
                 print(f"SCHEMA ERROR: {e}", file=sys.stderr)
+                verdict["regressions"].append(e)
             return 1
         print(
             f"{args.validate}: valid "
@@ -416,6 +624,8 @@ def main(argv):
         current = inject_slowdown(current, args.inject_slowdown)
 
     regressions, notes = compare(baseline, current, args.max_regress)
+    verdict["regressions"] = regressions
+    verdict["notes"] = notes
     for note in notes:
         print(f"note: {note}")
     if regressions:

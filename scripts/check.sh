@@ -38,6 +38,14 @@
 #                                 #   an injected-slowdown self-test),
 #                                 #   and the shifting-topic scenario
 #                                 #   through bench_workload_shift
+#   scripts/check.sh --profile    # + the CPU-profiling stage: bench_suite
+#                                 #   under the ASan build with
+#                                 #   --profile-out must emit non-empty
+#                                 #   collapsed stacks, and an A/B run
+#                                 #   with an injected hot spin must make
+#                                 #   bench_compare.py --attribute name
+#                                 #   the injected function as the top
+#                                 #   self-time gainer
 #   BUILD_DIR=/tmp/chk TSAN_BUILD_DIR=/tmp/chk-tsan scripts/check.sh
 set -euo pipefail
 
@@ -50,6 +58,7 @@ ADVISOR=0
 OBS=0
 CHAOS=0
 ZOO=0
+PROFILE=0
 for arg in "$@"; do
   case "$arg" in
     --stress) STRESS=1 ;;
@@ -58,6 +67,7 @@ for arg in "$@"; do
     --obs) OBS=1 ;;
     --chaos) CHAOS=1 ;;
     --zoo) ZOO=1 ;;
+    --profile) PROFILE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -219,7 +229,10 @@ if [ "$OBS" -eq 1 ]; then
       trex_retrieval_materializer_wait_nanos \
       trex_advisor_loop_ticks \
       trex_advisor_calibration_samples \
-      trex_derived_bufpool_hit_rate; do
+      trex_derived_bufpool_hit_rate \
+      trex_process_rss_bytes \
+      trex_process_open_fds \
+      trex_process_cpu_seconds_total; do
     if ! grep -q "^$family" "$OBS_DIR/trex_stats.prom"; then
       echo "obs: metric family $family missing from trex_stats.prom" >&2
       exit 1
@@ -299,4 +312,65 @@ if [ "$ZOO" -eq 1 ]; then
   python3 scripts/bench_compare.py \
     --shift-report "$ZOO_DIR/BENCH_workload_shift_skew_shift.json"
   echo "zoo: ok"
+fi
+
+# Profiling stage: the always-on sampler end-to-end, under the ASan
+# build (several hundred SIGPROF handler invocations with the
+# sanitizer watching is the "no allocation in the signal path" check
+# in vivo). Two runs of the same tiny scenario, both profiled: the
+# baseline with a small injected per-query hot spin (so it reliably
+# yields samples on a fast machine), the current with a much larger
+# one. bench_compare.py --attribute diffing the two must name the
+# injected function and show it dominating the hot run's self-time —
+# proving collapsed export, symbolization and the profile-diff
+# attribution pipeline agree end to end. (Dominance rather than
+# top-gainer: the spin dwarfs the tiny scenario's real work in BOTH
+# runs, so its share is near-saturated either way and the *delta* is
+# noise.) The machine-readable verdict is checked too.
+if [ "$PROFILE" -eq 1 ]; then
+  PROF_DIR="$(mktemp -d "${TMPDIR:-/tmp}/trex_profile.XXXXXX")"
+  trap 'rm -rf "$PROF_DIR" ${ZOO_DIR:+"$ZOO_DIR"} ${OBS_DIR:+"$OBS_DIR"} ${SHIFT_DIR:+"$SHIFT_DIR"} ${SMOKE_DIR:+"$SMOKE_DIR"}' EXIT
+  profile_env() {
+    env TREX_BENCH_DATA="$PROF_DIR/data" \
+        TREX_BENCH_SCENARIO_DOCS=20 \
+        TREX_BENCH_SUITE_JOBS=6 \
+        TREX_BENCH_SUITE_MAX_THREADS=2 \
+        TREX_BENCH_RUNS=1 \
+        "$@"
+  }
+  profile_env env TREX_BENCH_HOTSPIN_NS=1000000 \
+    "$BUILD_DIR/bench/bench_suite" --scenario=skew_hotkey \
+    --out="$PROF_DIR/BENCH_base.json" \
+    --profile-out="$PROF_DIR/base.collapsed"
+  profile_env env TREX_BENCH_HOTSPIN_NS=20000000 \
+    "$BUILD_DIR/bench/bench_suite" --scenario=skew_hotkey \
+    --out="$PROF_DIR/BENCH_hot.json" \
+    --profile-out="$PROF_DIR/hot.collapsed"
+  for profile in base hot; do
+    if ! [ -s "$PROF_DIR/$profile.collapsed" ]; then
+      echo "profile: $profile.collapsed is empty" >&2
+      exit 1
+    fi
+  done
+  python3 scripts/bench_compare.py --attribute \
+    "$PROF_DIR/base.collapsed" "$PROF_DIR/hot.collapsed" \
+    --json-verdict="$PROF_DIR/verdict.json" \
+    | tee "$PROF_DIR/attribute.out"
+  if ! grep -q "trex_bench_hot_spin" "$PROF_DIR/attribute.out"; then
+    echo "profile: --attribute did not name the injected hot function" >&2
+    exit 1
+  fi
+  python3 - "$PROF_DIR/verdict.json" <<'EOF'
+import json, sys
+verdict = json.load(open(sys.argv[1]))
+assert verdict["kind"] == "bench_verdict" and verdict["passed"], verdict
+rows = verdict["attribution"]["profile"]
+assert rows, "verdict carries no attribution rows"
+hot = [r for r in rows if "trex_bench_hot_spin" in r["function"]]
+assert hot, "attribution rows do not name the injected hot function"
+assert hot[0]["cur_share"] >= 0.5, f"hot function share too low: {hot[0]}"
+print(f"verdict: injected hot function holds "
+      f"{hot[0]['cur_share']:.0%} of hot-run self-time")
+EOF
+  echo "profile: ok"
 fi

@@ -10,6 +10,7 @@
 #include "nexi/translator.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "retrieval/materializer.h"
 #include "retrieval/strategy.h"
@@ -184,6 +185,10 @@ bool AdvisorLoop::running() const {
 }
 
 void AdvisorLoop::ThreadMain() {
+  // Register with the sampling profiler: a profile taken while the
+  // advisor re-plans shows its ticks under the "advisor.tick" phase
+  // (the base label below tags time between ticks).
+  obs::ProfilerThreadScope profiler_scope("advisor.loop");
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_) {
     cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_millis),
@@ -251,8 +256,10 @@ Status AdvisorLoop::TickNow(AdvisorTickReport* report) {
   Status s;
   {
     // The whole tick is one synthetic "advisor" query: every page the
-    // planner or the materializer touches is charged here, and the
-    // tick budget (if any) aborts runaway applies at the buffer pool.
+    // planner or the materializer touches is charged here (CPU
+    // included, via the scope's thread-cputime delta), and the tick
+    // budget (if any) aborts runaway applies at the buffer pool.
+    obs::ProfilePhaseScope phase("advisor.tick");
     obs::ResourceScope scope(&accounting);
     s = RunTick(&tick);
   }

@@ -11,6 +11,7 @@
 #include <cassert>
 #include <chrono>
 #include <cstdint>
+#include <ctime>
 
 namespace trex {
 
@@ -18,6 +19,20 @@ inline int64_t NowNanos() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+// CPU time consumed by the calling thread so far. Unlike NowNanos()
+// this does not advance while the thread is blocked, so a delta across
+// a scope is the work the thread actually did in it. Returns 0 where
+// the platform has no per-thread CPU clock.
+inline int64_t ThreadCpuNanos() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+#else
+  return 0;
+#endif
 }
 
 // An absolute wall-clock (steady) point in time by which a query must

@@ -1,0 +1,731 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/metrics.h"  // JsonEscape
+
+#if defined(__linux__)
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#ifndef SIGEV_THREAD_ID
+#define SIGEV_THREAD_ID 4
+#endif
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+// The signal handler symbol is extern "C" and non-static so that (with
+// -rdynamic) dladdr resolves frames inside it exactly — the aggregator
+// strips the handler prefix from captured stacks by comparing symbol
+// addresses, not by guessing a fixed frame count (sanitizer runtimes
+// insert wrapper frames of their own).
+extern "C" void TrexProfilerSignalHandler(int, siginfo_t*, void*);
+#endif  // defined(__linux__)
+
+namespace trex {
+namespace obs {
+
+namespace {
+
+constexpr uint32_t kMaxDepth = 64;        // Frames captured per sample.
+constexpr uint32_t kRingSlots = 256;      // Per-thread ring (power of 2).
+constexpr uint32_t kRingMask = kRingSlots - 1;
+constexpr uint32_t kMaxPhaseDepth = 16;   // Nested phase labels tracked.
+
+// ---------------------------------------------------------------------
+// Phase-label stack: plain TLS, touched only by its owner thread (the
+// handler runs *on* the owner, which is suspended meanwhile — there is
+// no cross-thread access, so relaxed atomics + signal fences are all
+// the ordering the interrupted/interrupting pair needs).
+
+struct PhaseStack {
+  std::atomic<uint32_t> depth{0};
+  char labels[kMaxPhaseDepth][kProfilePhaseBytes];
+};
+
+thread_local PhaseStack tls_phases;
+
+// One sample as the handler wrote it. `pcs[0]` is the interrupted PC
+// from the ucontext (the true leaf); the remaining frames come from
+// backtrace() and start inside the handler machinery — the aggregator
+// strips that prefix at fold time. Deliberately no field initializers:
+// the ring below stays uninitialized on allocation (the handler writes
+// every field of a slot before publishing it via `head`), so acquiring
+// a ThreadState never touches the ring's pages.
+struct Sample {
+  uint32_t depth;           // Valid entries in pcs.
+  uint32_t backtrace_from;  // Index of the first backtrace() frame.
+  char phase[kProfilePhaseBytes];
+  void* pcs[kMaxDepth];
+};
+
+#if defined(__linux__)
+struct ThreadState {
+  pid_t tid = 0;
+  // The thread's own CPU clock, captured at registration: timers are
+  // armed by the *aggregator*, and CLOCK_THREAD_CPUTIME_ID names the
+  // calling thread's clock, not the target's.
+  clockid_t cpu_clock = CLOCK_THREAD_CPUTIME_ID;
+  timer_t timer{};
+  bool timer_armed = false;
+  std::atomic<bool> retired{false};
+  // SPSC ring: the signal handler (producer, owner thread only)
+  // advances head with a release store after filling a slot; the
+  // aggregator (single consumer) advances tail with a release store
+  // after reading one. head/tail are free-running; (head - tail) is
+  // the fill level.
+  std::atomic<uint64_t> head{0};
+  std::atomic<uint64_t> tail{0};
+  std::atomic<uint64_t> dropped{0};
+  std::atomic<uint64_t> truncated{0};
+  Sample ring[kRingSlots];
+};
+
+thread_local ThreadState* tls_state = nullptr;
+
+// ---------------------------------------------------------------------
+// Global profiler state. g_mu guards the registry and lifecycle flags;
+// g_trie_mu guards the folded profile (trie + symbol caches + stats).
+// Lock order where both are held: g_mu then g_trie_mu. The signal
+// handler takes neither.
+
+struct TrieNode {
+  std::unordered_map<const std::string*, std::unique_ptr<TrieNode>> kids;
+  uint64_t self = 0;  // Samples whose stack ends at this node.
+};
+
+struct FrameEntry {
+  const std::string* name = nullptr;
+  bool skip = false;  // Handler/sanitizer/trampoline machinery.
+};
+
+std::mutex g_lifecycle_mu;  // Serializes Start/Stop (outermost).
+std::mutex g_mu;
+std::condition_variable g_cv;
+std::vector<ThreadState*> g_threads;
+// Reusable states, guarded by g_mu. Immortal (never destroyed): the
+// vector's own destructor would free the backing buffer at static
+// destruction, leaving the recycled states unreachable when LSan
+// scans for leaks — and destruction order against late-exiting
+// threads is a hazard anyway.
+std::vector<ThreadState*>& g_free_states = *new std::vector<ThreadState*>();
+std::atomic<bool> g_collecting{false};
+bool g_running = false;
+bool g_agg_stop = false;
+bool g_handler_installed = false;
+ProfilerOptions g_options;
+std::thread g_agg_thread;
+
+std::mutex g_trie_mu;
+TrieNode g_root;
+ProfilerStats g_stats;
+uint64_t g_threads_total = 0;
+std::unordered_set<std::string> g_interned;
+std::unordered_map<void*, FrameEntry> g_frames;
+
+const std::string* Intern(std::string s) {
+  return &*g_interned.insert(std::move(s)).first;
+}
+
+// ThreadStates are recycled through a bounded freelist instead of
+// new/delete per registration: race contestants register and retire on
+// every query, and a fresh ~150KB allocation freed on a *different*
+// thread (the aggregator) defeats the allocator's reuse — each
+// registration would fault in freshly zeroed pages, which showed up as
+// a multiple-x latency hit on race workloads. Reuse keeps the ring's
+// pages resident and never re-zeroes them. Both require g_mu.
+constexpr size_t kMaxFreeStates = 32;
+
+ThreadState* AcquireStateLocked(pid_t tid, clockid_t cpu_clock) {
+  ThreadState* ts;
+  if (!g_free_states.empty()) {
+    ts = g_free_states.back();
+    g_free_states.pop_back();
+    ts->retired.store(false, std::memory_order_relaxed);
+    ts->head.store(0, std::memory_order_relaxed);
+    ts->tail.store(0, std::memory_order_relaxed);
+    ts->dropped.store(0, std::memory_order_relaxed);
+    ts->truncated.store(0, std::memory_order_relaxed);
+  } else {
+    // Default-init (no parens): the Sample ring stays uninitialized.
+    ts = new ThreadState;
+  }
+  ts->tid = tid;
+  ts->cpu_clock = cpu_clock;
+  ts->timer_armed = false;
+  return ts;
+}
+
+void ReleaseStateLocked(ThreadState* ts) {
+  if (g_free_states.size() < kMaxFreeStates) {
+    g_free_states.push_back(ts);
+  } else {
+    delete ts;
+  }
+}
+
+bool Contains(const char* haystack, const char* needle) {
+  return haystack != nullptr && std::strstr(haystack, needle) != nullptr;
+}
+
+// Symbolizes one PC (cached). `return_address` PCs point one past the
+// call, so they are bumped back a byte before lookup to land inside
+// the calling function. Requires g_trie_mu.
+const FrameEntry& SymbolizeLocked(void* pc, bool return_address) {
+  auto it = g_frames.find(pc);
+  if (it != g_frames.end()) return it->second;
+  void* lookup = return_address
+                     ? reinterpret_cast<void*>(
+                           reinterpret_cast<uintptr_t>(pc) - 1)
+                     : pc;
+  FrameEntry entry;
+  Dl_info info{};
+  const bool resolved = dladdr(lookup, &info) != 0;
+  std::string name;
+  if (resolved && info.dli_sname != nullptr) {
+    int status = -1;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    name = (status == 0 && demangled != nullptr) ? demangled
+                                                 : info.dli_sname;
+    std::free(demangled);
+    entry.skip =
+        info.dli_saddr == reinterpret_cast<void*>(&TrexProfilerSignalHandler) ||
+        Contains(info.dli_sname, "restore_rt") ||
+        Contains(info.dli_sname, "sigreturn") ||
+        Contains(info.dli_sname, "interceptor") ||
+        Contains(info.dli_sname, "_sigtramp") ||
+        Contains(name.c_str(), "CallUserSignalHandler");
+  } else if (resolved && info.dli_fname != nullptr) {
+    const char* base = std::strrchr(info.dli_fname, '/');
+    base = base != nullptr ? base + 1 : info.dli_fname;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%s+0x%zx", base,
+                  static_cast<size_t>(reinterpret_cast<uintptr_t>(lookup) -
+                                      reinterpret_cast<uintptr_t>(
+                                          info.dli_fbase)));
+    name = buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%zx",
+                  static_cast<size_t>(reinterpret_cast<uintptr_t>(lookup)));
+    name = buf;
+  }
+  if (resolved && info.dli_fname != nullptr &&
+      (Contains(info.dli_fname, "libasan") ||
+       Contains(info.dli_fname, "libtsan") ||
+       Contains(info.dli_fname, "libubsan"))) {
+    entry.skip = true;
+  }
+  // Collapsed-stack format: ';' separates frames, the final space
+  // separates the count. Spaces inside frames are fine, ';' is not.
+  for (char& c : name) {
+    if (c == ';' || c == '\n' || c == '\r') c = ':';
+  }
+  entry.name = Intern(std::move(name));
+  return g_frames.emplace(pc, entry).first->second;
+}
+
+// Folds one drained sample into the trie. Requires g_trie_mu.
+void FoldSampleLocked(const Sample& s) {
+  if (s.depth == 0) return;
+  // Strip the handler/trampoline prefix from the backtrace() portion.
+  uint32_t first = s.backtrace_from;
+  while (first < s.depth &&
+         SymbolizeLocked(s.pcs[first], first > 0).skip) {
+    ++first;
+  }
+  const std::string* phase =
+      Intern(s.phase[0] != '\0' ? std::string(s.phase) : "(untagged)");
+  TrieNode* node = &g_root;
+  auto descend = [&node](const std::string* frame) {
+    std::unique_ptr<TrieNode>& kid = node->kids[frame];
+    if (kid == nullptr) kid = std::make_unique<TrieNode>();
+    node = kid.get();
+  };
+  descend(phase);
+  // Root-first: outermost backtrace frame down to the context leaf.
+  for (uint32_t i = s.depth; i > first; --i) {
+    descend(SymbolizeLocked(s.pcs[i - 1], i - 1 > 0).name);
+  }
+  if (s.backtrace_from > 0) {
+    descend(SymbolizeLocked(s.pcs[0], false).name);
+  }
+  node->self += 1;
+  g_stats.samples += 1;
+}
+
+bool ArmTimerLocked(ThreadState* ts);
+
+// Drains every registered ring into the trie and recycles retired
+// thread states. Also arms timers for threads that registered since
+// the last tick: registration itself makes no syscalls — a thread
+// living shorter than one drain period never gets a timer, and by
+// construction such a thread also could not have reached one sampling
+// period of thread-CPU worth of attention anyway. Requires g_mu.
+void DrainAllLocked() {
+  if (g_collecting.load(std::memory_order_relaxed)) {
+    for (ThreadState* ts : g_threads) {
+      if (!ts->timer_armed && !ts->retired.load(std::memory_order_acquire)) {
+        ArmTimerLocked(ts);
+      }
+    }
+  }
+  std::lock_guard<std::mutex> trie_lock(g_trie_mu);
+  for (auto it = g_threads.begin(); it != g_threads.end();) {
+    ThreadState* ts = *it;
+    uint64_t head = ts->head.load(std::memory_order_acquire);
+    uint64_t tail = ts->tail.load(std::memory_order_relaxed);
+    while (tail != head) {
+      FoldSampleLocked(ts->ring[tail & kRingMask]);
+      ++tail;
+      ts->tail.store(tail, std::memory_order_release);
+    }
+    g_stats.dropped += ts->dropped.exchange(0, std::memory_order_relaxed);
+    g_stats.truncated +=
+        ts->truncated.exchange(0, std::memory_order_relaxed);
+    if (ts->retired.load(std::memory_order_acquire)) {
+      ReleaseStateLocked(ts);
+      it = g_threads.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void AggregatorLoop() {
+  std::unique_lock<std::mutex> lock(g_mu);
+  for (;;) {
+    g_cv.wait_for(lock,
+                  std::chrono::milliseconds(g_options.drain_period_millis),
+                  [] { return g_agg_stop; });
+    DrainAllLocked();
+    if (g_agg_stop) return;  // Final drain already done above.
+  }
+}
+
+bool ArmTimerLocked(ThreadState* ts) {
+  struct sigevent sev {};
+  sev.sigev_notify = SIGEV_THREAD_ID;
+  sev.sigev_signo = SIGPROF;
+  sev.sigev_notify_thread_id = ts->tid;
+  if (timer_create(ts->cpu_clock, &sev, &ts->timer) != 0) {
+    return false;
+  }
+  struct itimerspec spec {};
+  spec.it_interval.tv_sec = g_options.sample_period_micros / 1000000;
+  spec.it_interval.tv_nsec =
+      (g_options.sample_period_micros % 1000000) * 1000;
+  spec.it_value = spec.it_interval;
+  if (timer_settime(ts->timer, 0, &spec, nullptr) != 0) {
+    timer_delete(ts->timer);
+    return false;
+  }
+  ts->timer_armed = true;
+  return true;
+}
+
+void DisarmTimerLocked(ThreadState* ts) {
+  if (!ts->timer_armed) return;
+  timer_delete(ts->timer);
+  ts->timer_armed = false;
+}
+
+void* ContextPc(void* ucontext_raw) {
+  if (ucontext_raw == nullptr) return nullptr;
+#if defined(__x86_64__)
+  auto* uc = static_cast<ucontext_t*>(ucontext_raw);
+  return reinterpret_cast<void*>(uc->uc_mcontext.gregs[REG_RIP]);
+#elif defined(__aarch64__)
+  auto* uc = static_cast<ucontext_t*>(ucontext_raw);
+  return reinterpret_cast<void*>(uc->uc_mcontext.pc);
+#else
+  return nullptr;
+#endif
+}
+
+// The async-signal-safe sampling path: plain TLS loads, a ucontext
+// read, backtrace() (primed at Start so its lazy libgcc load already
+// happened), byte copies, and relaxed/release atomics. No allocation,
+// no locks, no formatting.
+void HandleSample(void* ucontext_raw) {
+  ThreadState* ts = tls_state;
+  if (ts == nullptr || !g_collecting.load(std::memory_order_relaxed)) {
+    return;
+  }
+  uint64_t head = ts->head.load(std::memory_order_relaxed);
+  uint64_t tail = ts->tail.load(std::memory_order_acquire);
+  if (head - tail >= kRingSlots) {
+    ts->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Sample& s = ts->ring[head & kRingMask];
+  uint32_t n = 0;
+  void* leaf = ContextPc(ucontext_raw);
+  if (leaf != nullptr) s.pcs[n++] = leaf;
+  s.backtrace_from = n;
+  int got = backtrace(s.pcs + n, static_cast<int>(kMaxDepth - n));
+  if (got > 0) n += static_cast<uint32_t>(got);
+  if (n >= kMaxDepth) ts->truncated.fetch_add(1, std::memory_order_relaxed);
+  s.depth = n;
+  // Phase label: owner-thread-only state, copied by hand to keep
+  // library interceptors out of the signal path.
+  const PhaseStack& ps = tls_phases;
+  uint32_t d = ps.depth.load(std::memory_order_relaxed);
+  std::atomic_signal_fence(std::memory_order_acquire);
+  if (d == 0) {
+    s.phase[0] = '\0';
+  } else {
+    if (d > kMaxPhaseDepth) d = kMaxPhaseDepth;
+    const char* src = ps.labels[d - 1];
+    for (size_t i = 0; i < kProfilePhaseBytes; ++i) s.phase[i] = src[i];
+  }
+  ts->head.store(head + 1, std::memory_order_release);
+}
+
+void InstallHandlerLocked() {
+  if (g_handler_installed) return;
+  struct sigaction sa {};
+  sa.sa_sigaction = &TrexProfilerSignalHandler;
+  sa.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGPROF, &sa, nullptr);
+  g_handler_installed = true;
+}
+
+// ---------------------------------------------------------------------
+// Export (shared by collapsed text and JSON). Deterministic: children
+// sorted by frame text at every level.
+
+struct StackLine {
+  std::vector<const std::string*> frames;
+  uint64_t count = 0;
+};
+
+void CollectLocked(const TrieNode& node,
+                   std::vector<const std::string*>* path,
+                   std::vector<StackLine>* out) {
+  if (node.self > 0) {
+    out->push_back(StackLine{*path, node.self});
+  }
+  std::vector<std::pair<const std::string*, const TrieNode*>> kids;
+  kids.reserve(node.kids.size());
+  for (const auto& [name, kid] : node.kids) {
+    kids.emplace_back(name, kid.get());
+  }
+  std::sort(kids.begin(), kids.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  for (const auto& [name, kid] : kids) {
+    path->push_back(name);
+    CollectLocked(*kid, path, out);
+    path->pop_back();
+  }
+}
+
+std::vector<StackLine> SnapshotStacks() {
+  std::lock_guard<std::mutex> lock(g_trie_mu);
+  std::vector<StackLine> out;
+  std::vector<const std::string*> path;
+  CollectLocked(g_root, &path, &out);
+  return out;
+}
+#endif  // defined(__linux__)
+
+}  // namespace
+
+void PushProfilePhase(std::string_view label) {
+  PhaseStack& ps = tls_phases;
+  uint32_t d = ps.depth.load(std::memory_order_relaxed);
+  if (d < kMaxPhaseDepth) {
+    size_t n = std::min(label.size(), kProfilePhaseBytes - 1);
+    std::memcpy(ps.labels[d], label.data(), n);
+    ps.labels[d][n] = '\0';
+  }
+  // Past the tracked depth the deepest tracked label keeps standing in;
+  // the counter still moves so pops rebalance.
+  std::atomic_signal_fence(std::memory_order_release);
+  ps.depth.store(d + 1, std::memory_order_relaxed);
+}
+
+void PopProfilePhase() {
+  PhaseStack& ps = tls_phases;
+  uint32_t d = ps.depth.load(std::memory_order_relaxed);
+  if (d > 0) ps.depth.store(d - 1, std::memory_order_relaxed);
+}
+
+Profiler& Profiler::Default() {
+  static Profiler instance;
+  return instance;
+}
+
+#if defined(__linux__)
+
+ProfilerThreadScope::ProfilerThreadScope(const char* name) {
+  if (name != nullptr) {
+    PushProfilePhase(name);
+    named_ = true;
+  }
+  if (tls_state != nullptr) return;  // Nested scope on this thread.
+  const pid_t tid = static_cast<pid_t>(::syscall(SYS_gettid));
+  clockid_t cpu_clock = CLOCK_THREAD_CPUTIME_ID;
+  pthread_getcpuclockid(pthread_self(), &cpu_clock);  // No syscall.
+  std::lock_guard<std::mutex> lock(g_mu);
+  ThreadState* ts = AcquireStateLocked(tid, cpu_clock);
+  // Publish before arming: once the timer exists the handler may fire
+  // on this thread and must find its state. No other thread touches
+  // tls_state, so a signal fence is the only ordering needed.
+  tls_state = ts;
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+  g_threads.push_back(ts);
+  {
+    std::lock_guard<std::mutex> trie_lock(g_trie_mu);
+    ++g_threads_total;
+  }
+  // Deliberately no timer syscalls here: the aggregator arms this
+  // thread on its next tick. Registration stays cheap enough for
+  // per-query thread spawns (race contestants).
+  registered_ = true;
+}
+
+ProfilerThreadScope::~ProfilerThreadScope() {
+  if (named_) PopProfilePhase();
+  if (!registered_) return;
+  ThreadState* ts = tls_state;
+  if (ts == nullptr) return;
+  // From here no new samples land in this ring: the handler checks
+  // tls_state, and the fence orders the clear before the disarm.
+  tls_state = nullptr;
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> lock(g_mu);
+  DisarmTimerLocked(ts);
+  const bool empty =
+      ts->head.load(std::memory_order_relaxed) ==
+          ts->tail.load(std::memory_order_relaxed) &&
+      ts->dropped.load(std::memory_order_relaxed) == 0 &&
+      ts->truncated.load(std::memory_order_relaxed) == 0;
+  if (g_running && !empty) {
+    // The aggregator drains the remaining samples, then recycles.
+    ts->retired.store(true, std::memory_order_release);
+  } else {
+    // Nothing pending (the common case for short-lived threads):
+    // recycle right away so the freelist keeps up with per-query
+    // registration rates instead of overflowing between drains.
+    auto it = std::find(g_threads.begin(), g_threads.end(), ts);
+    if (it != g_threads.end()) g_threads.erase(it);
+    ReleaseStateLocked(ts);
+  }
+}
+
+Status Profiler::Start(const ProfilerOptions& options) {
+  std::lock_guard<std::mutex> lifecycle(g_lifecycle_mu);
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (g_running) {
+      return Status::AlreadyExists("profiler already running");
+    }
+    if (options.sample_period_micros <= 0 ||
+        options.drain_period_millis <= 0) {
+      return Status::InvalidArgument("profiler periods must be positive");
+    }
+    InstallHandlerLocked();
+    // Prime backtrace(): its first call dlopens libgcc and allocates;
+    // all later calls (including in the signal handler) do not.
+    void* primer[4];
+    backtrace(primer, 4);
+    {
+      std::lock_guard<std::mutex> trie_lock(g_trie_mu);
+      g_root.kids.clear();
+      g_root.self = 0;
+      g_stats = ProfilerStats{};
+      g_stats.threads = g_threads_total;
+    }
+    g_options = options;
+    g_agg_stop = false;
+    g_collecting.store(true, std::memory_order_release);
+    for (ThreadState* ts : g_threads) {
+      if (!ts->retired.load(std::memory_order_acquire)) {
+        ArmTimerLocked(ts);
+      }
+    }
+    g_running = true;
+  }
+  g_agg_thread = std::thread(AggregatorLoop);
+  return Status::OK();
+}
+
+void Profiler::Stop() {
+  std::lock_guard<std::mutex> lifecycle(g_lifecycle_mu);
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (!g_running) return;
+    g_collecting.store(false, std::memory_order_release);
+    for (ThreadState* ts : g_threads) DisarmTimerLocked(ts);
+    g_agg_stop = true;
+  }
+  g_cv.notify_all();
+  g_agg_thread.join();
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_running = false;
+  g_agg_stop = false;
+}
+
+bool Profiler::running() const {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_running;
+}
+
+void Profiler::Reset() {
+  std::lock_guard<std::mutex> lock(g_trie_mu);
+  g_root.kids.clear();
+  g_root.self = 0;
+  g_stats = ProfilerStats{};
+  g_stats.threads = g_threads_total;
+}
+
+ProfilerStats Profiler::stats() const {
+  std::lock_guard<std::mutex> lock(g_trie_mu);
+  ProfilerStats out = g_stats;
+  out.threads = g_threads_total;
+  return out;
+}
+
+std::string Profiler::CollapsedStacks() const {
+  std::string out;
+  for (const StackLine& line : SnapshotStacks()) {
+    for (size_t i = 0; i < line.frames.size(); ++i) {
+      if (i > 0) out.push_back(';');
+      out.append(*line.frames[i]);
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(line.count));
+    out.append(buf);
+  }
+  return out;
+}
+
+std::string Profiler::ToJson() const {
+  ProfilerStats st = stats();
+  ProfilerOptions opts;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    opts = g_options;
+  }
+  std::string out = "{\"schema_version\":1,\"kind\":\"cpu_profile\"";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"period_micros\":%lld",
+                static_cast<long long>(opts.sample_period_micros));
+  out.append(buf);
+  std::snprintf(buf, sizeof(buf),
+                ",\"samples\":%llu,\"dropped\":%llu,\"truncated\":%llu,"
+                "\"threads\":%llu",
+                static_cast<unsigned long long>(st.samples),
+                static_cast<unsigned long long>(st.dropped),
+                static_cast<unsigned long long>(st.truncated),
+                static_cast<unsigned long long>(st.threads));
+  out.append(buf);
+  out.append(",\"stacks\":[");
+  bool first_line = true;
+  for (const StackLine& line : SnapshotStacks()) {
+    if (!first_line) out.push_back(',');
+    first_line = false;
+    out.append("{\"stack\":[");
+    for (size_t i = 0; i < line.frames.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out.push_back('"');
+      JsonEscape(*line.frames[i], &out);
+      out.push_back('"');
+    }
+    std::snprintf(buf, sizeof(buf), "],\"count\":%llu}",
+                  static_cast<unsigned long long>(line.count));
+    out.append(buf);
+  }
+  out.append("]}");
+  return out;
+}
+
+#else  // !defined(__linux__)
+
+ProfilerThreadScope::ProfilerThreadScope(const char* name) {
+  if (name != nullptr) {
+    PushProfilePhase(name);
+    named_ = true;
+  }
+  registered_ = false;
+}
+
+ProfilerThreadScope::~ProfilerThreadScope() {
+  if (named_) PopProfilePhase();
+}
+
+Status Profiler::Start(const ProfilerOptions&) {
+  return Status::NotSupported("sampling profiler requires Linux");
+}
+void Profiler::Stop() {}
+bool Profiler::running() const { return false; }
+void Profiler::Reset() {}
+ProfilerStats Profiler::stats() const { return ProfilerStats{}; }
+std::string Profiler::CollapsedStacks() const { return std::string(); }
+std::string Profiler::ToJson() const {
+  return "{\"schema_version\":1,\"kind\":\"cpu_profile\",\"samples\":0,"
+         "\"stacks\":[]}";
+}
+
+#endif  // defined(__linux__)
+
+Status Profiler::WriteCollapsed(const std::string& path) const {
+  // tmp + rename, like WritePromFile: a reader sees the previous or
+  // the new profile, never a torn one. Plain stdio on purpose — obs
+  // sits below the storage layer and cannot use trex::Env.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + tmp);
+  }
+  const std::string text = CollapsedStacks();
+  const bool wrote =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace trex
+
+#if defined(__linux__)
+extern "C" void TrexProfilerSignalHandler(int, siginfo_t*, void* ucontext) {
+  // Nothing in here may allocate, lock, or format; errno is preserved
+  // for the interrupted code.
+  int saved_errno = errno;
+  trex::obs::HandleSample(ucontext);
+  errno = saved_errno;
+}
+#endif  // defined(__linux__)

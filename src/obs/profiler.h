@@ -1,0 +1,125 @@
+// Observability: an in-process sampling CPU profiler.
+//
+// PR 4 measures *how long* a query took and PR 7 records *what* the
+// process was doing when it died; this answers *where the CPU went*.
+// The profiler arms one POSIX timer per registered thread on
+// CLOCK_THREAD_CPUTIME_ID, so SIGPROF fires against threads in
+// proportion to the CPU they actually burn (a blocked thread is never
+// sampled). The signal handler is async-signal-safe by construction:
+// it captures the interrupted PC (from the ucontext) plus a glibc
+// backtrace and the innermost profile phase label into a lock-free
+// single-producer/single-consumer per-thread ring — no allocation, no
+// locks, no formatting. A background aggregator drains the rings,
+// symbolizes frames once per unique PC (dladdr + demangle, cached),
+// folds samples into a stack trie, and exports either collapsed-stack
+// text (flamegraph.pl input: "phase;outer;...;leaf COUNT") or a
+// schema-v1 JSON profile.
+//
+// Threads opt in with a ProfilerThreadScope (the query-executor
+// workers, the advisor tick thread, bench drivers and CLI mains do);
+// registration is valid before or after Start(), and sampling follows
+// Start()/Stop() without re-registration. Phase labels ride a
+// thread-local seqlock-style stack maintained by Trace::OpenSpan /
+// CloseSpan, so samples carry the same phase names the trace tree
+// uses ("evaluate:ta", "translate", ...). The whole facility is
+// Linux-only; elsewhere Start() returns NotSupported and every other
+// entry point is a cheap no-op.
+#ifndef TREX_OBS_PROFILER_H_
+#define TREX_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace trex {
+namespace obs {
+
+struct ProfilerOptions {
+  // CPU-time between samples per thread. A prime default avoids
+  // lockstep with millisecond-periodic work.
+  int64_t sample_period_micros = 997;
+  // How often the aggregator folds the per-thread rings.
+  int64_t drain_period_millis = 50;
+};
+
+struct ProfilerStats {
+  uint64_t samples = 0;     // Folded into the trie.
+  uint64_t dropped = 0;     // Lost to a full ring.
+  uint64_t truncated = 0;   // Stacks deeper than the capture limit.
+  uint64_t threads = 0;     // Threads registered over the run.
+};
+
+// Process-wide singleton; all methods are thread-safe. Start/Stop may
+// be cycled repeatedly; the aggregated trie survives Stop() (so a
+// profile can be exported after the workload finishes) and clears on
+// the next Start() or Reset().
+class Profiler {
+ public:
+  static Profiler& Default();
+
+  // Arms timers for all registered threads and launches the
+  // aggregator. Clears any previously aggregated profile.
+  Status Start(const ProfilerOptions& options = {});
+  // Disarms, drains every ring one final time, stops the aggregator.
+  // The folded profile stays available for export. Idempotent.
+  void Stop();
+  bool running() const;
+  // Drops the aggregated profile and stats (not the registrations).
+  void Reset();
+
+  // "phase;frame;...;leaf COUNT" lines, deterministic order. Empty
+  // string when no samples have been folded.
+  std::string CollapsedStacks() const;
+  // {"schema_version":1,"kind":"cpu_profile",...,"stacks":[...]}.
+  std::string ToJson() const;
+  // CollapsedStacks() to `path` (tmp + rename, atomic on POSIX).
+  Status WriteCollapsed(const std::string& path) const;
+
+  ProfilerStats stats() const;
+
+ private:
+  Profiler() = default;
+};
+
+// Registers the calling thread for sampling for the scope's lifetime.
+// Cheap when the profiler never starts; nesting on one thread is a
+// no-op for the inner scopes.
+class ProfilerThreadScope {
+ public:
+  explicit ProfilerThreadScope(const char* name = nullptr);
+  ~ProfilerThreadScope();
+
+  ProfilerThreadScope(const ProfilerThreadScope&) = delete;
+  ProfilerThreadScope& operator=(const ProfilerThreadScope&) = delete;
+
+ private:
+  bool registered_ = false;
+  bool named_ = false;
+};
+
+// Thread-local phase-label stack read by the signal handler. Pushes
+// and pops must balance; labels longer than kProfilePhaseBytes-1 are
+// truncated. Safe (and nearly free) on unregistered threads and while
+// the profiler is stopped. Trace::OpenSpan/CloseSpan call these, so
+// span names double as sample tags.
+inline constexpr size_t kProfilePhaseBytes = 48;
+void PushProfilePhase(std::string_view label);
+void PopProfilePhase();
+
+class ProfilePhaseScope {
+ public:
+  explicit ProfilePhaseScope(std::string_view label) {
+    PushProfilePhase(label);
+  }
+  ~ProfilePhaseScope() { PopProfilePhase(); }
+
+  ProfilePhaseScope(const ProfilePhaseScope&) = delete;
+  ProfilePhaseScope& operator=(const ProfilePhaseScope&) = delete;
+};
+
+}  // namespace obs
+}  // namespace trex
+
+#endif  // TREX_OBS_PROFILER_H_

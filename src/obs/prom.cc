@@ -3,6 +3,14 @@
 #include <cinttypes>
 #include <cstdio>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+#if defined(__linux__)
+#include <dirent.h>
+#endif
+
 namespace trex {
 namespace obs {
 
@@ -48,6 +56,44 @@ std::string PromName(const std::string& name) {
   return out;
 }
 
+ProcessHealth ReadProcessHealth() {
+  ProcessHealth health;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    health.cpu_seconds_total =
+        static_cast<double>(usage.ru_utime.tv_sec + usage.ru_stime.tv_sec) +
+        static_cast<double>(usage.ru_utime.tv_usec +
+                            usage.ru_stime.tv_usec) *
+            1e-6;
+    // ru_maxrss is the peak, not the current RSS; /proc (below)
+    // overrides it with the live value where available.
+    health.rss_bytes = static_cast<double>(usage.ru_maxrss) * 1024.0;
+    health.ok = true;
+  }
+#endif
+#if defined(__linux__)
+  // Current RSS: second field of /proc/self/statm, in pages.
+  if (std::FILE* f = std::fopen("/proc/self/statm", "r")) {
+    long size = 0, resident = 0;
+    if (std::fscanf(f, "%ld %ld", &size, &resident) == 2) {
+      health.rss_bytes = static_cast<double>(resident) *
+                         static_cast<double>(sysconf(_SC_PAGESIZE));
+      health.ok = true;
+    }
+    std::fclose(f);
+  }
+  if (DIR* dir = opendir("/proc/self/fd")) {
+    int fds = 0;
+    while (readdir(dir) != nullptr) ++fds;
+    closedir(dir);
+    // Minus ".", "..", and the directory's own fd.
+    health.open_fds = fds > 3 ? static_cast<double>(fds - 3) : 0.0;
+  }
+#endif
+  return health;
+}
+
 std::vector<DerivedGauge> DerivedGauges(const MetricsSnapshot& snapshot) {
   std::vector<DerivedGauge> out;
   const uint64_t hits = snapshot.counter("storage.bufpool.hits");
@@ -65,6 +111,13 @@ std::vector<DerivedGauge> DerivedGauges(const MetricsSnapshot& snapshot) {
     out.push_back(DerivedGauge{
         "derived.materializer.reuse_rate",
         static_cast<double>(reused) / static_cast<double>(requested)});
+  }
+  const ProcessHealth health = ReadProcessHealth();
+  if (health.ok) {
+    out.push_back(DerivedGauge{"process.rss_bytes", health.rss_bytes});
+    out.push_back(DerivedGauge{"process.open_fds", health.open_fds});
+    out.push_back(
+        DerivedGauge{"process.cpu_seconds_total", health.cpu_seconds_total});
   }
   return out;
 }

@@ -34,10 +34,23 @@ struct DerivedGauge {
   double value = 0.0;
 };
 
+// Live process health, read from /proc and getrusage at call time (not
+// from the snapshot). `ok` is false where the platform offers neither.
+struct ProcessHealth {
+  double rss_bytes = 0.0;          // Resident set size.
+  double open_fds = 0.0;           // Open file descriptors.
+  double cpu_seconds_total = 0.0;  // User+system CPU since start.
+  bool ok = false;
+};
+ProcessHealth ReadProcessHealth();
+
 // The derived ratios the snapshot supports (one entry per ratio whose
 // denominator is non-zero):
 //   derived.bufpool.hit_rate        hits / (hits + misses)
 //   derived.materializer.reuse_rate units_reused / units_requested
+// plus the live process health gauges (read at call time, so every
+// exposition carries them even though they are not snapshot counters):
+//   process.rss_bytes, process.open_fds, process.cpu_seconds_total
 std::vector<DerivedGauge> DerivedGauges(const MetricsSnapshot& snapshot);
 
 // The full exposition document (pure; unit-testable without files).

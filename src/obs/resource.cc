@@ -37,6 +37,7 @@ void ResourceUsage::AppendJson(std::string* out) const {
   AppendField(out, "random_accesses", random_accesses, &first);
   AppendField(out, "elements_scanned", elements_scanned, &first);
   AppendField(out, "heap_operations", heap_operations, &first);
+  AppendField(out, "cpu_nanos", cpu_nanos, &first);
   out->push_back('}');
 }
 
@@ -60,15 +61,24 @@ ResourceUsage ResourceAccounting::Usage() const {
   u.random_accesses = random_accesses_.load(std::memory_order_relaxed);
   u.elements_scanned = elements_scanned_.load(std::memory_order_relaxed);
   u.heap_operations = heap_operations_.load(std::memory_order_relaxed);
+  u.cpu_nanos = cpu_nanos_.load(std::memory_order_relaxed);
   return u;
 }
 
 ResourceScope::ResourceScope(ResourceAccounting* acct)
-    : previous_(tls_current) {
+    : previous_(tls_current),
+      charged_(acct != nullptr && acct != tls_current ? acct : nullptr) {
   tls_current = acct;
+  if (charged_ != nullptr) cpu_start_nanos_ = ThreadCpuNanos();
 }
 
-ResourceScope::~ResourceScope() { tls_current = previous_; }
+ResourceScope::~ResourceScope() {
+  if (charged_ != nullptr) {
+    int64_t delta = ThreadCpuNanos() - cpu_start_nanos_;
+    if (delta > 0) charged_->ChargeCpuNanos(static_cast<uint64_t>(delta));
+  }
+  tls_current = previous_;
+}
 
 }  // namespace obs
 }  // namespace trex

@@ -50,6 +50,7 @@ struct ResourceUsage {
   uint64_t random_accesses = 0;  // Fresh list seeks + term-stat probes.
   uint64_t elements_scanned = 0; // Extent-iterator advances (ERA).
   uint64_t heap_operations = 0;  // Top-k heap pushes/pops (TA).
+  uint64_t cpu_nanos = 0;        // Thread CPU burned inside the scope.
 
   // {"pages_fetched":...,...} in canonical field order.
   void AppendJson(std::string* out) const;
@@ -122,6 +123,13 @@ class ResourceAccounting {
   void ChargeHeapOperations(uint64_t n) {
     heap_operations_.fetch_add(n, std::memory_order_relaxed);
   }
+  // CLOCK_THREAD_CPUTIME_ID delta measured by ResourceScope at its
+  // boundaries. Race contestants install the parent accounting on
+  // their own threads, so each contributes exactly the CPU it burned
+  // and the parent total stays the query's true CPU cost.
+  void ChargeCpuNanos(uint64_t n) {
+    cpu_nanos_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   // Deadline enforcement, mirroring the budget path: checked where a
   // query can stall (buffer-pool page faults, pager retry backoff) and
@@ -155,6 +163,7 @@ class ResourceAccounting {
   std::atomic<uint64_t> random_accesses_{0};
   std::atomic<uint64_t> elements_scanned_{0};
   std::atomic<uint64_t> heap_operations_{0};
+  std::atomic<uint64_t> cpu_nanos_{0};
 };
 
 // RAII installer: makes `acct` the thread's current accounting for the
@@ -162,6 +171,14 @@ class ResourceAccounting {
 // inner scope shadows the outer one, it does not merge into it). Does
 // not own the accounting — the race evaluator installs the parent
 // query's accounting on each contestant thread this way.
+//
+// The scope also measures the thread-CPU delta across its lifetime and
+// charges it to `acct` (ChargeCpuNanos) on exit. Re-installing the
+// accounting this thread already runs under charges nothing — the
+// outer scope's delta covers the interval — so adoption never double
+// counts. A scope shadowing a *different* outer accounting charges its
+// own accounting only; the outer one still sees the wall of its own
+// thread-CPU delta, mirroring how its thread did spend that CPU.
 class ResourceScope {
  public:
   explicit ResourceScope(ResourceAccounting* acct);
@@ -172,6 +189,8 @@ class ResourceScope {
 
  private:
   ResourceAccounting* previous_;
+  ResourceAccounting* charged_;  // nullptr when this scope charges no CPU.
+  int64_t cpu_start_nanos_ = 0;
 };
 
 }  // namespace obs

@@ -145,7 +145,22 @@ void MetricsSnapshotter::Run() {
     MetricsSnapshot cur = registry_->Snapshot();
     int64_t now = NowNanos();
     if (sink_ != nullptr) {
-      std::string line = DeltaJson(prev, cur, ++tick, now - prev_nanos);
+      // Process health rides each JSONL tick as plain gauges
+      // (absolute, like all gauges in the delta line) on a copy of the
+      // snapshot: the prom file rendered below gets the same values
+      // through DerivedGauges, so injecting into `cur` itself would
+      // duplicate the trex_process_* families in the exposition.
+      MetricsSnapshot augmented = cur;
+      const ProcessHealth health = ReadProcessHealth();
+      if (health.ok) {
+        augmented.gauges["process.rss_bytes"] =
+            static_cast<int64_t>(health.rss_bytes);
+        augmented.gauges["process.open_fds"] =
+            static_cast<int64_t>(health.open_fds);
+        augmented.gauges["process.cpu_millis_total"] =
+            static_cast<int64_t>(health.cpu_seconds_total * 1000.0);
+      }
+      std::string line = DeltaJson(prev, augmented, ++tick, now - prev_nanos);
       line.push_back('\n');
       std::fwrite(line.data(), 1, line.size(), sink_);
       std::fflush(sink_);

@@ -6,6 +6,7 @@
 
 #include "common/clock.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace trex {
 namespace obs {
@@ -69,6 +70,10 @@ Trace::Trace(std::string root_name) : epoch_nanos_(NowNanos()) {
 
 TraceNode* Trace::OpenSpan(std::string_view name) {
   assert(!stack_.empty() && "trace already finished");
+  // Span names double as CPU-sample tags: the sampling profiler's
+  // handler reads the innermost label from a thread-local stack, so a
+  // sample taken during this span carries this name.
+  PushProfilePhase(name);
   auto node = std::make_unique<TraceNode>();
   node->name.assign(name.data(), name.size());
   node->start_nanos = NowNanos() - epoch_nanos_;
@@ -83,6 +88,7 @@ void Trace::CloseSpan(TraceNode* node) {
          "spans must close in LIFO order");
   node->duration_nanos = NowNanos() - epoch_nanos_ - node->start_nanos;
   stack_.pop_back();
+  PopProfilePhase();
 }
 
 void Trace::Finish() {

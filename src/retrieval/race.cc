@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "obs/profiler.h"
 #include "obs/resource.h"
 #include "retrieval/merge.h"
 #include "retrieval/ta.h"
@@ -47,6 +48,7 @@ Status RaceEvaluator::Evaluate(const TranslatedClause& clause, size_t k,
   obs::ResourceAccounting* acct = obs::ResourceAccounting::Current();
 
   std::thread ta_thread([&]() {
+    obs::ProfilerThreadScope profiler_scope("race.ta");
     obs::ResourceScope scope(acct);
     // Time the contestant here (not via its own metrics): a cancelled
     // loser still spent real race time before it noticed the token.
@@ -61,6 +63,7 @@ Status RaceEvaluator::Evaluate(const TranslatedClause& clause, size_t k,
     if (ta_status.ok()) merge_cancel.Cancel();
   });
   std::thread merge_thread([&]() {
+    obs::ProfilerThreadScope profiler_scope("race.merge");
     obs::ResourceScope scope(acct);
     Stopwatch watch;
     Merge merge(index_);

@@ -4,6 +4,7 @@
 
 #include "common/clock.h"
 #include "obs/flight_recorder.h"
+#include "obs/profiler.h"
 #include "retrieval/strategy.h"
 
 namespace trex {
@@ -126,6 +127,12 @@ void QueryExecutor::WorkerLoop(size_t worker_index) {
   obs::MetricsRegistry& reg = obs::Default();
   const std::string prefix =
       "trex.executor.worker." + std::to_string(worker_index);
+  // Sampling-profiler registration: the worker's base phase label tags
+  // idle/dispatch time; per-phase trace spans opened by the query
+  // override it for the duration of the span, so samples attribute to
+  // "translate"/"evaluate:ta"/... while a query runs on this worker.
+  const std::string phase = "executor.worker." + std::to_string(worker_index);
+  obs::ProfilerThreadScope profiler_scope(phase.c_str());
   obs::Counter* w_completed = reg.GetCounter(prefix + ".completed");
   obs::Counter* w_failed = reg.GetCounter(prefix + ".failed");
   obs::Counter* w_busy_nanos = reg.GetCounter(prefix + ".busy_nanos");

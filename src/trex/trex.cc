@@ -53,6 +53,7 @@ void FoldAccounting(const obs::ResourceAccounting& accounting,
     t->AddRootAttr("random_accesses", u.random_accesses);
     t->AddRootAttr("elements_scanned", u.elements_scanned);
     t->AddRootAttr("heap_operations", u.heap_operations);
+    t->AddRootAttr("cpu_nanos", u.cpu_nanos);
   }
 }
 
@@ -142,8 +143,12 @@ Result<QueryAnswer> TReX::RunQuery(const std::string& nexi, size_t k,
   // at the cancellation checkpoints and page-fault sites.
   obs::ResourceAccounting accounting(query_options.budget,
                                      query_options.deadline);
-  obs::ResourceScope scope(&accounting);
-  Result<QueryAnswer> answer = RunQueryLocked(nexi, k, forced);
+  Result<QueryAnswer> answer = [&] {
+    // The scope closes before the fold below so the CPU delta it
+    // charges at destruction is part of the reported usage.
+    obs::ResourceScope scope(&accounting);
+    return RunQueryLocked(nexi, k, forced);
+  }();
   FoldAccounting(accounting, &answer);
   // Feed the self-management sketch. The acquire load pairs with the
   // release store in EnableSelfManagement; a null hook (the common
@@ -223,8 +228,8 @@ Result<QueryAnswer> TReX::QueryStrict(const std::string& nexi, size_t k,
                                       const QueryOptions& query_options) {
   obs::ResourceAccounting accounting(query_options.budget,
                                      query_options.deadline);
-  obs::ResourceScope scope(&accounting);
   Result<QueryAnswer> result = [&]() -> Result<QueryAnswer> {
+    obs::ResourceScope scope(&accounting);
     auto read_lock = index_->ReaderLock();
     QueryAnswer answer;
     answer.trace = std::make_shared<obs::Trace>("query");

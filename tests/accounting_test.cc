@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "corpus/ieee_generator.h"
 #include "gtest/gtest.h"
 #include "obs/metrics.h"
@@ -75,6 +76,7 @@ TEST(ResourceAccountingTest, ChargesAccumulateIntoUsage) {
   acct.ChargeRandomAccess();
   acct.ChargeElementsScanned(13);
   acct.ChargeHeapOperations(17);
+  acct.ChargeCpuNanos(19);
   obs::ResourceUsage u = acct.Usage();
   EXPECT_EQ(u.pages_fetched, 1u);
   EXPECT_EQ(u.pages_faulted, 1u);
@@ -86,6 +88,46 @@ TEST(ResourceAccountingTest, ChargesAccumulateIntoUsage) {
   EXPECT_EQ(u.random_accesses, 1u);
   EXPECT_EQ(u.elements_scanned, 13u);
   EXPECT_EQ(u.heap_operations, 17u);
+  EXPECT_EQ(u.cpu_nanos, 19u);
+}
+
+namespace {
+// Burns at least `nanos` of this thread's CPU time.
+void BurnThreadCpu(int64_t nanos) {
+  const int64_t start = ThreadCpuNanos();
+  volatile uint64_t sink = 0;
+  while (ThreadCpuNanos() - start < nanos) {
+    for (uint64_t i = 0; i < 4096; ++i) sink = sink + i;
+  }
+}
+}  // namespace
+
+TEST(ResourceScopeTest, ChargesThreadCpuOnExit) {
+  obs::ResourceAccounting acct;
+  {
+    obs::ResourceScope scope(&acct);
+    BurnThreadCpu(2'000'000);
+    // The delta is charged at scope exit, not continuously.
+    EXPECT_EQ(acct.Usage().cpu_nanos, 0u);
+  }
+  EXPECT_GE(acct.Usage().cpu_nanos, 2'000'000u);
+}
+
+TEST(ResourceScopeTest, AdoptingScopeDoesNotDoubleChargeCpu) {
+  // The race evaluator installs the same accounting on its contestant
+  // threads via a nested scope; re-installing what is already current
+  // must not charge the same CPU twice.
+  obs::ResourceAccounting acct;
+  {
+    obs::ResourceScope outer(&acct);
+    {
+      obs::ResourceScope adopting(&acct);
+      BurnThreadCpu(4'000'000);
+    }
+  }
+  // Double-charging would report >= 8ms here.
+  EXPECT_GE(acct.Usage().cpu_nanos, 4'000'000u);
+  EXPECT_LT(acct.Usage().cpu_nanos, 7'000'000u);
 }
 
 TEST(ResourceAccountingTest, PageBudgetTripsOnTheFirstAccessPast) {
@@ -142,15 +184,18 @@ TEST(ResourceUsageTest, JsonHasCanonicalFieldOrder) {
   ASSERT_TRUE(v.is_object());
   EXPECT_EQ(v.at("pages_fetched").number, 1.0);
   EXPECT_EQ(v.at("heap_operations").number, 2.0);
-  // All ten canonical fields present.
+  // All eleven canonical fields present.
   for (const char* key :
        {"pages_fetched", "pages_faulted", "bytes_read", "bytes_decoded",
         "list_fragments", "postings_scanned", "sorted_accesses",
-        "random_accesses", "elements_scanned", "heap_operations"}) {
+        "random_accesses", "elements_scanned", "heap_operations",
+        "cpu_nanos"}) {
     EXPECT_TRUE(v.has(key)) << "missing " << key << " in " << json;
   }
-  // pages_fetched serializes before heap_operations (canonical order).
+  // pages_fetched serializes before heap_operations, cpu_nanos last
+  // (canonical order).
   EXPECT_LT(json.find("pages_fetched"), json.find("heap_operations"));
+  EXPECT_LT(json.find("heap_operations"), json.find("cpu_nanos"));
 }
 
 // ---------------------------------------------------------------------
@@ -191,6 +236,9 @@ TEST_F(AccountingE2eTest, QueryAnswerCarriesNonZeroResourceVector) {
   EXPECT_GT(r.list_fragments, 0u);
   // ERA walks extents.
   EXPECT_GT(r.elements_scanned, 0u);
+  // The query-wide ResourceScope charges thread CPU at exit; any real
+  // query burns a measurable amount.
+  EXPECT_GT(r.cpu_nanos, 0u);
 }
 
 TEST_F(AccountingE2eTest, ResourceVectorLandsInTraceRootAttrs) {
@@ -206,6 +254,7 @@ TEST_F(AccountingE2eTest, ResourceVectorLandsInTraceRootAttrs) {
   ASSERT_TRUE(attrs.is_object()) << json;
   EXPECT_TRUE(attrs.has("pages_fetched"));
   EXPECT_TRUE(attrs.has("postings_scanned"));
+  EXPECT_TRUE(attrs.has("cpu_nanos"));
   EXPECT_EQ(attrs.at("pages_fetched").number,
             static_cast<double>(answer.value().resources.pages_fetched));
 }

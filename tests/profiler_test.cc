@@ -1,0 +1,215 @@
+// Sampling profiler (obs/profiler.h): attribution accuracy (a hot
+// function must dominate self-time samples), lifecycle (start/stop
+// idempotence, thread churn), and signal safety — this binary runs
+// under ASan/UBSan and TSan via scripts/check.sh, so a sampler that
+// allocates in the handler or races the aggregator fails here.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "gtest/gtest.h"
+#include "obs/profiler.h"
+
+// extern "C" + noinline: one stable, unmangled symbol for the sampler
+// to attribute. The long inner stretch per clock check keeps samples in
+// this function rather than in clock_gettime.
+extern "C" __attribute__((noinline)) void trex_profiler_test_hot_spin(
+    int64_t nanos) {
+  const int64_t start = trex::ThreadCpuNanos();
+  volatile uint64_t sink = 0;
+  while (trex::ThreadCpuNanos() - start < nanos) {
+    for (uint64_t i = 0; i < 16384; ++i) sink = sink + i * 2654435761ULL;
+  }
+}
+
+namespace trex {
+namespace {
+
+constexpr char kHotName[] = "trex_profiler_test_hot_spin";
+
+#define SKIP_IF_UNSUPPORTED(status)                  \
+  do {                                               \
+    if ((status).IsNotSupported()) {                 \
+      GTEST_SKIP() << (status).ToString();           \
+    }                                                \
+  } while (0)
+
+// Splits collapsed-stack text into (leaf -> samples) and a total.
+struct SelfTimes {
+  std::map<std::string, uint64_t> by_leaf;
+  uint64_t total = 0;
+};
+
+SelfTimes ParseCollapsed(const std::string& text) {
+  SelfTimes out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    const uint64_t count = std::strtoull(line.c_str() + space + 1, nullptr, 10);
+    const std::string stack = line.substr(0, space);
+    const size_t semi = stack.rfind(';');
+    const std::string leaf =
+        semi == std::string::npos ? stack : stack.substr(semi + 1);
+    out.by_leaf[leaf] += count;
+    out.total += count;
+  }
+  return out;
+}
+
+TEST(ProfilerTest, StartStopLifecycle) {
+  obs::Profiler& profiler = obs::Profiler::Default();
+  profiler.Stop();  // Not running: no-op.
+  Status s = profiler.Start();
+  SKIP_IF_UNSUPPORTED(s);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(profiler.running());
+  EXPECT_FALSE(profiler.Start().ok()) << "double start must fail";
+  profiler.Stop();
+  EXPECT_FALSE(profiler.running());
+  profiler.Stop();  // Double stop: no-op.
+}
+
+TEST(ProfilerTest, RejectsNonPositivePeriods) {
+  obs::ProfilerOptions options;
+  options.sample_period_micros = 0;
+  Status s = obs::Profiler::Default().Start(options);
+  SKIP_IF_UNSUPPORTED(s);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+// The core attribution claim: a function burning ~all the CPU between
+// Start and Stop receives >= 80% of the self-time samples, under its
+// own (unmangled) name, tagged with the registering thread's phase.
+// This is also the ASan/UBSan signal-safety exercise: hundreds of
+// handler invocations on this thread with sanitizers watching.
+TEST(ProfilerTest, HotFunctionDominatesSelfTime) {
+  obs::Profiler& profiler = obs::Profiler::Default();
+  obs::ProfilerOptions options;
+  options.sample_period_micros = 499;
+  options.drain_period_millis = 20;
+  Status s = profiler.Start(options);
+  SKIP_IF_UNSUPPORTED(s);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  {
+    obs::ProfilerThreadScope thread_scope("test.hot");
+    trex_profiler_test_hot_spin(300'000'000);  // 300ms of CPU.
+  }
+  profiler.Stop();
+
+  const obs::ProfilerStats stats = profiler.stats();
+  // 300ms at a 499us period is ~600 samples unloaded. Under CPU
+  // contention SIGPROF coalesces to roughly one delivery per
+  // reschedule (standard signals do not queue), so a busy ctest -j
+  // machine legitimately sees far fewer — the floor only proves the
+  // sampler fired repeatedly, the share assertion below carries the
+  // accuracy claim.
+  ASSERT_GE(stats.samples, 20u) << "sampler did not fire";
+  EXPECT_EQ(stats.dropped, 0u);
+
+  const std::string collapsed = profiler.CollapsedStacks();
+  ASSERT_FALSE(collapsed.empty());
+  EXPECT_NE(collapsed.find("test.hot;"), std::string::npos)
+      << "phase tag missing in:\n"
+      << collapsed;
+
+  const SelfTimes self = ParseCollapsed(collapsed);
+  ASSERT_GT(self.total, 0u);
+  uint64_t hot = 0;
+  for (const auto& [leaf, count] : self.by_leaf) {
+    if (leaf.find(kHotName) != std::string::npos) hot += count;
+  }
+  EXPECT_GE(static_cast<double>(hot),
+            0.8 * static_cast<double>(self.total))
+      << "hot function got " << hot << "/" << self.total
+      << " self-time samples:\n"
+      << collapsed;
+}
+
+TEST(ProfilerTest, JsonExportCarriesSchemaAndSamples) {
+  obs::Profiler& profiler = obs::Profiler::Default();
+  // Short drain period: threads registering after Start are armed on
+  // the next aggregator tick, and this scope must be armed well within
+  // the spin below.
+  obs::ProfilerOptions options;
+  options.drain_period_millis = 10;
+  Status s = profiler.Start(options);
+  SKIP_IF_UNSUPPORTED(s);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  {
+    obs::ProfilerThreadScope thread_scope("test.json");
+    trex_profiler_test_hot_spin(150'000'000);
+  }
+  profiler.Stop();
+  const std::string json = profiler.ToJson();
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kind\":\"cpu_profile\""), std::string::npos) << json;
+  EXPECT_NE(json.find(kHotName), std::string::npos)
+      << "hot function missing from JSON export";
+}
+
+// Four worker threads running hot under the sampler while the main
+// thread cycles Start/Stop: the TSan stage proves timer arming,
+// sample draining, phase push/pop and trie folding are race-free.
+TEST(ProfilerConcurrencyTest, StartStopUnderConcurrentThreads) {
+  {
+    Status s = obs::Profiler::Default().Start();
+    SKIP_IF_UNSUPPORTED(s);
+    obs::Profiler::Default().Stop();
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 4; ++i) {
+    workers.emplace_back([&stop, i] {
+      const std::string label = "test.worker." + std::to_string(i);
+      obs::ProfilerThreadScope scope(label.c_str());
+      while (!stop.load(std::memory_order_relaxed)) {
+        trex_profiler_test_hot_spin(1'000'000);
+        obs::ProfilePhaseScope phase("test.inner");
+        trex_profiler_test_hot_spin(1'000'000);
+      }
+    });
+  }
+  obs::Profiler& profiler = obs::Profiler::Default();
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(profiler.Start().ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    profiler.Stop();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : workers) t.join();
+}
+
+// Threads that register and exit while the profiler keeps running:
+// the retired-state handoff to the aggregator must neither leak nor
+// double-free, and a timer must never fire into a dead thread state.
+TEST(ProfilerConcurrencyTest, ThreadChurnWhileProfiling) {
+  obs::Profiler& profiler = obs::Profiler::Default();
+  Status s = profiler.Start();
+  SKIP_IF_UNSUPPORTED(s);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::thread> burst;
+    for (int i = 0; i < 4; ++i) {
+      burst.emplace_back([] {
+        obs::ProfilerThreadScope scope("test.churn");
+        trex_profiler_test_hot_spin(3'000'000);
+      });
+    }
+    for (std::thread& t : burst) t.join();
+  }
+  profiler.Stop();
+  EXPECT_GT(profiler.stats().threads, 0u);
+}
+
+}  // namespace
+}  // namespace trex
