@@ -56,6 +56,7 @@
 #include "bench/harness.h"
 #include "common/clock.h"
 #include "corpus/workload_zoo.h"
+#include "index/block_codec.h"
 #include "nexi/translator.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -112,6 +113,8 @@ void AccumulateUsage(const obs::ResourceUsage& u, obs::ResourceUsage* into) {
   into->bytes_read += u.bytes_read;
   into->bytes_decoded += u.bytes_decoded;
   into->list_fragments += u.list_fragments;
+  into->blocks_decoded += u.blocks_decoded;
+  into->blocks_skipped += u.blocks_skipped;
   into->postings_scanned += u.postings_scanned;
   into->sorted_accesses += u.sorted_accesses;
   into->random_accesses += u.random_accesses;
@@ -268,6 +271,35 @@ void AppendRusage(std::string* out, const BenchRunStats& run) {
   out->append(",\"max_rss_kb\":");
   AppendU64(out, run.max_rss_kb);
   out->push_back('}');
+}
+
+// Top-level "codec" summary: which list codec the index runs, plus the
+// process-wide index.codec.* counters. bytes_raw / bytes_encoded give
+// the compression ratio; both are 0 when the index was opened from a
+// cached data dir (no in-process writes), so consumers must tolerate a
+// ratio of 0.
+void AppendCodecSummary(std::string* json, TReX* handle) {
+  obs::MetricsSnapshot snap = obs::Default().Snapshot();
+  const uint64_t bytes_encoded = snap.counter("index.codec.bytes_encoded");
+  const uint64_t bytes_raw = snap.counter("index.codec.bytes_raw");
+  json->append(",\"codec\":{\"list_codec\":\"");
+  json->append(ListCodecName(handle->index()->list_codec()));
+  json->append("\",\"blocks_written\":");
+  AppendU64(json, snap.counter("index.codec.blocks_written"));
+  json->append(",\"bytes_encoded\":");
+  AppendU64(json, bytes_encoded);
+  json->append(",\"bytes_raw\":");
+  AppendU64(json, bytes_raw);
+  json->append(",\"compression_ratio\":");
+  AppendDouble(json, bytes_raw == 0
+                         ? 0.0
+                         : static_cast<double>(bytes_encoded) /
+                               static_cast<double>(bytes_raw));
+  json->append(",\"blocks_decoded\":");
+  AppendU64(json, snap.counter("index.codec.blocks_decoded"));
+  json->append(",\"blocks_skipped\":");
+  AppendU64(json, snap.counter("index.codec.blocks_skipped"));
+  json->push_back('}');
 }
 
 void AppendWorkload(std::string* out, const WorkloadResult& w) {
@@ -520,6 +552,7 @@ int RunScenario(const std::string& scenario_name, std::string out_path,
   AppendDouble(&json, suite_seconds);
   json.append(",\"materializer_fills\":");
   AppendU64(&json, materializer_fills);
+  AppendCodecSummary(&json, handle.get());
   json.append(",\"workloads\":[");
   for (size_t i = 0; i < results.size(); ++i) {
     if (i > 0) json.push_back(',');
@@ -670,6 +703,7 @@ int Run(const std::string& out_path, const std::string& snapshots_path,
   AppendDouble(&json, suite_seconds);
   json.append(",\"materializer_fills\":");
   AppendU64(&json, materializer_fills);
+  AppendCodecSummary(&json, vague.get());
   json.append(",\"workloads\":[");
   for (size_t i = 0; i < results.size(); ++i) {
     if (i > 0) json.push_back(',');

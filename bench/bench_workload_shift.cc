@@ -109,6 +109,8 @@ PhaseResult ServePhase(TReX* trex, const char* name,
       phase.totals.bytes_read += u.bytes_read;
       phase.totals.bytes_decoded += u.bytes_decoded;
       phase.totals.list_fragments += u.list_fragments;
+      phase.totals.blocks_decoded += u.blocks_decoded;
+      phase.totals.blocks_skipped += u.blocks_skipped;
       phase.totals.postings_scanned += u.postings_scanned;
       phase.totals.sorted_accesses += u.sorted_accesses;
       phase.totals.random_accesses += u.random_accesses;

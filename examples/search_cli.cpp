@@ -418,6 +418,8 @@ int main(int argc, char** argv) {
       total.bytes_read += u.bytes_read;
       total.bytes_decoded += u.bytes_decoded;
       total.list_fragments += u.list_fragments;
+      total.blocks_decoded += u.blocks_decoded;
+      total.blocks_skipped += u.blocks_skipped;
       total.postings_scanned += u.postings_scanned;
       total.sorted_accesses += u.sorted_accesses;
       total.random_accesses += u.random_accesses;

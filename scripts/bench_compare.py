@@ -103,6 +103,8 @@ RESOURCE_KEYS = [
     "bytes_read",
     "bytes_decoded",
     "list_fragments",
+    "blocks_decoded",
+    "blocks_skipped",
     "postings_scanned",
     "sorted_accesses",
     "random_accesses",
@@ -110,6 +112,20 @@ RESOURCE_KEYS = [
     "heap_operations",
     "cpu_nanos",
 ]
+
+# Optional top-level summary of the list codec (bench_suite documents
+# written since block compression landed). bytes_raw/compression_ratio
+# may legitimately be 0 when the index came from a cached data dir.
+CODEC = [
+    ("list_codec", str),
+    ("blocks_written", int),
+    ("bytes_encoded", int),
+    ("bytes_raw", int),
+    ("compression_ratio", float),
+    ("blocks_decoded", int),
+    ("blocks_skipped", int),
+]
+LIST_CODECS = {"raw", "compressed"}
 
 # "auto" is the strategy-selected executor path scenario documents use.
 METHODS = {"era", "ta", "merge", "race", "auto"}
@@ -148,6 +164,16 @@ def validate(doc):
             f"schema_version {doc.get('schema_version')!r} != "
             f"{SCHEMA_VERSION}"
         )
+    codec = doc.get("codec")
+    if codec is not None:
+        if not isinstance(codec, dict):
+            errors.append("codec: not an object")
+        else:
+            _check_fields(codec, CODEC, "codec", errors)
+            if codec.get("list_codec") not in LIST_CODECS:
+                errors.append(
+                    f"codec: unknown list_codec {codec.get('list_codec')!r}"
+                )
     workloads = doc.get("workloads")
     if not isinstance(workloads, list):
         return errors

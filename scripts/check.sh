@@ -38,6 +38,18 @@
 #                                 #   an injected-slowdown self-test),
 #                                 #   and the shifting-topic scenario
 #                                 #   through bench_workload_shift
+#   scripts/check.sh --codec      # + the block-codec suite (ctest -L
+#                                 #   codec under ASan/UBSan: property
+#                                 #   tests, decoder fuzzing, the
+#                                 #   raw-vs-compressed differential
+#                                 #   oracle), the decoder fuzzer again
+#                                 #   at 20k mutations per test, and a
+#                                 #   codec-summary smoke: bench_suite
+#                                 #   on a tiny TA-heavy scenario must
+#                                 #   report compressed blocks that are
+#                                 #   actually smaller than their raw
+#                                 #   equivalent and were decoded on the
+#                                 #   query path
 #   scripts/check.sh --profile    # + the CPU-profiling stage: bench_suite
 #                                 #   under the ASan build with
 #                                 #   --profile-out must emit non-empty
@@ -58,6 +70,7 @@ ADVISOR=0
 OBS=0
 CHAOS=0
 ZOO=0
+CODEC=0
 PROFILE=0
 for arg in "$@"; do
   case "$arg" in
@@ -67,6 +80,7 @@ for arg in "$@"; do
     --obs) OBS=1 ;;
     --chaos) CHAOS=1 ;;
     --zoo) ZOO=1 ;;
+    --codec) CODEC=1 ;;
     --profile) PROFILE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -314,6 +328,50 @@ if [ "$ZOO" -eq 1 ]; then
   echo "zoo: ok"
 fi
 
+# Block-codec stage: the codec-labeled suite (property tests over the
+# block encodings, decoder fuzzing, the raw-vs-compressed differential
+# oracle across every zoo scenario) under ASan/UBSan; the decoder
+# fuzzer again at 20k mutations per test (every mutated or garbage
+# block must yield ok-or-Corruption, never UB — the sanitizers are the
+# teeth); then a codec-summary smoke on a tiny TA-heavy scenario: the
+# emitted BENCH json's `codec` object must show compressed as the
+# active codec, blocks written with bytes_encoded < bytes_raw, and
+# blocks decoded on the query path (skips are machine-independent but
+# corpus-size-dependent, so the smoke only requires the counter to
+# exist; the committed full-size baselines are where skipping shows).
+if [ "$CODEC" -eq 1 ]; then
+  ctest --test-dir "$BUILD_DIR" -L codec --output-on-failure -j "$(nproc)"
+  TREX_CODEC_FUZZ_ITERS=20000 "$BUILD_DIR/tests/codec_test" \
+    --gtest_filter='BlockCodecFuzz.*'
+
+  CODEC_DIR="$(mktemp -d "${TMPDIR:-/tmp}/trex_codec.XXXXXX")"
+  trap 'rm -rf "$CODEC_DIR" ${ZOO_DIR:+"$ZOO_DIR"} ${OBS_DIR:+"$OBS_DIR"} ${SHIFT_DIR:+"$SHIFT_DIR"} ${SMOKE_DIR:+"$SMOKE_DIR"}' EXIT
+  env TREX_BENCH_DATA="$CODEC_DIR/data" \
+      TREX_BENCH_SCENARIO_DOCS=20 \
+      TREX_BENCH_SUITE_JOBS=6 \
+      TREX_BENCH_SUITE_MAX_THREADS=2 \
+      TREX_BENCH_RUNS=1 \
+      "$BUILD_DIR/bench/bench_suite" --scenario=skew_hotkey \
+      --out="$CODEC_DIR/BENCH_codec_smoke.json"
+  python3 scripts/bench_compare.py --validate \
+    "$CODEC_DIR/BENCH_codec_smoke.json"
+  python3 - "$CODEC_DIR/BENCH_codec_smoke.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+codec = doc["codec"]
+assert codec["list_codec"] == "compressed", codec
+assert codec["blocks_written"] > 0, codec
+assert 0 < codec["bytes_encoded"] < codec["bytes_raw"], codec
+assert codec["blocks_decoded"] > 0, codec
+assert codec["blocks_skipped"] >= 0, codec
+print(f"codec: {codec['blocks_written']} block(s) at "
+      f"{codec['compression_ratio']:.2f}x raw, "
+      f"{codec['blocks_decoded']} decoded / "
+      f"{codec['blocks_skipped']} skipped on the query path")
+EOF
+  echo "codec: ok"
+fi
+
 # Profiling stage: the always-on sampler end-to-end, under the ASan
 # build (several hundred SIGPROF handler invocations with the
 # sanitizer watching is the "no allocation in the signal path" check
@@ -329,7 +387,7 @@ fi
 # noise.) The machine-readable verdict is checked too.
 if [ "$PROFILE" -eq 1 ]; then
   PROF_DIR="$(mktemp -d "${TMPDIR:-/tmp}/trex_profile.XXXXXX")"
-  trap 'rm -rf "$PROF_DIR" ${ZOO_DIR:+"$ZOO_DIR"} ${OBS_DIR:+"$OBS_DIR"} ${SHIFT_DIR:+"$SHIFT_DIR"} ${SMOKE_DIR:+"$SMOKE_DIR"}' EXIT
+  trap 'rm -rf "$PROF_DIR" ${CODEC_DIR:+"$CODEC_DIR"} ${ZOO_DIR:+"$ZOO_DIR"} ${OBS_DIR:+"$OBS_DIR"} ${SHIFT_DIR:+"$SHIFT_DIR"} ${SMOKE_DIR:+"$SMOKE_DIR"}' EXIT
   profile_env() {
     env TREX_BENCH_DATA="$PROF_DIR/data" \
         TREX_BENCH_SCENARIO_DOCS=20 \

@@ -129,21 +129,53 @@ uint64_t DecodeBigEndian64(const char* ptr) {
   return v;
 }
 
-namespace {
-// Order-preserving bijection between non-negative finite floats and
-// uint32: the IEEE-754 bit pattern of a non-negative float is already
-// monotone in the float's value.
 uint32_t FloatToOrderedBits(float score) {
   uint32_t bits;
   std::memcpy(&bits, &score, sizeof(bits));
   return bits;
 }
+
 float OrderedBitsToFloat(uint32_t bits) {
   float score;
   std::memcpy(&score, &bits, sizeof(score));
   return score;
 }
-}  // namespace
+
+uint64_t ZigZagEncode(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+
+int64_t ZigZagDecode(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^
+         -static_cast<int64_t>(value & 1);
+}
+
+void PutPositionDelta(std::string* dst, uint32_t docid, uint64_t offset,
+                      uint32_t prev_docid, uint64_t prev_offset) {
+  uint32_t docid_delta = docid - prev_docid;
+  PutVarint32(dst, docid_delta);
+  PutVarint64(dst, docid_delta == 0 ? offset - prev_offset : offset);
+}
+
+bool GetPositionDelta(Slice* input, uint32_t prev_docid, uint64_t prev_offset,
+                      uint32_t* docid, uint64_t* offset) {
+  uint32_t docid_delta = 0;
+  uint64_t off = 0;
+  if (!GetVarint32(input, &docid_delta) || !GetVarint64(input, &off)) {
+    return false;
+  }
+  *docid = prev_docid + docid_delta;
+  *offset = docid_delta == 0 ? prev_offset + off : off;
+  return true;
+}
+
+size_t PositionDeltaSize(uint32_t docid, uint64_t offset, uint32_t prev_docid,
+                         uint64_t prev_offset) {
+  std::string tmp;
+  PutPositionDelta(&tmp, docid, offset, prev_docid, prev_offset);
+  return tmp.size();
+}
 
 void PutDescendingScore(std::string* dst, float score) {
   PutBigEndian32(dst, ~FloatToOrderedBits(score));

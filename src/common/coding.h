@@ -62,6 +62,33 @@ float DecodeAscendingScore(const char* ptr);
 void PutFloat(std::string* dst, float value);
 float DecodeFloat(const char* ptr);
 
+// ---------------------------------------------------------------------------
+// Delta-coding primitives (for the block codec in index/block_codec.h).
+// ---------------------------------------------------------------------------
+
+// Order-preserving bijection between non-negative finite floats and
+// uint32: the IEEE-754 bit pattern of a non-negative float is monotone
+// in the float's value. Backs the key score encodings above and the
+// block codec's descending-score deltas.
+uint32_t FloatToOrderedBits(float score);
+float OrderedBitsToFloat(uint32_t bits);
+
+// ZigZag mapping of signed deltas onto small unsigned varints.
+uint64_t ZigZagEncode(int64_t value);
+int64_t ZigZagDecode(uint64_t value);
+
+// Delta step for an ascending (docid, offset) position stream, shared by
+// the posting-fragment codec and the block codec's position-ordered
+// blocks: varint docid delta, then the offset as a delta when the docid
+// repeats and absolute otherwise.
+void PutPositionDelta(std::string* dst, uint32_t docid, uint64_t offset,
+                      uint32_t prev_docid, uint64_t prev_offset);
+bool GetPositionDelta(Slice* input, uint32_t prev_docid, uint64_t prev_offset,
+                      uint32_t* docid, uint64_t* offset);
+// Encoded size of one PutPositionDelta step (for fragment packing).
+size_t PositionDeltaSize(uint32_t docid, uint64_t offset, uint32_t prev_docid,
+                         uint64_t prev_offset);
+
 }  // namespace trex
 
 #endif  // TREX_COMMON_CODING_H_

@@ -1,0 +1,354 @@
+#include "index/block_codec.h"
+
+#include "common/coding.h"
+#include "obs/metrics.h"
+
+namespace trex {
+
+namespace {
+
+// index.codec.* metrics: encode-side volume (blocks_written,
+// bytes_encoded, and the raw-equivalent bytes_raw the compression ratio
+// is computed against) plus decode-side traffic.
+struct CodecMetrics {
+  obs::Counter* blocks_written;
+  obs::Counter* bytes_encoded;
+  obs::Counter* bytes_raw;
+  obs::Counter* blocks_decoded;
+  obs::Counter* blocks_skipped;
+
+  CodecMetrics() {
+    obs::MetricsRegistry& reg = obs::Default();
+    blocks_written = reg.GetCounter("index.codec.blocks_written");
+    bytes_encoded = reg.GetCounter("index.codec.bytes_encoded");
+    bytes_raw = reg.GetCounter("index.codec.bytes_raw");
+    blocks_decoded = reg.GetCounter("index.codec.blocks_decoded");
+    blocks_skipped = reg.GetCounter("index.codec.blocks_skipped");
+  }
+};
+
+CodecMetrics& Metrics() {
+  static CodecMetrics m;
+  return m;
+}
+
+void PutHeader(std::string* value, uint8_t tag, const BlockHeader& h) {
+  value->push_back(static_cast<char>(tag));
+  PutVarint32(value, h.count);
+  PutFloat(value, h.max_score);
+  PutVarint32(value, h.max_docid);
+  PutVarint64(value, h.max_endpos);
+}
+
+BlockHeader ComputeHeader(const std::vector<ScoredEntry>& entries) {
+  BlockHeader h;
+  h.count = static_cast<uint32_t>(entries.size());
+  if (!entries.empty()) h.max_score = entries.front().score;
+  for (const ScoredEntry& e : entries) {
+    if (e.score > h.max_score) h.max_score = e.score;
+    if (e.docid > h.max_docid) h.max_docid = e.docid;
+    if (e.endpos > h.max_endpos) h.max_endpos = e.endpos;
+  }
+  return h;
+}
+
+size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+// The bytes the raw payload format would use for the same entries — the
+// numerator of the index.codec compression ratio.
+size_t RawPayloadSize(const std::vector<ScoredEntry>& entries) {
+  size_t total = 0;
+  for (const ScoredEntry& e : entries) {
+    total += 4 + VarintSize(e.docid) + VarintSize(e.endpos) +
+             VarintSize(e.length);
+  }
+  return total;
+}
+
+void EncodeRawPayload(const std::vector<ScoredEntry>& entries,
+                      std::string* value) {
+  for (const ScoredEntry& e : entries) {
+    PutFloat(value, e.score);
+    PutVarint32(value, e.docid);
+    PutVarint64(value, e.endpos);
+    PutVarint64(value, e.length);
+  }
+}
+
+// Descending-score payload: score deltas walk the order-preserving float
+// bits down from the header's max_score, docids zigzag against the
+// previous entry, positions stay absolute (they are unordered here).
+void EncodeScorePayload(const std::vector<ScoredEntry>& entries,
+                        float max_score, std::string* value) {
+  uint32_t prev_bits = FloatToOrderedBits(max_score);
+  uint32_t prev_docid = 0;
+  for (const ScoredEntry& e : entries) {
+    uint32_t bits = FloatToOrderedBits(e.score);
+    PutVarint32(value, prev_bits - bits);
+    prev_bits = bits;
+    PutVarint64(value, ZigZagEncode(static_cast<int64_t>(e.docid) -
+                                    static_cast<int64_t>(prev_docid)));
+    prev_docid = e.docid;
+    PutVarint64(value, e.endpos);
+    PutVarint64(value, e.length);
+  }
+}
+
+// Ascending-(docid, endpos) payload: the posting-fragment delta step for
+// the position, then the raw score (unordered in this layout).
+void EncodePositionPayload(const std::vector<ScoredEntry>& entries,
+                           std::string* value) {
+  uint32_t prev_docid = 0;
+  uint64_t prev_endpos = 0;
+  for (const ScoredEntry& e : entries) {
+    PutPositionDelta(value, e.docid, e.endpos, prev_docid, prev_endpos);
+    prev_docid = e.docid;
+    prev_endpos = e.endpos;
+    PutFloat(value, e.score);
+    PutVarint64(value, e.length);
+  }
+}
+
+// Header decode that advances *value past the header on success.
+Status ConsumeHeader(Slice* value, BlockHeader* header, bool* has_header) {
+  *header = BlockHeader{};
+  *has_header = false;
+  if (value->empty()) return Status::Corruption("list block is empty");
+  uint8_t tag = static_cast<uint8_t>((*value)[0]);
+  if (tag < 0xF0) return Status::OK();  // Legacy untagged block.
+  if (tag != kBlockTagRaw && tag != kBlockTagCompressedScore &&
+      tag != kBlockTagCompressedPosition) {
+    return Status::Corruption("unknown list block tag");
+  }
+  value->RemovePrefix(1);
+  header->tag = tag;
+  if (!GetVarint32(value, &header->count)) {
+    return Status::Corruption("list block header is truncated");
+  }
+  if (value->size() < 4) {
+    return Status::Corruption("list block header is truncated");
+  }
+  header->max_score = DecodeFloat(value->data());
+  value->RemovePrefix(4);
+  if (!GetVarint32(value, &header->max_docid) ||
+      !GetVarint64(value, &header->max_endpos)) {
+    return Status::Corruption("list block header is truncated");
+  }
+  // Every payload entry needs at least 4 bytes; a count past the payload
+  // size is corrupt (and must be caught before entries.reserve()).
+  if (header->count > value->size()) {
+    return Status::Corruption("list block count exceeds its payload");
+  }
+  *has_header = true;
+  return Status::OK();
+}
+
+Status DecodeLegacyBlock(Slice value, std::vector<ScoredEntry>* entries) {
+  uint32_t count = 0;
+  if (!GetVarint32(&value, &count)) {
+    return Status::Corruption("scored block has a bad count");
+  }
+  if (count > value.size()) {
+    return Status::Corruption("scored block count exceeds its payload");
+  }
+  entries->clear();
+  entries->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (value.size() < 4) {
+      return Status::Corruption("scored block is truncated");
+    }
+    ScoredEntry e;
+    e.score = DecodeFloat(value.data());
+    value.RemovePrefix(4);
+    if (!GetVarint32(&value, &e.docid) || !GetVarint64(&value, &e.endpos) ||
+        !GetVarint64(&value, &e.length)) {
+      return Status::Corruption("scored block is truncated");
+    }
+    entries->push_back(e);
+  }
+  return Status::OK();
+}
+
+Status DecodeRawPayload(Slice value, const BlockHeader& h,
+                        std::vector<ScoredEntry>* entries) {
+  for (uint32_t i = 0; i < h.count; ++i) {
+    if (value.size() < 4) {
+      return Status::Corruption("raw list block is truncated");
+    }
+    ScoredEntry e;
+    e.score = DecodeFloat(value.data());
+    value.RemovePrefix(4);
+    if (!GetVarint32(&value, &e.docid) || !GetVarint64(&value, &e.endpos) ||
+        !GetVarint64(&value, &e.length)) {
+      return Status::Corruption("raw list block is truncated");
+    }
+    if (e.docid > h.max_docid || e.endpos > h.max_endpos) {
+      return Status::Corruption("raw list block entry exceeds header maxima");
+    }
+    entries->push_back(e);
+  }
+  if (!value.empty()) {
+    return Status::Corruption("raw list block has trailing bytes");
+  }
+  return Status::OK();
+}
+
+Status DecodeScorePayload(Slice value, const BlockHeader& h,
+                          std::vector<ScoredEntry>* entries) {
+  uint32_t prev_bits = FloatToOrderedBits(h.max_score);
+  uint32_t prev_docid = 0;
+  for (uint32_t i = 0; i < h.count; ++i) {
+    uint32_t delta = 0;
+    uint64_t zz = 0;
+    ScoredEntry e;
+    if (!GetVarint32(&value, &delta) || !GetVarint64(&value, &zz) ||
+        !GetVarint64(&value, &e.endpos) || !GetVarint64(&value, &e.length)) {
+      return Status::Corruption("compressed list block is truncated");
+    }
+    if (delta > prev_bits) {
+      return Status::Corruption("compressed list block score underflows");
+    }
+    prev_bits -= delta;
+    e.score = OrderedBitsToFloat(prev_bits);
+    int64_t docid = static_cast<int64_t>(prev_docid) + ZigZagDecode(zz);
+    if (docid < 0 || docid > static_cast<int64_t>(UINT32_MAX)) {
+      return Status::Corruption("compressed list block docid out of range");
+    }
+    e.docid = static_cast<DocId>(docid);
+    prev_docid = e.docid;
+    if (e.docid > h.max_docid || e.endpos > h.max_endpos) {
+      return Status::Corruption(
+          "compressed list block entry exceeds header maxima");
+    }
+    entries->push_back(e);
+  }
+  if (!value.empty()) {
+    return Status::Corruption("compressed list block has trailing bytes");
+  }
+  return Status::OK();
+}
+
+Status DecodePositionPayload(Slice value, const BlockHeader& h,
+                             std::vector<ScoredEntry>* entries) {
+  uint32_t prev_docid = 0;
+  uint64_t prev_endpos = 0;
+  for (uint32_t i = 0; i < h.count; ++i) {
+    ScoredEntry e;
+    if (!GetPositionDelta(&value, prev_docid, prev_endpos, &e.docid,
+                          &e.endpos)) {
+      return Status::Corruption("compressed list block is truncated");
+    }
+    prev_docid = e.docid;
+    prev_endpos = e.endpos;
+    if (value.size() < 4) {
+      return Status::Corruption("compressed list block is truncated");
+    }
+    e.score = DecodeFloat(value.data());
+    value.RemovePrefix(4);
+    if (!GetVarint64(&value, &e.length)) {
+      return Status::Corruption("compressed list block is truncated");
+    }
+    if (e.docid > h.max_docid || e.endpos > h.max_endpos) {
+      return Status::Corruption(
+          "compressed list block entry exceeds header maxima");
+    }
+    entries->push_back(e);
+  }
+  if (!value.empty()) {
+    return Status::Corruption("compressed list block has trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* ListCodecName(ListCodec codec) {
+  switch (codec) {
+    case ListCodec::kRaw:
+      return "raw";
+    case ListCodec::kCompressed:
+      return "compressed";
+  }
+  return "compressed";
+}
+
+bool ParseListCodec(const std::string& name, ListCodec* codec) {
+  if (name == "raw") {
+    *codec = ListCodec::kRaw;
+    return true;
+  }
+  if (name == "compressed") {
+    *codec = ListCodec::kCompressed;
+    return true;
+  }
+  return false;
+}
+
+void EncodeBlock(ListCodec codec, BlockOrder order,
+                 const std::vector<ScoredEntry>& entries, std::string* value) {
+  BlockHeader h = ComputeHeader(entries);
+  size_t before = value->size();
+  if (codec == ListCodec::kRaw) {
+    PutHeader(value, kBlockTagRaw, h);
+    EncodeRawPayload(entries, value);
+  } else if (order == BlockOrder::kScore) {
+    PutHeader(value, kBlockTagCompressedScore, h);
+    EncodeScorePayload(entries, h.max_score, value);
+  } else {
+    PutHeader(value, kBlockTagCompressedPosition, h);
+    EncodePositionPayload(entries, value);
+  }
+  size_t encoded = value->size() - before;
+  CodecMetrics& m = Metrics();
+  m.blocks_written->Add();
+  m.bytes_encoded->Add(encoded);
+  if (codec == ListCodec::kRaw) {
+    m.bytes_raw->Add(encoded);
+  } else {
+    // Raw equivalent = the same header over the raw payload layout.
+    std::string header_only;
+    PutHeader(&header_only, kBlockTagRaw, h);
+    m.bytes_raw->Add(header_only.size() + RawPayloadSize(entries));
+  }
+}
+
+Status DecodeBlockHeader(Slice value, BlockHeader* header, bool* has_header) {
+  return ConsumeHeader(&value, header, has_header);
+}
+
+Status DecodeBlock(Slice value, std::vector<ScoredEntry>* entries) {
+  BlockHeader h;
+  bool has_header = false;
+  TREX_RETURN_IF_ERROR(ConsumeHeader(&value, &h, &has_header));
+  entries->clear();
+  if (!has_header) return DecodeLegacyBlock(value, entries);
+  entries->reserve(h.count);
+  Status s;
+  switch (h.tag) {
+    case kBlockTagRaw:
+      s = DecodeRawPayload(value, h, entries);
+      break;
+    case kBlockTagCompressedScore:
+      s = DecodeScorePayload(value, h, entries);
+      break;
+    case kBlockTagCompressedPosition:
+      s = DecodePositionPayload(value, h, entries);
+      break;
+    default:
+      s = Status::Corruption("unknown list block tag");
+      break;
+  }
+  if (s.ok()) Metrics().blocks_decoded->Add();
+  return s;
+}
+
+void NoteBlockSkipped() { Metrics().blocks_skipped->Add(); }
+
+}  // namespace trex

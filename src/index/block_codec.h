@@ -1,0 +1,103 @@
+// Block codec for RPL/ERPL values (ROADMAP item 3).
+//
+// Every list cell stores one block of ScoredEntry tuples. A tagged block
+// carries a self-describing header with per-block maxima:
+//
+//   Value = tag(1) . varint(count) . float(max_score) . varint(max_docid)
+//           . varint(max_endpos) . payload
+//
+// Three payload formats, selected by the tag byte:
+//   0xF1 raw        — per entry [float(score), varint(docid),
+//                     varint(endpos), varint(length)], any order.
+//   0xF2 compressed — descending-score blocks (RPL): per entry
+//                     [varint(score-bits delta down from the previous
+//                     score, starting at max_score), zigzag-varint docid
+//                     delta, varint(endpos), varint(length)].
+//   0xF3 compressed — ascending-(docid, endpos) blocks (ERPL): per entry
+//                     [position delta step (see coding.h), float(score),
+//                     varint(length)].
+//
+// Legacy (pre-header) blocks begin with a varint entry count whose first
+// byte is < 0x80, so any first byte >= 0xF0 unambiguously marks a tagged
+// block; DecodeBlock reads all four formats without being told which.
+// The manifest's `list_codec` line therefore only governs the write
+// side.
+//
+// The header's maxima power block-max skipping: TA proves from max_score
+// that a whole block cannot lift any answer past the k-th threshold, and
+// the strict path's Merge proves from the key's first docid and the
+// header's max_docid that a block intersects no support document — in
+// both cases the block is skipped without decoding its payload. Raw and
+// compressed codecs share headers and geometry (kBlockEntries), so skip
+// decisions are codec-independent and the two formats stay answer-
+// equivalent byte for byte.
+#ifndef TREX_INDEX_BLOCK_CODEC_H_
+#define TREX_INDEX_BLOCK_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "index/types.h"
+
+namespace trex {
+
+// On-disk list codec selector (manifest `list_codec`). Both codecs share
+// block geometry and headers; kCompressed delta-encodes the payload.
+enum class ListCodec {
+  kRaw,
+  kCompressed,
+};
+
+const char* ListCodecName(ListCodec codec);
+bool ParseListCodec(const std::string& name, ListCodec* codec);
+
+// Entries per block for both codecs: 24 worst-case raw entries plus the
+// header and the list key stay comfortably under kMaxCellPayload.
+inline constexpr size_t kBlockEntries = 24;
+
+// Self-describing block tags (see the format comment above).
+inline constexpr uint8_t kBlockTagRaw = 0xF1;
+inline constexpr uint8_t kBlockTagCompressedScore = 0xF2;
+inline constexpr uint8_t kBlockTagCompressedPosition = 0xF3;
+
+// Decoded block header: the per-block metadata that powers block-max
+// skipping without decoding the payload.
+struct BlockHeader {
+  uint8_t tag = 0;
+  uint32_t count = 0;
+  float max_score = 0.0f;   // Max entry score in the block.
+  uint32_t max_docid = 0;   // Max entry docid in the block.
+  uint64_t max_endpos = 0;  // Max entry endpos in the block.
+};
+
+// Entry order inside a block, which selects the compressed delta scheme.
+enum class BlockOrder {
+  kScore,     // Descending score, ties ascending position (RPL).
+  kPosition,  // Ascending (docid, endpos) (ERPL).
+};
+
+// Encodes `entries` (already sorted in `order`) as one tagged block.
+void EncodeBlock(ListCodec codec, BlockOrder order,
+                 const std::vector<ScoredEntry>& entries, std::string* value);
+
+// Reads just the header of a block. Legacy (untagged) blocks yield ok()
+// with *has_header = false and a zero header; truncated or malformed
+// tagged headers yield Corruption.
+Status DecodeBlockHeader(Slice value, BlockHeader* header, bool* has_header);
+
+// Decodes a full block of any supported format (tagged raw, tagged
+// compressed, legacy). Corrupt input of any shape — truncation, bit
+// flips, header/payload disagreement — surfaces as Status::Corruption,
+// never as a crash or out-of-bounds read.
+Status DecodeBlock(Slice value, std::vector<ScoredEntry>* entries);
+
+// Bumps the index.codec.blocks_skipped metric; called by the store
+// iterators when a header lets them seek past a block undecoded.
+void NoteBlockSkipped();
+
+}  // namespace trex
+
+#endif  // TREX_INDEX_BLOCK_CODEC_H_

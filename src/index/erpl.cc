@@ -7,15 +7,12 @@
 
 namespace trex {
 
-namespace {
-constexpr size_t kBlockBudget = 800;
-}  // namespace
-
 ErplStore::ErplStore(std::unique_ptr<Table> table) : table_(std::move(table)) {
   obs::MetricsRegistry& reg = obs::Default();
   m_lists_written_ = reg.GetCounter("index.erpl.lists_written");
   m_bytes_written_ = reg.GetCounter("index.erpl.bytes_written");
   m_blocks_read_ = reg.GetCounter("index.erpl.blocks_read");
+  m_blocks_skipped_ = reg.GetCounter("index.erpl.blocks_skipped");
   m_entries_read_ = reg.GetCounter("index.erpl.entries_read");
 }
 
@@ -43,18 +40,15 @@ Status ErplStore::WriteList(const std::string& term, Sid sid,
   uint64_t written = 0;
   size_t i = 0;
   while (i < entries.size()) {
-    std::vector<ScoredEntry> block;
-    size_t budget = 0;
-    while (i < entries.size() && budget + 26 <= kBlockBudget) {
-      block.push_back(entries[i]);
-      budget += 26;
-      ++i;
-    }
+    size_t count = std::min(kBlockEntries, entries.size() - i);
+    std::vector<ScoredEntry> block(entries.begin() + i,
+                                   entries.begin() + i + count);
+    i += count;
     std::string key = KeyPrefix(term, sid);
     PutBigEndian32(&key, block.front().docid);
     PutBigEndian64(&key, block.front().endpos);
     std::string value;
-    EncodeScoredBlock(block, &value);
+    EncodeBlock(codec_, BlockOrder::kPosition, block, &value);
     TREX_RETURN_IF_ERROR(table_->Put(key, value));
     written += key.size() + value.size();
   }
@@ -88,18 +82,45 @@ ErplStore::Iterator::Iterator(ErplStore* store, const std::string& term,
       it_(store->table_->tree()) {}
 
 Status ErplStore::Iterator::LoadBlock() {
-  if (!it_.Valid() || !it_.key().StartsWith(prefix_)) {
-    exhausted_ = true;
-    valid_ = false;
-    return Status::OK();
+  while (true) {
+    if (!it_.Valid() || !it_.key().StartsWith(prefix_)) {
+      exhausted_ = true;
+      valid_ = false;
+      return Status::OK();
+    }
+    // Docid-range skip: the key carries the block's first (lowest)
+    // docid, the header its max. A filter with no document in that
+    // range proves the block irrelevant before decoding it.
+    if (docid_filter_ != nullptr &&
+        it_.key().size() == prefix_.size() + 12) {
+      BlockHeader header;
+      bool has_header = false;
+      TREX_RETURN_IF_ERROR(
+          DecodeBlockHeader(it_.value(), &header, &has_header));
+      if (has_header) {
+        DocId first_docid =
+            DecodeBigEndian32(it_.key().data() + prefix_.size());
+        auto hit = std::lower_bound(docid_filter_->begin(),
+                                    docid_filter_->end(), first_docid);
+        if (hit == docid_filter_->end() || *hit > header.max_docid) {
+          store_->m_blocks_skipped_->Add();
+          NoteBlockSkipped();
+          if (auto* acct = obs::ResourceAccounting::Current()) {
+            acct->ChargeBlockSkipped();
+          }
+          TREX_RETURN_IF_ERROR(it_.Next());
+          continue;
+        }
+      }
+    }
+    TREX_RETURN_IF_ERROR(DecodeBlock(it_.value(), &block_));
+    store_->m_blocks_read_->Add();
+    if (auto* acct = obs::ResourceAccounting::Current()) {
+      acct->ChargeBlockDecoded(it_.value().size());
+    }
+    next_in_block_ = 0;
+    return it_.Next();
   }
-  TREX_RETURN_IF_ERROR(DecodeScoredBlock(it_.value(), &block_));
-  store_->m_blocks_read_->Add();
-  if (auto* acct = obs::ResourceAccounting::Current()) {
-    acct->ChargeDecodedBlock(it_.value().size());
-  }
-  next_in_block_ = 0;
-  return it_.Next();
 }
 
 Status ErplStore::Iterator::Init() {

@@ -4,7 +4,8 @@
 // algorithm consumes. Key layout:
 //
 // Key   = token . 0x00 . BE32(sid) . BE32(docid) . BE64(endpos)
-// Value = same scored block codec as RPLs (see rpl.h)
+// Value = one block of the codec in index/block_codec.h (ascending
+//         (docid, endpos) order)
 #ifndef TREX_INDEX_ERPL_H_
 #define TREX_INDEX_ERPL_H_
 
@@ -25,6 +26,10 @@ class ErplStore {
   static Result<std::unique_ptr<ErplStore>> Open(const std::string& dir,
                                                  size_t cache_pages = 1024);
 
+  // Write-side codec, set from the index manifest's `list_codec` line.
+  void set_codec(ListCodec codec) { codec_ = codec; }
+  ListCodec codec() const { return codec_; }
+
   // Writes the full ERPL for (term, sid); entries are sorted internally
   // by ascending end position. Returns bytes written via *bytes_written.
   Status WriteList(const std::string& term, Sid sid,
@@ -36,6 +41,17 @@ class ErplStore {
   class Iterator {
    public:
     Iterator(ErplStore* store, const std::string& term, Sid sid);
+
+    // Optional docid allow-list (ascending, unique). Blocks whose docid
+    // range — the key's first docid through the header's max_docid —
+    // misses the filter entirely are seeked past undecoded (the strict
+    // path's containment join installs the first clause's support
+    // documents here). Entries in other documents may still surface
+    // from partially matching blocks: the filter only prunes, callers
+    // must still qualify results. The pointee must outlive the iterator.
+    void set_docid_filter(const std::vector<DocId>* filter) {
+      docid_filter_ = filter;
+    }
 
     Status Init();
     bool Valid() const { return valid_; }
@@ -49,6 +65,7 @@ class ErplStore {
     ErplStore* store_;
     std::string prefix_;
     BPTree::Iterator it_;
+    const std::vector<DocId>* docid_filter_ = nullptr;
     std::vector<ScoredEntry> block_;
     size_t next_in_block_ = 0;
     bool valid_ = false;
@@ -65,10 +82,12 @@ class ErplStore {
 
  private:
   std::unique_ptr<Table> table_;
+  ListCodec codec_ = ListCodec::kCompressed;
   // index.erpl.* metrics; iterators report through their parent store.
   obs::Counter* m_lists_written_;
   obs::Counter* m_bytes_written_;
   obs::Counter* m_blocks_read_;
+  obs::Counter* m_blocks_skipped_;
   obs::Counter* m_entries_read_;
 };
 

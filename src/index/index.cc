@@ -7,6 +7,44 @@
 
 namespace trex {
 
+namespace {
+
+// Verify-time check that a tagged block's header maxima agree with a
+// naive scan of its decoded entries (legacy untagged blocks pass
+// vacuously). The skip rules trust these maxima, so a disagreement is
+// index corruption even when the payload itself decodes.
+Status VerifyBlockHeader(Slice value, const std::vector<ScoredEntry>& block,
+                         const char* table, const std::string& list_id) {
+  BlockHeader header;
+  bool has_header = false;
+  TREX_RETURN_IF_ERROR(DecodeBlockHeader(value, &header, &has_header));
+  if (!has_header) return Status::OK();
+  if (header.count != block.size()) {
+    return Status::Corruption(std::string(table) +
+                              ": block count disagrees with payload in " +
+                              list_id);
+  }
+  float max_score = block.empty() ? 0.0f : block.front().score;
+  uint32_t max_docid = 0;
+  uint64_t max_endpos = 0;
+  for (const ScoredEntry& e : block) {
+    if (e.score > max_score) max_score = e.score;
+    if (e.docid > max_docid) max_docid = e.docid;
+    if (e.endpos > max_endpos) max_endpos = e.endpos;
+  }
+  if (!block.empty() &&
+      (header.max_score != max_score || header.max_docid != max_docid ||
+       header.max_endpos != max_endpos)) {
+    return Status::Corruption(std::string(table) +
+                              ": block header maxima disagree with a naive "
+                              "scan in " +
+                              list_id);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<std::unique_ptr<Index>> Index::Open(const std::string& dir,
                                            size_t cache_pages) {
   std::unique_ptr<Index> index(new Index());
@@ -54,6 +92,13 @@ Result<std::unique_ptr<Index>> Index::Open(const std::string& dir,
       in >> index->bm25_.k1;
     } else if (key == "bm25_b") {
       in >> index->bm25_.b;
+    } else if (key == "list_codec") {
+      std::string name;
+      in >> name;
+      if (!ParseListCodec(name, &index->list_codec_)) {
+        return Status::Corruption(dir + ": unknown list_codec '" + name +
+                                  "' in manifest");
+      }
     } else {
       std::string skip;
       in >> skip;  // Forward compatibility: ignore unknown keys.
@@ -83,10 +128,12 @@ Result<std::unique_ptr<Index>> Index::Open(const std::string& dir,
   auto rpls = RplStore::Open(dir, cache_pages);
   if (!rpls.ok()) return rpls.status();
   index->rpls_ = std::move(rpls).value();
+  index->rpls_->set_codec(index->list_codec_);
 
   auto erpls = ErplStore::Open(dir, cache_pages);
   if (!erpls.ok()) return erpls.status();
   index->erpls_ = std::move(erpls).value();
+  index->erpls_->set_codec(index->list_codec_);
 
   auto catalog = IndexCatalog::Open(dir);
   if (!catalog.ok()) return catalog.status();
@@ -215,6 +262,8 @@ Status Index::Verify() {
           token.ToString() + "/" + std::to_string(DecodeBigEndian32(key.data()));
       std::vector<ScoredEntry> block;
       TREX_RETURN_IF_ERROR(DecodeScoredBlock(it.value(), &block));
+      TREX_RETURN_IF_ERROR(
+          VerifyBlockHeader(it.value(), block, "RPLs", list_id));
       for (const ScoredEntry& e : block) {
         if (have_prev && list_id == prev_list && e.score > prev_score) {
           return Status::Corruption("RPLs: scores not descending in " +
@@ -245,6 +294,8 @@ Status Index::Verify() {
           token.ToString() + "/" + std::to_string(DecodeBigEndian32(key.data()));
       std::vector<ScoredEntry> block;
       TREX_RETURN_IF_ERROR(DecodeScoredBlock(it.value(), &block));
+      TREX_RETURN_IF_ERROR(
+          VerifyBlockHeader(it.value(), block, "ERPLs", list_id));
       for (const ScoredEntry& e : block) {
         if (have_prev && list_id == prev_list &&
             !(prev_pos < e.end_position())) {
@@ -339,6 +390,7 @@ Status Index::PersistMetadata() {
   manifest << "tokenizer_max_len " << tok.max_token_length << '\n';
   manifest << "bm25_k1 " << bm25_.k1 << '\n';
   manifest << "bm25_b " << bm25_.b << '\n';
+  manifest << "list_codec " << ListCodecName(list_codec_) << '\n';
   return Env::WriteStringToFile(dir_ + "/manifest.txt", manifest.str());
 }
 

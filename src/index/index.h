@@ -41,6 +41,10 @@ class Index {
   const Bm25Params& bm25() const { return bm25_; }
   Bm25Scorer scorer() const { return Bm25Scorer(bm25_, stats_); }
 
+  // Write-side list codec (manifest `list_codec`); block reads
+  // auto-detect their format, so this only steers new WriteList calls.
+  ListCodec list_codec() const { return list_codec_; }
+
   ElementIndex* elements() { return elements_.get(); }
   PostingLists* postings() { return postings_.get(); }
   RplStore* rpls() { return rpls_.get(); }
@@ -126,6 +130,7 @@ class Index {
 
   std::string dir_;
   DocId max_docid_ = 0;
+  ListCodec list_codec_ = ListCodec::kCompressed;
   std::unique_ptr<Summary> summary_;
   AliasMap aliases_;
   Tokenizer tokenizer_;

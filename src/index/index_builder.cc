@@ -136,6 +136,7 @@ Status IndexBuilder::Finish() {
            << '\n';
   manifest << "bm25_k1 " << options_.bm25.k1 << '\n';
   manifest << "bm25_b " << options_.bm25.b << '\n';
+  manifest << "list_codec " << ListCodecName(options_.list_codec) << '\n';
   return Env::WriteStringToFile(dir_ + "/manifest.txt", manifest.str());
 }
 

@@ -17,6 +17,7 @@
 
 #include "common/slice.h"
 #include "common/status.h"
+#include "index/block_codec.h"
 #include "index/types.h"
 #include "summary/alias.h"
 #include "summary/builder.h"
@@ -31,6 +32,9 @@ struct IndexOptions {
   TokenizerOptions tokenizer;
   Bm25Params bm25;
   size_t cache_pages = 2048;
+  // On-disk codec for RPL/ERPL blocks the self-manager materializes
+  // later; recorded in the manifest and picked up by Index::Open.
+  ListCodec list_codec = ListCodec::kCompressed;
 };
 
 class IndexBuilder {

@@ -42,13 +42,7 @@ void PostingLists::EncodeFragment(const Position& first,
   PutVarint32(value, static_cast<uint32_t>(rest.size() + 1));
   Position prev = first;
   for (const Position& p : rest) {
-    uint32_t docid_delta = p.docid - prev.docid;
-    PutVarint32(value, docid_delta);
-    if (docid_delta == 0) {
-      PutVarint64(value, p.offset - prev.offset);
-    } else {
-      PutVarint64(value, p.offset);
-    }
+    PutPositionDelta(value, p.docid, p.offset, prev.docid, prev.offset);
     prev = p;
   }
 }
@@ -70,14 +64,11 @@ Status PostingLists::DecodeFragment(Slice key, Slice value,
   positions->push_back(first);
   Position prev = first;
   for (uint32_t i = 1; i < count; ++i) {
-    uint32_t docid_delta = 0;
-    uint64_t off = 0;
-    if (!GetVarint32(&value, &docid_delta) || !GetVarint64(&value, &off)) {
+    Position p;
+    if (!GetPositionDelta(&value, prev.docid, prev.offset, &p.docid,
+                          &p.offset)) {
       return Status::Corruption("PostingLists fragment is truncated");
     }
-    Position p;
-    p.docid = prev.docid + docid_delta;
-    p.offset = docid_delta == 0 ? prev.offset + off : off;
     positions->push_back(p);
     prev = p;
   }
@@ -118,13 +109,6 @@ Status PostingLists::Flush() {
 
 Status PostingLists::WriteFragments(Table* table, const std::string& term,
                                     const std::vector<Position>& positions) {
-  auto entry_size = [](const Position& prev, const Position& p) {
-    std::string tmp;
-    uint32_t d = p.docid - prev.docid;
-    PutVarint32(&tmp, d);
-    PutVarint64(&tmp, d == 0 ? p.offset - prev.offset : p.offset);
-    return tmp.size();
-  };
   size_t i = 0;
   const size_t n = positions.size();
   while (i < n) {
@@ -134,7 +118,8 @@ Status PostingLists::WriteFragments(Table* table, const std::string& term,
     size_t encoded = 0;
     Position prev = first;
     while (i < n) {
-      size_t sz = entry_size(prev, positions[i]);
+      size_t sz = PositionDeltaSize(positions[i].docid, positions[i].offset,
+                                    prev.docid, prev.offset);
       if (encoded + sz > kPostingFragmentBudget) break;
       encoded += sz;
       prev = positions[i];
@@ -186,15 +171,9 @@ Status PostingLists::Loader::AddTerm(const std::string& term,
     std::vector<Position> rest;
     size_t encoded_bytes = 0;
     Position prev = first;
-    auto entry_size = [](const Position& prev_p, const Position& p) {
-      std::string tmp;
-      uint32_t d = p.docid - prev_p.docid;
-      PutVarint32(&tmp, d);
-      PutVarint64(&tmp, d == 0 ? p.offset - prev_p.offset : p.offset);
-      return tmp.size();
-    };
     while (i < n) {
-      size_t sz = entry_size(prev, positions[i]);
+      size_t sz = PositionDeltaSize(positions[i].docid, positions[i].offset,
+                                    prev.docid, prev.offset);
       if (encoded_bytes + sz > kPostingFragmentBudget) break;
       encoded_bytes += sz;
       prev = positions[i];

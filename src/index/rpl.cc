@@ -7,10 +7,6 @@
 
 namespace trex {
 
-namespace {
-constexpr size_t kBlockBudget = 800;  // Value bytes per block (advisory).
-}  // namespace
-
 void EncodeScoredBlock(const std::vector<ScoredEntry>& entries,
                        std::string* value) {
   PutVarint32(value, static_cast<uint32_t>(entries.size()));
@@ -23,26 +19,7 @@ void EncodeScoredBlock(const std::vector<ScoredEntry>& entries,
 }
 
 Status DecodeScoredBlock(Slice value, std::vector<ScoredEntry>* entries) {
-  uint32_t count = 0;
-  if (!GetVarint32(&value, &count)) {
-    return Status::Corruption("scored block has a bad count");
-  }
-  entries->clear();
-  entries->reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
-    if (value.size() < 4) {
-      return Status::Corruption("scored block is truncated");
-    }
-    ScoredEntry e;
-    e.score = DecodeFloat(value.data());
-    value.RemovePrefix(4);
-    if (!GetVarint32(&value, &e.docid) || !GetVarint64(&value, &e.endpos) ||
-        !GetVarint64(&value, &e.length)) {
-      return Status::Corruption("scored block is truncated");
-    }
-    entries->push_back(e);
-  }
-  return Status::OK();
+  return DecodeBlock(value, entries);
 }
 
 RplStore::RplStore(std::unique_ptr<Table> table) : table_(std::move(table)) {
@@ -50,6 +27,7 @@ RplStore::RplStore(std::unique_ptr<Table> table) : table_(std::move(table)) {
   m_lists_written_ = reg.GetCounter("index.rpl.lists_written");
   m_bytes_written_ = reg.GetCounter("index.rpl.bytes_written");
   m_blocks_read_ = reg.GetCounter("index.rpl.blocks_read");
+  m_blocks_skipped_ = reg.GetCounter("index.rpl.blocks_skipped");
   m_entries_read_ = reg.GetCounter("index.rpl.entries_read");
 }
 
@@ -79,19 +57,16 @@ Status RplStore::WriteList(const std::string& term, Sid sid,
   uint64_t written = 0;
   size_t i = 0;
   while (i < entries.size()) {
-    std::vector<ScoredEntry> block;
-    size_t budget = 0;
-    while (i < entries.size() && budget + 26 <= kBlockBudget) {
-      block.push_back(entries[i]);
-      budget += 26;  // Worst-case encoded entry size.
-      ++i;
-    }
+    size_t count = std::min(kBlockEntries, entries.size() - i);
+    std::vector<ScoredEntry> block(entries.begin() + i,
+                                   entries.begin() + i + count);
+    i += count;
     std::string key = KeyPrefix(term, sid);
     PutDescendingScore(&key, block.front().score);
     PutBigEndian32(&key, block.front().docid);
     PutBigEndian64(&key, block.front().endpos);
     std::string value;
-    EncodeScoredBlock(block, &value);
+    EncodeBlock(codec_, BlockOrder::kScore, block, &value);
     TREX_RETURN_IF_ERROR(table_->Put(key, value));
     written += key.size() + value.size();
   }
@@ -125,18 +100,37 @@ RplStore::Iterator::Iterator(RplStore* store, const std::string& term,
       it_(store->table_->tree()) {}
 
 Status RplStore::Iterator::LoadBlock() {
-  if (!it_.Valid() || !it_.key().StartsWith(prefix_)) {
-    exhausted_ = true;
-    valid_ = false;
-    return Status::OK();
+  while (true) {
+    if (!it_.Valid() || !it_.key().StartsWith(prefix_)) {
+      exhausted_ = true;
+      valid_ = false;
+      return Status::OK();
+    }
+    if (gate_) {
+      BlockHeader header;
+      bool has_header = false;
+      TREX_RETURN_IF_ERROR(
+          DecodeBlockHeader(it_.value(), &header, &has_header));
+      if (has_header && gate_(header)) {
+        // The header proves this block cannot contribute: seek past it
+        // without decoding the payload.
+        store_->m_blocks_skipped_->Add();
+        NoteBlockSkipped();
+        if (auto* acct = obs::ResourceAccounting::Current()) {
+          acct->ChargeBlockSkipped();
+        }
+        TREX_RETURN_IF_ERROR(it_.Next());
+        continue;
+      }
+    }
+    TREX_RETURN_IF_ERROR(DecodeBlock(it_.value(), &block_));
+    store_->m_blocks_read_->Add();
+    if (auto* acct = obs::ResourceAccounting::Current()) {
+      acct->ChargeBlockDecoded(it_.value().size());
+    }
+    next_in_block_ = 0;
+    return it_.Next();
   }
-  TREX_RETURN_IF_ERROR(DecodeScoredBlock(it_.value(), &block_));
-  store_->m_blocks_read_->Add();
-  if (auto* acct = obs::ResourceAccounting::Current()) {
-    acct->ChargeDecodedBlock(it_.value().size());
-  }
-  next_in_block_ = 0;
-  return it_.Next();
 }
 
 Status RplStore::Iterator::Init() {

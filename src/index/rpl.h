@@ -8,8 +8,9 @@
 //
 // Key   = token . 0x00 . BE32(sid) . DescScore(score) . BE32(docid)
 //         . BE64(endpos)
-// Value = varint(count) . count x [float(score), varint(docid),
-//         varint(endpos), varint(length)]   (a block of 5-tuples)
+// Value = one block of the codec in index/block_codec.h (descending-score
+//         order, kBlockEntries entries per block, header with per-block
+//         max score/docid/endpos)
 //
 // Storing lists at (term, sid) granularity is exactly the granularity at
 // which §4's self-manager materializes them ("a system can store for each
@@ -18,17 +19,21 @@
 #ifndef TREX_INDEX_RPL_H_
 #define TREX_INDEX_RPL_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "index/block_codec.h"
 #include "index/types.h"
 #include "obs/metrics.h"
 #include "storage/table.h"
 
 namespace trex {
 
-// Shared block codec for RPL and ERPL values.
+// Legacy untagged block codec (pre block_codec.h). EncodeScoredBlock is
+// retained so tests can prove DecodeBlock still reads old indexes;
+// DecodeScoredBlock decodes any block format (it forwards to DecodeBlock).
 void EncodeScoredBlock(const std::vector<ScoredEntry>& entries,
                        std::string* value);
 Status DecodeScoredBlock(Slice value, std::vector<ScoredEntry>* entries);
@@ -39,6 +44,11 @@ class RplStore {
 
   static Result<std::unique_ptr<RplStore>> Open(const std::string& dir,
                                                 size_t cache_pages = 1024);
+
+  // Write-side codec, set from the index manifest's `list_codec` line.
+  // Reads auto-detect the format per block.
+  void set_codec(ListCodec codec) { codec_ = codec; }
+  ListCodec codec() const { return codec_; }
 
   // Writes the full RPL for (term, sid). `entries` must be sorted by
   // descending score (ties by ascending position). Returns the bytes
@@ -52,7 +62,15 @@ class RplStore {
   // Iterates the RPL of (term, sid) in descending score order.
   class Iterator {
    public:
+    // Block-max skip gate: consulted with each tagged block's header
+    // before the block is decoded; returning true seeks past the block
+    // without decoding it (TA installs the §"block-max" bound here).
+    // Legacy untagged blocks are never offered for skipping.
+    using SkipGate = std::function<bool(const BlockHeader&)>;
+
     Iterator(RplStore* store, const std::string& term, Sid sid);
+
+    void set_skip_gate(SkipGate gate) { gate_ = std::move(gate); }
 
     // NotFound-free protocol: Valid() is false once exhausted (or if the
     // list does not exist at all).
@@ -70,6 +88,7 @@ class RplStore {
     RplStore* store_;
     std::string prefix_;
     BPTree::Iterator it_;
+    SkipGate gate_;
     std::vector<ScoredEntry> block_;
     size_t next_in_block_ = 0;
     bool valid_ = false;
@@ -86,10 +105,12 @@ class RplStore {
 
  private:
   std::unique_ptr<Table> table_;
+  ListCodec codec_ = ListCodec::kCompressed;
   // index.rpl.* metrics; iterators report through their parent store.
   obs::Counter* m_lists_written_;
   obs::Counter* m_bytes_written_;
   obs::Counter* m_blocks_read_;
+  obs::Counter* m_blocks_skipped_;
   obs::Counter* m_entries_read_;
 };
 

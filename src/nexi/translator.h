@@ -37,6 +37,16 @@ struct WeightedTerm {
 struct TranslatedClause {
   std::vector<Sid> sids;            // Ascending, unique.
   std::vector<WeightedTerm> terms;  // Unique by term text.
+
+  // Optional docid allow-list (ascending, unique; not owned — the
+  // setter keeps it alive for the evaluation). The strict path installs
+  // the first clause's support documents here before evaluating the
+  // remaining clauses: a qualifying answer needs same-document support
+  // from every clause, so documents outside the list can never matter.
+  // Purely an optimization hint — evaluators may ignore it, and Merge
+  // uses it only to skip whole ERPL blocks with no docid in the list;
+  // results may still contain other documents.
+  const std::vector<uint32_t>* docid_filter = nullptr;
 };
 
 struct TranslatedQuery {

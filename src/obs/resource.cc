@@ -32,6 +32,8 @@ void ResourceUsage::AppendJson(std::string* out) const {
   AppendField(out, "bytes_read", bytes_read, &first);
   AppendField(out, "bytes_decoded", bytes_decoded, &first);
   AppendField(out, "list_fragments", list_fragments, &first);
+  AppendField(out, "blocks_decoded", blocks_decoded, &first);
+  AppendField(out, "blocks_skipped", blocks_skipped, &first);
   AppendField(out, "postings_scanned", postings_scanned, &first);
   AppendField(out, "sorted_accesses", sorted_accesses, &first);
   AppendField(out, "random_accesses", random_accesses, &first);
@@ -56,6 +58,8 @@ ResourceUsage ResourceAccounting::Usage() const {
   u.bytes_read = bytes_read_.load(std::memory_order_relaxed);
   u.bytes_decoded = bytes_decoded_.load(std::memory_order_relaxed);
   u.list_fragments = list_fragments_.load(std::memory_order_relaxed);
+  u.blocks_decoded = blocks_decoded_.load(std::memory_order_relaxed);
+  u.blocks_skipped = blocks_skipped_.load(std::memory_order_relaxed);
   u.postings_scanned = postings_scanned_.load(std::memory_order_relaxed);
   u.sorted_accesses = sorted_accesses_.load(std::memory_order_relaxed);
   u.random_accesses = random_accesses_.load(std::memory_order_relaxed);

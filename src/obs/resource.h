@@ -45,6 +45,8 @@ struct ResourceUsage {
   uint64_t bytes_read = 0;       // Bytes brought in by faults.
   uint64_t bytes_decoded = 0;    // Encoded list bytes decoded.
   uint64_t list_fragments = 0;   // RPL/ERPL blocks + posting fragments.
+  uint64_t blocks_decoded = 0;   // RPL/ERPL codec blocks decoded.
+  uint64_t blocks_skipped = 0;   // Codec blocks skipped via block-max.
   uint64_t postings_scanned = 0; // Posting-list positions consumed.
   uint64_t sorted_accesses = 0;  // RPL/ERPL entries read in score order.
   uint64_t random_accesses = 0;  // Fresh list seeks + term-stat probes.
@@ -104,9 +106,20 @@ class ResourceAccounting {
     }
     return Status::OK();
   }
+  // A posting fragment decoded (no codec block involved).
   void ChargeDecodedBlock(uint64_t encoded_bytes) {
     bytes_decoded_.fetch_add(encoded_bytes, std::memory_order_relaxed);
     list_fragments_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // An RPL/ERPL codec block decoded by a list iterator.
+  void ChargeBlockDecoded(uint64_t encoded_bytes) {
+    bytes_decoded_.fetch_add(encoded_bytes, std::memory_order_relaxed);
+    list_fragments_.fetch_add(1, std::memory_order_relaxed);
+    blocks_decoded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // A codec block seeked past via its header, payload never decoded.
+  void ChargeBlockSkipped() {
+    blocks_skipped_.fetch_add(1, std::memory_order_relaxed);
   }
   void ChargePostings(uint64_t n) {
     postings_scanned_.fetch_add(n, std::memory_order_relaxed);
@@ -158,6 +171,8 @@ class ResourceAccounting {
   std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> bytes_decoded_{0};
   std::atomic<uint64_t> list_fragments_{0};
+  std::atomic<uint64_t> blocks_decoded_{0};
+  std::atomic<uint64_t> blocks_skipped_{0};
   std::atomic<uint64_t> postings_scanned_{0};
   std::atomic<uint64_t> sorted_accesses_{0};
   std::atomic<uint64_t> random_accesses_{0};

@@ -12,8 +12,11 @@ namespace {
 // ERPLs over the query's sid set.
 class TermPositionIterator {
  public:
+  // `docid_filter` (optional) lets the per-sid ERPL iterators seek past
+  // blocks whose docid range misses the filter (see erpl.h).
   Status Init(Index* index, const std::string& term,
-              const std::vector<Sid>& sids) {
+              const std::vector<Sid>& sids,
+              const std::vector<DocId>* docid_filter = nullptr) {
     subs_.reserve(sids.size());
     sids_.clear();
     for (Sid sid : sids) {
@@ -21,6 +24,7 @@ class TermPositionIterator {
       sids_.push_back(sid);
     }
     for (size_t i = 0; i < subs_.size(); ++i) {
+      if (docid_filter != nullptr) subs_[i].set_docid_filter(docid_filter);
       TREX_RETURN_IF_ERROR(subs_[i].Init());
       if (subs_[i].Valid()) queue_.push(i);
     }
@@ -144,8 +148,8 @@ Status Merge::Evaluate(const TranslatedClause& clause, RetrievalResult* out) {
   // Lines 2-5: iterators per term.
   std::vector<TermPositionIterator> iters(n);
   for (size_t j = 0; j < n; ++j) {
-    TREX_RETURN_IF_ERROR(
-        iters[j].Init(index_, clause.terms[j].term, clause.sids));
+    TREX_RETURN_IF_ERROR(iters[j].Init(index_, clause.terms[j].term,
+                                       clause.sids, clause.docid_filter));
   }
 
   // Lines 6-21: merge by minimal position.

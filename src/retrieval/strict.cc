@@ -32,16 +32,23 @@ Status StrictEvaluator::Evaluate(const TranslatedQuery& query, size_t k,
   }
 
   // 1. Evaluate every clause separately; group results per document.
+  //    The first clause runs unfiltered; its support documents then
+  //    become a docid allow-list for the remaining clauses — a
+  //    qualifying answer needs same-document support from every clause,
+  //    so evaluators can seek past list blocks outside those documents
+  //    (Merge skips them via the block headers' docid range).
   Evaluator evaluator(index_);
   evaluator.set_trace(trace_);
   // clause -> docid -> supports sorted by start offset.
   std::vector<std::map<DocId, std::vector<ScoredElement>>> supports(
       query.clauses.size());
+  std::vector<DocId> first_clause_docids;
   for (size_t c = 0; c < query.clauses.size(); ++c) {
     obs::TraceSpan clause_span(trace_, "clause:" + std::to_string(c));
+    TranslatedClause clause = query.clauses[c];
+    if (c > 0) clause.docid_filter = &first_clause_docids;
     RetrievalResult result;
-    TREX_RETURN_IF_ERROR(
-        evaluator.Evaluate(query.clauses[c], /*k=*/0, &result));
+    TREX_RETURN_IF_ERROR(evaluator.Evaluate(clause, /*k=*/0, &result));
     clause_span.AddAttr("supports",
                         static_cast<uint64_t>(result.elements.size()));
     out->metrics.sorted_accesses += result.metrics.sorted_accesses;
@@ -49,6 +56,12 @@ Status StrictEvaluator::Evaluate(const TranslatedQuery& query, size_t k,
     out->metrics.elements_scanned += result.metrics.elements_scanned;
     for (const ScoredElement& e : result.elements) {
       supports[c][e.element.docid].push_back(e);
+    }
+    if (c == 0) {
+      first_clause_docids.reserve(supports[0].size());
+      for (const auto& [docid, elems] : supports[0]) {
+        first_clause_docids.push_back(docid);  // std::map: ascending.
+      }
     }
   }
 

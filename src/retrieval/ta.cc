@@ -17,8 +17,12 @@ namespace {
 // an m-way descending-score merge of the (term, sid) RPLs.
 class TermScoreIterator {
  public:
+  // `gate` (optional) is the block-max skip gate installed on every
+  // per-sid RPL iterator — consulted with each block header before the
+  // block is decoded.
   Status Init(Index* index, const std::string& term,
-              const std::vector<Sid>& sids) {
+              const std::vector<Sid>& sids,
+              RplStore::Iterator::SkipGate gate = nullptr) {
     subs_.reserve(sids.size());
     sids_.clear();
     for (Sid sid : sids) {
@@ -26,6 +30,7 @@ class TermScoreIterator {
       sids_.push_back(sid);
     }
     for (size_t i = 0; i < subs_.size(); ++i) {
+      if (gate) subs_[i].set_skip_gate(gate);
       TREX_RETURN_IF_ERROR(subs_[i].Init());
       if (subs_[i].Valid()) queue_.push(i);
     }
@@ -117,12 +122,6 @@ Status Ta::Evaluate(const TranslatedClause& clause, size_t k,
   PausableTimer timer;
   timer.Start();
 
-  std::vector<TermScoreIterator> iters(n);
-  for (size_t j = 0; j < n; ++j) {
-    TREX_RETURN_IF_ERROR(iters[j].Init(index_, clause.terms[j].term,
-                                       clause.sids));
-  }
-
   std::unordered_map<ElementKey, Candidate, ElementKeyHash> candidates;
   // The paper's top-k heap, with pausable timing (ITA) and op counting.
   InstrumentedHeap<HeapItem, HeapItemLess> topk;
@@ -175,7 +174,10 @@ Status Ta::Evaluate(const TranslatedClause& clause, size_t k,
     }
   };
 
-  std::vector<float> high(n);
+  // high[j] starts at +infinity: until term j's first sorted access its
+  // top score is unknown, and the skip gate below must never understate
+  // another term's potential.
+  std::vector<float> high(n, std::numeric_limits<float>::infinity());
   std::vector<bool> exhausted(n, false);
   auto threshold = [&]() {
     float t = 0.0f;
@@ -186,6 +188,45 @@ Status Ta::Evaluate(const TranslatedClause& clause, size_t k,
     }
     return t;
   };
+
+  // Block-max skip gate for term j: a tagged block of j's RPL may be
+  // seeked past, undecoded, iff
+  //  (a) the top-k is full,
+  //  (b) the block's best possible total — w_j times the header's max
+  //      score, plus every other live term's high bound — is strictly
+  //      below the k-th confirmed score, so nothing first seen in this
+  //      block can ever enter the top-k, and
+  //  (c) every tracked candidate has already been seen on term j, so no
+  //      partial sum the answer may report can still grow from this
+  //      list (an element appears at most once per term's RPL merge).
+  // The k-th score only grows and the high bounds only shrink, so a
+  // decision that fires for one block keeps holding for the lower-scored
+  // blocks behind it.
+  auto make_skip_gate = [&](size_t j) -> RplStore::Iterator::SkipGate {
+    return [&, j](const BlockHeader& header) {
+      if (topk_scores.size() < k) return false;
+      float kth = kth_worst();
+      float best = 0.0f;
+      float own = clause.terms[j].weight * header.max_score;
+      if (own > 0) best += own;
+      for (size_t t = 0; t < n; ++t) {
+        if (t == j || exhausted[t]) continue;
+        float c = clause.terms[t].weight * high[t];
+        if (c > 0) best += c;
+      }
+      if (!(best < kth)) return false;
+      for (const auto& [key, cand] : candidates) {
+        if (!(cand.seen_mask & (1u << j))) return false;
+      }
+      return true;
+    };
+  };
+
+  std::vector<TermScoreIterator> iters(n);
+  for (size_t j = 0; j < n; ++j) {
+    TREX_RETURN_IF_ERROR(iters[j].Init(index_, clause.terms[j].term,
+                                       clause.sids, make_skip_gate(j)));
+  }
 
   // Folds the partial work (wall time, sorted accesses, heap ops so
   // far) into the metrics before an early abort, so cancelled and

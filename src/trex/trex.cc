@@ -48,6 +48,8 @@ void FoldAccounting(const obs::ResourceAccounting& accounting,
     t->AddRootAttr("bytes_read", u.bytes_read);
     t->AddRootAttr("bytes_decoded", u.bytes_decoded);
     t->AddRootAttr("list_fragments", u.list_fragments);
+    t->AddRootAttr("blocks_decoded", u.blocks_decoded);
+    t->AddRootAttr("blocks_skipped", u.blocks_skipped);
     t->AddRootAttr("postings_scanned", u.postings_scanned);
     t->AddRootAttr("sorted_accesses", u.sorted_accesses);
     t->AddRootAttr("random_accesses", u.random_accesses);

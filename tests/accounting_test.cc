@@ -71,6 +71,8 @@ TEST(ResourceAccountingTest, ChargesAccumulateIntoUsage) {
   EXPECT_TRUE(acct.ChargePageAccess().ok());
   EXPECT_TRUE(acct.ChargePageFault(4096).ok());
   acct.ChargeDecodedBlock(128);
+  acct.ChargeBlockDecoded(64);
+  acct.ChargeBlockSkipped();
   acct.ChargePostings(7);
   acct.ChargeSortedAccesses(11);
   acct.ChargeRandomAccess();
@@ -81,8 +83,10 @@ TEST(ResourceAccountingTest, ChargesAccumulateIntoUsage) {
   EXPECT_EQ(u.pages_fetched, 1u);
   EXPECT_EQ(u.pages_faulted, 1u);
   EXPECT_EQ(u.bytes_read, 4096u);
-  EXPECT_EQ(u.bytes_decoded, 128u);
-  EXPECT_EQ(u.list_fragments, 1u);
+  EXPECT_EQ(u.bytes_decoded, 192u);
+  EXPECT_EQ(u.list_fragments, 2u);
+  EXPECT_EQ(u.blocks_decoded, 1u);
+  EXPECT_EQ(u.blocks_skipped, 1u);
   EXPECT_EQ(u.postings_scanned, 7u);
   EXPECT_EQ(u.sorted_accesses, 11u);
   EXPECT_EQ(u.random_accesses, 1u);
@@ -184,12 +188,12 @@ TEST(ResourceUsageTest, JsonHasCanonicalFieldOrder) {
   ASSERT_TRUE(v.is_object());
   EXPECT_EQ(v.at("pages_fetched").number, 1.0);
   EXPECT_EQ(v.at("heap_operations").number, 2.0);
-  // All eleven canonical fields present.
+  // All thirteen canonical fields present.
   for (const char* key :
        {"pages_fetched", "pages_faulted", "bytes_read", "bytes_decoded",
-        "list_fragments", "postings_scanned", "sorted_accesses",
-        "random_accesses", "elements_scanned", "heap_operations",
-        "cpu_nanos"}) {
+        "list_fragments", "blocks_decoded", "blocks_skipped",
+        "postings_scanned", "sorted_accesses", "random_accesses",
+        "elements_scanned", "heap_operations", "cpu_nanos"}) {
     EXPECT_TRUE(v.has(key)) << "missing " << key << " in " << json;
   }
   // pages_fetched serializes before heap_operations, cpu_nanos last

@@ -1,0 +1,172 @@
+// Differential oracle for the block codec: the same corpus built with
+// list_codec=raw and list_codec=compressed must answer every query of
+// every workload-zoo scenario identically — same status, same elements,
+// bit-identical scores — under every retrieval method (forced ERA, TA
+// and Merge, so the cost model cannot steer the two builds onto
+// different paths), under both the vague and the strict interpretation,
+// and through the TA-vs-Merge race (whose answer must equal the forced
+// answer of whichever side won, on the same build).
+//
+// Compression and block-max skipping are storage-level concerns; any
+// divergence here means the codec or a skip rule changed an answer.
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/workload_zoo.h"
+#include "gtest/gtest.h"
+#include "retrieval/materializer.h"
+#include "retrieval/merge.h"
+#include "retrieval/race.h"
+#include "retrieval/ta.h"
+#include "testutil.h"
+#include "trex/trex.h"
+
+namespace trex {
+namespace {
+
+constexpr size_t kDocs = 24;
+constexpr size_t kQueriesPerScenario = 5;
+constexpr uint64_t kStreamSeed = 7;
+
+// Bit-exact result comparison: the two builds run identical algorithms
+// over identical decoded entries, so even float sums must agree.
+void ExpectSameResult(const RetrievalResult& raw,
+                      const RetrievalResult& compressed) {
+  ASSERT_EQ(raw.elements.size(), compressed.elements.size());
+  for (size_t i = 0; i < raw.elements.size(); ++i) {
+    EXPECT_EQ(raw.elements[i].element, compressed.elements[i].element)
+        << "rank " << i;
+    EXPECT_EQ(raw.elements[i].score, compressed.elements[i].score)
+        << "rank " << i;
+  }
+}
+
+class CodecDifferentialTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    dir_ = test::UniqueTestDir("trex_codec_diff");
+    const ScenarioSpec* spec = FindScenario(GetParam());
+    ASSERT_NE(spec, nullptr) << GetParam();
+    std::unique_ptr<DocumentGenerator> corpus = spec->make_corpus(kDocs);
+
+    TrexOptions raw_options;
+    raw_options.index.list_codec = ListCodec::kRaw;
+    auto raw = TReX::Build(dir_ + "/raw", *corpus, raw_options);
+    TREX_CHECK_OK(raw.status());
+    raw_ = std::move(raw).value();
+
+    corpus = spec->make_corpus(kDocs);  // Same seed, same documents.
+    TrexOptions compressed_options;
+    compressed_options.index.list_codec = ListCodec::kCompressed;
+    auto compressed =
+        TReX::Build(dir_ + "/compressed", *corpus, compressed_options);
+    TREX_CHECK_OK(compressed.status());
+    compressed_ = std::move(compressed).value();
+
+    queries_ = spec->make_stream(kStreamSeed)->Take(kQueriesPerScenario);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  std::unique_ptr<TReX> raw_;
+  std::unique_ptr<TReX> compressed_;
+  std::vector<ZooQuery> queries_;
+};
+
+TEST_P(CodecDifferentialTest, EveryMethodAnswersIdenticallyOnBothCodecs) {
+  EXPECT_EQ(raw_->index()->list_codec(), ListCodec::kRaw);
+  EXPECT_EQ(compressed_->index()->list_codec(), ListCodec::kCompressed);
+  for (const ZooQuery& q : queries_) {
+    SCOPED_TRACE(q.nexi + " k=" + std::to_string(q.k));
+    MaterializeStats stats;
+    Status raw_mat = raw_->MaterializeFor(q.nexi, true, true, &stats);
+    Status comp_mat =
+        compressed_->MaterializeFor(q.nexi, true, true, &stats);
+    ASSERT_EQ(raw_mat.code(), comp_mat.code())
+        << raw_mat.ToString() << " vs " << comp_mat.ToString();
+    if (!raw_mat.ok()) continue;
+
+    for (RetrievalMethod method :
+         {RetrievalMethod::kEra, RetrievalMethod::kTa,
+          RetrievalMethod::kMerge}) {
+      SCOPED_TRACE(RetrievalMethodName(method));
+      auto raw_answer = raw_->QueryWith(method, q.nexi, q.k);
+      auto comp_answer = compressed_->QueryWith(method, q.nexi, q.k);
+      ASSERT_EQ(raw_answer.status().code(), comp_answer.status().code())
+          << raw_answer.status().ToString() << " vs "
+          << comp_answer.status().ToString();
+      if (!raw_answer.ok()) continue;
+      ExpectSameResult(raw_answer.value().result,
+                       comp_answer.value().result);
+    }
+
+    auto raw_strict = raw_->QueryStrict(q.nexi, q.k);
+    auto comp_strict = compressed_->QueryStrict(q.nexi, q.k);
+    ASSERT_EQ(raw_strict.status().code(), comp_strict.status().code())
+        << raw_strict.status().ToString() << " vs "
+        << comp_strict.status().ToString();
+    if (raw_strict.ok()) {
+      ExpectSameResult(raw_strict.value().result,
+                       comp_strict.value().result);
+    }
+  }
+}
+
+// The race's answer is exactly the winner's answer: re-running the
+// winning method alone on the same build must reproduce it bit for bit
+// (and the raced top-k therefore inherits the cross-codec identity the
+// forced legs above establish).
+TEST_P(CodecDifferentialTest, RaceAnswerMatchesTheForcedWinner) {
+  for (TReX* handle : {raw_.get(), compressed_.get()}) {
+    const ZooQuery& q = queries_.front();
+    SCOPED_TRACE(std::string(ListCodecName(handle->index()->list_codec())) +
+                 ": " + q.nexi);
+    MaterializeStats stats;
+    Status mat = handle->MaterializeFor(q.nexi, true, true, &stats);
+    if (!mat.ok()) continue;
+    Index* index = handle->index();
+    auto translated = TranslateNexi(q.nexi, index->summary(),
+                                    &index->aliases(), index->tokenizer());
+    ASSERT_TRUE(translated.ok()) << translated.status().ToString();
+    const TranslatedClause& clause = translated.value().flattened;
+
+    RaceEvaluator race(index);
+    RaceOutcome outcome;
+    Status s = race.Evaluate(clause, q.k, &outcome);
+    if (s.IsNotFound()) continue;  // A (term, sid) had no list to race.
+    ASSERT_TRUE(s.ok()) << s.ToString();
+
+    RetrievalResult forced;
+    if (outcome.winner == RetrievalMethod::kTa) {
+      Ta ta(index);
+      TREX_CHECK_OK(ta.Evaluate(clause, q.k, &forced));
+    } else {
+      ASSERT_EQ(outcome.winner, RetrievalMethod::kMerge);
+      Merge merge(index);
+      TREX_CHECK_OK(merge.Evaluate(clause, &forced));
+      if (q.k > 0 && forced.elements.size() > q.k) {
+        forced.elements.resize(q.k);
+      }
+    }
+    ExpectSameResult(forced, outcome.result);
+  }
+}
+
+std::vector<std::string> AllScenarioNames() {
+  std::vector<std::string> names;
+  for (const ScenarioSpec& spec : ScenarioTable()) {
+    names.push_back(spec.name);
+  }
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, CodecDifferentialTest,
+                         ::testing::ValuesIn(AllScenarioNames()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+}  // namespace
+}  // namespace trex

@@ -1,0 +1,313 @@
+// Property and fuzz tests for the RPL/ERPL block codec
+// (index/block_codec.h): exact roundtrips for both codecs and both
+// block orders, header-maxima invariants against a naive scan,
+// legacy-format compatibility, and a byte-mutation fuzzer proving the
+// decoder only ever answers OK or Corruption — never a crash, hang or
+// out-of-bounds read (the codec stage runs this under ASan/UBSan).
+//
+// Iteration count for the fuzz loops is TREX_CODEC_FUZZ_ITERS (default
+// 300 for ctest; scripts/check.sh --codec raises it).
+#include "index/block_codec.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "index/rpl.h"
+
+namespace trex {
+namespace {
+
+size_t FuzzIters(size_t dflt) {
+  const char* v = std::getenv("TREX_CODEC_FUZZ_ITERS");
+  if (v == nullptr) return dflt;
+  const long long n = std::atoll(v);
+  return n < 1 ? dflt : static_cast<size_t>(n);
+}
+
+bool SameEntries(const std::vector<ScoredEntry>& a,
+                 const std::vector<ScoredEntry>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].docid != b[i].docid || a[i].endpos != b[i].endpos ||
+        a[i].length != b[i].length || a[i].score != b[i].score) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Random entries sorted for the given block order. Scores are drawn
+// from a small grid so score ties (delta 0) are exercised too.
+std::vector<ScoredEntry> RandomEntries(Rng* rng, size_t n, BlockOrder order) {
+  std::vector<ScoredEntry> entries(n);
+  for (ScoredEntry& e : entries) {
+    e.docid = static_cast<DocId>(rng->Uniform(5000));
+    e.endpos = rng->Uniform(1u << 20);
+    e.length = 1 + rng->Uniform(400);
+    e.score = static_cast<float>(rng->Uniform(64)) * 0.125f;
+  }
+  if (order == BlockOrder::kScore) {
+    std::sort(entries.begin(), entries.end(),
+              [](const ScoredEntry& a, const ScoredEntry& b) {
+                return a.score > b.score;
+              });
+  } else {
+    std::sort(entries.begin(), entries.end(),
+              [](const ScoredEntry& a, const ScoredEntry& b) {
+                return a.docid != b.docid ? a.docid < b.docid
+                                          : a.endpos < b.endpos;
+              });
+    // Ascending (docid, endpos) must be strict for the delta step.
+    entries.erase(std::unique(entries.begin(), entries.end(),
+                              [](const ScoredEntry& a, const ScoredEntry& b) {
+                                return a.docid == b.docid &&
+                                       a.endpos == b.endpos;
+                              }),
+                  entries.end());
+  }
+  return entries;
+}
+
+TEST(ListCodecTest, NamesRoundTrip) {
+  for (ListCodec codec : {ListCodec::kRaw, ListCodec::kCompressed}) {
+    ListCodec parsed;
+    ASSERT_TRUE(ParseListCodec(ListCodecName(codec), &parsed));
+    EXPECT_EQ(parsed, codec);
+  }
+  ListCodec parsed;
+  EXPECT_FALSE(ParseListCodec("snappy", &parsed));
+  EXPECT_FALSE(ParseListCodec("", &parsed));
+}
+
+// Exact roundtrip across both codecs, both orders, and sizes straddling
+// the block-packing boundary (empty, single, kBlockEntries +- 1).
+TEST(BlockCodecTest, RoundTripBoundarySizes) {
+  Rng rng(101);
+  for (ListCodec codec : {ListCodec::kRaw, ListCodec::kCompressed}) {
+    for (BlockOrder order : {BlockOrder::kScore, BlockOrder::kPosition}) {
+      for (size_t n : {size_t{0}, size_t{1}, kBlockEntries - 1, kBlockEntries,
+                       kBlockEntries + 1, 3 * kBlockEntries}) {
+        std::vector<ScoredEntry> entries = RandomEntries(&rng, n, order);
+        std::string value;
+        EncodeBlock(codec, order, entries, &value);
+        std::vector<ScoredEntry> decoded;
+        Status s = DecodeBlock(value, &decoded);
+        ASSERT_TRUE(s.ok()) << s.ToString() << " n=" << n;
+        EXPECT_TRUE(SameEntries(entries, decoded))
+            << "codec=" << ListCodecName(codec) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(BlockCodecTest, RoundTripRandomizedLists) {
+  Rng rng(202);
+  for (size_t iter = 0; iter < FuzzIters(300); ++iter) {
+    ListCodec codec =
+        rng.Bernoulli(0.5) ? ListCodec::kRaw : ListCodec::kCompressed;
+    BlockOrder order =
+        rng.Bernoulli(0.5) ? BlockOrder::kScore : BlockOrder::kPosition;
+    std::vector<ScoredEntry> entries =
+        RandomEntries(&rng, rng.Uniform(2 * kBlockEntries + 1), order);
+    std::string value;
+    EncodeBlock(codec, order, entries, &value);
+    std::vector<ScoredEntry> decoded;
+    Status s = DecodeBlock(value, &decoded);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    ASSERT_TRUE(SameEntries(entries, decoded));
+  }
+}
+
+// The header's maxima must agree with a naive scan of the entries — TA
+// and the strict path prove skips from them, so an understated maximum
+// would silently drop answers.
+TEST(BlockCodecTest, HeaderMaximaMatchNaiveScan) {
+  Rng rng(303);
+  for (size_t iter = 0; iter < FuzzIters(300); ++iter) {
+    BlockOrder order =
+        rng.Bernoulli(0.5) ? BlockOrder::kScore : BlockOrder::kPosition;
+    std::vector<ScoredEntry> entries =
+        RandomEntries(&rng, 1 + rng.Uniform(kBlockEntries), order);
+    std::string value;
+    EncodeBlock(rng.Bernoulli(0.5) ? ListCodec::kRaw : ListCodec::kCompressed,
+                order, entries, &value);
+    BlockHeader header;
+    bool has_header = false;
+    ASSERT_TRUE(DecodeBlockHeader(value, &header, &has_header).ok());
+    ASSERT_TRUE(has_header);
+    float max_score = entries[0].score;
+    uint32_t max_docid = 0;
+    uint64_t max_endpos = 0;
+    for (const ScoredEntry& e : entries) {
+      max_score = std::max(max_score, e.score);
+      max_docid = std::max(max_docid, e.docid);
+      max_endpos = std::max(max_endpos, e.endpos);
+    }
+    EXPECT_EQ(header.count, entries.size());
+    EXPECT_EQ(header.max_score, max_score);
+    EXPECT_EQ(header.max_docid, max_docid);
+    EXPECT_EQ(header.max_endpos, max_endpos);
+  }
+}
+
+// Delta coding has to pay off on the lists it was built for: dense
+// blocks with clustered docids and a narrow score range.
+TEST(BlockCodecTest, CompressedIsSmallerThanRawOnTypicalBlocks) {
+  Rng rng(404);
+  std::vector<ScoredEntry> entries = RandomEntries(&rng, kBlockEntries,
+                                                   BlockOrder::kScore);
+  std::string raw, compressed;
+  EncodeBlock(ListCodec::kRaw, BlockOrder::kScore, entries, &raw);
+  EncodeBlock(ListCodec::kCompressed, BlockOrder::kScore, entries,
+              &compressed);
+  EXPECT_LT(compressed.size(), raw.size());
+}
+
+// Legacy (pre-header) blocks written by EncodeScoredBlock must keep
+// decoding: old indexes are opened by the new code without a rewrite.
+TEST(BlockCodecTest, LegacyBlocksStillDecode) {
+  Rng rng(505);
+  std::vector<ScoredEntry> entries =
+      RandomEntries(&rng, kBlockEntries, BlockOrder::kScore);
+  std::string value;
+  EncodeScoredBlock(entries, &value);
+  BlockHeader header;
+  bool has_header = true;
+  ASSERT_TRUE(DecodeBlockHeader(value, &header, &has_header).ok());
+  EXPECT_FALSE(has_header);
+  std::vector<ScoredEntry> decoded;
+  Status s = DecodeBlock(value, &decoded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(SameEntries(entries, decoded));
+}
+
+// Every strict prefix of a valid block must decode to Corruption (the
+// full block to OK): truncation anywhere in header or payload is caught.
+TEST(BlockCodecTest, EveryTruncationIsCorruption) {
+  Rng rng(606);
+  for (ListCodec codec : {ListCodec::kRaw, ListCodec::kCompressed}) {
+    for (BlockOrder order : {BlockOrder::kScore, BlockOrder::kPosition}) {
+      std::vector<ScoredEntry> entries =
+          RandomEntries(&rng, kBlockEntries, order);
+      std::string value;
+      EncodeBlock(codec, order, entries, &value);
+      std::vector<ScoredEntry> decoded;
+      for (size_t cut = 0; cut < value.size(); ++cut) {
+        Status s = DecodeBlock(Slice(value.data(), cut), &decoded);
+        EXPECT_TRUE(s.IsCorruption())
+            << "cut=" << cut << " -> " << s.ToString();
+      }
+      ASSERT_TRUE(DecodeBlock(value, &decoded).ok());
+    }
+  }
+}
+
+TEST(BlockCodecTest, TrailingBytesAreCorruption) {
+  Rng rng(707);
+  for (ListCodec codec : {ListCodec::kRaw, ListCodec::kCompressed}) {
+    std::vector<ScoredEntry> entries =
+        RandomEntries(&rng, kBlockEntries, BlockOrder::kScore);
+    std::string value;
+    EncodeBlock(codec, BlockOrder::kScore, entries, &value);
+    value.push_back('\0');
+    std::vector<ScoredEntry> decoded;
+    EXPECT_TRUE(DecodeBlock(value, &decoded).IsCorruption());
+  }
+}
+
+TEST(BlockCodecTest, UnknownTagAndOversizedCountAreCorruption) {
+  std::vector<ScoredEntry> decoded;
+  // 0xF0 and 0xFF are in the tagged range but name no format.
+  for (uint8_t tag : {uint8_t{0xF0}, uint8_t{0xFF}}) {
+    std::string value(1, static_cast<char>(tag));
+    value.append(8, '\0');
+    EXPECT_TRUE(DecodeBlock(value, &decoded).IsCorruption());
+  }
+  // A count far past the payload must be rejected before any reserve.
+  std::string value(1, static_cast<char>(kBlockTagCompressedScore));
+  PutVarint32(&value, 0x0FFFFFFF);
+  value.append(4, '\0');  // max_score
+  PutVarint32(&value, 1);
+  PutVarint64(&value, 1);
+  EXPECT_TRUE(DecodeBlock(value, &decoded).IsCorruption());
+}
+
+// The fuzzer: valid blocks put through byte flips, truncations, splices
+// and random garbage. The only acceptable outcomes are OK or
+// Corruption; under ASan/UBSan any overread or UB aborts the test.
+TEST(BlockCodecFuzz, MutatedBlocksNeverCrashTheDecoder) {
+  Rng rng(808);
+  size_t corrupt = 0, survived = 0;
+  const size_t iters = FuzzIters(300);
+  for (size_t iter = 0; iter < iters; ++iter) {
+    ListCodec codec =
+        rng.Bernoulli(0.5) ? ListCodec::kRaw : ListCodec::kCompressed;
+    BlockOrder order =
+        rng.Bernoulli(0.5) ? BlockOrder::kScore : BlockOrder::kPosition;
+    std::string value;
+    if (rng.Bernoulli(0.1)) {
+      EncodeScoredBlock(RandomEntries(&rng, kBlockEntries, order), &value);
+    } else {
+      EncodeBlock(codec, order,
+                  RandomEntries(&rng, rng.Uniform(kBlockEntries + 1), order),
+                  &value);
+    }
+    // 1-8 mutations per round.
+    const size_t mutations = 1 + rng.Uniform(8);
+    for (size_t m = 0; m < mutations && !value.empty(); ++m) {
+      switch (rng.Uniform(4)) {
+        case 0:  // Bit flip.
+          value[rng.Uniform(value.size())] ^=
+              static_cast<char>(1u << rng.Uniform(8));
+          break;
+        case 1:  // Truncate.
+          value.resize(rng.Uniform(value.size() + 1));
+          break;
+        case 2:  // Overwrite a byte with garbage.
+          value[rng.Uniform(value.size())] =
+              static_cast<char>(rng.Uniform(256));
+          break;
+        case 3:  // Append garbage.
+          value.push_back(static_cast<char>(rng.Uniform(256)));
+          break;
+      }
+    }
+    std::vector<ScoredEntry> decoded;
+    Status s = DecodeBlock(value, &decoded);
+    ASSERT_TRUE(s.ok() || s.IsCorruption()) << s.ToString();
+    BlockHeader header;
+    bool has_header = false;
+    Status hs = DecodeBlockHeader(value, &header, &has_header);
+    ASSERT_TRUE(hs.ok() || hs.IsCorruption()) << hs.ToString();
+    if (s.ok()) {
+      ++survived;
+    } else {
+      ++corrupt;
+    }
+  }
+  // The mutator must actually be producing corrupt inputs, not no-ops.
+  EXPECT_GT(corrupt, iters / 4);
+}
+
+TEST(BlockCodecFuzz, PureGarbageNeverCrashesTheDecoder) {
+  Rng rng(909);
+  for (size_t iter = 0; iter < FuzzIters(300); ++iter) {
+    std::string value;
+    const size_t len = rng.Uniform(200);
+    value.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      value.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    std::vector<ScoredEntry> decoded;
+    Status s = DecodeBlock(value, &decoded);
+    ASSERT_TRUE(s.ok() || s.IsCorruption()) << s.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace trex

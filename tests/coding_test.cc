@@ -179,6 +179,76 @@ TEST(Float, RoundTrip) {
   }
 }
 
+// Property: the ordered-bits mapping is a monotone bijection on
+// non-negative floats, so score deltas can be taken on the bit images.
+TEST(OrderedBits, MonotoneBijectionOnScores) {
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    float a = static_cast<float>(rng.NextDouble() * 1000.0);
+    float b = static_cast<float>(rng.NextDouble() * 1000.0);
+    EXPECT_EQ(OrderedBitsToFloat(FloatToOrderedBits(a)), a);
+    if (a != b) {
+      EXPECT_EQ(a < b, FloatToOrderedBits(a) < FloatToOrderedBits(b))
+          << "a=" << a << " b=" << b;
+    }
+  }
+  EXPECT_EQ(OrderedBitsToFloat(FloatToOrderedBits(0.0f)), 0.0f);
+  EXPECT_EQ(OrderedBitsToFloat(FloatToOrderedBits(-2.5f)), -2.5f);
+}
+
+TEST(ZigZag, RoundTripAndSmallMagnitudeStaysSmall) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{63},
+                    int64_t{-64}, std::numeric_limits<int64_t>::max(),
+                    std::numeric_limits<int64_t>::min()}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v) << v;
+  }
+  // Small magnitudes map to small codes — the reason zigzag exists.
+  EXPECT_LE(ZigZagEncode(-1), 2u);
+  EXPECT_LE(ZigZagEncode(1), 2u);
+  Rng rng(12);
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = static_cast<int64_t>(rng.Next() >> rng.Uniform(64));
+    if (rng.Uniform(2) == 0) v = -v;
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+}
+
+TEST(PositionDelta, RoundTripRandomSteps) {
+  Rng rng(13);
+  uint32_t prev_doc = 0;
+  uint64_t prev_off = 0;
+  for (int i = 0; i < 2000; ++i) {
+    // Mix same-docid forward steps with docid jumps (offset resets).
+    uint32_t docid = prev_doc + rng.Uniform(3);
+    uint64_t offset = docid == prev_doc ? prev_off + 1 + rng.Uniform(1000)
+                                        : rng.Uniform(100000);
+    std::string s;
+    PutPositionDelta(&s, docid, offset, prev_doc, prev_off);
+    EXPECT_EQ(s.size(), PositionDeltaSize(docid, offset, prev_doc, prev_off));
+    Slice in(s);
+    uint32_t out_doc = 0;
+    uint64_t out_off = 0;
+    ASSERT_TRUE(GetPositionDelta(&in, prev_doc, prev_off, &out_doc, &out_off));
+    EXPECT_EQ(out_doc, docid);
+    EXPECT_EQ(out_off, offset);
+    EXPECT_TRUE(in.empty());
+    prev_doc = docid;
+    prev_off = offset;
+  }
+}
+
+TEST(PositionDelta, TruncationFailsCleanly) {
+  std::string s;
+  PutPositionDelta(&s, 7, 123456, 3, 99);
+  for (size_t cut = 0; cut < s.size(); ++cut) {
+    Slice in(s.data(), cut);
+    uint32_t docid = 0;
+    uint64_t offset = 0;
+    EXPECT_FALSE(GetPositionDelta(&in, 3, 99, &docid, &offset))
+        << "cut=" << cut;
+  }
+}
+
 TEST(Slice, CompareSemantics) {
   EXPECT_LT(Slice("abc").Compare(Slice("abd")), 0);
   EXPECT_LT(Slice("ab").Compare(Slice("abc")), 0);
